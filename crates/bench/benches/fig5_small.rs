@@ -1,0 +1,62 @@
+//! A small Figure 5 point as a tracked Criterion benchmark: five full
+//! traversals on a 4x-oversubscribed dataset, standard (paging) vs
+//! out-of-core (LRU), so performance regressions in either path show up
+//! in `cargo bench` history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ooc_core::StrategyKind;
+use phylo_ooc::setup::{self, DatasetSpec};
+use std::hint::black_box;
+
+fn bench_fig5_point(c: &mut Criterion) {
+    let spec = DatasetSpec {
+        n_taxa: 128,
+        n_sites: 400,
+        seed: 8192,
+        ..Default::default()
+    };
+    let data = setup::simulate_dataset(&spec);
+    let budget = data.total_vector_bytes() / 4;
+    let dir = tempfile::tempdir().unwrap();
+
+    let mut group = c.benchmark_group("fig5_point_4x");
+    group.sample_size(10);
+
+    group.bench_function("standard_paging", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut engine = setup::paged_engine(
+                &data,
+                dir.path().join(format!("swap{i}.bin")),
+                budget as usize,
+            );
+            i += 1;
+            black_box(engine.full_traversals(5))
+        })
+    });
+
+    group.bench_function("ooc_lru", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut engine = setup::ooc_engine_file(
+                &data,
+                dir.path().join(format!("vec{i}.bin")),
+                budget,
+                StrategyKind::Lru,
+            );
+            i += 1;
+            black_box(engine.full_traversals(5))
+        })
+    });
+
+    group.bench_function("inram_reference", |b| {
+        b.iter(|| {
+            let mut engine = setup::inram_engine(&data);
+            black_box(engine.full_traversals(5))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5_point);
+criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! Microbenchmarks of the PLF numerical kernels (the compute side whose
+//! cost the out-of-core layer must overlap with I/O).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
+use phylo_plf::kernels::derivatives::{build_sumtable, nr_derivatives, SumSide};
+use phylo_plf::kernels::evaluate::evaluate_inner_inner;
+use phylo_plf::kernels::newview::{newview_inner_inner, newview_tip_inner};
+use phylo_plf::kernels::Dims;
+use phylo_plf::TipCodes;
+use phylo_seq::{compress_patterns, Alignment, Alphabet};
+use std::hint::black_box;
+
+fn dna_setup(n_patterns: usize) -> (Dims, PMatrices, PMatrices, ReversibleModel, DiscreteGamma) {
+    let dims = Dims {
+        n_patterns,
+        n_states: 4,
+        n_cats: 4,
+    };
+    let model = ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]);
+    let gamma = DiscreteGamma::new(0.8, 4);
+    let eigen = model.eigen();
+    let mut pm_l = PMatrices::new(4, 4);
+    let mut pm_r = PMatrices::new(4, 4);
+    pm_l.update(&eigen, &gamma, 0.12);
+    pm_r.update(&eigen, &gamma, 0.3);
+    (dims, pm_l, pm_r, model, gamma)
+}
+
+fn bench_newview(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newview");
+    for n_patterns in [1000usize, 10_000] {
+        let (dims, pm_l, pm_r, _model, _gamma) = dna_setup(n_patterns);
+        let left = vec![0.4f64; dims.width()];
+        let right = vec![0.3f64; dims.width()];
+        let zeros = vec![0u32; n_patterns];
+        let mut parent = vec![0.0f64; dims.width()];
+        let mut scale_p = vec![0u32; n_patterns];
+        group.throughput(Throughput::Bytes((dims.width() * 8) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("inner_inner", n_patterns),
+            &n_patterns,
+            |b, _| {
+                b.iter(|| {
+                    newview_inner_inner(
+                        &dims,
+                        black_box(&mut parent),
+                        &mut scale_p,
+                        black_box(&left),
+                        &zeros,
+                        &pm_l,
+                        black_box(&right),
+                        &zeros,
+                        &pm_r,
+                    )
+                })
+            },
+        );
+
+        // Tip/inner with a representative code table.
+        let seq: String = "ACGTN".chars().cycle().take(n_patterns).collect();
+        let aln = Alignment::from_chars(
+            Alphabet::Dna,
+            &[("a".into(), seq.clone()), ("b".into(), seq)],
+        )
+        .unwrap();
+        let codes = TipCodes::from_alignment(&compress_patterns(&aln));
+        let tip_dims = Dims {
+            n_patterns: codes.n_patterns(),
+            n_states: 4,
+            n_cats: 4,
+        };
+        let mut lut = Vec::new();
+        codes.build_lut(&pm_l, &mut lut);
+        let inner = vec![0.4f64; tip_dims.width()];
+        let tzeros = vec![0u32; tip_dims.n_patterns];
+        let mut tparent = vec![0.0f64; tip_dims.width()];
+        let mut tscale = vec![0u32; tip_dims.n_patterns];
+        group.bench_with_input(
+            BenchmarkId::new("tip_inner", n_patterns),
+            &n_patterns,
+            |b, _| {
+                b.iter(|| {
+                    newview_tip_inner(
+                        &tip_dims,
+                        black_box(&mut tparent),
+                        &mut tscale,
+                        &lut,
+                        codes.tip(0),
+                        black_box(&inner),
+                        &tzeros,
+                        &pm_r,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluate_and_derivatives(c: &mut Criterion) {
+    let (dims, pm_l, _pm_r, model, gamma) = dna_setup(5000);
+    let eigen = model.eigen();
+    let p = vec![0.4f64; dims.width()];
+    let q = vec![0.3f64; dims.width()];
+    let zeros = vec![0u32; dims.n_patterns];
+    let weights = vec![1u32; dims.n_patterns];
+
+    c.bench_function("evaluate/inner_inner_5000", |b| {
+        b.iter(|| {
+            evaluate_inner_inner(
+                &dims,
+                black_box(&p),
+                &zeros,
+                black_box(&q),
+                &zeros,
+                &pm_l,
+                model.freqs(),
+                &weights,
+            )
+        })
+    });
+
+    let mut sumtable = Vec::new();
+    c.bench_function("derivatives/build_sumtable_5000", |b| {
+        b.iter(|| {
+            build_sumtable(
+                &dims,
+                SumSide::Inner(black_box(&p)),
+                SumSide::Inner(black_box(&q)),
+                &eigen,
+                model.freqs(),
+                &mut sumtable,
+            )
+        })
+    });
+    build_sumtable(
+        &dims,
+        SumSide::Inner(&p),
+        SumSide::Inner(&q),
+        &eigen,
+        model.freqs(),
+        &mut sumtable,
+    );
+    c.bench_function("derivatives/nr_iteration_5000", |b| {
+        b.iter(|| {
+            nr_derivatives(
+                &dims,
+                black_box(&sumtable),
+                &weights,
+                &zeros,
+                eigen.values(),
+                gamma.rates(),
+                black_box(0.17),
+            )
+        })
+    });
+}
+
+fn bench_protein(c: &mut Criterion) {
+    // The paper's §3.1 footprint argument: protein vectors are 5x wider.
+    let dims = Dims {
+        n_patterns: 1000,
+        n_states: 20,
+        n_cats: 4,
+    };
+    let model = phylo_models::protein::synthetic_protein(1);
+    let gamma = DiscreteGamma::new(0.8, 4);
+    let eigen = model.eigen();
+    let mut pm = PMatrices::new(20, 4);
+    pm.update(&eigen, &gamma, 0.2);
+    let left = vec![0.05f64; dims.width()];
+    let right = vec![0.04f64; dims.width()];
+    let zeros = vec![0u32; dims.n_patterns];
+    let mut parent = vec![0.0f64; dims.width()];
+    let mut scale = vec![0u32; dims.n_patterns];
+    c.bench_function("newview/protein_inner_inner_1000", |b| {
+        b.iter(|| {
+            newview_inner_inner(
+                &dims,
+                black_box(&mut parent),
+                &mut scale,
+                &left,
+                &zeros,
+                &pm,
+                &right,
+                &zeros,
+                &pm,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_newview, bench_evaluate_and_derivatives, bench_protein
+}
+criterion_main!(benches);

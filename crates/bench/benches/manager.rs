@@ -1,0 +1,72 @@
+//! Microbenchmarks of the out-of-core manager's fast paths: the pure
+//! bookkeeping overhead of `getxvector`-style access when hitting, and the
+//! full swap path when missing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ooc_core::{Intent, MemStore, OocConfig, StrategyKind, VectorManager};
+use std::hint::black_box;
+
+const WIDTH: usize = 16_000; // 128 KB vectors
+
+fn manager(n: usize, m: usize, kind: StrategyKind) -> VectorManager<MemStore> {
+    let mut mgr = VectorManager::new(
+        OocConfig::new(n, WIDTH, m),
+        kind.build(None),
+        MemStore::new(n, WIDTH),
+    );
+    let data = vec![1.0f64; WIDTH];
+    for item in 0..n as u32 {
+        mgr.write_vector(item, &data);
+    }
+    mgr
+}
+
+fn bench_hit_path(c: &mut Criterion) {
+    // Everything resident: measures pure bookkeeping per access.
+    let mut mgr = manager(64, 64, StrategyKind::Lru);
+    let mut acc = 0.0;
+    c.bench_function("manager/hit_with_one", |b| {
+        b.iter(|| {
+            mgr.with_one(black_box(17), Intent::Read, |buf| acc += buf[0]);
+        })
+    });
+    black_box(acc);
+
+    let mut mgr = manager(64, 64, StrategyKind::Lru);
+    c.bench_function("manager/hit_with_triple", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            let p = i % 60;
+            mgr.with_triple(p, Some(p + 1), Some(p + 2), |pv, lv, rv| {
+                pv[0] = lv.unwrap()[0] + rv.unwrap()[0];
+            });
+            i += 1;
+        })
+    });
+}
+
+fn bench_miss_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("manager/miss_swap");
+    group.throughput(Throughput::Bytes((WIDTH * 8) as u64));
+    for kind in [StrategyKind::Lru, StrategyKind::Random { seed: 3 }] {
+        // Tiny slot pool: every alternating access misses and swaps.
+        let mut mgr = manager(256, 3, kind);
+        let mut item = 0u32;
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                mgr.with_one(black_box(item % 256), Intent::Read, |buf| {
+                    black_box(buf[0]);
+                });
+                item = item.wrapping_add(97); // stride through items
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_hit_path, bench_miss_path
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! **A2 (micro) — prefetch staging**: latency of a demand read served from
+//! the staging cache vs straight from the file, isolating the benefit the
+//! prefetch thread can deliver per hidden read.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ooc_core::{BackingStore, FileStore, PrefetchingStore};
+use std::hint::black_box;
+
+const WIDTH: usize = 160_000; // 1.28 MB vectors
+const N_ITEMS: usize = 16;
+
+fn bench_prefetch(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("vectors.bin");
+    let mut plain = FileStore::create(&path, N_ITEMS, WIDTH).unwrap();
+    let data = vec![1.25f64; WIDTH];
+    for item in 0..N_ITEMS as u32 {
+        plain.write(item, &data).unwrap();
+    }
+    let mut buf = vec![0.0f64; WIDTH];
+
+    let mut group = c.benchmark_group("prefetch");
+    group.throughput(Throughput::Bytes((WIDTH * 8) as u64));
+    group.sample_size(20);
+
+    group.bench_function("direct_file_read", |b| {
+        let mut item = 0u32;
+        b.iter(|| {
+            plain.read(black_box(item % N_ITEMS as u32), &mut buf).unwrap();
+            item += 1;
+        })
+    });
+
+    let main = FileStore::open(&path, WIDTH).unwrap();
+    let worker = FileStore::open(&path, WIDTH).unwrap();
+    let mut store = PrefetchingStore::new(main, worker, N_ITEMS, WIDTH);
+    group.bench_function("staged_read", |b| {
+        let mut item = 0u32;
+        b.iter(|| {
+            // Hint, wait for staging, then measure the demand read. The
+            // drain makes this an upper bound on the staged-hit benefit.
+            let target = item % N_ITEMS as u32;
+            store.hint(&[target]);
+            store.drain();
+            store.read(black_box(target), &mut buf).unwrap();
+            item += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **A4 — single file vs several files (§3.2)**: "Although our
+//! implementation allows for storing individual vectors in several files,
+//! we focus on single file performance, because the performance
+//! differences for the two alternatives were minimal." This bench
+//! reproduces that comparison with the paper's representative 1.28 MB
+//! vector size (10,000 DNA sites under Γ4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ooc_core::{BackingStore, FileStore, MemStore, MultiFileStore};
+use std::hint::black_box;
+
+const WIDTH: usize = 160_000; // 1.28 MB, the paper's example vector
+const N_ITEMS: usize = 24;
+
+fn bench_stores(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let mut group = c.benchmark_group("store_io");
+    group.throughput(Throughput::Bytes((WIDTH * 8) as u64));
+    group.sample_size(20);
+
+    let data = vec![std::f64::consts::PI; WIDTH];
+    let mut buf = vec![0.0f64; WIDTH];
+
+    // Write+read one vector per iteration, cycling through item slots.
+    let mut run = |name: &str, store: &mut dyn BackingStore, group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>| {
+        for item in 0..N_ITEMS as u32 {
+            store.write(item, &data).unwrap();
+        }
+        let mut item = 0u32;
+        group.bench_function(BenchmarkId::new(name.to_owned(), "swap"), |b| {
+            b.iter(|| {
+                store.write(black_box(item % N_ITEMS as u32), &data).unwrap();
+                store
+                    .read(black_box((item + 7) % N_ITEMS as u32), &mut buf)
+                    .unwrap();
+                item += 1;
+            })
+        });
+    };
+
+    let mut mem = MemStore::new(N_ITEMS, WIDTH);
+    run("mem", &mut mem, &mut group);
+
+    let mut single = FileStore::create(dir.path().join("single.bin"), N_ITEMS, WIDTH).unwrap();
+    run("single_file", &mut single, &mut group);
+
+    for n_files in [2usize, 4, 8] {
+        let mut multi = MultiFileStore::create(
+            dir.path().join(format!("multi{n_files}.bin")),
+            n_files,
+            N_ITEMS,
+            WIDTH,
+        )
+        .unwrap();
+        run(&format!("multi_file_{n_files}"), &mut multi, &mut group);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stores);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! **A1 — replacement-strategy bookkeeping overhead (§3.3)**: the paper
+//! prefers Random/LRU over Topological because the latter "requires a
+//! larger computational overhead for determining the replacement
+//! candidate". This bench measures `choose_victim` for all four strategies
+//! at realistic slot counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ooc_core::{EvictionView, ReplacementStrategy, StrategyKind};
+use phylo_plf::{SharedTree, TreeOracle};
+use phylo_tree::build::random_topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_choose_victim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy/choose_victim");
+    for m in [64usize, 1024] {
+        let n_items = (m * 4) as u32;
+        // Slot table: fully occupied, two slots pinned.
+        let slot_item: Vec<Option<u32>> =
+            (0..m).map(|s| Some((s as u32 * 7) % n_items)).collect();
+        let mut pinned = vec![false; m];
+        pinned[0] = true;
+        pinned[m / 2] = true;
+
+        // The Topological strategy needs a live tree of matching size.
+        let tree = random_topology(
+            n_items as usize + 2,
+            0.1,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let shared = SharedTree::new(&tree);
+
+        let strategies: Vec<(&str, Box<dyn ReplacementStrategy>)> = vec![
+            ("RAND", StrategyKind::Random { seed: 1 }.build(None)),
+            ("LRU", StrategyKind::Lru.build(None)),
+            ("LFU", StrategyKind::Lfu.build(None)),
+            (
+                "Topological",
+                StrategyKind::Topological
+                    .build(Some(Box::new(TreeOracle::new(shared.clone())))),
+            ),
+        ];
+        for (name, mut strategy) in strategies {
+            // Warm the per-slot state.
+            for (s, item) in slot_item.iter().enumerate() {
+                strategy.on_load(item.unwrap(), s as u32);
+                strategy.on_access(item.unwrap(), s as u32);
+            }
+            let mut requested = 0u32;
+            group.bench_function(BenchmarkId::new(name, m), |b| {
+                b.iter(|| {
+                    let view = EvictionView {
+                        slot_item: &slot_item,
+                        pinned: &pinned,
+                    };
+                    let victim = strategy.choose_victim(black_box(requested % n_items), &view);
+                    requested = requested.wrapping_add(13);
+                    black_box(victim)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_choose_victim
+}
+criterion_main!(benches);

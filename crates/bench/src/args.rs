@@ -1,0 +1,115 @@
+//! Minimal command-line parsing for the figure binaries.
+//!
+//! Syntax: `--key value` pairs and bare `--flag`s. Unknown keys are kept
+//! (figures share a parser); values are fetched with typed accessors that
+//! fall back to defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command line.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    args.values.insert(key.to_owned(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.flags.push(key.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1; // stray token, ignore
+            }
+        }
+        args
+    }
+
+    /// Is a bare flag present?
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// `usize` value or default.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `u64` value or default.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `f64` value or default.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// String value or default.
+    pub fn string(&self, name: &str, default: &str) -> String {
+        self.values
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::from_iter(s.split_whitespace().map(|t| t.to_owned()))
+    }
+
+    #[test]
+    fn key_values_and_flags() {
+        let a = parse("--taxa 128 --quick --sites 300 --out results.json");
+        assert_eq!(a.usize("taxa", 0), 128);
+        assert_eq!(a.usize("sites", 0), 300);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.string("out", "x"), "results.json");
+    }
+
+    #[test]
+    fn defaults_kick_in() {
+        let a = parse("--quick");
+        assert_eq!(a.usize("taxa", 1288), 1288);
+        assert_eq!(a.f64("fraction", 0.25), 0.25);
+        assert_eq!(a.u64("seed", 7), 7);
+    }
+
+    #[test]
+    fn trailing_flag_and_bad_numbers() {
+        let a = parse("--taxa abc --verbose");
+        assert_eq!(a.usize("taxa", 64), 64, "unparseable -> default");
+        assert!(a.flag("verbose"));
+    }
+}

@@ -1,0 +1,84 @@
+//! **A6 — Bayesian (MCMC) workload ablation (§5)**: the paper claims its
+//! concepts "can be applied to all PLF-based programs (ML and Bayesian)".
+//! MCMC proposals are random rather than locality-guided, so this is the
+//! adversarial workload for the replacement strategies: miss rates rise
+//! for everyone, but the ordering (LRU ≈ Topological ≈ RAND, LFU worst)
+//! and the exactness guarantee must survive.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin ablation_mcmc -- [--quick]
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::report::{pct, print_table};
+use ooc_core::StrategyKind;
+use phylo_ooc::search::{run_mcmc, McmcConfig};
+use phylo_ooc::setup::{self, DatasetSpec};
+use rayon::prelude::*;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let spec = DatasetSpec {
+        n_taxa: args.usize("taxa", if quick { 64 } else { 256 }),
+        n_sites: args.usize("sites", if quick { 200 } else { 600 }),
+        seed: args.u64("seed", 31),
+        ..Default::default()
+    };
+    let cfg = McmcConfig {
+        iterations: args.usize("iterations", if quick { 1000 } else { 4000 }),
+        seed: 77,
+        ..Default::default()
+    };
+    let data = setup::simulate_dataset(&spec);
+    println!(
+        "A6 MCMC workload: {} iterations on {} taxa, f = 0.25\n",
+        cfg.iterations, spec.n_taxa
+    );
+
+    // Reference chain.
+    let mut standard = setup::inram_engine(&data);
+    let reference = run_mcmc(&mut standard, &cfg);
+
+    let strategies = [
+        StrategyKind::Topological,
+        StrategyKind::Lfu,
+        StrategyKind::Random { seed: 1 },
+        StrategyKind::Lru,
+    ];
+    let rows: Vec<Vec<String>> = strategies
+        .par_iter()
+        .map(|&kind| {
+            let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
+            let stats = run_mcmc(&mut engine, &cfg);
+            if let Some(h) = handle {
+                h.update(engine.tree());
+            }
+            assert_eq!(
+                stats.final_log_posterior.to_bits(),
+                reference.final_log_posterior.to_bits(),
+                "chain must be identical ({})",
+                kind.label()
+            );
+            let m = engine.store().manager().stats();
+            vec![
+                kind.label().to_owned(),
+                pct(m.miss_rate()),
+                pct(m.read_rate()),
+                m.requests.to_string(),
+                format!("{}", stats.accepted),
+            ]
+        })
+        .collect();
+
+    print_table(
+        &["strategy", "miss rate", "read rate", "requests", "accepted"],
+        &rows,
+    );
+    println!(
+        "\nall chains bit-identical to the standard run (final log-posterior\n\
+         {:.4}); compare the miss rates with Figure 2's ML-search numbers to\n\
+         see the locality gap between hill climbing and random proposals.",
+        reference.final_log_posterior
+    );
+}

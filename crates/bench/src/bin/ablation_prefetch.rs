@@ -1,0 +1,115 @@
+//! **A2 — prefetch-thread ablation (§5 future work)**: "We will assess if
+//! pre-fetching can be deployed by means of a prefetch thread."
+//!
+//! Runs the same full-traversal + smoothing workload over a plain file
+//! store and over the prefetching wrapper (a worker thread resolving the
+//! traversal hints into a staging cache), comparing wall time and the
+//! fraction of demand reads served from staged memory.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin ablation_prefetch -- [--quick]
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::report::{print_table, secs};
+use ooc_core::{FileStore, OocConfig, PrefetchingStore, StrategyKind, VectorManager};
+use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
+use phylo_plf::{AncestralStore, OocStore, PlfEngine};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+fn run_workload<S: AncestralStore>(engine: &mut PlfEngine<S>, traversals: usize) -> (f64, f64) {
+    let t0 = Instant::now();
+    let lnl = engine.full_traversals(traversals);
+    engine.smooth_branches(1, 8);
+    (t0.elapsed().as_secs_f64(), lnl)
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let spec = DatasetSpec {
+        n_taxa: args.usize("taxa", if quick { 128 } else { 512 }),
+        n_sites: args.usize("sites", if quick { 200 } else { 1200 }),
+        seed: args.u64("seed", 55),
+        ..Default::default()
+    };
+    let traversals = args.usize("traversals", 5);
+    let f = args.f64("fraction", 0.25);
+    let data = simulate_dataset(&spec);
+    let dir = tempfile::tempdir().expect("tempdir");
+    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+    println!(
+        "A2 prefetch ablation: {} taxa x {} patterns, f = {f}, {} traversals + smoothing\n",
+        spec.n_taxa,
+        data.comp.n_patterns(),
+        traversals
+    );
+
+    fn build_engine<S: ooc_core::BackingStore>(
+        data: &phylo_ooc::setup::Dataset,
+        manager: VectorManager<S>,
+    ) -> PlfEngine<OocStore<S>> {
+        PlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            OocStore::new(manager),
+        )
+    }
+
+    // Baseline: plain file store.
+    let plain = FileStore::create(dir.path().join("plain.bin"), data.n_items(), data.width())
+        .expect("create store");
+    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), plain);
+    let mut engine = build_engine(&data, manager);
+    let (t_plain, lnl_plain) = run_workload(&mut engine, traversals);
+    let io_plain = engine.store().manager().stats().io_ops();
+    drop(engine);
+
+    // Prefetching wrapper over the same file layout.
+    let path = dir.path().join("prefetch.bin");
+    let main_store =
+        FileStore::create(&path, data.n_items(), data.width()).expect("create store");
+    let worker = FileStore::open(&path, data.width()).expect("open worker handle");
+    let prefetching = PrefetchingStore::new(main_store, worker, data.n_items(), data.width());
+    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), prefetching);
+    let mut engine = build_engine(&data, manager);
+    let (t_pre, lnl_pre) = run_workload(&mut engine, traversals);
+    assert_eq!(lnl_plain.to_bits(), lnl_pre.to_bits(), "results must agree");
+    let stats = engine.store().manager().store().stats();
+    let staged_hits = stats.staged_hits.load(Ordering::Relaxed);
+    let staged_misses = stats.staged_misses.load(Ordering::Relaxed);
+    let prefetched = stats.prefetched.load(Ordering::Relaxed);
+
+    print_table(
+        &["configuration", "wall time", "io ops", "staged hits", "staged misses"],
+        &[
+            vec![
+                "FileStore".into(),
+                secs(t_plain),
+                io_plain.to_string(),
+                "-".into(),
+                "-".into(),
+            ],
+            vec![
+                "Prefetching".into(),
+                secs(t_pre),
+                prefetched.to_string(),
+                staged_hits.to_string(),
+                staged_misses.to_string(),
+            ],
+        ],
+    );
+    let hit_frac = staged_hits as f64 / (staged_hits + staged_misses).max(1) as f64;
+    println!(
+        "\nprefetch staging served {:.1}% of demand reads; speedup {:.2}x\n\
+         (gains grow with slower devices — on fast local disks the demand\n\
+         read latency the thread hides is small, which is why the paper left\n\
+         prefetching as future work).",
+        hit_frac * 100.0,
+        t_plain / t_pre
+    );
+}

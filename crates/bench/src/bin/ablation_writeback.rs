@@ -1,0 +1,74 @@
+//! **A5 — write-back policy ablation (design choice in §3.2/3.3)**: the
+//! paper swaps unconditionally (every eviction writes the victim to the
+//! file). This implementation adds dirty tracking as an option; the
+//! ablation quantifies the write traffic the paper's policy costs on a
+//! realistic search workload, where many evicted vectors were only read.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin ablation_writeback -- [--quick]
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::report::{pct, print_table};
+use ooc_bench::workload::{run_search_workload, WorkloadSpec};
+use ooc_core::{OocConfig, StrategyKind};
+use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let spec = DatasetSpec {
+        n_taxa: args.usize("taxa", if quick { 160 } else { 640 }),
+        n_sites: args.usize("sites", if quick { 300 } else { 1000 }),
+        seed: args.u64("seed", 77),
+        ..Default::default()
+    };
+    let workload = WorkloadSpec {
+        spr_rounds: 1,
+        radius: args.usize("radius", 5) as u32,
+        ..Default::default()
+    };
+    let data = simulate_dataset(&spec);
+    println!(
+        "A5 write-back ablation: search workload on {} taxa, f = 0.25\n",
+        spec.n_taxa
+    );
+
+    let mut rows = Vec::new();
+    for (label, always) in [("unconditional swap (paper)", true), ("dirty tracking", false)] {
+        let mut cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+        cfg.always_write_back = always;
+        let r = run_search_workload(&data, cfg, StrategyKind::Lru, &workload);
+        rows.push((label, r));
+    }
+    assert_eq!(
+        rows[0].1.lnl.to_bits(),
+        rows[1].1.lnl.to_bits(),
+        "policies must not change results"
+    );
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, r)| {
+            vec![
+                (*label).to_owned(),
+                r.misses.to_string(),
+                pct(r.miss_rate),
+                r.disk_reads.to_string(),
+                r.disk_writes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["policy", "misses", "miss rate", "reads", "writes"],
+        &table,
+    );
+
+    let saved = 1.0 - rows[1].1.disk_writes as f64 / rows[0].1.disk_writes.max(1) as f64;
+    println!(
+        "\ndirty tracking eliminates {:.1}% of eviction writes at identical\n\
+         results and identical miss rate — a cheap improvement over the\n\
+         paper's unconditional swap, complementary to read skipping.",
+        saved * 100.0
+    );
+}

@@ -1,0 +1,121 @@
+//! **Figure 3** — effect of read skipping: the fraction of vector accesses
+//! that actually read from the backing store, per strategy and f, plus the
+//! §3.4 claim (E7): "we can omit more than 50% of all vector read
+//! operations and hence more than 25% of all I/O operations". Without read
+//! skipping the read rate equals the miss rate of Figure 2.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin fig3_read_skipping -- [--quick]
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::report::{pct, print_table, write_json};
+use ooc_bench::workload::{all_strategies, run_search_workload, CellResult, WorkloadSpec};
+use ooc_core::OocConfig;
+use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
+use rayon::prelude::*;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig3Cell {
+    with_skipping: CellResult,
+    without_skipping: CellResult,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let spec = DatasetSpec {
+        n_taxa: args.usize("taxa", if quick { 160 } else { 1288 }),
+        n_sites: args.usize("sites", if quick { 300 } else { 1200 }),
+        seed: args.u64("seed", 1288),
+        ..Default::default()
+    };
+    let workload = WorkloadSpec {
+        spr_rounds: args.usize("rounds", 1),
+        radius: args.usize("radius", 5) as u32,
+        ..Default::default()
+    };
+    let fractions = [0.25, 0.5, 0.75];
+
+    eprintln!("fig3: simulating dataset ({} taxa x {} sites)...", spec.n_taxa, spec.n_sites);
+    let data = simulate_dataset(&spec);
+
+    let cells: Vec<(f64, ooc_core::StrategyKind)> = fractions
+        .iter()
+        .flat_map(|&f| all_strategies().into_iter().map(move |s| (f, s)))
+        .collect();
+    let results: Vec<Fig3Cell> = cells
+        .par_iter()
+        .map(|&(f, kind)| {
+            let mut on = OocConfig::with_fraction(data.n_items(), data.width(), f);
+            on.read_skipping = true;
+            let mut off = on;
+            off.read_skipping = false;
+            Fig3Cell {
+                with_skipping: run_search_workload(&data, on, kind, &workload),
+                without_skipping: run_search_workload(&data, off, kind, &workload),
+            }
+        })
+        .collect();
+
+    println!(
+        "\nFigure 3 — read rate (% of total vector requests) WITH read skipping, n = {}\n",
+        spec.n_taxa
+    );
+    let mut rows = Vec::new();
+    for kind in all_strategies() {
+        let mut row = vec![kind.label().to_owned()];
+        for &f in &fractions {
+            let c = results
+                .iter()
+                .find(|r| {
+                    r.with_skipping.strategy == kind.label()
+                        && (r.with_skipping.fraction - f).abs() < 0.05
+                })
+                .unwrap();
+            row.push(pct(c.with_skipping.read_rate));
+        }
+        rows.push(row);
+    }
+    print_table(&["strategy", "f=0.25", "f=0.50", "f=0.75"], &rows);
+
+    // E7: aggregate claim over all cells.
+    println!("\n§3.4 claims (E7), per cell:");
+    let mut rr_mr_ok = true;
+    let (mut reads_on, mut reads_off, mut io_on_sum, mut io_off_sum) = (0u64, 0u64, 0u64, 0u64);
+    for c in &results {
+        let on = &c.with_skipping;
+        let off = &c.without_skipping;
+        // Without skipping, read rate == miss rate (paper's observation).
+        let rr_equals_mr = (off.read_rate - off.miss_rate).abs() < 1e-12;
+        rr_mr_ok &= rr_equals_mr;
+        let io_on = on.disk_reads + on.disk_writes;
+        let io_off = off.disk_reads + off.disk_writes;
+        reads_on += on.disk_reads;
+        reads_off += off.disk_reads;
+        io_on_sum += io_on;
+        io_off_sum += io_off;
+        println!(
+            "  {:<12} f={:.2}: reads {} -> {} ({:.1}% saved), io ops {} -> {} ({:.1}% saved), rr==mr without skipping: {}",
+            on.strategy,
+            on.fraction,
+            off.disk_reads,
+            on.disk_reads,
+            (1.0 - on.disk_reads as f64 / off.disk_reads.max(1) as f64) * 100.0,
+            io_off,
+            io_on,
+            (1.0 - io_on as f64 / io_off.max(1) as f64) * 100.0,
+            rr_equals_mr
+        );
+    }
+    println!(
+        "\n  aggregate: read skipping avoided {:.1}% of reads and {:.1}% of all I/O ops\n\
+         (paper: >50% of reads, >25% of I/O); 'read rate == miss rate without\n\
+         skipping' held in every cell: {rr_mr_ok}",
+        (1.0 - reads_on as f64 / reads_off.max(1) as f64) * 100.0,
+        (1.0 - io_on_sum as f64 / io_off_sum.max(1) as f64) * 100.0,
+    );
+
+    write_json(args.string("out", "fig3_results.json"), &results);
+}

@@ -1,0 +1,91 @@
+//! **Figure 4** — miss rate as a function of f, Random strategy, dataset
+//! with 1288 species; f is repeatedly divided by two until only five
+//! ancestral-vector slots remain in RAM.
+//!
+//! Paper result: miss rates grow as f shrinks, but even "the most extreme
+//! case with only five RAM slots still exhibits a comparatively low miss
+//! rate of 20%", thanks to branch-length-optimisation and lazy-SPR access
+//! locality.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin fig4_fraction_sweep -- [--quick]
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::report::{pct, print_table, write_json};
+use ooc_bench::workload::{run_search_workload, CellResult, WorkloadSpec};
+use ooc_core::{OocConfig, StrategyKind};
+use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
+use rayon::prelude::*;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let spec = DatasetSpec {
+        n_taxa: args.usize("taxa", if quick { 160 } else { 1288 }),
+        n_sites: args.usize("sites", if quick { 300 } else { 1200 }),
+        seed: args.u64("seed", 1288),
+        ..Default::default()
+    };
+    let workload = WorkloadSpec {
+        spr_rounds: args.usize("rounds", 1),
+        radius: args.usize("radius", 5) as u32,
+        ..Default::default()
+    };
+
+    eprintln!("fig4: simulating dataset ({} taxa x {} sites)...", spec.n_taxa, spec.n_sites);
+    let data = simulate_dataset(&spec);
+    let n = data.n_items();
+
+    // Slot counts: f = 0.8 halved until five slots remain (paper protocol).
+    let mut slot_counts: Vec<usize> = Vec::new();
+    let mut m = (0.8 * n as f64).round() as usize;
+    while m > 5 {
+        slot_counts.push(m);
+        m /= 2;
+    }
+    slot_counts.push(5);
+
+    let results: Vec<CellResult> = slot_counts
+        .par_iter()
+        .map(|&m| {
+            let cfg = OocConfig::new(n, data.width(), m);
+            run_search_workload(&data, cfg, StrategyKind::Random { seed: 1 }, &workload)
+        })
+        .collect();
+
+    println!(
+        "\nFigure 4 — miss rate vs fraction f (RAND strategy), n = {} species ({} vectors)\n",
+        spec.n_taxa, n
+    );
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.4}", r.n_slots as f64 / n as f64),
+                r.n_slots.to_string(),
+                pct(r.miss_rate),
+                r.requests.to_string(),
+                r.misses.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["f", "slots (m)", "miss rate", "requests", "misses"], &rows);
+
+    let last = results.last().unwrap();
+    println!(
+        "\npaper comparison: with only five slots the paper measured ~20% misses;\n\
+         here: {:.2}% — locality comes from Newton–Raphson branch iterations\n\
+         (same two vectors) and lazy SPR (local re-traversals).",
+        last.miss_rate * 100.0
+    );
+    // Monotonicity check (allowing small noise between adjacent cells).
+    for w in results.windows(2) {
+        assert!(
+            w[1].miss_rate >= w[0].miss_rate - 0.02,
+            "miss rate should not improve as memory shrinks"
+        );
+    }
+
+    write_json(args.string("out", "fig4_results.json"), &results);
+}

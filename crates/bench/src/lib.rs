@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! One binary per experiment (see `src/bin/`), plus Criterion microbenches
+//! (`benches/`). Shared machinery lives here:
+//!
+//! * [`args`] — a minimal `--key value` / `--flag` command-line parser so
+//!   every figure binary supports `--quick` and scale overrides,
+//! * [`workload`] — the canonical search workload whose vector accesses
+//!   drive the miss-rate experiments (Figures 2–4, supplement),
+//! * [`replay`] — access-pattern replay with modelled disk costs, used to
+//!   run Figure 5 at the paper's 1–32 GB geometry without physical I/O,
+//! * [`report`] — aligned tables on stdout and JSON series on disk.
+
+pub mod args;
+pub mod replay;
+pub mod report;
+pub mod workload;

@@ -1,0 +1,260 @@
+//! Access-pattern replay with modelled disk costs.
+//!
+//! The paper's Figure 5 runs five full tree traversals on datasets of
+//! 1–32 GB against 1–2 GB of RAM. Re-running that verbatim needs tens of
+//! gigabytes of physical I/O; instead we *replay* the exact vector access
+//! sequence of the traversals — through the real out-of-core manager and
+//! the real page-reclaim machinery — while charging each store operation
+//! to a virtual disk clock and adding a calibrated per-vector compute
+//! cost. The scaled-down real-I/O runs (same binary, `--real`) validate
+//! that the model reproduces the measured shape.
+
+use ooc_core::{DiskModel, ItemId, ModeledStore, NullStore, OocConfig, StrategyKind, VectorManager};
+use pager_sim::{PagedArena, PageStats, PAGE_SIZE};
+use phylo_plf::kernels::newview::newview_inner_inner;
+use phylo_plf::kernels::Dims;
+use phylo_tree::traverse::{plan_traversal, Orientation};
+use phylo_tree::{ChildRef, Tree};
+use serde::Serialize;
+use std::time::Instant;
+
+/// A full-traversal combine sequence: `(parent, left, right)` inner ids,
+/// `None` for tip children.
+#[derive(Debug, Clone)]
+pub struct TraversalPattern {
+    /// Combines in dependency order.
+    pub steps: Vec<(u32, Option<u32>, Option<u32>)>,
+    /// Number of inner nodes.
+    pub n_items: usize,
+}
+
+/// Extract the full-traversal access pattern of a tree (the paper's
+/// `-f z` mode recomputes every vector per traversal).
+pub fn full_traversal_pattern(tree: &Tree) -> TraversalPattern {
+    let mut orient = Orientation::new(tree.n_inner());
+    let plan = plan_traversal(tree, tree.default_root_edge(), &mut orient, true);
+    let as_inner = |c: ChildRef| match c {
+        ChildRef::Inner(i) => Some(i),
+        ChildRef::Tip(_) => None,
+    };
+    TraversalPattern {
+        steps: plan
+            .steps
+            .iter()
+            .map(|s| (s.parent, as_inner(s.left), as_inner(s.right)))
+            .collect(),
+        n_items: tree.n_inner(),
+    }
+}
+
+/// Outcome of a replay.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ReplayResult {
+    /// Modelled I/O time in seconds.
+    pub io_secs: f64,
+    /// Store/swap operations charged.
+    pub io_ops: u64,
+    /// Modelled compute time in seconds.
+    pub compute_secs: f64,
+    /// Total modelled wall time.
+    pub total_secs: f64,
+}
+
+/// Calibrate the cost of one `newview` per `f64` of vector width by timing
+/// the real inner/inner kernel. Returns seconds per f64.
+pub fn calibrate_newview_secs_per_f64() -> f64 {
+    use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
+    let dims = Dims {
+        n_patterns: 2000,
+        n_states: 4,
+        n_cats: 4,
+    };
+    let model = ReversibleModel::jc69();
+    let eigen = model.eigen();
+    let gamma = DiscreteGamma::new(1.0, 4);
+    let mut pm = PMatrices::new(4, 4);
+    pm.update(&eigen, &gamma, 0.1);
+    let left = vec![0.5f64; dims.width()];
+    let right = vec![0.25f64; dims.width()];
+    let scale = vec![0u32; dims.n_patterns];
+    let mut parent = vec![0.0f64; dims.width()];
+    let mut scale_p = vec![0u32; dims.n_patterns];
+    // Warm-up + timed reps.
+    let reps = 12;
+    newview_inner_inner(
+        &dims, &mut parent, &mut scale_p, &left, &scale, &pm, &right, &scale, &pm,
+    );
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        newview_inner_inner(
+            &dims, &mut parent, &mut scale_p, &left, &scale, &pm, &right, &scale, &pm,
+        );
+        std::hint::black_box(&parent);
+    }
+    let dt = t0.elapsed().as_secs_f64() / reps as f64;
+    dt / dims.width() as f64
+}
+
+/// Replay `k` full traversals through the out-of-core manager with a
+/// modelled disk, returning the modelled times and the manager statistics.
+pub fn replay_ooc(
+    pattern: &TraversalPattern,
+    width: usize,
+    ram_limit_bytes: u64,
+    kind: StrategyKind,
+    disk: DiskModel,
+    k: usize,
+    compute_secs_per_f64: f64,
+) -> (ReplayResult, ooc_core::OocStats) {
+    let cfg = OocConfig::with_byte_limit(pattern.n_items, width, ram_limit_bytes);
+    let store = ModeledStore::new(NullStore, disk);
+    let mut manager = VectorManager::new(cfg, kind.build(None), store);
+
+    let writes: Vec<ItemId> = pattern.steps.iter().map(|s| s.0).collect();
+    for _ in 0..k {
+        manager.begin_traversal(&writes, &[]);
+        for &(parent, left, right) in &pattern.steps {
+            manager.with_triple(parent, left, right, |_p, _l, _r| {});
+        }
+    }
+    let stats = *manager.stats();
+    let io_secs = manager.store().clock_secs();
+    let io_ops = manager.store().ops();
+    let compute_secs =
+        compute_secs_per_f64 * width as f64 * (pattern.steps.len() * k) as f64;
+    (
+        ReplayResult {
+            io_secs,
+            io_ops,
+            compute_secs,
+            total_secs: io_secs + compute_secs,
+        },
+        stats,
+    )
+}
+
+/// Replay `k` full traversals through the virtual paging arena (standard
+/// implementation: children read, parent written, all at page granularity
+/// with CLOCK reclaim and no application knowledge).
+pub fn replay_paged(
+    pattern: &TraversalPattern,
+    width: usize,
+    phys_bytes: usize,
+    disk: DiskModel,
+    k: usize,
+    compute_secs_per_f64: f64,
+) -> (ReplayResult, PageStats) {
+    let bytes = width * 8;
+    let mut arena = PagedArena::new_virtual(pattern.n_items * bytes, phys_bytes);
+    for _ in 0..k {
+        for &(parent, left, right) in &pattern.steps {
+            if let Some(l) = left {
+                arena.touch_range(l as usize * bytes, bytes, false).unwrap();
+            }
+            if let Some(r) = right {
+                arena.touch_range(r as usize * bytes, bytes, false).unwrap();
+            }
+            arena
+                .touch_range(parent as usize * bytes, bytes, true)
+                .unwrap();
+        }
+    }
+    let stats = *arena.stats();
+    let io_ops = stats.major_faults + stats.writebacks;
+    // Cost model of 2010-era swap behaviour: the kernel's swap readahead /
+    // writeback clustering (vm.page-cluster = 3) moves 8-page clusters per
+    // device request, so a sequential same-kind run pays one seek per 8
+    // pages plus streaming transfer; a discontiguous page pays a full seek.
+    const SWAP_CLUSTER: f64 = 8.0;
+    let sequential = stats.sequential_major_faults + stats.sequential_writebacks;
+    let random = io_ops - sequential;
+    let transfer_ns = (PAGE_SIZE as u64 * 1_000_000_000 / disk.bandwidth_bytes_per_sec) as f64;
+    let io_secs = (random as f64 * disk.op_cost_ns(PAGE_SIZE as u64) as f64
+        + sequential as f64 * (transfer_ns + disk.seek_ns as f64 / SWAP_CLUSTER))
+        / 1e9;
+    let compute_secs =
+        compute_secs_per_f64 * width as f64 * (pattern.steps.len() * k) as f64;
+    (
+        ReplayResult {
+            io_secs,
+            io_ops,
+            compute_secs,
+            total_secs: io_secs + compute_secs,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_tree::build::random_topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pattern(n: usize) -> TraversalPattern {
+        let tree = random_topology(n, 0.1, &mut StdRng::seed_from_u64(1));
+        full_traversal_pattern(&tree)
+    }
+
+    #[test]
+    fn pattern_covers_every_inner_node() {
+        let p = pattern(50);
+        assert_eq!(p.steps.len(), 48);
+        let mut seen: Vec<u32> = p.steps.iter().map(|s| s.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 48);
+    }
+
+    #[test]
+    fn ooc_replay_when_fitting_does_no_io_after_warmup() {
+        let p = pattern(20);
+        let width = 1024;
+        let (res, stats) = replay_ooc(
+            &p,
+            width,
+            (p.n_items * width * 8) as u64, // everything fits
+            StrategyKind::Lru,
+            DiskModel::hdd_2010(),
+            3,
+            1e-9,
+        );
+        assert_eq!(stats.disk_reads, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(res.io_ops, 0);
+        assert!(res.compute_secs > 0.0);
+    }
+
+    #[test]
+    fn oversubscribed_replay_paging_costs_dominate() {
+        // 8x oversubscription: the paged replay must charge far more I/O
+        // time than the out-of-core replay at identical geometry, because
+        // read skipping removes all reads in full traversals and vector
+        // transfers amortise seeks.
+        let p = pattern(64);
+        let width = 64 * 1024; // 512 KiB vectors
+        let total = (p.n_items * width * 8) as u64;
+        let budget = total / 8;
+        let disk = DiskModel::hdd_2010();
+        let c = 1e-9;
+        let (ooc, ostats) = replay_ooc(&p, width, budget, StrategyKind::Lru, disk, 5, c);
+        let (paged, pstats) = replay_paged(&p, width, budget as usize, disk, 5, c);
+        assert!(ostats.misses > 0 && pstats.major_faults > 0);
+        assert!(
+            paged.io_secs > ooc.io_secs,
+            "paging {} vs ooc {}",
+            paged.io_secs,
+            ooc.io_secs
+        );
+        // Identical compute charge.
+        assert_eq!(ooc.compute_secs, paged.compute_secs);
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let c = calibrate_newview_secs_per_f64();
+        // Between 10 ps and 2 µs per f64 — wide enough for debug builds.
+        assert!(c > 1e-11 && c < 2e-6, "calibrated {c}");
+    }
+}

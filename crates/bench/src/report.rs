@@ -1,0 +1,80 @@
+//! Table and JSON reporting for the figure binaries.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Print an aligned table: a header row and data rows, columns padded to
+/// the widest cell.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut out = String::new();
+        for (k, cell) in cells.iter().enumerate() {
+            if k > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[k]));
+        }
+        out
+    };
+    println!("{}", line(headers.to_vec()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    for row in rows {
+        println!("{}", line(row.iter().map(|s| s.as_str()).collect()));
+    }
+}
+
+/// Serialise a result series to JSON next to the human-readable table so
+/// EXPERIMENTS.md numbers stay traceable.
+pub fn write_json<T: Serialize, P: AsRef<Path>>(path: P, value: &T) {
+    let json = serde_json::to_string_pretty(value).expect("serialise results");
+    if let Err(e) = std::fs::write(path.as_ref(), json) {
+        eprintln!("warning: could not write {:?}: {e}", path.as_ref());
+    } else {
+        println!("\n[series written to {}]", path.as_ref().display());
+    }
+}
+
+/// Format a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Format seconds adaptively.
+pub fn secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_and_secs_formatting() {
+        assert_eq!(pct(0.0934), "9.34%");
+        assert_eq!(secs(0.0123), "12.3 ms");
+        assert_eq!(secs(3.456), "3.46 s");
+        assert_eq!(secs(250.0), "250 s");
+    }
+
+    #[test]
+    fn table_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

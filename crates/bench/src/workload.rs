@@ -1,0 +1,192 @@
+//! The canonical search workload driving the miss-rate experiments.
+//!
+//! Figures 2–4 of the paper instrument RAxML tree searches on the 1288-
+//! and 1908-taxon datasets. Our equivalent: a fixed, seeded hill-climbing
+//! workload (lazy SPR rounds + branch smoothing) over a simulated dataset
+//! of the same geometry, executed out-of-core with the strategy and memory
+//! fraction under test. The workload is deterministic, so every (strategy,
+//! f) cell sees the *identical* access request stream — exactly the
+//! property that makes the paper's miss-rate comparison meaningful.
+
+use ooc_core::{MemStore, OocConfig, OocStats, StrategyKind, VectorManager};
+use phylo_ooc::setup::{build_strategy, Dataset};
+use phylo_plf::{OocStore, PlfEngine};
+use phylo_search::lazy_spr_round;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+/// Knobs of the miss-rate workload.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WorkloadSpec {
+    /// Lazy SPR rounds.
+    pub spr_rounds: usize,
+    /// Rearrangement radius.
+    pub radius: u32,
+    /// Branch-smoothing passes per round.
+    pub smooth_passes: usize,
+    /// Newton iterations per branch.
+    pub nr_iter: u32,
+    /// Seed for the subtree visiting order.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            spr_rounds: 1,
+            radius: 5,
+            smooth_passes: 1,
+            nr_iter: 8,
+            seed: 11,
+        }
+    }
+}
+
+/// Result of one workload cell.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CellResult {
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Memory fraction `f`.
+    pub fraction: f64,
+    /// Slots actually allocated (`m`).
+    pub n_slots: usize,
+    /// Final log-likelihood (must agree across all cells of a sweep).
+    pub lnl: f64,
+    /// Miss rate over the instrumented phase.
+    pub miss_rate: f64,
+    /// Read rate (misses that performed a store read).
+    pub read_rate: f64,
+    /// Fraction of would-be reads avoided by read skipping.
+    pub skip_fraction: f64,
+    /// Raw request count.
+    pub requests: u64,
+    /// Raw miss count.
+    pub misses: u64,
+    /// Store reads.
+    pub disk_reads: u64,
+    /// Store writes.
+    pub disk_writes: u64,
+}
+
+/// Run the workload out-of-core with an explicit manager configuration
+/// (callers tweak `read_skipping` etc.) and return the statistics of the
+/// steady-state phase (a warm-up full evaluation is excluded, mirroring
+/// the paper's focus on search-time behaviour).
+pub fn run_search_workload(
+    data: &Dataset,
+    mut cfg: OocConfig,
+    kind: StrategyKind,
+    spec: &WorkloadSpec,
+) -> CellResult {
+    cfg.n_items = data.n_items();
+    cfg.width = data.width();
+    let (strategy, handle) = build_strategy(kind, &data.tree);
+    let manager = VectorManager::new(cfg, strategy, MemStore::new(cfg.n_items, cfg.width));
+    let mut engine = PlfEngine::new(
+        data.tree.clone(),
+        &data.comp,
+        data.model.clone(),
+        data.spec.alpha,
+        data.spec.n_cats,
+        OocStore::new(manager),
+    );
+
+    // Warm-up: populate every vector once, then reset counters.
+    let _ = engine.log_likelihood();
+    engine.store_mut().manager_mut().reset_stats();
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut lnl = 0.0;
+    for _ in 0..spec.spr_rounds {
+        let round = lazy_spr_round(&mut engine, spec.radius, spec.nr_iter, 1e-3, &mut rng);
+        lnl = round.lnl;
+        if spec.smooth_passes > 0 {
+            lnl = engine.smooth_branches(spec.smooth_passes, spec.nr_iter);
+        }
+        if let Some(h) = &handle {
+            h.update(engine.tree());
+        }
+    }
+
+    let stats: OocStats = *engine.store().manager().stats();
+    CellResult {
+        strategy: kind.label(),
+        fraction: engine.store().manager().config().n_slots as f64 / data.n_items() as f64,
+        n_slots: engine.store().manager().config().n_slots,
+        lnl,
+        miss_rate: stats.miss_rate(),
+        read_rate: stats.read_rate(),
+        skip_fraction: stats.skip_fraction(),
+        requests: stats.requests,
+        misses: stats.misses,
+        disk_reads: stats.disk_reads,
+        disk_writes: stats.disk_writes,
+    }
+}
+
+/// The four strategies in the paper's legend order.
+pub fn all_strategies() -> [StrategyKind; 4] {
+    [
+        StrategyKind::Topological,
+        StrategyKind::Lfu,
+        StrategyKind::Random { seed: 1 },
+        StrategyKind::Lru,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
+
+    #[test]
+    fn workload_is_deterministic_and_exact() {
+        let data = simulate_dataset(&DatasetSpec {
+            n_taxa: 20,
+            n_sites: 120,
+            seed: 1,
+            ..Default::default()
+        });
+        let spec = WorkloadSpec {
+            spr_rounds: 1,
+            radius: 3,
+            ..Default::default()
+        };
+        let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+        let a = run_search_workload(&data, cfg, StrategyKind::Lru, &spec);
+        let b = run_search_workload(&data, cfg, StrategyKind::Lru, &spec);
+        assert_eq!(a.lnl.to_bits(), b.lnl.to_bits());
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.misses, b.misses);
+
+        // Different strategy, identical likelihood trajectory.
+        let c = run_search_workload(&data, cfg, StrategyKind::Lfu, &spec);
+        assert_eq!(a.lnl.to_bits(), c.lnl.to_bits());
+        assert_eq!(a.requests, c.requests, "request stream must be identical");
+    }
+
+    #[test]
+    fn more_memory_fewer_misses() {
+        let data = simulate_dataset(&DatasetSpec {
+            n_taxa: 24,
+            n_sites: 100,
+            seed: 2,
+            ..Default::default()
+        });
+        let spec = WorkloadSpec {
+            spr_rounds: 1,
+            radius: 3,
+            ..Default::default()
+        };
+        let mut rates = Vec::new();
+        for f in [0.25, 0.5, 0.75, 1.0] {
+            let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+            let r = run_search_workload(&data, cfg, StrategyKind::Lru, &spec);
+            rates.push(r.miss_rate);
+        }
+        assert!(rates[0] >= rates[1] && rates[1] >= rates[2] && rates[2] >= rates[3]);
+        assert_eq!(rates[3], 0.0, "f = 1.0 must not miss after warm-up");
+    }
+}

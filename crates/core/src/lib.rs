@@ -1,0 +1,42 @@
+//! Out-of-core management of ancestral probability vectors — the primary
+//! contribution of *Computing the Phylogenetic Likelihood Function
+//! Out-of-Core* (Izquierdo-Carrasco & Stamatakis, 2011), reimplemented as a
+//! standalone library.
+//!
+//! The PLF's memory footprint is dominated by `n` equally sized ancestral
+//! probability vectors. This crate keeps only `m = f·n` of them in RAM
+//! ("slots") and the rest in a backing store (normally a single binary
+//! file), exchanging whole vectors on demand:
+//!
+//! * [`VectorManager`] — the bookkeeping structure (the paper's `map`):
+//!   per-item location table, slot pool, pinning, swap orchestration. All
+//!   out-of-core complexity is encapsulated behind vector-access calls,
+//!   mirroring the paper's `getxvector()`.
+//! * [`strategy`] — the four replacement strategies evaluated in the paper:
+//!   Random, LRU, LFU and Topological (most-distant-node-in-the-tree).
+//! * [`store`] — backing stores: one binary file with positioned I/O
+//!   ([`store::FileStore`]), several files ([`store::MultiFileStore`],
+//!   §3.2's alternative), in-memory ([`store::MemStore`]) for measuring pure
+//!   miss rates, and a no-op store for access-pattern replay.
+//! * read skipping (§3.4): vectors known a priori to be overwritten on
+//!   first access are swapped in without reading the file.
+//! * [`diskmodel`] — a virtual-clock disk cost model so paper-scale (32 GB)
+//!   geometries can be replayed without 32 GB of physical I/O.
+//! * [`prefetch`], [`tiered`] — the paper's §5 future-work directions:
+//!   a prefetch thread and a three-layer (accelerator/RAM/disk) hierarchy.
+
+pub mod diskmodel;
+pub mod manager;
+pub mod prefetch;
+pub mod stats;
+pub mod store;
+pub mod strategy;
+pub mod tiered;
+
+pub use diskmodel::{DiskModel, ModeledStore};
+pub use manager::{Intent, ItemId, OocConfig, SlotId, VectorManager};
+pub use prefetch::PrefetchingStore;
+pub use stats::OocStats;
+pub use store::{BackingStore, FileStore, MemStore, MultiFileStore, NullStore};
+pub use strategy::{EvictionView, ReplacementStrategy, StrategyKind, TopologyOracle};
+pub use tiered::TieredStore;

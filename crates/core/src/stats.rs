@@ -1,0 +1,168 @@
+//! Access and I/O counters.
+//!
+//! These counters are the raw material for every figure in the paper:
+//! Figures 2 and 4 plot `miss_rate()`, Figure 3 plots `read_rate()` (which
+//! equals the miss rate when read skipping is disabled), and the §3.4 claim
+//! ("more than 50 % of all vector read operations and hence more than 25 %
+//! of all I/O operations" are avoided) falls out of `skipped_reads`.
+
+/// Counters kept by a [`crate::VectorManager`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OocStats {
+    /// Vector accesses through the manager (the paper's "total vector
+    /// requests").
+    pub requests: u64,
+    /// Requests satisfied from RAM.
+    pub hits: u64,
+    /// Requests that needed a slot swap.
+    pub misses: u64,
+    /// Vectors actually read from the backing store.
+    pub disk_reads: u64,
+    /// Vectors written to the backing store (evictions that wrote back).
+    pub disk_writes: u64,
+    /// Reads avoided by read skipping (the vector was materialised in the
+    /// store but known to be write-only on first access).
+    pub skipped_reads: u64,
+    /// First-touch loads of vectors that never existed anywhere yet (no
+    /// read possible, not counted as skipped).
+    pub cold_loads: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// Bytes read from the store.
+    pub bytes_read: u64,
+    /// Bytes written to the store.
+    pub bytes_written: u64,
+}
+
+impl OocStats {
+    /// Fraction of requests that missed, in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of requests that caused an actual store read, in `[0, 1]`.
+    /// Equal to [`OocStats::miss_rate`] minus the effect of read skipping
+    /// and cold loads.
+    pub fn read_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.disk_reads as f64 / self.requests as f64
+        }
+    }
+
+    /// Total store operations (reads + writes).
+    pub fn io_ops(&self) -> u64 {
+        self.disk_reads + self.disk_writes
+    }
+
+    /// Fraction of would-be reads that were skipped.
+    pub fn skip_fraction(&self) -> f64 {
+        let would_be = self.disk_reads + self.skipped_reads;
+        if would_be == 0 {
+            0.0
+        } else {
+            self.skipped_reads as f64 / would_be as f64
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = OocStats::default();
+    }
+
+    /// Difference of counters (`self - earlier`), for per-phase deltas.
+    pub fn since(&self, earlier: &OocStats) -> OocStats {
+        OocStats {
+            requests: self.requests - earlier.requests,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            disk_reads: self.disk_reads - earlier.disk_reads,
+            disk_writes: self.disk_writes - earlier.disk_writes,
+            skipped_reads: self.skipped_reads - earlier.skipped_reads,
+            cold_loads: self.cold_loads - earlier.cold_loads,
+            evictions: self.evictions - earlier.evictions,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+        }
+    }
+}
+
+impl std::fmt::Display for OocStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "requests={} hits={} misses={} ({:.2}%) reads={} ({:.2}%) writes={} skipped={} cold={} evictions={}",
+            self.requests,
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0,
+            self.disk_reads,
+            self.read_rate() * 100.0,
+            self.disk_writes,
+            self.skipped_reads,
+            self.cold_loads,
+            self.evictions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_zero_when_idle() {
+        let s = OocStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.read_rate(), 0.0);
+        assert_eq!(s.skip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rates_computed() {
+        let s = OocStats {
+            requests: 200,
+            hits: 180,
+            misses: 20,
+            disk_reads: 8,
+            skipped_reads: 12,
+            ..Default::default()
+        };
+        assert!((s.miss_rate() - 0.10).abs() < 1e-12);
+        assert!((s.read_rate() - 0.04).abs() < 1e-12);
+        assert!((s.skip_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let a = OocStats {
+            requests: 10,
+            misses: 2,
+            ..Default::default()
+        };
+        let b = OocStats {
+            requests: 25,
+            misses: 5,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.requests, 15);
+        assert_eq!(d.misses, 3);
+    }
+
+    #[test]
+    fn display_contains_percentages() {
+        let s = OocStats {
+            requests: 100,
+            misses: 25,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("25.00%"));
+    }
+}

@@ -1,0 +1,327 @@
+//! Backing stores for evicted vectors.
+//!
+//! The store is addressed in whole vectors ("logical blocks" in the paper's
+//! terms): the logical block size is the vector width, far above the 512 B /
+//! 8 KiB hardware block granularity, so every transfer is one large
+//! contiguous positioned I/O — exactly the amortisation argument of §3.1.
+
+use crate::manager::ItemId;
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::Path;
+
+/// Reinterpret an `f64` slice as native-endian bytes.
+///
+/// Safety: `f64` has no invalid bit patterns and `u8` has alignment 1, so
+/// viewing the same memory as bytes is always valid.
+pub(crate) fn as_bytes(data: &[f64]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(data.as_ptr().cast::<u8>(), data.len() * 8) }
+}
+
+/// Reinterpret a mutable `f64` slice as native-endian bytes.
+///
+/// Safety: as [`as_bytes`]; additionally any byte pattern written is a valid
+/// `f64` (possibly NaN), so no invariant can be broken.
+pub(crate) fn as_bytes_mut(data: &mut [f64]) -> &mut [u8] {
+    unsafe { std::slice::from_raw_parts_mut(data.as_mut_ptr().cast::<u8>(), data.len() * 8) }
+}
+
+/// A vector-granularity backing store.
+///
+/// `item` indices are dense in `0..n_items`; every vector has the same
+/// width, fixed at store construction. Reading an item that was never
+/// written is a logic error the store may detect.
+pub trait BackingStore {
+    /// Read the vector of `item` into `buf`.
+    fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()>;
+
+    /// Write the vector of `item` from `buf`.
+    fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()>;
+
+    /// Advisory: the caller expects to read these items soon.
+    fn hint(&mut self, _upcoming: &[ItemId]) {}
+
+    /// Flush any buffered state to durable storage.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// In-memory store: one optional boxed buffer per item. Used to measure
+/// pure access-pattern statistics (miss rates are I/O-independent) and as
+/// the reference implementation in tests.
+#[derive(Debug)]
+pub struct MemStore {
+    width: usize,
+    items: Vec<Option<Box<[f64]>>>,
+}
+
+impl MemStore {
+    /// Store for `n_items` vectors of `width` doubles.
+    pub fn new(n_items: usize, width: usize) -> Self {
+        MemStore {
+            width,
+            items: (0..n_items).map(|_| None).collect(),
+        }
+    }
+
+    /// Has this item ever been written?
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items[item as usize].is_some()
+    }
+}
+
+impl BackingStore for MemStore {
+    fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), self.width);
+        match &self.items[item as usize] {
+            Some(data) => {
+                buf.copy_from_slice(data);
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("item {item} was never written"),
+            )),
+        }
+    }
+
+    fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), self.width);
+        match &mut self.items[item as usize] {
+            Some(data) => data.copy_from_slice(buf),
+            slot @ None => *slot = Some(buf.to_vec().into_boxed_slice()),
+        }
+        Ok(())
+    }
+}
+
+/// Single-binary-file store with positioned I/O: item `i` lives at byte
+/// offset `i · width · 8`. This is the paper's primary configuration.
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    width: usize,
+}
+
+impl FileStore {
+    /// Create (truncating) a store for `n_items` vectors of `width` doubles
+    /// at `path`, pre-sizing the file.
+    pub fn create<P: AsRef<Path>>(path: P, n_items: usize, width: usize) -> io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.set_len((n_items * width * 8) as u64)?;
+        Ok(FileStore { file, width })
+    }
+
+    /// Open an existing store file (no truncation); used to get a second
+    /// handle onto the same data, e.g. for the prefetch worker thread.
+    pub fn open<P: AsRef<Path>>(path: P, width: usize) -> io::Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(FileStore { file, width })
+    }
+
+    /// Wrap an already-open file handle.
+    pub fn from_file(file: File, width: usize) -> Self {
+        FileStore { file, width }
+    }
+
+    /// Byte offset of an item.
+    fn offset(&self, item: ItemId) -> u64 {
+        item as u64 * self.width as u64 * 8
+    }
+}
+
+impl BackingStore for FileStore {
+    fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), self.width);
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(as_bytes_mut(buf), self.offset(item))
+    }
+
+    fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), self.width);
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(as_bytes(buf), self.offset(item))
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+/// Vectors spread round-robin over several files (§3.2 evaluated this and
+/// found "minimal" differences to the single-file layout; bench `store_io`
+/// reproduces that comparison).
+#[derive(Debug)]
+pub struct MultiFileStore {
+    files: Vec<File>,
+    width: usize,
+}
+
+impl MultiFileStore {
+    /// Create `n_files` files named `<base>.0`, `<base>.1`, ….
+    pub fn create<P: AsRef<Path>>(
+        base: P,
+        n_files: usize,
+        n_items: usize,
+        width: usize,
+    ) -> io::Result<Self> {
+        assert!(n_files >= 1);
+        let per_file = n_items.div_ceil(n_files);
+        let mut files = Vec::with_capacity(n_files);
+        for k in 0..n_files {
+            let path = base.as_ref().with_extension(k.to_string());
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            file.set_len((per_file * width * 8) as u64)?;
+            files.push(file);
+        }
+        Ok(MultiFileStore { files, width })
+    }
+
+    fn locate(&self, item: ItemId) -> (usize, u64) {
+        let k = item as usize % self.files.len();
+        let row = item as usize / self.files.len();
+        (k, (row * self.width * 8) as u64)
+    }
+}
+
+impl BackingStore for MultiFileStore {
+    fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        let (k, off) = self.locate(item);
+        self.files[k].read_exact_at(as_bytes_mut(buf), off)
+    }
+
+    fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        let (k, off) = self.locate(item);
+        self.files[k].write_all_at(as_bytes(buf), off)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        for f in &self.files {
+            f.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+/// A store that discards writes and leaves read buffers untouched. Only for
+/// access-pattern replay, where the vector *contents* are irrelevant and
+/// I/O costs are charged by a [`crate::ModeledStore`] wrapper instead.
+#[derive(Debug, Default)]
+pub struct NullStore;
+
+impl BackingStore for NullStore {
+    fn read(&mut self, _item: ItemId, _buf: &mut [f64]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn write(&mut self, _item: ItemId, _buf: &[f64]) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(item: ItemId, width: usize) -> Vec<f64> {
+        (0..width).map(|i| (item as f64) * 1000.0 + i as f64).collect()
+    }
+
+    fn roundtrip_all<S: BackingStore>(store: &mut S, n: usize, width: usize) {
+        for item in 0..n as u32 {
+            store.write(item, &pattern(item, width)).unwrap();
+        }
+        // Overwrite one item to check in-place updates.
+        let special = vec![std::f64::consts::PI; width];
+        store.write(3, &special).unwrap();
+        let mut buf = vec![0.0; width];
+        for item in 0..n as u32 {
+            store.read(item, &mut buf).unwrap();
+            if item == 3 {
+                assert_eq!(buf, special);
+            } else {
+                assert_eq!(buf, pattern(item, width));
+            }
+        }
+        store.flush().unwrap();
+    }
+
+    #[test]
+    fn mem_store_roundtrip() {
+        let mut s = MemStore::new(10, 37);
+        roundtrip_all(&mut s, 10, 37);
+        assert!(s.contains(0));
+    }
+
+    #[test]
+    fn mem_store_read_unwritten_fails() {
+        let mut s = MemStore::new(4, 8);
+        let mut buf = vec![0.0; 8];
+        assert!(s.read(2, &mut buf).is_err());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut s = FileStore::create(dir.path().join("vectors.bin"), 12, 64).unwrap();
+        roundtrip_all(&mut s, 12, 64);
+    }
+
+    #[test]
+    fn file_store_persists_within_handle() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut s = FileStore::create(dir.path().join("v.bin"), 3, 16).unwrap();
+        let data = pattern(2, 16);
+        s.write(2, &data).unwrap();
+        let mut buf = vec![0.0; 16];
+        s.read(2, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        // Items never written read back as zeros (file was pre-sized).
+        s.read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn multi_file_store_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        for n_files in [1usize, 2, 3, 7] {
+            let mut s =
+                MultiFileStore::create(dir.path().join("multi.bin"), n_files, 20, 32).unwrap();
+            roundtrip_all(&mut s, 20, 32);
+        }
+    }
+
+    #[test]
+    fn null_store_is_inert() {
+        let mut s = NullStore;
+        let mut buf = vec![42.0; 8];
+        s.write(0, &buf).unwrap();
+        buf.fill(7.0);
+        s.read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 7.0), "read must not touch buffer");
+    }
+
+    #[test]
+    fn byte_casts_roundtrip() {
+        let mut data = vec![1.5f64, -2.25, 0.0, f64::MAX];
+        let bytes = as_bytes(&data).to_vec();
+        let mut restored = vec![0.0f64; 4];
+        as_bytes_mut(&mut restored).copy_from_slice(&bytes);
+        assert_eq!(restored, data);
+        as_bytes_mut(&mut data)[0] ^= 0; // no-op write keeps validity
+        assert_eq!(data[0], 1.5);
+    }
+}

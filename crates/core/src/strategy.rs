@@ -1,0 +1,390 @@
+//! Replacement strategies (§3.3 of the paper).
+//!
+//! Whenever a requested vector is on disk, a resident victim must be chosen
+//! for eviction, excluding *pinned* slots (the vectors taking part in the
+//! current likelihood combine). The paper implements and compares four
+//! strategies; all four are reproduced here behind one trait:
+//!
+//! * **Random** — minimal overhead, one RNG call.
+//! * **LRU** — evict the vector accessed furthest in the past.
+//! * **LFU** — evict the vector accessed least often since it was loaded.
+//! * **Topological** — evict the vector whose tree node is most distant
+//!   (in nodes along the unique connecting path) from the requested one,
+//!   the domain-specific heuristic proposed by the paper.
+
+use crate::manager::{ItemId, SlotId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Read-only view of the slot table passed to
+/// [`ReplacementStrategy::choose_victim`].
+pub struct EvictionView<'a> {
+    /// Item occupying each slot, if any.
+    pub slot_item: &'a [Option<ItemId>],
+    /// Pinned flags per slot; pinned slots must not be chosen.
+    pub pinned: &'a [bool],
+}
+
+impl<'a> EvictionView<'a> {
+    /// Occupied, unpinned slots — the legal victims.
+    pub fn candidates(&self) -> impl Iterator<Item = (SlotId, ItemId)> + '_ {
+        self.slot_item
+            .iter()
+            .enumerate()
+            .filter_map(move |(s, item)| match item {
+                Some(i) if !self.pinned[s] => Some((s as SlotId, *i)),
+                _ => None,
+            })
+    }
+}
+
+/// Supplies tree distances to the Topological strategy without coupling
+/// this crate to any particular tree representation.
+pub trait TopologyOracle: Send {
+    /// Hop distances from item `from` to every item (indexed by `ItemId`).
+    /// May cache internally; called once per miss.
+    fn distances_from(&mut self, from: ItemId) -> &[u32];
+}
+
+/// A pluggable victim-selection policy.
+pub trait ReplacementStrategy: Send {
+    /// Human-readable name used in reports ("RAND", "LRU", ...).
+    fn name(&self) -> &'static str;
+
+    /// An access (hit or post-load) to `item` in `slot`.
+    fn on_access(&mut self, item: ItemId, slot: SlotId);
+
+    /// `item` was just loaded into `slot`.
+    fn on_load(&mut self, item: ItemId, slot: SlotId);
+
+    /// `item` was evicted from `slot`.
+    fn on_evict(&mut self, item: ItemId, slot: SlotId);
+
+    /// Choose a victim slot for loading `requested`. There is always at
+    /// least one candidate (the manager guarantees `m ≥ 3` and pins at most
+    /// two slots besides the target).
+    fn choose_victim(&mut self, requested: ItemId, view: &EvictionView<'_>) -> SlotId;
+}
+
+/// Uniform-random victim selection.
+pub struct RandomStrategy {
+    rng: StdRng,
+}
+
+impl RandomStrategy {
+    /// Seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ReplacementStrategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "RAND"
+    }
+    fn on_access(&mut self, _item: ItemId, _slot: SlotId) {}
+    fn on_load(&mut self, _item: ItemId, _slot: SlotId) {}
+    fn on_evict(&mut self, _item: ItemId, _slot: SlotId) {}
+
+    fn choose_victim(&mut self, _requested: ItemId, view: &EvictionView<'_>) -> SlotId {
+        let count = view.candidates().count();
+        assert!(count > 0, "no eviction candidates");
+        let pick = self.rng.gen_range(0..count);
+        view.candidates().nth(pick).unwrap().0
+    }
+}
+
+/// Least-recently-used victim selection (per-slot timestamps).
+#[derive(Default)]
+pub struct LruStrategy {
+    tick: u64,
+    last_access: Vec<u64>,
+}
+
+impl LruStrategy {
+    /// Empty strategy; slot table grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, slot: SlotId) {
+        let s = slot as usize;
+        if self.last_access.len() <= s {
+            self.last_access.resize(s + 1, 0);
+        }
+        self.tick += 1;
+        self.last_access[s] = self.tick;
+    }
+}
+
+impl ReplacementStrategy for LruStrategy {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+    fn on_access(&mut self, _item: ItemId, slot: SlotId) {
+        self.touch(slot);
+    }
+    fn on_load(&mut self, _item: ItemId, slot: SlotId) {
+        self.touch(slot);
+    }
+    fn on_evict(&mut self, _item: ItemId, _slot: SlotId) {}
+
+    fn choose_victim(&mut self, _requested: ItemId, view: &EvictionView<'_>) -> SlotId {
+        view.candidates()
+            .min_by_key(|&(s, _)| self.last_access.get(s as usize).copied().unwrap_or(0))
+            .expect("no eviction candidates")
+            .0
+    }
+}
+
+/// Least-frequently-used victim selection: per-slot access counts, reset
+/// when a new vector is loaded into the slot (the paper's "list of m
+/// entries containing the access frequency").
+#[derive(Default)]
+pub struct LfuStrategy {
+    freq: Vec<u64>,
+}
+
+impl LfuStrategy {
+    /// Empty strategy; slot table grows on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn slot_mut(&mut self, slot: SlotId) -> &mut u64 {
+        let s = slot as usize;
+        if self.freq.len() <= s {
+            self.freq.resize(s + 1, 0);
+        }
+        &mut self.freq[s]
+    }
+}
+
+impl ReplacementStrategy for LfuStrategy {
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+    fn on_access(&mut self, _item: ItemId, slot: SlotId) {
+        *self.slot_mut(slot) += 1;
+    }
+    fn on_load(&mut self, _item: ItemId, slot: SlotId) {
+        *self.slot_mut(slot) = 0;
+    }
+    fn on_evict(&mut self, _item: ItemId, _slot: SlotId) {}
+
+    fn choose_victim(&mut self, _requested: ItemId, view: &EvictionView<'_>) -> SlotId {
+        view.candidates()
+            .min_by_key(|&(s, _)| self.freq.get(s as usize).copied().unwrap_or(0))
+            .expect("no eviction candidates")
+            .0
+    }
+}
+
+/// Evict the most topologically distant resident vector, on the rationale
+/// that tree-search locality makes it the one needed furthest in the future.
+pub struct TopologicalStrategy {
+    oracle: Box<dyn TopologyOracle>,
+}
+
+impl TopologicalStrategy {
+    /// Build around a distance oracle for the current tree.
+    pub fn new(oracle: Box<dyn TopologyOracle>) -> Self {
+        TopologicalStrategy { oracle }
+    }
+}
+
+impl ReplacementStrategy for TopologicalStrategy {
+    fn name(&self) -> &'static str {
+        "Topological"
+    }
+    fn on_access(&mut self, _item: ItemId, _slot: SlotId) {}
+    fn on_load(&mut self, _item: ItemId, _slot: SlotId) {}
+    fn on_evict(&mut self, _item: ItemId, _slot: SlotId) {}
+
+    fn choose_victim(&mut self, requested: ItemId, view: &EvictionView<'_>) -> SlotId {
+        let dist = self.oracle.distances_from(requested);
+        view.candidates()
+            .max_by_key(|&(_, item)| dist.get(item as usize).copied().unwrap_or(0))
+            .expect("no eviction candidates")
+            .0
+    }
+}
+
+/// Strategy selector used by benchmarks and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Seeded random replacement.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Least recently used.
+    Lru,
+    /// Least frequently used.
+    Lfu,
+    /// Most topologically distant (requires an oracle).
+    Topological,
+}
+
+impl StrategyKind {
+    /// Instantiate the strategy. `oracle` is required for
+    /// [`StrategyKind::Topological`] and ignored otherwise.
+    pub fn build(
+        self,
+        oracle: Option<Box<dyn TopologyOracle>>,
+    ) -> Box<dyn ReplacementStrategy> {
+        match self {
+            StrategyKind::Random { seed } => Box::new(RandomStrategy::new(seed)),
+            StrategyKind::Lru => Box::new(LruStrategy::new()),
+            StrategyKind::Lfu => Box::new(LfuStrategy::new()),
+            StrategyKind::Topological => Box::new(TopologicalStrategy::new(
+                oracle.expect("Topological strategy needs a TopologyOracle"),
+            )),
+        }
+    }
+
+    /// Display name matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::Random { .. } => "RAND",
+            StrategyKind::Lru => "LRU",
+            StrategyKind::Lfu => "LFU",
+            StrategyKind::Topological => "Topological",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        slot_item: &'a [Option<ItemId>],
+        pinned: &'a [bool],
+    ) -> EvictionView<'a> {
+        EvictionView { slot_item, pinned }
+    }
+
+    #[test]
+    fn candidates_exclude_pinned_and_empty() {
+        let items = [Some(10), None, Some(12), Some(13)];
+        let pinned = [false, false, true, false];
+        let v = view(&items, &pinned);
+        let c: Vec<_> = v.candidates().collect();
+        assert_eq!(c, vec![(0, 10), (3, 13)]);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut s = LruStrategy::new();
+        s.on_load(10, 0);
+        s.on_load(11, 1);
+        s.on_load(12, 2);
+        s.on_access(10, 0); // slot 1 now oldest
+        let items = [Some(10), Some(11), Some(12)];
+        let pinned = [false; 3];
+        assert_eq!(s.choose_victim(99, &view(&items, &pinned)), 1);
+    }
+
+    #[test]
+    fn lru_respects_pins() {
+        let mut s = LruStrategy::new();
+        s.on_load(10, 0);
+        s.on_load(11, 1);
+        let items = [Some(10), Some(11)];
+        let pinned = [true, false];
+        assert_eq!(s.choose_victim(99, &view(&items, &pinned)), 1);
+    }
+
+    #[test]
+    fn lfu_counts_reset_on_load() {
+        let mut s = LfuStrategy::new();
+        s.on_load(10, 0);
+        for _ in 0..5 {
+            s.on_access(10, 0);
+        }
+        s.on_load(11, 1);
+        s.on_access(11, 1);
+        // Slot 0 accessed 5x, slot 1 once -> evict slot 1.
+        let items = [Some(10), Some(11)];
+        let pinned = [false; 2];
+        assert_eq!(s.choose_victim(99, &view(&items, &pinned)), 1);
+        // New vector into slot 0 resets its count to 0 -> now slot 0 loses.
+        s.on_evict(10, 0);
+        s.on_load(12, 0);
+        assert_eq!(s.choose_victim(99, &view(&[Some(12), Some(11)], &pinned)), 0);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_and_legal() {
+        let items = [Some(1), Some(2), None, Some(4), Some(5)];
+        let pinned = [false, true, false, false, false];
+        let picks_a: Vec<SlotId> = {
+            let mut s = RandomStrategy::new(99);
+            (0..20)
+                .map(|_| s.choose_victim(0, &view(&items, &pinned)))
+                .collect()
+        };
+        let picks_b: Vec<SlotId> = {
+            let mut s = RandomStrategy::new(99);
+            (0..20)
+                .map(|_| s.choose_victim(0, &view(&items, &pinned)))
+                .collect()
+        };
+        assert_eq!(picks_a, picks_b);
+        assert!(picks_a.iter().all(|&s| [0, 3, 4].contains(&s)));
+        // Over 20 draws from 3 slots we expect more than one distinct pick.
+        let mut distinct = picks_a.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 1);
+    }
+
+    struct LineOracle {
+        n: usize,
+        buf: Vec<u32>,
+    }
+
+    impl TopologyOracle for LineOracle {
+        fn distances_from(&mut self, from: ItemId) -> &[u32] {
+            self.buf = (0..self.n as u32)
+                .map(|i| i.abs_diff(from))
+                .collect();
+            &self.buf
+        }
+    }
+
+    #[test]
+    fn topological_evicts_most_distant() {
+        let oracle = LineOracle { n: 100, buf: vec![] };
+        let mut s = TopologicalStrategy::new(Box::new(oracle));
+        let items = [Some(10), Some(50), Some(90)];
+        let pinned = [false; 3];
+        // Requested item 12: item 90 is most distant.
+        assert_eq!(s.choose_victim(12, &view(&items, &pinned)), 2);
+        // Requested item 95: item 10 is most distant.
+        assert_eq!(s.choose_victim(95, &view(&items, &pinned)), 0);
+    }
+
+    #[test]
+    fn kind_builds_all() {
+        assert_eq!(StrategyKind::Random { seed: 1 }.build(None).name(), "RAND");
+        assert_eq!(StrategyKind::Lru.build(None).name(), "LRU");
+        assert_eq!(StrategyKind::Lfu.build(None).name(), "LFU");
+        let oracle = LineOracle { n: 4, buf: vec![] };
+        assert_eq!(
+            StrategyKind::Topological
+                .build(Some(Box::new(oracle)))
+                .name(),
+            "Topological"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "TopologyOracle")]
+    fn topological_without_oracle_panics() {
+        let _ = StrategyKind::Topological.build(None);
+    }
+}

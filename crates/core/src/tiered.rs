@@ -1,0 +1,224 @@
+//! Three-layer storage hierarchy (§5 future work: vectors "partially reside
+//! on disk, in RAM, or the memory of an accelerator card").
+//!
+//! [`TieredStore`] is a RAM tier inserted between the manager's slot pool
+//! and a slower inner store. Used as the backing store of a
+//! [`crate::VectorManager`] whose slots model a small accelerator memory,
+//! it yields exactly the paper's envisioned accelerator / RAM / disk
+//! hierarchy: manager misses hit the RAM tier first and only fall through
+//! to the inner (disk) store when the tier also misses.
+
+use crate::manager::ItemId;
+use crate::store::BackingStore;
+use std::collections::HashMap;
+use std::io;
+
+/// Per-entry state of the middle tier.
+struct Entry {
+    data: Box<[f64]>,
+    dirty: bool,
+    last_access: u64,
+}
+
+/// Counters for the middle tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Reads served from the tier.
+    pub hits: u64,
+    /// Reads that fell through to the inner store.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Dirty entries written to the inner store.
+    pub writebacks: u64,
+}
+
+/// A write-back LRU cache of whole vectors in front of an inner store.
+pub struct TieredStore<S> {
+    inner: S,
+    capacity: usize,
+    entries: HashMap<ItemId, Entry>,
+    tick: u64,
+    stats: TierStats,
+}
+
+impl<S: BackingStore> TieredStore<S> {
+    /// Cache up to `capacity` vectors in RAM in front of `inner`.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        TieredStore {
+            inner,
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            tick: 0,
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Tier statistics.
+    pub fn stats(&self) -> TierStats {
+        self.stats
+    }
+
+    /// Access the inner store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn touch(&mut self, item: ItemId) {
+        self.tick += 1;
+        if let Some(e) = self.entries.get_mut(&item) {
+            e.last_access = self.tick;
+        }
+    }
+
+    /// Evict the least recently used entry (write back if dirty).
+    fn evict_one(&mut self) -> io::Result<()> {
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.last_access)
+            .map(|(&k, _)| k)
+            .expect("evict_one on empty tier");
+        let entry = self.entries.remove(&victim).unwrap();
+        if entry.dirty {
+            self.inner.write(victim, &entry.data)?;
+            self.stats.writebacks += 1;
+        }
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    fn insert(&mut self, item: ItemId, data: Box<[f64]>, dirty: bool) -> io::Result<()> {
+        while self.entries.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        self.tick += 1;
+        self.entries.insert(
+            item,
+            Entry {
+                data,
+                dirty,
+                last_access: self.tick,
+            },
+        );
+        Ok(())
+    }
+}
+
+impl<S: BackingStore> BackingStore for TieredStore<S> {
+    fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        if let Some(e) = self.entries.get(&item) {
+            buf.copy_from_slice(&e.data);
+            self.stats.hits += 1;
+            self.touch(item);
+            return Ok(());
+        }
+        self.stats.misses += 1;
+        self.inner.read(item, buf)?;
+        self.insert(item, buf.to_vec().into_boxed_slice(), false)?;
+        Ok(())
+    }
+
+    fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
+        if let Some(e) = self.entries.get_mut(&item) {
+            e.data.copy_from_slice(buf);
+            e.dirty = true;
+            self.touch(item);
+            return Ok(());
+        }
+        self.insert(item, buf.to_vec().into_boxed_slice(), true)
+    }
+
+    fn hint(&mut self, upcoming: &[ItemId]) {
+        self.inner.hint(upcoming);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        for (&item, entry) in self.entries.iter_mut() {
+            if entry.dirty {
+                self.inner.write(item, &entry.data)?;
+                entry.dirty = false;
+                self.stats.writebacks += 1;
+            }
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn pattern(item: ItemId) -> Vec<f64> {
+        (0..8).map(|i| item as f64 * 10.0 + i as f64).collect()
+    }
+
+    #[test]
+    fn roundtrip_through_tiers() {
+        let mut t = TieredStore::new(MemStore::new(20, 8), 4);
+        for item in 0..20u32 {
+            t.write(item, &pattern(item)).unwrap();
+        }
+        let mut buf = vec![0.0; 8];
+        for item in 0..20u32 {
+            t.read(item, &mut buf).unwrap();
+            assert_eq!(buf, pattern(item), "item {item}");
+        }
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let mut t = TieredStore::new(MemStore::new(10, 8), 3);
+        for item in 0..10u32 {
+            t.write(item, &pattern(item)).unwrap();
+        }
+        assert!(t.entries.len() <= 3);
+        assert!(t.stats().evictions >= 7);
+    }
+
+    #[test]
+    fn rereads_hit_the_tier() {
+        let mut t = TieredStore::new(MemStore::new(10, 8), 4);
+        t.write(0, &pattern(0)).unwrap();
+        let mut buf = vec![0.0; 8];
+        t.read(0, &mut buf).unwrap();
+        t.read(0, &mut buf).unwrap();
+        assert_eq!(t.stats().hits, 2);
+        assert_eq!(t.stats().misses, 0);
+    }
+
+    #[test]
+    fn lru_order_in_tier() {
+        let mut t = TieredStore::new(MemStore::new(10, 8), 2);
+        t.write(0, &pattern(0)).unwrap();
+        t.write(1, &pattern(1)).unwrap();
+        let mut buf = vec![0.0; 8];
+        t.read(0, &mut buf).unwrap(); // 1 is now LRU
+        t.write(2, &pattern(2)).unwrap(); // evicts 1
+        assert!(t.entries.contains_key(&0));
+        assert!(!t.entries.contains_key(&1));
+        // Reading 1 falls through to inner (it was written back).
+        t.read(1, &mut buf).unwrap();
+        assert_eq!(buf, pattern(1));
+    }
+
+    #[test]
+    fn flush_persists_dirty_entries() {
+        let mut t = TieredStore::new(MemStore::new(5, 8), 5);
+        for item in 0..5u32 {
+            t.write(item, &pattern(item)).unwrap();
+        }
+        t.flush().unwrap();
+        assert_eq!(t.stats().writebacks, 5);
+        // Inner store now has everything.
+        for item in 0..5u32 {
+            assert!(t.inner().contains(item));
+        }
+        // Second flush writes nothing.
+        let wb = t.stats().writebacks;
+        t.flush().unwrap();
+        assert_eq!(t.stats().writebacks, wb);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests: the vector manager must behave exactly like a
+//! plain in-RAM array under *any* access sequence, strategy, slot count,
+//! and behaviour-flag combination.
+
+use ooc_core::{MemStore, OocConfig, StrategyKind, VectorManager};
+use proptest::prelude::*;
+
+/// One operation of a generated access sequence.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Overwrite item with a recognisable pattern keyed by (item, tag).
+    Write(u8, u8),
+    /// Read item and check it matches the last written pattern.
+    Read(u8),
+    /// A combine: parent := left + right element-wise.
+    Combine(u8, u8, u8),
+    /// Flush dirty residents.
+    Flush,
+    /// Announce write-only items (read-skip flags).
+    Traverse(Vec<u8>),
+}
+
+fn op_strategy(n_items: u8) -> impl Strategy<Value = Op> {
+    let item = 0..n_items;
+    prop_oneof![
+        (item.clone(), any::<u8>()).prop_map(|(i, t)| Op::Write(i, t)),
+        item.clone().prop_map(Op::Read),
+        (item.clone(), item.clone(), item.clone()).prop_map(|(p, l, r)| Op::Combine(p, l, r)),
+        Just(Op::Flush),
+        proptest::collection::vec(item, 0..4).prop_map(Op::Traverse),
+    ]
+}
+
+fn pattern(item: u8, tag: u8, width: usize) -> Vec<f64> {
+    (0..width)
+        .map(|k| item as f64 * 1e6 + tag as f64 * 1e3 + k as f64)
+        .collect()
+}
+
+fn kind_from(selector: u8) -> StrategyKind {
+    match selector % 3 {
+        0 => StrategyKind::Random { seed: 11 },
+        1 => StrategyKind::Lru,
+        _ => StrategyKind::Lfu,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn manager_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(12), 1..120),
+        n_slots in 3usize..12,
+        selector in any::<u8>(),
+        read_skipping in any::<bool>(),
+        always_write_back in any::<bool>(),
+    ) {
+        let n_items = 12usize;
+        let width = 9usize;
+        let mut cfg = OocConfig::new(n_items, width, n_slots);
+        cfg.read_skipping = read_skipping;
+        cfg.always_write_back = always_write_back;
+        let mut mgr = VectorManager::new(
+            cfg,
+            kind_from(selector).build(None),
+            MemStore::new(n_items, width),
+        );
+        // Oracle: plain vectors. None = never written (manager zero-fills).
+        let mut oracle: Vec<Option<Vec<f64>>> = vec![None; n_items];
+        let mut buf = vec![0.0; width];
+
+        for op in ops {
+            match op {
+                Op::Write(i, tag) => {
+                    let data = pattern(i, tag, width);
+                    mgr.write_vector(i as u32, &data);
+                    oracle[i as usize] = Some(data);
+                }
+                Op::Read(i) => {
+                    mgr.read_into(i as u32, &mut buf);
+                    match &oracle[i as usize] {
+                        Some(expect) => prop_assert_eq!(&buf, expect),
+                        None => prop_assert!(buf.iter().all(|&x| x == 0.0)),
+                    }
+                }
+                Op::Combine(p, l, r) => {
+                    if p == l || p == r || l == r {
+                        continue;
+                    }
+                    mgr.with_triple(p as u32, Some(l as u32), Some(r as u32), |pv, lv, rv| {
+                        let (lv, rv) = (lv.unwrap(), rv.unwrap());
+                        for k in 0..pv.len() {
+                            pv[k] = lv[k] + rv[k];
+                        }
+                    });
+                    let lv = oracle[l as usize].clone().unwrap_or_else(|| vec![0.0; width]);
+                    let rv = oracle[r as usize].clone().unwrap_or_else(|| vec![0.0; width]);
+                    oracle[p as usize] =
+                        Some((0..width).map(|k| lv[k] + rv[k]).collect());
+                }
+                Op::Flush => mgr.flush(),
+                Op::Traverse(items) => {
+                    // Claiming items are write-only is only sound if the
+                    // next access really writes them; emulate that.
+                    let items: Vec<u32> = items.iter().map(|&i| i as u32).collect();
+                    mgr.begin_traversal(&items, &[]);
+                    for &i in &items {
+                        let data = pattern(i as u8, 255, width);
+                        mgr.write_vector(i, &data);
+                        oracle[i as usize] = Some(data);
+                    }
+                }
+            }
+            // Invariants that must hold after every operation.
+            let s = mgr.stats();
+            prop_assert_eq!(s.requests, s.hits + s.misses);
+            prop_assert_eq!(s.misses, s.disk_reads + s.skipped_reads + s.cold_loads);
+            prop_assert!(mgr.resident_items().len() <= n_slots);
+        }
+
+        // Final sweep: every item readable and equal to the oracle.
+        for i in 0..n_items as u32 {
+            mgr.read_into(i, &mut buf);
+            match &oracle[i as usize] {
+                Some(expect) => prop_assert_eq!(&buf, expect),
+                None => prop_assert!(buf.iter().all(|&x| x == 0.0)),
+            }
+        }
+    }
+
+    #[test]
+    fn fraction_config_always_legal(n_items in 3usize..5000, f in 0.001f64..1.0) {
+        let cfg = OocConfig::with_fraction(n_items, 16, f);
+        prop_assert!(cfg.n_slots >= 3);
+        prop_assert!(cfg.n_slots <= n_items.max(3));
+    }
+
+    #[test]
+    fn byte_limit_config_always_legal(
+        n_items in 3usize..5000,
+        width in 1usize..100_000,
+        bytes in 0u64..10_000_000_000,
+    ) {
+        let cfg = OocConfig::with_byte_limit(n_items, width, bytes);
+        prop_assert!(cfg.n_slots >= 3);
+        prop_assert!(cfg.n_slots <= n_items.max(3));
+        prop_assert_eq!(cfg.width, width);
+    }
+}

@@ -1,0 +1,215 @@
+//! Time-reversible substitution models.
+//!
+//! A reversible model is specified by stationary frequencies `π` and
+//! symmetric exchangeabilities `r_ij`; the generator is
+//! `Q_ij = r_ij · π_j` (i ≠ j) with rows summing to zero, normalised so the
+//! expected substitution rate `-Σ_i π_i Q_ii` equals one (branch lengths are
+//! then in expected substitutions per site).
+
+use crate::eigen::EigenDecomp;
+use crate::linalg::Matrix;
+
+/// A general time-reversible `n`-state substitution model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReversibleModel {
+    n_states: usize,
+    /// Stationary frequencies, length `n`, summing to one.
+    freqs: Vec<f64>,
+    /// Upper-triangle exchangeabilities `r_ij` for `i < j`, row by row;
+    /// length `n(n-1)/2`.
+    exch: Vec<f64>,
+}
+
+/// Number of upper-triangle entries for an `n`-state model.
+pub fn n_exchangeabilities(n_states: usize) -> usize {
+    n_states * (n_states - 1) / 2
+}
+
+impl ReversibleModel {
+    /// Build a model from frequencies and upper-triangle exchangeabilities.
+    ///
+    /// Frequencies are renormalised to sum to one; all inputs must be
+    /// strictly positive.
+    pub fn new(freqs: &[f64], exch: &[f64]) -> Self {
+        let n = freqs.len();
+        assert!(n >= 2);
+        assert_eq!(
+            exch.len(),
+            n_exchangeabilities(n),
+            "need n(n-1)/2 exchangeabilities"
+        );
+        assert!(freqs.iter().all(|&f| f > 0.0), "frequencies must be > 0");
+        assert!(exch.iter().all(|&r| r > 0.0), "exchangeabilities must be > 0");
+        let total: f64 = freqs.iter().sum();
+        ReversibleModel {
+            n_states: n,
+            freqs: freqs.iter().map(|f| f / total).collect(),
+            exch: exch.to_vec(),
+        }
+    }
+
+    /// Jukes–Cantor 1969: equal frequencies, equal exchangeabilities.
+    pub fn jc69() -> Self {
+        ReversibleModel::new(&[0.25; 4], &[1.0; 6])
+    }
+
+    /// Kimura 1980 two-parameter model with transition/transversion ratio
+    /// `kappa` (order of pairs: AC, AG, AT, CG, CT, GT; transitions are AG
+    /// and CT).
+    pub fn k80(kappa: f64) -> Self {
+        ReversibleModel::new(&[0.25; 4], &[1.0, kappa, 1.0, 1.0, kappa, 1.0])
+    }
+
+    /// Hasegawa–Kishino–Yano 1985: `kappa` plus empirical frequencies.
+    pub fn hky85(kappa: f64, freqs: &[f64; 4]) -> Self {
+        ReversibleModel::new(freqs, &[1.0, kappa, 1.0, 1.0, kappa, 1.0])
+    }
+
+    /// General time-reversible model: six exchangeabilities
+    /// (AC, AG, AT, CG, CT, GT) and four frequencies.
+    pub fn gtr(rates: &[f64; 6], freqs: &[f64; 4]) -> Self {
+        ReversibleModel::new(freqs, rates)
+    }
+
+    /// Number of states (4 for DNA, 20 for protein).
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Stationary frequencies.
+    #[inline]
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Exchangeability `r_ij` for any `i != j`.
+    pub fn exch(&self, i: usize, j: usize) -> f64 {
+        assert_ne!(i, j);
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row a in the packed upper triangle.
+        let row_start = a * self.n_states - a * (a + 1) / 2;
+        self.exch[row_start + (b - a - 1)]
+    }
+
+    /// The normalised generator matrix `Q` (rows sum to zero, mean rate one).
+    pub fn q_matrix(&self) -> Matrix {
+        let n = self.n_states;
+        let mut q = Matrix::zeros(n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let rate = self.exch(i, j) * self.freqs[j];
+                q[(i, j)] = rate;
+                row_sum += rate;
+            }
+            q[(i, i)] = -row_sum;
+        }
+        // Normalise expected rate to one.
+        let mean_rate: f64 = (0..n).map(|i| -self.freqs[i] * q[(i, i)]).sum();
+        assert!(mean_rate > 0.0);
+        for i in 0..n {
+            for j in 0..n {
+                q[(i, j)] /= mean_rate;
+            }
+        }
+        q
+    }
+
+    /// Eigendecomposition of the generator, ready for `P(t)` evaluation.
+    pub fn eigen(&self) -> EigenDecomp {
+        EigenDecomp::from_reversible(&self.q_matrix(), &self.freqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jc_q_matrix_uniform() {
+        let q = ReversibleModel::jc69().q_matrix();
+        for i in 0..4 {
+            assert!((q[(i, i)] + 1.0).abs() < 1e-12);
+            for j in 0..4 {
+                if i != j {
+                    assert!((q[(i, j)] - 1.0 / 3.0).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_rows_sum_to_zero() {
+        let m = ReversibleModel::gtr(
+            &[1.2, 3.1, 0.8, 0.9, 2.7, 1.0],
+            &[0.3, 0.2, 0.25, 0.25],
+        );
+        let q = m.q_matrix();
+        for i in 0..4 {
+            let s: f64 = (0..4).map(|j| q[(i, j)]).sum();
+            assert!(s.abs() < 1e-12, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn q_mean_rate_is_one() {
+        let m = ReversibleModel::hky85(4.0, &[0.35, 0.15, 0.2, 0.3]);
+        let q = m.q_matrix();
+        let mean: f64 = (0..4).map(|i| -m.freqs()[i] * q[(i, i)]).sum();
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detailed_balance_on_q() {
+        let m = ReversibleModel::gtr(
+            &[0.5, 2.0, 1.3, 0.9, 3.2, 1.0],
+            &[0.1, 0.4, 0.3, 0.2],
+        );
+        let q = m.q_matrix();
+        for i in 0..4 {
+            for j in 0..4 {
+                let lhs = m.freqs()[i] * q[(i, j)];
+                let rhs = m.freqs()[j] * q[(j, i)];
+                assert!((lhs - rhs).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exch_symmetric_access() {
+        let m = ReversibleModel::gtr(
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            &[0.25, 0.25, 0.25, 0.25],
+        );
+        // Packed order: (0,1)=AC, (0,2)=AG, (0,3)=AT, (1,2)=CG, (1,3)=CT, (2,3)=GT
+        assert_eq!(m.exch(0, 1), 1.0);
+        assert_eq!(m.exch(1, 0), 1.0);
+        assert_eq!(m.exch(0, 3), 3.0);
+        assert_eq!(m.exch(2, 1), 4.0);
+        assert_eq!(m.exch(3, 2), 6.0);
+    }
+
+    #[test]
+    fn frequencies_are_renormalised() {
+        let m = ReversibleModel::new(&[2.0, 2.0, 2.0, 2.0], &[1.0; 6]);
+        assert!(m.freqs().iter().all(|&f| (f - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn k80_transitions_faster() {
+        let m = ReversibleModel::k80(5.0);
+        let q = m.q_matrix();
+        // A->G (transition) should be 5x A->C (transversion).
+        assert!((q[(0, 2)] / q[(0, 1)] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exchangeabilities")]
+    fn wrong_exch_count_panics() {
+        let _ = ReversibleModel::new(&[0.25; 4], &[1.0; 5]);
+    }
+}

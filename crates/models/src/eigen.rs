@@ -1,0 +1,256 @@
+//! Eigendecomposition of reversible generators.
+//!
+//! A reversible `Q` with stationary distribution `π` satisfies detailed
+//! balance, so `B = Π^{1/2} Q Π^{-1/2}` (with `Π = diag(π)`) is symmetric.
+//! Diagonalising `B = U Λ Uᵀ` with the Jacobi method yields
+//! `Q = V Λ V⁻¹` where `V = Π^{-1/2} U` and `V⁻¹ = Uᵀ Π^{1/2}` — no general
+//! (unsymmetric) eigensolver is ever needed.
+
+use crate::linalg::{jacobi_eigen, Matrix};
+
+/// Eigendecomposition `Q = V Λ V⁻¹` of a reversible generator.
+#[derive(Debug, Clone)]
+pub struct EigenDecomp {
+    n: usize,
+    /// Eigenvalues of `Q`, ascending; the largest is 0 (stationarity).
+    values: Vec<f64>,
+    /// Row-major right eigenvector matrix `V` (columns are eigenvectors).
+    v: Vec<f64>,
+    /// Row-major inverse `V⁻¹`.
+    v_inv: Vec<f64>,
+}
+
+impl EigenDecomp {
+    /// Decompose a reversible generator with stationary frequencies `freqs`.
+    pub fn from_reversible(q: &Matrix, freqs: &[f64]) -> Self {
+        let n = q.dim();
+        assert_eq!(freqs.len(), n);
+        let sqrt_pi: Vec<f64> = freqs.iter().map(|f| f.sqrt()).collect();
+        let mut b = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                b[(i, j)] = sqrt_pi[i] * q[(i, j)] / sqrt_pi[j];
+            }
+        }
+        // Symmetrise away rounding noise so Jacobi accepts it.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (b[(i, j)] + b[(j, i)]);
+                b[(i, j)] = avg;
+                b[(j, i)] = avg;
+            }
+        }
+        let (values, u) = jacobi_eigen(&b);
+        let mut v = vec![0.0; n * n];
+        let mut v_inv = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                v[i * n + k] = u[(i, k)] / sqrt_pi[i];
+                v_inv[k * n + i] = u[(i, k)] * sqrt_pi[i];
+            }
+        }
+        EigenDecomp {
+            n,
+            values,
+            v,
+            v_inv,
+        }
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Eigenvalues of `Q`, ascending.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row-major right eigenvector matrix `V`.
+    #[inline]
+    pub fn v(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Row-major `V⁻¹`.
+    #[inline]
+    pub fn v_inv(&self) -> &[f64] {
+        &self.v_inv
+    }
+
+    /// Write `P(t·rate) = V e^{Λ t rate} V⁻¹` into `out` (row-major, n×n).
+    /// Small negative rounding leaks are clamped to zero so downstream
+    /// likelihoods never see `P < 0`.
+    pub fn transition_matrix(&self, t: f64, rate: f64, out: &mut [f64]) {
+        self.weighted_matrix(t, rate, 0, out);
+        for p in out.iter_mut() {
+            if *p < 0.0 {
+                *p = 0.0;
+            }
+        }
+    }
+
+    /// Write `V Λ^order e^{Λ t rate} V⁻¹` into `out`: `order = 0` is `P`,
+    /// `order = 1` its first derivative w.r.t. `t·rate`... multiplied by
+    /// `rate^order` to give derivatives w.r.t. `t` directly.
+    pub fn weighted_matrix(&self, t: f64, rate: f64, order: u32, out: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(out.len(), n * n);
+        debug_assert!(t >= 0.0 && rate >= 0.0);
+        let mut exp_lam = [0.0f64; 32];
+        assert!(n <= 32, "state space too large");
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..n {
+            let lam = self.values[k];
+            exp_lam[k] = (lam * t * rate).exp() * lam.powi(order as i32) * rate.powi(order as i32);
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let mut sum = 0.0;
+                for (k, &e) in exp_lam.iter().enumerate().take(n) {
+                    sum += self.v[i * n + k] * e * self.v_inv[k * n + j];
+                }
+                out[i * n + j] = sum;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::dna::ReversibleModel;
+
+    fn gtr_example() -> ReversibleModel {
+        ReversibleModel::gtr(
+            &[1.1, 2.9, 0.6, 1.4, 3.3, 1.0],
+            &[0.32, 0.18, 0.24, 0.26],
+        )
+    }
+
+    #[test]
+    fn largest_eigenvalue_is_zero() {
+        let e = gtr_example().eigen();
+        let max = e.values().last().unwrap();
+        assert!(max.abs() < 1e-10, "largest eigenvalue {max}");
+        assert!(e.values()[..3].iter().all(|&l| l < 0.0));
+    }
+
+    #[test]
+    fn p_zero_is_identity() {
+        let e = gtr_example().eigen();
+        let mut p = vec![0.0; 16];
+        e.transition_matrix(0.0, 1.0, &mut p);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((p[i * 4 + j] - expect).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn p_rows_sum_to_one() {
+        let e = gtr_example().eigen();
+        let mut p = vec![0.0; 16];
+        for t in [0.01, 0.1, 1.0, 10.0] {
+            e.transition_matrix(t, 0.7, &mut p);
+            for i in 0..4 {
+                let s: f64 = p[i * 4..(i + 1) * 4].iter().sum();
+                assert!((s - 1.0).abs() < 1e-9, "row {i} at t={t} sums to {s}");
+                assert!(p[i * 4..(i + 1) * 4].iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov() {
+        let e = gtr_example().eigen();
+        let (mut pa, mut pb, mut pab) = (vec![0.0; 16], vec![0.0; 16], vec![0.0; 16]);
+        e.transition_matrix(0.3, 1.0, &mut pa);
+        e.transition_matrix(0.5, 1.0, &mut pb);
+        e.transition_matrix(0.8, 1.0, &mut pab);
+        for i in 0..4 {
+            for j in 0..4 {
+                let prod: f64 = (0..4).map(|k| pa[i * 4 + k] * pb[k * 4 + j]).sum();
+                assert!((prod - pab[i * 4 + j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn p_converges_to_stationary() {
+        let model = gtr_example();
+        let e = model.eigen();
+        let mut p = vec![0.0; 16];
+        e.transition_matrix(500.0, 1.0, &mut p);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((p[i * 4 + j] - model.freqs()[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn jc_analytic_formula() {
+        // For normalised JC: P_ii(t) = 1/4 + 3/4 e^{-4t/3}.
+        let e = ReversibleModel::jc69().eigen();
+        let mut p = vec![0.0; 16];
+        for t in [0.05, 0.2, 1.0] {
+            e.transition_matrix(t, 1.0, &mut p);
+            let expect_ii = 0.25 + 0.75 * (-4.0 * t / 3.0).exp();
+            let expect_ij = 0.25 - 0.25 * (-4.0 * t / 3.0).exp();
+            for i in 0..4 {
+                assert!((p[i * 4 + i] - expect_ii).abs() < 1e-10);
+                for j in 0..4 {
+                    if i != j {
+                        assert!((p[i * 4 + j] - expect_ij).abs() < 1e-10);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detailed_balance_on_p() {
+        let model = gtr_example();
+        let e = model.eigen();
+        let mut p = vec![0.0; 16];
+        e.transition_matrix(0.4, 1.0, &mut p);
+        for i in 0..4 {
+            for j in 0..4 {
+                let lhs = model.freqs()[i] * p[i * 4 + j];
+                let rhs = model.freqs()[j] * p[j * 4 + i];
+                assert!((lhs - rhs).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let e = gtr_example().eigen();
+        let (mut d1, mut pa, mut pb) = (vec![0.0; 16], vec![0.0; 16], vec![0.0; 16]);
+        let (t, rate, h) = (0.3, 0.8, 1e-6);
+        e.weighted_matrix(t, rate, 1, &mut d1);
+        e.transition_matrix(t + h, rate, &mut pa);
+        e.transition_matrix(t - h, rate, &mut pb);
+        for idx in 0..16 {
+            let fd = (pa[idx] - pb[idx]) / (2.0 * h);
+            assert!((d1[idx] - fd).abs() < 1e-5, "idx {idx}: {} vs {fd}", d1[idx]);
+        }
+    }
+
+    #[test]
+    fn protein_sized_decomposition_works() {
+        let model = crate::protein::synthetic_protein(42);
+        let e = model.eigen();
+        let mut p = vec![0.0; 400];
+        e.transition_matrix(0.2, 1.0, &mut p);
+        for i in 0..20 {
+            let s: f64 = p[i * 20..(i + 1) * 20].iter().sum();
+            assert!((s - 1.0).abs() < 1e-8);
+        }
+    }
+}

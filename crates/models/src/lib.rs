@@ -1,0 +1,31 @@
+//! Substitution-model numerics for likelihood-based phylogenetics.
+//!
+//! Everything the PLF needs to turn a branch length into transition
+//! probabilities, built from scratch:
+//!
+//! * small dense linear algebra and a cyclic Jacobi eigensolver ([`linalg`]),
+//! * time-reversible rate matrices — JC69, K80, HKY85, GTR for DNA and
+//!   generic `n`-state models for proteins ([`dna`], [`protein`]),
+//! * eigendecomposition of reversible generators via π-symmetrisation
+//!   ([`eigen`]),
+//! * Yang's (1994) discrete Γ model of among-site rate heterogeneity,
+//!   including the incomplete-gamma and quantile numerics ([`gamma`]),
+//! * transition-probability matrices `P(t) = V e^{Λ r t} V⁻¹` and their
+//!   branch-length derivatives ([`pmatrix`]),
+//! * 1-D optimisers (Brent, guarded Newton) for model parameters and branch
+//!   lengths ([`optimize`]).
+
+pub mod dna;
+pub mod eigen;
+pub mod gamma;
+pub mod linalg;
+pub mod optimize;
+pub mod pmatrix;
+pub mod protein;
+
+pub use dna::ReversibleModel;
+pub use eigen::EigenDecomp;
+pub use gamma::DiscreteGamma;
+pub use linalg::Matrix;
+pub use optimize::{brent_minimize, newton_raphson};
+pub use pmatrix::PMatrices;

@@ -1,0 +1,286 @@
+//! Small dense matrices and a cyclic Jacobi eigensolver.
+//!
+//! Rate matrices in phylogenetics are tiny (4×4 for DNA, 20×20 for protein),
+//! so a simple row-major `Vec<f64>` representation and an O(n³)-per-sweep
+//! Jacobi method are both adequate and dependency-free.
+
+/// Row-major square matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of dimension `n`.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix of dimension `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major slice.
+    pub fn from_rows(n: usize, rows: &[f64]) -> Self {
+        assert_eq!(rows.len(), n * n);
+        Matrix {
+            n,
+            data: rows.to_vec(),
+        }
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.n, rhs.n);
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        let n = self.n;
+        let mut out = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute difference to another matrix.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Is this matrix symmetric to within `tol`?
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        let n = self.n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `k` of the returned
+/// matrix is the unit eigenvector for `eigenvalues[k]`. Eigenvalues are
+/// sorted ascending. Panics if the matrix is not symmetric.
+pub fn jacobi_eigen(m: &Matrix) -> (Vec<f64>, Matrix) {
+    assert!(
+        m.is_symmetric(1e-9),
+        "jacobi_eigen requires a symmetric matrix"
+    );
+    let n = m.dim();
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+
+    for _sweep in 0..100 {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[(i, j)] * a[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-14 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // tan of the rotation angle, the numerically stable form.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // A <- J^T A J applied to rows/columns p and q.
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigvals: Vec<f64> = (0..n).map(|i| a[(i, i)]).collect();
+    order.sort_by(|&x, &y| eigvals[x].partial_cmp(&eigvals[y]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| eigvals[i]).collect();
+    let mut vectors = Matrix::zeros(n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors[(k, new_col)] = v[(k, old_col)];
+        }
+    }
+    (values, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let a = Matrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(i.mul(&a), a);
+        assert_eq!(a.mul(&i), a);
+    }
+
+    #[test]
+    fn mul_known_product() {
+        let a = Matrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.mul(&b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(3, &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        assert_eq!(a.transposed().transposed(), a);
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let d = Matrix::from_rows(3, &[3., 0., 0., 0., 1., 0., 0., 0., 2.]);
+        let (vals, _) = jacobi_eigen(&d);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 2.0).abs() < 1e-12);
+        assert!((vals[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobi_2x2_known() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = Matrix::from_rows(2, &[2., 1., 1., 2.]);
+        let (vals, vecs) = jacobi_eigen(&m);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+        // Check A v = λ v for each column.
+        for k in 0..2 {
+            for i in 0..2 {
+                let av: f64 = (0..2).map(|j| m[(i, j)] * vecs[(j, k)]).sum();
+                assert!((av - vals[k] * vecs[(i, k)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        // A = V diag(λ) V^T must reproduce the input.
+        let m = Matrix::from_rows(
+            4,
+            &[
+                4.0, 1.0, 0.5, 0.2, //
+                1.0, 3.0, 0.7, 0.1, //
+                0.5, 0.7, 2.0, 0.3, //
+                0.2, 0.1, 0.3, 1.0,
+            ],
+        );
+        let (vals, v) = jacobi_eigen(&m);
+        let mut lam = Matrix::zeros(4);
+        for i in 0..4 {
+            lam[(i, i)] = vals[i];
+        }
+        let recon = v.mul(&lam).mul(&v.transposed());
+        assert!(recon.max_abs_diff(&m) < 1e-10, "diff {}", recon.max_abs_diff(&m));
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let m = Matrix::from_rows(
+            3,
+            &[2.0, -1.0, 0.3, -1.0, 2.0, -0.5, 0.3, -0.5, 1.5],
+        );
+        let (_, v) = jacobi_eigen(&m);
+        let vtv = v.transposed().mul(&v);
+        assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn jacobi_rejects_asymmetric() {
+        let m = Matrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        jacobi_eigen(&m);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-rate-category transition matrices for one branch.
+//!
+//! Under the discrete Γ model every branch needs one `P(t·r_c)` per category
+//! `c`. [`PMatrices`] owns the flat buffer (`n_cats × n_states × n_states`,
+//! row-major per category) and refreshes it in place, so the hot path of the
+//! PLF performs no allocation.
+
+use crate::eigen::EigenDecomp;
+use crate::gamma::DiscreteGamma;
+
+/// Transition matrices for one branch across all rate categories.
+#[derive(Debug, Clone)]
+pub struct PMatrices {
+    n_states: usize,
+    n_cats: usize,
+    data: Vec<f64>,
+}
+
+impl PMatrices {
+    /// Allocate for `n_states` and `n_cats` (all entries zero until
+    /// [`PMatrices::update`] is called).
+    pub fn new(n_states: usize, n_cats: usize) -> Self {
+        PMatrices {
+            n_states,
+            n_cats,
+            data: vec![0.0; n_states * n_states * n_cats],
+        }
+    }
+
+    /// Recompute all category matrices for branch length `t`.
+    pub fn update(&mut self, eigen: &EigenDecomp, gamma: &DiscreteGamma, t: f64) {
+        assert_eq!(eigen.n_states(), self.n_states);
+        assert_eq!(gamma.n_cats(), self.n_cats);
+        let nn = self.n_states * self.n_states;
+        for (c, &rate) in gamma.rates().iter().enumerate() {
+            eigen.transition_matrix(t, rate, &mut self.data[c * nn..(c + 1) * nn]);
+        }
+    }
+
+    /// Row-major matrix for category `c`.
+    #[inline]
+    pub fn cat(&self, c: usize) -> &[f64] {
+        let nn = self.n_states * self.n_states;
+        &self.data[c * nn..(c + 1) * nn]
+    }
+
+    /// `P[c](from, to)`.
+    #[inline]
+    pub fn get(&self, c: usize, from: usize, to: usize) -> f64 {
+        self.cat(c)[from * self.n_states + to]
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of rate categories.
+    #[inline]
+    pub fn n_cats(&self) -> usize {
+        self.n_cats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::ReversibleModel;
+
+    #[test]
+    fn categories_scale_with_rate() {
+        let model = ReversibleModel::jc69();
+        let eigen = model.eigen();
+        let gamma = DiscreteGamma::new(0.5, 4);
+        let mut pm = PMatrices::new(4, 4);
+        pm.update(&eigen, &gamma, 0.1);
+        // Faster categories drift further from identity.
+        let drift = |c: usize| -> f64 {
+            (0..4).map(|i| 1.0 - pm.get(c, i, i)).sum::<f64>()
+        };
+        for c in 1..4 {
+            assert!(drift(c) > drift(c - 1));
+        }
+    }
+
+    #[test]
+    fn category_matrix_matches_direct_eval() {
+        let model = ReversibleModel::hky85(2.5, &[0.3, 0.2, 0.2, 0.3]);
+        let eigen = model.eigen();
+        let gamma = DiscreteGamma::new(1.0, 4);
+        let mut pm = PMatrices::new(4, 4);
+        pm.update(&eigen, &gamma, 0.25);
+        let mut direct = vec![0.0; 16];
+        for (c, &r) in gamma.rates().iter().enumerate() {
+            eigen.transition_matrix(0.25, r, &mut direct);
+            for (a, b) in pm.cat(c).iter().zip(direct.iter()) {
+                assert!((a - b).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn update_is_idempotent() {
+        let model = ReversibleModel::jc69();
+        let eigen = model.eigen();
+        let gamma = DiscreteGamma::new(1.0, 2);
+        let mut pm = PMatrices::new(4, 2);
+        pm.update(&eigen, &gamma, 0.5);
+        let snapshot = pm.clone();
+        pm.update(&eigen, &gamma, 0.9);
+        pm.update(&eigen, &gamma, 0.5);
+        for c in 0..2 {
+            for idx in 0..16 {
+                assert!((pm.cat(c)[idx] - snapshot.cat(c)[idx]).abs() < 1e-15);
+            }
+        }
+    }
+}

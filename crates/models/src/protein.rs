@@ -1,0 +1,109 @@
+//! 20-state protein models.
+//!
+//! The paper's evaluation uses DNA data; protein models appear only in the
+//! memory-requirement analysis (20 states × 4 Γ rates = 80 doubles per site).
+//! We therefore ship the exact Poisson model, a loader for user-supplied
+//! empirical matrices in PAML order, and a deterministic synthetic
+//! heterogeneous model for tests and benchmarks. We deliberately do not
+//! bundle re-typed WAG/LG constant tables.
+
+use crate::dna::{n_exchangeabilities, ReversibleModel};
+
+/// Number of amino-acid states.
+pub const N_AA: usize = 20;
+
+/// The Poisson (equal-rates, equal-frequencies) protein model.
+pub fn poisson() -> ReversibleModel {
+    ReversibleModel::new(&[1.0 / N_AA as f64; N_AA], &vec![1.0; n_exchangeabilities(N_AA)])
+}
+
+/// Build a protein model from PAML-style inputs: 190 lower-triangle
+/// exchangeabilities (rows 2..20, `r(i,j)` for `j < i`) followed by 20
+/// frequencies — the layout of `.dat` files shipped with PAML/RAxML.
+pub fn from_paml_order(lower_triangle: &[f64], freqs: &[f64]) -> ReversibleModel {
+    assert_eq!(lower_triangle.len(), n_exchangeabilities(N_AA));
+    assert_eq!(freqs.len(), N_AA);
+    // Repack lower-triangle-by-rows into upper-triangle-by-rows.
+    let mut upper = vec![0.0; n_exchangeabilities(N_AA)];
+    let mut idx = 0;
+    for i in 1..N_AA {
+        for j in 0..i {
+            // Entry (j, i) of the upper triangle.
+            let row_start = j * N_AA - j * (j + 1) / 2;
+            upper[row_start + (i - j - 1)] = lower_triangle[idx];
+            idx += 1;
+        }
+    }
+    ReversibleModel::new(freqs, &upper)
+}
+
+/// A deterministic pseudo-random heterogeneous 20-state model, for tests
+/// and protein-sized benchmarks. Uses a splitmix64 stream so no RNG crate
+/// is needed and results never change across versions.
+pub fn synthetic_protein(seed: u64) -> ReversibleModel {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // Map to (0.05, 1.05] so rates stay well away from zero.
+        0.05 + (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let exch: Vec<f64> = (0..n_exchangeabilities(N_AA)).map(|_| next() * 3.0).collect();
+    let freqs: Vec<f64> = (0..N_AA).map(|_| next()).collect();
+    ReversibleModel::new(&freqs, &exch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_q_is_uniform() {
+        let q = poisson().q_matrix();
+        let off = q[(0, 1)];
+        for i in 0..N_AA {
+            for j in 0..N_AA {
+                if i != j {
+                    assert!((q[(i, j)] - off).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_model_is_deterministic() {
+        let a = synthetic_protein(7);
+        let b = synthetic_protein(7);
+        assert_eq!(a, b);
+        let c = synthetic_protein(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthetic_model_valid_generator() {
+        let q = synthetic_protein(1).q_matrix();
+        for i in 0..N_AA {
+            let s: f64 = (0..N_AA).map(|j| q[(i, j)]).sum();
+            assert!(s.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn paml_order_roundtrip() {
+        // Use a recognisable pattern: lower-triangle entry for (i, j) = i*100 + j.
+        let mut lower = Vec::new();
+        for i in 1..N_AA {
+            for j in 0..i {
+                lower.push((i * 100 + j) as f64 + 1.0);
+            }
+        }
+        let freqs = vec![1.0 / N_AA as f64; N_AA];
+        let m = from_paml_order(&lower, &freqs);
+        assert_eq!(m.exch(5, 2), 502.0 + 1.0);
+        assert_eq!(m.exch(2, 5), 503.0);
+        assert_eq!(m.exch(19, 18), (1900 + 18) as f64 + 1.0);
+    }
+}

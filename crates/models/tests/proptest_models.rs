@@ -1,0 +1,97 @@
+//! Property-based tests of the substitution-model numerics: for *any*
+//! positive exchangeabilities and frequencies the generator and its
+//! transition matrices must satisfy the Markov-chain axioms.
+
+use phylo_models::dna::n_exchangeabilities;
+use phylo_models::{DiscreteGamma, ReversibleModel};
+use proptest::prelude::*;
+
+fn arb_model(n_states: usize) -> impl Strategy<Value = ReversibleModel> {
+    let ex = proptest::collection::vec(0.05f64..5.0, n_exchangeabilities(n_states));
+    let fr = proptest::collection::vec(0.05f64..1.0, n_states);
+    (ex, fr).prop_map(|(e, f)| ReversibleModel::new(&f, &e))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn q_matrix_axioms(model in arb_model(4)) {
+        let q = model.q_matrix();
+        for i in 0..4 {
+            let row: f64 = (0..4).map(|j| q[(i, j)]).sum();
+            prop_assert!(row.abs() < 1e-10);
+            for j in 0..4 {
+                if i != j {
+                    prop_assert!(q[(i, j)] > 0.0);
+                }
+                // Detailed balance.
+                let lhs = model.freqs()[i] * q[(i, j)];
+                let rhs = model.freqs()[j] * q[(j, i)];
+                prop_assert!((lhs - rhs).abs() < 1e-10);
+            }
+        }
+        let mean: f64 = (0..4).map(|i| -model.freqs()[i] * q[(i, i)]).sum();
+        prop_assert!((mean - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn transition_matrix_axioms(model in arb_model(4), t in 0.0f64..5.0, rate in 0.05f64..4.0) {
+        let eigen = model.eigen();
+        let mut p = vec![0.0; 16];
+        eigen.transition_matrix(t, rate, &mut p);
+        for i in 0..4 {
+            let row: f64 = p[i * 4..(i + 1) * 4].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-8, "row {i} sums to {row}");
+            for j in 0..4 {
+                prop_assert!((-1e-12..=1.0 + 1e-8).contains(&p[i * 4 + j]));
+            }
+        }
+    }
+
+    #[test]
+    fn chapman_kolmogorov_any_model(model in arb_model(4), t1 in 0.01f64..2.0, t2 in 0.01f64..2.0) {
+        let eigen = model.eigen();
+        let (mut pa, mut pb, mut pc) = (vec![0.0; 16], vec![0.0; 16], vec![0.0; 16]);
+        eigen.transition_matrix(t1, 1.0, &mut pa);
+        eigen.transition_matrix(t2, 1.0, &mut pb);
+        eigen.transition_matrix(t1 + t2, 1.0, &mut pc);
+        for i in 0..4 {
+            for j in 0..4 {
+                let prod: f64 = (0..4).map(|k| pa[i * 4 + k] * pb[k * 4 + j]).sum();
+                prop_assert!((prod - pc[i * 4 + j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_gamma_axioms(alpha in 0.05f64..50.0, k in 1usize..9) {
+        let g = DiscreteGamma::new(alpha, k);
+        prop_assert_eq!(g.n_cats(), k);
+        let mean: f64 = g.rates().iter().sum::<f64>() / k as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-7, "mean {mean} at alpha {alpha}");
+        for w in g.rates().windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        prop_assert!(g.rates().iter().all(|&r| r >= 0.0 && r.is_finite()));
+    }
+
+    #[test]
+    fn incomplete_gamma_quantile_inverse(a in 0.05f64..30.0, p in 0.001f64..0.999) {
+        let x = phylo_models::gamma::gamma_quantile(a, p);
+        let back = phylo_models::gamma::reg_lower_gamma(a, x);
+        prop_assert!((back - p).abs() < 1e-7, "a={a} p={p} -> x={x} -> {back}");
+    }
+
+    #[test]
+    fn protein_models_also_satisfy_axioms(seed in any::<u64>(), t in 0.01f64..2.0) {
+        let model = phylo_models::protein::synthetic_protein(seed);
+        let eigen = model.eigen();
+        let mut p = vec![0.0; 400];
+        eigen.transition_matrix(t, 1.0, &mut p);
+        for i in 0..20 {
+            let row: f64 = p[i * 20..(i + 1) * 20].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-7);
+        }
+    }
+}

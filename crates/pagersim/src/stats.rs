@@ -1,0 +1,87 @@
+//! Paging statistics.
+
+/// Counters kept by a [`crate::PagedArena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PageStats {
+    /// Accesses to pages that were resident.
+    pub hits: u64,
+    /// Page faults: accesses to non-resident pages.
+    pub faults: u64,
+    /// Faults that read the page from the swap file ("major" faults).
+    pub major_faults: u64,
+    /// Major faults whose page immediately follows the previous one —
+    /// amenable to OS readahead / disk streaming (no seek).
+    pub sequential_major_faults: u64,
+    /// Faults on never-touched pages (zero-fill, "minor" in spirit).
+    pub zero_fills: u64,
+    /// Frames reclaimed.
+    pub evictions: u64,
+    /// Dirty pages written to swap.
+    pub writebacks: u64,
+    /// Writebacks contiguous with the previous one (streaming writes).
+    pub sequential_writebacks: u64,
+    /// Bytes read from swap.
+    pub bytes_in: u64,
+    /// Bytes written to swap.
+    pub bytes_out: u64,
+}
+
+impl PageStats {
+    /// Fault rate over all page touches.
+    pub fn fault_rate(&self) -> f64 {
+        let total = self.hits + self.faults;
+        if total == 0 {
+            0.0
+        } else {
+            self.faults as f64 / total as f64
+        }
+    }
+
+    /// Total swap I/O operations.
+    pub fn io_ops(&self) -> u64 {
+        self.major_faults + self.writebacks
+    }
+
+    /// Reset all counters.
+    pub fn reset(&mut self) {
+        *self = PageStats::default();
+    }
+}
+
+impl std::fmt::Display for PageStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "touches={} faults={} ({:.2}%) major={} zero_fill={} evictions={} writebacks={}",
+            self.hits + self.faults,
+            self.faults,
+            self.fault_rate() * 100.0,
+            self.major_faults,
+            self.zero_fills,
+            self.evictions,
+            self.writebacks,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_rate_basic() {
+        let s = PageStats {
+            hits: 75,
+            faults: 25,
+            ..Default::default()
+        };
+        assert!((s.fault_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_stats_are_zero() {
+        let s = PageStats::default();
+        assert_eq!(s.fault_rate(), 0.0);
+        assert_eq!(s.io_ops(), 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based test: the paged arena must be indistinguishable from a
+//! flat byte array under any access sequence and any memory pressure.
+
+use pager_sim::{PagedArena, PAGE_SIZE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(usize, Vec<u8>),
+    Read(usize, usize),
+}
+
+fn arb_ops(total: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0..total, proptest::collection::vec(any::<u8>(), 1..300)).prop_map(|(o, d)| Op::Write(o, d)),
+        (0..total, 1usize..300).prop_map(|(o, l)| Op::Read(o, l)),
+    ];
+    proptest::collection::vec(op, 1..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arena_equals_flat_array(
+        ops in arb_ops(20 * PAGE_SIZE),
+        n_frames in 1usize..24,
+    ) {
+        let total = 20 * PAGE_SIZE;
+        let dir = tempfile::tempdir().unwrap();
+        let mut arena =
+            PagedArena::new(total, n_frames * PAGE_SIZE, dir.path().join("swap")).unwrap();
+        let mut oracle = vec![0u8; total];
+
+        for op in ops {
+            match op {
+                Op::Write(off, data) => {
+                    let off = off.min(total - 1);
+                    let len = data.len().min(total - off);
+                    arena.write(off, &data[..len]).unwrap();
+                    oracle[off..off + len].copy_from_slice(&data[..len]);
+                }
+                Op::Read(off, len) => {
+                    let off = off.min(total - 1);
+                    let len = len.min(total - off);
+                    let mut buf = vec![0u8; len];
+                    arena.read(off, &mut buf).unwrap();
+                    prop_assert_eq!(&buf[..], &oracle[off..off + len]);
+                }
+            }
+            prop_assert!(arena.resident_pages() <= n_frames);
+        }
+
+        // Full sweep at the end.
+        let mut buf = vec![0u8; total];
+        arena.read(0, &mut buf).unwrap();
+        prop_assert_eq!(buf, oracle);
+        // Accounting sanity.
+        let s = arena.stats();
+        prop_assert!(s.faults >= s.major_faults + s.zero_fills);
+        prop_assert_eq!(s.bytes_in, s.major_faults * PAGE_SIZE as u64);
+        prop_assert_eq!(s.bytes_out, s.writebacks * PAGE_SIZE as u64);
+    }
+}

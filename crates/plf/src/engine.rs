@@ -1,0 +1,753 @@
+//! The likelihood engine: traversal execution, root evaluation, topology
+//! operations.
+
+use crate::encode::TipCodes;
+use crate::kernels::evaluate::{evaluate_inner_inner, evaluate_tip_inner};
+use crate::kernels::newview::{newview_inner_inner, newview_tip_inner, newview_tip_tip};
+use crate::kernels::Dims;
+use crate::store_api::AncestralStore;
+use phylo_models::{DiscreteGamma, EigenDecomp, PMatrices, ReversibleModel};
+use phylo_seq::CompressedAlignment;
+use phylo_tree::spr::{spr_prune_regraft, spr_undo, SprUndo};
+use phylo_tree::traverse::{invalidate_between, plan_traversal, Orientation, TraversalPlan};
+use phylo_tree::{ChildRef, HalfEdgeId, Tree};
+
+/// A substitution model bundled with its eigendecomposition and Γ rates —
+/// everything needed to evaluate transition probabilities.
+#[derive(Debug, Clone)]
+pub struct PlfModel {
+    /// The reversible substitution model.
+    pub model: ReversibleModel,
+    /// Cached eigendecomposition of the generator.
+    pub eigen: EigenDecomp,
+    /// Discrete Γ rate heterogeneity.
+    pub gamma: DiscreteGamma,
+}
+
+impl PlfModel {
+    /// Bundle a model with a `k`-category Γ distribution of shape `alpha`.
+    pub fn new(model: ReversibleModel, alpha: f64, n_cats: usize) -> Self {
+        let eigen = model.eigen();
+        PlfModel {
+            model,
+            eigen,
+            gamma: DiscreteGamma::new(alpha, n_cats),
+        }
+    }
+
+    /// Replace the Γ shape (the eigendecomposition is unaffected).
+    pub fn set_alpha(&mut self, alpha: f64) {
+        self.gamma = DiscreteGamma::new(alpha, self.gamma.n_cats());
+    }
+}
+
+/// The PLF engine over a tree, an encoded alignment and a residency backend.
+pub struct PlfEngine<S: AncestralStore> {
+    pub(crate) tree: Tree,
+    pub(crate) plf_model: PlfModel,
+    pub(crate) dims: Dims,
+    pub(crate) tips: TipCodes,
+    pub(crate) weights: Vec<u32>,
+    pub(crate) store: S,
+    pub(crate) orient: Orientation,
+    /// Per inner node, per pattern scaling counts (always in RAM — the
+    /// paper swaps only the probability vectors; these are 32× smaller).
+    pub(crate) scale: Vec<Vec<u32>>,
+    // Reusable scratch (no allocation in the traversal hot path).
+    pub(crate) pm_l: PMatrices,
+    pub(crate) pm_r: PMatrices,
+    pub(crate) lut_l: Vec<f64>,
+    pub(crate) lut_r: Vec<f64>,
+    pub(crate) sumtable: Vec<f64>,
+    pub(crate) scale_sums: Vec<u32>,
+    /// Root branch of the most recent traversal plan. Invariant: every
+    /// valid orientation points towards this branch, which makes the stale
+    /// set after a content change exactly the path from the changed region
+    /// to this root (see `content_changed_at`).
+    pub(crate) last_root: Option<HalfEdgeId>,
+}
+
+impl<S: AncestralStore> PlfEngine<S> {
+    /// Vector dimensions an engine over `comp` with `n_cats` Γ categories
+    /// will use — needed to size backing stores before construction.
+    pub fn dims_for(comp: &CompressedAlignment, n_cats: usize) -> Dims {
+        Dims {
+            n_patterns: comp.n_patterns(),
+            n_states: comp.alignment.alphabet().n_states(),
+            n_cats,
+        }
+    }
+
+    /// Build an engine. `store` must be sized for `tree.n_inner()` vectors
+    /// of `dims_for(comp, n_cats).width()` doubles. Tip `i` of the tree
+    /// reads sequence `i` of the alignment.
+    pub fn new(
+        tree: Tree,
+        comp: &CompressedAlignment,
+        model: ReversibleModel,
+        alpha: f64,
+        n_cats: usize,
+        store: S,
+    ) -> Self {
+        assert_eq!(
+            tree.n_tips(),
+            comp.alignment.n_seqs(),
+            "tree tips and alignment sequences must match"
+        );
+        let dims = Self::dims_for(comp, n_cats);
+        assert_eq!(store.width(), dims.width(), "store width mismatch");
+        let plf_model = PlfModel::new(model, alpha, n_cats);
+        let n_inner = tree.n_inner();
+        let tips = TipCodes::from_alignment(comp);
+        PlfEngine {
+            orient: Orientation::new(n_inner),
+            scale: vec![vec![0u32; dims.n_patterns]; n_inner],
+            pm_l: PMatrices::new(dims.n_states, n_cats),
+            pm_r: PMatrices::new(dims.n_states, n_cats),
+            lut_l: Vec::new(),
+            lut_r: Vec::new(),
+            sumtable: Vec::new(),
+            scale_sums: vec![0u32; dims.n_patterns],
+            weights: comp.weights.clone(),
+            last_root: None,
+            tree,
+            plf_model,
+            dims,
+            tips,
+            store,
+        }
+    }
+
+    /// Plan a traversal and record its root (see the `last_root` invariant).
+    pub(crate) fn make_plan(&mut self, root_he: HalfEdgeId, full: bool) -> TraversalPlan {
+        let plan = plan_traversal(&self.tree, root_he, &mut self.orient, full);
+        self.last_root = Some(root_he);
+        plan
+    }
+
+    /// Invalidate the vectors staled by a content change touching the given
+    /// nodes. Because every valid orientation points towards `last_root`, a
+    /// vector is stale iff its node lies on the path from a changed node to
+    /// the last root — a short, local set during searches and smoothing.
+    pub(crate) fn content_changed_at(&mut self, nodes: &[phylo_tree::NodeId]) {
+        let Some(root_he) = self.last_root else {
+            return; // nothing has ever been computed, nothing can be stale
+        };
+        let root_node = self.tree.node_of(root_he);
+        for &nd in nodes {
+            invalidate_between(&self.tree, &mut self.orient, nd, root_node);
+        }
+    }
+
+    /// Vector dimensions in use.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+
+    /// The tree (read-only; use the engine's topology operations to mutate).
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Current Γ shape parameter.
+    pub fn alpha(&self) -> f64 {
+        self.plf_model.gamma.alpha()
+    }
+
+    /// The residency backend.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable backend access (statistics resets between phases).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Replace the Γ shape parameter; all ancestral vectors become stale.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        self.plf_model.set_alpha(alpha);
+        self.orient.invalidate_all();
+    }
+
+    /// Set a branch length, invalidating exactly the vectors the change
+    /// stales (the path from the branch to the last traversal root).
+    pub fn set_branch_length(&mut self, h: HalfEdgeId, len: f64) {
+        self.tree.set_branch_length(h, len);
+        let (u, v) = (self.tree.node_of(h), self.tree.neighbor(h));
+        self.content_changed_at(&[u, v]);
+    }
+
+    /// Execute one Felsenstein combine.
+    pub(crate) fn newview_step(&mut self, step: &phylo_tree::TraversalStep) {
+        let dims = self.dims;
+        let eigen = &self.plf_model.eigen;
+        let gamma = &self.plf_model.gamma;
+        self.pm_l.update(eigen, gamma, step.left_len);
+        self.pm_r.update(eigen, gamma, step.right_len);
+
+        // Normalise so a lone tip child is always "left": kernels then only
+        // need tip/tip, tip/inner and inner/inner shapes.
+        let (left, right, pm_l, pm_r) = match (step.left, step.right) {
+            (ChildRef::Inner(_), ChildRef::Tip(_)) => {
+                (step.right, step.left, &self.pm_r, &self.pm_l)
+            }
+            _ => (step.left, step.right, &self.pm_l, &self.pm_r),
+        };
+
+        let parent = step.parent;
+        let mut scale_p = std::mem::take(&mut self.scale[parent as usize]);
+        match (left, right) {
+            (ChildRef::Tip(a), ChildRef::Tip(b)) => {
+                self.tips.build_lut(pm_l, &mut self.lut_l);
+                self.tips.build_lut(pm_r, &mut self.lut_r);
+                let (lut_l, lut_r, tips) = (&self.lut_l, &self.lut_r, &self.tips);
+                self.store.with_triple(parent, None, None, |pv, _, _| {
+                    newview_tip_tip(
+                        &dims,
+                        pv,
+                        &mut scale_p,
+                        lut_l,
+                        tips.tip(a as usize),
+                        lut_r,
+                        tips.tip(b as usize),
+                    );
+                });
+            }
+            (ChildRef::Tip(a), ChildRef::Inner(r)) => {
+                self.tips.build_lut(pm_l, &mut self.lut_l);
+                let (lut_l, tips) = (&self.lut_l, &self.tips);
+                let scale_r = &self.scale[r as usize];
+                self.store.with_triple(parent, Some(r), None, |pv, rv, _| {
+                    newview_tip_inner(
+                        &dims,
+                        pv,
+                        &mut scale_p,
+                        lut_l,
+                        tips.tip(a as usize),
+                        rv.unwrap(),
+                        scale_r,
+                        pm_r,
+                    );
+                });
+            }
+            (ChildRef::Inner(l), ChildRef::Inner(r)) => {
+                let scale_l = &self.scale[l as usize];
+                let scale_r = &self.scale[r as usize];
+                self.store
+                    .with_triple(parent, Some(l), Some(r), |pv, lv, rv| {
+                        newview_inner_inner(
+                            &dims,
+                            pv,
+                            &mut scale_p,
+                            lv.unwrap(),
+                            scale_l,
+                            pm_l,
+                            rv.unwrap(),
+                            scale_r,
+                            pm_r,
+                        );
+                    });
+            }
+            (ChildRef::Inner(_), ChildRef::Tip(_)) => unreachable!("normalised above"),
+        }
+        self.scale[parent as usize] = scale_p;
+    }
+
+    /// Execute all combines of a plan, announcing read-skip and prefetch
+    /// information first (§3.4: the flags are set "when the global or local
+    /// tree traversal order is determined ... prior to the actual
+    /// likelihood computations").
+    pub(crate) fn execute_plan(&mut self, plan: &TraversalPlan) {
+        let written: Vec<u32> = plan.written().collect();
+        // Inner children read before being written in this plan come from
+        // the store: they are prefetch candidates.
+        let mut will_write = vec![false; self.tree.n_inner()];
+        let mut reads: Vec<u32> = Vec::new();
+        for step in &plan.steps {
+            for child in [step.left, step.right] {
+                if let ChildRef::Inner(i) = child {
+                    if !will_write[i as usize] {
+                        reads.push(i);
+                    }
+                }
+            }
+            will_write[step.parent as usize] = true;
+        }
+        self.store.begin_traversal(&written, &reads);
+        for step in &plan.steps {
+            self.newview_step(step);
+        }
+    }
+
+    /// Evaluate the log-likelihood at the plan's root branch (vectors must
+    /// already be up to date, i.e. call after [`PlfEngine::execute_plan`]).
+    pub(crate) fn evaluate_plan(&mut self, plan: &TraversalPlan) -> f64 {
+        let dims = self.dims;
+        self.pm_l
+            .update(&self.plf_model.eigen, &self.plf_model.gamma, plan.root_len);
+        let freqs = self.plf_model.model.freqs();
+        match (plan.root_left, plan.root_right) {
+            (ChildRef::Inner(p), ChildRef::Inner(q)) => {
+                let scale_p = &self.scale[p as usize];
+                let scale_q = &self.scale[q as usize];
+                let (pm, weights) = (&self.pm_l, &self.weights);
+                self.store.with_pair(p, q, |pv, qv| {
+                    evaluate_inner_inner(&dims, pv, scale_p, qv, scale_q, pm, freqs, weights)
+                })
+            }
+            (ChildRef::Tip(t), ChildRef::Inner(q)) | (ChildRef::Inner(q), ChildRef::Tip(t)) => {
+                self.tips.build_root_lut(&self.pm_l, freqs, &mut self.lut_l);
+                let (lut, tips, weights) = (&self.lut_l, &self.tips, &self.weights);
+                let scale_q = &self.scale[q as usize];
+                self.store.with_one(q, false, |qv| {
+                    evaluate_tip_inner(&dims, lut, tips.tip(t as usize), qv, scale_q, weights)
+                })
+            }
+            (ChildRef::Tip(_), ChildRef::Tip(_)) => {
+                unreachable!("no tip-tip branches exist for n >= 3")
+            }
+        }
+    }
+
+    /// Log-likelihood evaluated at the branch of `root_he`. With
+    /// `full == true` every ancestral vector is recomputed (the worst case
+    /// of the paper's §4.3); otherwise only stale vectors are.
+    pub fn log_likelihood_at(&mut self, root_he: HalfEdgeId, full: bool) -> f64 {
+        let plan = self.make_plan(root_he, full);
+        self.execute_plan(&plan);
+        self.evaluate_plan(&plan)
+    }
+
+    /// Log-likelihood at the default root branch, reusing valid vectors.
+    pub fn log_likelihood(&mut self) -> f64 {
+        self.log_likelihood_at(self.tree.default_root_edge(), false)
+    }
+
+    /// The paper's `-f z` experiment: `count` successive *full* tree
+    /// traversals (recomputing every ancestral vector each time), returning
+    /// the final log-likelihood. "This represents a worst-case analysis,
+    /// since full tree traversals exhibit the smallest degree of vector
+    /// locality."
+    pub fn full_traversals(&mut self, count: usize) -> f64 {
+        let root = self.tree.default_root_edge();
+        let mut lnl = 0.0;
+        for _ in 0..count {
+            lnl = self.log_likelihood_at(root, true);
+        }
+        lnl
+    }
+
+    /// Apply an SPR move and invalidate exactly the vectors whose subtree
+    /// contents changed (the path between old and new attachment points,
+    /// plus the pruned node itself).
+    pub fn apply_spr(
+        &mut self,
+        prune_dir: HalfEdgeId,
+        target: HalfEdgeId,
+        graft_lens: Option<(f64, f64)>,
+    ) -> SprUndo {
+        let undo = spr_prune_regraft(&mut self.tree, prune_dir, target, graft_lens);
+        self.invalidate_after_spr(prune_dir, &undo);
+        undo
+    }
+
+    /// Revert an SPR move, restoring vector validity conservatively.
+    pub fn undo_spr(&mut self, prune_dir: HalfEdgeId, undo: &SprUndo) {
+        spr_undo(&mut self.tree, undo);
+        self.invalidate_after_spr(prune_dir, undo);
+    }
+
+    fn invalidate_after_spr(&mut self, prune_dir: HalfEdgeId, undo: &SprUndo) {
+        let old_pos = undo.old_position(&self.tree);
+        let new_pos = undo.new_position(&self.tree);
+        let p = self.tree.node_of(prune_dir);
+        // Everything whose subtree content changed: the path between the
+        // junctions is covered by the two paths to the last root.
+        self.content_changed_at(&[old_pos, new_pos, p]);
+        invalidate_between(&self.tree, &mut self.orient, old_pos, new_pos);
+        self.orient.invalidate(self.tree.inner_index(p));
+    }
+
+    /// Apply a nearest-neighbour interchange across the internal branch of
+    /// `h`, with the same staleness bookkeeping as SPR.
+    pub fn apply_nni(&mut self, h: HalfEdgeId, variant: u8) -> phylo_tree::spr::NniUndo {
+        let undo = phylo_tree::spr::nni(&mut self.tree, h, variant);
+        self.invalidate_after_nni(h);
+        undo
+    }
+
+    /// Revert an NNI move.
+    pub fn undo_nni(&mut self, undo: &phylo_tree::spr::NniUndo) {
+        phylo_tree::spr::nni_undo(&mut self.tree, undo);
+        self.invalidate_after_nni(undo.branch);
+    }
+
+    fn invalidate_after_nni(&mut self, h: HalfEdgeId) {
+        let (p, q) = (self.tree.node_of(h), self.tree.neighbor(h));
+        self.content_changed_at(&[p, q]);
+        self.orient.invalidate(self.tree.inner_index(p));
+        self.orient.invalidate(self.tree.inner_index(q));
+    }
+
+    /// Invalidate all cached vectors (used by tests and after bulk edits).
+    pub fn invalidate_all(&mut self) {
+        self.orient.invalidate_all();
+    }
+
+    /// Direct read-only access to a computed ancestral vector (test hook).
+    pub fn debug_vector(&mut self, inner: u32) -> Vec<f64> {
+        let width = self.store.width();
+        self.store.with_one(inner, false, |buf| {
+            let mut out = vec![0.0; width];
+            out.copy_from_slice(buf);
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::store_api::InRamStore;
+    use phylo_seq::{compress_patterns, simulate_alignment, Alignment, Alphabet};
+    use phylo_tree::build::{random_topology, yule_like_lengths};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    pub(crate) fn build_engine(
+        n_tips: usize,
+        n_sites: usize,
+        seed: u64,
+    ) -> PlfEngine<InRamStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = random_topology(n_tips, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, 0.12, 1e-4, &mut rng);
+        let model = ReversibleModel::hky85(2.2, &[0.3, 0.2, 0.2, 0.3]);
+        let gamma = DiscreteGamma::new(0.8, 4);
+        let aln = simulate_alignment(&tree, &model, &gamma, n_sites, &mut rng);
+        let comp = compress_patterns(&aln);
+        let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+        let store = InRamStore::new(tree.n_inner(), dims.width());
+        PlfEngine::new(tree, &comp, model, 0.8, 4, store)
+    }
+
+    #[test]
+    fn three_taxa_analytic_likelihood() {
+        // For 3 taxa the tree is a star; the likelihood has a closed form:
+        // l(site) = Σ_c (1/C) Σ_x π_x Π_t P_c(x, s_t; b_t).
+        let (tree, model) = {
+            let mut tree = Tree::with_capacity(3);
+            tree.join(tree.tip_half_edge(0), tree.inner_half_edge(0, 0), 0.2);
+            tree.join(tree.tip_half_edge(1), tree.inner_half_edge(0, 1), 0.3);
+            tree.join(tree.tip_half_edge(2), tree.inner_half_edge(0, 2), 0.4);
+            (tree, ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]))
+        };
+        let aln = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("t0".into(), "ACGT".into()),
+                ("t1".into(), "AAGT".into()),
+                ("t2".into(), "ACGC".into()),
+            ],
+        )
+        .unwrap();
+        let comp = compress_patterns(&aln);
+        let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+        let store = InRamStore::new(1, dims.width());
+        let mut engine = PlfEngine::new(tree.clone(), &comp, model.clone(), 1.0, 4, store);
+        let got = engine.log_likelihood();
+
+        // Direct computation.
+        let eigen = model.eigen();
+        let gamma = DiscreteGamma::new(1.0, 4);
+        let mut pms = Vec::new();
+        for t in [0.2, 0.3, 0.4] {
+            let mut pm = PMatrices::new(4, 4);
+            pm.update(&eigen, &gamma, t);
+            pms.push(pm);
+        }
+        let enc = |ch: u8| Alphabet::Dna.encode(ch).unwrap().trailing_zeros() as usize;
+        let seqs = ["ACGT", "AAGT", "ACGC"];
+        let mut expect = 0.0;
+        for site in 0..4 {
+            let states: Vec<usize> = seqs.iter().map(|s| enc(s.as_bytes()[site])).collect();
+            let mut l = 0.0;
+            for c in 0..4 {
+                for x in 0..4 {
+                    let mut term = model.freqs()[x];
+                    for (t, &s) in states.iter().enumerate() {
+                        term *= pms[t].get(c, x, s);
+                    }
+                    l += 0.25 * term;
+                }
+            }
+            expect += l.ln();
+        }
+        assert!(
+            (got - expect).abs() < 1e-9,
+            "engine {got} vs analytic {expect}"
+        );
+    }
+
+    #[test]
+    fn likelihood_invariant_under_rerooting() {
+        let mut engine = build_engine(14, 120, 42);
+        let base = engine.log_likelihood();
+        assert!(base.is_finite() && base < 0.0);
+        let roots: Vec<HalfEdgeId> = engine.tree().branches().take(10).collect();
+        for h in roots {
+            let l = engine.log_likelihood_at(h, false);
+            assert!(
+                (l - base).abs() < 1e-7 * base.abs(),
+                "root {h}: {l} vs {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_equals_full_traversal() {
+        let mut engine = build_engine(20, 150, 7);
+        let full = engine.log_likelihood_at(engine.tree().default_root_edge(), true);
+        let partial = engine.log_likelihood();
+        assert_eq!(full, partial, "partial traversal must be bit-identical");
+        // After moving the root around, a fresh full traversal still agrees.
+        let tip_root = engine.tree().tip_half_edge(5);
+        let p2 = engine.log_likelihood_at(tip_root, false);
+        let f2 = engine.log_likelihood_at(tip_root, true);
+        assert!((p2 - f2).abs() < 1e-8);
+    }
+
+    #[test]
+    fn full_traversals_are_stable() {
+        let mut engine = build_engine(10, 80, 3);
+        let a = engine.full_traversals(1);
+        let b = engine.full_traversals(5);
+        assert_eq!(a, b, "repeated full traversals must not drift");
+    }
+
+    #[test]
+    fn spr_apply_then_undo_restores_likelihood() {
+        let mut engine = build_engine(16, 100, 11);
+        let before = engine.log_likelihood();
+        // Find a legal SPR move.
+        let tree = engine.tree();
+        let prune_dir = tree.inner_half_edge(4, 0);
+        let (a, b) = tree.children_dirs(prune_dir);
+        let (qa, qb) = (tree.back(a), tree.back(b));
+        let target = tree
+            .branches()
+            .find(|&t| {
+                let tb = tree.back(t);
+                t != a && t != b && t != qa && t != qb && tb != a && tb != b
+                    && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(t))
+                    && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(tb))
+            })
+            .expect("no SPR target found");
+        let undo = engine.apply_spr(prune_dir, target, None);
+        let moved = engine.log_likelihood();
+        engine.undo_spr(prune_dir, &undo);
+        let after = engine.log_likelihood();
+        assert!(
+            (before - after).abs() < 1e-8 * before.abs(),
+            "undo must restore the likelihood: {before} vs {after}"
+        );
+        // The moved topology generally has a different likelihood.
+        assert!((moved - before).abs() > 1e-9 || moved == before);
+    }
+
+    #[test]
+    fn spr_partial_matches_full_recompute() {
+        let mut engine = build_engine(18, 90, 13);
+        let _ = engine.log_likelihood();
+        let tree = engine.tree();
+        // Search prune directions until one offers a third-choice target
+        // (some directions move almost the whole tree and have none).
+        let (prune_dir, target) = (0..tree.n_inner() as u32)
+            .flat_map(|i| (0..3).map(move |k| (i, k)))
+            .find_map(|(i, k)| {
+                let prune_dir = tree.inner_half_edge(i, k);
+                let (a, b) = tree.children_dirs(prune_dir);
+                let (qa, qb) = (tree.back(a), tree.back(b));
+                tree.branches()
+                    .filter(|&t| {
+                        let tb = tree.back(t);
+                        t != a && t != b && t != qa && t != qb && tb != a && tb != b
+                            && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(t))
+                            && !phylo_tree::spr::subtree_contains(
+                                tree,
+                                prune_dir,
+                                tree.node_of(tb),
+                            )
+                    })
+                    .nth(2)
+                    .map(|t| (prune_dir, t))
+            })
+            .expect("no SPR target");
+        engine.apply_spr(prune_dir, target, None);
+        let partial = engine.log_likelihood();
+        engine.invalidate_all();
+        let full = engine.log_likelihood();
+        assert!(
+            (partial - full).abs() < 1e-8 * full.abs(),
+            "partial {partial} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn alpha_changes_move_the_likelihood() {
+        let mut engine = build_engine(12, 100, 21);
+        let l1 = engine.log_likelihood();
+        engine.set_alpha(0.1);
+        let l2 = engine.log_likelihood();
+        assert_ne!(l1, l2);
+        engine.set_alpha(0.8);
+        let l3 = engine.log_likelihood();
+        assert!((l1 - l3).abs() < 1e-8 * l1.abs(), "alpha roundtrip");
+    }
+
+    #[test]
+    fn branch_length_change_with_discipline_is_consistent() {
+        let mut engine = build_engine(15, 70, 31);
+        let h = engine.tree().default_root_edge();
+        let _ = engine.log_likelihood_at(h, false);
+        engine.set_branch_length(h, 0.5);
+        let at_branch = engine.log_likelihood_at(h, false);
+        engine.invalidate_all();
+        let full = engine.log_likelihood_at(h, true);
+        assert!((at_branch - full).abs() < 1e-8 * full.abs());
+    }
+
+    /// Randomised differential test: after arbitrary interleavings of root
+    /// moves, SPR apply/undo, NNI, branch-length changes and branch
+    /// optimisations, a partial traversal must agree with a full recompute
+    /// at a random root. This is the safety net for the lazy staleness
+    /// tracking that the whole out-of-core access pattern relies on.
+    #[test]
+    fn randomized_operations_keep_partial_consistent() {
+        use rand::Rng;
+        for trial in 0..5u64 {
+            let mut engine = build_engine(13, 60, 100 + trial);
+            let mut rng = StdRng::seed_from_u64(200 + trial);
+            let _ = engine.log_likelihood();
+            for step in 0..40 {
+                let n_he = engine.tree().n_half_edges() as u32;
+                match rng.gen_range(0..5) {
+                    0 => {
+                        // Move the root to a random branch.
+                        let h = loop {
+                            let h = rng.gen_range(0..n_he);
+                            if engine.tree().is_connected(h) {
+                                break h;
+                            }
+                        };
+                        let _ = engine.log_likelihood_at(h, false);
+                    }
+                    1 => {
+                        // Random branch length change.
+                        let h = rng.gen_range(0..n_he);
+                        engine.set_branch_length(h, rng.gen_range(0.01..0.5));
+                    }
+                    2 => {
+                        // Random SPR, kept or undone at random.
+                        let tree = engine.tree();
+                        let candidates: Vec<(HalfEdgeId, HalfEdgeId)> = (0..tree.n_inner()
+                            as u32)
+                            .flat_map(|i| (0..3).map(move |k| (i, k)))
+                            .flat_map(|(i, k)| {
+                                let dir = tree.inner_half_edge(i, k);
+                                let (a, b) = tree.children_dirs(dir);
+                                let (qa, qb) = (tree.back(a), tree.back(b));
+                                tree.branches()
+                                    .filter(move |&t| {
+                                        let tb = tree.back(t);
+                                        t != a && t != b && t != qa && t != qb
+                                            && tb != a && tb != b
+                                            && !phylo_tree::spr::subtree_contains(
+                                                tree, dir, tree.node_of(t),
+                                            )
+                                            && !phylo_tree::spr::subtree_contains(
+                                                tree, dir, tree.node_of(tb),
+                                            )
+                                    })
+                                    .map(move |t| (dir, t))
+                            })
+                            .collect();
+                        let found = if candidates.is_empty() {
+                            None
+                        } else {
+                            Some(candidates[rng.gen_range(0..candidates.len())])
+                        };
+                        if let Some((dir, target)) = found {
+                            let undo = engine.apply_spr(dir, target, None);
+                            if rng.gen_bool(0.5) {
+                                engine.undo_spr(dir, &undo);
+                            }
+                        }
+                    }
+                    3 => {
+                        // NNI on a random internal branch, sometimes undone.
+                        let tree = engine.tree();
+                        let internal: Vec<HalfEdgeId> = tree
+                            .branches()
+                            .filter(|&h| {
+                                !tree.is_tip(tree.node_of(h)) && !tree.is_tip(tree.neighbor(h))
+                            })
+                            .collect();
+                        let h = internal[rng.gen_range(0..internal.len())];
+                        let undo = engine.apply_nni(h, rng.gen_range(0..2));
+                        if rng.gen_bool(0.5) {
+                            engine.undo_nni(&undo);
+                        }
+                    }
+                    _ => {
+                        // Optimise a random branch.
+                        let h = rng.gen_range(0..n_he);
+                        let _ = engine.optimize_branch(h, 8);
+                    }
+                }
+                // Differential check at a random root.
+                let root = loop {
+                    let h = rng.gen_range(0..n_he);
+                    if engine.tree().is_connected(h) {
+                        break h;
+                    }
+                };
+                let partial = engine.log_likelihood_at(root, false);
+                let mut orient_reset = engine.orient.clone();
+                orient_reset.invalidate_all();
+                engine.orient = orient_reset;
+                let full = engine.log_likelihood_at(root, true);
+                assert!(
+                    (partial - full).abs() <= 1e-7 * full.abs(),
+                    "trial {trial} step {step}: partial {partial} != full {full}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gaps_do_not_break_likelihood() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tree = random_topology(6, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, 0.1, 1e-4, &mut rng);
+        let aln = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("t0".into(), "ACGT-N".into()),
+                ("t1".into(), "ACGTAN".into()),
+                ("t2".into(), "AC--AN".into()),
+                ("t3".into(), "ACGTAN".into()),
+                ("t4".into(), "NNNNNN".into()),
+                ("t5".into(), "ACRTAY".into()),
+            ],
+        )
+        .unwrap();
+        let comp = compress_patterns(&aln);
+        let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+        let store = InRamStore::new(tree.n_inner(), dims.width());
+        let mut engine = PlfEngine::new(tree, &comp, ReversibleModel::jc69(), 1.0, 4, store);
+        let l = engine.log_likelihood();
+        assert!(l.is_finite() && l < 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Felsenstein combine kernels: compute a parent ancestral probability
+//! vector from its two children, in the three arity variants RAxML
+//! distinguishes (tip/tip, tip/inner, inner/inner).
+
+use super::Dims;
+use crate::scaling::scale_site;
+use phylo_models::PMatrices;
+
+/// Parent from two tip children. `lut_*` are per-branch tip lookup tables
+/// (`[code][cat][state]`, see [`crate::TipCodes::build_lut`]); `codes_*`
+/// give each pattern's code id. Scale counts start at zero for tips.
+pub fn newview_tip_tip(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_l: &[f64],
+    codes_l: &[u16],
+    lut_r: &[f64],
+    codes_r: &[u16],
+) {
+    let (ns, nc) = (dims.n_states, dims.n_cats);
+    let stride = dims.site_stride();
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(scale_p.len(), dims.n_patterns);
+    for i in 0..dims.n_patterns {
+        let site = &mut parent[i * stride..(i + 1) * stride];
+        let lbase = codes_l[i] as usize * stride;
+        let rbase = codes_r[i] as usize * stride;
+        let l = &lut_l[lbase..lbase + stride];
+        let r = &lut_r[rbase..rbase + stride];
+        for e in 0..stride {
+            site[e] = l[e] * r[e];
+        }
+        scale_p[i] = scale_site(site);
+        let _ = nc;
+        let _ = ns;
+    }
+}
+
+/// Parent from one tip child (via its lookup table) and one inner child
+/// (via matrix-vector products with that branch's transition matrices).
+#[allow(clippy::too_many_arguments)]
+pub fn newview_tip_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_tip: &[f64],
+    codes_tip: &[u16],
+    inner: &[f64],
+    scale_inner: &[u32],
+    pm_inner: &PMatrices,
+) {
+    let (ns, nc) = (dims.n_states, dims.n_cats);
+    let stride = dims.site_stride();
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(inner.len(), dims.width());
+    for i in 0..dims.n_patterns {
+        let site = &mut parent[i * stride..(i + 1) * stride];
+        let tbase = codes_tip[i] as usize * stride;
+        let tip = &lut_tip[tbase..tbase + stride];
+        let child = &inner[i * stride..(i + 1) * stride];
+        for c in 0..nc {
+            let p = pm_inner.cat(c);
+            let child_c = &child[c * ns..(c + 1) * ns];
+            let out_c = &mut site[c * ns..(c + 1) * ns];
+            let tip_c = &tip[c * ns..(c + 1) * ns];
+            for x in 0..ns {
+                let row = &p[x * ns..(x + 1) * ns];
+                let mut sum = 0.0;
+                for y in 0..ns {
+                    sum += row[y] * child_c[y];
+                }
+                out_c[x] = tip_c[x] * sum;
+            }
+        }
+        scale_p[i] = scale_inner[i] + scale_site(site);
+    }
+}
+
+/// Parent from two inner children.
+#[allow(clippy::too_many_arguments)]
+pub fn newview_inner_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    left: &[f64],
+    scale_l: &[u32],
+    pm_l: &PMatrices,
+    right: &[f64],
+    scale_r: &[u32],
+    pm_r: &PMatrices,
+) {
+    let (ns, nc) = (dims.n_states, dims.n_cats);
+    let stride = dims.site_stride();
+    debug_assert_eq!(parent.len(), dims.width());
+    for i in 0..dims.n_patterns {
+        let site = &mut parent[i * stride..(i + 1) * stride];
+        let lsite = &left[i * stride..(i + 1) * stride];
+        let rsite = &right[i * stride..(i + 1) * stride];
+        for c in 0..nc {
+            let pl = pm_l.cat(c);
+            let pr = pm_r.cat(c);
+            let lc = &lsite[c * ns..(c + 1) * ns];
+            let rc = &rsite[c * ns..(c + 1) * ns];
+            let out_c = &mut site[c * ns..(c + 1) * ns];
+            for x in 0..ns {
+                let lrow = &pl[x * ns..(x + 1) * ns];
+                let rrow = &pr[x * ns..(x + 1) * ns];
+                let mut suml = 0.0;
+                let mut sumr = 0.0;
+                for y in 0..ns {
+                    suml += lrow[y] * lc[y];
+                    sumr += rrow[y] * rc[y];
+                }
+                out_c[x] = suml * sumr;
+            }
+        }
+        scale_p[i] = scale_l[i] + scale_r[i] + scale_site(site);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::TipCodes;
+    use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_seq::{compress_patterns, Alignment, Alphabet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dims, TipCodes, PMatrices, PMatrices, DiscreteGamma, ReversibleModel) {
+        let aln = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ACGTNAC".into()),
+                ("b".into(), "ACGARGT".into()),
+            ],
+        )
+        .unwrap();
+        let comp = compress_patterns(&aln);
+        let codes = TipCodes::from_alignment(&comp);
+        let model = ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]);
+        let gamma = DiscreteGamma::new(0.7, 4);
+        let eigen = model.eigen();
+        let mut pm_l = PMatrices::new(4, 4);
+        let mut pm_r = PMatrices::new(4, 4);
+        pm_l.update(&eigen, &gamma, 0.12);
+        pm_r.update(&eigen, &gamma, 0.31);
+        let dims = Dims {
+            n_patterns: comp.n_patterns(),
+            n_states: 4,
+            n_cats: 4,
+        };
+        (dims, codes, pm_l, pm_r, gamma, model)
+    }
+
+    /// Naive per-entry reference for tip/tip combines.
+    fn naive_tip_tip(
+        dims: &Dims,
+        codes: &TipCodes,
+        tip_l: usize,
+        tip_r: usize,
+        pm_l: &PMatrices,
+        pm_r: &PMatrices,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; dims.width()];
+        for i in 0..dims.n_patterns {
+            let ml = codes.mask(codes.tip(tip_l)[i]);
+            let mr = codes.mask(codes.tip(tip_r)[i]);
+            for c in 0..dims.n_cats {
+                for x in 0..dims.n_states {
+                    let sl: f64 = (0..dims.n_states)
+                        .filter(|&y| ml >> y & 1 == 1)
+                        .map(|y| pm_l.get(c, x, y))
+                        .sum();
+                    let sr: f64 = (0..dims.n_states)
+                        .filter(|&y| mr >> y & 1 == 1)
+                        .map(|y| pm_r.get(c, x, y))
+                        .sum();
+                    out[(i * dims.n_cats + c) * dims.n_states + x] = sl * sr;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tip_tip_matches_naive() {
+        let (dims, codes, pm_l, pm_r, _g, _m) = setup();
+        let (mut lut_l, mut lut_r) = (Vec::new(), Vec::new());
+        codes.build_lut(&pm_l, &mut lut_l);
+        codes.build_lut(&pm_r, &mut lut_r);
+        let mut parent = vec![0.0; dims.width()];
+        let mut scale = vec![0u32; dims.n_patterns];
+        newview_tip_tip(
+            &dims, &mut parent, &mut scale, &lut_l, codes.tip(0), &lut_r, codes.tip(1),
+        );
+        let expect = naive_tip_tip(&dims, &codes, 0, 1, &pm_l, &pm_r);
+        for (a, b) in parent.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-14);
+        }
+        assert!(scale.iter().all(|&s| s == 0), "no underflow expected here");
+    }
+
+    #[test]
+    fn tip_inner_matches_naive() {
+        let (dims, codes, pm_l, pm_r, _g, _m) = setup();
+        let mut lut = Vec::new();
+        codes.build_lut(&pm_l, &mut lut);
+        let mut rng = StdRng::seed_from_u64(5);
+        let inner = super::super::testutil::random_vector(&dims, &mut rng);
+        let scale_inner = vec![2u32; dims.n_patterns];
+        let mut parent = vec![0.0; dims.width()];
+        let mut scale = vec![0u32; dims.n_patterns];
+        newview_tip_inner(
+            &dims, &mut parent, &mut scale, &lut, codes.tip(0), &inner, &scale_inner, &pm_r,
+        );
+        // Naive reference.
+        let (ns, nc) = (dims.n_states, dims.n_cats);
+        for i in 0..dims.n_patterns {
+            let mask = codes.mask(codes.tip(0)[i]);
+            for c in 0..nc {
+                for x in 0..ns {
+                    let tip: f64 = (0..ns)
+                        .filter(|&y| mask >> y & 1 == 1)
+                        .map(|y| pm_l.get(c, x, y))
+                        .sum();
+                    let dot: f64 = (0..ns)
+                        .map(|y| pm_r.get(c, x, y) * inner[(i * nc + c) * ns + y])
+                        .sum();
+                    let got = parent[(i * nc + c) * ns + x];
+                    assert!((got - tip * dot).abs() < 1e-13);
+                }
+            }
+            assert_eq!(scale[i], 2, "child scales propagate");
+        }
+    }
+
+    #[test]
+    fn inner_inner_matches_naive() {
+        let (dims, _codes, pm_l, pm_r, _g, _m) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let left = super::super::testutil::random_vector(&dims, &mut rng);
+        let right = super::super::testutil::random_vector(&dims, &mut rng);
+        let scale_l = vec![1u32; dims.n_patterns];
+        let scale_r = vec![3u32; dims.n_patterns];
+        let mut parent = vec![0.0; dims.width()];
+        let mut scale = vec![0u32; dims.n_patterns];
+        newview_inner_inner(
+            &dims, &mut parent, &mut scale, &left, &scale_l, &pm_l, &right, &scale_r, &pm_r,
+        );
+        let (ns, nc) = (dims.n_states, dims.n_cats);
+        for i in 0..dims.n_patterns {
+            for c in 0..nc {
+                for x in 0..ns {
+                    let sl: f64 = (0..ns)
+                        .map(|y| pm_l.get(c, x, y) * left[(i * nc + c) * ns + y])
+                        .sum();
+                    let sr: f64 = (0..ns)
+                        .map(|y| pm_r.get(c, x, y) * right[(i * nc + c) * ns + y])
+                        .sum();
+                    let got = parent[(i * nc + c) * ns + x];
+                    assert!((got - sl * sr).abs() < 1e-13);
+                }
+            }
+            assert_eq!(scale[i], 4);
+        }
+    }
+
+    #[test]
+    fn underflow_triggers_scaling() {
+        let (dims, _codes, pm_l, pm_r, _g, _m) = setup();
+        let tiny = vec![1e-100; dims.width()];
+        let scale_zero = vec![0u32; dims.n_patterns];
+        let mut parent = vec![0.0; dims.width()];
+        let mut scale = vec![0u32; dims.n_patterns];
+        newview_inner_inner(
+            &dims, &mut parent, &mut scale, &tiny, &scale_zero, &pm_l, &tiny, &scale_zero,
+            &pm_r,
+        );
+        // Products near 1e-200 drop below 2^-256 ≈ 8.6e-78 -> scaled once,
+        // leaving well-formed positive entries around 1e-123.
+        assert!(scale.iter().all(|&s| s == 1));
+        assert!(parent.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Numerical underflow scaling.
+//!
+//! Conditional likelihood entries shrink exponentially with tree depth, so
+//! implementations multiply a site's entries by 2²⁵⁶ whenever they all drop
+//! below 2⁻²⁵⁶, counting how often this happened per site. The counts are
+//! added back as `count · ln 2⁻²⁵⁶` at evaluation time. This is exactly
+//! RAxML's `minlikelihood` / `twotothe256` scheme; keeping it identical
+//! matters because the paper validates the out-of-core implementation by
+//! exact equality of log-likelihood scores.
+
+/// Threshold below which a site's entries are rescaled: 2⁻²⁵⁶.
+pub const MINLIKELIHOOD: f64 = 8.636168555094445e-78;
+
+/// The rescale multiplier: 2²⁵⁶.
+pub const TWOTOTHE256: f64 = 1.157920892373162e77;
+
+/// `ln 2⁻²⁵⁶`, the log-likelihood contribution of one scaling event.
+pub const LOG_MINLIKELIHOOD: f64 = -177.445_678_223_346;
+
+/// Rescale one site's entries (all categories × states) if every entry's
+/// magnitude is below [`MINLIKELIHOOD`]. Returns 1 if rescaled, else 0.
+#[inline]
+pub fn scale_site(entries: &mut [f64]) -> u32 {
+    let mut max = 0.0f64;
+    for &x in entries.iter() {
+        let a = x.abs();
+        if a > max {
+            max = a;
+        }
+    }
+    if max < MINLIKELIHOOD {
+        for x in entries.iter_mut() {
+            *x *= TWOTOTHE256;
+        }
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_consistent() {
+        assert!((MINLIKELIHOOD - 2f64.powi(-256)).abs() / MINLIKELIHOOD < 1e-12);
+        assert!((TWOTOTHE256 - 2f64.powi(256)).abs() / TWOTOTHE256 < 1e-12);
+        assert!((LOG_MINLIKELIHOOD - (-256.0 * std::f64::consts::LN_2)).abs() < 1e-9);
+        assert!((MINLIKELIHOOD * TWOTOTHE256 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_sites_get_scaled() {
+        let mut entries = vec![1e-100, 1e-90, 1e-120, 1e-95];
+        assert_eq!(scale_site(&mut entries), 1);
+        assert!((entries[1] - 1e-90 * TWOTOTHE256).abs() / entries[1] < 1e-12);
+    }
+
+    #[test]
+    fn normal_sites_untouched() {
+        let mut entries = vec![0.5, 1e-100, 0.1, 0.0];
+        let before = entries.clone();
+        assert_eq!(scale_site(&mut entries), 0);
+        assert_eq!(entries, before);
+    }
+
+    #[test]
+    fn boundary_behaviour() {
+        // Exactly at the threshold: not strictly below, so no scaling.
+        let mut entries = vec![MINLIKELIHOOD; 4];
+        assert_eq!(scale_site(&mut entries), 0);
+        let mut entries = vec![MINLIKELIHOOD * 0.999; 4];
+        assert_eq!(scale_site(&mut entries), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Hill-climbing search driver: smoothing → (SPR rounds + model
+//! optimisation) until no further improvement.
+
+use crate::spr::lazy_spr_round;
+use phylo_plf::{AncestralStore, PlfEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Search configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// SPR rearrangement radius (RAxML defaults to 5–10).
+    pub spr_radius: u32,
+    /// Maximum SPR rounds.
+    pub max_rounds: usize,
+    /// Newton–Raphson iterations per branch optimisation.
+    pub nr_iter: u32,
+    /// Minimum log-likelihood gain to accept a move / continue a round.
+    pub epsilon: f64,
+    /// Optimise the Γ shape between rounds.
+    pub optimize_model: bool,
+    /// Smoothing passes between rounds.
+    pub smooth_passes: usize,
+    /// RNG seed for the subtree visiting order.
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            spr_radius: 5,
+            max_rounds: 8,
+            nr_iter: 16,
+            epsilon: 1e-3,
+            optimize_model: true,
+            smooth_passes: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics of a completed search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchStats {
+    /// Log-likelihood of the starting tree after initial smoothing.
+    pub initial_lnl: f64,
+    /// Final log-likelihood.
+    pub final_lnl: f64,
+    /// SPR rounds executed.
+    pub rounds: usize,
+    /// SPR moves kept.
+    pub spr_applied: usize,
+    /// Candidate insertions evaluated.
+    pub spr_evaluated: u64,
+    /// Final Γ shape.
+    pub alpha: f64,
+}
+
+/// Run the search on an engine holding the starting tree. Deterministic
+/// for a given configuration (and starting state).
+pub fn hill_climb<S: AncestralStore>(
+    engine: &mut PlfEngine<S>,
+    cfg: &SearchConfig,
+) -> SearchStats {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Initial branch smoothing (and model optimisation) on the start tree.
+    let mut lnl = engine.smooth_branches(cfg.smooth_passes.max(1), cfg.nr_iter);
+    if cfg.optimize_model {
+        let (_, l) = engine.optimize_alpha(1e-3, 40);
+        lnl = l;
+    }
+    let initial_lnl = lnl;
+
+    let mut rounds = 0usize;
+    let mut spr_applied = 0usize;
+    let mut spr_evaluated = 0u64;
+    for _ in 0..cfg.max_rounds {
+        rounds += 1;
+        let round = lazy_spr_round(engine, cfg.spr_radius, cfg.nr_iter, cfg.epsilon, &mut rng);
+        spr_applied += round.applied;
+        spr_evaluated += round.evaluated;
+        let mut new_lnl = round.lnl;
+        if cfg.smooth_passes > 0 {
+            new_lnl = engine.smooth_branches(cfg.smooth_passes, cfg.nr_iter);
+        }
+        if cfg.optimize_model {
+            let (_, l) = engine.optimize_alpha(1e-3, 40);
+            new_lnl = l;
+        }
+        let improved = new_lnl > lnl + cfg.epsilon;
+        lnl = lnl.max(new_lnl);
+        if round.applied == 0 || !improved {
+            break;
+        }
+    }
+
+    SearchStats {
+        initial_lnl,
+        final_lnl: lnl,
+        rounds,
+        spr_applied,
+        spr_evaluated,
+        alpha: engine.alpha(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_plf::InRamStore;
+    use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment};
+    use phylo_tree::build::{random_topology, yule_like_lengths};
+    use phylo_tree::Tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn simulated_case(n: usize, s: usize, seed: u64) -> (Tree, CompressedAlignment) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut true_tree = random_topology(n, 0.1, &mut rng);
+        yule_like_lengths(&mut true_tree, 0.15, 1e-4, &mut rng);
+        let model = ReversibleModel::jc69();
+        let gamma = DiscreteGamma::new(1.0, 4);
+        let aln = simulate_alignment(&true_tree, &model, &gamma, s, &mut rng);
+        (true_tree, compress_patterns(&aln))
+    }
+
+    fn engine_from(
+        start: Tree,
+        comp: &CompressedAlignment,
+    ) -> PlfEngine<InRamStore> {
+        let dims = PlfEngine::<InRamStore>::dims_for(comp, 4);
+        let store = InRamStore::new(start.n_inner(), dims.width());
+        PlfEngine::new(start, comp, ReversibleModel::jc69(), 1.0, 4, store)
+    }
+
+    #[test]
+    fn search_improves_from_random_start() {
+        let (_, comp) = simulated_case(12, 200, 77);
+        let start = random_topology(12, 0.1, &mut StdRng::seed_from_u64(999));
+        let mut engine = engine_from(start, &comp);
+        let cfg = SearchConfig {
+            max_rounds: 4,
+            spr_radius: 4,
+            ..Default::default()
+        };
+        let stats = hill_climb(&mut engine, &cfg);
+        assert!(stats.final_lnl >= stats.initial_lnl - 1e-9);
+        assert!(stats.spr_evaluated > 0);
+        // Internal consistency after the whole search.
+        let partial = engine.log_likelihood();
+        engine.invalidate_all();
+        let full = engine.log_likelihood();
+        assert!((partial - full).abs() < 1e-8 * full.abs());
+    }
+
+    #[test]
+    fn search_recovers_likelihood_of_true_tree_ballpark() {
+        // Searching from a random start should get within a few log units
+        // of the (smoothed) true tree's likelihood on easy simulated data.
+        let (true_tree, comp) = simulated_case(10, 400, 78);
+        let mut engine_true = engine_from(true_tree, &comp);
+        let true_lnl = engine_true.smooth_branches(2, 24);
+
+        let start = random_topology(10, 0.1, &mut StdRng::seed_from_u64(4242));
+        let mut engine = engine_from(start, &comp);
+        let cfg = SearchConfig {
+            max_rounds: 6,
+            spr_radius: 6,
+            optimize_model: false,
+            ..Default::default()
+        };
+        let stats = hill_climb(&mut engine, &cfg);
+        assert!(
+            stats.final_lnl > true_lnl - 10.0,
+            "search lnl {} far below true-tree lnl {true_lnl}",
+            stats.final_lnl
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let (_, comp) = simulated_case(9, 120, 79);
+        let cfg = SearchConfig {
+            max_rounds: 2,
+            ..Default::default()
+        };
+        let run = || {
+            let start = random_topology(9, 0.1, &mut StdRng::seed_from_u64(5));
+            let mut engine = engine_from(start, &comp);
+            hill_climb(&mut engine, &cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_lnl.to_bits(), b.final_lnl.to_bits());
+        assert_eq!(a.spr_applied, b.spr_applied);
+        assert_eq!(a.spr_evaluated, b.spr_evaluated);
+    }
+}

@@ -1,0 +1,275 @@
+//! Bayesian-style MCMC sampling over trees.
+//!
+//! The paper (§5) notes its out-of-core concepts "can be applied to all
+//! PLF-based programs (ML and Bayesian)". This module provides the
+//! Bayesian-side workload: a Metropolis–Hastings sampler whose proposals
+//! (NNI topology moves, branch-length scalings, Γ-shape moves) generate a
+//! *different* ancestral-vector access pattern than hill climbing — more
+//! random, lower locality — which the `mcmc` ablation uses to probe the
+//! replacement strategies outside the ML comfort zone.
+//!
+//! Priors are deliberately simple (exponential on branch lengths,
+//! uniform on topologies, exponential on α): the sampler exists to drive
+//! the PLF realistically, not to be a full Bayesian package.
+
+use phylo_plf::{AncestralStore, PlfEngine};
+use phylo_tree::HalfEdgeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning parameters of the sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct McmcConfig {
+    /// Iterations to run.
+    pub iterations: usize,
+    /// Mean of the exponential branch-length prior.
+    pub branch_prior_mean: f64,
+    /// Multiplier window for branch-length proposals (`exp(u·λ)` scaling).
+    pub branch_tuning: f64,
+    /// Relative probability of a topology (NNI) proposal.
+    pub topology_weight: f64,
+    /// Relative probability of an α proposal.
+    pub alpha_weight: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            iterations: 500,
+            branch_prior_mean: 0.1,
+            branch_tuning: 1.0,
+            topology_weight: 0.3,
+            alpha_weight: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Chain statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McmcStats {
+    /// Iterations run.
+    pub iterations: usize,
+    /// Accepted proposals.
+    pub accepted: usize,
+    /// Accepted topology moves.
+    pub topology_accepted: usize,
+    /// Log-posterior of the final state.
+    pub final_log_posterior: f64,
+    /// Best log-posterior seen.
+    pub best_log_posterior: f64,
+    /// Mean log-posterior over the second half of the chain.
+    pub mean_log_posterior: f64,
+}
+
+/// Log prior: exponential on every branch length plus exponential(1) on α.
+fn log_prior<S: AncestralStore>(engine: &PlfEngine<S>, mean: f64) -> f64 {
+    let rate = 1.0 / mean;
+    let mut lp = 0.0;
+    for h in engine.tree().branches() {
+        lp += rate.ln() - rate * engine.tree().branch_length(h);
+    }
+    lp - engine.alpha()
+}
+
+/// Run a Metropolis–Hastings chain on the engine's tree. The engine is
+/// left in the final state of the chain.
+pub fn run_mcmc<S: AncestralStore>(engine: &mut PlfEngine<S>, cfg: &McmcConfig) -> McmcStats {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut log_like = engine.log_likelihood();
+    let mut log_post = log_like + log_prior(engine, cfg.branch_prior_mean);
+    let mut accepted = 0usize;
+    let mut topology_accepted = 0usize;
+    let mut best = log_post;
+    let mut second_half_sum = 0.0;
+    let mut second_half_n = 0usize;
+
+    let total_w = 1.0 + cfg.topology_weight + cfg.alpha_weight;
+    for iter in 0..cfg.iterations {
+        let u: f64 = rng.gen_range(0.0..total_w);
+        let (proposal_ll, log_hastings, undo): (f64, f64, Undo) = if u < cfg.topology_weight {
+            // NNI on a random internal branch (symmetric proposal).
+            let internal: Vec<HalfEdgeId> = engine
+                .tree()
+                .branches()
+                .filter(|&h| {
+                    !engine.tree().is_tip(engine.tree().node_of(h))
+                        && !engine.tree().is_tip(engine.tree().neighbor(h))
+                })
+                .collect();
+            if internal.is_empty() {
+                continue;
+            }
+            let h = internal[rng.gen_range(0..internal.len())];
+            let variant = rng.gen_range(0..2u8);
+            let nni_undo = engine.apply_nni(h, variant);
+            let ll = engine.log_likelihood_at(h, false);
+            (ll, 0.0, Undo::Nni(nni_undo))
+        } else if u < cfg.topology_weight + cfg.alpha_weight {
+            // Multiplicative α proposal: Hastings ratio = ln(multiplier).
+            let old_alpha = engine.alpha();
+            let log_m = rng.gen_range(-0.5..0.5f64);
+            let new_alpha = (old_alpha * log_m.exp()).clamp(0.02, 100.0);
+            engine.set_alpha(new_alpha);
+            let ll = engine.log_likelihood();
+            (ll, (new_alpha / old_alpha).ln(), Undo::Alpha(old_alpha))
+        } else {
+            // Multiplicative branch-length proposal on a random branch.
+            let n_he = engine.tree().n_half_edges() as u32;
+            let h = loop {
+                let h = rng.gen_range(0..n_he);
+                if engine.tree().is_connected(h) {
+                    break h;
+                }
+            };
+            let old_len = engine.tree().branch_length(h);
+            let log_m = rng.gen_range(-cfg.branch_tuning..cfg.branch_tuning);
+            let new_len = (old_len * log_m.exp()).clamp(1e-7, 50.0);
+            engine.set_branch_length(h, new_len);
+            let ll = engine.log_likelihood_at(h, false);
+            (ll, (new_len / old_len).ln(), Undo::Branch(h, old_len))
+        };
+
+        let proposal_post = proposal_ll + log_prior(engine, cfg.branch_prior_mean);
+        let log_ratio = proposal_post - log_post + log_hastings;
+        if log_ratio >= 0.0 || rng.gen_range(0.0f64..1.0).ln() < log_ratio {
+            // Accept.
+            accepted += 1;
+            if matches!(undo, Undo::Nni(_)) {
+                topology_accepted += 1;
+            }
+            log_like = proposal_ll;
+            log_post = proposal_post;
+        } else {
+            // Reject: restore the previous state.
+            match undo {
+                Undo::Nni(nu) => engine.undo_nni(&nu),
+                Undo::Alpha(a) => engine.set_alpha(a),
+                Undo::Branch(h, len) => engine.set_branch_length(h, len),
+            }
+        }
+        let _ = log_like;
+        best = best.max(log_post);
+        if iter >= cfg.iterations / 2 {
+            second_half_sum += log_post;
+            second_half_n += 1;
+        }
+    }
+
+    McmcStats {
+        iterations: cfg.iterations,
+        accepted,
+        topology_accepted,
+        final_log_posterior: log_post,
+        best_log_posterior: best,
+        mean_log_posterior: second_half_sum / second_half_n.max(1) as f64,
+    }
+}
+
+enum Undo {
+    Nni(phylo_tree::spr::NniUndo),
+    Alpha(f64),
+    Branch(HalfEdgeId, f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_plf::InRamStore;
+    use phylo_seq::{compress_patterns, simulate_alignment};
+    use phylo_tree::build::{random_topology, yule_like_lengths};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine(seed: u64) -> PlfEngine<InRamStore> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = random_topology(10, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, 0.12, 1e-4, &mut rng);
+        let model = ReversibleModel::jc69();
+        let gamma = DiscreteGamma::new(1.0, 4);
+        let aln = simulate_alignment(&tree, &model, &gamma, 150, &mut rng);
+        let comp = compress_patterns(&aln);
+        let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+        let store = InRamStore::new(tree.n_inner(), dims.width());
+        PlfEngine::new(tree, &comp, model, 1.0, 4, store)
+    }
+
+    #[test]
+    fn chain_runs_and_accepts_some_moves() {
+        let mut e = engine(1);
+        let cfg = McmcConfig {
+            iterations: 300,
+            seed: 7,
+            ..Default::default()
+        };
+        let stats = run_mcmc(&mut e, &cfg);
+        assert_eq!(stats.iterations, 300);
+        assert!(stats.accepted > 10, "acceptance too low: {}", stats.accepted);
+        assert!(stats.accepted < 300, "everything accepted is suspicious");
+        assert!(stats.final_log_posterior.is_finite());
+        assert!(stats.best_log_posterior >= stats.final_log_posterior);
+    }
+
+    #[test]
+    fn rejected_moves_restore_state_exactly() {
+        // After the chain, incremental likelihood must equal a full
+        // recompute — i.e. every rejection's undo left consistent state.
+        let mut e = engine(2);
+        let cfg = McmcConfig {
+            iterations: 200,
+            seed: 3,
+            ..Default::default()
+        };
+        run_mcmc(&mut e, &cfg);
+        let partial = e.log_likelihood();
+        e.invalidate_all();
+        let full = e.log_likelihood();
+        assert!(
+            (partial - full).abs() < 1e-8 * full.abs(),
+            "{partial} vs {full}"
+        );
+    }
+
+    #[test]
+    fn chain_is_deterministic() {
+        let cfg = McmcConfig {
+            iterations: 150,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = |seed| {
+            let mut e = engine(seed);
+            run_mcmc(&mut e, &cfg)
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.final_log_posterior.to_bits(), b.final_log_posterior.to_bits());
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn chain_improves_from_bad_start() {
+        // Start with all branch lengths far too long: the chain should
+        // drift towards much better posteriors.
+        let mut e = engine(4);
+        let branches: Vec<_> = e.tree().branches().collect();
+        for h in branches {
+            e.set_branch_length(h, 3.0);
+        }
+        let start = e.log_likelihood() + log_prior(&e, 0.1);
+        let cfg = McmcConfig {
+            iterations: 600,
+            seed: 13,
+            ..Default::default()
+        };
+        let stats = run_mcmc(&mut e, &cfg);
+        assert!(
+            stats.best_log_posterior > start + 10.0,
+            "no improvement: start {start}, best {}",
+            stats.best_log_posterior
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! Multiple sequence alignment container.
+
+use crate::alphabet::{Alphabet, SiteMask};
+
+/// A multiple sequence alignment: `n` encoded sequences of equal length.
+/// Sequence order defines the tip ids used throughout the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alignment {
+    alphabet: Alphabet,
+    names: Vec<String>,
+    /// Per-sequence state masks, each of length `n_sites`.
+    seqs: Vec<Vec<SiteMask>>,
+    n_sites: usize,
+}
+
+/// Errors building an alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlignmentError {
+    /// Sequence `name` has a different length than the first sequence.
+    LengthMismatch(String),
+    /// Character not encodable in the chosen alphabet.
+    BadCharacter(char, String),
+    /// No sequences at all.
+    Empty,
+}
+
+impl std::fmt::Display for AlignmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignmentError::LengthMismatch(n) => write!(f, "sequence {n:?} has mismatched length"),
+            AlignmentError::BadCharacter(c, n) => {
+                write!(f, "character {c:?} in sequence {n:?} is not encodable")
+            }
+            AlignmentError::Empty => write!(f, "alignment has no sequences"),
+        }
+    }
+}
+
+impl std::error::Error for AlignmentError {}
+
+impl Alignment {
+    /// Build from raw character sequences, encoding each character.
+    pub fn from_chars(
+        alphabet: Alphabet,
+        entries: &[(String, String)],
+    ) -> Result<Self, AlignmentError> {
+        if entries.is_empty() {
+            return Err(AlignmentError::Empty);
+        }
+        let n_sites = entries[0].1.len();
+        let mut names = Vec::with_capacity(entries.len());
+        let mut seqs = Vec::with_capacity(entries.len());
+        for (name, chars) in entries {
+            if chars.len() != n_sites {
+                return Err(AlignmentError::LengthMismatch(name.clone()));
+            }
+            let mut enc = Vec::with_capacity(n_sites);
+            for &b in chars.as_bytes() {
+                match alphabet.encode(b) {
+                    Some(m) => enc.push(m),
+                    None => {
+                        return Err(AlignmentError::BadCharacter(b as char, name.clone()))
+                    }
+                }
+            }
+            names.push(name.clone());
+            seqs.push(enc);
+        }
+        Ok(Alignment {
+            alphabet,
+            names,
+            seqs,
+            n_sites,
+        })
+    }
+
+    /// Build directly from encoded masks (used by the simulator).
+    pub fn from_encoded(
+        alphabet: Alphabet,
+        names: Vec<String>,
+        seqs: Vec<Vec<SiteMask>>,
+    ) -> Self {
+        assert!(!seqs.is_empty());
+        let n_sites = seqs[0].len();
+        assert!(seqs.iter().all(|s| s.len() == n_sites));
+        assert_eq!(names.len(), seqs.len());
+        let all = alphabet.all_states();
+        assert!(seqs
+            .iter()
+            .all(|s| s.iter().all(|&m| m != 0 && m <= all)));
+        Alignment {
+            alphabet,
+            names,
+            seqs,
+            n_sites,
+        }
+    }
+
+    /// The alphabet of this alignment.
+    #[inline]
+    pub fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    /// Number of sequences (taxa).
+    #[inline]
+    pub fn n_seqs(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Number of alignment columns.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.n_sites
+    }
+
+    /// Sequence names in tip-id order.
+    #[inline]
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Encoded masks of sequence `i`.
+    #[inline]
+    pub fn seq(&self, i: usize) -> &[SiteMask] {
+        &self.seqs[i]
+    }
+
+    /// Decode sequence `i` back to characters.
+    pub fn seq_chars(&self, i: usize) -> String {
+        self.seqs[i]
+            .iter()
+            .map(|&m| self.alphabet.decode(m) as char)
+            .collect()
+    }
+
+    /// Restrict to the given column indices (with repetition allowed);
+    /// used by pattern compression and bootstrapping.
+    pub fn select_columns(&self, cols: &[usize]) -> Alignment {
+        let seqs = self
+            .seqs
+            .iter()
+            .map(|s| cols.iter().map(|&c| s[c]).collect())
+            .collect();
+        Alignment {
+            alphabet: self.alphabet,
+            names: self.names.clone(),
+            seqs,
+            n_sites: cols.len(),
+        }
+    }
+
+    /// Empirical state frequencies over unambiguous characters, with a
+    /// tiny pseudo-count so no frequency is ever zero.
+    pub fn empirical_freqs(&self) -> Vec<f64> {
+        let n = self.alphabet.n_states();
+        let mut counts = vec![1.0f64; n]; // pseudo-count
+        for s in &self.seqs {
+            for &m in s {
+                if m.count_ones() == 1 {
+                    counts[m.trailing_zeros() as usize] += 1.0;
+                }
+            }
+        }
+        let total: f64 = counts.iter().sum();
+        counts.iter().map(|c| c / total).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Alignment {
+        Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ACGT".into()),
+                ("b".into(), "ACGA".into()),
+                ("c".into(), "AC-N".into()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let a = toy();
+        assert_eq!(a.n_seqs(), 3);
+        assert_eq!(a.n_sites(), 4);
+        assert_eq!(a.names(), &["a", "b", "c"]);
+        assert_eq!(a.seq(0)[3], 8); // T
+        assert_eq!(a.seq(2)[2], 0xF); // gap
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let e = Alignment::from_chars(
+            Alphabet::Dna,
+            &[("a".into(), "ACGT".into()), ("b".into(), "ACG".into())],
+        );
+        assert!(matches!(e, Err(AlignmentError::LengthMismatch(_))));
+    }
+
+    #[test]
+    fn bad_character_rejected() {
+        let e = Alignment::from_chars(Alphabet::Dna, &[("a".into(), "AC!T".into())]);
+        assert!(matches!(e, Err(AlignmentError::BadCharacter('!', _))));
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let a = toy();
+        assert_eq!(a.seq_chars(0), "ACGT");
+        // '-' and 'N' both encode to the all-states mask, which decodes to 'N'.
+        assert_eq!(a.seq_chars(2), "ACNN");
+    }
+
+    #[test]
+    fn select_columns_projects() {
+        let a = toy();
+        let b = a.select_columns(&[3, 0, 0]);
+        assert_eq!(b.n_sites(), 3);
+        assert_eq!(b.seq_chars(0), "TAA");
+    }
+
+    #[test]
+    fn empirical_freqs_sum_to_one_and_reflect_content() {
+        let a = Alignment::from_chars(
+            Alphabet::Dna,
+            &[("a".into(), "AAAA".into()), ("b".into(), "AAAC".into())],
+        )
+        .unwrap();
+        let f = a.empirical_freqs();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(f[0] > f[1] && f[1] > f[2]); // A dominates, C appears once, G never
+    }
+
+    #[test]
+    fn from_encoded_validates_masks() {
+        let a = Alignment::from_encoded(
+            Alphabet::Dna,
+            vec!["x".into()],
+            vec![vec![1, 2, 4, 8]],
+        );
+        assert_eq!(a.seq_chars(0), "ACGT");
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_encoded_rejects_zero_mask() {
+        let _ = Alignment::from_encoded(Alphabet::Dna, vec!["x".into()], vec![vec![0]]);
+    }
+}

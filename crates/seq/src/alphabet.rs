@@ -1,0 +1,218 @@
+//! Character-state alphabets and ambiguity-code bit encoding.
+//!
+//! Every alignment character is stored as a *state mask*: bit `i` set means
+//! "state `i` is compatible with the observation". Unambiguous characters
+//! have exactly one bit set; IUPAC ambiguity codes, gaps and unknowns set
+//! several (or all) bits. The PLF treats a tip mask as an indicator
+//! likelihood vector, which is why the encoding matters.
+
+/// A set of compatible states, one bit per state (up to 32 states).
+pub type SiteMask = u32;
+
+/// Supported character-state alphabets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Alphabet {
+    /// Nucleotides A, C, G, T (indices 0..4) with IUPAC ambiguity codes.
+    Dna,
+    /// Amino acids in PAML order `ARNDCQEGHILKMFPSTWYV` (indices 0..20).
+    Protein,
+}
+
+/// Amino-acid ordering used throughout (PAML/RAxML convention).
+pub const AA_ORDER: &[u8; 20] = b"ARNDCQEGHILKMFPSTWYV";
+
+impl Alphabet {
+    /// Number of character states.
+    #[inline]
+    pub fn n_states(self) -> usize {
+        match self {
+            Alphabet::Dna => 4,
+            Alphabet::Protein => 20,
+        }
+    }
+
+    /// Mask with every state bit set (gap / fully unknown).
+    #[inline]
+    pub fn all_states(self) -> SiteMask {
+        (1u32 << self.n_states()) - 1
+    }
+
+    /// Encode one character to a state mask. Returns `None` for characters
+    /// that are not part of the alphabet (after ASCII upper-casing).
+    pub fn encode(self, c: u8) -> Option<SiteMask> {
+        let c = c.to_ascii_uppercase();
+        match self {
+            Alphabet::Dna => {
+                const A: u32 = 1;
+                const C: u32 = 2;
+                const G: u32 = 4;
+                const T: u32 = 8;
+                Some(match c {
+                    b'A' => A,
+                    b'C' => C,
+                    b'G' => G,
+                    b'T' | b'U' => T,
+                    b'R' => A | G,
+                    b'Y' => C | T,
+                    b'S' => C | G,
+                    b'W' => A | T,
+                    b'K' => G | T,
+                    b'M' => A | C,
+                    b'B' => C | G | T,
+                    b'D' => A | G | T,
+                    b'H' => A | C | T,
+                    b'V' => A | C | G,
+                    b'N' | b'X' | b'?' | b'-' | b'O' => A | C | G | T,
+                    _ => return None,
+                })
+            }
+            Alphabet::Protein => {
+                if let Some(idx) = AA_ORDER.iter().position(|&a| a == c) {
+                    return Some(1 << idx);
+                }
+                let bit = |aa: u8| 1u32 << AA_ORDER.iter().position(|&a| a == aa).unwrap();
+                Some(match c {
+                    b'B' => bit(b'N') | bit(b'D'),
+                    b'Z' => bit(b'Q') | bit(b'E'),
+                    b'J' => bit(b'I') | bit(b'L'),
+                    b'X' | b'?' | b'-' | b'*' | b'U' | b'O' => self.all_states(),
+                    _ => return None,
+                })
+            }
+        }
+    }
+
+    /// Decode a mask back to a display character. Unambiguous masks decode
+    /// to their state letter; everything else decodes to the most specific
+    /// matching ambiguity code (DNA) or `X`/`-` (protein).
+    pub fn decode(self, mask: SiteMask) -> u8 {
+        assert!(mask != 0 && mask <= self.all_states());
+        match self {
+            Alphabet::Dna => {
+                const LUT: &[u8; 16] = b".ACMGRSVTWYHKDBN";
+                LUT[mask as usize]
+            }
+            Alphabet::Protein => {
+                if mask == self.all_states() {
+                    return b'-';
+                }
+                if mask.count_ones() == 1 {
+                    return AA_ORDER[mask.trailing_zeros() as usize];
+                }
+                let bit = |aa: u8| 1u32 << AA_ORDER.iter().position(|&a| a == aa).unwrap();
+                if mask == bit(b'N') | bit(b'D') {
+                    b'B'
+                } else if mask == bit(b'Q') | bit(b'E') {
+                    b'Z'
+                } else if mask == bit(b'I') | bit(b'L') {
+                    b'J'
+                } else {
+                    b'X'
+                }
+            }
+        }
+    }
+
+    /// Mask for an unambiguous state index.
+    #[inline]
+    pub fn state_mask(self, state: usize) -> SiteMask {
+        debug_assert!(state < self.n_states());
+        1 << state
+    }
+}
+
+/// Pack 4-bit DNA masks eight-to-a-word, as the paper describes for tip
+/// storage ("one 32-bit integer is sufficient to store 8 nucleotides when
+/// ambiguous DNA character encoding is used"). Site `i` occupies bits
+/// `4*(i % 8) ..` of word `i / 8`.
+pub fn pack_dna(masks: &[SiteMask]) -> Vec<u32> {
+    let mut out = vec![0u32; masks.len().div_ceil(8)];
+    for (i, &m) in masks.iter().enumerate() {
+        debug_assert!(m <= 0xF, "DNA masks are 4 bits");
+        out[i / 8] |= m << (4 * (i % 8));
+    }
+    out
+}
+
+/// Inverse of [`pack_dna`]; `len` is the original number of sites.
+pub fn unpack_dna(packed: &[u32], len: usize) -> Vec<SiteMask> {
+    assert!(len <= packed.len() * 8);
+    (0..len)
+        .map(|i| (packed[i / 8] >> (4 * (i % 8))) & 0xF)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dna_unambiguous_single_bit() {
+        for (c, bit) in [(b'A', 0), (b'C', 1), (b'G', 2), (b'T', 3)] {
+            let m = Alphabet::Dna.encode(c).unwrap();
+            assert_eq!(m, 1 << bit);
+            assert_eq!(m.count_ones(), 1);
+        }
+        assert_eq!(Alphabet::Dna.encode(b'U'), Alphabet::Dna.encode(b'T'));
+    }
+
+    #[test]
+    fn dna_ambiguity_codes() {
+        let e = |c| Alphabet::Dna.encode(c).unwrap();
+        assert_eq!(e(b'R'), e(b'A') | e(b'G'));
+        assert_eq!(e(b'Y'), e(b'C') | e(b'T'));
+        assert_eq!(e(b'N'), 0xF);
+        assert_eq!(e(b'-'), 0xF);
+        assert_eq!(e(b'n'), 0xF, "lower case accepted");
+        assert_eq!(Alphabet::Dna.encode(b'!'), None);
+    }
+
+    #[test]
+    fn dna_decode_roundtrip() {
+        for c in b"ACGTRYSWKMBDHVN".iter().copied() {
+            let m = Alphabet::Dna.encode(c).unwrap();
+            assert_eq!(Alphabet::Dna.decode(m), c, "char {}", c as char);
+        }
+    }
+
+    #[test]
+    fn protein_unambiguous() {
+        for (i, &c) in AA_ORDER.iter().enumerate() {
+            let m = Alphabet::Protein.encode(c).unwrap();
+            assert_eq!(m, 1 << i);
+            assert_eq!(Alphabet::Protein.decode(m), c);
+        }
+    }
+
+    #[test]
+    fn protein_ambiguity() {
+        let p = Alphabet::Protein;
+        assert_eq!(p.encode(b'X').unwrap(), p.all_states());
+        assert_eq!(p.encode(b'-').unwrap(), p.all_states());
+        let b = p.encode(b'B').unwrap();
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(p.decode(b), b'B');
+        assert_eq!(p.encode(b'1'), None);
+    }
+
+    #[test]
+    fn all_states_width() {
+        assert_eq!(Alphabet::Dna.all_states(), 0xF);
+        assert_eq!(Alphabet::Protein.all_states(), 0xF_FFFF);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let masks: Vec<SiteMask> = (0..37).map(|i| ((i * 7 + 3) % 15 + 1) as u32).collect();
+        let packed = pack_dna(&masks);
+        assert_eq!(packed.len(), 5);
+        assert_eq!(unpack_dna(&packed, 37), masks);
+    }
+
+    #[test]
+    fn pack_density_matches_paper() {
+        // 8 nucleotides per 32-bit integer.
+        let masks = vec![0xFu32; 8000];
+        assert_eq!(pack_dna(&masks).len(), 1000);
+    }
+}

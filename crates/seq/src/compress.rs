@@ -1,0 +1,136 @@
+//! Site-pattern compression.
+//!
+//! Identical alignment columns contribute identical per-site likelihoods, so
+//! production PLF implementations compute each distinct *pattern* once and
+//! weight its log-likelihood by the column count. This shrinks the ancestral
+//! probability vectors (and thus the out-of-core working set) without
+//! changing the result.
+
+use crate::alignment::Alignment;
+use std::collections::HashMap;
+
+/// An alignment reduced to its distinct columns plus per-pattern weights.
+#[derive(Debug, Clone)]
+pub struct CompressedAlignment {
+    /// The pattern alignment (one column per distinct site pattern).
+    pub alignment: Alignment,
+    /// Multiplicity of each pattern column in the original alignment.
+    pub weights: Vec<u32>,
+    /// For each original column, the index of its pattern.
+    pub site_to_pattern: Vec<u32>,
+}
+
+impl CompressedAlignment {
+    /// Number of distinct patterns.
+    pub fn n_patterns(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Total weight, equal to the original alignment length.
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().map(|&w| w as u64).sum()
+    }
+}
+
+/// Compress an alignment into distinct site patterns with weights.
+/// Patterns keep their first-occurrence order, so compression is
+/// deterministic.
+pub fn compress_patterns(alignment: &Alignment) -> CompressedAlignment {
+    let n_seqs = alignment.n_seqs();
+    let n_sites = alignment.n_sites();
+    let mut pattern_of: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut order: Vec<usize> = Vec::new();
+    let mut weights: Vec<u32> = Vec::new();
+    let mut site_to_pattern = Vec::with_capacity(n_sites);
+    let mut column = Vec::with_capacity(n_seqs);
+    for site in 0..n_sites {
+        column.clear();
+        for s in 0..n_seqs {
+            column.push(alignment.seq(s)[site]);
+        }
+        let next_id = pattern_of.len() as u32;
+        let id = *pattern_of.entry(column.clone()).or_insert_with(|| {
+            order.push(site);
+            weights.push(0);
+            next_id
+        });
+        weights[id as usize] += 1;
+        site_to_pattern.push(id);
+    }
+    CompressedAlignment {
+        alignment: alignment.select_columns(&order),
+        weights,
+        site_to_pattern,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn toy() -> Alignment {
+        Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "AAGAG".into()),
+                ("b".into(), "CCTCT".into()),
+                ("c".into(), "GGAGA".into()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_columns_merge() {
+        let c = compress_patterns(&toy());
+        // Columns: ACG, ACG, GTA, ACG, GTA -> 2 patterns, weights 3 and 2.
+        assert_eq!(c.n_patterns(), 2);
+        assert_eq!(c.weights, vec![3, 2]);
+        assert_eq!(c.site_to_pattern, vec![0, 0, 1, 0, 1]);
+        assert_eq!(c.total_weight(), 5);
+    }
+
+    #[test]
+    fn patterns_preserve_column_content() {
+        let a = toy();
+        let c = compress_patterns(&a);
+        for (site, &pat) in c.site_to_pattern.iter().enumerate() {
+            for s in 0..a.n_seqs() {
+                assert_eq!(a.seq(s)[site], c.alignment.seq(s)[pat as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_unique_columns_unchanged() {
+        let a = Alignment::from_chars(
+            Alphabet::Dna,
+            &[("a".into(), "ACGT".into()), ("b".into(), "TGCA".into())],
+        )
+        .unwrap();
+        let c = compress_patterns(&a);
+        assert_eq!(c.n_patterns(), 4);
+        assert!(c.weights.iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn ambiguity_distinguishes_patterns() {
+        // A column with N differs from a column with A even though N covers A.
+        let a = Alignment::from_chars(
+            Alphabet::Dna,
+            &[("a".into(), "AN".into()), ("b".into(), "CC".into())],
+        )
+        .unwrap();
+        let c = compress_patterns(&a);
+        assert_eq!(c.n_patterns(), 2);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let c1 = compress_patterns(&toy());
+        let c2 = compress_patterns(&toy());
+        assert_eq!(c1.site_to_pattern, c2.site_to_pattern);
+        assert_eq!(c1.weights, c2.weights);
+    }
+}

@@ -1,0 +1,146 @@
+//! FASTA reading and writing.
+
+use crate::alignment::{Alignment, AlignmentError};
+use crate::alphabet::Alphabet;
+use std::io::{self, BufRead, Write};
+
+/// Errors when reading FASTA.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or encoding problem.
+    Format(String),
+}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+impl From<AlignmentError> for FastaError {
+    fn from(e: AlignmentError) -> Self {
+        FastaError::Format(e.to_string())
+    }
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::Format(s) => write!(f, "FASTA format error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+/// Read an aligned FASTA file from any buffered reader.
+pub fn read_fasta<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Alignment, FastaError> {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    let mut current: Option<(String, String)> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('>') {
+            if let Some(done) = current.take() {
+                entries.push(done);
+            }
+            let name = name.split_whitespace().next().unwrap_or("").to_owned();
+            if name.is_empty() {
+                return Err(FastaError::Format("empty sequence name".into()));
+            }
+            current = Some((name, String::new()));
+        } else {
+            match current.as_mut() {
+                Some((_, seq)) => seq.push_str(line.trim()),
+                None => {
+                    return Err(FastaError::Format(
+                        "sequence data before first '>' header".into(),
+                    ))
+                }
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.push(done);
+    }
+    Ok(Alignment::from_chars(alphabet, &entries)?)
+}
+
+/// Write an alignment as FASTA with 70-column wrapping.
+pub fn write_fasta<W: Write>(w: &mut W, alignment: &Alignment) -> io::Result<()> {
+    for i in 0..alignment.n_seqs() {
+        writeln!(w, ">{}", alignment.names()[i])?;
+        let chars = alignment.seq_chars(i);
+        for chunk in chars.as_bytes().chunks(70) {
+            w.write_all(chunk)?;
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_simple() {
+        let data = ">a desc ignored\nACGT\n>b\nAC\nGT\n";
+        let a = read_fasta(BufReader::new(data.as_bytes()), Alphabet::Dna).unwrap();
+        assert_eq!(a.n_seqs(), 2);
+        assert_eq!(a.names(), &["a", "b"]);
+        assert_eq!(a.seq_chars(1), "ACGT");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("tax1".into(), "ACGTN-RY".into()),
+                ("tax2".into(), "TTTTACGT".into()),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &a).unwrap();
+        let b = read_fasta(BufReader::new(&buf[..]), Alphabet::Dna).unwrap();
+        assert_eq!(a.names(), b.names());
+        assert_eq!(a.seq(0), b.seq(0));
+        assert_eq!(a.seq(1), b.seq(1));
+    }
+
+    #[test]
+    fn data_before_header_is_error() {
+        let r = read_fasta(BufReader::new("ACGT\n>a\nAC".as_bytes()), Alphabet::Dna);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn ragged_lengths_rejected() {
+        let r = read_fasta(
+            BufReader::new(">a\nACGT\n>b\nAC\n".as_bytes()),
+            Alphabet::Dna,
+        );
+        assert!(matches!(r, Err(FastaError::Format(_))));
+    }
+
+    #[test]
+    fn long_sequences_wrap() {
+        let seq: String = "A".repeat(200);
+        let a = Alignment::from_chars(Alphabet::Dna, &[("x".into(), seq)]).unwrap();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &a).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().all(|l| l.len() <= 70));
+        let b = read_fasta(BufReader::new(text.as_bytes()), Alphabet::Dna).unwrap();
+        assert_eq!(b.n_sites(), 200);
+    }
+}

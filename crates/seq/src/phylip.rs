@@ -1,0 +1,157 @@
+//! Relaxed sequential PHYLIP reading and writing (the format RAxML uses).
+//!
+//! Header line `n_seqs n_sites`, then one `name sequence` record per line;
+//! sequence data may contain internal whitespace.
+
+use crate::alignment::{Alignment, AlignmentError};
+use crate::alphabet::Alphabet;
+use std::io::{self, BufRead, Write};
+
+/// Errors when reading PHYLIP.
+#[derive(Debug)]
+pub enum PhylipError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or encoding problem.
+    Format(String),
+}
+
+impl From<io::Error> for PhylipError {
+    fn from(e: io::Error) -> Self {
+        PhylipError::Io(e)
+    }
+}
+
+impl From<AlignmentError> for PhylipError {
+    fn from(e: AlignmentError) -> Self {
+        PhylipError::Format(e.to_string())
+    }
+}
+
+impl std::fmt::Display for PhylipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhylipError::Io(e) => write!(f, "I/O error: {e}"),
+            PhylipError::Format(s) => write!(f, "PHYLIP format error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PhylipError {}
+
+/// Read a relaxed sequential PHYLIP alignment.
+pub fn read_phylip<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Alignment, PhylipError> {
+    let mut lines = reader.lines();
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => return Err(PhylipError::Format("missing header".into())),
+        }
+    };
+    let mut parts = header.split_whitespace();
+    let n_seqs: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PhylipError::Format("bad taxon count".into()))?;
+    let n_sites: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| PhylipError::Format("bad site count".into()))?;
+
+    let mut entries = Vec::with_capacity(n_seqs);
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let name = it
+            .next()
+            .ok_or_else(|| PhylipError::Format("missing name".into()))?
+            .to_owned();
+        let seq: String = it.collect();
+        entries.push((name, seq));
+        if entries.len() == n_seqs {
+            break;
+        }
+    }
+    if entries.len() != n_seqs {
+        return Err(PhylipError::Format(format!(
+            "expected {n_seqs} sequences, found {}",
+            entries.len()
+        )));
+    }
+    if entries.iter().any(|(_, s)| s.len() != n_sites) {
+        return Err(PhylipError::Format("sequence length != header".into()));
+    }
+    Ok(Alignment::from_chars(alphabet, &entries)?)
+}
+
+/// Write relaxed sequential PHYLIP.
+pub fn write_phylip<W: Write>(w: &mut W, alignment: &Alignment) -> io::Result<()> {
+    writeln!(w, "{} {}", alignment.n_seqs(), alignment.n_sites())?;
+    for i in 0..alignment.n_seqs() {
+        writeln!(w, "{} {}", alignment.names()[i], alignment.seq_chars(i))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_simple() {
+        let data = "2 4\ntaxA ACGT\ntaxB TT GA\n";
+        let a = read_phylip(BufReader::new(data.as_bytes()), Alphabet::Dna).unwrap();
+        assert_eq!(a.n_seqs(), 2);
+        assert_eq!(a.seq_chars(1), "TTGA");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let a = Alignment::from_chars(
+            Alphabet::Dna,
+            &[("x".into(), "ACGTAC".into()), ("y".into(), "NNACGT".into())],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_phylip(&mut buf, &a).unwrap();
+        let b = read_phylip(BufReader::new(&buf[..]), Alphabet::Dna).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn header_mismatch_detected() {
+        let r = read_phylip(
+            BufReader::new("3 4\na ACGT\nb ACGT\n".as_bytes()),
+            Alphabet::Dna,
+        );
+        assert!(r.is_err());
+        let r = read_phylip(
+            BufReader::new("1 5\na ACGT\n".as_bytes()),
+            Alphabet::Dna,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn protein_alignment_roundtrip() {
+        let a = Alignment::from_chars(
+            Alphabet::Protein,
+            &[("p1".into(), "ARNDC".into()), ("p2".into(), "QEGHX".into())],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_phylip(&mut buf, &a).unwrap();
+        let b = read_phylip(BufReader::new(&buf[..]), Alphabet::Protein).unwrap();
+        assert_eq!(a.seq(1), b.seq(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Sequence simulation along a tree (the INDELible substitute).
+//!
+//! Draws a root sequence from the stationary distribution, assigns each site
+//! a discrete-Γ rate category, and evolves states along every branch using
+//! the exact transition probabilities `P(t·r_c)`. This is how we generate
+//! the paper's datasets: the 1288/1908-taxon search inputs and the
+//! 8192-taxon variable-width datasets of Figure 5 (the paper used INDELible
+//! for the latter; substitution-only simulation reproduces the same
+//! alignment geometry, which is all the out-of-core experiments depend on).
+
+use crate::alignment::Alignment;
+use crate::alphabet::Alphabet;
+use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
+use phylo_tree::Tree;
+use rand::Rng;
+
+/// Simulate an alignment of `n_sites` columns along `tree` under `model`
+/// with `gamma` rate heterogeneity. Tip `i` of the tree becomes sequence `i`
+/// named `t<i>`. All characters are unambiguous.
+pub fn simulate_alignment<R: Rng>(
+    tree: &Tree,
+    model: &ReversibleModel,
+    gamma: &DiscreteGamma,
+    n_sites: usize,
+    rng: &mut R,
+) -> Alignment {
+    let alphabet = match model.n_states() {
+        4 => Alphabet::Dna,
+        20 => Alphabet::Protein,
+        n => panic!("no alphabet with {n} states"),
+    };
+    let n_states = model.n_states();
+    let eigen = model.eigen();
+    let n_cats = gamma.n_cats();
+
+    // Per-branch transition matrices, indexed by half-edge id of the
+    // child-facing half-edge (we fill both directions for simplicity).
+    let mut pmats: Vec<Option<PMatrices>> = (0..tree.n_half_edges()).map(|_| None).collect();
+    for h in tree.branches() {
+        let mut pm = PMatrices::new(n_states, n_cats);
+        pm.update(&eigen, gamma, tree.branch_length(h));
+        pmats[h as usize] = Some(pm);
+        pmats[tree.back(h) as usize] = None; // one copy per branch is enough
+    }
+    let pm_of = |h: u32| -> &PMatrices {
+        pmats[h as usize]
+            .as_ref()
+            .or(pmats[tree.back(h) as usize].as_ref())
+            .expect("transition matrix missing")
+    };
+
+    // Site rate categories, fixed across the tree.
+    let cats: Vec<u8> = (0..n_sites).map(|_| rng.gen_range(0..n_cats) as u8).collect();
+
+    // Root the simulation at inner node 0 and evolve outwards in pre-order.
+    let root = tree.inner_node(0);
+    let mut states: Vec<Vec<u8>> = vec![Vec::new(); tree.n_nodes()];
+    states[root as usize] = (0..n_sites)
+        .map(|_| sample_categorical(model.freqs(), rng))
+        .collect();
+
+    // Pre-order over directed half-edges leaving the root region.
+    let mut stack: Vec<u32> = tree.ring(root).to_vec();
+    while let Some(h) = stack.pop() {
+        let parent = tree.node_of(h);
+        let child = tree.neighbor(h);
+        let pm = pm_of(h);
+        let parent_states = std::mem::take(&mut states[parent as usize]);
+        let mut child_states = Vec::with_capacity(n_sites);
+        let mut row = vec![0.0f64; n_states];
+        for site in 0..n_sites {
+            let x = parent_states[site] as usize;
+            let c = cats[site] as usize;
+            let cat = pm.cat(c);
+            row.copy_from_slice(&cat[x * n_states..(x + 1) * n_states]);
+            child_states.push(sample_categorical(&row, rng));
+        }
+        states[parent as usize] = parent_states;
+        states[child as usize] = child_states;
+        if !tree.is_tip(child) {
+            let hb = tree.back(h);
+            let (l, r) = tree.children_dirs(hb);
+            stack.push(l);
+            stack.push(r);
+        }
+        // Parent states can be dropped once all its outgoing edges are done;
+        // for simplicity we keep them (peak memory n_nodes * n_sites bytes).
+    }
+
+    let names: Vec<String> = (0..tree.n_tips()).map(|i| format!("t{i}")).collect();
+    let seqs: Vec<Vec<u32>> = (0..tree.n_tips())
+        .map(|t| {
+            states[t]
+                .iter()
+                .map(|&s| alphabet.state_mask(s as usize))
+                .collect()
+        })
+        .collect();
+    Alignment::from_encoded(alphabet, names, seqs)
+}
+
+/// Sample an index from unnormalised non-negative weights.
+fn sample_categorical<R: Rng>(weights: &[f64], rng: &mut R) -> u8 {
+    let total: f64 = weights.iter().sum();
+    debug_assert!(total > 0.0);
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i as u8;
+        }
+        u -= w;
+    }
+    (weights.len() - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phylo_tree::build::{random_topology, yule_like_lengths};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, seed: u64) -> (Tree, ReversibleModel, DiscreteGamma) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = random_topology(n, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, 0.1, 1e-4, &mut rng);
+        (tree, ReversibleModel::jc69(), DiscreteGamma::new(1.0, 4))
+    }
+
+    #[test]
+    fn shapes_and_names() {
+        let (tree, model, gamma) = setup(12, 1);
+        let a = simulate_alignment(&tree, &model, &gamma, 300, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a.n_seqs(), 12);
+        assert_eq!(a.n_sites(), 300);
+        assert_eq!(a.names()[5], "t5");
+        assert!(a.seq(0).iter().all(|&m| m.count_ones() == 1));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (tree, model, gamma) = setup(8, 3);
+        let a = simulate_alignment(&tree, &model, &gamma, 100, &mut StdRng::seed_from_u64(9));
+        let b = simulate_alignment(&tree, &model, &gamma, 100, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = simulate_alignment(&tree, &model, &gamma, 100, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn base_composition_roughly_stationary() {
+        let freqs = [0.4, 0.3, 0.2, 0.1];
+        let model = ReversibleModel::hky85(2.0, &freqs);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut tree = random_topology(20, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, 0.15, 1e-4, &mut rng);
+        let a = simulate_alignment(
+            &tree,
+            &model,
+            &DiscreteGamma::none(),
+            4000,
+            &mut StdRng::seed_from_u64(5),
+        );
+        let emp = a.empirical_freqs();
+        for (e, f) in emp.iter().zip(freqs.iter()) {
+            assert!((e - f).abs() < 0.05, "empirical {e} vs stationary {f}");
+        }
+    }
+
+    #[test]
+    fn short_branches_conserve_sequences() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tree = random_topology(6, 1e-6, &mut rng);
+        for h in tree.branches().collect::<Vec<_>>() {
+            tree.set_branch_length(h, 1e-8);
+        }
+        let a = simulate_alignment(
+            &tree,
+            &ReversibleModel::jc69(),
+            &DiscreteGamma::none(),
+            200,
+            &mut rng,
+        );
+        // With essentially zero branch lengths all sequences are identical.
+        for i in 1..a.n_seqs() {
+            assert_eq!(a.seq(0), a.seq(i));
+        }
+    }
+
+    #[test]
+    fn long_branches_decorrelate_sequences() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut tree = random_topology(4, 10.0, &mut rng);
+        for h in tree.branches().collect::<Vec<_>>() {
+            tree.set_branch_length(h, 10.0);
+        }
+        let a = simulate_alignment(
+            &tree,
+            &ReversibleModel::jc69(),
+            &DiscreteGamma::none(),
+            3000,
+            &mut rng,
+        );
+        // At saturation, expected identity is 25 %.
+        let matches = a
+            .seq(0)
+            .iter()
+            .zip(a.seq(3).iter())
+            .filter(|(x, y)| x == y)
+            .count();
+        let frac = matches as f64 / 3000.0;
+        assert!((frac - 0.25).abs() < 0.05, "identity fraction {frac}");
+    }
+
+    #[test]
+    fn protein_simulation_works() {
+        let model = phylo_models::protein::synthetic_protein(11);
+        let (tree, _, gamma) = setup(5, 8);
+        let a = simulate_alignment(&tree, &model, &gamma, 50, &mut StdRng::seed_from_u64(12));
+        assert_eq!(a.alphabet(), Alphabet::Protein);
+        assert!(a.seq(2).iter().all(|&m| m.count_ones() == 1));
+    }
+}

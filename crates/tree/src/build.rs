@@ -1,0 +1,157 @@
+//! Random and deterministic tree construction.
+
+use crate::topology::{HalfEdgeId, Tree};
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// Insert tip `t` into the branch of half-edge `target` using inner node
+/// `inner` (which must be fully dangling), splitting the branch length in
+/// half and attaching the tip with `tip_len`.
+fn insert_tip(tree: &mut Tree, t: u32, inner: u32, target: HalfEdgeId, tip_len: f64) {
+    let (other, len) = tree.split(target);
+    let h0 = tree.inner_half_edge(inner, 0);
+    let h1 = tree.inner_half_edge(inner, 1);
+    let h2 = tree.inner_half_edge(inner, 2);
+    tree.join(h0, target, len * 0.5);
+    tree.join(h1, other, len * 0.5);
+    tree.join(h2, tree.tip_half_edge(t), tip_len);
+}
+
+/// Generate a uniformly random unrooted binary topology over `n_tips` tips
+/// by stepwise addition: each new tip is attached to a branch chosen
+/// uniformly at random. Branch lengths are all set to `init_len`.
+///
+/// With `n_tips` tips the result has `n_tips - 2` inner nodes; inner node
+/// `k` is created when tip `k + 3` is inserted, matching the arena id scheme.
+pub fn random_topology<R: Rng>(n_tips: usize, init_len: f64, rng: &mut R) -> Tree {
+    let mut tree = Tree::with_capacity(n_tips);
+    // Start with the unique 3-tip tree around inner node 0.
+    tree.join(tree.tip_half_edge(0), tree.inner_half_edge(0, 0), init_len);
+    tree.join(tree.tip_half_edge(1), tree.inner_half_edge(0, 1), init_len);
+    tree.join(tree.tip_half_edge(2), tree.inner_half_edge(0, 2), init_len);
+    for t in 3..n_tips as u32 {
+        // Branches present so far: over t tips -> 2t - 3 of them.
+        let n_branches = 2 * t - 3;
+        let pick = rng.gen_range(0..n_branches);
+        let target = nth_branch(&tree, pick);
+        insert_tip(&mut tree, t, t - 2, target, init_len);
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+/// The `k`-th currently connected branch (one half-edge per branch, in
+/// half-edge id order). Only branches among already-inserted nodes count.
+fn nth_branch(tree: &Tree, k: u32) -> HalfEdgeId {
+    let mut seen = 0;
+    for h in 0..tree.n_half_edges() as u32 {
+        if tree.is_connected(h) && tree.back(h) > h {
+            if seen == k {
+                return h;
+            }
+            seen += 1;
+        }
+    }
+    panic!("branch index {k} out of range ({seen} branches)");
+}
+
+/// A maximally unbalanced ("caterpillar") topology: tips hang off a spine.
+/// Useful as a worst case for traversal depth and topological distances.
+pub fn caterpillar_tree(n_tips: usize, branch_len: f64) -> Tree {
+    let mut tree = Tree::with_capacity(n_tips);
+    tree.join(tree.tip_half_edge(0), tree.inner_half_edge(0, 0), branch_len);
+    tree.join(tree.tip_half_edge(1), tree.inner_half_edge(0, 1), branch_len);
+    tree.join(tree.tip_half_edge(2), tree.inner_half_edge(0, 2), branch_len);
+    for t in 3..n_tips as u32 {
+        // Always insert into the branch of the previously added tip, which
+        // extends the spine by one inner node.
+        let target = tree.tip_half_edge(t - 1);
+        insert_tip(&mut tree, t, t - 2, target, branch_len);
+    }
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+/// Redraw every branch length from an exponential distribution with the
+/// given `mean`, as a stand-in for a Yule/birth-death process' edge lengths.
+/// Lengths are clamped to `[min_len, +inf)` so transition matrices stay
+/// well-conditioned.
+pub fn yule_like_lengths<R: Rng>(tree: &mut Tree, mean: f64, min_len: f64, rng: &mut R) {
+    assert!(mean > 0.0 && min_len >= 0.0);
+    let branches: Vec<HalfEdgeId> = tree.branches().collect();
+    let exp = Exp { lambda: 1.0 / mean };
+    for h in branches {
+        let len = exp.sample(rng).max(min_len);
+        tree.set_branch_length(h, len);
+    }
+}
+
+/// Minimal exponential distribution (avoids pulling in `rand_distr`).
+struct Exp {
+    lambda: f64,
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_topology_is_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [3usize, 4, 5, 8, 33, 128] {
+            let t = random_topology(n, 0.1, &mut rng);
+            t.validate().unwrap();
+            assert_eq!(t.n_tips(), n);
+            assert_eq!(t.branches().count(), 2 * n - 3);
+        }
+    }
+
+    #[test]
+    fn random_topology_deterministic_for_seed() {
+        let a = random_topology(20, 0.1, &mut StdRng::seed_from_u64(7));
+        let b = random_topology(20, 0.1, &mut StdRng::seed_from_u64(7));
+        let na: Vec<u32> = (0..a.n_half_edges() as u32).map(|h| a.back(h)).collect();
+        let nb: Vec<u32> = (0..b.n_half_edges() as u32).map(|h| b.back(h)).collect();
+        assert_eq!(na, nb);
+    }
+
+    #[test]
+    fn caterpillar_is_valid_and_deep() {
+        let t = caterpillar_tree(10, 0.05);
+        t.validate().unwrap();
+        // The caterpillar spine means tips 0 and 9 are far apart.
+        let d = crate::distance::node_distance(&t, 0, 9);
+        assert!(d >= 8, "caterpillar should be deep, got distance {d}");
+    }
+
+    #[test]
+    fn yule_like_lengths_positive_and_seeded() {
+        let mut t = random_topology(12, 0.1, &mut StdRng::seed_from_u64(3));
+        yule_like_lengths(&mut t, 0.1, 1e-6, &mut StdRng::seed_from_u64(4));
+        for h in t.branches() {
+            assert!(t.branch_length(h) >= 1e-6);
+        }
+        let mut t2 = random_topology(12, 0.1, &mut StdRng::seed_from_u64(3));
+        yule_like_lengths(&mut t2, 0.1, 1e-6, &mut StdRng::seed_from_u64(4));
+        assert_eq!(t.tree_length(), t2.tree_length());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn exp_mean_roughly_correct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let exp = Exp { lambda: 2.0 };
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "empirical mean {mean}");
+    }
+}

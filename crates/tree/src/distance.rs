@@ -1,0 +1,145 @@
+//! Topological node distances.
+//!
+//! The paper's *Topological* replacement strategy evicts the in-RAM ancestral
+//! vector whose node is most distant from the node currently being requested,
+//! where distance is measured along the unique path in the tree. We measure
+//! in hops (edges on the path); the paper counts nodes on the path, which is
+//! `hops + 1` — a constant shift that never changes which node is furthest.
+
+use crate::topology::{NodeId, Tree};
+use std::collections::VecDeque;
+
+/// Breadth-first hop distances from `from` to every node in the tree,
+/// written into `out` (resized to `n_nodes`).
+pub fn distances_from(tree: &Tree, from: NodeId, out: &mut Vec<u32>) {
+    let n = tree.n_nodes();
+    out.clear();
+    out.resize(n, u32::MAX);
+    out[from as usize] = 0;
+    let mut queue = VecDeque::with_capacity(n);
+    queue.push_back(from);
+    while let Some(node) = queue.pop_front() {
+        let d = out[node as usize];
+        let mut visit = |h| {
+            let nb = tree.neighbor(h);
+            if out[nb as usize] == u32::MAX {
+                out[nb as usize] = d + 1;
+                queue.push_back(nb);
+            }
+        };
+        if tree.is_tip(node) {
+            visit(tree.tip_half_edge(node));
+        } else {
+            for h in tree.ring(node) {
+                visit(h);
+            }
+        }
+    }
+}
+
+/// Hop distance between two nodes.
+pub fn node_distance(tree: &Tree, a: NodeId, b: NodeId) -> u32 {
+    let mut out = Vec::new();
+    distances_from(tree, a, &mut out);
+    out[b as usize]
+}
+
+/// A reusable distance query helper that owns its scratch buffer, so the
+/// Topological strategy does not allocate on every miss.
+#[derive(Debug, Default)]
+pub struct DistanceTable {
+    scratch: Vec<u32>,
+    /// Node the scratch currently holds distances from, if any.
+    from: Option<NodeId>,
+}
+
+impl DistanceTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distances from `from` to all nodes; recomputes only when `from`
+    /// differs from the cached source.
+    pub fn from_node<'a>(&'a mut self, tree: &Tree, from: NodeId) -> &'a [u32] {
+        if self.from != Some(from) || self.scratch.len() != tree.n_nodes() {
+            distances_from(tree, from, &mut self.scratch);
+            self.from = Some(from);
+        }
+        &self.scratch
+    }
+
+    /// Invalidate the cache (call after any topology change).
+    pub fn invalidate(&mut self) {
+        self.from = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{caterpillar_tree, random_topology};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_symmetric() {
+        let t = random_topology(20, 0.1, &mut StdRng::seed_from_u64(11));
+        for a in [0u32, 5, 19, 20, 30] {
+            for b in [1u32, 7, 18, 25, 37] {
+                assert_eq!(node_distance(&t, a, b), node_distance(&t, b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn distance_zero_to_self_one_to_neighbor() {
+        let t = random_topology(10, 0.1, &mut StdRng::seed_from_u64(2));
+        assert_eq!(node_distance(&t, 3, 3), 0);
+        let nb = t.neighbor(t.tip_half_edge(3));
+        assert_eq!(node_distance(&t, 3, nb), 1);
+    }
+
+    #[test]
+    fn caterpillar_end_to_end() {
+        // Spine of n-2 inner nodes; tips 0 and 1 share inner node 0, the
+        // last tip hangs off the last inner node: the end-to-end path is
+        // tip0 -> inner0 -> ... -> inner(n-3) -> tip(n-1) = n-1 hops.
+        let n = 12;
+        let t = caterpillar_tree(n, 0.1);
+        let d = node_distance(&t, 0, (n - 1) as u32);
+        assert_eq!(d, (n - 1) as u32);
+    }
+
+    #[test]
+    fn all_distances_reachable() {
+        let t = random_topology(30, 0.1, &mut StdRng::seed_from_u64(9));
+        let mut out = Vec::new();
+        distances_from(&t, 12, &mut out);
+        assert_eq!(out.len(), t.n_nodes());
+        assert!(out.iter().all(|&d| d != u32::MAX));
+    }
+
+    #[test]
+    fn distance_table_caches_and_invalidates() {
+        let t = random_topology(15, 0.1, &mut StdRng::seed_from_u64(4));
+        let mut table = DistanceTable::new();
+        let d1 = table.from_node(&t, 6).to_vec();
+        let d2 = table.from_node(&t, 6).to_vec();
+        assert_eq!(d1, d2);
+        table.invalidate();
+        let d3 = table.from_node(&t, 6).to_vec();
+        assert_eq!(d1, d3);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let t = random_topology(25, 0.1, &mut StdRng::seed_from_u64(8));
+        for (a, b, c) in [(0u32, 10, 20), (3, 30, 44), (24, 25, 40)] {
+            let ab = node_distance(&t, a, b);
+            let bc = node_distance(&t, b, c);
+            let ac = node_distance(&t, a, c);
+            assert!(ac <= ab + bc);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Unrooted binary tree substrate for phylogenetic likelihood computations.
+//!
+//! The phylogenetic likelihood function (PLF) is defined on *unrooted binary
+//! trees*: the `n` extant organisms sit at the tips, the `n - 2` inner nodes
+//! are extinct ancestors, and every inner node has degree three. This crate
+//! provides the topology representation used by the whole workspace:
+//!
+//! * [`Tree`] — a RAxML-style half-edge arena ([`topology`]),
+//! * random topology generators ([`build`]),
+//! * Newick reading and writing ([`newick`]),
+//! * orientation-aware full/partial post-order traversal planning
+//!   ([`traverse`]) — the access-pattern source for the out-of-core layer,
+//! * subtree-pruning-and-regrafting and nearest-neighbour-interchange
+//!   surgery with undo ([`spr`]),
+//! * node-distance queries ([`distance`]) used by the paper's *Topological*
+//!   replacement strategy.
+//!
+//! # Identifier scheme
+//!
+//! For a tree over `n` tips, node ids `0..n` are tips and `n..2n-2` are inner
+//! nodes. Every tip owns exactly one half-edge whose id equals the tip id;
+//! inner node `i` (inner index, `0`-based) owns the half-edges
+//! `n + 3i`, `n + 3i + 1` and `n + 3i + 2`, which form a ring. Two opposite
+//! half-edges make up one undirected branch and always carry the same length.
+
+pub mod build;
+pub mod distance;
+pub mod newick;
+pub mod spr;
+pub mod topology;
+pub mod traverse;
+
+pub use build::{caterpillar_tree, random_topology, yule_like_lengths};
+pub use distance::DistanceTable;
+pub use newick::{parse_newick, write_newick, NewickError};
+pub use spr::{nni, spr_prune_regraft, PrunedSubtree, SprUndo};
+pub use topology::{ChildRef, HalfEdgeId, InnerId, NodeId, TipId, Tree};
+pub use traverse::{plan_traversal, Orientation, TraversalPlan, TraversalStep};

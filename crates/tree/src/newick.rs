@@ -1,0 +1,373 @@
+//! Newick tree reading and writing.
+//!
+//! Unrooted binary trees are conventionally written with a trifurcation at
+//! the outermost level, e.g. `(A:0.1,B:0.2,(C:0.3,D:0.4):0.5);`. Rooted
+//! (bifurcating) inputs are accepted and silently unrooted by merging the two
+//! root branches. Only binary trees are supported — any other multifurcation
+//! is an error.
+
+use crate::topology::{HalfEdgeId, Tree};
+use std::fmt::Write as _;
+
+/// Errors produced by [`parse_newick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NewickError {
+    /// Input ended unexpectedly.
+    UnexpectedEnd,
+    /// Unexpected character at byte offset.
+    Unexpected(char, usize),
+    /// A non-root node had a number of children other than two.
+    NotBinary(usize),
+    /// Fewer than three tips.
+    TooFewTips,
+    /// A branch length failed to parse.
+    BadLength(String),
+}
+
+impl std::fmt::Display for NewickError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NewickError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            NewickError::Unexpected(c, at) => write!(f, "unexpected character {c:?} at byte {at}"),
+            NewickError::NotBinary(n) => write!(f, "non-binary node with {n} children"),
+            NewickError::TooFewTips => write!(f, "fewer than three tips"),
+            NewickError::BadLength(s) => write!(f, "invalid branch length {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NewickError {}
+
+#[derive(Debug)]
+struct PNode {
+    children: Vec<usize>,
+    name: String,
+    brlen: f64,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    nodes: Vec<PNode>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_node(&mut self, depth: usize) -> Result<usize, NewickError> {
+        if depth > 100_000 {
+            return Err(NewickError::Unexpected('(', self.pos));
+        }
+        self.skip_ws();
+        let mut children = Vec::new();
+        if self.peek() == Some(b'(') {
+            self.pos += 1;
+            loop {
+                children.push(self.parse_node(depth + 1)?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => {
+                        self.pos += 1;
+                    }
+                    Some(b')') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    Some(c) => return Err(NewickError::Unexpected(c as char, self.pos)),
+                    None => return Err(NewickError::UnexpectedEnd),
+                }
+            }
+        }
+        let name = self.parse_label();
+        let brlen = self.parse_length()?;
+        let id = self.nodes.len();
+        self.nodes.push(PNode {
+            children,
+            name,
+            brlen,
+        });
+        Ok(id)
+    }
+
+    fn parse_label(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b':' | b',' | b')' | b'(' | b';') || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn parse_length(&mut self) -> Result<f64, NewickError> {
+        self.skip_ws();
+        if self.peek() != Some(b':') {
+            return Ok(0.0);
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if matches!(b, b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        s.parse::<f64>()
+            .map_err(|_| NewickError::BadLength(s.to_owned()))
+    }
+}
+
+/// Parse a Newick string into a [`Tree`] and the tip names in tip-id order
+/// (order of appearance in the input).
+pub fn parse_newick(input: &str) -> Result<(Tree, Vec<String>), NewickError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        nodes: Vec::new(),
+    };
+    let mut root = parser.parse_node(0)?;
+    parser.skip_ws();
+    if parser.peek() == Some(b';') {
+        parser.pos += 1;
+    }
+    let mut nodes = parser.nodes;
+
+    // Unroot a bifurcating root: merge its two child branches.
+    if nodes[root].children.len() == 2 {
+        let c0 = nodes[root].children[0];
+        let c1 = nodes[root].children[1];
+        let (keep, fold) = if !nodes[c0].children.is_empty() {
+            (c0, c1)
+        } else if !nodes[c1].children.is_empty() {
+            (c1, c0)
+        } else {
+            return Err(NewickError::TooFewTips);
+        };
+        // `keep` (internal) becomes the new trifurcating root; `fold` hangs
+        // off it with the combined branch length.
+        let merged = nodes[c0].brlen + nodes[c1].brlen;
+        nodes[fold].brlen = merged;
+        nodes[keep].children.push(fold);
+        root = keep;
+    }
+
+    // Validate arity and count tips.
+    let mut n_tips = 0usize;
+    for (i, node) in nodes.iter().enumerate() {
+        let arity = node.children.len();
+        if arity == 0 {
+            n_tips += 1;
+        } else if i == root {
+            if arity != 3 {
+                return Err(NewickError::NotBinary(arity));
+            }
+        } else if arity != 2 {
+            return Err(NewickError::NotBinary(arity));
+        }
+    }
+    if n_tips < 3 {
+        return Err(NewickError::TooFewTips);
+    }
+
+    // Assign ids: tips and inner nodes in order of appearance.
+    let mut tree = Tree::with_capacity(n_tips);
+    let mut names = vec![String::new(); n_tips];
+    let mut tip_id = 0u32;
+    let mut inner_id = 0u32;
+    let mut arena_id = vec![0u32; nodes.len()]; // tip id or inner index
+    for (i, node) in nodes.iter().enumerate() {
+        if node.children.is_empty() {
+            arena_id[i] = tip_id;
+            names[tip_id as usize] = node.name.clone();
+            tip_id += 1;
+        } else {
+            arena_id[i] = inner_id;
+            inner_id += 1;
+        }
+    }
+
+    // Wire the arena. For an internal parse node its ring slots are:
+    // slot 0 = towards parent, slots 1..=2 = children (root: 0..=2 children).
+    // `uplink(i)` is the dangling half-edge of parse node i facing its parent.
+    let uplink = |nodes: &Vec<PNode>, tree: &Tree, i: usize| -> HalfEdgeId {
+        if nodes[i].children.is_empty() {
+            tree.tip_half_edge(arena_id[i])
+        } else {
+            tree.inner_half_edge(arena_id[i], 0)
+        }
+    };
+    let mut stack = vec![root];
+    while let Some(i) = stack.pop() {
+        let base = if i == root { 0 } else { 1 };
+        for (k, &c) in nodes[i].children.iter().enumerate() {
+            let parent_he = tree.inner_half_edge(arena_id[i], (base + k) as u32);
+            let child_he = uplink(&nodes, &tree, c);
+            tree.join(parent_he, child_he, nodes[c].brlen.max(0.0));
+            stack.push(c);
+        }
+    }
+    debug_assert!(tree.validate().is_ok());
+    Ok((tree, names))
+}
+
+/// Serialise a tree to Newick, rooted (for display) at the trifurcation of
+/// inner node 0. `names[t]` labels tip `t`; missing names fall back to `t<id>`.
+pub fn write_newick(tree: &Tree, names: &[String]) -> String {
+    let mut out = String::with_capacity(tree.n_tips() * 12);
+    out.push('(');
+    let ring = tree.ring(tree.inner_node(0));
+    for (k, &h) in ring.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        write_subtree(tree, tree.back(h), names, &mut out);
+    }
+    out.push_str(");");
+    out
+}
+
+/// Append the subtree at `node_of(dir)` looking away from `back(dir)`,
+/// followed by its branch length. Iterative to survive caterpillar trees.
+fn write_subtree(tree: &Tree, dir: HalfEdgeId, names: &[String], out: &mut String) {
+    enum W {
+        Visit(HalfEdgeId),
+        Lit(&'static str),
+        Close(HalfEdgeId),
+    }
+    let mut stack = vec![W::Visit(dir)];
+    while let Some(w) = stack.pop() {
+        match w {
+            W::Lit(s) => out.push_str(s),
+            W::Close(h) => {
+                let _ = write!(out, "):{}", tree.branch_length(h));
+            }
+            W::Visit(h) => {
+                let node = tree.node_of(h);
+                if tree.is_tip(node) {
+                    match names.get(node as usize) {
+                        Some(n) if !n.is_empty() => out.push_str(n),
+                        _ => {
+                            let _ = write!(out, "t{node}");
+                        }
+                    }
+                    let _ = write!(out, ":{}", tree.branch_length(h));
+                } else {
+                    out.push('(');
+                    let (l, r) = tree.children_dirs(h);
+                    stack.push(W::Close(h));
+                    stack.push(W::Visit(tree.back(r)));
+                    stack.push(W::Lit(","));
+                    stack.push(W::Visit(tree.back(l)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::random_topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parse_trifurcating() {
+        let (tree, names) = parse_newick("(A:0.1,B:0.2,(C:0.3,D:0.4):0.5);").unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.n_tips(), 4);
+        assert_eq!(names, vec!["A", "B", "C", "D"]);
+        assert!((tree.tree_length() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rooted_input_gets_unrooted() {
+        let (tree, names) = parse_newick("((A:0.1,B:0.2):0.3,(C:0.3,D:0.4):0.5);").unwrap();
+        tree.validate().unwrap();
+        assert_eq!(tree.n_tips(), 4);
+        assert_eq!(names.len(), 4);
+        // Root branches 0.3 and 0.5 merge into one 0.8 branch.
+        assert!((tree.tree_length() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_newick("(A:0.1,B:0.2);"),
+            Err(NewickError::TooFewTips)
+        ));
+        assert!(matches!(
+            parse_newick("(A,B,C,D);"),
+            Err(NewickError::NotBinary(4))
+        ));
+        assert!(parse_newick("(A,B,(C,").is_err());
+        assert!(matches!(
+            parse_newick("(A:x,B:0.2,C:0.1);"),
+            Err(NewickError::BadLength(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_topology_and_lengths() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut tree = random_topology(30, 0.1, &mut rng);
+        crate::build::yule_like_lengths(&mut tree, 0.2, 1e-5, &mut rng);
+        let names: Vec<String> = (0..30).map(|i| format!("taxon_{i}")).collect();
+        let nwk = write_newick(&tree, &names);
+        let (tree2, names2) = parse_newick(&nwk).unwrap();
+        tree2.validate().unwrap();
+        assert_eq!(tree2.n_tips(), tree.n_tips());
+        assert!((tree.tree_length() - tree2.tree_length()).abs() < 1e-9);
+        // Same multiset of tip names.
+        let mut a = names.clone();
+        let mut b = names2.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Same pairwise topological distances between named tips: build a
+        // name->tip map for each tree and compare a sample of paths.
+        let idx = |ns: &[String], want: &str| ns.iter().position(|n| n == want).unwrap() as u32;
+        for (x, y) in [("taxon_0", "taxon_7"), ("taxon_3", "taxon_29"), ("taxon_11", "taxon_12")] {
+            let d1 = crate::distance::node_distance(&tree, idx(&names, x), idx(&names, y));
+            let d2 = crate::distance::node_distance(&tree2, idx(&names2, x), idx(&names2, y));
+            assert_eq!(d1, d2, "distance {x}-{y} changed in roundtrip");
+        }
+    }
+
+    #[test]
+    fn unnamed_tips_get_default_names() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let tree = random_topology(5, 0.1, &mut rng);
+        let nwk = write_newick(&tree, &[]);
+        let (tree2, names2) = parse_newick(&nwk).unwrap();
+        assert_eq!(tree2.n_tips(), 5);
+        assert!(names2.iter().all(|n| n.starts_with('t')));
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let (tree, _) = parse_newick(" ( A:0.1 , B:0.2 , ( C:0.3 , D:0.4 ) : 0.5 ) ; ").unwrap();
+        assert_eq!(tree.n_tips(), 4);
+    }
+
+    #[test]
+    fn deep_caterpillar_roundtrip() {
+        let tree = crate::build::caterpillar_tree(2000, 0.05);
+        let nwk = write_newick(&tree, &[]);
+        let (tree2, _) = parse_newick(&nwk).unwrap();
+        tree2.validate().unwrap();
+        assert_eq!(tree2.n_tips(), 2000);
+    }
+}

@@ -1,0 +1,333 @@
+//! Traversal planning: which ancestral vectors must be (re)computed, and in
+//! what order, to evaluate the likelihood at a given virtual root branch.
+//!
+//! The likelihood is computed by the Felsenstein pruning algorithm: a
+//! post-order sweep from the tips towards the virtual root. In real ML
+//! searches most candidate trees differ only locally from the previous one,
+//! so only a small fraction of vectors is recomputed ("partial traversal").
+//! This module produces the exact ordered list of combine operations — the
+//! access pattern that the out-of-core layer exploits, including the a-priori
+//! knowledge needed for the paper's *read skipping* technique (every parent
+//! in the plan is fully overwritten on its first access).
+
+use crate::topology::{ChildRef, HalfEdgeId, InnerId, NodeId, Tree};
+
+/// Per-inner-node record of the direction for which the stored ancestral
+/// vector is valid: the ring half-edge of that node that points *towards the
+/// virtual root*. `None` means the vector is stale and must be recomputed.
+#[derive(Debug, Clone)]
+pub struct Orientation {
+    dirs: Vec<Option<HalfEdgeId>>,
+}
+
+impl Orientation {
+    /// All-invalid orientation for a tree with `n_inner` inner nodes.
+    pub fn new(n_inner: usize) -> Self {
+        Orientation {
+            dirs: vec![None; n_inner],
+        }
+    }
+
+    /// Direction the vector of `inner` is valid for, if any.
+    #[inline]
+    pub fn get(&self, inner: InnerId) -> Option<HalfEdgeId> {
+        self.dirs[inner as usize]
+    }
+
+    /// Mark `inner` as valid for `dir`.
+    #[inline]
+    pub fn set(&mut self, inner: InnerId, dir: HalfEdgeId) {
+        self.dirs[inner as usize] = Some(dir);
+    }
+
+    /// Mark `inner` stale.
+    #[inline]
+    pub fn invalidate(&mut self, inner: InnerId) {
+        self.dirs[inner as usize] = None;
+    }
+
+    /// Mark every inner node stale.
+    pub fn invalidate_all(&mut self) {
+        self.dirs.fill(None);
+    }
+
+    /// Number of inner nodes tracked.
+    pub fn len(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.dirs.is_empty()
+    }
+}
+
+/// One Felsenstein combine: compute the ancestral vector of `parent` (valid
+/// towards `parent_dir`) from its two children across branches of lengths
+/// `left_len` / `right_len`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraversalStep {
+    /// Inner index of the vector being written.
+    pub parent: InnerId,
+    /// Ring half-edge of `parent` pointing towards the virtual root.
+    pub parent_dir: HalfEdgeId,
+    /// First child (tip states or another ancestral vector).
+    pub left: ChildRef,
+    /// Second child.
+    pub right: ChildRef,
+    /// Branch length to `left`.
+    pub left_len: f64,
+    /// Branch length to `right`.
+    pub right_len: f64,
+}
+
+/// An ordered traversal plan plus the information needed to evaluate the
+/// log-likelihood at the virtual root branch afterwards.
+#[derive(Debug, Clone)]
+pub struct TraversalPlan {
+    /// Combine operations in dependency (post) order.
+    pub steps: Vec<TraversalStep>,
+    /// Node at the near end of the root branch.
+    pub root_left: ChildRef,
+    /// Node at the far end of the root branch.
+    pub root_right: ChildRef,
+    /// Length of the root branch.
+    pub root_len: f64,
+}
+
+impl TraversalPlan {
+    /// Inner indices written by this plan, in order. These are exactly the
+    /// vectors that are write-only on first access (read-skip candidates).
+    pub fn written(&self) -> impl Iterator<Item = InnerId> + '_ {
+        self.steps.iter().map(|s| s.parent)
+    }
+}
+
+/// Plan the (re)computations needed so that the likelihood can be evaluated
+/// at the branch of `root_he`.
+///
+/// With `full == false` only stale or mis-oriented vectors are recomputed
+/// (partial traversal, the common case during tree search); with
+/// `full == true` every vector in both subtrees is recomputed, as in the
+/// paper's `-f z` worst-case experiments. `orient` is updated to reflect the
+/// post-plan state.
+pub fn plan_traversal(
+    tree: &Tree,
+    root_he: HalfEdgeId,
+    orient: &mut Orientation,
+    full: bool,
+) -> TraversalPlan {
+    let mut steps = Vec::new();
+    for dir in [root_he, tree.back(root_he)] {
+        push_subtree_steps(tree, dir, orient, full, &mut steps);
+    }
+    TraversalPlan {
+        steps,
+        root_left: node_ref(tree, tree.node_of(root_he)),
+        root_right: node_ref(tree, tree.node_of(tree.back(root_he))),
+        root_len: tree.branch_length(root_he),
+    }
+}
+
+fn node_ref(tree: &Tree, node: NodeId) -> ChildRef {
+    if tree.is_tip(node) {
+        ChildRef::Tip(node)
+    } else {
+        ChildRef::Inner(tree.inner_index(node))
+    }
+}
+
+/// Iterative post-order expansion of the subtree whose root direction (the
+/// half-edge pointing towards the virtual root) is `dir`.
+fn push_subtree_steps(
+    tree: &Tree,
+    dir: HalfEdgeId,
+    orient: &mut Orientation,
+    full: bool,
+    steps: &mut Vec<TraversalStep>,
+) {
+    // Work items: (towards-root half-edge of a node, children_expanded).
+    let mut stack: Vec<(HalfEdgeId, bool)> = vec![(dir, false)];
+    while let Some((d, expanded)) = stack.pop() {
+        let node = tree.node_of(d);
+        if tree.is_tip(node) {
+            continue;
+        }
+        let inner = tree.inner_index(node);
+        if !full && orient.get(inner) == Some(d) {
+            continue; // already valid for this direction
+        }
+        let (l, r) = tree.children_dirs(d);
+        if expanded {
+            steps.push(TraversalStep {
+                parent: inner,
+                parent_dir: d,
+                left: tree.child_ref(l),
+                right: tree.child_ref(r),
+                left_len: tree.branch_length(l),
+                right_len: tree.branch_length(r),
+            });
+            orient.set(inner, d);
+        } else {
+            stack.push((d, true));
+            stack.push((tree.back(l), false));
+            stack.push((tree.back(r), false));
+        }
+    }
+}
+
+/// Invalidate the stored vectors of all inner nodes on the path between
+/// nodes `a` and `b` (inclusive). Used after tree surgery: exactly the nodes
+/// on the path between the old and the new attachment point can have the
+/// pruned subtree switch sides, so their vectors are conservatively stale.
+pub fn invalidate_between(tree: &Tree, orient: &mut Orientation, a: NodeId, b: NodeId) {
+    // BFS from `a` recording parents until `b` is reached.
+    let n = tree.n_nodes();
+    let mut parent: Vec<NodeId> = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    parent[a as usize] = a;
+    queue.push_back(a);
+    'bfs: while let Some(node) = queue.pop_front() {
+        let hs: &[HalfEdgeId] = &if tree.is_tip(node) {
+            vec![tree.tip_half_edge(node)]
+        } else {
+            tree.ring(node).to_vec()
+        };
+        for &h in hs {
+            let nb = tree.neighbor(h);
+            if parent[nb as usize] == u32::MAX {
+                parent[nb as usize] = node;
+                if nb == b {
+                    break 'bfs;
+                }
+                queue.push_back(nb);
+            }
+        }
+    }
+    let mut cur = b;
+    loop {
+        if !tree.is_tip(cur) {
+            orient.invalidate(tree.inner_index(cur));
+        }
+        if cur == a {
+            break;
+        }
+        cur = parent[cur as usize];
+        debug_assert_ne!(cur, u32::MAX, "path search failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::random_topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tree_and_orient(n: usize, seed: u64) -> (Tree, Orientation) {
+        let t = random_topology(n, 0.1, &mut StdRng::seed_from_u64(seed));
+        let o = Orientation::new(t.n_inner());
+        (t, o)
+    }
+
+    #[test]
+    fn full_traversal_covers_all_inner_nodes() {
+        let (t, mut o) = tree_and_orient(40, 1);
+        let plan = plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        let mut written: Vec<InnerId> = plan.written().collect();
+        written.sort_unstable();
+        written.dedup();
+        // Root edge endpoints: their vectors are also computed (they feed the
+        // root evaluation), so every inner node must appear exactly once.
+        assert_eq!(written.len(), t.n_inner());
+        assert_eq!(plan.steps.len(), t.n_inner());
+    }
+
+    #[test]
+    fn steps_are_in_dependency_order() {
+        let (t, mut o) = tree_and_orient(64, 2);
+        let plan = plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        let mut ready = vec![false; t.n_inner()];
+        for step in &plan.steps {
+            for child in [step.left, step.right] {
+                if let ChildRef::Inner(i) = child {
+                    assert!(ready[i as usize], "child {i} used before computed");
+                }
+            }
+            ready[step.parent as usize] = true;
+        }
+    }
+
+    #[test]
+    fn second_partial_traversal_is_empty() {
+        let (t, mut o) = tree_and_orient(30, 3);
+        let root = t.default_root_edge();
+        let p1 = plan_traversal(&t, root, &mut o, false);
+        assert_eq!(p1.steps.len(), t.n_inner());
+        let p2 = plan_traversal(&t, root, &mut o, false);
+        assert!(p2.steps.is_empty(), "everything is already oriented");
+    }
+
+    #[test]
+    fn moving_root_recomputes_only_the_path() {
+        let (t, mut o) = tree_and_orient(100, 4);
+        let root = t.default_root_edge();
+        plan_traversal(&t, root, &mut o, false);
+        // Re-root at some tip's branch: only nodes between old and new root
+        // need new orientations.
+        let new_root = t.tip_half_edge(17);
+        let p = plan_traversal(&t, new_root, &mut o, false);
+        assert!(!p.steps.is_empty());
+        assert!(
+            p.steps.len() < t.n_inner() / 2,
+            "re-rooting should be local-ish: {} of {}",
+            p.steps.len(),
+            t.n_inner()
+        );
+    }
+
+    #[test]
+    fn full_traversal_ignores_orientation() {
+        let (t, mut o) = tree_and_orient(25, 5);
+        let root = t.default_root_edge();
+        plan_traversal(&t, root, &mut o, false);
+        let p = plan_traversal(&t, root, &mut o, true);
+        assert_eq!(p.steps.len(), t.n_inner());
+    }
+
+    #[test]
+    fn invalidate_between_marks_path_inner_nodes() {
+        let (t, mut o) = tree_and_orient(50, 6);
+        let root = t.default_root_edge();
+        plan_traversal(&t, root, &mut o, false);
+        invalidate_between(&t, &mut o, 0, 25);
+        let stale = (0..t.n_inner() as u32)
+            .filter(|&i| o.get(i).is_none())
+            .count();
+        assert!(stale > 0);
+        // Re-planning recomputes exactly the stale ones reachable from root.
+        let p = plan_traversal(&t, root, &mut o, false);
+        assert!(p.steps.len() <= stale + 2);
+    }
+
+    #[test]
+    fn deep_tree_does_not_overflow_stack() {
+        let t = crate::build::caterpillar_tree(5000, 0.05);
+        let mut o = Orientation::new(t.n_inner());
+        let plan = plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        assert_eq!(plan.steps.len(), t.n_inner());
+    }
+
+    #[test]
+    fn root_refs_match_edge_endpoints() {
+        let (t, mut o) = tree_and_orient(10, 7);
+        let root = t.tip_half_edge(0);
+        let plan = plan_traversal(&t, root, &mut o, true);
+        assert_eq!(plan.root_left, ChildRef::Tip(0));
+        match plan.root_right {
+            ChildRef::Inner(_) => {}
+            other => panic!("expected inner endpoint, got {other:?}"),
+        }
+        assert_eq!(plan.root_len, t.branch_length(root));
+    }
+}

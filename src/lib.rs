@@ -1,0 +1,286 @@
+//! # phylo-ooc — Computing the Phylogenetic Likelihood Function Out-of-Core
+//!
+//! A from-scratch Rust reproduction of Izquierdo-Carrasco & Stamatakis
+//! (2011): the phylogenetic likelihood function (PLF) executed with its
+//! dominant data structure — the ancestral probability vectors — paged
+//! explicitly between RAM and disk, instead of relying on OS paging.
+//!
+//! The workspace splits into substrate crates, re-exported here:
+//!
+//! * [`tree`] — unrooted binary trees, Newick, traversal planning, SPR/NNI,
+//! * [`models`] — GTR-family substitution models, discrete Γ, eigen maths,
+//! * [`seq`] — alignments, FASTA/PHYLIP, pattern compression, simulation,
+//! * [`ooc`] — **the paper's contribution**: the out-of-core vector
+//!   manager with Random/LRU/LFU/Topological replacement, pinning and
+//!   read skipping,
+//! * [`plf`] — the likelihood engine, generic over in-RAM / out-of-core /
+//!   OS-paged vector residency,
+//! * [`search`] — lazy-SPR hill climbing (the realistic access pattern),
+//! * [`pager`] — the OS-paging baseline simulator.
+//!
+//! The [`setup`] module offers one-call constructors for the standard
+//! experiment configurations used by the examples, integration tests and
+//! the figure-regeneration benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use phylo_ooc::setup::{self, DatasetSpec};
+//! use phylo_ooc::ooc::StrategyKind;
+//!
+//! // Simulate a small dataset and build both engines.
+//! let spec = DatasetSpec { n_taxa: 16, n_sites: 200, seed: 7, ..Default::default() };
+//! let data = setup::simulate_dataset(&spec);
+//! let mut standard = setup::inram_engine(&data);
+//! let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
+//!
+//! // The paper's correctness criterion: identical likelihoods.
+//! assert_eq!(standard.log_likelihood(), ooc.log_likelihood());
+//! let stats = *ooc.store().manager().stats();
+//! assert!(stats.misses > 0, "with f = 0.25 there must be misses");
+//! ```
+
+pub use ooc_core as ooc;
+pub use pager_sim as pager;
+pub use phylo_models as models;
+pub use phylo_plf as plf;
+pub use phylo_search as search;
+pub use phylo_seq as seq;
+pub use phylo_tree as tree;
+
+pub mod setup {
+    //! Canonical experiment setups shared by examples, tests and benches.
+
+    use ooc_core::{FileStore, MemStore, OocConfig, StrategyKind, VectorManager};
+    use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_plf::{InRamStore, OocStore, PagedStore, PlfEngine, SharedTree, TreeOracle};
+    use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment};
+    use phylo_tree::build::{random_topology, yule_like_lengths};
+    use phylo_tree::Tree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::path::Path;
+
+    /// Parameters of a simulated dataset (the stand-in for the paper's
+    /// real rbcL alignments and INDELible simulations).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct DatasetSpec {
+        /// Number of taxa (tree tips).
+        pub n_taxa: usize,
+        /// Alignment length in sites.
+        pub n_sites: usize,
+        /// RNG seed for topology, branch lengths and sequences.
+        pub seed: u64,
+        /// Γ shape used for simulation and as the engine's starting α.
+        pub alpha: f64,
+        /// Γ categories (the paper always uses 4).
+        pub n_cats: usize,
+        /// Mean branch length of the random tree.
+        pub mean_branch: f64,
+    }
+
+    impl Default for DatasetSpec {
+        fn default() -> Self {
+            DatasetSpec {
+                n_taxa: 32,
+                n_sites: 300,
+                seed: 42,
+                alpha: 0.8,
+                n_cats: 4,
+                mean_branch: 0.12,
+            }
+        }
+    }
+
+    /// A simulated dataset: the true tree and the pattern-compressed
+    /// alignment, plus the model objects used to generate it.
+    pub struct Dataset {
+        /// Tree the sequences were simulated on.
+        pub tree: Tree,
+        /// Pattern-compressed alignment.
+        pub comp: CompressedAlignment,
+        /// Substitution model (HKY85 with fixed unequal frequencies).
+        pub model: ReversibleModel,
+        /// Spec it was built from.
+        pub spec: DatasetSpec,
+    }
+
+    impl Dataset {
+        /// Vector width in doubles for this dataset's engines.
+        pub fn width(&self) -> usize {
+            PlfEngine::<InRamStore>::dims_for(&self.comp, self.spec.n_cats).width()
+        }
+
+        /// Number of managed vectors (= inner nodes).
+        pub fn n_items(&self) -> usize {
+            self.tree.n_inner()
+        }
+
+        /// Bytes required to hold all ancestral vectors (the paper's
+        /// memory-requirement formula `(n-2) · 8 · states · cats · s`).
+        pub fn total_vector_bytes(&self) -> u64 {
+            self.n_items() as u64 * self.width() as u64 * 8
+        }
+    }
+
+    /// Simulate a dataset per `spec` (HKY85+Γ, the class of model used in
+    /// the paper's experiments).
+    pub fn simulate_dataset(spec: &DatasetSpec) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut tree = random_topology(spec.n_taxa, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, spec.mean_branch, 1e-5, &mut rng);
+        let model = ReversibleModel::hky85(2.5, &[0.3, 0.2, 0.2, 0.3]);
+        let gamma = DiscreteGamma::new(spec.alpha, spec.n_cats);
+        let aln = simulate_alignment(&tree, &model, &gamma, spec.n_sites, &mut rng);
+        let comp = compress_patterns(&aln);
+        Dataset {
+            tree,
+            comp,
+            model,
+            spec: spec.clone(),
+        }
+    }
+
+    /// Standard (all vectors in RAM) engine on the dataset's true tree.
+    pub fn inram_engine(data: &Dataset) -> PlfEngine<InRamStore> {
+        let store = InRamStore::new(data.n_items(), data.width());
+        PlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            store,
+        )
+    }
+
+    /// Build the replacement strategy, wiring up a [`TreeOracle`] when the
+    /// Topological strategy is requested. Returns the strategy and, for
+    /// Topological, the shared tree handle to refresh after rearrangements.
+    pub fn build_strategy(
+        kind: StrategyKind,
+        tree: &Tree,
+    ) -> (
+        Box<dyn ooc_core::ReplacementStrategy>,
+        Option<SharedTree>,
+    ) {
+        match kind {
+            StrategyKind::Topological => {
+                let shared = SharedTree::new(tree);
+                let oracle = TreeOracle::new(shared.clone());
+                (kind.build(Some(Box::new(oracle))), Some(shared))
+            }
+            _ => (kind.build(None), None),
+        }
+    }
+
+    /// Out-of-core engine with an in-memory backing store (for measuring
+    /// miss rates, which are independent of the I/O medium) holding a
+    /// fraction `f` of vectors in RAM slots.
+    pub fn ooc_engine_mem(
+        data: &Dataset,
+        f: f64,
+        kind: StrategyKind,
+    ) -> PlfEngine<OocStore<MemStore>> {
+        ooc_engine_mem_with_handle(data, f, kind).0
+    }
+
+    /// As [`ooc_engine_mem`] but also returning the Topological strategy's
+    /// shared-tree handle for refreshes during searches.
+    pub fn ooc_engine_mem_with_handle(
+        data: &Dataset,
+        f: f64,
+        kind: StrategyKind,
+    ) -> (PlfEngine<OocStore<MemStore>>, Option<SharedTree>) {
+        let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+        let (strategy, handle) = build_strategy(kind, &data.tree);
+        let manager =
+            VectorManager::new(cfg, strategy, MemStore::new(data.n_items(), data.width()));
+        let engine = PlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            OocStore::new(manager),
+        );
+        (engine, handle)
+    }
+
+    /// Out-of-core engine over a real single binary file (the paper's
+    /// primary configuration), limited to `limit_bytes` of slot RAM (the
+    /// paper's `-L` flag).
+    pub fn ooc_engine_file<P: AsRef<Path>>(
+        data: &Dataset,
+        path: P,
+        limit_bytes: u64,
+        kind: StrategyKind,
+    ) -> PlfEngine<OocStore<FileStore>> {
+        let cfg = OocConfig::with_byte_limit(data.n_items(), data.width(), limit_bytes);
+        let (strategy, _) = build_strategy(kind, &data.tree);
+        let store = FileStore::create(path, data.n_items(), data.width())
+            .expect("failed to create backing file");
+        let manager = VectorManager::new(cfg, strategy, store);
+        PlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            OocStore::new(manager),
+        )
+    }
+
+    /// Standard engine whose vectors live in a demand-paged arena with
+    /// `phys_bytes` of physical memory (the Figure 5 paging baseline).
+    pub fn paged_engine<P: AsRef<Path>>(
+        data: &Dataset,
+        swap_path: P,
+        phys_bytes: usize,
+    ) -> PlfEngine<PagedStore> {
+        let arena = pager_sim::PagedArena::new(
+            data.total_vector_bytes() as usize,
+            phys_bytes,
+            swap_path,
+        )
+        .expect("failed to create swap file");
+        let store = PagedStore::new(arena, data.n_items(), data.width());
+        PlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            store,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::setup::{self, DatasetSpec};
+    use ooc_core::StrategyKind;
+
+    #[test]
+    fn facade_quickstart_works() {
+        let spec = DatasetSpec {
+            n_taxa: 10,
+            n_sites: 80,
+            seed: 3,
+            ..Default::default()
+        };
+        let data = setup::simulate_dataset(&spec);
+        let mut standard = setup::inram_engine(&data);
+        let mut ooc = setup::ooc_engine_mem(&data, 0.5, StrategyKind::Random { seed: 1 });
+        assert_eq!(standard.log_likelihood(), ooc.log_likelihood());
+    }
+
+    #[test]
+    fn memory_formula_matches_paper_example() {
+        // Paper §3.1: s = 10,000 DNA sites under Γ4 -> each vector
+        // 10,000 · 16 · 8 B = 1.28 MB (patterns may compress below s; the
+        // formula is for the uncompressed width).
+        let width = 10_000usize * 4 * 4;
+        assert_eq!(width * 8, 1_280_000);
+    }
+}

@@ -1,0 +1,427 @@
+//! `phylo-ooc` — command-line front end for out-of-core phylogenetic
+//! likelihood analyses, in the spirit of the paper's modified RAxML:
+//!
+//! ```text
+//! phylo-ooc simulate   --taxa 256 --sites 2000 --out data.phy --tree-out true.nwk
+//! phylo-ooc likelihood --alignment data.phy --tree true.nwk --memory 64M
+//! phylo-ooc search     --alignment data.phy --memory 25% --strategy lru --out best.nwk
+//! ```
+//!
+//! `--memory` is the paper's `-L` flag: either an absolute slot budget
+//! (`64M`, `1G`, raw bytes) or a fraction of the full vector set (`25%`).
+//! Omitting it runs the standard all-in-RAM implementation.
+
+use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
+use phylo_ooc::ooc::{FileStore, OocConfig, StrategyKind, VectorManager};
+use phylo_ooc::plf::{AncestralStore, InRamStore, OocStore, PlfEngine};
+use phylo_ooc::search::{hill_climb, parsimony_stepwise_tree, SearchConfig};
+use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
+use phylo_ooc::seq::{compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment};
+use phylo_ooc::setup::build_strategy;
+use phylo_ooc::tree::build::{random_topology, yule_like_lengths};
+use phylo_ooc::tree::{parse_newick, write_newick, Tree};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "memsize" => cmd_memsize(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "likelihood" => cmd_likelihood(&opts),
+        "search" => cmd_search(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+phylo-ooc — out-of-core phylogenetic likelihood analyses
+
+USAGE:
+  phylo-ooc memsize    --taxa N --sites N [--protein] [--cats K]
+  phylo-ooc simulate   --taxa N --sites N [--seed S] --out FILE [--tree-out FILE]
+  phylo-ooc likelihood --alignment FILE --tree FILE [options]
+  phylo-ooc search     --alignment FILE [--tree FILE] [--out FILE] [options]
+
+OPTIONS:
+  --memory SPEC     slot memory: bytes (67108864), suffixed (64M, 1G) or
+                    a fraction of all vectors (25%); omit = all in RAM
+  --strategy NAME   rand | lru | lfu | topo          [default: lru]
+  --vector-file F   backing file for evicted vectors [default: temp file]
+  --alpha A         Gamma shape                       [default: optimize/0.8]
+  --radius R        SPR rearrangement radius          [default: 5]
+  --rounds K        max SPR rounds                    [default: 8]
+  --seed S          RNG seed                          [default: 42]
+  --stats           print out-of-core statistics";
+
+struct Opts {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    fn parse(tokens: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {tok:?}"))?;
+            if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                values.insert(key.to_owned(), tokens[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_owned());
+                i += 1;
+            }
+        }
+        Ok(Opts { values, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} {v:?}")),
+        }
+    }
+
+    fn u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad --{key} {v:?}")),
+        }
+    }
+
+    fn f64_opt(&self, key: &str) -> Result<Option<f64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad --{key} {v:?}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Memory budget: absolute bytes or fraction of the full vector set.
+enum MemorySpec {
+    All,
+    Bytes(u64),
+    Fraction(f64),
+}
+
+fn parse_memory(spec: Option<&str>) -> Result<MemorySpec, String> {
+    let Some(spec) = spec else {
+        return Ok(MemorySpec::All);
+    };
+    if let Some(pct) = spec.strip_suffix('%') {
+        let f: f64 = pct.parse().map_err(|_| format!("bad --memory {spec:?}"))?;
+        return Ok(MemorySpec::Fraction(f / 100.0));
+    }
+    let (digits, mult) = match spec.as_bytes().last() {
+        Some(b'K' | b'k') => (&spec[..spec.len() - 1], 1u64 << 10),
+        Some(b'M' | b'm') => (&spec[..spec.len() - 1], 1 << 20),
+        Some(b'G' | b'g') => (&spec[..spec.len() - 1], 1 << 30),
+        _ => (spec, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad --memory {spec:?}"))?;
+    Ok(MemorySpec::Bytes(n * mult))
+}
+
+fn parse_strategy(name: Option<&str>, seed: u64) -> Result<StrategyKind, String> {
+    Ok(match name.unwrap_or("lru") {
+        "rand" | "random" => StrategyKind::Random { seed },
+        "lru" => StrategyKind::Lru,
+        "lfu" => StrategyKind::Lfu,
+        "topo" | "topological" => StrategyKind::Topological,
+        other => return Err(format!("unknown strategy {other:?}")),
+    })
+}
+
+/// §3.1 memory arithmetic: ancestral-vector requirements for an analysis.
+fn cmd_memsize(opts: &Opts) -> Result<(), String> {
+    let n = opts.usize("taxa", 10_000)?;
+    let s = opts.usize("sites", 10_000)?;
+    let cats = opts.usize("cats", 4)?;
+    let states = if opts.flag("protein") { 20 } else { 4 };
+    if n < 3 {
+        return Err("need at least 3 taxa".into());
+    }
+    let per_vector = s as u64 * states as u64 * cats as u64 * 8;
+    let n_vectors = (n - 2) as u64;
+    let total = per_vector * n_vectors;
+    let human = |b: u64| -> String {
+        if b >= 1 << 30 {
+            format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+        } else if b >= 1 << 20 {
+            format!("{:.2} MiB", b as f64 / (1u64 << 20) as f64)
+        } else {
+            format!("{:.2} KiB", b as f64 / (1u64 << 10) as f64)
+        }
+    };
+    println!(
+        "ancestral probability vectors for n = {n} taxa, s = {s} sites, {states}-state model, Γ{cats}:"
+    );
+    println!("  per vector : {} ({} doubles)", human(per_vector), s * states * cats);
+    println!("  vectors    : {n_vectors}");
+    println!("  total      : {}", human(total));
+    println!(
+        "\nwith --memory {} the out-of-core engine would keep 25% of the",
+        human(total / 4).replace(' ', "")
+    );
+    println!("vectors in RAM and stream the rest from disk.");
+    Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), String> {
+    let n_taxa = opts.usize("taxa", 64)?;
+    let n_sites = opts.usize("sites", 1000)?;
+    let seed = opts.u64("seed", 42)?;
+    let out = opts.require("out")?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = random_topology(n_taxa, 0.1, &mut rng);
+    yule_like_lengths(&mut tree, 0.12, 1e-5, &mut rng);
+    let model = ReversibleModel::hky85(2.5, &[0.3, 0.2, 0.2, 0.3]);
+    let gamma = DiscreteGamma::new(opts.f64_opt("alpha")?.unwrap_or(0.8), 4);
+    let aln = simulate_alignment(&tree, &model, &gamma, n_sites, &mut rng);
+    let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
+    write_phylip(&mut w, &aln).map_err(|e| e.to_string())?;
+    eprintln!("wrote {n_taxa} x {n_sites} alignment to {out}");
+    if let Some(tree_out) = opts.get("tree-out") {
+        let names: Vec<String> = aln.names().to_vec();
+        std::fs::write(tree_out, write_newick(&tree, &names)).map_err(|e| e.to_string())?;
+        eprintln!("wrote true tree to {tree_out}");
+    }
+    Ok(())
+}
+
+/// Load alignment + tree, reordering alignment rows to the tree's tip ids.
+fn load_inputs(opts: &Opts) -> Result<(Tree, CompressedAlignment), String> {
+    let aln_path = opts.require("alignment")?;
+    let file = File::open(aln_path).map_err(|e| format!("{aln_path}: {e}"))?;
+    let aln = read_phylip(BufReader::new(file), Alphabet::Dna).map_err(|e| e.to_string())?;
+
+    let (tree, names) = match opts.get("tree") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_newick(&text).map_err(|e| e.to_string())?
+        }
+        None => {
+            // RAxML-style start: randomized stepwise addition under
+            // parsimony (cap candidate branches to keep it O(n^2)).
+            let seed = opts.u64("seed", 42)?;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let comp = compress_patterns(&aln);
+            let tree = parsimony_stepwise_tree(&comp, 0.1, 40, &mut rng);
+            eprintln!("no --tree given: built a randomized parsimony starting tree");
+            (tree, aln.names().to_vec())
+        }
+    };
+    if tree.n_tips() != aln.n_seqs() {
+        return Err(format!(
+            "tree has {} tips but alignment has {} sequences",
+            tree.n_tips(),
+            aln.n_seqs()
+        ));
+    }
+    // Reorder alignment rows so sequence i belongs to tree tip i.
+    let index: HashMap<&str, usize> = aln
+        .names()
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut entries = Vec::with_capacity(names.len());
+    for name in &names {
+        let &row = index
+            .get(name.as_str())
+            .ok_or_else(|| format!("tip {name:?} not found in the alignment"))?;
+        entries.push((name.clone(), aln.seq_chars(row)));
+    }
+    let reordered = Alignment::from_chars(Alphabet::Dna, &entries).map_err(|e| e.to_string())?;
+    Ok((tree, compress_patterns(&reordered)))
+}
+
+fn engine_report<S: AncestralStore>(engine: &PlfEngine<S>) -> String {
+    format!("alpha = {:.4}", engine.alpha())
+}
+
+/// Default scratch location for the evicted-vector file (one per process;
+/// best-effort cleaned up by [`cleanup_scratch`]).
+fn scratch_vector_path() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("phylo-ooc-vectors-{}.bin", std::process::id()))
+}
+
+/// Remove the default scratch file, if it was created.
+fn cleanup_scratch() {
+    let _ = std::fs::remove_file(scratch_vector_path());
+}
+
+/// HKY85 with empirical base frequencies — the standard default model.
+fn default_model(comp: &CompressedAlignment) -> ReversibleModel {
+    let f = comp.alignment.empirical_freqs();
+    ReversibleModel::hky85(2.5, &[f[0], f[1], f[2], f[3]])
+}
+
+fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
+    let (tree, comp) = load_inputs(opts)?;
+    let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
+    let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+    let model = default_model(&comp);
+    let n_items = tree.n_inner();
+    let total_bytes = (n_items * dims.width() * 8) as u64;
+
+    match parse_memory(opts.get("memory"))? {
+        MemorySpec::All => {
+            let store = InRamStore::new(n_items, dims.width());
+            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
+            println!("log-likelihood: {:.6}", engine.log_likelihood());
+            println!("{}", engine_report(&engine));
+        }
+        spec => {
+            let cfg = match spec {
+                MemorySpec::Bytes(b) => OocConfig::with_byte_limit(n_items, dims.width(), b),
+                MemorySpec::Fraction(f) => OocConfig::with_fraction(n_items, dims.width(), f),
+                MemorySpec::All => unreachable!(),
+            };
+            let seed = opts.u64("seed", 42)?;
+            let kind = parse_strategy(opts.get("strategy"), seed)?;
+            let (strategy, _handle) = build_strategy(kind, &tree);
+            let vector_path = match opts.get("vector-file") {
+                Some(p) => std::path::PathBuf::from(p),
+                None => scratch_vector_path(),
+            };
+            let store = FileStore::create(&vector_path, n_items, dims.width())
+                .map_err(|e| e.to_string())?;
+            let manager = VectorManager::new(cfg, strategy, store);
+            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
+            println!("log-likelihood: {:.6}", engine.log_likelihood());
+            println!("{}", engine_report(&engine));
+            eprintln!(
+                "out-of-core: {} of {} vectors in RAM ({:.1} of {:.1} MiB)",
+                engine.store().manager().config().n_slots,
+                n_items,
+                engine.store().manager().config().slot_bytes() as f64 / (1 << 20) as f64,
+                total_bytes as f64 / (1 << 20) as f64,
+            );
+            if opts.flag("stats") {
+                eprintln!("{}", engine.store().manager().stats());
+            }
+            cleanup_scratch();
+        }
+    }
+    Ok(())
+}
+
+fn cmd_search(opts: &Opts) -> Result<(), String> {
+    let (tree, comp) = load_inputs(opts)?;
+    let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
+    let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+    let model = default_model(&comp);
+    let n_items = tree.n_inner();
+    let seed = opts.u64("seed", 42)?;
+    let cfg = SearchConfig {
+        spr_radius: opts.usize("radius", 5)? as u32,
+        max_rounds: opts.usize("rounds", 8)?,
+        optimize_model: opts.f64_opt("alpha")?.is_none(),
+        seed,
+        ..Default::default()
+    };
+
+    let (stats, final_tree, mgr_stats) = match parse_memory(opts.get("memory"))? {
+        MemorySpec::All => {
+            let store = InRamStore::new(n_items, dims.width());
+            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
+            let stats = hill_climb(&mut engine, &cfg);
+            (stats, engine.tree().clone(), None)
+        }
+        spec => {
+            let ooc_cfg = match spec {
+                MemorySpec::Bytes(b) => OocConfig::with_byte_limit(n_items, dims.width(), b),
+                MemorySpec::Fraction(f) => OocConfig::with_fraction(n_items, dims.width(), f),
+                MemorySpec::All => unreachable!(),
+            };
+            let kind = parse_strategy(opts.get("strategy"), seed)?;
+            let (strategy, handle) = build_strategy(kind, &tree);
+            let vector_path = match opts.get("vector-file") {
+                Some(p) => std::path::PathBuf::from(p),
+                None => scratch_vector_path(),
+            };
+            let store = FileStore::create(&vector_path, n_items, dims.width())
+                .map_err(|e| e.to_string())?;
+            let manager = VectorManager::new(ooc_cfg, strategy, store);
+            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
+            let stats = hill_climb(&mut engine, &cfg);
+            if let Some(h) = handle {
+                h.update(engine.tree());
+            }
+            let mgr = *engine.store().manager().stats();
+            cleanup_scratch();
+            (stats, engine.tree().clone(), Some(mgr))
+        }
+    };
+
+    println!(
+        "search: lnl {:.4} -> {:.4} in {} round(s), {} SPRs applied ({} evaluated), alpha {:.4}",
+        stats.initial_lnl,
+        stats.final_lnl,
+        stats.rounds,
+        stats.spr_applied,
+        stats.spr_evaluated,
+        stats.alpha
+    );
+    if let Some(mgr) = mgr_stats {
+        if opts.flag("stats") {
+            eprintln!("out-of-core: {mgr}");
+        }
+    }
+    if let Some(out) = opts.get("out") {
+        let names = comp.alignment.names().to_vec();
+        let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
+        writeln!(w, "{}", write_newick(&final_tree, &names)).map_err(|e| e.to_string())?;
+        eprintln!("best tree written to {out}");
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! End-to-end tests of the `phylo-ooc` command-line interface.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_phylo-ooc"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = cli().args(args).output().expect("spawn CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn simulate_into(dir: &Path) -> (String, String) {
+    let aln = dir.join("d.phy").to_string_lossy().into_owned();
+    let tree = dir.join("t.nwk").to_string_lossy().into_owned();
+    let (ok, _, err) = run(&[
+        "simulate", "--taxa", "16", "--sites", "200", "--seed", "5", "--out", &aln,
+        "--tree-out", &tree,
+    ]);
+    assert!(ok, "simulate failed: {err}");
+    (aln, tree)
+}
+
+#[test]
+fn help_and_bad_command() {
+    let (ok, out, _) = run(&["help"]);
+    assert!(ok);
+    assert!(out.contains("USAGE"));
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn simulate_then_likelihood_in_ram_and_ooc_agree() {
+    let dir = tempfile::tempdir().unwrap();
+    let (aln, tree) = simulate_into(dir.path());
+
+    let (ok, out_ram, err) = run(&["likelihood", "--alignment", &aln, "--tree", &tree]);
+    assert!(ok, "{err}");
+    let (ok, out_ooc, err) = run(&[
+        "likelihood", "--alignment", &aln, "--tree", &tree, "--memory", "25%",
+        "--strategy", "rand", "--stats",
+    ]);
+    assert!(ok, "{err}");
+    let lnl = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("log-likelihood:"))
+            .unwrap()
+            .to_owned()
+    };
+    assert_eq!(lnl(&out_ram), lnl(&out_ooc), "in-RAM vs out-of-core CLI");
+}
+
+#[test]
+fn search_writes_a_parseable_tree() {
+    let dir = tempfile::tempdir().unwrap();
+    let (aln, _) = simulate_into(dir.path());
+    let best = dir.path().join("best.nwk");
+    let (ok, out, err) = run(&[
+        "search", "--alignment", &aln, "--memory", "50%", "--rounds", "1",
+        "--radius", "3", "--seed", "3", "--alpha", "0.8",
+        "--out", best.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("search: lnl"));
+    let text = std::fs::read_to_string(&best).unwrap();
+    let (tree, names) = phylo_ooc::tree::parse_newick(&text).expect("valid newick");
+    assert_eq!(tree.n_tips(), 16);
+    assert_eq!(names.len(), 16);
+}
+
+#[test]
+fn memory_suffixes_accepted() {
+    let dir = tempfile::tempdir().unwrap();
+    let (aln, tree) = simulate_into(dir.path());
+    for memory in ["1M", "300K", "100000"] {
+        let (ok, out, err) = run(&[
+            "likelihood", "--alignment", &aln, "--tree", &tree, "--memory", memory,
+        ]);
+        assert!(ok, "--memory {memory}: {err}");
+        assert!(out.contains("log-likelihood:"));
+    }
+}
+
+#[test]
+fn missing_inputs_fail_gracefully() {
+    let (ok, _, err) = run(&["likelihood"]);
+    assert!(!ok);
+    assert!(err.contains("missing --alignment"));
+    let (ok, _, err) = run(&["likelihood", "--alignment", "/nonexistent.phy", "--tree", "/x"]);
+    assert!(!ok);
+    assert!(err.contains("error"));
+}

@@ -1,0 +1,184 @@
+//! Experiment E5 — the paper's correctness criterion (§4.1):
+//! "Given a fixed starting tree, RAxML is deterministic, that is,
+//! regardless of f and the selected replacement strategy, the resulting
+//! tree (and log likelihood score) must always be identical to the tree
+//! returned by the standard RAxML implementation."
+//!
+//! We assert bit-identical log-likelihoods across every residency backend,
+//! replacement strategy and memory fraction, for plain evaluation, full
+//! traversals, smoothing and whole searches.
+
+use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::search::{hill_climb, SearchConfig};
+use phylo_ooc::setup::{self, DatasetSpec};
+use phylo_ooc::tree::write_newick;
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        n_taxa: 24,
+        n_sites: 180,
+        seed: 2011,
+        ..Default::default()
+    }
+}
+
+const STRATEGIES: [StrategyKind; 4] = [
+    StrategyKind::Random { seed: 3 },
+    StrategyKind::Lru,
+    StrategyKind::Lfu,
+    StrategyKind::Topological,
+];
+
+#[test]
+fn likelihood_identical_across_strategies_and_fractions() {
+    let data = setup::simulate_dataset(&spec());
+    let mut standard = setup::inram_engine(&data);
+    let reference = standard.log_likelihood();
+    assert!(reference.is_finite() && reference < 0.0);
+
+    for kind in STRATEGIES {
+        for f in [0.25, 0.5, 0.75] {
+            let mut ooc = setup::ooc_engine_mem(&data, f, kind);
+            let lnl = ooc.log_likelihood();
+            assert_eq!(
+                reference.to_bits(),
+                lnl.to_bits(),
+                "strategy {} f={f}: {lnl} != {reference}",
+                kind.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn minimum_slots_still_exact() {
+    // The paper's extreme case: only five slots (and the hard minimum 3).
+    let data = setup::simulate_dataset(&spec());
+    let mut standard = setup::inram_engine(&data);
+    let reference = standard.full_traversals(2);
+    for n_slots in [3usize, 5] {
+        let f = n_slots as f64 / data.n_items() as f64;
+        let mut ooc = setup::ooc_engine_mem(&data, f, StrategyKind::Random { seed: 1 });
+        assert_eq!(ooc.store().manager().config().n_slots, n_slots);
+        let lnl = ooc.full_traversals(2);
+        assert_eq!(reference.to_bits(), lnl.to_bits(), "{n_slots} slots");
+        assert!(
+            ooc.store().manager().stats().miss_rate() > 0.3,
+            "tiny slot counts should miss a lot"
+        );
+    }
+}
+
+#[test]
+fn file_store_matches_mem_store() {
+    let data = setup::simulate_dataset(&spec());
+    let dir = tempfile::tempdir().unwrap();
+    let mut mem = setup::ooc_engine_mem(&data, 0.3, StrategyKind::Lru);
+    let mut file = setup::ooc_engine_file(
+        &data,
+        dir.path().join("v.bin"),
+        data.total_vector_bytes() * 3 / 10,
+        StrategyKind::Lru,
+    );
+    let a = mem.full_traversals(3);
+    let b = file.full_traversals(3);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn paged_arena_matches_standard() {
+    let data = setup::simulate_dataset(&spec());
+    let dir = tempfile::tempdir().unwrap();
+    let mut standard = setup::inram_engine(&data);
+    // Heavily oversubscribed arena: an eighth of the required memory.
+    let mut paged = setup::paged_engine(
+        &data,
+        dir.path().join("swap.bin"),
+        (data.total_vector_bytes() / 8) as usize,
+    );
+    let a = standard.full_traversals(2);
+    let b = paged.full_traversals(2);
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert!(
+        paged.store().arena().stats().major_faults > 0,
+        "oversubscription must cause swap traffic"
+    );
+}
+
+#[test]
+fn smoothing_identical_out_of_core() {
+    let data = setup::simulate_dataset(&spec());
+    let mut standard = setup::inram_engine(&data);
+    let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
+    let a = standard.smooth_branches(2, 12);
+    let b = ooc.smooth_branches(2, 12);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn whole_search_identical_out_of_core() {
+    let data = setup::simulate_dataset(&DatasetSpec {
+        n_taxa: 16,
+        n_sites: 120,
+        seed: 77,
+        ..Default::default()
+    });
+    let cfg = SearchConfig {
+        spr_radius: 3,
+        max_rounds: 2,
+        optimize_model: true,
+        seed: 5,
+        ..Default::default()
+    };
+    let mut standard = setup::inram_engine(&data);
+    let std_stats = hill_climb(&mut standard, &cfg);
+
+    for kind in STRATEGIES {
+        let (mut ooc, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
+        let ooc_stats = hill_climb(&mut ooc, &cfg);
+        if let Some(h) = handle {
+            h.update(ooc.tree());
+        }
+        assert_eq!(
+            std_stats.final_lnl.to_bits(),
+            ooc_stats.final_lnl.to_bits(),
+            "strategy {}",
+            kind.label()
+        );
+        assert_eq!(std_stats.spr_applied, ooc_stats.spr_applied);
+        let names = data.comp.alignment.names().to_vec();
+        assert_eq!(
+            write_newick(standard.tree(), &names),
+            write_newick(ooc.tree(), &names),
+            "final topology must be identical (strategy {})",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn read_skipping_does_not_change_results() {
+    use phylo_ooc::ooc::{MemStore, OocConfig, VectorManager};
+    use phylo_ooc::plf::{OocStore, PlfEngine};
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data).full_traversals(2);
+    for read_skipping in [true, false] {
+        let mut cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+        cfg.read_skipping = read_skipping;
+        let manager = VectorManager::new(
+            cfg,
+            StrategyKind::Lru.build(None),
+            MemStore::new(data.n_items(), data.width()),
+        );
+        let mut engine = PlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            OocStore::new(manager),
+        );
+        let lnl = engine.full_traversals(2);
+        assert_eq!(reference.to_bits(), lnl.to_bits(), "read_skipping={read_skipping}");
+    }
+}

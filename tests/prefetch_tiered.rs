@@ -1,0 +1,123 @@
+//! The §5 future-work extensions wired into the full engine: a prefetch
+//! thread behind the backing store, and the three-layer
+//! accelerator/RAM/disk hierarchy.
+
+use phylo_ooc::ooc::{
+    FileStore, OocConfig, PrefetchingStore, StrategyKind, TieredStore, VectorManager,
+};
+use phylo_ooc::plf::{OocStore, PlfEngine};
+use phylo_ooc::setup::{self, DatasetSpec};
+use std::sync::atomic::Ordering;
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        n_taxa: 40,
+        n_sites: 200,
+        seed: 99,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn prefetching_store_is_transparent() {
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data).full_traversals(3);
+
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("vectors.bin");
+    let main = FileStore::create(&path, data.n_items(), data.width()).unwrap();
+    let worker = FileStore::open(&path, data.width()).unwrap();
+    let store = PrefetchingStore::new(main, worker, data.n_items(), data.width());
+
+    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
+    let mut engine = PlfEngine::new(
+        data.tree.clone(),
+        &data.comp,
+        data.model.clone(),
+        data.spec.alpha,
+        data.spec.n_cats,
+        OocStore::new(manager),
+    );
+    // Mix of traversals and smoothing; prefetch hints flow via
+    // begin_traversal -> store.hint on every plan.
+    let lnl = engine.full_traversals(3);
+    assert_eq!(lnl.to_bits(), reference.to_bits());
+    engine.smooth_branches(1, 8);
+    let partial = engine.log_likelihood();
+    engine.invalidate_all();
+    let full = engine.log_likelihood();
+    assert_eq!(partial.to_bits(), full.to_bits());
+}
+
+#[test]
+fn prefetch_thread_actually_stages_reads() {
+    let data = setup::simulate_dataset(&spec());
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("vectors.bin");
+    let main = FileStore::create(&path, data.n_items(), data.width()).unwrap();
+    let worker = FileStore::open(&path, data.width()).unwrap();
+    let store = PrefetchingStore::new(main, worker, data.n_items(), data.width());
+
+    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.2);
+    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
+    let mut engine = PlfEngine::new(
+        data.tree.clone(),
+        &data.comp,
+        data.model.clone(),
+        data.spec.alpha,
+        data.spec.n_cats,
+        OocStore::new(manager),
+    );
+    // Smoothing passes generate many partial traversals whose upcoming
+    // reads are hinted ahead of time.
+    engine.smooth_branches(2, 8);
+    let stats = engine.store().manager().store().stats();
+    let prefetched = stats.prefetched.load(Ordering::Relaxed);
+    let hits = stats.staged_hits.load(Ordering::Relaxed);
+    assert!(
+        prefetched > 0,
+        "worker thread should have completed some prefetches"
+    );
+    // Timing-dependent, but across two smoothing passes at least some
+    // demand reads should land in the staging cache.
+    assert!(
+        hits > 0,
+        "no staged hits at all (prefetched = {prefetched})"
+    );
+}
+
+#[test]
+fn three_layer_hierarchy_is_exact_and_absorbs_io() {
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data).full_traversals(2);
+
+    let dir = tempfile::tempdir().unwrap();
+    let disk = FileStore::create(dir.path().join("disk.bin"), data.n_items(), data.width())
+        .unwrap();
+    // Middle tier ("RAM") holds half the vectors; the manager's slots
+    // ("accelerator memory") hold only 10%.
+    let tier = TieredStore::new(disk, data.n_items() / 2);
+    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.10);
+    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), tier);
+    let mut engine = PlfEngine::new(
+        data.tree.clone(),
+        &data.comp,
+        data.model.clone(),
+        data.spec.alpha,
+        data.spec.n_cats,
+        OocStore::new(manager),
+    );
+    let lnl = engine.full_traversals(2);
+    assert_eq!(lnl.to_bits(), reference.to_bits());
+
+    let tier_stats = engine.store().manager().store().stats();
+    assert!(
+        tier_stats.hits > 0,
+        "middle tier should absorb manager misses"
+    );
+    assert!(
+        tier_stats.hits > tier_stats.misses,
+        "with half the vectors cached most tier reads should hit: {tier_stats:?}"
+    );
+}
