@@ -29,9 +29,10 @@ fn bench_fig5_point(c: &mut Criterion) {
                 &data,
                 dir.path().join(format!("swap{i}.bin")),
                 budget as usize,
-            );
+            )
+            .unwrap();
             i += 1;
-            black_box(engine.full_traversals(5))
+            black_box(engine.full_traversals(5).unwrap())
         })
     });
 
@@ -43,16 +44,17 @@ fn bench_fig5_point(c: &mut Criterion) {
                 dir.path().join(format!("vec{i}.bin")),
                 budget,
                 StrategyKind::Lru,
-            );
+            )
+            .unwrap();
             i += 1;
-            black_box(engine.full_traversals(5))
+            black_box(engine.full_traversals(5).unwrap())
         })
     });
 
     group.bench_function("inram_reference", |b| {
         b.iter(|| {
             let mut engine = setup::inram_engine(&data);
-            black_box(engine.full_traversals(5))
+            black_box(engine.full_traversals(5).unwrap())
         })
     });
     group.finish();

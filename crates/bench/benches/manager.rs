@@ -16,7 +16,7 @@ fn manager(n: usize, m: usize, kind: StrategyKind) -> VectorManager<MemStore> {
     );
     let data = vec![1.0f64; WIDTH];
     for item in 0..n as u32 {
-        mgr.write_vector(item, &data);
+        mgr.write_vector(item, &data).unwrap();
     }
     mgr
 }
@@ -27,7 +27,8 @@ fn bench_hit_path(c: &mut Criterion) {
     let mut acc = 0.0;
     c.bench_function("manager/hit_with_one", |b| {
         b.iter(|| {
-            mgr.with_one(black_box(17), Intent::Read, |buf| acc += buf[0]);
+            mgr.with_one(black_box(17), Intent::Read, |buf| acc += buf[0])
+                .unwrap();
         })
     });
     black_box(acc);
@@ -39,7 +40,8 @@ fn bench_hit_path(c: &mut Criterion) {
             let p = i % 60;
             mgr.with_triple(p, Some(p + 1), Some(p + 2), |pv, lv, rv| {
                 pv[0] = lv.unwrap()[0] + rv.unwrap()[0];
-            });
+            })
+            .unwrap();
             i += 1;
         })
     });
@@ -56,7 +58,8 @@ fn bench_miss_path(c: &mut Criterion) {
             b.iter(|| {
                 mgr.with_one(black_box(item % 256), Intent::Read, |buf| {
                     black_box(buf[0]);
-                });
+                })
+                .unwrap();
                 item = item.wrapping_add(97); // stride through items
             })
         });

@@ -38,7 +38,7 @@ fn main() {
 
     // Reference chain.
     let mut standard = setup::inram_engine(&data);
-    let reference = run_mcmc(&mut standard, &cfg);
+    let reference = run_mcmc(&mut standard, &cfg).expect("in-RAM MCMC failed");
 
     let strategies = [
         StrategyKind::Topological,
@@ -50,7 +50,7 @@ fn main() {
         .par_iter()
         .map(|&kind| {
             let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
-            let stats = run_mcmc(&mut engine, &cfg);
+            let stats = run_mcmc(&mut engine, &cfg).expect("OOC MCMC failed");
             if let Some(h) = handle {
                 h.update(engine.tree());
             }

@@ -20,8 +20,8 @@ use std::time::Instant;
 
 fn run_workload<S: AncestralStore>(engine: &mut PlfEngine<S>, traversals: usize) -> (f64, f64) {
     let t0 = Instant::now();
-    let lnl = engine.full_traversals(traversals);
-    engine.smooth_branches(1, 8);
+    let lnl = engine.full_traversals(traversals).expect("traversal failed");
+    engine.smooth_branches(1, 8).expect("smoothing failed");
     (t0.elapsed().as_secs_f64(), lnl)
 }
 

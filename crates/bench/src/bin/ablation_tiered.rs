@@ -54,8 +54,8 @@ fn main() {
         OocStore::new(manager),
     );
     let t0 = Instant::now();
-    let lnl2 = two.full_traversals(traversals);
-    two.smooth_branches(1, 8);
+    let lnl2 = two.full_traversals(traversals).expect("two-tier traversal failed");
+    two.smooth_branches(1, 8).expect("two-tier smoothing failed");
     let t_two = t0.elapsed().as_secs_f64();
     let ops_two = two.store().manager().store().ops();
     let modeled_two = two.store().manager().store().clock_secs();
@@ -75,8 +75,8 @@ fn main() {
         OocStore::new(manager),
     );
     let t0 = Instant::now();
-    let lnl3 = three.full_traversals(traversals);
-    three.smooth_branches(1, 8);
+    let lnl3 = three.full_traversals(traversals).expect("three-tier traversal failed");
+    three.smooth_branches(1, 8).expect("three-tier smoothing failed");
     let t_three = t0.elapsed().as_secs_f64();
     assert_eq!(lnl2.to_bits(), lnl3.to_bits(), "hierarchies must agree");
     let tier_stats = three.store().manager().store().stats();

@@ -34,8 +34,8 @@ fn main() {
 
     eprintln!("reference run (standard implementation)...");
     let mut standard = setup::inram_engine(&data);
-    let eval_ref = standard.log_likelihood();
-    let search_ref = hill_climb(&mut standard, &search_cfg);
+    let eval_ref = standard.log_likelihood().expect("in-RAM evaluation failed");
+    let search_ref = hill_climb(&mut standard, &search_cfg).expect("in-RAM search failed");
     let names = data.comp.alignment.names().to_vec();
     let tree_ref = write_newick(standard.tree(), &names);
 
@@ -51,8 +51,8 @@ fn main() {
         for f in [0.25, 0.5, 0.75] {
             eprintln!("checking {} f={f}...", kind.label());
             let (mut ooc, handle) = setup::ooc_engine_mem_with_handle(&data, f, kind);
-            let eval = ooc.log_likelihood();
-            let search = hill_climb(&mut ooc, &search_cfg);
+            let eval = ooc.log_likelihood().expect("OOC evaluation failed");
+            let search = hill_climb(&mut ooc, &search_cfg).expect("OOC search failed");
             if let Some(h) = handle {
                 h.update(ooc.tree());
             }

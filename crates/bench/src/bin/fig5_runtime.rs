@@ -109,7 +109,7 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
         // the dataset fits; beyond that the OS pages, modelled next).
         let mut inram = setup::inram_engine(&data);
         let t0 = Instant::now();
-        let lnl_ref = inram.full_traversals(traversals);
+        let lnl_ref = inram.full_traversals(traversals).expect("in-RAM traversal failed");
         let inram_secs = t0.elapsed().as_secs_f64();
         drop(inram);
 
@@ -118,9 +118,10 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
             &data,
             dir.path().join(format!("swap_{i}.bin")),
             budget as usize,
-        );
+        )
+        .expect("failed to create swap file");
         let t0 = Instant::now();
-        let lnl = paged.full_traversals(traversals);
+        let lnl = paged.full_traversals(traversals).expect("paged traversal failed");
         let paged_secs = t0.elapsed().as_secs_f64();
         let paged_faults = paged.store().arena().stats().major_faults;
         assert_eq!(lnl.to_bits(), lnl_ref.to_bits(), "paged must match in-RAM");
@@ -137,9 +138,10 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
                 dir.path().join(format!("vec_{i}_{k}.bin")),
                 budget,
                 kind,
-            );
+            )
+            .expect("failed to create backing file");
             let t0 = Instant::now();
-            let l = ooc.full_traversals(traversals);
+            let l = ooc.full_traversals(traversals).expect("OOC traversal failed");
             ooc_secs[k] = t0.elapsed().as_secs_f64();
             assert_eq!(l.to_bits(), lnl.to_bits(), "results must be identical");
         }

@@ -114,7 +114,9 @@ pub fn replay_ooc(
     for _ in 0..k {
         manager.begin_traversal(&writes, &[]);
         for &(parent, left, right) in &pattern.steps {
-            manager.with_triple(parent, left, right, |_p, _l, _r| {});
+            manager
+                .with_triple(parent, left, right, |_p, _l, _r| {})
+                .expect("NullStore replay cannot fail on I/O");
         }
     }
     let stats = *manager.stats();

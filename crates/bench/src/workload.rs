@@ -93,17 +93,23 @@ pub fn run_search_workload(
         OocStore::new(manager),
     );
 
-    // Warm-up: populate every vector once, then reset counters.
-    let _ = engine.log_likelihood();
+    // Warm-up: populate every vector once, then reset counters. The
+    // workload runs over an in-RAM MemStore, so I/O errors are impossible.
+    let _ = engine
+        .log_likelihood()
+        .expect("MemStore workload cannot fail on I/O");
     engine.store_mut().manager_mut().reset_stats();
 
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut lnl = 0.0;
     for _ in 0..spec.spr_rounds {
-        let round = lazy_spr_round(&mut engine, spec.radius, spec.nr_iter, 1e-3, &mut rng);
+        let round = lazy_spr_round(&mut engine, spec.radius, spec.nr_iter, 1e-3, &mut rng)
+            .expect("MemStore workload cannot fail on I/O");
         lnl = round.lnl;
         if spec.smooth_passes > 0 {
-            lnl = engine.smooth_branches(spec.smooth_passes, spec.nr_iter);
+            lnl = engine
+                .smooth_branches(spec.smooth_passes, spec.nr_iter)
+                .expect("MemStore workload cannot fail on I/O");
         }
         if let Some(h) = &handle {
             h.update(engine.tree());

@@ -1,0 +1,147 @@
+//! Error type for the residency stack.
+//!
+//! Every fallible operation in the out-of-core layer funnels into
+//! [`OocError`]: an [`io::Error`] annotated with the store operation that
+//! failed and, when known, the item involved. Callers get enough context to
+//! log or retry a failure without a panic backtrace, and the manager
+//! guarantees its bookkeeping stays consistent when one surfaces (see
+//! DESIGN.md, "Error handling & fault tolerance").
+
+use crate::manager::{ItemId, SlotId};
+use std::fmt;
+use std::io;
+
+/// Result alias used throughout the residency stack.
+pub type OocResult<T> = Result<T, OocError>;
+
+/// The store operation that failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OocOp {
+    /// Reading a vector from the backing store into a slot.
+    Read,
+    /// Writing a slot's vector back to the backing store.
+    Write,
+    /// Flushing the backing store.
+    Flush,
+}
+
+impl fmt::Display for OocOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OocOp::Read => "read",
+            OocOp::Write => "write",
+            OocOp::Flush => "flush",
+        })
+    }
+}
+
+/// An I/O failure in the residency stack, with operation and item context.
+#[derive(Debug)]
+pub struct OocError {
+    /// Which store operation failed.
+    pub op: OocOp,
+    /// Item being read or written, if the failure concerns one.
+    pub item: Option<ItemId>,
+    /// RAM slot involved, if any.
+    pub slot: Option<SlotId>,
+    /// Free-form context (e.g. which subsystem issued the operation).
+    pub context: &'static str,
+    /// The underlying I/O error.
+    pub source: io::Error,
+}
+
+impl OocError {
+    /// Failure of `op` on `item`.
+    pub fn item_op(op: OocOp, item: ItemId, context: &'static str, source: io::Error) -> Self {
+        OocError {
+            op,
+            item: Some(item),
+            slot: None,
+            context,
+            source,
+        }
+    }
+
+    /// Failure of an operation not tied to a single item (e.g. flush).
+    pub fn store_op(op: OocOp, context: &'static str, source: io::Error) -> Self {
+        OocError {
+            op,
+            item: None,
+            slot: None,
+            context,
+            source,
+        }
+    }
+
+    /// Attach the slot involved.
+    pub fn with_slot(mut self, slot: SlotId) -> Self {
+        self.slot = Some(slot);
+        self
+    }
+
+    /// Is the underlying error of a kind worth retrying (`EINTR` and
+    /// friends)? Mirrors [`crate::retry::is_transient`].
+    pub fn is_transient(&self) -> bool {
+        crate::retry::is_transient(&self.source)
+    }
+}
+
+impl fmt::Display for OocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "out-of-core {} failed", self.op)?;
+        if let Some(item) = self.item {
+            write!(f, " for item {item}")?;
+        }
+        if let Some(slot) = self.slot {
+            write!(f, " (slot {slot})")?;
+        }
+        if !self.context.is_empty() {
+            write!(f, " during {}", self.context)?;
+        }
+        write!(f, ": {}", self.source)
+    }
+}
+
+impl std::error::Error for OocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_item_and_context() {
+        let e = OocError::item_op(
+            OocOp::Write,
+            17,
+            "eviction",
+            io::Error::new(io::ErrorKind::PermissionDenied, "disk sulking"),
+        )
+        .with_slot(3);
+        let msg = e.to_string();
+        assert!(msg.contains("write"), "{msg}");
+        assert!(msg.contains("item 17"), "{msg}");
+        assert!(msg.contains("slot 3"), "{msg}");
+        assert!(msg.contains("eviction"), "{msg}");
+        assert!(msg.contains("disk sulking"), "{msg}");
+    }
+
+    #[test]
+    fn transient_classification_follows_kind() {
+        let t = OocError::store_op(
+            OocOp::Flush,
+            "",
+            io::Error::new(io::ErrorKind::Interrupted, "eintr"),
+        );
+        assert!(t.is_transient());
+        let p = OocError::store_op(
+            OocOp::Flush,
+            "",
+            io::Error::new(io::ErrorKind::PermissionDenied, "eacces"),
+        );
+        assert!(!p.is_transient());
+    }
+}

@@ -24,18 +24,29 @@
 //!   geometries can be replayed without 32 GB of physical I/O.
 //! * [`prefetch`], [`tiered`] — the paper's §5 future-work directions:
 //!   a prefetch thread and a three-layer (accelerator/RAM/disk) hierarchy.
+//! * [`error`], [`fault`], [`retry`] — fault tolerance: store I/O failures
+//!   surface as contextual [`OocError`]s instead of panics,
+//!   [`FaultInjectingStore`] injects deterministic failure schedules for
+//!   testing, and [`RetryingStore`] absorbs transient errors with bounded
+//!   retries.
 
 pub mod diskmodel;
+pub mod error;
+pub mod fault;
 pub mod manager;
 pub mod prefetch;
+pub mod retry;
 pub mod stats;
 pub mod store;
 pub mod strategy;
 pub mod tiered;
 
 pub use diskmodel::{DiskModel, ModeledStore};
+pub use error::{OocError, OocOp, OocResult};
+pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats};
 pub use manager::{Intent, ItemId, OocConfig, SlotId, VectorManager};
 pub use prefetch::PrefetchingStore;
+pub use retry::{RetryPolicy, RetryStats, RetryingStore};
 pub use stats::OocStats;
 pub use store::{BackingStore, FileStore, MemStore, MultiFileStore, NullStore};
 pub use strategy::{EvictionView, ReplacementStrategy, StrategyKind, TopologyOracle};

@@ -8,6 +8,7 @@
 //! likelihood combine, read skipping for write-only first accesses, and
 //! statistics collection.
 
+use crate::error::{OocError, OocOp, OocResult};
 use crate::stats::OocStats;
 use crate::store::BackingStore;
 use crate::strategy::{EvictionView, ReplacementStrategy};
@@ -188,7 +189,12 @@ impl<S: BackingStore> VectorManager<S> {
     /// Ensure `item` is resident and return its slot. The paper's
     /// `getxvector()` without the pointer return; pinned slots are never
     /// chosen as victims.
-    fn ensure_resident(&mut self, item: ItemId, intent: Intent) -> SlotId {
+    ///
+    /// On error the manager's bookkeeping is untouched by the failed step:
+    /// a failed eviction write leaves the victim resident and dirty, a
+    /// failed load read leaves the slot unoccupied and the item in the
+    /// store — either way every later access sees consistent state.
+    fn ensure_resident(&mut self, item: ItemId, intent: Intent) -> OocResult<SlotId> {
         self.stats.requests += 1;
         if let Location::InSlot(slot) = self.loc[item as usize] {
             self.stats.hits += 1;
@@ -197,14 +203,14 @@ impl<S: BackingStore> VectorManager<S> {
                 self.dirty[slot as usize] = true;
             }
             self.skip_read[item as usize] = false;
-            return slot;
+            return Ok(slot);
         }
         self.stats.misses += 1;
         self.load(item, intent)
     }
 
     /// Bring a non-resident item into a slot, evicting if necessary.
-    fn load(&mut self, item: ItemId, intent: Intent) -> SlotId {
+    fn load(&mut self, item: ItemId, intent: Intent) -> OocResult<SlotId> {
         let slot = match self
             .slot_item
             .iter()
@@ -221,7 +227,7 @@ impl<S: BackingStore> VectorManager<S> {
                     !self.pinned[victim as usize] && self.slot_item[victim as usize].is_some(),
                     "strategy chose an illegal victim"
                 );
-                self.evict(victim);
+                self.evict(victim)?;
                 victim
             }
         };
@@ -239,9 +245,12 @@ impl<S: BackingStore> VectorManager<S> {
                 if skip {
                     self.stats.skipped_reads += 1;
                 } else {
-                    self.store
-                        .read(item, &mut self.slots[s])
-                        .expect("backing store read failed");
+                    // The slot is still unoccupied at this point, so a
+                    // failed read leaves `item` safely in the store.
+                    self.store.read(item, &mut self.slots[s]).map_err(|e| {
+                        self.stats.io_errors += 1;
+                        OocError::item_op(OocOp::Read, item, "slot load", e).with_slot(slot)
+                    })?;
                     self.stats.disk_reads += 1;
                     self.stats.bytes_read += self.cfg.width as u64 * 8;
                 }
@@ -254,17 +263,22 @@ impl<S: BackingStore> VectorManager<S> {
         self.skip_read[item as usize] = false;
         self.strategy.on_load(item, slot);
         self.strategy.on_access(item, slot);
-        slot
+        Ok(slot)
     }
 
     /// Evict the occupant of `slot`, writing it back per configuration.
-    fn evict(&mut self, slot: SlotId) {
+    ///
+    /// The write-back happens *before* any bookkeeping mutation: if it
+    /// fails, the victim stays resident (and dirty), nothing is lost, and
+    /// the caller may retry the whole access later.
+    fn evict(&mut self, slot: SlotId) -> OocResult<()> {
         let s = slot as usize;
         let item = self.slot_item[s].expect("evicting empty slot");
         if self.dirty[s] || self.cfg.always_write_back {
-            self.store
-                .write(item, &self.slots[s])
-                .expect("backing store write failed");
+            self.store.write(item, &self.slots[s]).map_err(|e| {
+                self.stats.io_errors += 1;
+                OocError::item_op(OocOp::Write, item, "eviction write-back", e).with_slot(slot)
+            })?;
             self.stats.disk_writes += 1;
             self.stats.bytes_written += self.cfg.width as u64 * 8;
             self.materialized[item as usize] = true;
@@ -278,13 +292,15 @@ impl<S: BackingStore> VectorManager<S> {
         self.dirty[s] = false;
         self.stats.evictions += 1;
         self.strategy.on_evict(item, slot);
+        Ok(())
     }
 
-    /// Pin helper: acquire and pin, returning the slot.
-    fn acquire_pinned(&mut self, item: ItemId, intent: Intent) -> SlotId {
-        let slot = self.ensure_resident(item, intent);
+    /// Pin helper: acquire and pin, returning the slot. Nothing is pinned
+    /// if the acquisition fails.
+    fn acquire_pinned(&mut self, item: ItemId, intent: Intent) -> OocResult<SlotId> {
+        let slot = self.ensure_resident(item, intent)?;
         self.pinned[slot as usize] = true;
-        slot
+        Ok(slot)
     }
 
     fn unpin(&mut self, slot: SlotId) {
@@ -300,15 +316,41 @@ impl<S: BackingStore> VectorManager<S> {
         left: Option<ItemId>,
         right: Option<ItemId>,
         f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> T {
+    ) -> OocResult<T> {
         debug_assert!(Some(parent) != left && Some(parent) != right);
         debug_assert!(left.is_none() || left != right);
         // Children first (reads), then the parent (write): mirrors the
         // paper's example where vectors 1 and 2 must be pinned before the
-        // swap for vector 3 happens.
-        let ls = left.map(|i| self.acquire_pinned(i, Intent::Read));
-        let rs = right.map(|i| self.acquire_pinned(i, Intent::Read));
-        let ps = self.acquire_pinned(parent, Intent::Write);
+        // swap for vector 3 happens. Already-pinned slots are released if
+        // a later acquisition fails.
+        let ls = match left {
+            Some(i) => Some(self.acquire_pinned(i, Intent::Read)?),
+            None => None,
+        };
+        let rs = match right {
+            Some(i) => match self.acquire_pinned(i, Intent::Read) {
+                Ok(s) => Some(s),
+                Err(e) => {
+                    if let Some(s) = ls {
+                        self.unpin(s);
+                    }
+                    return Err(e);
+                }
+            },
+            None => None,
+        };
+        let ps = match self.acquire_pinned(parent, Intent::Write) {
+            Ok(s) => s,
+            Err(e) => {
+                if let Some(s) = ls {
+                    self.unpin(s);
+                }
+                if let Some(s) = rs {
+                    self.unpin(s);
+                }
+                return Err(e);
+            }
+        };
 
         // SAFETY: ps, ls, rs index distinct slots (distinct items map to
         // distinct slots) and each slot is an independently boxed buffer,
@@ -328,7 +370,7 @@ impl<S: BackingStore> VectorManager<S> {
         if let Some(s) = rs {
             self.unpin(s);
         }
-        result
+        Ok(result)
     }
 
     /// Acquire two vectors for reading (root evaluation, branch-length
@@ -338,10 +380,16 @@ impl<S: BackingStore> VectorManager<S> {
         a: ItemId,
         b: ItemId,
         f: impl FnOnce(&[f64], &[f64]) -> T,
-    ) -> T {
+    ) -> OocResult<T> {
         assert_ne!(a, b);
-        let sa = self.acquire_pinned(a, Intent::Read);
-        let sb = self.acquire_pinned(b, Intent::Read);
+        let sa = self.acquire_pinned(a, Intent::Read)?;
+        let sb = match self.acquire_pinned(b, Intent::Read) {
+            Ok(s) => s,
+            Err(e) => {
+                self.unpin(sa);
+                return Err(e);
+            }
+        };
         let result = {
             let base = self.slots.as_ptr();
             // SAFETY: distinct slots, shared borrows only.
@@ -351,7 +399,7 @@ impl<S: BackingStore> VectorManager<S> {
         };
         self.unpin(sa);
         self.unpin(sb);
-        result
+        Ok(result)
     }
 
     /// Acquire one vector with the given intent.
@@ -360,31 +408,35 @@ impl<S: BackingStore> VectorManager<S> {
         item: ItemId,
         intent: Intent,
         f: impl FnOnce(&mut [f64]) -> T,
-    ) -> T {
-        let s = self.acquire_pinned(item, intent);
+    ) -> OocResult<T> {
+        let s = self.acquire_pinned(item, intent)?;
         let result = f(&mut self.slots[s as usize]);
         self.unpin(s);
-        result
+        Ok(result)
     }
 
     /// Copy a vector's current contents out (for tests and checkpointing).
-    pub fn read_into(&mut self, item: ItemId, out: &mut [f64]) {
-        self.with_one(item, Intent::Read, |buf| out.copy_from_slice(buf));
+    pub fn read_into(&mut self, item: ItemId, out: &mut [f64]) -> OocResult<()> {
+        self.with_one(item, Intent::Read, |buf| out.copy_from_slice(buf))
     }
 
     /// Overwrite a vector (counts as a write access).
-    pub fn write_vector(&mut self, item: ItemId, data: &[f64]) {
-        self.with_one(item, Intent::Write, |buf| buf.copy_from_slice(data));
+    pub fn write_vector(&mut self, item: ItemId, data: &[f64]) -> OocResult<()> {
+        self.with_one(item, Intent::Write, |buf| buf.copy_from_slice(data))
     }
 
     /// Write every dirty resident vector to the store without evicting.
-    pub fn flush(&mut self) {
+    ///
+    /// Stops at the first failure; successfully flushed slots stay clean,
+    /// the failing one stays dirty, so a retry resumes where it stopped.
+    pub fn flush(&mut self) -> OocResult<()> {
         for s in 0..self.cfg.n_slots {
             if let Some(item) = self.slot_item[s] {
                 if self.dirty[s] {
-                    self.store
-                        .write(item, &self.slots[s])
-                        .expect("backing store write failed");
+                    self.store.write(item, &self.slots[s]).map_err(|e| {
+                        self.stats.io_errors += 1;
+                        OocError::item_op(OocOp::Write, item, "flush", e).with_slot(s as SlotId)
+                    })?;
                     self.stats.disk_writes += 1;
                     self.stats.bytes_written += self.cfg.width as u64 * 8;
                     self.materialized[item as usize] = true;
@@ -392,7 +444,10 @@ impl<S: BackingStore> VectorManager<S> {
                 }
             }
         }
-        self.store.flush().expect("backing store flush failed");
+        self.store.flush().map_err(|e| {
+            self.stats.io_errors += 1;
+            OocError::store_op(OocOp::Flush, "store flush", e)
+        })
     }
 }
 
@@ -419,12 +474,12 @@ mod tests {
         let (n, m, w) = (20usize, 3usize, 16usize);
         let mut mgr = manager(n, m, w);
         for item in 0..n as u32 {
-            mgr.write_vector(item, &fill(item, w));
+            mgr.write_vector(item, &fill(item, w)).unwrap();
         }
         // Everything but the last three now lives in the store.
         let mut buf = vec![0.0; w];
         for item in 0..n as u32 {
-            mgr.read_into(item, &mut buf);
+            mgr.read_into(item, &mut buf).unwrap();
             assert_eq!(buf, fill(item, w), "item {item} corrupted");
         }
     }
@@ -432,10 +487,10 @@ mod tests {
     #[test]
     fn hit_does_not_touch_store() {
         let mut mgr = manager(10, 4, 8);
-        mgr.write_vector(0, &fill(0, 8));
+        mgr.write_vector(0, &fill(0, 8)).unwrap();
         let before = *mgr.stats();
         let mut buf = vec![0.0; 8];
-        mgr.read_into(0, &mut buf);
+        mgr.read_into(0, &mut buf).unwrap();
         let delta = mgr.stats().since(&before);
         assert_eq!(delta.requests, 1);
         assert_eq!(delta.hits, 1);
@@ -447,12 +502,12 @@ mod tests {
     fn miss_reads_from_store() {
         let mut mgr = manager(10, 3, 8);
         for item in 0..10 {
-            mgr.write_vector(item, &fill(item, 8));
+            mgr.write_vector(item, &fill(item, 8)).unwrap();
         }
         assert!(!mgr.is_resident(0));
         let before = *mgr.stats();
         let mut buf = vec![0.0; 8];
-        mgr.read_into(0, &mut buf);
+        mgr.read_into(0, &mut buf).unwrap();
         let delta = mgr.stats().since(&before);
         assert_eq!(delta.misses, 1);
         assert_eq!(delta.disk_reads, 1);
@@ -463,10 +518,10 @@ mod tests {
     fn write_intent_skips_read() {
         let mut mgr = manager(10, 3, 8);
         for item in 0..10 {
-            mgr.write_vector(item, &fill(item, 8));
+            mgr.write_vector(item, &fill(item, 8)).unwrap();
         }
         let before = *mgr.stats();
-        mgr.write_vector(0, &fill(0, 8)); // miss, but write-only
+        mgr.write_vector(0, &fill(0, 8)).unwrap(); // miss, but write-only
         let delta = mgr.stats().since(&before);
         assert_eq!(delta.misses, 1);
         assert_eq!(delta.disk_reads, 0);
@@ -479,10 +534,10 @@ mod tests {
         cfg.read_skipping = false;
         let mut mgr = VectorManager::new(cfg, StrategyKind::Lru.build(None), MemStore::new(10, 8));
         for item in 0..10 {
-            mgr.write_vector(item, &fill(item, 8));
+            mgr.write_vector(item, &fill(item, 8)).unwrap();
         }
         let before = *mgr.stats();
-        mgr.write_vector(0, &fill(0, 8));
+        mgr.write_vector(0, &fill(0, 8)).unwrap();
         let delta = mgr.stats().since(&before);
         assert_eq!(delta.disk_reads, 1, "disabled skipping must read");
         assert_eq!(delta.skipped_reads, 0);
@@ -492,23 +547,23 @@ mod tests {
     fn traversal_flag_skips_first_read_only() {
         let mut mgr = manager(10, 3, 8);
         for item in 0..10 {
-            mgr.write_vector(item, &fill(item, 8));
+            mgr.write_vector(item, &fill(item, 8)).unwrap();
         }
         mgr.begin_traversal(&[4], &[]);
         let before = *mgr.stats();
         // Even a Read-intent access skips, because the flag promises the
         // traversal overwrites it first (we respect the caller's claim).
         let mut buf = vec![0.0; 8];
-        mgr.read_into(4, &mut buf);
+        mgr.read_into(4, &mut buf).unwrap();
         let d1 = mgr.stats().since(&before);
         assert_eq!(d1.skipped_reads, 1);
         // Evict 4 again; the flag was consumed, so the next read is real.
         for item in 5..9 {
-            mgr.read_into(item, &mut buf);
+            mgr.read_into(item, &mut buf).unwrap();
         }
         assert!(!mgr.is_resident(4));
         let before = *mgr.stats();
-        mgr.read_into(4, &mut buf);
+        mgr.read_into(4, &mut buf).unwrap();
         assert_eq!(mgr.stats().since(&before).disk_reads, 1);
     }
 
@@ -517,7 +572,7 @@ mod tests {
         let (n, m, w) = (30usize, 3usize, 4usize);
         let mut mgr = manager(n, m, w);
         for item in 0..n as u32 {
-            mgr.write_vector(item, &fill(item, w));
+            mgr.write_vector(item, &fill(item, w)).unwrap();
         }
         // With exactly 3 slots, acquiring a triple pins everything; the
         // combine must still succeed and see the right child data.
@@ -527,9 +582,10 @@ mod tests {
             for (i, x) in p.iter_mut().enumerate() {
                 *x = l.unwrap()[i] + r.unwrap()[i];
             }
-        });
+        })
+        .unwrap();
         let mut buf = vec![0.0; w];
-        mgr.read_into(0, &mut buf);
+        mgr.read_into(0, &mut buf).unwrap();
         let expect: Vec<f64> = (0..w).map(|i| fill(7, w)[i] + fill(13, w)[i]).collect();
         assert_eq!(buf, expect);
         // Pins must be released afterwards.
@@ -542,20 +598,23 @@ mod tests {
         mgr.with_triple(2, None, None, |p, l, r| {
             assert!(l.is_none() && r.is_none());
             p.fill(9.0);
-        });
+        })
+        .unwrap();
         let mut buf = vec![0.0; 4];
-        mgr.read_into(2, &mut buf);
+        mgr.read_into(2, &mut buf).unwrap();
         assert_eq!(buf, vec![9.0; 4]);
     }
 
     #[test]
     fn with_pair_reads_both() {
         let mut mgr = manager(10, 3, 4);
-        mgr.write_vector(1, &fill(1, 4));
-        mgr.write_vector(2, &fill(2, 4));
-        let dot = mgr.with_pair(1, 2, |a, b| {
-            a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f64>()
-        });
+        mgr.write_vector(1, &fill(1, 4)).unwrap();
+        mgr.write_vector(2, &fill(2, 4)).unwrap();
+        let dot = mgr
+            .with_pair(1, 2, |a, b| {
+                a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f64>()
+            })
+            .unwrap();
         let expect: f64 = fill(1, 4)
             .iter()
             .zip(fill(2, 4).iter())
@@ -568,7 +627,7 @@ mod tests {
     fn cold_load_zeroes_buffer() {
         let mut mgr = manager(5, 3, 6);
         let mut buf = vec![42.0; 6];
-        mgr.read_into(0, &mut buf);
+        mgr.read_into(0, &mut buf).unwrap();
         assert_eq!(buf, vec![0.0; 6]);
         assert_eq!(mgr.stats().cold_loads, 1);
     }
@@ -578,7 +637,7 @@ mod tests {
         // Default: clean vectors are written back on eviction (a swap).
         let mut mgr = manager(6, 3, 4);
         for item in 0..6 {
-            mgr.write_vector(item, &fill(item, 4));
+            mgr.write_vector(item, &fill(item, 4)).unwrap();
         }
         let writes_swap = mgr.stats().disk_writes;
 
@@ -588,13 +647,13 @@ mod tests {
         let mut mgr2 =
             VectorManager::new(cfg, StrategyKind::Lru.build(None), MemStore::new(6, 4));
         for item in 0..6 {
-            mgr2.write_vector(item, &fill(item, 4));
+            mgr2.write_vector(item, &fill(item, 4)).unwrap();
         }
         let mut buf = vec![0.0; 4];
-        mgr2.flush(); // clean the resident dirty vectors first
+        mgr2.flush().unwrap(); // clean the resident dirty vectors first
         let w_before = mgr2.stats().disk_writes;
         for item in 0..6 {
-            mgr2.read_into(item, &mut buf); // reads only, evictions stay clean
+            mgr2.read_into(item, &mut buf).unwrap(); // reads only, evictions stay clean
         }
         assert_eq!(
             mgr2.stats().disk_writes,
@@ -604,7 +663,7 @@ mod tests {
         assert!(writes_swap >= 3, "paper-mode swap must write evictees");
         // Data still correct afterwards.
         for item in 0..6 {
-            mgr2.read_into(item, &mut buf);
+            mgr2.read_into(item, &mut buf).unwrap();
             assert_eq!(buf, fill(item, 4));
         }
     }
@@ -616,9 +675,9 @@ mod tests {
         for round in 0..3 {
             for item in 0..15 {
                 if (item + round) % 2 == 0 {
-                    mgr.write_vector(item, &fill(item, 8));
+                    mgr.write_vector(item, &fill(item, 8)).unwrap();
                 } else {
-                    mgr.read_into(item, &mut buf);
+                    mgr.read_into(item, &mut buf).unwrap();
                 }
             }
         }
@@ -651,29 +710,145 @@ mod tests {
         let n = 8;
         let mut mgr = manager(n, n, 4);
         for item in 0..n as u32 {
-            mgr.write_vector(item, &fill(item, 4));
+            mgr.write_vector(item, &fill(item, 4)).unwrap();
         }
         mgr.reset_stats();
         let mut buf = vec![0.0; 4];
         for _ in 0..5 {
             for item in 0..n as u32 {
-                mgr.read_into(item, &mut buf);
+                mgr.read_into(item, &mut buf).unwrap();
             }
         }
         assert_eq!(mgr.stats().miss_rate(), 0.0);
         assert_eq!(mgr.stats().io_ops(), 0);
     }
 
+    fn faulty_manager(
+        n: usize,
+        m: usize,
+        width: usize,
+        plan: crate::fault::FaultPlan,
+    ) -> VectorManager<crate::fault::FaultInjectingStore<MemStore>> {
+        VectorManager::new(
+            OocConfig::new(n, width, m),
+            StrategyKind::Lru.build(None),
+            crate::fault::FaultInjectingStore::new(MemStore::new(n, width), plan),
+        )
+    }
+
+    #[test]
+    fn failed_eviction_write_leaves_bookkeeping_consistent() {
+        let (n, m, w) = (6usize, 3usize, 4usize);
+        // The very first store write (= first eviction write-back) fails
+        // permanently once; everything after succeeds.
+        let mut mgr = faulty_manager(n, m, w, crate::fault::FaultPlan::permanent_writes(0, 1));
+        for item in 0..3u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        let stats_before = *mgr.stats();
+        let resident_before = {
+            let mut r = mgr.resident_items();
+            r.sort_unstable();
+            r
+        };
+
+        // Slot pressure: this needs an eviction, whose write-back fails.
+        let err = mgr.write_vector(3, &fill(3, w)).unwrap_err();
+        assert_eq!(err.op, OocOp::Write);
+        assert_eq!(err.item, Some(0), "LRU victim is item 0");
+        assert!(err.slot.is_some());
+        assert!(err.to_string().contains("eviction write-back"));
+
+        // The victim must still be resident and nothing about the slots
+        // may have changed; the failed request is visible only in stats.
+        let mut resident_now = mgr.resident_items();
+        resident_now.sort_unstable();
+        assert_eq!(resident_now, resident_before);
+        assert!(mgr.is_resident(0));
+        assert!(!mgr.is_resident(3));
+        let delta = mgr.stats().since(&stats_before);
+        assert_eq!(delta.evictions, 0, "failed eviction must not count");
+        assert_eq!(delta.disk_writes, 0);
+        assert_eq!(delta.io_errors, 1);
+        assert!(mgr.pinned.iter().all(|&p| !p), "no pins may leak");
+
+        // The fault was one-shot: retrying the same access now succeeds
+        // and every vector still holds the right data.
+        mgr.write_vector(3, &fill(3, w)).unwrap();
+        let mut buf = vec![0.0; w];
+        for item in 0..4u32 {
+            mgr.read_into(item, &mut buf).unwrap();
+            assert_eq!(buf, fill(item, w), "item {item} corrupted");
+        }
+    }
+
+    #[test]
+    fn failed_load_read_leaves_item_in_store() {
+        let (n, m, w) = (6usize, 3usize, 4usize);
+        let mut mgr = faulty_manager(n, m, w, crate::fault::FaultPlan::transient_reads(0, 1));
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        assert!(!mgr.is_resident(0));
+        let mut buf = vec![0.0; w];
+        let err = mgr.read_into(0, &mut buf).unwrap_err();
+        assert_eq!(err.op, OocOp::Read);
+        assert_eq!(err.item, Some(0));
+        assert!(err.is_transient());
+        assert!(!mgr.is_resident(0), "failed load must not claim residency");
+        assert!(mgr.pinned.iter().all(|&p| !p));
+
+        // Window passed: the same read now succeeds with intact data.
+        mgr.read_into(0, &mut buf).unwrap();
+        assert_eq!(buf, fill(0, w));
+    }
+
+    #[test]
+    fn with_triple_releases_pins_on_error() {
+        let (n, m, w) = (8usize, 3usize, 4usize);
+        // The first store read fails permanently; the combine below pins a
+        // resident child first, then fails acquiring the second child.
+        let plan = crate::fault::FaultPlan::none().with(crate::fault::FaultRule::Window {
+            op: crate::fault::FaultOp::Read,
+            start: 0,
+            count: 1,
+            kind: crate::fault::FaultKind::Permanent,
+        });
+        let mut mgr = faulty_manager(n, m, w, plan);
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        // LRU residents are now items 5, 6, 7: child 5 hits (and is
+        // pinned), child 1 needs a store read, which fails.
+        assert!(mgr.is_resident(5) && !mgr.is_resident(1));
+        let err = mgr
+            .with_triple(0, Some(5), Some(1), |_, _, _| ())
+            .unwrap_err();
+        assert_eq!(err.op, OocOp::Read);
+        assert_eq!(err.item, Some(1));
+        assert!(
+            mgr.pinned.iter().all(|&p| !p),
+            "pins must be released when a later acquisition fails"
+        );
+        // Recovery: same combine works once the fault window has passed.
+        mgr.with_triple(0, Some(5), Some(1), |p, l, r| {
+            assert_eq!(l.unwrap(), &fill(5, w)[..]);
+            assert_eq!(r.unwrap(), &fill(1, w)[..]);
+            p.fill(1.0);
+        })
+        .unwrap();
+    }
+
     #[test]
     fn flush_writes_dirty_residents() {
         let mut mgr = manager(5, 3, 4);
-        mgr.write_vector(0, &fill(0, 4));
+        mgr.write_vector(0, &fill(0, 4)).unwrap();
         let before = mgr.stats().disk_writes;
-        mgr.flush();
+        mgr.flush().unwrap();
         assert_eq!(mgr.stats().disk_writes, before + 1);
         // Second flush is a no-op (nothing dirty).
         let before = mgr.stats().disk_writes;
-        mgr.flush();
+        mgr.flush().unwrap();
         assert_eq!(mgr.stats().disk_writes, before);
     }
 }

@@ -17,7 +17,7 @@ use crate::store::BackingStore;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -39,6 +39,22 @@ pub struct PrefetchStats {
     pub prefetched: AtomicU64,
     /// Prefetch results discarded because the item was written meanwhile.
     pub discarded: AtomicU64,
+    /// Hinted items ignored because they were outside the store geometry.
+    pub dropped_hints: AtomicU64,
+    /// Hint batches handed to the worker.
+    pub batches_submitted: AtomicU64,
+    /// Hint batches the worker finished processing.
+    pub batches_processed: AtomicU64,
+}
+
+/// Clears the shared alive flag when the worker exits — including by
+/// panic, since the guard's destructor runs during unwinding.
+struct AliveGuard(Arc<AtomicBool>);
+
+impl Drop for AliveGuard {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
 }
 
 /// A store wrapper that resolves hints on a background thread.
@@ -46,6 +62,7 @@ pub struct PrefetchingStore<S: BackingStore> {
     main: S,
     staging: Arc<Mutex<Staging>>,
     stats: Arc<PrefetchStats>,
+    alive: Arc<AtomicBool>,
     sender: Option<Sender<Vec<ItemId>>>,
     worker: Option<JoinHandle<()>>,
 }
@@ -62,17 +79,27 @@ impl<S: BackingStore> PrefetchingStore<S> {
             versions: vec![0; n_items],
         }));
         let stats = Arc::new(PrefetchStats::default());
+        let alive = Arc::new(AtomicBool::new(true));
         let (sender, receiver) = unbounded::<Vec<ItemId>>();
         let worker = {
             let staging = Arc::clone(&staging);
             let stats = Arc::clone(&stats);
+            let alive = Arc::clone(&alive);
             let mut store = worker_store;
             std::thread::spawn(move || {
+                let _guard = AliveGuard(alive);
                 let mut buf = vec![0.0f64; width];
                 while let Ok(batch) = receiver.recv() {
                     for item in batch {
                         let version = {
                             let st = staging.lock();
+                            if item as usize >= st.versions.len() {
+                                // Out-of-geometry hint: ignore it rather
+                                // than letting an index panic kill the
+                                // worker and silently disable prefetching.
+                                stats.dropped_hints.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
                             if st.cache.contains_key(&item) {
                                 continue; // already staged
                             }
@@ -90,6 +117,9 @@ impl<S: BackingStore> PrefetchingStore<S> {
                             stats.discarded.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    // Release-publish after the staging inserts so a drain()
+                    // that observes the count also observes the cache state.
+                    stats.batches_processed.fetch_add(1, Ordering::Release);
                 }
             })
         };
@@ -97,6 +127,7 @@ impl<S: BackingStore> PrefetchingStore<S> {
             main,
             staging,
             stats,
+            alive,
             sender: Some(sender),
             worker: Some(worker),
         }
@@ -107,19 +138,27 @@ impl<S: BackingStore> PrefetchingStore<S> {
         &self.stats
     }
 
-    /// Wait until all queued hints have been processed (test helper).
+    /// Whether the worker thread is still running. Turns `false` if the
+    /// worker dies (it should not — out-of-range hints are dropped, read
+    /// errors skipped — but a health probe beats silent degradation to a
+    /// store that accepts hints and never stages anything).
+    pub fn worker_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Wait until every hint batch submitted so far has been processed.
+    ///
+    /// Tracks submitted vs. processed batch counters instead of polling the
+    /// channel: an empty queue only means the worker *took* the last batch,
+    /// not that it finished staging it. Returns early if the worker died.
     pub fn drain(&self) {
-        while self
-            .sender
-            .as_ref()
-            .map(|s| !s.is_empty())
-            .unwrap_or(false)
-        {
+        let target = self.stats.batches_submitted.load(Ordering::Acquire);
+        while self.stats.batches_processed.load(Ordering::Acquire) < target {
+            if !self.alive.load(Ordering::Acquire) {
+                return; // nothing more will ever be processed
+            }
             std::thread::yield_now();
         }
-        // One lock round-trip ensures the worker finished its last insert.
-        std::thread::sleep(std::time::Duration::from_millis(2));
-        drop(self.staging.lock());
     }
 }
 
@@ -137,7 +176,9 @@ impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
         {
             let mut st = self.staging.lock();
-            st.versions[item as usize] += 1;
+            if let Some(v) = st.versions.get_mut(item as usize) {
+                *v += 1;
+            }
             st.cache.remove(&item);
         }
         self.main.write(item, buf)
@@ -145,7 +186,9 @@ impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
 
     fn hint(&mut self, upcoming: &[ItemId]) {
         if let Some(sender) = &self.sender {
-            let _ = sender.send(upcoming.to_vec());
+            if sender.send(upcoming.to_vec()).is_ok() {
+                self.stats.batches_submitted.fetch_add(1, Ordering::Release);
+            }
         }
     }
 
@@ -158,7 +201,11 @@ impl<S: BackingStore> Drop for PrefetchingStore<S> {
     fn drop(&mut self) {
         drop(self.sender.take()); // worker's recv() fails -> exits
         if let Some(handle) = self.worker.take() {
-            let _ = handle.join();
+            if handle.join().is_err() {
+                // Last-resort visibility; `worker_alive()` is the real
+                // health probe, but a swallowed panic helps nobody.
+                eprintln!("ooc-core: prefetch worker thread panicked");
+            }
         }
     }
 }
@@ -227,6 +274,46 @@ mod tests {
         store.read(1, &mut buf).unwrap();
         assert_eq!(buf, vec![5.0; 8]);
         assert_eq!(store.stats().staged_misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn out_of_range_hint_is_dropped_and_worker_survives() {
+        let dir = tempfile::tempdir().unwrap();
+        let (main, worker) = file_pair(dir.path(), 4, 8);
+        let mut store = PrefetchingStore::new(main, worker, 4, 8);
+        store.write(2, &[7.0; 8]).unwrap();
+        store.hint(&[99, 1000]); // far outside the 4-item geometry
+        store.hint(&[2]); // must still be serviced afterwards
+        store.drain();
+        assert!(store.worker_alive(), "bad hint must not kill the worker");
+        assert_eq!(store.stats().dropped_hints.load(Ordering::Relaxed), 2);
+        let mut buf = vec![0.0; 8];
+        store.read(2, &mut buf).unwrap();
+        assert_eq!(buf, vec![7.0; 8]);
+        assert_eq!(store.stats().staged_hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_accounts_for_every_submitted_batch() {
+        let dir = tempfile::tempdir().unwrap();
+        let (main, worker) = file_pair(dir.path(), 16, 4);
+        let mut store = PrefetchingStore::new(main, worker, 16, 4);
+        for i in 0..16u32 {
+            store.write(i, &[i as f64; 4]).unwrap();
+        }
+        for i in 0..16u32 {
+            store.hint(&[i]);
+        }
+        store.drain();
+        let s = store.stats();
+        assert_eq!(s.batches_submitted.load(Ordering::Relaxed), 16);
+        assert_eq!(
+            s.batches_processed.load(Ordering::Relaxed),
+            s.batches_submitted.load(Ordering::Relaxed)
+        );
+        // Nothing was rewritten meanwhile, so every hint got staged and
+        // every staged copy is observable right after drain() returns.
+        assert_eq!(s.prefetched.load(Ordering::Relaxed), 16);
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub struct OocStats {
     pub bytes_read: u64,
     /// Bytes written to the store.
     pub bytes_written: u64,
+    /// Store operations that surfaced an I/O error to the caller (after
+    /// any retry layer below the manager had its chance).
+    pub io_errors: u64,
 }
 
 impl OocStats {
@@ -88,6 +91,7 @@ impl OocStats {
             evictions: self.evictions - earlier.evictions,
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
+            io_errors: self.io_errors - earlier.io_errors,
         }
     }
 }

@@ -165,6 +165,11 @@ pub struct MultiFileStore {
 
 impl MultiFileStore {
     /// Create `n_files` files named `<base>.0`, `<base>.1`, ….
+    ///
+    /// The shard index is appended to the full base name (`a.bin` becomes
+    /// `a.bin.0`), never substituted for its extension: `with_extension`
+    /// would map both `a.bin` and `a.dat` to the same `a.0`, letting two
+    /// stores in one directory silently clobber each other.
     pub fn create<P: AsRef<Path>>(
         base: P,
         n_files: usize,
@@ -175,7 +180,9 @@ impl MultiFileStore {
         let per_file = n_items.div_ceil(n_files);
         let mut files = Vec::with_capacity(n_files);
         for k in 0..n_files {
-            let path = base.as_ref().with_extension(k.to_string());
+            let mut name = base.as_ref().as_os_str().to_os_string();
+            name.push(format!(".{k}"));
+            let path = std::path::PathBuf::from(name);
             let file = OpenOptions::new()
                 .read(true)
                 .write(true)
@@ -302,6 +309,31 @@ mod tests {
                 MultiFileStore::create(dir.path().join("multi.bin"), n_files, 20, 32).unwrap();
             roundtrip_all(&mut s, 20, 32);
         }
+    }
+
+    #[test]
+    fn multi_file_stores_with_different_extensions_do_not_collide() {
+        // Regression: `with_extension`-based shard naming mapped `a.bin`
+        // and `a.dat` to the same `a.0`, `a.1`, … paths, so the second
+        // store truncated the first one's shards.
+        let dir = tempfile::tempdir().unwrap();
+        let mut bin = MultiFileStore::create(dir.path().join("a.bin"), 2, 8, 4).unwrap();
+        for item in 0..8u32 {
+            bin.write(item, &pattern(item, 4)).unwrap();
+        }
+        let mut dat = MultiFileStore::create(dir.path().join("a.dat"), 2, 8, 4).unwrap();
+        for item in 0..8u32 {
+            dat.write(item, &[-1.0; 4]).unwrap();
+        }
+        let mut buf = vec![0.0; 4];
+        for item in 0..8u32 {
+            bin.read(item, &mut buf).unwrap();
+            assert_eq!(buf, pattern(item, 4), "a.bin item {item} was clobbered");
+            dat.read(item, &mut buf).unwrap();
+            assert_eq!(buf, vec![-1.0; 4]);
+        }
+        assert!(dir.path().join("a.bin.0").exists());
+        assert!(dir.path().join("a.dat.1").exists());
     }
 
     #[test]

@@ -72,17 +72,26 @@ impl<S: BackingStore> TieredStore<S> {
         }
     }
 
-    /// Evict the least recently used entry (write back if dirty).
+    /// Evict the least recently used entry (write back if dirty). A no-op
+    /// on an empty tier. If the write-back fails, the entry is reinstated
+    /// so no data is lost to the error.
     fn evict_one(&mut self) -> io::Result<()> {
-        let victim = self
+        let Some(victim) = self
             .entries
             .iter()
             .min_by_key(|(_, e)| e.last_access)
             .map(|(&k, _)| k)
-            .expect("evict_one on empty tier");
-        let entry = self.entries.remove(&victim).unwrap();
+        else {
+            return Ok(());
+        };
+        let Some(entry) = self.entries.remove(&victim) else {
+            return Ok(());
+        };
         if entry.dirty {
-            self.inner.write(victim, &entry.data)?;
+            if let Err(e) = self.inner.write(victim, &entry.data) {
+                self.entries.insert(victim, entry);
+                return Err(e);
+            }
             self.stats.writebacks += 1;
         }
         self.stats.evictions += 1;

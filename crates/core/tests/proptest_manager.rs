@@ -74,11 +74,11 @@ proptest! {
             match op {
                 Op::Write(i, tag) => {
                     let data = pattern(i, tag, width);
-                    mgr.write_vector(i as u32, &data);
+                    mgr.write_vector(i as u32, &data).unwrap();
                     oracle[i as usize] = Some(data);
                 }
                 Op::Read(i) => {
-                    mgr.read_into(i as u32, &mut buf);
+                    mgr.read_into(i as u32, &mut buf).unwrap();
                     match &oracle[i as usize] {
                         Some(expect) => prop_assert_eq!(&buf, expect),
                         None => prop_assert!(buf.iter().all(|&x| x == 0.0)),
@@ -93,13 +93,13 @@ proptest! {
                         for k in 0..pv.len() {
                             pv[k] = lv[k] + rv[k];
                         }
-                    });
+                    }).unwrap();
                     let lv = oracle[l as usize].clone().unwrap_or_else(|| vec![0.0; width]);
                     let rv = oracle[r as usize].clone().unwrap_or_else(|| vec![0.0; width]);
                     oracle[p as usize] =
                         Some((0..width).map(|k| lv[k] + rv[k]).collect());
                 }
-                Op::Flush => mgr.flush(),
+                Op::Flush => mgr.flush().unwrap(),
                 Op::Traverse(items) => {
                     // Claiming items are write-only is only sound if the
                     // next access really writes them; emulate that.
@@ -107,7 +107,7 @@ proptest! {
                     mgr.begin_traversal(&items, &[]);
                     for &i in &items {
                         let data = pattern(i as u8, 255, width);
-                        mgr.write_vector(i, &data);
+                        mgr.write_vector(i, &data).unwrap();
                         oracle[i as usize] = Some(data);
                     }
                 }
@@ -121,7 +121,7 @@ proptest! {
 
         // Final sweep: every item readable and equal to the oracle.
         for i in 0..n_items as u32 {
-            mgr.read_into(i, &mut buf);
+            mgr.read_into(i, &mut buf).unwrap();
             match &oracle[i as usize] {
                 Some(expect) => prop_assert_eq!(&buf, expect),
                 None => prop_assert!(buf.iter().all(|&x| x == 0.0)),

@@ -10,6 +10,7 @@
 use crate::kernels::derivatives::{build_sumtable, nr_derivatives, SumSide};
 use crate::store_api::AncestralStore;
 use crate::PlfEngine;
+use ooc_core::OocResult;
 use phylo_tree::{ChildRef, HalfEdgeId};
 
 /// Minimum branch length (matches RAxML's `zmin`-equivalent scale).
@@ -23,9 +24,9 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// Build the sumtable for the branch of `h` into the engine scratch and
     /// return the combined per-pattern scale counts. Ancestral vectors at
     /// both ends must be valid towards the branch (ensured by a plan).
-    fn prepare_branch(&mut self, h: HalfEdgeId) {
+    fn prepare_branch(&mut self, h: HalfEdgeId) -> OocResult<()> {
         let plan = self.make_plan(h, false);
-        self.execute_plan(&plan);
+        self.execute_plan(&plan)?;
         let dims = self.dims;
         let eigen = &self.plf_model.eigen;
         let gamma = &self.plf_model.gamma;
@@ -45,7 +46,7 @@ impl<S: AncestralStore> PlfEngine<S> {
         side_scale(plan.root_right, &mut self.scale_sums, &self.scale);
 
         let mut sumtable = std::mem::take(&mut self.sumtable);
-        match (plan.root_left, plan.root_right) {
+        let result = match (plan.root_left, plan.root_right) {
             (ChildRef::Inner(p), ChildRef::Inner(q)) => {
                 self.store.with_pair(p, q, |pv, qv| {
                     build_sumtable(
@@ -56,7 +57,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                         freqs,
                         &mut sumtable,
                     );
-                });
+                })
             }
             (ChildRef::Tip(t), ChildRef::Inner(q)) => {
                 self.tips
@@ -74,7 +75,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                         freqs,
                         &mut sumtable,
                     );
-                });
+                })
             }
             (ChildRef::Inner(p), ChildRef::Tip(t)) => {
                 self.tips.build_eigen_lut_right(eigen, gamma, &mut self.lut_r);
@@ -91,11 +92,12 @@ impl<S: AncestralStore> PlfEngine<S> {
                         freqs,
                         &mut sumtable,
                     );
-                });
+                })
             }
             (ChildRef::Tip(_), ChildRef::Tip(_)) => unreachable!("no tip-tip branches"),
-        }
+        };
         self.sumtable = sumtable;
+        result
     }
 
     /// `(lnL, d1, d2)` of the prepared branch at length `z`.
@@ -113,8 +115,8 @@ impl<S: AncestralStore> PlfEngine<S> {
 
     /// Optimise the length of the branch of `h` by guarded Newton–Raphson.
     /// Returns `(new_length, log_likelihood_at_new_length)`.
-    pub fn optimize_branch(&mut self, h: HalfEdgeId, max_iter: u32) -> (f64, f64) {
-        self.prepare_branch(h);
+    pub fn optimize_branch(&mut self, h: HalfEdgeId, max_iter: u32) -> OocResult<(f64, f64)> {
+        self.prepare_branch(h)?;
         let mut z = self.tree.branch_length(h).clamp(BL_MIN, BL_MAX);
         let mut best_lnl = f64::NEG_INFINITY;
         for _ in 0..max_iter {
@@ -143,13 +145,13 @@ impl<S: AncestralStore> PlfEngine<S> {
         let (lnl, _, _) = self.branch_derivatives(z);
         best_lnl = best_lnl.max(lnl);
         self.set_branch_length(h, z); // engine method: staleness tracked
-        (z, best_lnl)
+        Ok((z, best_lnl))
     }
 
     /// One smoothing pass over every branch in depth-first order (adjacent
     /// branches in sequence — the access pattern the out-of-core layer
     /// likes), repeated `passes` times. Returns the final log-likelihood.
-    pub fn smooth_branches(&mut self, passes: usize, nr_iter: u32) -> f64 {
+    pub fn smooth_branches(&mut self, passes: usize, nr_iter: u32) -> OocResult<f64> {
         let mut lnl = f64::NEG_INFINITY;
         for _ in 0..passes {
             // DFS over directed half-edges from the default root so that
@@ -179,11 +181,11 @@ impl<S: AncestralStore> PlfEngine<S> {
             }
             debug_assert_eq!(order.len(), self.tree.n_branches());
             for h in order {
-                let (_, l) = self.optimize_branch(h, nr_iter);
+                let (_, l) = self.optimize_branch(h, nr_iter)?;
                 lnl = l;
             }
         }
-        lnl
+        Ok(lnl)
     }
 }
 
@@ -195,16 +197,16 @@ mod tests {
     #[test]
     fn optimizing_a_branch_never_decreases_likelihood() {
         let mut engine = build_engine(12, 120, 51);
-        let before = engine.log_likelihood();
+        let before = engine.log_likelihood().unwrap();
         let h = engine.tree().default_root_edge();
-        let (z, lnl) = engine.optimize_branch(h, 32);
+        let (z, lnl) = engine.optimize_branch(h, 32).unwrap();
         assert!((BL_MIN..=BL_MAX).contains(&z));
         assert!(
             lnl >= before - 1e-7,
             "optimisation worsened lnl: {before} -> {lnl}"
         );
         // Engine's own evaluation at the branch agrees with the NR value.
-        let check = engine.log_likelihood_at(h, false);
+        let check = engine.log_likelihood_at(h, false).unwrap();
         assert!((check - lnl).abs() < 1e-6 * lnl.abs(), "{check} vs {lnl}");
     }
 
@@ -212,13 +214,13 @@ mod tests {
     fn optimum_is_a_stationary_point() {
         let mut engine = build_engine(10, 90, 52);
         let h = engine.tree().tip_half_edge(3);
-        let (z, _) = engine.optimize_branch(h, 64);
+        let (z, _) = engine.optimize_branch(h, 64).unwrap();
         // Evaluate lnl at z ± eps via the engine: both must be <= lnl(z).
-        let lnl = engine.log_likelihood_at(h, false);
+        let lnl = engine.log_likelihood_at(h, false).unwrap();
         for delta in [-1e-3, 1e-3] {
             let zz = (z + delta).clamp(BL_MIN, BL_MAX);
             engine.set_branch_length(h, zz);
-            let l = engine.log_likelihood_at(h, false);
+            let l = engine.log_likelihood_at(h, false).unwrap();
             assert!(l <= lnl + 1e-6, "lnl({zz}) = {l} > lnl({z}) = {lnl}");
             engine.set_branch_length(h, z);
         }
@@ -227,18 +229,18 @@ mod tests {
     #[test]
     fn smoothing_improves_and_converges() {
         let mut engine = build_engine(14, 80, 53);
-        let before = engine.log_likelihood();
-        let l1 = engine.smooth_branches(1, 16);
-        let l2 = engine.smooth_branches(1, 16);
+        let before = engine.log_likelihood().unwrap();
+        let l1 = engine.smooth_branches(1, 16).unwrap();
+        let l2 = engine.smooth_branches(1, 16).unwrap();
         assert!(l1 >= before - 1e-7, "{before} -> {l1}");
         assert!(l2 >= l1 - 1e-7, "{l1} -> {l2}");
         // A third pass changes little.
-        let l3 = engine.smooth_branches(1, 16);
+        let l3 = engine.smooth_branches(1, 16).unwrap();
         assert!((l3 - l2).abs() < 1e-3 * l2.abs());
         // Consistency: partial vs full recompute after all the smoothing.
-        let partial = engine.log_likelihood();
+        let partial = engine.log_likelihood().unwrap();
         engine.invalidate_all();
-        let full = engine.log_likelihood();
+        let full = engine.log_likelihood().unwrap();
         assert!((partial - full).abs() < 1e-8 * full.abs());
     }
 
@@ -255,7 +257,7 @@ mod tests {
             })
             .expect("no internal branch");
         for h in [tips_branch, internal] {
-            let (z, lnl) = engine.optimize_branch(h, 32);
+            let (z, lnl) = engine.optimize_branch(h, 32).unwrap();
             assert!(z.is_finite() && lnl.is_finite());
         }
     }

@@ -6,6 +6,7 @@ use crate::kernels::evaluate::{evaluate_inner_inner, evaluate_tip_inner};
 use crate::kernels::newview::{newview_inner_inner, newview_tip_inner, newview_tip_tip};
 use crate::kernels::Dims;
 use crate::store_api::AncestralStore;
+use ooc_core::OocResult;
 use phylo_models::{DiscreteGamma, EigenDecomp, PMatrices, ReversibleModel};
 use phylo_seq::CompressedAlignment;
 use phylo_tree::spr::{spr_prune_regraft, spr_undo, SprUndo};
@@ -178,8 +179,10 @@ impl<S: AncestralStore> PlfEngine<S> {
         self.content_changed_at(&[u, v]);
     }
 
-    /// Execute one Felsenstein combine.
-    pub(crate) fn newview_step(&mut self, step: &phylo_tree::TraversalStep) {
+    /// Execute one Felsenstein combine. On an I/O error the parent's
+    /// scaling counts are restored untouched, so the engine stays usable
+    /// for a retry after the caller handles the error.
+    pub(crate) fn newview_step(&mut self, step: &phylo_tree::TraversalStep) -> OocResult<()> {
         let dims = self.dims;
         let eigen = &self.plf_model.eigen;
         let gamma = &self.plf_model.gamma;
@@ -197,7 +200,7 @@ impl<S: AncestralStore> PlfEngine<S> {
 
         let parent = step.parent;
         let mut scale_p = std::mem::take(&mut self.scale[parent as usize]);
-        match (left, right) {
+        let result = match (left, right) {
             (ChildRef::Tip(a), ChildRef::Tip(b)) => {
                 self.tips.build_lut(pm_l, &mut self.lut_l);
                 self.tips.build_lut(pm_r, &mut self.lut_r);
@@ -212,7 +215,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                         lut_r,
                         tips.tip(b as usize),
                     );
-                });
+                })
             }
             (ChildRef::Tip(a), ChildRef::Inner(r)) => {
                 self.tips.build_lut(pm_l, &mut self.lut_l);
@@ -229,7 +232,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                         scale_r,
                         pm_r,
                     );
-                });
+                })
             }
             (ChildRef::Inner(l), ChildRef::Inner(r)) => {
                 let scale_l = &self.scale[l as usize];
@@ -247,18 +250,21 @@ impl<S: AncestralStore> PlfEngine<S> {
                             scale_r,
                             pm_r,
                         );
-                    });
+                    })
             }
             (ChildRef::Inner(_), ChildRef::Tip(_)) => unreachable!("normalised above"),
-        }
+        };
+        // Put the scale buffer back even on failure: a failed combine must
+        // not leave the parent with an empty scaling vector.
         self.scale[parent as usize] = scale_p;
+        result
     }
 
     /// Execute all combines of a plan, announcing read-skip and prefetch
     /// information first (§3.4: the flags are set "when the global or local
     /// tree traversal order is determined ... prior to the actual
     /// likelihood computations").
-    pub(crate) fn execute_plan(&mut self, plan: &TraversalPlan) {
+    pub(crate) fn execute_plan(&mut self, plan: &TraversalPlan) -> OocResult<()> {
         let written: Vec<u32> = plan.written().collect();
         // Inner children read before being written in this plan come from
         // the store: they are prefetch candidates.
@@ -276,13 +282,14 @@ impl<S: AncestralStore> PlfEngine<S> {
         }
         self.store.begin_traversal(&written, &reads);
         for step in &plan.steps {
-            self.newview_step(step);
+            self.newview_step(step)?;
         }
+        Ok(())
     }
 
     /// Evaluate the log-likelihood at the plan's root branch (vectors must
     /// already be up to date, i.e. call after [`PlfEngine::execute_plan`]).
-    pub(crate) fn evaluate_plan(&mut self, plan: &TraversalPlan) -> f64 {
+    pub(crate) fn evaluate_plan(&mut self, plan: &TraversalPlan) -> OocResult<f64> {
         let dims = self.dims;
         self.pm_l
             .update(&self.plf_model.eigen, &self.plf_model.gamma, plan.root_len);
@@ -313,14 +320,14 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// Log-likelihood evaluated at the branch of `root_he`. With
     /// `full == true` every ancestral vector is recomputed (the worst case
     /// of the paper's §4.3); otherwise only stale vectors are.
-    pub fn log_likelihood_at(&mut self, root_he: HalfEdgeId, full: bool) -> f64 {
+    pub fn log_likelihood_at(&mut self, root_he: HalfEdgeId, full: bool) -> OocResult<f64> {
         let plan = self.make_plan(root_he, full);
-        self.execute_plan(&plan);
+        self.execute_plan(&plan)?;
         self.evaluate_plan(&plan)
     }
 
     /// Log-likelihood at the default root branch, reusing valid vectors.
-    pub fn log_likelihood(&mut self) -> f64 {
+    pub fn log_likelihood(&mut self) -> OocResult<f64> {
         self.log_likelihood_at(self.tree.default_root_edge(), false)
     }
 
@@ -329,13 +336,13 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// the final log-likelihood. "This represents a worst-case analysis,
     /// since full tree traversals exhibit the smallest degree of vector
     /// locality."
-    pub fn full_traversals(&mut self, count: usize) -> f64 {
+    pub fn full_traversals(&mut self, count: usize) -> OocResult<f64> {
         let root = self.tree.default_root_edge();
         let mut lnl = 0.0;
         for _ in 0..count {
-            lnl = self.log_likelihood_at(root, true);
+            lnl = self.log_likelihood_at(root, true)?;
         }
-        lnl
+        Ok(lnl)
     }
 
     /// Apply an SPR move and invalidate exactly the vectors whose subtree
@@ -396,7 +403,7 @@ impl<S: AncestralStore> PlfEngine<S> {
     }
 
     /// Direct read-only access to a computed ancestral vector (test hook).
-    pub fn debug_vector(&mut self, inner: u32) -> Vec<f64> {
+    pub fn debug_vector(&mut self, inner: u32) -> OocResult<Vec<f64>> {
         let width = self.store.width();
         self.store.with_one(inner, false, |buf| {
             let mut out = vec![0.0; width];
@@ -456,7 +463,7 @@ pub(crate) mod tests {
         let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
         let store = InRamStore::new(1, dims.width());
         let mut engine = PlfEngine::new(tree.clone(), &comp, model.clone(), 1.0, 4, store);
-        let got = engine.log_likelihood();
+        let got = engine.log_likelihood().unwrap();
 
         // Direct computation.
         let eigen = model.eigen();
@@ -493,11 +500,11 @@ pub(crate) mod tests {
     #[test]
     fn likelihood_invariant_under_rerooting() {
         let mut engine = build_engine(14, 120, 42);
-        let base = engine.log_likelihood();
+        let base = engine.log_likelihood().unwrap();
         assert!(base.is_finite() && base < 0.0);
         let roots: Vec<HalfEdgeId> = engine.tree().branches().take(10).collect();
         for h in roots {
-            let l = engine.log_likelihood_at(h, false);
+            let l = engine.log_likelihood_at(h, false).unwrap();
             assert!(
                 (l - base).abs() < 1e-7 * base.abs(),
                 "root {h}: {l} vs {base}"
@@ -508,28 +515,30 @@ pub(crate) mod tests {
     #[test]
     fn partial_equals_full_traversal() {
         let mut engine = build_engine(20, 150, 7);
-        let full = engine.log_likelihood_at(engine.tree().default_root_edge(), true);
-        let partial = engine.log_likelihood();
+        let full = engine
+            .log_likelihood_at(engine.tree().default_root_edge(), true)
+            .unwrap();
+        let partial = engine.log_likelihood().unwrap();
         assert_eq!(full, partial, "partial traversal must be bit-identical");
         // After moving the root around, a fresh full traversal still agrees.
         let tip_root = engine.tree().tip_half_edge(5);
-        let p2 = engine.log_likelihood_at(tip_root, false);
-        let f2 = engine.log_likelihood_at(tip_root, true);
+        let p2 = engine.log_likelihood_at(tip_root, false).unwrap();
+        let f2 = engine.log_likelihood_at(tip_root, true).unwrap();
         assert!((p2 - f2).abs() < 1e-8);
     }
 
     #[test]
     fn full_traversals_are_stable() {
         let mut engine = build_engine(10, 80, 3);
-        let a = engine.full_traversals(1);
-        let b = engine.full_traversals(5);
+        let a = engine.full_traversals(1).unwrap();
+        let b = engine.full_traversals(5).unwrap();
         assert_eq!(a, b, "repeated full traversals must not drift");
     }
 
     #[test]
     fn spr_apply_then_undo_restores_likelihood() {
         let mut engine = build_engine(16, 100, 11);
-        let before = engine.log_likelihood();
+        let before = engine.log_likelihood().unwrap();
         // Find a legal SPR move.
         let tree = engine.tree();
         let prune_dir = tree.inner_half_edge(4, 0);
@@ -545,9 +554,9 @@ pub(crate) mod tests {
             })
             .expect("no SPR target found");
         let undo = engine.apply_spr(prune_dir, target, None);
-        let moved = engine.log_likelihood();
+        let moved = engine.log_likelihood().unwrap();
         engine.undo_spr(prune_dir, &undo);
-        let after = engine.log_likelihood();
+        let after = engine.log_likelihood().unwrap();
         assert!(
             (before - after).abs() < 1e-8 * before.abs(),
             "undo must restore the likelihood: {before} vs {after}"
@@ -559,7 +568,7 @@ pub(crate) mod tests {
     #[test]
     fn spr_partial_matches_full_recompute() {
         let mut engine = build_engine(18, 90, 13);
-        let _ = engine.log_likelihood();
+        let _ = engine.log_likelihood().unwrap();
         let tree = engine.tree();
         // Search prune directions until one offers a third-choice target
         // (some directions move almost the whole tree and have none).
@@ -585,9 +594,9 @@ pub(crate) mod tests {
             })
             .expect("no SPR target");
         engine.apply_spr(prune_dir, target, None);
-        let partial = engine.log_likelihood();
+        let partial = engine.log_likelihood().unwrap();
         engine.invalidate_all();
-        let full = engine.log_likelihood();
+        let full = engine.log_likelihood().unwrap();
         assert!(
             (partial - full).abs() < 1e-8 * full.abs(),
             "partial {partial} vs full {full}"
@@ -597,12 +606,12 @@ pub(crate) mod tests {
     #[test]
     fn alpha_changes_move_the_likelihood() {
         let mut engine = build_engine(12, 100, 21);
-        let l1 = engine.log_likelihood();
+        let l1 = engine.log_likelihood().unwrap();
         engine.set_alpha(0.1);
-        let l2 = engine.log_likelihood();
+        let l2 = engine.log_likelihood().unwrap();
         assert_ne!(l1, l2);
         engine.set_alpha(0.8);
-        let l3 = engine.log_likelihood();
+        let l3 = engine.log_likelihood().unwrap();
         assert!((l1 - l3).abs() < 1e-8 * l1.abs(), "alpha roundtrip");
     }
 
@@ -610,11 +619,11 @@ pub(crate) mod tests {
     fn branch_length_change_with_discipline_is_consistent() {
         let mut engine = build_engine(15, 70, 31);
         let h = engine.tree().default_root_edge();
-        let _ = engine.log_likelihood_at(h, false);
+        let _ = engine.log_likelihood_at(h, false).unwrap();
         engine.set_branch_length(h, 0.5);
-        let at_branch = engine.log_likelihood_at(h, false);
+        let at_branch = engine.log_likelihood_at(h, false).unwrap();
         engine.invalidate_all();
-        let full = engine.log_likelihood_at(h, true);
+        let full = engine.log_likelihood_at(h, true).unwrap();
         assert!((at_branch - full).abs() < 1e-8 * full.abs());
     }
 
@@ -629,7 +638,7 @@ pub(crate) mod tests {
         for trial in 0..5u64 {
             let mut engine = build_engine(13, 60, 100 + trial);
             let mut rng = StdRng::seed_from_u64(200 + trial);
-            let _ = engine.log_likelihood();
+            let _ = engine.log_likelihood().unwrap();
             for step in 0..40 {
                 let n_he = engine.tree().n_half_edges() as u32;
                 match rng.gen_range(0..5) {
@@ -641,7 +650,7 @@ pub(crate) mod tests {
                                 break h;
                             }
                         };
-                        let _ = engine.log_likelihood_at(h, false);
+                        let _ = engine.log_likelihood_at(h, false).unwrap();
                     }
                     1 => {
                         // Random branch length change.
@@ -703,7 +712,7 @@ pub(crate) mod tests {
                     _ => {
                         // Optimise a random branch.
                         let h = rng.gen_range(0..n_he);
-                        let _ = engine.optimize_branch(h, 8);
+                        let _ = engine.optimize_branch(h, 8).unwrap();
                     }
                 }
                 // Differential check at a random root.
@@ -713,11 +722,11 @@ pub(crate) mod tests {
                         break h;
                     }
                 };
-                let partial = engine.log_likelihood_at(root, false);
+                let partial = engine.log_likelihood_at(root, false).unwrap();
                 let mut orient_reset = engine.orient.clone();
                 orient_reset.invalidate_all();
                 engine.orient = orient_reset;
-                let full = engine.log_likelihood_at(root, true);
+                let full = engine.log_likelihood_at(root, true).unwrap();
                 assert!(
                     (partial - full).abs() <= 1e-7 * full.abs(),
                     "trial {trial} step {step}: partial {partial} != full {full}"
@@ -747,7 +756,7 @@ pub(crate) mod tests {
         let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
         let store = InRamStore::new(tree.n_inner(), dims.width());
         let mut engine = PlfEngine::new(tree, &comp, ReversibleModel::jc69(), 1.0, 4, store);
-        let l = engine.log_likelihood();
+        let l = engine.log_likelihood().unwrap();
         assert!(l.is_finite() && l < 0.0);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::store_api::AncestralStore;
 use crate::PlfEngine;
+use ooc_core::{OocError, OocResult};
 use phylo_models::brent_minimize;
 
 /// Search range for α (RAxML uses a similar clamp).
@@ -19,21 +20,37 @@ pub const ALPHA_MAX: f64 = 100.0;
 impl<S: AncestralStore> PlfEngine<S> {
     /// Optimise α by Brent's method on `ln α` (the likelihood surface is
     /// better conditioned in log space). Returns `(alpha, log_likelihood)`.
-    pub fn optimize_alpha(&mut self, tol: f64, max_iter: u32) -> (f64, f64) {
+    pub fn optimize_alpha(&mut self, tol: f64, max_iter: u32) -> OocResult<(f64, f64)> {
+        // Brent's minimiser takes an infallible objective; capture the
+        // first I/O error, poison further evaluations with +inf, and
+        // surface the error afterwards.
+        let mut io_error: Option<OocError> = None;
         let result = brent_minimize(
             |ln_a| {
+                if io_error.is_some() {
+                    return f64::INFINITY;
+                }
                 self.set_alpha(ln_a.exp());
-                -self.log_likelihood()
+                match self.log_likelihood() {
+                    Ok(lnl) => -lnl,
+                    Err(e) => {
+                        io_error = Some(e);
+                        f64::INFINITY
+                    }
+                }
             },
             ALPHA_MIN.ln(),
             ALPHA_MAX.ln(),
             tol,
             max_iter,
         );
+        if let Some(e) = io_error {
+            return Err(e);
+        }
         let alpha = result.x.exp();
         self.set_alpha(alpha);
-        let lnl = self.log_likelihood();
-        (alpha, lnl)
+        let lnl = self.log_likelihood()?;
+        Ok((alpha, lnl))
     }
 }
 
@@ -45,8 +62,8 @@ mod tests {
     fn alpha_optimisation_improves_likelihood() {
         let mut engine = build_engine(12, 150, 61);
         engine.set_alpha(5.0); // deliberately wrong (data simulated at 0.8)
-        let before = engine.log_likelihood();
-        let (alpha, after) = engine.optimize_alpha(1e-3, 60);
+        let before = engine.log_likelihood().unwrap();
+        let (alpha, after) = engine.optimize_alpha(1e-3, 60).unwrap();
         assert!(after >= before - 1e-9, "{before} -> {after}");
         assert!((crate::modelopt::ALPHA_MIN..=crate::modelopt::ALPHA_MAX).contains(&alpha));
         // The optimum should be much closer to the simulation value than
@@ -57,10 +74,10 @@ mod tests {
     #[test]
     fn alpha_stationarity() {
         let mut engine = build_engine(10, 120, 62);
-        let (alpha, lnl) = engine.optimize_alpha(1e-4, 80);
+        let (alpha, lnl) = engine.optimize_alpha(1e-4, 80).unwrap();
         for factor in [0.9, 1.1] {
             engine.set_alpha(alpha * factor);
-            let l = engine.log_likelihood();
+            let l = engine.log_likelihood().unwrap();
             assert!(l <= lnl + 1e-6, "alpha {} beats optimum", alpha * factor);
         }
     }

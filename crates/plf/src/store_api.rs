@@ -14,7 +14,7 @@
 //! check applies verbatim: all three must produce bit-identical
 //! log-likelihoods.
 
-use ooc_core::{BackingStore, Intent, VectorManager};
+use ooc_core::{BackingStore, Intent, OocError, OocOp, OocResult, VectorManager};
 use pager_sim::PagedArena;
 
 /// Access-pattern API over ancestral vectors, mirroring the pinning
@@ -28,20 +28,24 @@ pub trait AncestralStore {
     fn begin_traversal(&mut self, _write_items: &[u32], _read_items: &[u32]) {}
 
     /// Acquire `parent` for writing and the inner children for reading,
-    /// all simultaneously live (pinned) for the duration of `f`.
+    /// all simultaneously live (pinned) for the duration of `f`. Fails
+    /// with a contextual [`OocError`] if the backend could not materialise
+    /// a vector; `f` is not called in that case.
     fn with_triple<T>(
         &mut self,
         parent: u32,
         left: Option<u32>,
         right: Option<u32>,
         f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> T;
+    ) -> OocResult<T>;
 
     /// Acquire two distinct vectors for reading.
-    fn with_pair<T>(&mut self, a: u32, b: u32, f: impl FnOnce(&[f64], &[f64]) -> T) -> T;
+    fn with_pair<T>(&mut self, a: u32, b: u32, f: impl FnOnce(&[f64], &[f64]) -> T)
+        -> OocResult<T>;
 
     /// Acquire one vector; `write == true` promises a full overwrite.
-    fn with_one<T>(&mut self, item: u32, write: bool, f: impl FnOnce(&mut [f64]) -> T) -> T;
+    fn with_one<T>(&mut self, item: u32, write: bool, f: impl FnOnce(&mut [f64]) -> T)
+        -> OocResult<T>;
 }
 
 /// All vectors permanently resident (standard implementation).
@@ -78,7 +82,7 @@ impl AncestralStore for InRamStore {
         left: Option<u32>,
         right: Option<u32>,
         f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> T {
+    ) -> OocResult<T> {
         debug_assert!(Some(parent) != left && Some(parent) != right);
         // SAFETY: parent, left, right are distinct indices into separately
         // boxed buffers, so the mutable and shared borrows cannot alias.
@@ -86,16 +90,26 @@ impl AncestralStore for InRamStore {
         let pv: &mut [f64] = unsafe { &mut *base.add(parent as usize) };
         let lv: Option<&[f64]> = left.map(|i| unsafe { &(**base.add(i as usize)) });
         let rv: Option<&[f64]> = right.map(|i| unsafe { &(**base.add(i as usize)) });
-        f(pv, lv, rv)
+        Ok(f(pv, lv, rv))
     }
 
-    fn with_pair<T>(&mut self, a: u32, b: u32, f: impl FnOnce(&[f64], &[f64]) -> T) -> T {
+    fn with_pair<T>(
+        &mut self,
+        a: u32,
+        b: u32,
+        f: impl FnOnce(&[f64], &[f64]) -> T,
+    ) -> OocResult<T> {
         assert_ne!(a, b);
-        f(&self.vectors[a as usize], &self.vectors[b as usize])
+        Ok(f(&self.vectors[a as usize], &self.vectors[b as usize]))
     }
 
-    fn with_one<T>(&mut self, item: u32, _write: bool, f: impl FnOnce(&mut [f64]) -> T) -> T {
-        f(&mut self.vectors[item as usize])
+    fn with_one<T>(
+        &mut self,
+        item: u32,
+        _write: bool,
+        f: impl FnOnce(&mut [f64]) -> T,
+    ) -> OocResult<T> {
+        Ok(f(&mut self.vectors[item as usize]))
     }
 }
 
@@ -136,15 +150,25 @@ impl<S: BackingStore> AncestralStore for OocStore<S> {
         left: Option<u32>,
         right: Option<u32>,
         f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> T {
+    ) -> OocResult<T> {
         self.manager.with_triple(parent, left, right, f)
     }
 
-    fn with_pair<T>(&mut self, a: u32, b: u32, f: impl FnOnce(&[f64], &[f64]) -> T) -> T {
+    fn with_pair<T>(
+        &mut self,
+        a: u32,
+        b: u32,
+        f: impl FnOnce(&[f64], &[f64]) -> T,
+    ) -> OocResult<T> {
         self.manager.with_pair(a, b, f)
     }
 
-    fn with_one<T>(&mut self, item: u32, write: bool, f: impl FnOnce(&mut [f64]) -> T) -> T {
+    fn with_one<T>(
+        &mut self,
+        item: u32,
+        write: bool,
+        f: impl FnOnce(&mut [f64]) -> T,
+    ) -> OocResult<T> {
         let intent = if write { Intent::Write } else { Intent::Read };
         self.manager.with_one(item, intent, f)
     }
@@ -203,17 +227,17 @@ impl AncestralStore for PagedStore {
         left: Option<u32>,
         right: Option<u32>,
         f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> T {
+    ) -> OocResult<T> {
         let [pbuf, lbuf, rbuf] = &mut self.scratch;
         if let Some(l) = left {
             self.arena
                 .read_f64s(l as usize * self.width, lbuf)
-                .expect("arena read");
+                .map_err(|e| OocError::item_op(OocOp::Read, l, "arena read", e))?;
         }
         if let Some(r) = right {
             self.arena
                 .read_f64s(r as usize * self.width, rbuf)
-                .expect("arena read");
+                .map_err(|e| OocError::item_op(OocOp::Read, r, "arena read", e))?;
         }
         let result = f(
             pbuf,
@@ -222,31 +246,49 @@ impl AncestralStore for PagedStore {
         );
         self.arena
             .write_f64s(parent as usize * self.width, &self.scratch[0])
-            .expect("arena write");
-        result
+            .map_err(|e| OocError::item_op(OocOp::Write, parent, "arena write", e))?;
+        Ok(result)
     }
 
-    fn with_pair<T>(&mut self, a: u32, b: u32, f: impl FnOnce(&[f64], &[f64]) -> T) -> T {
+    fn with_pair<T>(
+        &mut self,
+        a: u32,
+        b: u32,
+        f: impl FnOnce(&[f64], &[f64]) -> T,
+    ) -> OocResult<T> {
         assert_ne!(a, b);
         let ia = self.index(a);
         let ib = self.index(b);
         let [abuf, bbuf, _] = &mut self.scratch;
-        self.arena.read_f64s(ia, abuf).expect("arena read");
-        self.arena.read_f64s(ib, bbuf).expect("arena read");
-        f(abuf, bbuf)
+        self.arena
+            .read_f64s(ia, abuf)
+            .map_err(|e| OocError::item_op(OocOp::Read, a, "arena read", e))?;
+        self.arena
+            .read_f64s(ib, bbuf)
+            .map_err(|e| OocError::item_op(OocOp::Read, b, "arena read", e))?;
+        Ok(f(abuf, bbuf))
     }
 
-    fn with_one<T>(&mut self, item: u32, write: bool, f: impl FnOnce(&mut [f64]) -> T) -> T {
+    fn with_one<T>(
+        &mut self,
+        item: u32,
+        write: bool,
+        f: impl FnOnce(&mut [f64]) -> T,
+    ) -> OocResult<T> {
         let idx = self.index(item);
         let buf = &mut self.scratch[0];
         if !write {
-            self.arena.read_f64s(idx, buf).expect("arena read");
+            self.arena
+                .read_f64s(idx, buf)
+                .map_err(|e| OocError::item_op(OocOp::Read, item, "arena read", e))?;
         }
         let result = f(buf);
         if write {
-            self.arena.write_f64s(idx, buf).expect("arena write");
+            self.arena
+                .write_f64s(idx, buf)
+                .map_err(|e| OocError::item_op(OocOp::Write, item, "arena write", e))?;
         }
-        result
+        Ok(result)
     }
 }
 
@@ -259,27 +301,33 @@ mod tests {
         let w = store.width();
         // Write every vector through with_one / with_triple paths.
         for item in 0..n as u32 {
-            store.with_one(item, true, |buf| {
-                for (i, x) in buf.iter_mut().enumerate() {
-                    *x = item as f64 + i as f64 * 0.5;
-                }
-            });
+            store
+                .with_one(item, true, |buf| {
+                    for (i, x) in buf.iter_mut().enumerate() {
+                        *x = item as f64 + i as f64 * 0.5;
+                    }
+                })
+                .unwrap();
         }
         // Combine 0 and 1 into 2.
-        store.with_triple(2, Some(0), Some(1), |p, l, r| {
-            let (l, r) = (l.unwrap(), r.unwrap());
-            for i in 0..w {
-                p[i] = l[i] * r[i];
-            }
-        });
+        store
+            .with_triple(2, Some(0), Some(1), |p, l, r| {
+                let (l, r) = (l.unwrap(), r.unwrap());
+                for i in 0..w {
+                    p[i] = l[i] * r[i];
+                }
+            })
+            .unwrap();
         let expect: Vec<f64> = (0..w)
             .map(|i| (0.0 + i as f64 * 0.5) * (1.0 + i as f64 * 0.5))
             .collect();
-        store.with_one(2, false, |buf| {
-            assert_eq!(&buf[..], &expect[..]);
-        });
+        store
+            .with_one(2, false, |buf| {
+                assert_eq!(&buf[..], &expect[..]);
+            })
+            .unwrap();
         // Pair access sees consistent data.
-        let sum = store.with_pair(0, 1, |a, b| a[3] + b[3]);
+        let sum = store.with_pair(0, 1, |a, b| a[3] + b[3]).unwrap();
         assert_eq!(sum, (0.0 + 1.5) + (1.0 + 1.5));
     }
 

@@ -2,6 +2,7 @@
 //! optimisation) until no further improvement.
 
 use crate::spr::lazy_spr_round;
+use ooc_core::OocResult;
 use phylo_plf::{AncestralStore, PlfEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,13 +62,13 @@ pub struct SearchStats {
 pub fn hill_climb<S: AncestralStore>(
     engine: &mut PlfEngine<S>,
     cfg: &SearchConfig,
-) -> SearchStats {
+) -> OocResult<SearchStats> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Initial branch smoothing (and model optimisation) on the start tree.
-    let mut lnl = engine.smooth_branches(cfg.smooth_passes.max(1), cfg.nr_iter);
+    let mut lnl = engine.smooth_branches(cfg.smooth_passes.max(1), cfg.nr_iter)?;
     if cfg.optimize_model {
-        let (_, l) = engine.optimize_alpha(1e-3, 40);
+        let (_, l) = engine.optimize_alpha(1e-3, 40)?;
         lnl = l;
     }
     let initial_lnl = lnl;
@@ -77,15 +78,15 @@ pub fn hill_climb<S: AncestralStore>(
     let mut spr_evaluated = 0u64;
     for _ in 0..cfg.max_rounds {
         rounds += 1;
-        let round = lazy_spr_round(engine, cfg.spr_radius, cfg.nr_iter, cfg.epsilon, &mut rng);
+        let round = lazy_spr_round(engine, cfg.spr_radius, cfg.nr_iter, cfg.epsilon, &mut rng)?;
         spr_applied += round.applied;
         spr_evaluated += round.evaluated;
         let mut new_lnl = round.lnl;
         if cfg.smooth_passes > 0 {
-            new_lnl = engine.smooth_branches(cfg.smooth_passes, cfg.nr_iter);
+            new_lnl = engine.smooth_branches(cfg.smooth_passes, cfg.nr_iter)?;
         }
         if cfg.optimize_model {
-            let (_, l) = engine.optimize_alpha(1e-3, 40);
+            let (_, l) = engine.optimize_alpha(1e-3, 40)?;
             new_lnl = l;
         }
         let improved = new_lnl > lnl + cfg.epsilon;
@@ -95,14 +96,14 @@ pub fn hill_climb<S: AncestralStore>(
         }
     }
 
-    SearchStats {
+    Ok(SearchStats {
         initial_lnl,
         final_lnl: lnl,
         rounds,
         spr_applied,
         spr_evaluated,
         alpha: engine.alpha(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -145,13 +146,13 @@ mod tests {
             spr_radius: 4,
             ..Default::default()
         };
-        let stats = hill_climb(&mut engine, &cfg);
+        let stats = hill_climb(&mut engine, &cfg).unwrap();
         assert!(stats.final_lnl >= stats.initial_lnl - 1e-9);
         assert!(stats.spr_evaluated > 0);
         // Internal consistency after the whole search.
-        let partial = engine.log_likelihood();
+        let partial = engine.log_likelihood().unwrap();
         engine.invalidate_all();
-        let full = engine.log_likelihood();
+        let full = engine.log_likelihood().unwrap();
         assert!((partial - full).abs() < 1e-8 * full.abs());
     }
 
@@ -161,7 +162,7 @@ mod tests {
         // of the (smoothed) true tree's likelihood on easy simulated data.
         let (true_tree, comp) = simulated_case(10, 400, 78);
         let mut engine_true = engine_from(true_tree, &comp);
-        let true_lnl = engine_true.smooth_branches(2, 24);
+        let true_lnl = engine_true.smooth_branches(2, 24).unwrap();
 
         let start = random_topology(10, 0.1, &mut StdRng::seed_from_u64(4242));
         let mut engine = engine_from(start, &comp);
@@ -171,7 +172,7 @@ mod tests {
             optimize_model: false,
             ..Default::default()
         };
-        let stats = hill_climb(&mut engine, &cfg);
+        let stats = hill_climb(&mut engine, &cfg).unwrap();
         assert!(
             stats.final_lnl > true_lnl - 10.0,
             "search lnl {} far below true-tree lnl {true_lnl}",
@@ -189,7 +190,7 @@ mod tests {
         let run = || {
             let start = random_topology(9, 0.1, &mut StdRng::seed_from_u64(5));
             let mut engine = engine_from(start, &comp);
-            hill_climb(&mut engine, &cfg)
+            hill_climb(&mut engine, &cfg).unwrap()
         };
         let a = run();
         let b = run();

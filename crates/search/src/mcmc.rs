@@ -12,6 +12,7 @@
 //! uniform on topologies, exponential on α): the sampler exists to drive
 //! the PLF realistically, not to be a full Bayesian package.
 
+use ooc_core::OocResult;
 use phylo_plf::{AncestralStore, PlfEngine};
 use phylo_tree::HalfEdgeId;
 use rand::rngs::StdRng;
@@ -76,9 +77,12 @@ fn log_prior<S: AncestralStore>(engine: &PlfEngine<S>, mean: f64) -> f64 {
 
 /// Run a Metropolis–Hastings chain on the engine's tree. The engine is
 /// left in the final state of the chain.
-pub fn run_mcmc<S: AncestralStore>(engine: &mut PlfEngine<S>, cfg: &McmcConfig) -> McmcStats {
+pub fn run_mcmc<S: AncestralStore>(
+    engine: &mut PlfEngine<S>,
+    cfg: &McmcConfig,
+) -> OocResult<McmcStats> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut log_like = engine.log_likelihood();
+    let mut log_like = engine.log_likelihood()?;
     let mut log_post = log_like + log_prior(engine, cfg.branch_prior_mean);
     let mut accepted = 0usize;
     let mut topology_accepted = 0usize;
@@ -105,7 +109,7 @@ pub fn run_mcmc<S: AncestralStore>(engine: &mut PlfEngine<S>, cfg: &McmcConfig) 
             let h = internal[rng.gen_range(0..internal.len())];
             let variant = rng.gen_range(0..2u8);
             let nni_undo = engine.apply_nni(h, variant);
-            let ll = engine.log_likelihood_at(h, false);
+            let ll = engine.log_likelihood_at(h, false)?;
             (ll, 0.0, Undo::Nni(nni_undo))
         } else if u < cfg.topology_weight + cfg.alpha_weight {
             // Multiplicative α proposal: Hastings ratio = ln(multiplier).
@@ -113,7 +117,7 @@ pub fn run_mcmc<S: AncestralStore>(engine: &mut PlfEngine<S>, cfg: &McmcConfig) 
             let log_m = rng.gen_range(-0.5..0.5f64);
             let new_alpha = (old_alpha * log_m.exp()).clamp(0.02, 100.0);
             engine.set_alpha(new_alpha);
-            let ll = engine.log_likelihood();
+            let ll = engine.log_likelihood()?;
             (ll, (new_alpha / old_alpha).ln(), Undo::Alpha(old_alpha))
         } else {
             // Multiplicative branch-length proposal on a random branch.
@@ -128,7 +132,7 @@ pub fn run_mcmc<S: AncestralStore>(engine: &mut PlfEngine<S>, cfg: &McmcConfig) 
             let log_m = rng.gen_range(-cfg.branch_tuning..cfg.branch_tuning);
             let new_len = (old_len * log_m.exp()).clamp(1e-7, 50.0);
             engine.set_branch_length(h, new_len);
-            let ll = engine.log_likelihood_at(h, false);
+            let ll = engine.log_likelihood_at(h, false)?;
             (ll, (new_len / old_len).ln(), Undo::Branch(h, old_len))
         };
 
@@ -158,14 +162,14 @@ pub fn run_mcmc<S: AncestralStore>(engine: &mut PlfEngine<S>, cfg: &McmcConfig) 
         }
     }
 
-    McmcStats {
+    Ok(McmcStats {
         iterations: cfg.iterations,
         accepted,
         topology_accepted,
         final_log_posterior: log_post,
         best_log_posterior: best,
         mean_log_posterior: second_half_sum / second_half_n.max(1) as f64,
-    }
+    })
 }
 
 enum Undo {
@@ -205,7 +209,7 @@ mod tests {
             seed: 7,
             ..Default::default()
         };
-        let stats = run_mcmc(&mut e, &cfg);
+        let stats = run_mcmc(&mut e, &cfg).unwrap();
         assert_eq!(stats.iterations, 300);
         assert!(stats.accepted > 10, "acceptance too low: {}", stats.accepted);
         assert!(stats.accepted < 300, "everything accepted is suspicious");
@@ -223,10 +227,10 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        run_mcmc(&mut e, &cfg);
-        let partial = e.log_likelihood();
+        run_mcmc(&mut e, &cfg).unwrap();
+        let partial = e.log_likelihood().unwrap();
         e.invalidate_all();
-        let full = e.log_likelihood();
+        let full = e.log_likelihood().unwrap();
         assert!(
             (partial - full).abs() < 1e-8 * full.abs(),
             "{partial} vs {full}"
@@ -242,7 +246,7 @@ mod tests {
         };
         let run = |seed| {
             let mut e = engine(seed);
-            run_mcmc(&mut e, &cfg)
+            run_mcmc(&mut e, &cfg).unwrap()
         };
         let a = run(5);
         let b = run(5);
@@ -259,13 +263,13 @@ mod tests {
         for h in branches {
             e.set_branch_length(h, 3.0);
         }
-        let start = e.log_likelihood() + log_prior(&e, 0.1);
+        let start = e.log_likelihood().unwrap() + log_prior(&e, 0.1);
         let cfg = McmcConfig {
             iterations: 600,
             seed: 13,
             ..Default::default()
         };
-        let stats = run_mcmc(&mut e, &cfg);
+        let stats = run_mcmc(&mut e, &cfg).unwrap();
         assert!(
             stats.best_log_posterior > start + 10.0,
             "no improvement: start {start}, best {}",

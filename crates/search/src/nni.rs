@@ -1,6 +1,7 @@
 //! Nearest-neighbour-interchange rounds (a cheaper local move than SPR,
 //! used to polish the tree between SPR rounds).
 
+use ooc_core::OocResult;
 use phylo_plf::{AncestralStore, PlfEngine};
 use phylo_tree::HalfEdgeId;
 
@@ -12,8 +13,8 @@ pub fn nni_round<S: AncestralStore>(
     engine: &mut PlfEngine<S>,
     nr_iter: u32,
     epsilon: f64,
-) -> (f64, usize) {
-    let mut lnl = engine.log_likelihood();
+) -> OocResult<(f64, usize)> {
+    let mut lnl = engine.log_likelihood()?;
     let mut accepted = 0usize;
     let internal: Vec<HalfEdgeId> = engine
         .tree()
@@ -33,7 +34,7 @@ pub fn nni_round<S: AncestralStore>(
         }
         for variant in [0u8, 1] {
             let undo = engine.apply_nni(h, variant);
-            let (_, l) = engine.optimize_branch(h, nr_iter);
+            let (_, l) = engine.optimize_branch(h, nr_iter)?;
             if l > lnl + epsilon {
                 lnl = l;
                 accepted += 1;
@@ -42,7 +43,7 @@ pub fn nni_round<S: AncestralStore>(
             }
         }
     }
-    (lnl, accepted)
+    Ok((lnl, accepted))
 }
 
 #[cfg(test)]
@@ -69,15 +70,15 @@ mod tests {
         let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
         let store = InRamStore::new(start.n_inner(), dims.width());
         let mut engine = PlfEngine::new(start, &comp, model, 1.0, 4, store);
-        let before = engine.log_likelihood();
-        let (after, accepted) = nni_round(&mut engine, 16, 1e-4);
+        let before = engine.log_likelihood().unwrap();
+        let (after, accepted) = nni_round(&mut engine, 16, 1e-4).unwrap();
         assert!(after >= before - 1e-7, "{before} -> {after}");
         // From a random start on simulated data, some swap should help.
         assert!(accepted > 0, "expected at least one accepted NNI");
         // Consistency of incremental state.
-        let partial = engine.log_likelihood();
+        let partial = engine.log_likelihood().unwrap();
         engine.invalidate_all();
-        let full = engine.log_likelihood();
+        let full = engine.log_likelihood().unwrap();
         assert!((partial - full).abs() < 1e-8 * full.abs());
     }
 }

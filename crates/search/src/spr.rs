@@ -1,5 +1,6 @@
 //! Lazy subtree-pruning-and-regrafting rounds.
 
+use ooc_core::OocResult;
 use phylo_plf::{AncestralStore, PlfEngine};
 use phylo_tree::{HalfEdgeId, Tree};
 use rand::seq::SliceRandom;
@@ -82,8 +83,8 @@ pub fn lazy_spr_round<S: AncestralStore, R: Rng>(
     nr_iter: u32,
     epsilon: f64,
     rng: &mut R,
-) -> SprRoundResult {
-    let mut lnl = engine.log_likelihood();
+) -> OocResult<SprRoundResult> {
+    let mut lnl = engine.log_likelihood()?;
     let mut applied = 0usize;
     let mut evaluated = 0u64;
 
@@ -104,7 +105,7 @@ pub fn lazy_spr_round<S: AncestralStore, R: Rng>(
             let undo = engine.apply_spr(dir, target, None);
             // Lazy scoring: evaluate at one of the fresh graft branches.
             let graft = engine.tree().next(dir);
-            let l = engine.log_likelihood_at(graft, false);
+            let l = engine.log_likelihood_at(graft, false)?;
             evaluated += 1;
             engine.undo_spr(dir, &undo);
             if best.is_none_or(|(_, bl)| l > bl) {
@@ -119,7 +120,7 @@ pub fn lazy_spr_round<S: AncestralStore, R: Rng>(
                 let b = engine.tree().next(a);
                 let mut new_lnl = best_l;
                 for h in [a, b, dir] {
-                    let (_, l) = engine.optimize_branch(h, nr_iter);
+                    let (_, l) = engine.optimize_branch(h, nr_iter)?;
                     new_lnl = l;
                 }
                 if new_lnl > lnl {
@@ -133,11 +134,11 @@ pub fn lazy_spr_round<S: AncestralStore, R: Rng>(
             }
         }
     }
-    SprRoundResult {
+    Ok(SprRoundResult {
         lnl,
         applied,
         evaluated,
-    }
+    })
 }
 
 #[cfg(test)]

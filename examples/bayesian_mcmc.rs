@@ -36,7 +36,7 @@ fn main() {
     );
 
     let mut standard = setup::inram_engine(&data);
-    let stats_std = run_mcmc(&mut standard, &cfg);
+    let stats_std = run_mcmc(&mut standard, &cfg).expect("in-RAM MCMC cannot fail on I/O");
     println!(
         "standard:    accepted {}/{} ({} topology moves), final log-posterior {:.4}",
         stats_std.accepted, cfg.iterations, stats_std.topology_accepted,
@@ -44,7 +44,7 @@ fn main() {
     );
 
     let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
-    let stats_ooc = run_mcmc(&mut ooc, &cfg);
+    let stats_ooc = run_mcmc(&mut ooc, &cfg).expect("MCMC over the OOC store failed");
     let mgr = ooc.store().manager().stats();
     println!(
         "out-of-core: accepted {}/{} ({} topology moves), final log-posterior {:.4}",

@@ -39,9 +39,12 @@ fn main() {
     let traversals = 5;
 
     // 1. Standard implementation over the paging arena.
-    let mut paged = setup::paged_engine(&data, dir.path().join("swap.bin"), budget);
+    let mut paged = setup::paged_engine(&data, dir.path().join("swap.bin"), budget)
+        .expect("failed to create swap file");
     let t0 = Instant::now();
-    let lnl_paged = paged.full_traversals(traversals);
+    let lnl_paged = paged
+        .full_traversals(traversals)
+        .expect("paged traversal failed");
     let t_paged = t0.elapsed();
     let pstats = paged.store().arena().stats();
     println!(
@@ -52,9 +55,12 @@ fn main() {
     // 2./3. Out-of-core with the same budget.
     for kind in [StrategyKind::Lru, StrategyKind::Random { seed: 5 }] {
         let path = dir.path().join(format!("vectors_{}.bin", kind.label()));
-        let mut ooc = setup::ooc_engine_file(&data, path, budget as u64, kind);
+        let mut ooc = setup::ooc_engine_file(&data, path, budget as u64, kind)
+            .expect("failed to create backing file");
         let t0 = Instant::now();
-        let lnl = ooc.full_traversals(traversals);
+        let lnl = ooc
+            .full_traversals(traversals)
+            .expect("out-of-core traversal failed");
         let dt = t0.elapsed();
         let stats = ooc.store().manager().stats();
         println!(

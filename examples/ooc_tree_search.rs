@@ -41,7 +41,7 @@ fn main() {
 
     // Standard search.
     let mut standard = setup::inram_engine(&data);
-    let stats_std = hill_climb(&mut standard, &cfg);
+    let stats_std = hill_climb(&mut standard, &cfg).expect("in-RAM search cannot fail on I/O");
     println!(
         "standard:    lnl {:.4} -> {:.4} ({} SPRs applied, {} evaluated)",
         stats_std.initial_lnl, stats_std.final_lnl, stats_std.spr_applied, stats_std.spr_evaluated
@@ -49,7 +49,7 @@ fn main() {
 
     // Out-of-core search with 25% of vectors in RAM.
     let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
-    let stats_ooc = hill_climb(&mut ooc, &cfg);
+    let stats_ooc = hill_climb(&mut ooc, &cfg).expect("search over the OOC store failed");
     let mgr = ooc.store().manager().stats();
     println!(
         "out-of-core: lnl {:.4} -> {:.4} ({} SPRs applied, {} evaluated)",

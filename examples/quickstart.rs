@@ -29,7 +29,9 @@ fn main() {
 
     // Standard implementation: everything in RAM.
     let mut standard = setup::inram_engine(&data);
-    let lnl_standard = standard.log_likelihood();
+    let lnl_standard = standard
+        .log_likelihood()
+        .expect("in-RAM likelihood cannot fail on I/O");
 
     // Out-of-core: only 25% of the vectors get RAM slots; the rest live in
     // a real binary file, swapped on demand with LRU replacement.
@@ -40,8 +42,9 @@ fn main() {
         dir.path().join("ancestral_vectors.bin"),
         limit,
         StrategyKind::Lru,
-    );
-    let lnl_ooc = ooc.log_likelihood();
+    )
+    .expect("failed to create backing file");
+    let lnl_ooc = ooc.log_likelihood().expect("out-of-core likelihood failed");
 
     println!("log-likelihood (standard):    {lnl_standard:.6}");
     println!("log-likelihood (out-of-core): {lnl_ooc:.6}");

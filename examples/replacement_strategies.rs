@@ -35,14 +35,18 @@ fn main() {
     ] {
         let (mut engine, _handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
         // Warm up: one full likelihood computation (all vectors cold).
-        let _ = engine.log_likelihood();
+        let _ = engine.log_likelihood().expect("warm-up traversal failed");
         engine.store_mut().manager_mut().reset_stats();
 
         // Workload: two smoothing passes and a tour of re-rootings.
-        engine.smooth_branches(2, 8);
+        engine
+            .smooth_branches(2, 8)
+            .expect("smoothing pass failed");
         let roots: Vec<u32> = engine.tree().branches().step_by(7).collect();
         for h in roots {
-            let _ = engine.log_likelihood_at(h, false);
+            let _ = engine
+                .log_likelihood_at(h, false)
+                .expect("re-rooted evaluation failed");
         }
 
         let stats = engine.store().manager().stats();

@@ -35,7 +35,11 @@
 //! let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
 //!
 //! // The paper's correctness criterion: identical likelihoods.
-//! assert_eq!(standard.log_likelihood(), ooc.log_likelihood());
+//! // (Likelihood methods return Result: store I/O can fail.)
+//! assert_eq!(
+//!     standard.log_likelihood().unwrap(),
+//!     ooc.log_likelihood().unwrap(),
+//! );
 //! let stats = *ooc.store().manager().stats();
 //! assert!(stats.misses > 0, "with f = 0.25 there must be misses");
 //! ```
@@ -209,50 +213,49 @@ pub mod setup {
 
     /// Out-of-core engine over a real single binary file (the paper's
     /// primary configuration), limited to `limit_bytes` of slot RAM (the
-    /// paper's `-L` flag).
+    /// paper's `-L` flag). Fails if the backing file cannot be created.
     pub fn ooc_engine_file<P: AsRef<Path>>(
         data: &Dataset,
         path: P,
         limit_bytes: u64,
         kind: StrategyKind,
-    ) -> PlfEngine<OocStore<FileStore>> {
+    ) -> std::io::Result<PlfEngine<OocStore<FileStore>>> {
         let cfg = OocConfig::with_byte_limit(data.n_items(), data.width(), limit_bytes);
         let (strategy, _) = build_strategy(kind, &data.tree);
-        let store = FileStore::create(path, data.n_items(), data.width())
-            .expect("failed to create backing file");
+        let store = FileStore::create(path, data.n_items(), data.width())?;
         let manager = VectorManager::new(cfg, strategy, store);
-        PlfEngine::new(
+        Ok(PlfEngine::new(
             data.tree.clone(),
             &data.comp,
             data.model.clone(),
             data.spec.alpha,
             data.spec.n_cats,
             OocStore::new(manager),
-        )
+        ))
     }
 
     /// Standard engine whose vectors live in a demand-paged arena with
     /// `phys_bytes` of physical memory (the Figure 5 paging baseline).
+    /// Fails if the swap file cannot be created.
     pub fn paged_engine<P: AsRef<Path>>(
         data: &Dataset,
         swap_path: P,
         phys_bytes: usize,
-    ) -> PlfEngine<PagedStore> {
+    ) -> std::io::Result<PlfEngine<PagedStore>> {
         let arena = pager_sim::PagedArena::new(
             data.total_vector_bytes() as usize,
             phys_bytes,
             swap_path,
-        )
-        .expect("failed to create swap file");
+        )?;
         let store = PagedStore::new(arena, data.n_items(), data.width());
-        PlfEngine::new(
+        Ok(PlfEngine::new(
             data.tree.clone(),
             &data.comp,
             data.model.clone(),
             data.spec.alpha,
             data.spec.n_cats,
             store,
-        )
+        ))
     }
 }
 
@@ -272,7 +275,10 @@ mod tests {
         let data = setup::simulate_dataset(&spec);
         let mut standard = setup::inram_engine(&data);
         let mut ooc = setup::ooc_engine_mem(&data, 0.5, StrategyKind::Random { seed: 1 });
-        assert_eq!(standard.log_likelihood(), ooc.log_likelihood());
+        assert_eq!(
+            standard.log_likelihood().unwrap(),
+            ooc.log_likelihood().unwrap()
+        );
     }
 
     #[test]

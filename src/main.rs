@@ -317,7 +317,8 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
         MemorySpec::All => {
             let store = InRamStore::new(n_items, dims.width());
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
-            println!("log-likelihood: {:.6}", engine.log_likelihood());
+            let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
+            println!("log-likelihood: {lnl:.6}");
             println!("{}", engine_report(&engine));
         }
         spec => {
@@ -334,10 +335,16 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
                 None => scratch_vector_path(),
             };
             let store = FileStore::create(&vector_path, n_items, dims.width())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| {
+                    format!("cannot create vector file '{}': {e}", vector_path.display())
+                })?;
             let manager = VectorManager::new(cfg, strategy, store);
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
-            println!("log-likelihood: {:.6}", engine.log_likelihood());
+            let lnl = engine.log_likelihood().map_err(|e| {
+                cleanup_scratch();
+                e.to_string()
+            })?;
+            println!("log-likelihood: {lnl:.6}");
             println!("{}", engine_report(&engine));
             eprintln!(
                 "out-of-core: {} of {} vectors in RAM ({:.1} of {:.1} MiB)",
@@ -374,7 +381,7 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         MemorySpec::All => {
             let store = InRamStore::new(n_items, dims.width());
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
-            let stats = hill_climb(&mut engine, &cfg);
+            let stats = hill_climb(&mut engine, &cfg).map_err(|e| e.to_string())?;
             (stats, engine.tree().clone(), None)
         }
         spec => {
@@ -390,10 +397,15 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 None => scratch_vector_path(),
             };
             let store = FileStore::create(&vector_path, n_items, dims.width())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| {
+                    format!("cannot create vector file '{}': {e}", vector_path.display())
+                })?;
             let manager = VectorManager::new(ooc_cfg, strategy, store);
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
-            let stats = hill_climb(&mut engine, &cfg);
+            let stats = hill_climb(&mut engine, &cfg).map_err(|e| {
+                cleanup_scratch();
+                e.to_string()
+            })?;
             if let Some(h) = handle {
                 h.update(engine.tree());
             }

@@ -90,6 +90,26 @@ fn memory_suffixes_accepted() {
 }
 
 #[test]
+fn unwritable_vector_file_fails_with_context() {
+    let dir = tempfile::tempdir().unwrap();
+    let (aln, tree) = simulate_into(dir.path());
+    let bad = dir.path().join("no_such_dir").join("v.bin");
+    let (ok, _, err) = run(&[
+        "likelihood", "--alignment", &aln, "--tree", &tree, "--memory", "25%",
+        "--vector-file", bad.to_str().unwrap(),
+    ]);
+    assert!(!ok, "creating the store in a missing directory must fail");
+    assert!(
+        err.contains("cannot create vector file"),
+        "stderr must say what failed: {err}"
+    );
+    assert!(
+        err.contains("no_such_dir"),
+        "stderr must name the offending path: {err}"
+    );
+}
+
+#[test]
 fn missing_inputs_fail_gracefully() {
     let (ok, _, err) = run(&["likelihood"]);
     assert!(!ok);

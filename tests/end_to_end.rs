@@ -25,7 +25,7 @@ fn simulate_export_import_evaluate() {
         seed: 5,
         ..Default::default()
     });
-    let reference = setup::inram_engine(&data).log_likelihood();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
 
     let mut fasta_buf = Vec::new();
     write_fasta(&mut fasta_buf, &data.comp.alignment).unwrap();
@@ -52,7 +52,10 @@ fn simulate_export_import_evaluate() {
             4,
             store,
         );
-        assert_eq!(engine.log_likelihood().to_bits(), reference.to_bits());
+        assert_eq!(
+            engine.log_likelihood().unwrap().to_bits(),
+            reference.to_bits()
+        );
     }
 }
 
@@ -67,7 +70,7 @@ fn newick_roundtrip_preserves_likelihood() {
         seed: 6,
         ..Default::default()
     });
-    let reference = setup::inram_engine(&data).log_likelihood();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let names = data.comp.alignment.names().to_vec();
     let nwk = write_newick(&data.tree, &names);
     let (tree2, names2) = parse_newick(&nwk).unwrap();
@@ -100,7 +103,7 @@ fn newick_roundtrip_preserves_likelihood() {
         4,
         store,
     );
-    let lnl = engine.log_likelihood();
+    let lnl = engine.log_likelihood().unwrap();
     assert!(
         (lnl - reference).abs() < 1e-6 * reference.abs(),
         "{lnl} vs {reference}"
@@ -128,7 +131,7 @@ fn search_recovers_signal_on_easy_data() {
         4,
         InRamStore::new(true_tree.n_inner(), dims.width()),
     );
-    let true_lnl = engine_true.smooth_branches(2, 24);
+    let true_lnl = engine_true.smooth_branches(2, 24).unwrap();
 
     let start = random_topology(12, 0.1, &mut StdRng::seed_from_u64(90));
     let mut engine = PlfEngine::new(
@@ -147,7 +150,8 @@ fn search_recovers_signal_on_easy_data() {
             optimize_model: false,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(
         stats.final_lnl > true_lnl - 5.0,
         "search {} vs truth {true_lnl}",
@@ -170,8 +174,8 @@ fn nni_polish_after_spr_search() {
         optimize_model: false,
         ..Default::default()
     };
-    let stats = hill_climb(&mut engine, &cfg);
-    let (polished, _) = nni_round(&mut engine, 12, 1e-4);
+    let stats = hill_climb(&mut engine, &cfg).unwrap();
+    let (polished, _) = nni_round(&mut engine, 12, 1e-4).unwrap();
     assert!(polished >= stats.final_lnl - 1e-6);
 }
 
@@ -199,7 +203,7 @@ fn protein_data_end_to_end() {
         4,
         InRamStore::new(tree.n_inner(), dims.width()),
     );
-    let reference = standard.log_likelihood();
+    let reference = standard.log_likelihood().unwrap();
     assert!(reference.is_finite() && reference < 0.0);
 
     // Out-of-core protein run, minimum slots.
@@ -211,5 +215,5 @@ fn protein_data_end_to_end() {
         MemStore::new(tree.n_inner(), dims.width()),
     );
     let mut ooc = PlfEngine::new(tree, &comp, model, 0.7, 4, OocStore::new(manager));
-    assert_eq!(ooc.log_likelihood().to_bits(), reference.to_bits());
+    assert_eq!(ooc.log_likelihood().unwrap().to_bits(), reference.to_bits());
 }

@@ -1,0 +1,146 @@
+//! Fault tolerance across the whole residency stack: injected store
+//! failures must surface as contextual [`OocError`]s from the engine's
+//! likelihood entry points (never panics), and a retry layer must absorb
+//! transient faults without changing the computed likelihood by a single
+//! bit.
+
+use phylo_ooc::ooc::{
+    FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, MemStore, OocConfig, OocOp,
+    RetryPolicy, RetryingStore, StrategyKind, VectorManager,
+};
+use phylo_ooc::plf::{OocStore, PlfEngine};
+use phylo_ooc::setup::{self, DatasetSpec};
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        n_taxa: 24,
+        n_sites: 150,
+        seed: 404,
+        ..Default::default()
+    }
+}
+
+fn engine_over<S: phylo_ooc::ooc::BackingStore>(
+    data: &setup::Dataset,
+    store: S,
+) -> PlfEngine<OocStore<S>> {
+    // A quarter of the vectors in RAM: evictions (store writes) and
+    // reloads (store reads) both happen during a single traversal.
+    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
+    PlfEngine::new(
+        data.tree.clone(),
+        &data.comp,
+        data.model.clone(),
+        data.spec.alpha,
+        data.spec.n_cats,
+        OocStore::new(manager),
+    )
+}
+
+#[test]
+fn permanent_write_fault_surfaces_contextual_error() {
+    let data = setup::simulate_dataset(&spec());
+    // Every eviction write-back fails permanently.
+    let plan = FaultPlan::none().with(FaultRule::From {
+        op: FaultOp::Write,
+        start: 0,
+        kind: FaultKind::Permanent,
+    });
+    let store = FaultInjectingStore::new(MemStore::new(data.n_items(), data.width()), plan);
+    let mut engine = engine_over(&data, store);
+
+    let err = engine
+        .log_likelihood()
+        .expect_err("all write-backs fail: the likelihood run must error");
+    assert_eq!(err.op, OocOp::Write);
+    assert!(err.item.is_some(), "eviction errors must name the item");
+    assert!(!err.is_transient());
+    let msg = err.to_string();
+    assert!(msg.contains("write failed"), "{msg}");
+    assert!(msg.contains("for item"), "{msg}");
+    assert!(msg.contains("eviction write-back"), "{msg}");
+    // The manager counted the failure.
+    assert!(engine.store().manager().stats().io_errors > 0);
+}
+
+#[test]
+fn permanent_read_fault_surfaces_contextual_error() {
+    let data = setup::simulate_dataset(&spec());
+    // Let the first traversal's writes through, then fail every read.
+    let plan = FaultPlan::none().with(FaultRule::From {
+        op: FaultOp::Read,
+        start: 0,
+        kind: FaultKind::Permanent,
+    });
+    let store = FaultInjectingStore::new(MemStore::new(data.n_items(), data.width()), plan);
+    let mut engine = engine_over(&data, store);
+
+    let err = engine
+        .log_likelihood()
+        .expect_err("reloads fail: the likelihood run must error");
+    assert_eq!(err.op, OocOp::Read);
+    assert!(err.item.is_some());
+    assert!(err.to_string().contains("slot load"), "{}", err);
+}
+
+#[test]
+fn retrying_store_recovers_transient_faults_bit_exactly() {
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data)
+        .log_likelihood()
+        .expect("in-RAM reference cannot fail");
+
+    // Transient fault windows on both op classes. A retry re-issues the
+    // operation under the next fault index, so a window of three costs at
+    // most three retries before escaping it.
+    let plan = FaultPlan::transient_reads(2, 3).with(FaultRule::Window {
+        op: FaultOp::Write,
+        start: 1,
+        count: 2,
+        kind: FaultKind::Transient,
+    });
+    let faulty = FaultInjectingStore::new(MemStore::new(data.n_items(), data.width()), plan);
+    let store = RetryingStore::new(faulty, RetryPolicy::immediate(4));
+    let mut engine = engine_over(&data, store);
+
+    let lnl = engine
+        .log_likelihood()
+        .expect("transient faults must be absorbed by the retry layer");
+    assert_eq!(
+        lnl.to_bits(),
+        reference.to_bits(),
+        "recovery must not perturb the likelihood: {lnl} vs {reference}"
+    );
+
+    let retry = engine.store().manager().store().retry_stats();
+    assert!(retry.retries > 0, "the schedule must have triggered retries");
+    assert!(retry.recoveries > 0, "faults must have been recovered");
+    assert_eq!(retry.exhausted, 0);
+    assert_eq!(retry.permanent_failures, 0);
+    let faults = engine.store().manager().store().inner().fault_stats();
+    assert!(faults.total_faults() > 0, "the plan must actually have fired");
+    // And no error ever leaked into the manager's counters.
+    assert_eq!(engine.store().manager().stats().io_errors, 0);
+}
+
+#[test]
+fn retrying_store_gives_up_on_permanent_faults() {
+    let data = setup::simulate_dataset(&spec());
+    let plan = FaultPlan::none().with(FaultRule::From {
+        op: FaultOp::Write,
+        start: 0,
+        kind: FaultKind::Permanent,
+    });
+    let faulty = FaultInjectingStore::new(MemStore::new(data.n_items(), data.width()), plan);
+    let store = RetryingStore::new(faulty, RetryPolicy::immediate(4));
+    let mut engine = engine_over(&data, store);
+
+    let err = engine
+        .log_likelihood()
+        .expect_err("permanent faults must not be retried into success");
+    assert_eq!(err.op, OocOp::Write);
+    let retry = engine.store().manager().store().retry_stats();
+    assert_eq!(retry.retries, 0, "permanent errors are not worth retrying");
+    assert!(retry.permanent_failures > 0);
+}

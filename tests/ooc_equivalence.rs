@@ -33,13 +33,13 @@ const STRATEGIES: [StrategyKind; 4] = [
 fn likelihood_identical_across_strategies_and_fractions() {
     let data = setup::simulate_dataset(&spec());
     let mut standard = setup::inram_engine(&data);
-    let reference = standard.log_likelihood();
+    let reference = standard.log_likelihood().unwrap();
     assert!(reference.is_finite() && reference < 0.0);
 
     for kind in STRATEGIES {
         for f in [0.25, 0.5, 0.75] {
             let mut ooc = setup::ooc_engine_mem(&data, f, kind);
-            let lnl = ooc.log_likelihood();
+            let lnl = ooc.log_likelihood().unwrap();
             assert_eq!(
                 reference.to_bits(),
                 lnl.to_bits(),
@@ -55,12 +55,12 @@ fn minimum_slots_still_exact() {
     // The paper's extreme case: only five slots (and the hard minimum 3).
     let data = setup::simulate_dataset(&spec());
     let mut standard = setup::inram_engine(&data);
-    let reference = standard.full_traversals(2);
+    let reference = standard.full_traversals(2).unwrap();
     for n_slots in [3usize, 5] {
         let f = n_slots as f64 / data.n_items() as f64;
         let mut ooc = setup::ooc_engine_mem(&data, f, StrategyKind::Random { seed: 1 });
         assert_eq!(ooc.store().manager().config().n_slots, n_slots);
-        let lnl = ooc.full_traversals(2);
+        let lnl = ooc.full_traversals(2).unwrap();
         assert_eq!(reference.to_bits(), lnl.to_bits(), "{n_slots} slots");
         assert!(
             ooc.store().manager().stats().miss_rate() > 0.3,
@@ -79,9 +79,10 @@ fn file_store_matches_mem_store() {
         dir.path().join("v.bin"),
         data.total_vector_bytes() * 3 / 10,
         StrategyKind::Lru,
-    );
-    let a = mem.full_traversals(3);
-    let b = file.full_traversals(3);
+    )
+    .unwrap();
+    let a = mem.full_traversals(3).unwrap();
+    let b = file.full_traversals(3).unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
 }
 
@@ -95,9 +96,10 @@ fn paged_arena_matches_standard() {
         &data,
         dir.path().join("swap.bin"),
         (data.total_vector_bytes() / 8) as usize,
-    );
-    let a = standard.full_traversals(2);
-    let b = paged.full_traversals(2);
+    )
+    .unwrap();
+    let a = standard.full_traversals(2).unwrap();
+    let b = paged.full_traversals(2).unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
     assert!(
         paged.store().arena().stats().major_faults > 0,
@@ -110,8 +112,8 @@ fn smoothing_identical_out_of_core() {
     let data = setup::simulate_dataset(&spec());
     let mut standard = setup::inram_engine(&data);
     let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
-    let a = standard.smooth_branches(2, 12);
-    let b = ooc.smooth_branches(2, 12);
+    let a = standard.smooth_branches(2, 12).unwrap();
+    let b = ooc.smooth_branches(2, 12).unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
 }
 
@@ -131,11 +133,11 @@ fn whole_search_identical_out_of_core() {
         ..Default::default()
     };
     let mut standard = setup::inram_engine(&data);
-    let std_stats = hill_climb(&mut standard, &cfg);
+    let std_stats = hill_climb(&mut standard, &cfg).unwrap();
 
     for kind in STRATEGIES {
         let (mut ooc, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
-        let ooc_stats = hill_climb(&mut ooc, &cfg);
+        let ooc_stats = hill_climb(&mut ooc, &cfg).unwrap();
         if let Some(h) = handle {
             h.update(ooc.tree());
         }
@@ -161,7 +163,7 @@ fn read_skipping_does_not_change_results() {
     use phylo_ooc::ooc::{MemStore, OocConfig, VectorManager};
     use phylo_ooc::plf::{OocStore, PlfEngine};
     let data = setup::simulate_dataset(&spec());
-    let reference = setup::inram_engine(&data).full_traversals(2);
+    let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
     for read_skipping in [true, false] {
         let mut cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
         cfg.read_skipping = read_skipping;
@@ -178,7 +180,7 @@ fn read_skipping_does_not_change_results() {
             data.spec.n_cats,
             OocStore::new(manager),
         );
-        let lnl = engine.full_traversals(2);
+        let lnl = engine.full_traversals(2).unwrap();
         assert_eq!(reference.to_bits(), lnl.to_bits(), "read_skipping={read_skipping}");
     }
 }

@@ -22,8 +22,8 @@ fn same_budget_same_result_fewer_ops() {
     let dir = tempfile::tempdir().unwrap();
     let budget = (data.total_vector_bytes() / 4) as usize;
 
-    let mut paged = setup::paged_engine(&data, dir.path().join("swap.bin"), budget);
-    let lnl_paged = paged.full_traversals(3);
+    let mut paged = setup::paged_engine(&data, dir.path().join("swap.bin"), budget).unwrap();
+    let lnl_paged = paged.full_traversals(3).unwrap();
     let pstats = *paged.store().arena().stats();
 
     let mut ooc = setup::ooc_engine_file(
@@ -31,8 +31,9 @@ fn same_budget_same_result_fewer_ops() {
         dir.path().join("vectors.bin"),
         budget as u64,
         StrategyKind::Lru,
-    );
-    let lnl_ooc = ooc.full_traversals(3);
+    )
+    .unwrap();
+    let lnl_ooc = ooc.full_traversals(3).unwrap();
     let ostats = *ooc.store().manager().stats();
 
     assert_eq!(lnl_paged.to_bits(), lnl_ooc.to_bits());
@@ -64,8 +65,9 @@ fn fault_counts_grow_with_dataset_size() {
             ..Default::default()
         });
         let mut paged =
-            setup::paged_engine(&data, dir.path().join(format!("swap{i}.bin")), budget);
-        let _ = paged.full_traversals(2);
+            setup::paged_engine(&data, dir.path().join(format!("swap{i}.bin")), budget)
+                .unwrap();
+        let _ = paged.full_traversals(2).unwrap();
         faults.push(paged.store().arena().stats().major_faults);
     }
     assert!(
@@ -84,7 +86,7 @@ fn ooc_io_scales_with_misses_not_touches() {
         ..Default::default()
     });
     let mut fits = setup::ooc_engine_mem(&data, 1.0, StrategyKind::Lru);
-    let _ = fits.full_traversals(4);
+    let _ = fits.full_traversals(4).unwrap();
     let stats = fits.store().manager().stats();
     assert_eq!(stats.miss_rate() * stats.requests as f64, stats.misses as f64);
     assert_eq!(
@@ -119,7 +121,7 @@ fn modeled_clock_replays_paper_scale_geometry() {
         data.spec.n_cats,
         OocStore::new(manager),
     );
-    let _ = engine.full_traversals(5);
+    let _ = engine.full_traversals(5).unwrap();
     let clock = engine.store().manager().store().clock_secs();
     let ops = engine.store().manager().store().ops();
     assert!(ops > 0);

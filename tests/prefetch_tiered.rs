@@ -21,7 +21,7 @@ fn spec() -> DatasetSpec {
 #[test]
 fn prefetching_store_is_transparent() {
     let data = setup::simulate_dataset(&spec());
-    let reference = setup::inram_engine(&data).full_traversals(3);
+    let reference = setup::inram_engine(&data).full_traversals(3).unwrap();
 
     let dir = tempfile::tempdir().unwrap();
     let path = dir.path().join("vectors.bin");
@@ -41,12 +41,12 @@ fn prefetching_store_is_transparent() {
     );
     // Mix of traversals and smoothing; prefetch hints flow via
     // begin_traversal -> store.hint on every plan.
-    let lnl = engine.full_traversals(3);
+    let lnl = engine.full_traversals(3).unwrap();
     assert_eq!(lnl.to_bits(), reference.to_bits());
-    engine.smooth_branches(1, 8);
-    let partial = engine.log_likelihood();
+    engine.smooth_branches(1, 8).unwrap();
+    let partial = engine.log_likelihood().unwrap();
     engine.invalidate_all();
-    let full = engine.log_likelihood();
+    let full = engine.log_likelihood().unwrap();
     assert_eq!(partial.to_bits(), full.to_bits());
 }
 
@@ -71,7 +71,7 @@ fn prefetch_thread_actually_stages_reads() {
     );
     // Smoothing passes generate many partial traversals whose upcoming
     // reads are hinted ahead of time.
-    engine.smooth_branches(2, 8);
+    engine.smooth_branches(2, 8).unwrap();
     let stats = engine.store().manager().store().stats();
     let prefetched = stats.prefetched.load(Ordering::Relaxed);
     let hits = stats.staged_hits.load(Ordering::Relaxed);
@@ -90,7 +90,7 @@ fn prefetch_thread_actually_stages_reads() {
 #[test]
 fn three_layer_hierarchy_is_exact_and_absorbs_io() {
     let data = setup::simulate_dataset(&spec());
-    let reference = setup::inram_engine(&data).full_traversals(2);
+    let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
 
     let dir = tempfile::tempdir().unwrap();
     let disk = FileStore::create(dir.path().join("disk.bin"), data.n_items(), data.width())
@@ -108,7 +108,7 @@ fn three_layer_hierarchy_is_exact_and_absorbs_io() {
         data.spec.n_cats,
         OocStore::new(manager),
     );
-    let lnl = engine.full_traversals(2);
+    let lnl = engine.full_traversals(2).unwrap();
     assert_eq!(lnl.to_bits(), reference.to_bits());
 
     let tier_stats = engine.store().manager().store().stats();
