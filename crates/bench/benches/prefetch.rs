@@ -26,7 +26,9 @@ fn bench_prefetch(c: &mut Criterion) {
     group.bench_function("direct_file_read", |b| {
         let mut item = 0u32;
         b.iter(|| {
-            plain.read(black_box(item % N_ITEMS as u32), &mut buf).unwrap();
+            plain
+                .read(black_box(item % N_ITEMS as u32), &mut buf)
+                .unwrap();
             item += 1;
         })
     });

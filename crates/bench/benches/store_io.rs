@@ -22,21 +22,26 @@ fn bench_stores(c: &mut Criterion) {
     let mut buf = vec![0.0f64; WIDTH];
 
     // Write+read one vector per iteration, cycling through item slots.
-    let mut run = |name: &str, store: &mut dyn BackingStore, group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>| {
-        for item in 0..N_ITEMS as u32 {
-            store.write(item, &data).unwrap();
-        }
-        let mut item = 0u32;
-        group.bench_function(BenchmarkId::new(name.to_owned(), "swap"), |b| {
-            b.iter(|| {
-                store.write(black_box(item % N_ITEMS as u32), &data).unwrap();
-                store
-                    .read(black_box((item + 7) % N_ITEMS as u32), &mut buf)
-                    .unwrap();
-                item += 1;
-            })
-        });
-    };
+    let mut run =
+        |name: &str,
+         store: &mut dyn BackingStore,
+         group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>| {
+            for item in 0..N_ITEMS as u32 {
+                store.write(item, &data).unwrap();
+            }
+            let mut item = 0u32;
+            group.bench_function(BenchmarkId::new(name.to_owned(), "swap"), |b| {
+                b.iter(|| {
+                    store
+                        .write(black_box(item % N_ITEMS as u32), &data)
+                        .unwrap();
+                    store
+                        .read(black_box((item + 7) % N_ITEMS as u32), &mut buf)
+                        .unwrap();
+                    item += 1;
+                })
+            });
+        };
 
     let mut mem = MemStore::new(N_ITEMS, WIDTH);
     run("mem", &mut mem, &mut group);

@@ -17,18 +17,13 @@ fn bench_choose_victim(c: &mut Criterion) {
     for m in [64usize, 1024] {
         let n_items = (m * 4) as u32;
         // Slot table: fully occupied, two slots pinned.
-        let slot_item: Vec<Option<u32>> =
-            (0..m).map(|s| Some((s as u32 * 7) % n_items)).collect();
+        let slot_item: Vec<Option<u32>> = (0..m).map(|s| Some((s as u32 * 7) % n_items)).collect();
         let mut pinned = vec![false; m];
         pinned[0] = true;
         pinned[m / 2] = true;
 
         // The Topological strategy needs a live tree of matching size.
-        let tree = random_topology(
-            n_items as usize + 2,
-            0.1,
-            &mut StdRng::seed_from_u64(5),
-        );
+        let tree = random_topology(n_items as usize + 2, 0.1, &mut StdRng::seed_from_u64(5));
         let shared = SharedTree::new(&tree);
 
         let strategies: Vec<(&str, Box<dyn ReplacementStrategy>)> = vec![
@@ -37,8 +32,7 @@ fn bench_choose_victim(c: &mut Criterion) {
             ("LFU", StrategyKind::Lfu.build(None)),
             (
                 "Topological",
-                StrategyKind::Topological
-                    .build(Some(Box::new(TreeOracle::new(shared.clone())))),
+                StrategyKind::Topological.build(Some(Box::new(TreeOracle::new(shared.clone())))),
             ),
         ];
         for (name, mut strategy) in strategies {

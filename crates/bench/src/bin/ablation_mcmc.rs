@@ -45,6 +45,7 @@ fn main() {
         StrategyKind::Lfu,
         StrategyKind::Random { seed: 1 },
         StrategyKind::Lru,
+        StrategyKind::NextUse,
     ];
     let rows: Vec<Vec<String>> = strategies
         .par_iter()

@@ -20,7 +20,9 @@ use std::time::Instant;
 
 fn run_workload<S: AncestralStore>(engine: &mut PlfEngine<S>, traversals: usize) -> (f64, f64) {
     let t0 = Instant::now();
-    let lnl = engine.full_traversals(traversals).expect("traversal failed");
+    let lnl = engine
+        .full_traversals(traversals)
+        .expect("traversal failed");
     engine.smooth_branches(1, 8).expect("smoothing failed");
     (t0.elapsed().as_secs_f64(), lnl)
 }
@@ -71,21 +73,30 @@ fn main() {
 
     // Prefetching wrapper over the same file layout.
     let path = dir.path().join("prefetch.bin");
-    let main_store =
-        FileStore::create(&path, data.n_items(), data.width()).expect("create store");
+    let main_store = FileStore::create(&path, data.n_items(), data.width()).expect("create store");
     let worker = FileStore::open(&path, data.width()).expect("open worker handle");
     let prefetching = PrefetchingStore::new(main_store, worker, data.n_items(), data.width());
     let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), prefetching);
     let mut engine = build_engine(&data, manager);
     let (t_pre, lnl_pre) = run_workload(&mut engine, traversals);
     assert_eq!(lnl_plain.to_bits(), lnl_pre.to_bits(), "results must agree");
+    let mgr_stats = *engine.store().manager().stats();
     let stats = engine.store().manager().store().stats();
     let staged_hits = stats.staged_hits.load(Ordering::Relaxed);
     let staged_misses = stats.staged_misses.load(Ordering::Relaxed);
     let prefetched = stats.prefetched.load(Ordering::Relaxed);
+    let hinted_too_late = stats.hinted_too_late.load(Ordering::Relaxed);
+    let staged_invalidated = stats.staged_invalidated.load(Ordering::Relaxed);
+    let discarded = stats.discarded.load(Ordering::Relaxed);
 
     print_table(
-        &["configuration", "wall time", "io ops", "staged hits", "staged misses"],
+        &[
+            "configuration",
+            "wall time",
+            "io ops",
+            "staged hits",
+            "staged misses",
+        ],
         &[
             vec![
                 "FileStore".into(),
@@ -111,5 +122,23 @@ fn main() {
          prefetching as future work).",
         hit_frac * 100.0,
         t_plain / t_pre
+    );
+
+    // Where every hint ended up — the window-tuning signal:
+    //   hinted-and-hit    — staged and later served a demand read,
+    //   evicted-before-use — staged (or in flight) but overwritten first;
+    //                        argues for a smaller lookahead window,
+    //   hinted-too-late   — demand read arrived before the worker did;
+    //                        argues for a larger lookahead window.
+    println!(
+        "\nhint effectiveness ({} hints issued by the plan cursor):\n\
+         \x20 hinted-and-hit:      {staged_hits}\n\
+         \x20 evicted-before-use:  {} (staged {staged_invalidated}, in-flight {discarded})\n\
+         \x20 hinted-too-late:     {hinted_too_late}\n\
+         \x20 hint precision {:.1}%, coverage {:.1}% of store reads",
+        mgr_stats.hints_issued,
+        staged_invalidated + discarded,
+        mgr_stats.hint_precision() * 100.0,
+        mgr_stats.hint_coverage() * 100.0,
     );
 }

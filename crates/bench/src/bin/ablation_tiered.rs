@@ -13,7 +13,9 @@
 
 use ooc_bench::args::Args;
 use ooc_bench::report::{print_table, secs};
-use ooc_core::{FileStore, ModeledStore, DiskModel, OocConfig, StrategyKind, TieredStore, VectorManager};
+use ooc_core::{
+    DiskModel, FileStore, ModeledStore, OocConfig, StrategyKind, TieredStore, VectorManager,
+};
 use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
 use phylo_plf::{OocStore, PlfEngine};
 use std::time::Instant;
@@ -54,8 +56,11 @@ fn main() {
         OocStore::new(manager),
     );
     let t0 = Instant::now();
-    let lnl2 = two.full_traversals(traversals).expect("two-tier traversal failed");
-    two.smooth_branches(1, 8).expect("two-tier smoothing failed");
+    let lnl2 = two
+        .full_traversals(traversals)
+        .expect("two-tier traversal failed");
+    two.smooth_branches(1, 8)
+        .expect("two-tier smoothing failed");
     let t_two = t0.elapsed().as_secs_f64();
     let ops_two = two.store().manager().store().ops();
     let modeled_two = two.store().manager().store().clock_secs();
@@ -75,8 +80,12 @@ fn main() {
         OocStore::new(manager),
     );
     let t0 = Instant::now();
-    let lnl3 = three.full_traversals(traversals).expect("three-tier traversal failed");
-    three.smooth_branches(1, 8).expect("three-tier smoothing failed");
+    let lnl3 = three
+        .full_traversals(traversals)
+        .expect("three-tier traversal failed");
+    three
+        .smooth_branches(1, 8)
+        .expect("three-tier smoothing failed");
     let t_three = t0.elapsed().as_secs_f64();
     assert_eq!(lnl2.to_bits(), lnl3.to_bits(), "hierarchies must agree");
     let tier_stats = three.store().manager().store().stats();

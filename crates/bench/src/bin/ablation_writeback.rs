@@ -35,7 +35,10 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for (label, always) in [("unconditional swap (paper)", true), ("dirty tracking", false)] {
+    for (label, always) in [
+        ("unconditional swap (paper)", true),
+        ("dirty tracking", false),
+    ] {
         let mut cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
         cfg.always_write_back = always;
         let r = run_search_workload(&data, cfg, StrategyKind::Lru, &workload);

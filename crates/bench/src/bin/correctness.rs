@@ -44,6 +44,7 @@ fn main() {
         StrategyKind::Lru,
         StrategyKind::Lfu,
         StrategyKind::Topological,
+        StrategyKind::NextUse,
     ];
     let mut rows = Vec::new();
     let mut all_pass = true;
@@ -78,7 +79,14 @@ fn main() {
         spec.n_taxa, eval_ref
     );
     print_table(
-        &["strategy", "f", "lnl (eval)", "eval", "search lnl", "final tree"],
+        &[
+            "strategy",
+            "f",
+            "lnl (eval)",
+            "eval",
+            "search lnl",
+            "final tree",
+        ],
         &rows,
     );
     println!(

@@ -38,7 +38,10 @@ fn main() {
     };
     let fractions = [0.25, 0.5, 0.75];
 
-    eprintln!("fig3: simulating dataset ({} taxa x {} sites)...", spec.n_taxa, spec.n_sites);
+    eprintln!(
+        "fig3: simulating dataset ({} taxa x {} sites)...",
+        spec.n_taxa, spec.n_sites
+    );
     let data = simulate_dataset(&spec);
 
     let cells: Vec<(f64, ooc_core::StrategyKind)> = fractions
@@ -79,6 +82,34 @@ fn main() {
         rows.push(row);
     }
     print_table(&["strategy", "f=0.25", "f=0.50", "f=0.75"], &rows);
+
+    // Hint effectiveness of the plan cursor's lookahead window: how many
+    // of the issued prefetch hints were consumed by an actual store read
+    // (precision), and how many store reads were forewarned (coverage).
+    println!("\nlookahead hint effectiveness (with read skipping):\n");
+    let mut rows = Vec::new();
+    for c in &results {
+        let on = &c.with_skipping;
+        rows.push(vec![
+            on.strategy.to_owned(),
+            format!("{:.2}", on.fraction),
+            on.hints_issued.to_string(),
+            on.hinted_reads.to_string(),
+            pct(on.hint_precision),
+            pct(on.hint_coverage),
+        ]);
+    }
+    print_table(
+        &[
+            "strategy",
+            "f",
+            "hints",
+            "hinted reads",
+            "precision",
+            "coverage",
+        ],
+        &rows,
+    );
 
     // E7: aggregate claim over all cells.
     println!("\n§3.4 claims (E7), per cell:");

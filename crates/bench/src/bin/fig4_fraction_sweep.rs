@@ -33,7 +33,10 @@ fn main() {
         ..Default::default()
     };
 
-    eprintln!("fig4: simulating dataset ({} taxa x {} sites)...", spec.n_taxa, spec.n_sites);
+    eprintln!(
+        "fig4: simulating dataset ({} taxa x {} sites)...",
+        spec.n_taxa, spec.n_sites
+    );
     let data = simulate_dataset(&spec);
     let n = data.n_items();
 
@@ -46,12 +49,30 @@ fn main() {
     }
     slot_counts.push(5);
 
-    let results: Vec<CellResult> = slot_counts
-        .par_iter()
-        .map(|&m| {
-            let cfg = OocConfig::new(n, data.width(), m);
-            run_search_workload(&data, cfg, StrategyKind::Random { seed: 1 }, &workload)
+    let cells: Vec<(usize, StrategyKind)> = slot_counts
+        .iter()
+        .flat_map(|&m| {
+            [StrategyKind::Random { seed: 1 }, StrategyKind::NextUse]
+                .into_iter()
+                .map(move |k| (m, k))
         })
+        .collect();
+    let all: Vec<CellResult> = cells
+        .par_iter()
+        .map(|&(m, kind)| {
+            let cfg = OocConfig::new(n, data.width(), m);
+            run_search_workload(&data, cfg, kind, &workload)
+        })
+        .collect();
+    let results: Vec<CellResult> = all
+        .iter()
+        .filter(|r| r.strategy == "RAND")
+        .copied()
+        .collect();
+    let opt_series: Vec<CellResult> = all
+        .iter()
+        .filter(|r| r.strategy == "NextUse")
+        .copied()
         .collect();
 
     println!(
@@ -60,17 +81,41 @@ fn main() {
     );
     let rows: Vec<Vec<String>> = results
         .iter()
-        .map(|r| {
+        .zip(opt_series.iter())
+        .map(|(r, o)| {
             vec![
                 format!("{:.4}", r.n_slots as f64 / n as f64),
                 r.n_slots.to_string(),
                 pct(r.miss_rate),
+                pct(o.miss_rate),
                 r.requests.to_string(),
                 r.misses.to_string(),
             ]
         })
         .collect();
-    print_table(&["f", "slots (m)", "miss rate", "requests", "misses"], &rows);
+    print_table(
+        &[
+            "f",
+            "slots (m)",
+            "miss RAND",
+            "miss NextUse",
+            "requests",
+            "misses",
+        ],
+        &rows,
+    );
+
+    // NextUse is the Belady lower bound: never worse than Random at any m.
+    for (r, o) in results.iter().zip(opt_series.iter()) {
+        assert_eq!(r.n_slots, o.n_slots);
+        assert!(
+            o.miss_rate <= r.miss_rate + 1e-12,
+            "NextUse ({:.4}) must lower-bound RAND ({:.4}) at m={}",
+            o.miss_rate,
+            r.miss_rate,
+            r.n_slots
+        );
+    }
 
     let last = results.last().unwrap();
     println!(
@@ -87,5 +132,5 @@ fn main() {
         );
     }
 
-    write_json(args.string("out", "fig4_results.json"), &results);
+    write_json(args.string("out", "fig4_results.json"), &all);
 }

@@ -109,7 +109,9 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
         // the dataset fits; beyond that the OS pages, modelled next).
         let mut inram = setup::inram_engine(&data);
         let t0 = Instant::now();
-        let lnl_ref = inram.full_traversals(traversals).expect("in-RAM traversal failed");
+        let lnl_ref = inram
+            .full_traversals(traversals)
+            .expect("in-RAM traversal failed");
         let inram_secs = t0.elapsed().as_secs_f64();
         drop(inram);
 
@@ -121,7 +123,9 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
         )
         .expect("failed to create swap file");
         let t0 = Instant::now();
-        let lnl = paged.full_traversals(traversals).expect("paged traversal failed");
+        let lnl = paged
+            .full_traversals(traversals)
+            .expect("paged traversal failed");
         let paged_secs = t0.elapsed().as_secs_f64();
         let paged_faults = paged.store().arena().stats().major_faults;
         assert_eq!(lnl.to_bits(), lnl_ref.to_bits(), "paged must match in-RAM");
@@ -141,7 +145,9 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
             )
             .expect("failed to create backing file");
             let t0 = Instant::now();
-            let l = ooc.full_traversals(traversals).expect("OOC traversal failed");
+            let l = ooc
+                .full_traversals(traversals)
+                .expect("OOC traversal failed");
             ooc_secs[k] = t0.elapsed().as_secs_f64();
             assert_eq!(l.to_bits(), lnl.to_bits(), "results must be identical");
         }
@@ -169,10 +175,7 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
                 p.paged_faults.to_string(),
                 secs(p.ooc_lru_secs),
                 secs(p.ooc_rand_secs),
-                format!(
-                    "{:.2}x",
-                    p.paged_secs / p.ooc_lru_secs.min(p.ooc_rand_secs)
-                ),
+                format!("{:.2}x", p.paged_secs / p.ooc_lru_secs.min(p.ooc_rand_secs)),
             ]
         })
         .collect();
@@ -274,7 +277,10 @@ fn modeled_paper_scale(args: &Args, quick: bool, traversals: usize) {
                 p.standard_faults.to_string(),
                 secs(p.ooc_lru_secs),
                 secs(p.ooc_rand_secs),
-                format!("{:.2}x", p.standard_secs / p.ooc_lru_secs.min(p.ooc_rand_secs)),
+                format!(
+                    "{:.2}x",
+                    p.standard_secs / p.ooc_lru_secs.min(p.ooc_rand_secs)
+                ),
             ]
         })
         .collect();

@@ -9,8 +9,11 @@
 //! cost. The scaled-down real-I/O runs (same binary, `--real`) validate
 //! that the model reproduces the measured shape.
 
-use ooc_core::{DiskModel, ItemId, ModeledStore, NullStore, OocConfig, StrategyKind, VectorManager};
-use pager_sim::{PagedArena, PageStats, PAGE_SIZE};
+use ooc_core::{
+    AccessPlan, AccessRecord, DiskModel, ModeledStore, NullStore, OocConfig, StrategyKind,
+    VectorManager,
+};
+use pager_sim::{PageStats, PagedArena, PAGE_SIZE};
 use phylo_plf::kernels::newview::newview_inner_inner;
 use phylo_plf::kernels::Dims;
 use phylo_tree::traverse::{plan_traversal, Orientation};
@@ -44,6 +47,122 @@ pub fn full_traversal_pattern(tree: &Tree) -> TraversalPattern {
             .map(|s| (s.parent, as_inner(s.left), as_inner(s.right)))
             .collect(),
         n_items: tree.n_inner(),
+    }
+}
+
+impl TraversalPattern {
+    /// Lower the pattern into the residency layer's [`AccessPlan`]: per
+    /// combine, the inner children are read (left, right) before the
+    /// parent is written — the same order [`phylo_tree::traverse::TraversalPlan::lower`]
+    /// produces for the live engine.
+    pub fn access_plan(&self) -> AccessPlan {
+        let mut records = Vec::with_capacity(3 * self.steps.len());
+        for &(parent, left, right) in &self.steps {
+            for i in [left, right].into_iter().flatten() {
+                records.push(AccessRecord::read(i));
+            }
+            records.push(AccessRecord::write(parent));
+        }
+        AccessPlan::from_records(records, self.n_items)
+    }
+}
+
+/// A serialisable mirror of an [`AccessPlan`] (`ooc-core` deliberately has
+/// no serde dependency), for recording access patterns to disk and
+/// replaying them losslessly in a later process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct RecordedPlan {
+    /// Item-space size the plan was recorded against.
+    pub n_items: usize,
+    /// Accesses in plan order.
+    pub records: Vec<RecordedAccess>,
+}
+
+/// One recorded access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct RecordedAccess {
+    /// Item index.
+    pub item: u32,
+    /// True for a write (full overwrite), false for a read.
+    pub write: bool,
+}
+
+impl RecordedPlan {
+    /// Snapshot a live plan.
+    pub fn from_plan(plan: &AccessPlan) -> Self {
+        RecordedPlan {
+            n_items: plan.n_items(),
+            records: plan
+                .records()
+                .iter()
+                .map(|r| RecordedAccess {
+                    item: r.item,
+                    write: r.intent == ooc_core::Intent::Write,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild the live plan (first/last-access analysis is recomputed).
+    pub fn to_plan(&self) -> AccessPlan {
+        AccessPlan::from_records(
+            self.records
+                .iter()
+                .map(|r| {
+                    if r.write {
+                        AccessRecord::write(r.item)
+                    } else {
+                        AccessRecord::read(r.item)
+                    }
+                })
+                .collect(),
+            self.n_items,
+        )
+    }
+
+    /// Lossless line-based text form: `plan <n_items>` followed by one
+    /// `R <item>` / `W <item>` line per record.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(8 * self.records.len() + 16);
+        let _ = writeln!(out, "plan {}", self.n_items);
+        for r in &self.records {
+            let _ = writeln!(out, "{} {}", if r.write { 'W' } else { 'R' }, r.item);
+        }
+        out
+    }
+
+    /// Parse the [`RecordedPlan::to_text`] form back.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty plan text")?;
+        let n_items = header
+            .strip_prefix("plan ")
+            .ok_or_else(|| format!("bad header {header:?}"))?
+            .trim()
+            .parse::<usize>()
+            .map_err(|e| format!("bad n_items: {e}"))?;
+        let mut records = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, item) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad record {line:?}"))?;
+            let item = item
+                .trim()
+                .parse::<u32>()
+                .map_err(|e| format!("bad item in {line:?}: {e}"))?;
+            let write = match kind {
+                "W" => true,
+                "R" => false,
+                other => return Err(format!("bad intent {other:?}")),
+            };
+            records.push(RecordedAccess { item, write });
+        }
+        Ok(RecordedPlan { n_items, records })
     }
 }
 
@@ -82,12 +201,28 @@ pub fn calibrate_newview_secs_per_f64() -> f64 {
     // Warm-up + timed reps.
     let reps = 12;
     newview_inner_inner(
-        &dims, &mut parent, &mut scale_p, &left, &scale, &pm, &right, &scale, &pm,
+        &dims,
+        &mut parent,
+        &mut scale_p,
+        &left,
+        &scale,
+        &pm,
+        &right,
+        &scale,
+        &pm,
     );
     let t0 = Instant::now();
     for _ in 0..reps {
         newview_inner_inner(
-            &dims, &mut parent, &mut scale_p, &left, &scale, &pm, &right, &scale, &pm,
+            &dims,
+            &mut parent,
+            &mut scale_p,
+            &left,
+            &scale,
+            &pm,
+            &right,
+            &scale,
+            &pm,
         );
         std::hint::black_box(&parent);
     }
@@ -110,9 +245,9 @@ pub fn replay_ooc(
     let store = ModeledStore::new(NullStore, disk);
     let mut manager = VectorManager::new(cfg, kind.build(None), store);
 
-    let writes: Vec<ItemId> = pattern.steps.iter().map(|s| s.0).collect();
+    let plan = pattern.access_plan();
     for _ in 0..k {
-        manager.begin_traversal(&writes, &[]);
+        manager.begin_plan(plan.clone());
         for &(parent, left, right) in &pattern.steps {
             manager
                 .with_triple(parent, left, right, |_p, _l, _r| {})
@@ -122,8 +257,7 @@ pub fn replay_ooc(
     let stats = *manager.stats();
     let io_secs = manager.store().clock_secs();
     let io_ops = manager.store().ops();
-    let compute_secs =
-        compute_secs_per_f64 * width as f64 * (pattern.steps.len() * k) as f64;
+    let compute_secs = compute_secs_per_f64 * width as f64 * (pattern.steps.len() * k) as f64;
     (
         ReplayResult {
             io_secs,
@@ -174,8 +308,7 @@ pub fn replay_paged(
     let io_secs = (random as f64 * disk.op_cost_ns(PAGE_SIZE as u64) as f64
         + sequential as f64 * (transfer_ns + disk.seek_ns as f64 / SWAP_CLUSTER))
         / 1e9;
-    let compute_secs =
-        compute_secs_per_f64 * width as f64 * (pattern.steps.len() * k) as f64;
+    let compute_secs = compute_secs_per_f64 * width as f64 * (pattern.steps.len() * k) as f64;
     (
         ReplayResult {
             io_secs,
@@ -251,6 +384,52 @@ mod tests {
         );
         // Identical compute charge.
         assert_eq!(ooc.compute_secs, paged.compute_secs);
+    }
+
+    /// Drive one manager through `k` traversals of `plan` and return its
+    /// final statistics.
+    fn stats_for_plan(plan: &AccessPlan, p: &TraversalPattern, k: usize) -> ooc_core::OocStats {
+        let width = 256;
+        let cfg = OocConfig::with_byte_limit(p.n_items, width, (p.n_items / 4 * width * 8) as u64);
+        let store = ModeledStore::new(NullStore, DiskModel::hdd_2010());
+        let mut manager = VectorManager::new(cfg, StrategyKind::NextUse.build(None), store);
+        for _ in 0..k {
+            manager.begin_plan(plan.clone());
+            for &(parent, left, right) in &p.steps {
+                manager
+                    .with_triple(parent, left, right, |_, _, _| {})
+                    .unwrap();
+            }
+        }
+        *manager.stats()
+    }
+
+    #[test]
+    fn recorded_plan_round_trips_with_identical_stats() {
+        let p = pattern(40);
+        let live = p.access_plan();
+        // record → serialise → parse → rebuild.
+        let recorded = RecordedPlan::from_plan(&live);
+        let text = recorded.to_text();
+        let parsed = RecordedPlan::parse(&text).expect("parse back");
+        assert_eq!(parsed, recorded, "text form is lossless");
+        let rebuilt = parsed.to_plan();
+        assert_eq!(rebuilt.records(), live.records());
+        assert_eq!(rebuilt.write_first_items(), live.write_first_items());
+        // Replaying the rebuilt plan is indistinguishable from the live
+        // one: identical manager statistics, down to hint counters.
+        let a = stats_for_plan(&live, &p, 3);
+        let b = stats_for_plan(&rebuilt, &p, 3);
+        assert_eq!(a, b);
+        assert!(a.plans == 3 && a.requests > 0);
+    }
+
+    #[test]
+    fn recorded_plan_parse_rejects_garbage() {
+        assert!(RecordedPlan::parse("").is_err());
+        assert!(RecordedPlan::parse("plan x\n").is_err());
+        assert!(RecordedPlan::parse("plan 4\nQ 1\n").is_err());
+        assert!(RecordedPlan::parse("plan 4\nR notanum\n").is_err());
     }
 
     #[test]

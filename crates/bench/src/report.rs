@@ -25,7 +25,10 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         out
     };
     println!("{}", line(headers.to_vec()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1))
+    );
     for row in rows {
         println!("{}", line(row.iter().map(|s| s.as_str()).collect()));
     }

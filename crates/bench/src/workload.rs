@@ -8,7 +8,7 @@
 //! f) cell sees the *identical* access request stream — exactly the
 //! property that makes the paper's miss-rate comparison meaningful.
 
-use ooc_core::{MemStore, OocConfig, OocStats, StrategyKind, VectorManager};
+use ooc_core::{AccessPlan, MemStore, OocConfig, OocStats, StrategyKind, VectorManager};
 use phylo_ooc::setup::{build_strategy, Dataset};
 use phylo_plf::{OocStore, PlfEngine};
 use phylo_search::lazy_spr_round;
@@ -68,18 +68,59 @@ pub struct CellResult {
     pub disk_reads: u64,
     /// Store writes.
     pub disk_writes: u64,
+    /// Prefetch hints issued by the plan cursor's lookahead window.
+    pub hints_issued: u64,
+    /// Store reads that had been hinted ahead of time.
+    pub hinted_reads: u64,
+    /// `hinted_reads / hints_issued` — how many hints were consumed.
+    pub hint_precision: f64,
+    /// `hinted_reads / disk_reads` — how many reads were forewarned.
+    pub hint_coverage: f64,
+}
+
+/// How one workload cell participates in the two-pass Belady oracle.
+enum Pass {
+    /// Plain online run (every heuristic strategy).
+    Online,
+    /// Record the access stream of the measured phase.
+    Record,
+    /// Replay with the recorded full-run plan installed as the oracle.
+    Replay(AccessPlan),
 }
 
 /// Run the workload out-of-core with an explicit manager configuration
 /// (callers tweak `read_skipping` etc.) and return the statistics of the
 /// steady-state phase (a warm-up full evaluation is excluded, mirroring
 /// the paper's focus on search-time behaviour).
+///
+/// The NextUse cell runs twice: a recording pass (under LRU) captures the
+/// exact access stream the deterministic workload produces, then the
+/// measured pass replays it with the full-run plan installed as the
+/// manager's oracle — true Belady/OPT replacement, guaranteed to
+/// lower-bound every online strategy on the identical stream (a per-plan
+/// NextUse is greedy across traversal boundaries and measurably is not).
 pub fn run_search_workload(
+    data: &Dataset,
+    cfg: OocConfig,
+    kind: StrategyKind,
+    spec: &WorkloadSpec,
+) -> CellResult {
+    if kind == StrategyKind::NextUse {
+        let (_, recording) = run_cell(data, cfg, StrategyKind::Lru, spec, Pass::Record);
+        let plan = recording.expect("recording pass must yield a plan");
+        run_cell(data, cfg, kind, spec, Pass::Replay(plan)).0
+    } else {
+        run_cell(data, cfg, kind, spec, Pass::Online).0
+    }
+}
+
+fn run_cell(
     data: &Dataset,
     mut cfg: OocConfig,
     kind: StrategyKind,
     spec: &WorkloadSpec,
-) -> CellResult {
+    pass: Pass,
+) -> (CellResult, Option<AccessPlan>) {
     cfg.n_items = data.n_items();
     cfg.width = data.width();
     let (strategy, handle) = build_strategy(kind, &data.tree);
@@ -99,6 +140,11 @@ pub fn run_search_workload(
         .log_likelihood()
         .expect("MemStore workload cannot fail on I/O");
     engine.store_mut().manager_mut().reset_stats();
+    match pass {
+        Pass::Record => engine.store_mut().manager_mut().start_recording(),
+        Pass::Replay(plan) => engine.store_mut().manager_mut().install_oracle_plan(plan),
+        Pass::Online => {}
+    }
 
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut lnl = 0.0;
@@ -116,8 +162,14 @@ pub fn run_search_workload(
         }
     }
 
+    let recorded = engine.store_mut().manager_mut().take_recording();
+    let recording = if recorded.is_empty() {
+        None
+    } else {
+        Some(recorded)
+    };
     let stats: OocStats = *engine.store().manager().stats();
-    CellResult {
+    let cell = CellResult {
         strategy: kind.label(),
         fraction: engine.store().manager().config().n_slots as f64 / data.n_items() as f64,
         n_slots: engine.store().manager().config().n_slots,
@@ -129,16 +181,24 @@ pub fn run_search_workload(
         misses: stats.misses,
         disk_reads: stats.disk_reads,
         disk_writes: stats.disk_writes,
-    }
+        hints_issued: stats.hints_issued,
+        hinted_reads: stats.hinted_reads,
+        hint_precision: stats.hint_precision(),
+        hint_coverage: stats.hint_coverage(),
+    };
+    (cell, recording)
 }
 
-/// The four strategies in the paper's legend order.
-pub fn all_strategies() -> [StrategyKind; 4] {
+/// The four strategies in the paper's legend order, plus NextUse
+/// (Belady's OPT over the submitted access plan) — the lower bound the
+/// heuristics are judged against.
+pub fn all_strategies() -> [StrategyKind; 5] {
     [
         StrategyKind::Topological,
         StrategyKind::Lfu,
         StrategyKind::Random { seed: 1 },
         StrategyKind::Lru,
+        StrategyKind::NextUse,
     ]
 }
 

@@ -12,8 +12,14 @@
 //!   per-item location table, slot pool, pinning, swap orchestration. All
 //!   out-of-core complexity is encapsulated behind vector-access calls,
 //!   mirroring the paper's `getxvector()`.
+//! * [`plan`] — the access-plan IR: the traversal's access pattern as an
+//!   ordered `{item, intent}` sequence with first/last-access analysis,
+//!   consumed by the manager through a plan cursor (read-skip flags,
+//!   windowed lookahead prefetch, plan-aware replacement).
 //! * [`strategy`] — the four replacement strategies evaluated in the paper:
-//!   Random, LRU, LFU and Topological (most-distant-node-in-the-tree).
+//!   Random, LRU, LFU and Topological (most-distant-node-in-the-tree),
+//!   plus NextUse (Belady's OPT over the access plan), the miss-rate
+//!   lower bound the heuristics are judged against.
 //! * [`store`] — backing stores: one binary file with positioned I/O
 //!   ([`store::FileStore`]), several files ([`store::MultiFileStore`],
 //!   §3.2's alternative), in-memory ([`store::MemStore`]) for measuring pure
@@ -34,6 +40,7 @@ pub mod diskmodel;
 pub mod error;
 pub mod fault;
 pub mod manager;
+pub mod plan;
 pub mod prefetch;
 pub mod retry;
 pub mod stats;
@@ -44,7 +51,8 @@ pub mod tiered;
 pub use diskmodel::{DiskModel, ModeledStore};
 pub use error::{OocError, OocOp, OocResult};
 pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats};
-pub use manager::{Intent, ItemId, OocConfig, SlotId, VectorManager};
+pub use manager::{Intent, ItemId, OocConfig, SlotId, VectorManager, DEFAULT_PREFETCH_WINDOW};
+pub use plan::{AccessPlan, AccessRecord, PlanCursor};
 pub use prefetch::PrefetchingStore;
 pub use retry::{RetryPolicy, RetryStats, RetryingStore};
 pub use stats::OocStats;

@@ -9,6 +9,7 @@
 //! statistics collection.
 
 use crate::error::{OocError, OocOp, OocResult};
+use crate::plan::{AccessPlan, AccessRecord, PlanCursor};
 use crate::stats::OocStats;
 use crate::store::BackingStore;
 use crate::strategy::{EvictionView, ReplacementStrategy};
@@ -55,7 +56,15 @@ pub struct OocConfig {
     /// resident — the paper's unconditional swap behaviour (default). Off =
     /// dirty tracking, an ablation this implementation adds.
     pub always_write_back: bool,
+    /// Lookahead window for plan-driven prefetch: keep this many upcoming
+    /// first-read accesses hinted to the store ahead of the plan cursor
+    /// (§5 future work, overlapping I/O with kernel compute). `0` disables
+    /// prefetch hints entirely.
+    pub prefetch_window: usize,
 }
+
+/// Default lookahead window (see [`OocConfig::prefetch_window`]).
+pub const DEFAULT_PREFETCH_WINDOW: usize = 16;
 
 impl OocConfig {
     /// Config with `n_slots` slots and default behaviour flags.
@@ -66,6 +75,7 @@ impl OocConfig {
             n_slots,
             read_skipping: true,
             always_write_back: true,
+            prefetch_window: DEFAULT_PREFETCH_WINDOW,
         }
     }
 
@@ -104,9 +114,23 @@ pub struct VectorManager<S: BackingStore> {
     loc: Vec<Location>,
     /// Store holds valid data for this item.
     materialized: Vec<bool>,
-    /// Next load of this item may skip the store read (set by
-    /// [`VectorManager::begin_traversal`], consumed on first access).
+    /// Next load of this item may skip the store read (derived from the
+    /// plan's write-first analysis by [`VectorManager::begin_plan`],
+    /// consumed on first access).
     skip_read: Vec<bool>,
+    /// Item was hinted to the store and the hint has not been consumed by
+    /// a load yet (prefetch-effectiveness accounting).
+    hinted: Vec<bool>,
+    /// Cursor over the active access plan, if one was submitted.
+    cursor: Option<PlanCursor>,
+    /// When set, every access is appended here (pass one of the two-pass
+    /// Belady oracle used by the benchmarks).
+    recording: Option<Vec<AccessRecord>>,
+    /// Full-run oracle plan and the index of the next access (pass two):
+    /// while installed, the replacement strategy sees *this* plan and a
+    /// position that advances on every access, instead of the
+    /// per-traversal submissions.
+    oracle: Option<(AccessPlan, usize)>,
     strategy: Box<dyn ReplacementStrategy>,
     store: S,
     stats: OocStats,
@@ -132,6 +156,10 @@ impl<S: BackingStore> VectorManager<S> {
             loc: vec![Location::Unmaterialized; cfg.n_items],
             materialized: vec![false; cfg.n_items],
             skip_read: vec![false; cfg.n_items],
+            hinted: vec![false; cfg.n_items],
+            cursor: None,
+            recording: None,
+            oracle: None,
             strategy,
             store,
             cfg,
@@ -174,16 +202,137 @@ impl<S: BackingStore> VectorManager<S> {
         matches!(self.loc[item as usize], Location::InSlot(_))
     }
 
-    /// Announce a traversal: `write_only` items will be fully overwritten on
-    /// their first access (read-skip flags, §3.4), `upcoming_reads` items
-    /// will be read soon (prefetch hint, §5).
+    /// Submit the access plan of an upcoming traversal. The manager derives
+    /// everything from the plan's own analysis instead of trusting
+    /// caller-maintained lists: read-skip flags from the write-first items
+    /// (§3.4), prefetch hints from the read-first items (windowed — only
+    /// the next [`OocConfig::prefetch_window`] upcoming first-reads are
+    /// hinted, the window sliding forward as accesses consume the plan),
+    /// and the plan positions feed any plan-aware replacement strategy
+    /// (NextUse). Submitting a new plan replaces the previous one.
+    pub fn begin_plan(&mut self, plan: AccessPlan) {
+        let window = self.cfg.prefetch_window;
+        self.install_plan(plan, window);
+    }
+
+    /// Legacy flat-list announcement, reimplemented on top of
+    /// [`VectorManager::begin_plan`]: `upcoming_reads` become leading read
+    /// records, `write_only` trailing write records. Callers that know the
+    /// real access order should lower it into an [`AccessPlan`] instead.
     pub fn begin_traversal(&mut self, write_only: &[ItemId], upcoming_reads: &[ItemId]) {
-        for &item in write_only {
+        let records: Vec<AccessRecord> = upcoming_reads
+            .iter()
+            .map(|&i| AccessRecord::read(i))
+            .chain(write_only.iter().map(|&i| AccessRecord::write(i)))
+            .collect();
+        let plan = AccessPlan::from_records(records, self.cfg.n_items);
+        // Flat lists carry no ordering information worth windowing over:
+        // hint every upcoming read at once, like the pre-plan interface.
+        let window = self.cfg.prefetch_window.max(upcoming_reads.len());
+        self.install_plan(plan, window);
+    }
+
+    /// Record every subsequent access (item and intent, in order) until
+    /// [`VectorManager::take_recording`] — pass one of the two-pass Belady
+    /// oracle: the recorded stream of a deterministic workload is the
+    /// exact future an identical re-run will produce.
+    pub fn start_recording(&mut self) {
+        self.recording = Some(Vec::new());
+    }
+
+    /// Stop recording and return the recorded access stream as a plan
+    /// (empty if recording was never started).
+    pub fn take_recording(&mut self) -> AccessPlan {
+        let records = self.recording.take().unwrap_or_default();
+        AccessPlan::from_records(records, self.cfg.n_items)
+    }
+
+    /// Install a full-run oracle plan — pass two: replay the workload whose
+    /// access stream `plan` holds (recorded via
+    /// [`VectorManager::start_recording`] on an identical run). The
+    /// replacement strategy sees this plan with a position that advances on
+    /// every access, while per-traversal [`VectorManager::begin_plan`]
+    /// submissions keep driving read skipping and prefetch only. With the
+    /// NextUse strategy this is true Belady/OPT replacement: every
+    /// eviction knows the complete future, so its miss rate lower-bounds
+    /// every online strategy on the same stream.
+    pub fn install_oracle_plan(&mut self, plan: AccessPlan) {
+        assert!(
+            plan.n_items() <= self.cfg.n_items,
+            "oracle plan geometry ({}) exceeds manager geometry ({})",
+            plan.n_items(),
+            self.cfg.n_items
+        );
+        self.strategy.on_plan(&plan);
+        self.strategy.on_plan_pos(0);
+        self.oracle = Some((plan, 0));
+    }
+
+    fn install_plan(&mut self, plan: AccessPlan, window: usize) {
+        assert!(
+            plan.n_items() <= self.cfg.n_items,
+            "plan geometry ({}) exceeds manager geometry ({})",
+            plan.n_items(),
+            self.cfg.n_items
+        );
+        self.stats.plans += 1;
+        // Flags from an abandoned plan must not leak into this one.
+        self.skip_read.fill(false);
+        self.hinted.fill(false);
+        for &item in plan.write_first_items() {
             self.skip_read[item as usize] = true;
         }
-        if !upcoming_reads.is_empty() {
-            self.store.hint(upcoming_reads);
+        // An installed full-run oracle outranks per-traversal plans for
+        // replacement decisions; the strategy keeps following it.
+        if self.oracle.is_none() {
+            self.strategy.on_plan(&plan);
         }
+        let mut cursor = PlanCursor::new(plan);
+        let hints = cursor.collect_hints(window);
+        self.issue_hints(&hints);
+        self.cursor = Some(cursor);
+    }
+
+    fn issue_hints(&mut self, hints: &[ItemId]) {
+        if hints.is_empty() {
+            return;
+        }
+        self.stats.hints_issued += hints.len() as u64;
+        for &item in hints {
+            self.hinted[item as usize] = true;
+        }
+        self.store.hint(hints);
+    }
+
+    /// Walk the plan cursor past this access, notify the strategy of the
+    /// new position and top the prefetch window back up. Recording and the
+    /// full-run oracle position piggyback on the same chokepoint: every
+    /// access flows through here exactly once.
+    fn advance_plan(&mut self, item: ItemId, intent: Intent) {
+        if let Some(log) = &mut self.recording {
+            log.push(AccessRecord { item, intent });
+        }
+        if let Some((plan, pos)) = &mut self.oracle {
+            debug_assert!(
+                *pos >= plan.len() || plan.records()[*pos].item == item,
+                "oracle replay drift at position {pos}: planned item {}, got {item}",
+                plan.records()[*pos].item,
+            );
+            *pos += 1;
+            self.strategy.on_plan_pos(*pos);
+        }
+        let Some(cursor) = self.cursor.as_mut() else {
+            return;
+        };
+        if cursor.advance(item).is_none() {
+            return; // off-plan access; cursor holds its position
+        }
+        let pos = cursor.pos();
+        let hints = cursor.collect_hints(self.cfg.prefetch_window);
+        if self.oracle.is_none() {
+            self.strategy.on_plan_pos(pos);
+        }
+        self.issue_hints(&hints);
     }
 
     /// Ensure `item` is resident and return its slot. The paper's
@@ -196,6 +345,7 @@ impl<S: BackingStore> VectorManager<S> {
     /// store — either way every later access sees consistent state.
     fn ensure_resident(&mut self, item: ItemId, intent: Intent) -> OocResult<SlotId> {
         self.stats.requests += 1;
+        self.advance_plan(item, intent);
         if let Location::InSlot(slot) = self.loc[item as usize] {
             self.stats.hits += 1;
             self.strategy.on_access(item, slot);
@@ -253,6 +403,10 @@ impl<S: BackingStore> VectorManager<S> {
                     })?;
                     self.stats.disk_reads += 1;
                     self.stats.bytes_read += self.cfg.width as u64 * 8;
+                    if self.hinted[item as usize] {
+                        self.hinted[item as usize] = false;
+                        self.stats.hinted_reads += 1;
+                    }
                 }
             }
             Location::InSlot(_) => unreachable!("load called on resident item"),
@@ -644,8 +798,7 @@ mod tests {
         // Dirty tracking: reading items back evicts clean copies silently.
         let mut cfg = OocConfig::new(6, 4, 3);
         cfg.always_write_back = false;
-        let mut mgr2 =
-            VectorManager::new(cfg, StrategyKind::Lru.build(None), MemStore::new(6, 4));
+        let mut mgr2 = VectorManager::new(cfg, StrategyKind::Lru.build(None), MemStore::new(6, 4));
         for item in 0..6 {
             mgr2.write_vector(item, &fill(item, 4)).unwrap();
         }
@@ -837,6 +990,280 @@ mod tests {
             p.fill(1.0);
         })
         .unwrap();
+    }
+
+    /// A store that records every hint batch it receives, for asserting
+    /// the plan cursor's lookahead behaviour.
+    struct HintRecordingStore {
+        inner: MemStore,
+        hints: std::rc::Rc<std::cell::RefCell<Vec<Vec<ItemId>>>>,
+    }
+
+    impl crate::store::BackingStore for HintRecordingStore {
+        fn read(&mut self, item: ItemId, buf: &mut [f64]) -> std::io::Result<()> {
+            self.inner.read(item, buf)
+        }
+        fn write(&mut self, item: ItemId, buf: &[f64]) -> std::io::Result<()> {
+            self.inner.write(item, buf)
+        }
+        fn hint(&mut self, upcoming: &[ItemId]) {
+            self.hints.borrow_mut().push(upcoming.to_vec());
+        }
+    }
+
+    type HintLog = std::rc::Rc<std::cell::RefCell<Vec<Vec<ItemId>>>>;
+
+    fn hinting_manager(
+        n: usize,
+        m: usize,
+        width: usize,
+        window: usize,
+    ) -> (VectorManager<HintRecordingStore>, HintLog) {
+        let hints = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let store = HintRecordingStore {
+            inner: MemStore::new(n, width),
+            hints: hints.clone(),
+        };
+        let mut cfg = OocConfig::new(n, width, m);
+        cfg.prefetch_window = window;
+        let mgr = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
+        (mgr, hints)
+    }
+
+    #[test]
+    fn begin_plan_derives_skip_flags_from_write_first() {
+        use crate::plan::{AccessPlan, AccessRecord};
+        let mut mgr = manager(10, 3, 8);
+        for item in 0..10 {
+            mgr.write_vector(item, &fill(item, 8)).unwrap();
+        }
+        // Item 4 is written before it is read; item 1 is read first.
+        let plan = AccessPlan::from_records(
+            vec![
+                AccessRecord::read(1),
+                AccessRecord::write(4),
+                AccessRecord::read(4),
+            ],
+            10,
+        );
+        mgr.begin_plan(plan);
+        let before = *mgr.stats();
+        let mut buf = vec![0.0; 8];
+        // Read-intent access to 4 skips the store read: the plan promises
+        // the traversal overwrites it first.
+        mgr.read_into(4, &mut buf).unwrap();
+        assert_eq!(mgr.stats().since(&before).skipped_reads, 1);
+        // Item 1 is read-first: a real store read.
+        let before = *mgr.stats();
+        mgr.read_into(1, &mut buf).unwrap();
+        let d = mgr.stats().since(&before);
+        assert_eq!(d.disk_reads, 1);
+        assert_eq!(d.skipped_reads, 0);
+        assert_eq!(mgr.stats().plans, 1);
+    }
+
+    #[test]
+    fn begin_plan_hints_slide_with_cursor() {
+        use crate::plan::{AccessPlan, AccessRecord};
+        let (n, m, w) = (12usize, 3usize, 4usize);
+        let (mut mgr, hints) = hinting_manager(n, m, w, 2);
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        hints.borrow_mut().clear();
+        // Plan: read 0..6 in order. Window 2 → initial hint {0,1}; each
+        // advance slides the window forward by the first-reads passed.
+        let plan = AccessPlan::from_records((0..6).map(AccessRecord::read).collect(), n);
+        mgr.begin_plan(plan);
+        assert_eq!(hints.borrow().as_slice(), &[vec![0, 1]]);
+        let mut buf = vec![0.0; w];
+        mgr.read_into(0, &mut buf).unwrap();
+        assert_eq!(hints.borrow().last().unwrap(), &vec![2]);
+        mgr.read_into(1, &mut buf).unwrap();
+        assert_eq!(hints.borrow().last().unwrap(), &vec![3]);
+        // Off-plan access: the cursor (and window) must not move.
+        let n_batches = hints.borrow().len();
+        mgr.read_into(11, &mut buf).unwrap();
+        assert_eq!(hints.borrow().len(), n_batches);
+        // hinted_reads counts the store reads that had been hinted; items
+        // 0 and 1 were evicted before the plan (m=3) and hinted, so their
+        // demand loads count.
+        assert!(mgr.stats().hinted_reads >= 2);
+        assert_eq!(mgr.stats().hints_issued, 4);
+    }
+
+    #[test]
+    fn begin_plan_replaces_stale_plan_state() {
+        use crate::plan::{AccessPlan, AccessRecord};
+        let mut mgr = manager(10, 3, 8);
+        for item in 0..10 {
+            mgr.write_vector(item, &fill(item, 8)).unwrap();
+        }
+        // First plan marks 4 write-first, but is abandoned.
+        mgr.begin_plan(AccessPlan::from_records(vec![AccessRecord::write(4)], 10));
+        // Second plan reads 4: the stale skip flag must be cleared.
+        mgr.begin_plan(AccessPlan::from_records(vec![AccessRecord::read(4)], 10));
+        let before = *mgr.stats();
+        let mut buf = vec![0.0; 8];
+        mgr.read_into(4, &mut buf).unwrap();
+        let d = mgr.stats().since(&before);
+        assert_eq!(d.disk_reads, 1, "stale write-first flag must not leak");
+        assert_eq!(d.skipped_reads, 0);
+        assert_eq!(buf, fill(4, 8));
+    }
+
+    #[test]
+    fn next_use_strategy_follows_plan_end_to_end() {
+        use crate::plan::{AccessPlan, AccessRecord};
+        let (n, m, w) = (8usize, 3usize, 4usize);
+        let mut mgr = VectorManager::new(
+            OocConfig::new(n, w, m),
+            StrategyKind::NextUse.build(None),
+            MemStore::new(n, w),
+        );
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        // Residents now are the last three written: 5, 6, 7.
+        // Plan: 5 and 6 are reused immediately, 7 much later. Belady must
+        // evict 7 when 0 is loaded.
+        let plan = AccessPlan::from_records(
+            vec![
+                AccessRecord::read(5),
+                AccessRecord::read(6),
+                AccessRecord::read(0),
+                AccessRecord::read(5),
+                AccessRecord::read(6),
+                AccessRecord::read(7),
+            ],
+            n,
+        );
+        mgr.begin_plan(plan);
+        let mut buf = vec![0.0; w];
+        mgr.read_into(5, &mut buf).unwrap();
+        mgr.read_into(6, &mut buf).unwrap();
+        mgr.read_into(0, &mut buf).unwrap(); // must evict 7 (farthest use)
+        assert!(!mgr.is_resident(7), "Belady evicts the farthest next use");
+        assert!(mgr.is_resident(5) && mgr.is_resident(6));
+        // The rest of the plan: 5 and 6 hit, 7 misses once.
+        let before = *mgr.stats();
+        mgr.read_into(5, &mut buf).unwrap();
+        mgr.read_into(6, &mut buf).unwrap();
+        mgr.read_into(7, &mut buf).unwrap();
+        let d = mgr.stats().since(&before);
+        assert_eq!(d.hits, 2);
+        assert_eq!(d.misses, 1);
+        assert_eq!(buf, fill(7, w));
+    }
+
+    #[test]
+    fn recording_captures_the_access_stream() {
+        let mut mgr = manager(6, 3, 4);
+        for item in 0..6 {
+            mgr.write_vector(item, &fill(item, 4)).unwrap();
+        }
+        mgr.start_recording();
+        let mut buf = vec![0.0; 4];
+        mgr.read_into(1, &mut buf).unwrap();
+        mgr.write_vector(2, &fill(2, 4)).unwrap();
+        mgr.read_into(1, &mut buf).unwrap();
+        let plan = mgr.take_recording();
+        use crate::plan::AccessRecord;
+        assert_eq!(
+            plan.records(),
+            &[
+                AccessRecord::read(1),
+                AccessRecord::write(2),
+                AccessRecord::read(1),
+            ]
+        );
+        assert!(
+            mgr.take_recording().is_empty(),
+            "taking the recording stops it"
+        );
+    }
+
+    #[test]
+    fn oracle_plan_carries_next_use_across_traversal_boundaries() {
+        use crate::plan::{AccessPlan, AccessRecord};
+        // The stream spans two traversals: the first touches 0,1,2,3,5;
+        // the second re-reads 0. At the eviction (loading 5 with items
+        // 0,1,2,3 resident and four slots) a per-plan NextUse sees every
+        // candidate as never-used-again and falls back to LRU, evicting 0
+        // — exactly the vector the next traversal needs. The full-run
+        // oracle knows better and keeps 0.
+        let traversal1 = || {
+            vec![
+                AccessRecord::read(0),
+                AccessRecord::read(1),
+                AccessRecord::read(2),
+                AccessRecord::read(3),
+                AccessRecord::read(5),
+            ]
+        };
+        let full_stream = {
+            let mut r = traversal1();
+            r.push(AccessRecord::read(0));
+            AccessPlan::from_records(r, 6)
+        };
+        let run = |oracle: Option<AccessPlan>| {
+            let mut mgr = VectorManager::new(
+                OocConfig::new(6, 4, 4),
+                StrategyKind::NextUse.build(None),
+                MemStore::new(6, 4),
+            );
+            for item in 0..6 {
+                mgr.write_vector(item, &fill(item, 4)).unwrap();
+            }
+            // Make 0,1,2,3 the residents, oldest-first for LRU.
+            let mut buf = vec![0.0; 4];
+            for item in 0..4 {
+                mgr.read_into(item, &mut buf).unwrap();
+            }
+            if let Some(plan) = oracle {
+                mgr.install_oracle_plan(plan);
+            }
+            // Per-traversal submission happens either way (skip flags and
+            // hints always come from it; only replacement is overridden).
+            mgr.begin_plan(AccessPlan::from_records(traversal1(), 6));
+            for item in [0, 1, 2, 3, 5] {
+                mgr.read_into(item, &mut buf).unwrap();
+            }
+            mgr.begin_plan(AccessPlan::from_records(vec![AccessRecord::read(0)], 6));
+            mgr.is_resident(0)
+        };
+        assert!(
+            !run(None),
+            "per-plan NextUse greedily evicts 0 at the plan boundary"
+        );
+        // The oracle stream starts where the replay starts: the residency
+        // warm-up happened before install, exactly like the benchmarks.
+        assert!(run(Some(full_stream)), "the oracle keeps 0 resident");
+    }
+
+    #[test]
+    fn legacy_begin_traversal_hints_all_reads_upfront() {
+        let (n, m, w) = (10usize, 3usize, 4usize);
+        let (mut mgr, hints) = hinting_manager(n, m, w, 1);
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        hints.borrow_mut().clear();
+        // The shim widens the window to cover every upcoming read at once,
+        // preserving the pre-plan hint-everything behaviour.
+        mgr.begin_traversal(&[8, 9], &[0, 1, 2, 3]);
+        assert_eq!(hints.borrow().as_slice(), &[vec![0, 1, 2, 3]]);
+        // Write-only items still get the skip flag: reading the plan's
+        // reads evicts 8, and its next (read-intent) access skips the
+        // store read because the traversal promised to overwrite it.
+        let mut buf = vec![0.0; w];
+        for item in 0..4u32 {
+            mgr.read_into(item, &mut buf).unwrap();
+        }
+        assert!(!mgr.is_resident(8));
+        let before = *mgr.stats();
+        mgr.read_into(8, &mut buf).unwrap();
+        assert_eq!(mgr.stats().since(&before).skipped_reads, 1);
     }
 
     #[test]

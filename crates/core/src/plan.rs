@@ -1,0 +1,332 @@
+//! The access-plan IR: the traversal's vector access pattern as data.
+//!
+//! The paper's central observation is that the PLF's access pattern is
+//! known *before* any likelihood math runs (§3.3–3.4): read skipping and
+//! replacement decisions can both be derived from the upcoming traversal.
+//! [`AccessPlan`] captures that pattern as an ordered sequence of
+//! `{item, intent}` records with the first/last-access analysis computed
+//! once at construction. Every layer speaks this IR: the tree crate lowers
+//! a `TraversalPlan` into it, the engine submits it, and the
+//! [`crate::VectorManager`] consumes it through a [`PlanCursor`] that
+//! derives read-skip flags, drives windowed lookahead prefetch and feeds
+//! the `NextUse` (Belady/OPT) replacement strategy.
+
+use crate::manager::{Intent, ItemId};
+
+/// One planned vector access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// The vector being accessed.
+    pub item: ItemId,
+    /// Whether the access reads existing contents or fully overwrites them.
+    pub intent: Intent,
+}
+
+impl AccessRecord {
+    /// A read access.
+    pub fn read(item: ItemId) -> Self {
+        AccessRecord {
+            item,
+            intent: Intent::Read,
+        }
+    }
+
+    /// A full-overwrite access.
+    pub fn write(item: ItemId) -> Self {
+        AccessRecord {
+            item,
+            intent: Intent::Write,
+        }
+    }
+}
+
+/// An ordered access sequence plus the per-item analysis computed once:
+/// sorted access positions, and the first-access partition into
+/// *write-first* items (their first access overwrites them — the read-skip
+/// set of §3.4) and *read-first* items (their first access needs valid
+/// data from the store — the prefetch candidates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPlan {
+    records: Vec<AccessRecord>,
+    n_items: usize,
+    /// Per item: indices into `records`, ascending. Items never accessed
+    /// have an empty list.
+    positions: Vec<Vec<u32>>,
+    /// Items whose first access is a write, in first-access order.
+    write_first: Vec<ItemId>,
+    /// Items whose first access is a read, in first-access order.
+    read_first: Vec<ItemId>,
+}
+
+impl AccessPlan {
+    /// Build a plan over items `0..n_items`, computing the first-access
+    /// analysis and per-item position lists. Panics if a record references
+    /// an item outside the geometry.
+    pub fn from_records(records: Vec<AccessRecord>, n_items: usize) -> Self {
+        let mut positions = vec![Vec::new(); n_items];
+        let mut write_first = Vec::new();
+        let mut read_first = Vec::new();
+        for (idx, rec) in records.iter().enumerate() {
+            let i = rec.item as usize;
+            assert!(i < n_items, "plan record for item {i} >= n_items {n_items}");
+            if positions[i].is_empty() {
+                match rec.intent {
+                    Intent::Write => write_first.push(rec.item),
+                    Intent::Read => read_first.push(rec.item),
+                }
+            }
+            positions[i].push(idx as u32);
+        }
+        AccessPlan {
+            records,
+            n_items,
+            positions,
+            write_first,
+            read_first,
+        }
+    }
+
+    /// The ordered access records.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
+    }
+
+    /// Number of records in the plan.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the plan contains no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Geometry the plan was built for.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Items whose first access is a write (the read-skip set), in
+    /// first-access order.
+    pub fn write_first_items(&self) -> &[ItemId] {
+        &self.write_first
+    }
+
+    /// Items whose first access is a read (the prefetch candidates), in
+    /// first-access order.
+    pub fn read_first_items(&self) -> &[ItemId] {
+        &self.read_first
+    }
+
+    /// Sorted record indices at which `item` is accessed.
+    pub fn positions_of(&self, item: ItemId) -> &[u32] {
+        &self.positions[item as usize]
+    }
+
+    /// Index and intent of the first access of `item`, if any.
+    pub fn first_access(&self, item: ItemId) -> Option<(usize, Intent)> {
+        let &idx = self.positions[item as usize].first()?;
+        Some((idx as usize, self.records[idx as usize].intent))
+    }
+
+    /// Index of the last access of `item`, if any.
+    pub fn last_access(&self, item: ItemId) -> Option<usize> {
+        self.positions[item as usize].last().map(|&i| i as usize)
+    }
+
+    /// First record index `>= pos` that accesses `item`, if any. Used both
+    /// by the cursor and by the NextUse strategy's farthest-next-use query.
+    pub fn next_use_after(&self, item: ItemId, pos: usize) -> Option<usize> {
+        let positions = self.positions.get(item as usize)?;
+        let at = positions.partition_point(|&p| (p as usize) < pos);
+        positions.get(at).map(|&p| p as usize)
+    }
+
+    /// Is record `idx` the first access of its item, with Read intent?
+    /// These are exactly the accesses that pay a store read; the cursor
+    /// hints them ahead of time.
+    fn is_first_read(&self, idx: usize) -> bool {
+        let rec = self.records[idx];
+        rec.intent == Intent::Read
+            && self.positions[rec.item as usize].first() == Some(&(idx as u32))
+    }
+}
+
+/// Walks an [`AccessPlan`] as the manager serves requests, keeping a
+/// lookahead window of prefetch hints ahead of the current position.
+///
+/// The cursor is tolerant of off-plan accesses (an item with no remaining
+/// planned use leaves the position unchanged) so interleaved ad-hoc reads —
+/// debug probes, repeated branch-length evaluations — cannot derail it.
+#[derive(Debug)]
+pub struct PlanCursor {
+    plan: AccessPlan,
+    /// Index of the next unconsumed record.
+    pos: usize,
+    /// Records before this index have been considered for hinting.
+    hinted_upto: usize,
+    /// Hinted first-read records still ahead of `pos`.
+    hints_ahead: usize,
+}
+
+impl PlanCursor {
+    /// Start a cursor at the beginning of `plan`.
+    pub fn new(plan: AccessPlan) -> Self {
+        PlanCursor {
+            plan,
+            pos: 0,
+            hinted_upto: 0,
+            hints_ahead: 0,
+        }
+    }
+
+    /// The plan being walked.
+    pub fn plan(&self) -> &AccessPlan {
+        &self.plan
+    }
+
+    /// Index of the next unconsumed record.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// True once every record has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.plan.len()
+    }
+
+    /// Consume the next planned use of `item` at or after the current
+    /// position, returning its record index. Returns `None` — leaving the
+    /// position unchanged — if the plan holds no further use of `item`
+    /// (an off-plan access).
+    pub fn advance(&mut self, item: ItemId) -> Option<usize> {
+        let next = self.plan.next_use_after(item, self.pos)?;
+        for idx in self.pos..=next {
+            if idx < self.hinted_upto && self.plan.is_first_read(idx) {
+                self.hints_ahead = self.hints_ahead.saturating_sub(1);
+            }
+        }
+        self.pos = next + 1;
+        Some(next)
+    }
+
+    /// Top the lookahead window back up to `window` hinted first-reads
+    /// ahead of the current position, returning the newly hintable items
+    /// (empty when the window is already full or the plan has no further
+    /// first-reads).
+    pub fn collect_hints(&mut self, window: usize) -> Vec<ItemId> {
+        let mut out = Vec::new();
+        while self.hints_ahead < window && self.hinted_upto < self.plan.len() {
+            let idx = self.hinted_upto;
+            self.hinted_upto += 1;
+            if idx >= self.pos && self.plan.is_first_read(idx) {
+                out.push(self.plan.records()[idx].item);
+                self.hints_ahead += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(records: &[(u32, Intent)], n: usize) -> AccessPlan {
+        AccessPlan::from_records(
+            records
+                .iter()
+                .map(|&(item, intent)| AccessRecord { item, intent })
+                .collect(),
+            n,
+        )
+    }
+
+    use Intent::{Read as R, Write as W};
+
+    #[test]
+    fn first_access_partition() {
+        // 3 read-first, 1 write-first; 3 is later written but read first.
+        let p = plan(&[(3, R), (0, W), (3, R), (3, W), (1, R)], 5);
+        assert_eq!(p.write_first_items(), &[0]);
+        assert_eq!(p.read_first_items(), &[3, 1]);
+        assert_eq!(p.first_access(3), Some((0, R)));
+        assert_eq!(p.last_access(3), Some(3));
+        assert_eq!(p.first_access(4), None);
+    }
+
+    #[test]
+    fn next_use_queries() {
+        let p = plan(&[(2, R), (0, W), (2, R), (1, W)], 3);
+        assert_eq!(p.next_use_after(2, 0), Some(0));
+        assert_eq!(p.next_use_after(2, 1), Some(2));
+        assert_eq!(p.next_use_after(2, 3), None);
+        assert_eq!(p.next_use_after(1, 0), Some(3));
+        assert_eq!(p.positions_of(2), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_items")]
+    fn out_of_geometry_record_rejected() {
+        let _ = plan(&[(7, R)], 3);
+    }
+
+    #[test]
+    fn cursor_follows_in_order_accesses() {
+        let p = plan(&[(2, R), (1, R), (0, W), (3, W)], 4);
+        let mut c = PlanCursor::new(p);
+        assert_eq!(c.advance(2), Some(0));
+        assert_eq!(c.advance(1), Some(1));
+        assert_eq!(c.advance(0), Some(2));
+        assert_eq!(c.advance(3), Some(3));
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn cursor_tolerates_off_plan_accesses() {
+        let p = plan(&[(0, R), (1, W)], 3);
+        let mut c = PlanCursor::new(p);
+        assert_eq!(c.advance(2), None, "item 2 is not in the plan");
+        assert_eq!(c.pos(), 0, "off-plan access must not move the cursor");
+        assert_eq!(c.advance(0), Some(0));
+        assert_eq!(c.advance(0), None, "no second use of item 0");
+        assert_eq!(c.advance(1), Some(1));
+    }
+
+    #[test]
+    fn hint_window_slides_with_cursor() {
+        // First-reads at records 0, 2, 4; writes elsewhere.
+        let p = plan(&[(0, R), (5, W), (1, R), (6, W), (2, R)], 8);
+        let mut c = PlanCursor::new(p);
+        // Window of 2: hint the first two upcoming first-reads.
+        assert_eq!(c.collect_hints(2), vec![0, 1]);
+        assert_eq!(c.collect_hints(2), Vec::<u32>::new(), "window full");
+        // Consuming record 0 (a hinted first-read) frees one window slot.
+        assert_eq!(c.advance(0), Some(0));
+        assert_eq!(c.collect_hints(2), vec![2]);
+        // All first-reads hinted; nothing more to give.
+        c.advance(5);
+        assert_eq!(c.collect_hints(2), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn hint_window_skips_repeat_reads_and_writes() {
+        // Item 0 read twice: only the first read is a prefetch candidate
+        // (the second is covered by residency, not the store).
+        let p = plan(&[(0, R), (1, W), (0, R), (2, R)], 4);
+        let mut c = PlanCursor::new(p);
+        assert_eq!(c.collect_hints(10), vec![0, 2]);
+    }
+
+    #[test]
+    fn skipped_records_do_not_stall_the_window() {
+        let p = plan(&[(0, R), (1, R), (2, R), (3, R)], 4);
+        let mut c = PlanCursor::new(p);
+        assert_eq!(c.collect_hints(1), vec![0]);
+        // Jump straight to item 3: records 0–2 are consumed in passing,
+        // including the hinted-but-never-used record 0.
+        assert_eq!(c.advance(3), Some(3));
+        assert_eq!(c.collect_hints(1), Vec::<u32>::new(), "plan exhausted");
+        assert!(c.is_exhausted());
+    }
+}

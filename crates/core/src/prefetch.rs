@@ -26,6 +26,10 @@ struct Staging {
     /// Bumped on every write to the item; a prefetch result is only
     /// accepted if the version it started from is still current.
     versions: Vec<u64>,
+    /// Hinted items the worker has not finished processing yet. A demand
+    /// read that misses the cache but finds its item here arrived *before*
+    /// the prefetch completed — the hint was issued too late.
+    pending: std::collections::HashSet<ItemId>,
 }
 
 /// Counters for prefetch effectiveness.
@@ -41,6 +45,15 @@ pub struct PrefetchStats {
     pub discarded: AtomicU64,
     /// Hinted items ignored because they were outside the store geometry.
     pub dropped_hints: AtomicU64,
+    /// Demand reads that missed the cache while their prefetch was still
+    /// pending — the hint arrived too late to hide any latency. A high
+    /// count argues for a larger lookahead window `K`.
+    pub hinted_too_late: AtomicU64,
+    /// Staged copies thrown away because the item was written before the
+    /// staged data was ever read (hinted-but-evicted-before-use). A high
+    /// count argues for a *smaller* window: vectors are being prefetched
+    /// so far ahead that they are overwritten before use.
+    pub staged_invalidated: AtomicU64,
     /// Hint batches handed to the worker.
     pub batches_submitted: AtomicU64,
     /// Hint batches the worker finished processing.
@@ -77,6 +90,7 @@ impl<S: BackingStore> PrefetchingStore<S> {
         let staging = Arc::new(Mutex::new(Staging {
             cache: std::collections::HashMap::new(),
             versions: vec![0; n_items],
+            pending: std::collections::HashSet::new(),
         }));
         let stats = Arc::new(PrefetchStats::default());
         let alive = Arc::new(AtomicBool::new(true));
@@ -92,7 +106,7 @@ impl<S: BackingStore> PrefetchingStore<S> {
                 while let Ok(batch) = receiver.recv() {
                     for item in batch {
                         let version = {
-                            let st = staging.lock();
+                            let mut st = staging.lock();
                             if item as usize >= st.versions.len() {
                                 // Out-of-geometry hint: ignore it rather
                                 // than letting an index panic kill the
@@ -101,21 +115,24 @@ impl<S: BackingStore> PrefetchingStore<S> {
                                 continue;
                             }
                             if st.cache.contains_key(&item) {
+                                st.pending.remove(&item);
                                 continue; // already staged
                             }
                             st.versions[item as usize]
                         };
                         if store.read(item, &mut buf).is_err() {
-                            continue; // e.g. never materialised; demand path decides
+                            // e.g. never materialised; demand path decides
+                            staging.lock().pending.remove(&item);
+                            continue;
                         }
                         let mut st = staging.lock();
                         if st.versions[item as usize] == version {
-                            st.cache
-                                .insert(item, buf.clone().into_boxed_slice());
+                            st.cache.insert(item, buf.clone().into_boxed_slice());
                             stats.prefetched.fetch_add(1, Ordering::Relaxed);
                         } else {
                             stats.discarded.fetch_add(1, Ordering::Relaxed);
                         }
+                        st.pending.remove(&item);
                     }
                     // Release-publish after the staging inserts so a drain()
                     // that observes the count also observes the cache state.
@@ -164,10 +181,16 @@ impl<S: BackingStore> PrefetchingStore<S> {
 
 impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
-        if let Some(staged) = self.staging.lock().cache.remove(&item) {
-            buf.copy_from_slice(&staged);
-            self.stats.staged_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(());
+        {
+            let mut st = self.staging.lock();
+            if let Some(staged) = st.cache.remove(&item) {
+                buf.copy_from_slice(&staged);
+                self.stats.staged_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            if st.pending.contains(&item) {
+                self.stats.hinted_too_late.fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.stats.staged_misses.fetch_add(1, Ordering::Relaxed);
         self.main.read(item, buf)
@@ -179,15 +202,35 @@ impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
             if let Some(v) = st.versions.get_mut(item as usize) {
                 *v += 1;
             }
-            st.cache.remove(&item);
+            if st.cache.remove(&item).is_some() {
+                self.stats
+                    .staged_invalidated
+                    .fetch_add(1, Ordering::Relaxed);
+            }
         }
         self.main.write(item, buf)
     }
 
     fn hint(&mut self, upcoming: &[ItemId]) {
         if let Some(sender) = &self.sender {
+            {
+                // Record in-geometry hints as pending before the worker can
+                // possibly see them, so a demand read racing the worker is
+                // classified as hinted-too-late rather than unhinted.
+                let mut st = self.staging.lock();
+                let n = st.versions.len();
+                st.pending
+                    .extend(upcoming.iter().filter(|&&i| (i as usize) < n));
+            }
             if sender.send(upcoming.to_vec()).is_ok() {
                 self.stats.batches_submitted.fetch_add(1, Ordering::Release);
+            } else {
+                // Worker gone: nothing will ever resolve these hints, so
+                // they must not linger as "pending" and skew the counters.
+                let mut st = self.staging.lock();
+                for item in upcoming {
+                    st.pending.remove(item);
+                }
             }
         }
     }

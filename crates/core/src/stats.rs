@@ -35,6 +35,16 @@ pub struct OocStats {
     /// Store operations that surfaced an I/O error to the caller (after
     /// any retry layer below the manager had its chance).
     pub io_errors: u64,
+    /// Access plans submitted ([`crate::VectorManager::begin_plan`]).
+    pub plans: u64,
+    /// Prefetch hints issued to the store by the plan cursor's lookahead
+    /// window (one per hinted item).
+    pub hints_issued: u64,
+    /// Store reads whose item had been hinted beforehand — the demand
+    /// reads a prefetch layer had a chance to stage. `hinted_reads /
+    /// hints_issued` close to 1 means the lookahead window is neither
+    /// stale nor wasted.
+    pub hinted_reads: u64,
 }
 
 impl OocStats {
@@ -92,6 +102,29 @@ impl OocStats {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             io_errors: self.io_errors - earlier.io_errors,
+            plans: self.plans - earlier.plans,
+            hints_issued: self.hints_issued - earlier.hints_issued,
+            hinted_reads: self.hinted_reads - earlier.hinted_reads,
+        }
+    }
+
+    /// Fraction of issued hints that were followed by an actual store read
+    /// of the hinted item (hint precision), in `[0, 1]`.
+    pub fn hint_precision(&self) -> f64 {
+        if self.hints_issued == 0 {
+            0.0
+        } else {
+            self.hinted_reads as f64 / self.hints_issued as f64
+        }
+    }
+
+    /// Fraction of store reads that were hinted ahead of time (hint
+    /// coverage — the reads a prefetch thread could have staged).
+    pub fn hint_coverage(&self) -> f64 {
+        if self.disk_reads == 0 {
+            0.0
+        } else {
+            self.hinted_reads as f64 / self.disk_reads as f64
         }
     }
 }

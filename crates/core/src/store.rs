@@ -140,7 +140,8 @@ impl BackingStore for FileStore {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
         debug_assert_eq!(buf.len(), self.width);
         use std::os::unix::fs::FileExt;
-        self.file.read_exact_at(as_bytes_mut(buf), self.offset(item))
+        self.file
+            .read_exact_at(as_bytes_mut(buf), self.offset(item))
     }
 
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
@@ -244,7 +245,9 @@ mod tests {
     use super::*;
 
     fn pattern(item: ItemId, width: usize) -> Vec<f64> {
-        (0..width).map(|i| (item as f64) * 1000.0 + i as f64).collect()
+        (0..width)
+            .map(|i| (item as f64) * 1000.0 + i as f64)
+            .collect()
     }
 
     fn roundtrip_all<S: BackingStore>(store: &mut S, n: usize, width: usize) {

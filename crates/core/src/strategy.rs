@@ -11,8 +11,16 @@
 //! * **Topological** — evict the vector whose tree node is most distant
 //!   (in nodes along the unique connecting path) from the requested one,
 //!   the domain-specific heuristic proposed by the paper.
+//!
+//! A fifth strategy goes beyond the paper: **NextUse** (Belady's OPT),
+//! which exploits the [`crate::plan::AccessPlan`] to evict the resident
+//! vector whose next planned use is farthest in the future. Because the
+//! PLF's access pattern is known a priori, OPT is actually *implementable*
+//! here — it provides the miss-rate lower bound against which the paper's
+//! four heuristics can be judged.
 
 use crate::manager::{ItemId, SlotId};
+use crate::plan::AccessPlan;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +67,14 @@ pub trait ReplacementStrategy: Send {
 
     /// `item` was evicted from `slot`.
     fn on_evict(&mut self, item: ItemId, slot: SlotId);
+
+    /// A new access plan was submitted. Plan-aware strategies (NextUse)
+    /// capture the per-item access positions here; heuristics ignore it.
+    fn on_plan(&mut self, _plan: &AccessPlan) {}
+
+    /// The plan cursor advanced: `pos` is the index of the next
+    /// unconsumed plan record.
+    fn on_plan_pos(&mut self, _pos: usize) {}
 
     /// Choose a victim slot for loading `requested`. There is always at
     /// least one candidate (the manager guarantees `m ≥ 3` and pins at most
@@ -212,6 +228,123 @@ impl ReplacementStrategy for TopologicalStrategy {
     }
 }
 
+/// Belady's OPT over the submitted [`AccessPlan`]: evict the resident
+/// vector whose next planned use is farthest in the future (never used
+/// again beats everything). Online, a plan only covers the *current*
+/// traversal, so among vectors with no remaining planned use the strategy
+/// falls back to the topological-distance heuristic when an oracle is
+/// available (tree-search locality predicts reuse across plan
+/// boundaries), and to LRU order otherwise / as the final tie-break —
+/// a good heuristic, but still greedy at plan boundaries. For a *true*
+/// lower bound the benchmarks instead install a recorded full-run plan
+/// via `VectorManager::install_oracle_plan`, under which every eviction
+/// sees the complete future access string.
+#[derive(Default)]
+pub struct NextUseStrategy {
+    /// Per item: sorted plan positions of the active plan.
+    positions: Vec<Vec<u32>>,
+    /// Index of the next unconsumed plan record.
+    pos: usize,
+    tick: u64,
+    /// Per slot: LRU timestamps for the fallback/tie-break.
+    last_access: Vec<u64>,
+    /// Cross-plan fallback ranking for never-used-again vectors.
+    oracle: Option<Box<dyn TopologyOracle>>,
+}
+
+impl NextUseStrategy {
+    /// Empty strategy; plan state arrives via `on_plan`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Like [`NextUseStrategy::new`], with a topology oracle ranking the
+    /// vectors the current plan never touches again.
+    pub fn with_oracle(oracle: Box<dyn TopologyOracle>) -> Self {
+        NextUseStrategy {
+            oracle: Some(oracle),
+            ..Self::default()
+        }
+    }
+
+    fn touch(&mut self, slot: SlotId) {
+        let s = slot as usize;
+        if self.last_access.len() <= s {
+            self.last_access.resize(s + 1, 0);
+        }
+        self.tick += 1;
+        self.last_access[s] = self.tick;
+    }
+
+    /// Next planned use of `item` at or after the cursor, `u64::MAX` if
+    /// the plan never touches it again.
+    fn next_use(&self, item: ItemId) -> u64 {
+        match self.positions.get(item as usize) {
+            Some(positions) => {
+                let at = positions.partition_point(|&p| (p as usize) < self.pos);
+                positions.get(at).map_or(u64::MAX, |&p| p as u64)
+            }
+            None => u64::MAX,
+        }
+    }
+}
+
+impl ReplacementStrategy for NextUseStrategy {
+    fn name(&self) -> &'static str {
+        "NextUse"
+    }
+    fn on_access(&mut self, _item: ItemId, slot: SlotId) {
+        self.touch(slot);
+    }
+    fn on_load(&mut self, _item: ItemId, slot: SlotId) {
+        self.touch(slot);
+    }
+    fn on_evict(&mut self, _item: ItemId, _slot: SlotId) {}
+
+    fn on_plan(&mut self, plan: &AccessPlan) {
+        self.positions = (0..plan.n_items() as ItemId)
+            .map(|item| plan.positions_of(item).to_vec())
+            .collect();
+        self.pos = 0;
+    }
+
+    fn on_plan_pos(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    fn choose_victim(&mut self, requested: ItemId, view: &EvictionView<'_>) -> SlotId {
+        let candidates: Vec<(SlotId, ItemId, u64)> = view
+            .candidates()
+            .map(|(s, item)| (s, item, self.next_use(item)))
+            .collect();
+        // Distances only matter for never-used-again candidates; compute
+        // them lazily, once per miss, like the Topological strategy does.
+        let dist: &[u32] = match &mut self.oracle {
+            Some(oracle) if candidates.iter().any(|&(_, _, next)| next == u64::MAX) => {
+                oracle.distances_from(requested)
+            }
+            _ => &[],
+        };
+        candidates
+            .into_iter()
+            .max_by_key(|&(s, item, next)| {
+                // Farthest next use wins. Among never-used-again vectors
+                // the most topologically distant wins (when an oracle is
+                // available); the least recently used slot breaks what
+                // remains.
+                let d = if next == u64::MAX {
+                    dist.get(item as usize).copied().unwrap_or(0)
+                } else {
+                    0
+                };
+                let age = u64::MAX - self.last_access.get(s as usize).copied().unwrap_or(0);
+                (next, d, age)
+            })
+            .expect("no eviction candidates")
+            .0
+    }
+}
+
 /// Strategy selector used by benchmarks and examples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StrategyKind {
@@ -226,15 +359,15 @@ pub enum StrategyKind {
     Lfu,
     /// Most topologically distant (requires an oracle).
     Topological,
+    /// Belady's OPT over the submitted access plan (miss-rate lower bound).
+    NextUse,
 }
 
 impl StrategyKind {
     /// Instantiate the strategy. `oracle` is required for
-    /// [`StrategyKind::Topological`] and ignored otherwise.
-    pub fn build(
-        self,
-        oracle: Option<Box<dyn TopologyOracle>>,
-    ) -> Box<dyn ReplacementStrategy> {
+    /// [`StrategyKind::Topological`], optional for [`StrategyKind::NextUse`]
+    /// (cross-plan fallback) and ignored otherwise.
+    pub fn build(self, oracle: Option<Box<dyn TopologyOracle>>) -> Box<dyn ReplacementStrategy> {
         match self {
             StrategyKind::Random { seed } => Box::new(RandomStrategy::new(seed)),
             StrategyKind::Lru => Box::new(LruStrategy::new()),
@@ -242,6 +375,10 @@ impl StrategyKind {
             StrategyKind::Topological => Box::new(TopologicalStrategy::new(
                 oracle.expect("Topological strategy needs a TopologyOracle"),
             )),
+            StrategyKind::NextUse => Box::new(match oracle {
+                Some(o) => NextUseStrategy::with_oracle(o),
+                None => NextUseStrategy::new(),
+            }),
         }
     }
 
@@ -252,6 +389,7 @@ impl StrategyKind {
             StrategyKind::Lru => "LRU",
             StrategyKind::Lfu => "LFU",
             StrategyKind::Topological => "Topological",
+            StrategyKind::NextUse => "NextUse",
         }
     }
 }
@@ -260,10 +398,7 @@ impl StrategyKind {
 mod tests {
     use super::*;
 
-    fn view<'a>(
-        slot_item: &'a [Option<ItemId>],
-        pinned: &'a [bool],
-    ) -> EvictionView<'a> {
+    fn view<'a>(slot_item: &'a [Option<ItemId>], pinned: &'a [bool]) -> EvictionView<'a> {
         EvictionView { slot_item, pinned }
     }
 
@@ -314,7 +449,10 @@ mod tests {
         // New vector into slot 0 resets its count to 0 -> now slot 0 loses.
         s.on_evict(10, 0);
         s.on_load(12, 0);
-        assert_eq!(s.choose_victim(99, &view(&[Some(12), Some(11)], &pinned)), 0);
+        assert_eq!(
+            s.choose_victim(99, &view(&[Some(12), Some(11)], &pinned)),
+            0
+        );
     }
 
     #[test]
@@ -349,16 +487,17 @@ mod tests {
 
     impl TopologyOracle for LineOracle {
         fn distances_from(&mut self, from: ItemId) -> &[u32] {
-            self.buf = (0..self.n as u32)
-                .map(|i| i.abs_diff(from))
-                .collect();
+            self.buf = (0..self.n as u32).map(|i| i.abs_diff(from)).collect();
             &self.buf
         }
     }
 
     #[test]
     fn topological_evicts_most_distant() {
-        let oracle = LineOracle { n: 100, buf: vec![] };
+        let oracle = LineOracle {
+            n: 100,
+            buf: vec![],
+        };
         let mut s = TopologicalStrategy::new(Box::new(oracle));
         let items = [Some(10), Some(50), Some(90)];
         let pinned = [false; 3];
@@ -369,10 +508,56 @@ mod tests {
     }
 
     #[test]
+    fn next_use_evicts_farthest_planned_use() {
+        use crate::plan::AccessRecord;
+        let mut s = NextUseStrategy::new();
+        // Plan: 10 used at records 0 and 5, 11 at 2, 12 at 8.
+        let plan = AccessPlan::from_records(
+            vec![
+                AccessRecord::read(10),
+                AccessRecord::write(13),
+                AccessRecord::read(11),
+                AccessRecord::write(13),
+                AccessRecord::write(13),
+                AccessRecord::read(10),
+                AccessRecord::write(13),
+                AccessRecord::write(13),
+                AccessRecord::read(12),
+            ],
+            14,
+        );
+        s.on_plan(&plan);
+        s.on_plan_pos(1); // record 0 consumed
+        let items = [Some(10), Some(11), Some(12)];
+        let pinned = [false; 3];
+        // Next uses: 10 -> 5, 11 -> 2, 12 -> 8. Farthest is 12.
+        assert_eq!(s.choose_victim(99, &view(&items, &pinned)), 2);
+        s.on_plan_pos(6); // records 0..=5 consumed
+                          // Now: 10 -> never again, 11 -> never again, 12 -> 8. The two
+                          // never-again candidates tie at MAX; LRU decides. Touch slot 0 so
+                          // slot 1 is the older of the tied pair.
+        s.on_access(10, 0);
+        assert_eq!(s.choose_victim(99, &view(&items, &pinned)), 1);
+    }
+
+    #[test]
+    fn next_use_without_plan_degrades_to_lru() {
+        let mut s = NextUseStrategy::new();
+        s.on_load(10, 0);
+        s.on_load(11, 1);
+        s.on_load(12, 2);
+        s.on_access(10, 0); // slot 1 now oldest
+        let items = [Some(10), Some(11), Some(12)];
+        let pinned = [false; 3];
+        assert_eq!(s.choose_victim(99, &view(&items, &pinned)), 1);
+    }
+
+    #[test]
     fn kind_builds_all() {
         assert_eq!(StrategyKind::Random { seed: 1 }.build(None).name(), "RAND");
         assert_eq!(StrategyKind::Lru.build(None).name(), "LRU");
         assert_eq!(StrategyKind::Lfu.build(None).name(), "LFU");
+        assert_eq!(StrategyKind::NextUse.build(None).name(), "NextUse");
         let oracle = LineOracle { n: 4, buf: vec![] };
         assert_eq!(
             StrategyKind::Topological

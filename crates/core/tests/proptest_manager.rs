@@ -38,9 +38,10 @@ fn pattern(item: u8, tag: u8, width: usize) -> Vec<f64> {
 }
 
 fn kind_from(selector: u8) -> StrategyKind {
-    match selector % 3 {
+    match selector % 4 {
         0 => StrategyKind::Random { seed: 11 },
         1 => StrategyKind::Lru,
+        2 => StrategyKind::NextUse,
         _ => StrategyKind::Lfu,
     }
 }

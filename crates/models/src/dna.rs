@@ -39,7 +39,10 @@ impl ReversibleModel {
             "need n(n-1)/2 exchangeabilities"
         );
         assert!(freqs.iter().all(|&f| f > 0.0), "frequencies must be > 0");
-        assert!(exch.iter().all(|&r| r > 0.0), "exchangeabilities must be > 0");
+        assert!(
+            exch.iter().all(|&r| r > 0.0),
+            "exchangeabilities must be > 0"
+        );
         let total: f64 = freqs.iter().sum();
         ReversibleModel {
             n_states: n,
@@ -144,10 +147,7 @@ mod tests {
 
     #[test]
     fn q_rows_sum_to_zero() {
-        let m = ReversibleModel::gtr(
-            &[1.2, 3.1, 0.8, 0.9, 2.7, 1.0],
-            &[0.3, 0.2, 0.25, 0.25],
-        );
+        let m = ReversibleModel::gtr(&[1.2, 3.1, 0.8, 0.9, 2.7, 1.0], &[0.3, 0.2, 0.25, 0.25]);
         let q = m.q_matrix();
         for i in 0..4 {
             let s: f64 = (0..4).map(|j| q[(i, j)]).sum();
@@ -165,10 +165,7 @@ mod tests {
 
     #[test]
     fn detailed_balance_on_q() {
-        let m = ReversibleModel::gtr(
-            &[0.5, 2.0, 1.3, 0.9, 3.2, 1.0],
-            &[0.1, 0.4, 0.3, 0.2],
-        );
+        let m = ReversibleModel::gtr(&[0.5, 2.0, 1.3, 0.9, 3.2, 1.0], &[0.1, 0.4, 0.3, 0.2]);
         let q = m.q_matrix();
         for i in 0..4 {
             for j in 0..4 {
@@ -181,10 +178,7 @@ mod tests {
 
     #[test]
     fn exch_symmetric_access() {
-        let m = ReversibleModel::gtr(
-            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-            &[0.25, 0.25, 0.25, 0.25],
-        );
+        let m = ReversibleModel::gtr(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[0.25, 0.25, 0.25, 0.25]);
         // Packed order: (0,1)=AC, (0,2)=AG, (0,3)=AT, (1,2)=CG, (1,3)=CT, (2,3)=GT
         assert_eq!(m.exch(0, 1), 1.0);
         assert_eq!(m.exch(1, 0), 1.0);

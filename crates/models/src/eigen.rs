@@ -124,10 +124,7 @@ mod tests {
     use crate::dna::ReversibleModel;
 
     fn gtr_example() -> ReversibleModel {
-        ReversibleModel::gtr(
-            &[1.1, 2.9, 0.6, 1.4, 3.3, 1.0],
-            &[0.32, 0.18, 0.24, 0.26],
-        )
+        ReversibleModel::gtr(&[1.1, 2.9, 0.6, 1.4, 3.3, 1.0], &[0.32, 0.18, 0.24, 0.26])
     }
 
     #[test]
@@ -160,7 +157,9 @@ mod tests {
             for i in 0..4 {
                 let s: f64 = p[i * 4..(i + 1) * 4].iter().sum();
                 assert!((s - 1.0).abs() < 1e-9, "row {i} at t={t} sums to {s}");
-                assert!(p[i * 4..(i + 1) * 4].iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+                assert!(p[i * 4..(i + 1) * 4]
+                    .iter()
+                    .all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
             }
         }
     }
@@ -238,7 +237,11 @@ mod tests {
         e.transition_matrix(t - h, rate, &mut pb);
         for idx in 0..16 {
             let fd = (pa[idx] - pb[idx]) / (2.0 * h);
-            assert!((d1[idx] - fd).abs() < 1e-5, "idx {idx}: {} vs {fd}", d1[idx]);
+            assert!(
+                (d1[idx] - fd).abs() < 1e-5,
+                "idx {idx}: {} vs {fd}",
+                d1[idx]
+            );
         }
     }
 

@@ -116,7 +116,11 @@ pub fn gamma_quantile(a: f64, p: f64) -> f64 {
         // Newton step using the density, guarded to stay in the bracket.
         let ln_pdf = (a - 1.0) * x.ln() - x - ln_gamma(a);
         let pdf = ln_pdf.exp();
-        let mut next = if pdf > 1e-300 { x - f / pdf } else { 0.5 * (lo + hi) };
+        let mut next = if pdf > 1e-300 {
+            x - f / pdf
+        } else {
+            0.5 * (lo + hi)
+        };
         if next <= lo || next >= hi {
             next = 0.5 * (lo + hi);
         }

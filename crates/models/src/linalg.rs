@@ -263,15 +263,16 @@ mod tests {
             lam[(i, i)] = vals[i];
         }
         let recon = v.mul(&lam).mul(&v.transposed());
-        assert!(recon.max_abs_diff(&m) < 1e-10, "diff {}", recon.max_abs_diff(&m));
+        assert!(
+            recon.max_abs_diff(&m) < 1e-10,
+            "diff {}",
+            recon.max_abs_diff(&m)
+        );
     }
 
     #[test]
     fn jacobi_eigenvectors_orthonormal() {
-        let m = Matrix::from_rows(
-            3,
-            &[2.0, -1.0, 0.3, -1.0, 2.0, -0.5, 0.3, -0.5, 1.5],
-        );
+        let m = Matrix::from_rows(3, &[2.0, -1.0, 0.3, -1.0, 2.0, -0.5, 0.3, -0.5, 1.5]);
         let (_, v) = jacobi_eigen(&m);
         let vtv = v.transposed().mul(&v);
         assert!(vtv.max_abs_diff(&Matrix::identity(3)) < 1e-10);

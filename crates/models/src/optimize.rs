@@ -180,9 +180,7 @@ pub fn newton_raphson<F: FnMut(f64) -> (f64, f64)>(
             b = x;
         }
         let newton = if d2 < 0.0 { x - d1 / d2 } else { f64::NAN };
-        let inside = newton.is_finite()
-            && newton > a.min(b)
-            && newton < a.max(b);
+        let inside = newton.is_finite() && newton > a.min(b) && newton < a.max(b);
         let next = if inside { newton } else { 0.5 * (a + b) };
         if (next - x).abs() < 1e-15 * x.abs().max(1e-12) {
             return OptResult {
@@ -256,13 +254,7 @@ mod tests {
     fn newton_log_likelihood_like() {
         // d/dx of [k ln x - n x] = k/x - n, root at k/n; d2 = -k/x^2 < 0.
         let (k, n) = (7.0, 2.0);
-        let r = newton_raphson(
-            |x| (k / x - n, -k / (x * x)),
-            1e-6,
-            100.0,
-            1e-12,
-            100,
-        );
+        let r = newton_raphson(|x| (k / x - n, -k / (x * x)), 1e-6, 100.0, 1e-12, 100);
         assert!(r.converged);
         assert!((r.x - 3.5).abs() < 1e-8);
     }

@@ -76,9 +76,7 @@ mod tests {
         let mut pm = PMatrices::new(4, 4);
         pm.update(&eigen, &gamma, 0.1);
         // Faster categories drift further from identity.
-        let drift = |c: usize| -> f64 {
-            (0..4).map(|i| 1.0 - pm.get(c, i, i)).sum::<f64>()
-        };
+        let drift = |c: usize| -> f64 { (0..4).map(|i| 1.0 - pm.get(c, i, i)).sum::<f64>() };
         for c in 1..4 {
             assert!(drift(c) > drift(c - 1));
         }

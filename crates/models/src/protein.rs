@@ -14,7 +14,10 @@ pub const N_AA: usize = 20;
 
 /// The Poisson (equal-rates, equal-frequencies) protein model.
 pub fn poisson() -> ReversibleModel {
-    ReversibleModel::new(&[1.0 / N_AA as f64; N_AA], &vec![1.0; n_exchangeabilities(N_AA)])
+    ReversibleModel::new(
+        &[1.0 / N_AA as f64; N_AA],
+        &vec![1.0; n_exchangeabilities(N_AA)],
+    )
 }
 
 /// Build a protein model from PAML-style inputs: 190 lower-triangle
@@ -51,7 +54,9 @@ pub fn synthetic_protein(seed: u64) -> ReversibleModel {
         // Map to (0.05, 1.05] so rates stay well away from zero.
         0.05 + (z >> 11) as f64 / (1u64 << 53) as f64
     };
-    let exch: Vec<f64> = (0..n_exchangeabilities(N_AA)).map(|_| next() * 3.0).collect();
+    let exch: Vec<f64> = (0..n_exchangeabilities(N_AA))
+        .map(|_| next() * 3.0)
+        .collect();
     let freqs: Vec<f64> = (0..N_AA).map(|_| next()).collect();
     ReversibleModel::new(&freqs, &exch)
 }

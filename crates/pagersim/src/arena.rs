@@ -214,15 +214,17 @@ impl PagedArena {
 
     /// Copy `out.len()` bytes from virtual offset `offset`.
     pub fn read(&mut self, mut offset: usize, out: &mut [u8]) -> io::Result<()> {
-        assert!(offset + out.len() <= self.total_bytes(), "read out of range");
+        assert!(
+            offset + out.len() <= self.total_bytes(),
+            "read out of range"
+        );
         let mut done = 0;
         while done < out.len() {
             let page = offset / PAGE_SIZE;
             let in_page = offset % PAGE_SIZE;
             let take = (PAGE_SIZE - in_page).min(out.len() - done);
             let frame = self.fault_in(page)? as usize;
-            out[done..done + take]
-                .copy_from_slice(&self.frames[frame][in_page..in_page + take]);
+            out[done..done + take].copy_from_slice(&self.frames[frame][in_page..in_page + take]);
             done += take;
             offset += take;
         }
@@ -241,8 +243,7 @@ impl PagedArena {
             let in_page = offset % PAGE_SIZE;
             let take = (PAGE_SIZE - in_page).min(data.len() - done);
             let frame = self.fault_in(page)? as usize;
-            self.frames[frame][in_page..in_page + take]
-                .copy_from_slice(&data[done..done + take]);
+            self.frames[frame][in_page..in_page + take].copy_from_slice(&data[done..done + take]);
             self.dirty[frame] = true;
             done += take;
             offset += take;
@@ -253,9 +254,8 @@ impl PagedArena {
     /// Read `out.len()` doubles from the f64-indexed offset `index`.
     pub fn read_f64s(&mut self, index: usize, out: &mut [f64]) -> io::Result<()> {
         // SAFETY: plain-old-data view; any byte pattern is a valid f64.
-        let bytes = unsafe {
-            std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u8>(), out.len() * 8)
-        };
+        let bytes =
+            unsafe { std::slice::from_raw_parts_mut(out.as_mut_ptr().cast::<u8>(), out.len() * 8) };
         self.read(index * 8, bytes)
     }
 

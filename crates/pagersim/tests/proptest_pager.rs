@@ -12,7 +12,8 @@ enum Op {
 
 fn arb_ops(total: usize) -> impl Strategy<Value = Vec<Op>> {
     let op = prop_oneof![
-        (0..total, proptest::collection::vec(any::<u8>(), 1..300)).prop_map(|(o, d)| Op::Write(o, d)),
+        (0..total, proptest::collection::vec(any::<u8>(), 1..300))
+            .prop_map(|(o, d)| Op::Write(o, d)),
         (0..total, 1usize..300).prop_map(|(o, l)| Op::Read(o, l)),
     ];
     proptest::collection::vec(op, 1..80)

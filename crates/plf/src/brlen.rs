@@ -47,18 +47,16 @@ impl<S: AncestralStore> PlfEngine<S> {
 
         let mut sumtable = std::mem::take(&mut self.sumtable);
         let result = match (plan.root_left, plan.root_right) {
-            (ChildRef::Inner(p), ChildRef::Inner(q)) => {
-                self.store.with_pair(p, q, |pv, qv| {
-                    build_sumtable(
-                        &dims,
-                        SumSide::Inner(pv),
-                        SumSide::Inner(qv),
-                        eigen,
-                        freqs,
-                        &mut sumtable,
-                    );
-                })
-            }
+            (ChildRef::Inner(p), ChildRef::Inner(q)) => self.store.with_pair(p, q, |pv, qv| {
+                build_sumtable(
+                    &dims,
+                    SumSide::Inner(pv),
+                    SumSide::Inner(qv),
+                    eigen,
+                    freqs,
+                    &mut sumtable,
+                );
+            }),
             (ChildRef::Tip(t), ChildRef::Inner(q)) => {
                 self.tips
                     .build_eigen_lut(eigen, gamma, freqs, &mut self.lut_l);
@@ -78,7 +76,8 @@ impl<S: AncestralStore> PlfEngine<S> {
                 })
             }
             (ChildRef::Inner(p), ChildRef::Tip(t)) => {
-                self.tips.build_eigen_lut_right(eigen, gamma, &mut self.lut_r);
+                self.tips
+                    .build_eigen_lut_right(eigen, gamma, &mut self.lut_r);
                 let (lut, tips) = (&self.lut_r, &self.tips);
                 self.store.with_one(p, false, |pv| {
                     build_sumtable(
@@ -125,7 +124,11 @@ impl<S: AncestralStore> PlfEngine<S> {
             if d1.abs() < BL_TOL {
                 break;
             }
-            let step = if d2 < 0.0 { d1 / d2 } else { d1.signum() * -0.1 * z };
+            let step = if d2 < 0.0 {
+                d1 / d2
+            } else {
+                d1.signum() * -0.1 * z
+            };
             let mut next = z - step;
             if !next.is_finite() {
                 break;

@@ -273,7 +273,9 @@ mod tests {
     fn root_lut_sums_to_frequencies() {
         // Root lut for the gap mask: Σ_x π_x P_c(x,y) = π_y (stationarity).
         let tc = toy_codes();
-        let gap = (0..tc.n_codes() as u16).find(|&c| tc.mask(c) == 0xF).unwrap();
+        let gap = (0..tc.n_codes() as u16)
+            .find(|&c| tc.mask(c) == 0xF)
+            .unwrap();
         let freqs = [0.35, 0.25, 0.22, 0.18];
         let model = ReversibleModel::hky85(3.0, &freqs);
         let gamma = DiscreteGamma::new(1.0, 2);

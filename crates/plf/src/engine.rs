@@ -260,27 +260,17 @@ impl<S: AncestralStore> PlfEngine<S> {
         result
     }
 
-    /// Execute all combines of a plan, announcing read-skip and prefetch
-    /// information first (§3.4: the flags are set "when the global or local
-    /// tree traversal order is determined ... prior to the actual
-    /// likelihood computations").
+    /// Execute all combines of a plan, submitting its lowered access plan
+    /// first (§3.4: the residency information is established "when the
+    /// global or local tree traversal order is determined ... prior to the
+    /// actual likelihood computations"). Read skipping, prefetch lookahead
+    /// and plan-aware replacement all derive from the one submitted
+    /// [`ooc_core::AccessPlan`] — there is no separate written/reads scan.
     pub(crate) fn execute_plan(&mut self, plan: &TraversalPlan) -> OocResult<()> {
-        let written: Vec<u32> = plan.written().collect();
-        // Inner children read before being written in this plan come from
-        // the store: they are prefetch candidates.
-        let mut will_write = vec![false; self.tree.n_inner()];
-        let mut reads: Vec<u32> = Vec::new();
-        for step in &plan.steps {
-            for child in [step.left, step.right] {
-                if let ChildRef::Inner(i) = child {
-                    if !will_write[i as usize] {
-                        reads.push(i);
-                    }
-                }
-            }
-            will_write[step.parent as usize] = true;
-        }
-        self.store.begin_traversal(&written, &reads);
+        // Even a step-free plan (fully oriented tree) is submitted: its
+        // trailing root-read records let the residency layer prefetch the
+        // two vectors the root evaluation is about to touch.
+        self.store.submit_plan(plan.lower(self.tree.n_inner()));
         for step in &plan.steps {
             self.newview_step(step)?;
         }
@@ -422,11 +412,7 @@ pub(crate) mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    pub(crate) fn build_engine(
-        n_tips: usize,
-        n_sites: usize,
-        seed: u64,
-    ) -> PlfEngine<InRamStore> {
+    pub(crate) fn build_engine(n_tips: usize, n_sites: usize, seed: u64) -> PlfEngine<InRamStore> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tree = random_topology(n_tips, 0.1, &mut rng);
         yule_like_lengths(&mut tree, 0.12, 1e-4, &mut rng);
@@ -548,7 +534,12 @@ pub(crate) mod tests {
             .branches()
             .find(|&t| {
                 let tb = tree.back(t);
-                t != a && t != b && t != qa && t != qb && tb != a && tb != b
+                t != a
+                    && t != b
+                    && t != qa
+                    && t != qb
+                    && tb != a
+                    && tb != b
                     && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(t))
                     && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(tb))
             })
@@ -581,13 +572,14 @@ pub(crate) mod tests {
                 tree.branches()
                     .filter(|&t| {
                         let tb = tree.back(t);
-                        t != a && t != b && t != qa && t != qb && tb != a && tb != b
+                        t != a
+                            && t != b
+                            && t != qa
+                            && t != qb
+                            && tb != a
+                            && tb != b
                             && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(t))
-                            && !phylo_tree::spr::subtree_contains(
-                                tree,
-                                prune_dir,
-                                tree.node_of(tb),
-                            )
+                            && !phylo_tree::spr::subtree_contains(tree, prune_dir, tree.node_of(tb))
                     })
                     .nth(2)
                     .map(|t| (prune_dir, t))
@@ -660,8 +652,7 @@ pub(crate) mod tests {
                     2 => {
                         // Random SPR, kept or undone at random.
                         let tree = engine.tree();
-                        let candidates: Vec<(HalfEdgeId, HalfEdgeId)> = (0..tree.n_inner()
-                            as u32)
+                        let candidates: Vec<(HalfEdgeId, HalfEdgeId)> = (0..tree.n_inner() as u32)
                             .flat_map(|i| (0..3).map(move |k| (i, k)))
                             .flat_map(|(i, k)| {
                                 let dir = tree.inner_half_edge(i, k);
@@ -670,13 +661,21 @@ pub(crate) mod tests {
                                 tree.branches()
                                     .filter(move |&t| {
                                         let tb = tree.back(t);
-                                        t != a && t != b && t != qa && t != qb
-                                            && tb != a && tb != b
+                                        t != a
+                                            && t != b
+                                            && t != qa
+                                            && t != qb
+                                            && tb != a
+                                            && tb != b
                                             && !phylo_tree::spr::subtree_contains(
-                                                tree, dir, tree.node_of(t),
+                                                tree,
+                                                dir,
+                                                tree.node_of(t),
                                             )
                                             && !phylo_tree::spr::subtree_contains(
-                                                tree, dir, tree.node_of(tb),
+                                                tree,
+                                                dir,
+                                                tree.node_of(tb),
                                             )
                                     })
                                     .map(move |t| (dir, t))

@@ -167,10 +167,7 @@ mod tests {
                 n_states: 4,
                 n_cats: 4,
             },
-            ReversibleModel::gtr(
-                &[1.3, 2.8, 0.7, 1.1, 3.5, 1.0],
-                &[0.31, 0.19, 0.23, 0.27],
-            ),
+            ReversibleModel::gtr(&[1.3, 2.8, 0.7, 1.1, 3.5, 1.0], &[0.31, 0.19, 0.23, 0.27]),
             DiscreteGamma::new(0.6, 4),
         )
     }
@@ -190,7 +187,14 @@ mod tests {
         let mut pm = PMatrices::new(4, 4);
         pm.update(&eigen, &gamma, z);
         let direct = evaluate_inner_inner(
-            &dims, &p, &scale_p, &q, &scale_q, &pm, model.freqs(), &weights,
+            &dims,
+            &p,
+            &scale_p,
+            &q,
+            &scale_q,
+            &pm,
+            model.freqs(),
+            &weights,
         );
 
         let mut sumtable = Vec::new();

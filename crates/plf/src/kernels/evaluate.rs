@@ -75,8 +75,8 @@ pub fn evaluate_tip_inner(
             site_l += lut[e] * qsite[e];
         }
         site_l *= cat_w;
-        lnl += weights[i] as f64
-            * (site_l.max(L_FLOOR).ln() + scale_q[i] as f64 * LOG_MINLIKELIHOOD);
+        lnl +=
+            weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale_q[i] as f64 * LOG_MINLIKELIHOOD);
     }
     lnl
 }
@@ -116,9 +116,7 @@ mod tests {
         let ones = vec![1.0; d.width()];
         let zeros = vec![0u32; d.n_patterns];
         let w = vec![1u32; d.n_patterns];
-        let lnl = evaluate_inner_inner(
-            &d, &ones, &zeros, &ones, &zeros, &pm, model.freqs(), &w,
-        );
+        let lnl = evaluate_inner_inner(&d, &ones, &zeros, &ones, &zeros, &pm, model.freqs(), &w);
         assert!(lnl.abs() < 1e-10, "lnl = {lnl}");
     }
 
@@ -133,8 +131,7 @@ mod tests {
         let ones_scale = vec![1u32; d.n_patterns];
         let w = vec![2u32; d.n_patterns];
         let base = evaluate_inner_inner(&d, &p, &zeros, &q, &zeros, &pm, model.freqs(), &w);
-        let shifted =
-            evaluate_inner_inner(&d, &p, &ones_scale, &q, &zeros, &pm, model.freqs(), &w);
+        let shifted = evaluate_inner_inner(&d, &p, &ones_scale, &q, &zeros, &pm, model.freqs(), &w);
         let expect = base + (d.n_patterns as f64 * 2.0) * LOG_MINLIKELIHOOD;
         assert!((shifted - expect).abs() < 1e-9);
     }

@@ -40,7 +40,9 @@ pub(crate) mod testutil {
 
     /// A random strictly positive "probability-like" vector.
     pub fn random_vector<R: Rng>(dims: &Dims, rng: &mut R) -> Vec<f64> {
-        (0..dims.width()).map(|_| rng.gen_range(0.01..1.0)).collect()
+        (0..dims.width())
+            .map(|_| rng.gen_range(0.01..1.0))
+            .collect()
     }
 }
 

@@ -128,7 +128,14 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (Dims, TipCodes, PMatrices, PMatrices, DiscreteGamma, ReversibleModel) {
+    fn setup() -> (
+        Dims,
+        TipCodes,
+        PMatrices,
+        PMatrices,
+        DiscreteGamma,
+        ReversibleModel,
+    ) {
         let aln = Alignment::from_chars(
             Alphabet::Dna,
             &[
@@ -193,7 +200,13 @@ mod tests {
         let mut parent = vec![0.0; dims.width()];
         let mut scale = vec![0u32; dims.n_patterns];
         newview_tip_tip(
-            &dims, &mut parent, &mut scale, &lut_l, codes.tip(0), &lut_r, codes.tip(1),
+            &dims,
+            &mut parent,
+            &mut scale,
+            &lut_l,
+            codes.tip(0),
+            &lut_r,
+            codes.tip(1),
         );
         let expect = naive_tip_tip(&dims, &codes, 0, 1, &pm_l, &pm_r);
         for (a, b) in parent.iter().zip(expect.iter()) {
@@ -213,7 +226,14 @@ mod tests {
         let mut parent = vec![0.0; dims.width()];
         let mut scale = vec![0u32; dims.n_patterns];
         newview_tip_inner(
-            &dims, &mut parent, &mut scale, &lut, codes.tip(0), &inner, &scale_inner, &pm_r,
+            &dims,
+            &mut parent,
+            &mut scale,
+            &lut,
+            codes.tip(0),
+            &inner,
+            &scale_inner,
+            &pm_r,
         );
         // Naive reference.
         let (ns, nc) = (dims.n_states, dims.n_cats);
@@ -247,7 +267,15 @@ mod tests {
         let mut parent = vec![0.0; dims.width()];
         let mut scale = vec![0u32; dims.n_patterns];
         newview_inner_inner(
-            &dims, &mut parent, &mut scale, &left, &scale_l, &pm_l, &right, &scale_r, &pm_r,
+            &dims,
+            &mut parent,
+            &mut scale,
+            &left,
+            &scale_l,
+            &pm_l,
+            &right,
+            &scale_r,
+            &pm_r,
         );
         let (ns, nc) = (dims.n_states, dims.n_cats);
         for i in 0..dims.n_patterns {
@@ -275,7 +303,14 @@ mod tests {
         let mut parent = vec![0.0; dims.width()];
         let mut scale = vec![0u32; dims.n_patterns];
         newview_inner_inner(
-            &dims, &mut parent, &mut scale, &tiny, &scale_zero, &pm_l, &tiny, &scale_zero,
+            &dims,
+            &mut parent,
+            &mut scale,
+            &tiny,
+            &scale_zero,
+            &pm_l,
+            &tiny,
+            &scale_zero,
             &pm_r,
         );
         // Products near 1e-200 drop below 2^-256 ≈ 8.6e-78 -> scaled once,

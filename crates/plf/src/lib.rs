@@ -33,6 +33,6 @@ pub mod scaling;
 pub mod store_api;
 
 pub use encode::TipCodes;
-pub use oracle::{SharedTree, TreeOracle};
 pub use engine::{PlfEngine, PlfModel};
+pub use oracle::{SharedTree, TreeOracle};
 pub use store_api::{AncestralStore, InRamStore, OocStore, PagedStore};

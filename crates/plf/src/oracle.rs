@@ -79,11 +79,8 @@ mod tests {
         assert_eq!(d.len(), tree.n_inner());
         assert_eq!(d[3], 0);
         for i in 0..tree.n_inner() as u32 {
-            let expect = phylo_tree::distance::node_distance(
-                &tree,
-                tree.inner_node(3),
-                tree.inner_node(i),
-            );
+            let expect =
+                phylo_tree::distance::node_distance(&tree, tree.inner_node(3), tree.inner_node(i));
             assert_eq!(d[i as usize], expect);
         }
     }
@@ -102,7 +99,12 @@ mod tests {
                 let (a, b) = tree.children_dirs(dir);
                 let (qa, qb) = (tree.back(a), tree.back(b));
                 let tb = tree.back(t);
-                t != a && t != b && t != qa && t != qb && tb != a && tb != b
+                t != a
+                    && t != b
+                    && t != qa
+                    && t != qb
+                    && tb != a
+                    && tb != b
                     && !phylo_tree::spr::subtree_contains(&tree, dir, tree.node_of(t))
                     && !phylo_tree::spr::subtree_contains(&tree, dir, tree.node_of(tb))
             })

@@ -14,7 +14,7 @@
 //! check applies verbatim: all three must produce bit-identical
 //! log-likelihoods.
 
-use ooc_core::{BackingStore, Intent, OocError, OocOp, OocResult, VectorManager};
+use ooc_core::{AccessPlan, BackingStore, Intent, OocError, OocOp, OocResult, VectorManager};
 use pager_sim::PagedArena;
 
 /// Access-pattern API over ancestral vectors, mirroring the pinning
@@ -23,9 +23,12 @@ pub trait AncestralStore {
     /// Vector width in `f64`s.
     fn width(&self) -> usize;
 
-    /// Announce an upcoming traversal: `write_items` are overwritten on
-    /// first access (read skipping), `read_items` will be read (prefetch).
-    fn begin_traversal(&mut self, _write_items: &[u32], _read_items: &[u32]) {}
+    /// Submit the access plan of an upcoming traversal: the exact ordered
+    /// `{item, intent}` sequence the engine is about to issue. Residency
+    /// backends derive read skipping (write-first items), lookahead
+    /// prefetch hints and plan-aware replacement from it; backends with no
+    /// residency management ignore it.
+    fn submit_plan(&mut self, _plan: AccessPlan) {}
 
     /// Acquire `parent` for writing and the inner children for reading,
     /// all simultaneously live (pinned) for the duration of `f`. Fails
@@ -44,8 +47,12 @@ pub trait AncestralStore {
         -> OocResult<T>;
 
     /// Acquire one vector; `write == true` promises a full overwrite.
-    fn with_one<T>(&mut self, item: u32, write: bool, f: impl FnOnce(&mut [f64]) -> T)
-        -> OocResult<T>;
+    fn with_one<T>(
+        &mut self,
+        item: u32,
+        write: bool,
+        f: impl FnOnce(&mut [f64]) -> T,
+    ) -> OocResult<T>;
 }
 
 /// All vectors permanently resident (standard implementation).
@@ -83,9 +90,22 @@ impl AncestralStore for InRamStore {
         right: Option<u32>,
         f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
     ) -> OocResult<T> {
-        debug_assert!(Some(parent) != left && Some(parent) != right);
-        // SAFETY: parent, left, right are distinct indices into separately
-        // boxed buffers, so the mutable and shared borrows cannot alias.
+        let n = self.vectors.len();
+        assert!((parent as usize) < n, "parent {parent} out of range {n}");
+        if let Some(l) = left {
+            assert!((l as usize) < n, "left child {l} out of range {n}");
+            assert_ne!(l, parent, "left child aliases parent");
+        }
+        if let Some(r) = right {
+            assert!((r as usize) < n, "right child {r} out of range {n}");
+            assert_ne!(r, parent, "right child aliases parent");
+        }
+        if let (Some(l), Some(r)) = (left, right) {
+            assert_ne!(l, r, "children alias each other");
+        }
+        // SAFETY: all three indices were bounds-checked above and are
+        // pairwise distinct indices into separately boxed buffers, so the
+        // mutable and shared borrows cannot alias.
         let base = self.vectors.as_mut_ptr();
         let pv: &mut [f64] = unsafe { &mut *base.add(parent as usize) };
         let lv: Option<&[f64]> = left.map(|i| unsafe { &(**base.add(i as usize)) });
@@ -140,8 +160,8 @@ impl<S: BackingStore> AncestralStore for OocStore<S> {
         self.manager.config().width
     }
 
-    fn begin_traversal(&mut self, write_items: &[u32], read_items: &[u32]) {
-        self.manager.begin_traversal(write_items, read_items);
+    fn submit_plan(&mut self, plan: AccessPlan) {
+        self.manager.begin_plan(plan);
     }
 
     fn with_triple<T>(
@@ -239,11 +259,7 @@ impl AncestralStore for PagedStore {
                 .read_f64s(r as usize * self.width, rbuf)
                 .map_err(|e| OocError::item_op(OocOp::Read, r, "arena read", e))?;
         }
-        let result = f(
-            pbuf,
-            left.map(|_| &**lbuf),
-            right.map(|_| &**rbuf),
-        );
+        let result = f(pbuf, left.map(|_| &**lbuf), right.map(|_| &**rbuf));
         self.arena
             .write_f64s(parent as usize * self.width, &self.scratch[0])
             .map_err(|e| OocError::item_op(OocOp::Write, parent, "arena write", e))?;
@@ -339,6 +355,34 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of range")]
+    fn in_ram_triple_rejects_out_of_range_parent() {
+        let mut s = InRamStore::new(4, 8);
+        let _ = s.with_triple(4, None, None, |_, _, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn in_ram_triple_rejects_out_of_range_child() {
+        let mut s = InRamStore::new(4, 8);
+        let _ = s.with_triple(0, Some(9), None, |_, _, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "aliases parent")]
+    fn in_ram_triple_rejects_parent_aliasing() {
+        let mut s = InRamStore::new(4, 8);
+        let _ = s.with_triple(1, Some(0), Some(1), |_, _, _| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "children alias")]
+    fn in_ram_triple_rejects_duplicate_children() {
+        let mut s = InRamStore::new(4, 8);
+        let _ = s.with_triple(0, Some(2), Some(2), |_, _, _| ());
+    }
+
+    #[test]
     fn ooc_store_contract() {
         let mgr = VectorManager::new(
             OocConfig::new(6, 32, 3),
@@ -354,8 +398,12 @@ mod tests {
     fn paged_store_contract() {
         let dir = tempfile::tempdir().unwrap();
         // Tiny physical memory to force paging during the contract check.
-        let arena = PagedArena::new(6 * 32 * 8, 2 * pager_sim::PAGE_SIZE, dir.path().join("swap"))
-            .unwrap();
+        let arena = PagedArena::new(
+            6 * 32 * 8,
+            2 * pager_sim::PAGE_SIZE,
+            dir.path().join("swap"),
+        )
+        .unwrap();
         let mut s = PagedStore::new(arena, 6, 32);
         check_store(&mut s, 6);
         assert!(s.arena().stats().faults > 0);

@@ -89,10 +89,11 @@ proptest! {
         let n_items = case.tree.n_inner();
         let dims = PlfEngine::<InRamStore>::dims_for(&case.comp, 4);
         let n_slots = 3 + (slot_pick as usize % n_items.max(1));
-        let kind = match strat_pick % 4 {
+        let kind = match strat_pick % 5 {
             0 => StrategyKind::Random { seed: 9 },
             1 => StrategyKind::Lru,
             2 => StrategyKind::Lfu,
+            3 => StrategyKind::NextUse,
             _ => StrategyKind::Lru, // Topological needs an oracle; covered elsewhere
         };
         let cfg = OocConfig::new(n_items, dims.width(), n_slots.min(n_items.max(3)));

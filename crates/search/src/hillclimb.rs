@@ -127,10 +127,7 @@ mod tests {
         (true_tree, compress_patterns(&aln))
     }
 
-    fn engine_from(
-        start: Tree,
-        comp: &CompressedAlignment,
-    ) -> PlfEngine<InRamStore> {
+    fn engine_from(start: Tree, comp: &CompressedAlignment) -> PlfEngine<InRamStore> {
         let dims = PlfEngine::<InRamStore>::dims_for(comp, 4);
         let store = InRamStore::new(start.n_inner(), dims.width());
         PlfEngine::new(start, comp, ReversibleModel::jc69(), 1.0, 4, store)

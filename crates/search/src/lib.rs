@@ -11,6 +11,13 @@
 //! (§4.2: "access locality is also achieved by in most cases only
 //! re-optimizing three branch lengths after a change of the tree topology
 //! during the tree search (Lazy SPR technique)").
+//!
+//! The search layer never talks to the residency layer directly: every
+//! likelihood evaluation it requests makes the engine lower its traversal
+//! plan into an [`ooc_core::AccessPlan`] and submit it before computing
+//! (see `PlfEngine::execute_plan`), so read skipping, lookahead prefetch
+//! and plan-aware (NextUse) replacement automatically track each SPR
+//! candidate, smoothing pass and MCMC proposal evaluated here.
 
 pub mod hillclimb;
 pub mod mcmc;

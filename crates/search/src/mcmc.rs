@@ -11,6 +11,11 @@
 //! Priors are deliberately simple (exponential on branch lengths,
 //! uniform on topologies, exponential on α): the sampler exists to drive
 //! the PLF realistically, not to be a full Bayesian package.
+//!
+//! Like the ML search, every proposal evaluation goes through the engine,
+//! which submits the traversal's lowered access plan to the residency
+//! layer before computing — the sampler needs no residency-aware code of
+//! its own.
 
 use ooc_core::OocResult;
 use phylo_plf::{AncestralStore, PlfEngine};
@@ -211,7 +216,11 @@ mod tests {
         };
         let stats = run_mcmc(&mut e, &cfg).unwrap();
         assert_eq!(stats.iterations, 300);
-        assert!(stats.accepted > 10, "acceptance too low: {}", stats.accepted);
+        assert!(
+            stats.accepted > 10,
+            "acceptance too low: {}",
+            stats.accepted
+        );
         assert!(stats.accepted < 300, "everything accepted is suspicious");
         assert!(stats.final_log_posterior.is_finite());
         assert!(stats.best_log_posterior >= stats.final_log_posterior);
@@ -250,7 +259,10 @@ mod tests {
         };
         let a = run(5);
         let b = run(5);
-        assert_eq!(a.final_log_posterior.to_bits(), b.final_log_posterior.to_bits());
+        assert_eq!(
+            a.final_log_posterior.to_bits(),
+            b.final_log_posterior.to_bits()
+        );
         assert_eq!(a.accepted, b.accepted);
     }
 

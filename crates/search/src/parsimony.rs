@@ -8,8 +8,8 @@
 //! parsimony count and the greedy insertion builder.
 
 use phylo_seq::{CompressedAlignment, SiteMask};
-use phylo_tree::{ChildRef, HalfEdgeId, Tree};
 use phylo_tree::traverse::{plan_traversal, Orientation};
+use phylo_tree::{ChildRef, HalfEdgeId, Tree};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -97,7 +97,7 @@ pub fn parsimony_stepwise_tree<R: Rng>(
 
     for (k, &tip) in order.iter().enumerate() {
         let inner = (k + 1) as u32; // inner node created by this insertion
-        // Candidate branches among those already connected.
+                                    // Candidate branches among those already connected.
         let mut branches: Vec<HalfEdgeId> = (0..tree.n_half_edges() as u32)
             .filter(|&h| tree.is_connected(h) && tree.back(h) > h)
             .collect();
@@ -145,8 +145,8 @@ fn remove_tip(tree: &mut Tree, inner: u32, target: HalfEdgeId, _len: f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use phylo_seq::{compress_patterns, simulate_alignment, Alignment, Alphabet};
     use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_seq::{compress_patterns, simulate_alignment, Alignment, Alphabet};
     use phylo_tree::build::{random_topology, yule_like_lengths};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -247,8 +247,7 @@ mod tests {
             let t = random_topology(16, 0.1, &mut StdRng::seed_from_u64(100 + seed));
             random_scores.push(scorer.score(&t));
         }
-        let avg_random: f64 =
-            random_scores.iter().sum::<u64>() as f64 / random_scores.len() as f64;
+        let avg_random: f64 = random_scores.iter().sum::<u64>() as f64 / random_scores.len() as f64;
         assert!(
             (built_score as f64) < avg_random,
             "stepwise {built_score} vs avg random {avg_random}"

@@ -1,4 +1,9 @@
 //! Lazy subtree-pruning-and-regrafting rounds.
+//!
+//! Each candidate evaluation below goes through the engine, which submits
+//! the traversal's lowered access plan to the residency layer first — the
+//! SPR loop itself needs no residency calls for read skipping or prefetch
+//! to track its (highly local) access pattern.
 
 use ooc_core::OocResult;
 use phylo_plf::{AncestralStore, PlfEngine};
@@ -56,7 +61,8 @@ pub fn spr_candidates(tree: &Tree, prune_dir: HalfEdgeId, radius: u32) -> Vec<Ha
             }
             // Record the branch (canonical: smaller half-edge id).
             let canon = h.min(tree.back(h));
-            if !seen_branch[canon as usize] && !forbidden.contains(&canon)
+            if !seen_branch[canon as usize]
+                && !forbidden.contains(&canon)
                 && !forbidden.contains(&tree.back(canon))
             {
                 seen_branch[canon as usize] = true;

@@ -58,9 +58,7 @@ impl Alignment {
             for &b in chars.as_bytes() {
                 match alphabet.encode(b) {
                     Some(m) => enc.push(m),
-                    None => {
-                        return Err(AlignmentError::BadCharacter(b as char, name.clone()))
-                    }
+                    None => return Err(AlignmentError::BadCharacter(b as char, name.clone())),
                 }
             }
             names.push(name.clone());
@@ -75,19 +73,13 @@ impl Alignment {
     }
 
     /// Build directly from encoded masks (used by the simulator).
-    pub fn from_encoded(
-        alphabet: Alphabet,
-        names: Vec<String>,
-        seqs: Vec<Vec<SiteMask>>,
-    ) -> Self {
+    pub fn from_encoded(alphabet: Alphabet, names: Vec<String>, seqs: Vec<Vec<SiteMask>>) -> Self {
         assert!(!seqs.is_empty());
         let n_sites = seqs[0].len();
         assert!(seqs.iter().all(|s| s.len() == n_sites));
         assert_eq!(names.len(), seqs.len());
         let all = alphabet.all_states();
-        assert!(seqs
-            .iter()
-            .all(|s| s.iter().all(|&m| m != 0 && m <= all)));
+        assert!(seqs.iter().all(|s| s.iter().all(|&m| m != 0 && m <= all)));
         Alignment {
             alphabet,
             names,
@@ -238,11 +230,7 @@ mod tests {
 
     #[test]
     fn from_encoded_validates_masks() {
-        let a = Alignment::from_encoded(
-            Alphabet::Dna,
-            vec!["x".into()],
-            vec![vec![1, 2, 4, 8]],
-        );
+        let a = Alignment::from_encoded(Alphabet::Dna, vec!["x".into()], vec![vec![1, 2, 4, 8]]);
         assert_eq!(a.seq_chars(0), "ACGT");
     }
 

@@ -135,10 +135,7 @@ mod tests {
             Alphabet::Dna,
         );
         assert!(r.is_err());
-        let r = read_phylip(
-            BufReader::new("1 5\na ACGT\n".as_bytes()),
-            Alphabet::Dna,
-        );
+        let r = read_phylip(BufReader::new("1 5\na ACGT\n".as_bytes()), Alphabet::Dna);
         assert!(r.is_err());
     }
 

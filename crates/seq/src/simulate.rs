@@ -50,7 +50,9 @@ pub fn simulate_alignment<R: Rng>(
     };
 
     // Site rate categories, fixed across the tree.
-    let cats: Vec<u8> = (0..n_sites).map(|_| rng.gen_range(0..n_cats) as u8).collect();
+    let cats: Vec<u8> = (0..n_sites)
+        .map(|_| rng.gen_range(0..n_cats) as u8)
+        .collect();
 
     // Root the simulation at inner node 0 and evolve outwards in pre-order.
     let root = tree.inner_node(0);

@@ -21,8 +21,7 @@ fn arb_alignment() -> impl Strategy<Value = Alignment> {
                 .iter()
                 .enumerate()
                 .map(|(i, row)| {
-                    let seq: String =
-                        row.iter().map(|&c| DNA_CHARS[c] as char).collect();
+                    let seq: String = row.iter().map(|&c| DNA_CHARS[c] as char).collect();
                     (format!("s{i}"), seq)
                 })
                 .collect();

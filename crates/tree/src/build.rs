@@ -59,9 +59,21 @@ fn nth_branch(tree: &Tree, k: u32) -> HalfEdgeId {
 /// Useful as a worst case for traversal depth and topological distances.
 pub fn caterpillar_tree(n_tips: usize, branch_len: f64) -> Tree {
     let mut tree = Tree::with_capacity(n_tips);
-    tree.join(tree.tip_half_edge(0), tree.inner_half_edge(0, 0), branch_len);
-    tree.join(tree.tip_half_edge(1), tree.inner_half_edge(0, 1), branch_len);
-    tree.join(tree.tip_half_edge(2), tree.inner_half_edge(0, 2), branch_len);
+    tree.join(
+        tree.tip_half_edge(0),
+        tree.inner_half_edge(0, 0),
+        branch_len,
+    );
+    tree.join(
+        tree.tip_half_edge(1),
+        tree.inner_half_edge(0, 1),
+        branch_len,
+    );
+    tree.join(
+        tree.tip_half_edge(2),
+        tree.inner_half_edge(0, 2),
+        branch_len,
+    );
     for t in 3..n_tips as u32 {
         // Always insert into the branch of the previously added tip, which
         // extends the spine by one inner node.

@@ -339,7 +339,11 @@ mod tests {
         // Same pairwise topological distances between named tips: build a
         // name->tip map for each tree and compare a sample of paths.
         let idx = |ns: &[String], want: &str| ns.iter().position(|n| n == want).unwrap() as u32;
-        for (x, y) in [("taxon_0", "taxon_7"), ("taxon_3", "taxon_29"), ("taxon_11", "taxon_12")] {
+        for (x, y) in [
+            ("taxon_0", "taxon_7"),
+            ("taxon_3", "taxon_29"),
+            ("taxon_11", "taxon_12"),
+        ] {
             let d1 = crate::distance::node_distance(&tree, idx(&names, x), idx(&names, y));
             let d2 = crate::distance::node_distance(&tree2, idx(&names2, x), idx(&names2, y));
             assert_eq!(d1, d2, "distance {x}-{y} changed in roundtrip");

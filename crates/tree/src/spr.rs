@@ -199,7 +199,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn snapshot(tree: &Tree) -> (Vec<u32>, Vec<f64>) {
-        let backs = (0..tree.n_half_edges() as u32).map(|h| tree.back(h)).collect();
+        let backs = (0..tree.n_half_edges() as u32)
+            .map(|h| tree.back(h))
+            .collect();
         let lens = (0..tree.n_half_edges() as u32)
             .map(|h| tree.branch_length(h))
             .collect();

@@ -187,8 +187,14 @@ impl Tree {
 
     /// Connect two currently dangling half-edges into one branch.
     pub fn join(&mut self, a: HalfEdgeId, b: HalfEdgeId, len: f64) {
-        assert_eq!(self.back[a as usize], INVALID, "half-edge {a} already connected");
-        assert_eq!(self.back[b as usize], INVALID, "half-edge {b} already connected");
+        assert_eq!(
+            self.back[a as usize], INVALID,
+            "half-edge {a} already connected"
+        );
+        assert_eq!(
+            self.back[b as usize], INVALID,
+            "half-edge {b} already connected"
+        );
         assert_ne!(a, b);
         self.back[a as usize] = b;
         self.back[b as usize] = a;

@@ -11,6 +11,7 @@
 //! in the plan is fully overwritten on its first access).
 
 use crate::topology::{ChildRef, HalfEdgeId, InnerId, NodeId, Tree};
+use ooc_core::{AccessPlan, AccessRecord};
 
 /// Per-inner-node record of the direction for which the stored ancestral
 /// vector is valid: the ring half-edge of that node that points *towards the
@@ -100,6 +101,37 @@ impl TraversalPlan {
     /// vectors that are write-only on first access (read-skip candidates).
     pub fn written(&self) -> impl Iterator<Item = InnerId> + '_ {
         self.steps.iter().map(|s| s.parent)
+    }
+
+    /// Lower this plan into the residency layer's [`AccessPlan`] IR: the
+    /// exact ordered `{item, intent}` sequence the PLF engine issues when
+    /// executing the plan over `n_items` ancestral vectors.
+    ///
+    /// Per combine step, the engine pins the inner children (reads, in
+    /// left/right order) before acquiring the parent slot (write); the
+    /// final root evaluation then reads the vectors at the inner endpoints
+    /// of the virtual-root branch. Tip children live outside the managed
+    /// item space and produce no records. Because steps are in dependency
+    /// order, every written item's *first* access is its write — the
+    /// lowered plan's write-first set is exactly [`TraversalPlan::written`],
+    /// which is what makes read skipping (§3.4) fall out of first-access
+    /// analysis instead of a side-channel flag.
+    pub fn lower(&self, n_items: usize) -> AccessPlan {
+        let mut records = Vec::with_capacity(3 * self.steps.len() + 2);
+        for step in &self.steps {
+            for child in [step.left, step.right] {
+                if let ChildRef::Inner(i) = child {
+                    records.push(AccessRecord::read(i));
+                }
+            }
+            records.push(AccessRecord::write(step.parent));
+        }
+        for endpoint in [self.root_left, self.root_right] {
+            if let ChildRef::Inner(i) = endpoint {
+                records.push(AccessRecord::read(i));
+            }
+        }
+        AccessPlan::from_records(records, n_items)
     }
 }
 
@@ -316,6 +348,43 @@ mod tests {
         let mut o = Orientation::new(t.n_inner());
         let plan = plan_traversal(&t, t.default_root_edge(), &mut o, true);
         assert_eq!(plan.steps.len(), t.n_inner());
+    }
+
+    #[test]
+    fn lowered_plan_write_first_set_is_exactly_written() {
+        let (t, mut o) = tree_and_orient(40, 8);
+        let plan = plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        let access = plan.lower(t.n_inner());
+        let mut write_first: Vec<InnerId> = access.write_first_items().to_vec();
+        write_first.sort_unstable();
+        let mut written: Vec<InnerId> = plan.written().collect();
+        written.sort_unstable();
+        assert_eq!(write_first, written);
+        // Steps are in dependency order, so no written item may be
+        // read-first in the lowered plan.
+        for &item in access.read_first_items() {
+            assert!(!written.contains(&item));
+        }
+    }
+
+    #[test]
+    fn lowered_plan_ends_with_root_reads() {
+        let (t, mut o) = tree_and_orient(20, 9);
+        let plan = plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        let access = plan.lower(t.n_inner());
+        let n_root_inner = [plan.root_left, plan.root_right]
+            .iter()
+            .filter(|r| matches!(r, ChildRef::Inner(_)))
+            .count();
+        let records = access.records();
+        assert!(n_root_inner >= 1);
+        for rec in &records[records.len() - n_root_inner..] {
+            assert_eq!(rec.intent, ooc_core::Intent::Read);
+        }
+        // Last combine writes its parent just before the root reads.
+        let last_write = records[records.len() - n_root_inner - 1];
+        assert_eq!(last_write.intent, ooc_core::Intent::Write);
+        assert_eq!(last_write.item, plan.steps.last().unwrap().parent);
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! Property tests for traversal planning and its lowering into the
+//! residency layer's `AccessPlan` IR.
+//!
+//! The invariants here are what the out-of-core machinery relies on:
+//! dependency order makes every written vector write-first (read
+//! skipping), and the lowered plan's first-access analysis must agree
+//! with the written/reads scan the PLF engine used to perform inline.
+
+use ooc_core::Intent;
+use phylo_tree::build::random_topology;
+use phylo_tree::traverse::{invalidate_between, plan_traversal, Orientation, TraversalPlan};
+use phylo_tree::{ChildRef, Tree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn tree_for(n_taxa: usize, seed: u64) -> Tree {
+    random_topology(n_taxa, 0.1, &mut StdRng::seed_from_u64(seed))
+}
+
+/// The scan `PlfEngine::execute_plan` performed before plan lowering
+/// existed: written parents in order, plus every inner child read before
+/// it is (re)written in this plan.
+fn inline_scan(plan: &TraversalPlan) -> (HashSet<u32>, HashSet<u32>) {
+    let written: HashSet<u32> = plan.written().collect();
+    let mut will_write: HashSet<u32> = HashSet::new();
+    let mut reads: HashSet<u32> = HashSet::new();
+    for step in &plan.steps {
+        for child in [step.left, step.right] {
+            if let ChildRef::Inner(i) = child {
+                if !will_write.contains(&i) {
+                    reads.insert(i);
+                }
+            }
+        }
+        will_write.insert(step.parent);
+    }
+    (written, reads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No inner node is written more than once by a single plan.
+    #[test]
+    fn inner_nodes_written_at_most_once(
+        n_taxa in 4usize..48,
+        seed in 0u64..1000,
+        full in any::<bool>(),
+        tip in 0u32..48,
+    ) {
+        let t = tree_for(n_taxa, seed);
+        let mut o = Orientation::new(t.n_inner());
+        let root = t.tip_half_edge(tip % n_taxa as u32);
+        let plan = plan_traversal(&t, root, &mut o, full);
+        let mut seen = HashSet::new();
+        for parent in plan.written() {
+            prop_assert!(seen.insert(parent), "inner {parent} written twice");
+        }
+    }
+
+    /// Every inner child consumed by a combine is either written earlier
+    /// in the same plan or was already valid (partial traversal reuse).
+    #[test]
+    fn children_written_before_parent(
+        n_taxa in 4usize..48,
+        seed in 0u64..1000,
+        a in 0u32..48,
+        b in 0u32..48,
+        tip in 0u32..48,
+    ) {
+        let t = tree_for(n_taxa, seed);
+        let mut o = Orientation::new(t.n_inner());
+        // Orient everything, then invalidate a path to force a partial
+        // plan with both reused and recomputed children.
+        plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        let valid_before: HashSet<u32> =
+            (0..t.n_inner() as u32).filter(|&i| o.get(i).is_some()).collect();
+        invalidate_between(&t, &mut o, a % t.n_nodes() as u32, b % t.n_nodes() as u32);
+        let root = t.tip_half_edge(tip % n_taxa as u32);
+        let plan = plan_traversal(&t, root, &mut o, false);
+        let mut written_so_far = HashSet::new();
+        for step in &plan.steps {
+            for child in [step.left, step.right] {
+                if let ChildRef::Inner(i) = child {
+                    prop_assert!(
+                        written_so_far.contains(&i) || valid_before.contains(&i),
+                        "child {i} used before computed"
+                    );
+                }
+            }
+            written_so_far.insert(step.parent);
+        }
+    }
+
+    /// A partial plan is a sub-plan of the full plan at the same root:
+    /// every partial step recomputes a vector (for the same direction)
+    /// that the full plan also recomputes.
+    #[test]
+    fn partial_plan_steps_subset_of_full(
+        n_taxa in 4usize..48,
+        seed in 0u64..1000,
+        a in 0u32..48,
+        b in 0u32..48,
+        tip in 0u32..48,
+    ) {
+        let t = tree_for(n_taxa, seed);
+        let root = t.tip_half_edge(tip % n_taxa as u32);
+        let mut o = Orientation::new(t.n_inner());
+        plan_traversal(&t, t.default_root_edge(), &mut o, true);
+        invalidate_between(&t, &mut o, a % t.n_nodes() as u32, b % t.n_nodes() as u32);
+        let partial = plan_traversal(&t, root, &mut o.clone(), false);
+        let full = plan_traversal(&t, root, &mut o, true);
+        let full_steps: HashSet<(u32, u32)> =
+            full.steps.iter().map(|s| (s.parent, s.parent_dir)).collect();
+        for s in &partial.steps {
+            prop_assert!(
+                full_steps.contains(&(s.parent, s.parent_dir)),
+                "partial step ({}, {}) missing from full plan",
+                s.parent,
+                s.parent_dir
+            );
+        }
+    }
+
+    /// The lowered AccessPlan's first-access analysis agrees with the
+    /// engine's old inline written/reads scan: write-first is exactly the
+    /// written set, and read-first is the old reads set plus the root
+    /// endpoints the lowering also covers (the root evaluation's reads).
+    #[test]
+    fn lowered_first_access_matches_inline_scan(
+        n_taxa in 4usize..48,
+        seed in 0u64..1000,
+        a in 0u32..48,
+        b in 0u32..48,
+        full in any::<bool>(),
+        tip in 0u32..48,
+    ) {
+        let t = tree_for(n_taxa, seed);
+        let mut o = Orientation::new(t.n_inner());
+        if !full {
+            plan_traversal(&t, t.default_root_edge(), &mut o, true);
+            invalidate_between(&t, &mut o, a % t.n_nodes() as u32, b % t.n_nodes() as u32);
+        }
+        let root = t.tip_half_edge(tip % n_taxa as u32);
+        let plan = plan_traversal(&t, root, &mut o, full);
+        let lowered = plan.lower(t.n_inner());
+        let (written, reads) = inline_scan(&plan);
+
+        let write_first: HashSet<u32> = lowered.write_first_items().iter().copied().collect();
+        prop_assert_eq!(&write_first, &written, "write-first must equal written");
+
+        let mut expected_reads = reads.clone();
+        for endpoint in [plan.root_left, plan.root_right] {
+            if let ChildRef::Inner(i) = endpoint {
+                if !written.contains(&i) {
+                    expected_reads.insert(i);
+                }
+            }
+        }
+        let read_first: HashSet<u32> = lowered.read_first_items().iter().copied().collect();
+        prop_assert_eq!(&read_first, &expected_reads);
+        // And the two partitions never overlap.
+        prop_assert!(write_first.is_disjoint(&read_first));
+
+        // Spot-check first_access agreement record by record.
+        for &item in &write_first {
+            prop_assert_eq!(lowered.first_access(item).map(|(_, i)| i), Some(Intent::Write));
+        }
+        for &item in &read_first {
+            prop_assert_eq!(lowered.first_access(item).map(|(_, i)| i), Some(Intent::Read));
+        }
+    }
+}

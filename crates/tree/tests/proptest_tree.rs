@@ -31,7 +31,12 @@ fn pick_move(tree: &Tree, seed: u64) -> Option<(u32, u32)> {
             .branches()
             .filter(|&t| {
                 let tb = tree.back(t);
-                t != a && t != b && t != qa && t != qb && tb != a && tb != b
+                t != a
+                    && t != b
+                    && t != qa
+                    && t != qb
+                    && tb != a
+                    && tb != b
                     && !subtree_contains(tree, dir, tree.node_of(t))
                     && !subtree_contains(tree, dir, tree.node_of(tb))
             })

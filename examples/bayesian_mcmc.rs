@@ -39,7 +39,9 @@ fn main() {
     let stats_std = run_mcmc(&mut standard, &cfg).expect("in-RAM MCMC cannot fail on I/O");
     println!(
         "standard:    accepted {}/{} ({} topology moves), final log-posterior {:.4}",
-        stats_std.accepted, cfg.iterations, stats_std.topology_accepted,
+        stats_std.accepted,
+        cfg.iterations,
+        stats_std.topology_accepted,
         stats_std.final_log_posterior
     );
 
@@ -48,7 +50,9 @@ fn main() {
     let mgr = ooc.store().manager().stats();
     println!(
         "out-of-core: accepted {}/{} ({} topology moves), final log-posterior {:.4}",
-        stats_ooc.accepted, cfg.iterations, stats_ooc.topology_accepted,
+        stats_ooc.accepted,
+        cfg.iterations,
+        stats_ooc.topology_accepted,
         stats_ooc.final_log_posterior
     );
     println!("             manager: {mgr}");

@@ -25,7 +25,10 @@ fn main() {
         seed: 8192,
         ..Default::default()
     };
-    println!("simulating dataset ({} taxa x {} sites)...", spec.n_taxa, spec.n_sites);
+    println!(
+        "simulating dataset ({} taxa x {} sites)...",
+        spec.n_taxa, spec.n_sites
+    );
     let data = setup::simulate_dataset(&spec);
     let total = data.total_vector_bytes();
     let budget = (total / 4) as usize; // 4x oversubscription

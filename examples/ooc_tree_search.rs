@@ -76,5 +76,8 @@ fn main() {
         data.n_items(),
         mgr.miss_rate() * 100.0
     );
-    println!("final tree (first 120 chars): {}…", &t_ooc[..t_ooc.len().min(120)]);
+    println!(
+        "final tree (first 120 chars): {}…",
+        &t_ooc[..t_ooc.len().min(120)]
+    );
 }

@@ -55,8 +55,11 @@ fn main() {
     );
 
     let stats = ooc.store().manager().stats();
-    println!("\nout-of-core statistics with f = 0.25 ({} of {} slots):",
-        ooc.store().manager().config().n_slots, data.n_items());
+    println!(
+        "\nout-of-core statistics with f = 0.25 ({} of {} slots):",
+        ooc.store().manager().config().n_slots,
+        data.n_items()
+    );
     println!("  {stats}");
     println!(
         "  -> miss rate {:.2}%, read rate {:.2}% (read skipping avoided {:.1}% of reads)",

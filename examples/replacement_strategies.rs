@@ -32,6 +32,7 @@ fn main() {
         StrategyKind::Lru,
         StrategyKind::Lfu,
         StrategyKind::Topological,
+        StrategyKind::NextUse,
     ] {
         let (mut engine, _handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
         // Warm up: one full likelihood computation (all vectors cold).
@@ -39,9 +40,7 @@ fn main() {
         engine.store_mut().manager_mut().reset_stats();
 
         // Workload: two smoothing passes and a tour of re-rootings.
-        engine
-            .smooth_branches(2, 8)
-            .expect("smoothing pass failed");
+        engine.smooth_branches(2, 8).expect("smoothing pass failed");
         let roots: Vec<u32> = engine.tree().branches().step_by(7).collect();
         for h in roots {
             let _ = engine

@@ -158,18 +158,17 @@ pub mod setup {
         )
     }
 
-    /// Build the replacement strategy, wiring up a [`TreeOracle`] when the
-    /// Topological strategy is requested. Returns the strategy and, for
-    /// Topological, the shared tree handle to refresh after rearrangements.
+    /// Build the replacement strategy, wiring up a [`TreeOracle`] for the
+    /// strategies that rank vectors by tree distance: Topological (its
+    /// whole policy) and NextUse (its beyond-plan fallback). Returns the
+    /// strategy and, when an oracle was wired, the shared tree handle to
+    /// refresh after rearrangements.
     pub fn build_strategy(
         kind: StrategyKind,
         tree: &Tree,
-    ) -> (
-        Box<dyn ooc_core::ReplacementStrategy>,
-        Option<SharedTree>,
-    ) {
+    ) -> (Box<dyn ooc_core::ReplacementStrategy>, Option<SharedTree>) {
         match kind {
-            StrategyKind::Topological => {
+            StrategyKind::Topological | StrategyKind::NextUse => {
                 let shared = SharedTree::new(tree);
                 let oracle = TreeOracle::new(shared.clone());
                 (kind.build(Some(Box::new(oracle))), Some(shared))
@@ -242,11 +241,8 @@ pub mod setup {
         swap_path: P,
         phys_bytes: usize,
     ) -> std::io::Result<PlfEngine<PagedStore>> {
-        let arena = pager_sim::PagedArena::new(
-            data.total_vector_bytes() as usize,
-            phys_bytes,
-            swap_path,
-        )?;
+        let arena =
+            pager_sim::PagedArena::new(data.total_vector_bytes() as usize, phys_bytes, swap_path)?;
         let store = PagedStore::new(arena, data.n_items(), data.width());
         Ok(PlfEngine::new(
             data.tree.clone(),

@@ -16,7 +16,9 @@ use phylo_ooc::ooc::{FileStore, OocConfig, StrategyKind, VectorManager};
 use phylo_ooc::plf::{AncestralStore, InRamStore, OocStore, PlfEngine};
 use phylo_ooc::search::{hill_climb, parsimony_stepwise_tree, SearchConfig};
 use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
-use phylo_ooc::seq::{compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment};
+use phylo_ooc::seq::{
+    compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment,
+};
 use phylo_ooc::setup::build_strategy;
 use phylo_ooc::tree::build::{random_topology, yule_like_lengths};
 use phylo_ooc::tree::{parse_newick, write_newick, Tree};
@@ -72,7 +74,7 @@ USAGE:
 OPTIONS:
   --memory SPEC     slot memory: bytes (67108864), suffixed (64M, 1G) or
                     a fraction of all vectors (25%); omit = all in RAM
-  --strategy NAME   rand | lru | lfu | topo          [default: lru]
+  --strategy NAME   rand | lru | lfu | topo | nextuse [default: lru]
   --vector-file F   backing file for evicted vectors [default: temp file]
   --alpha A         Gamma shape                       [default: optimize/0.8]
   --radius R        SPR rearrangement radius          [default: 5]
@@ -176,6 +178,7 @@ fn parse_strategy(name: Option<&str>, seed: u64) -> Result<StrategyKind, String>
         "lru" => StrategyKind::Lru,
         "lfu" => StrategyKind::Lfu,
         "topo" | "topological" => StrategyKind::Topological,
+        "nextuse" | "opt" | "belady" => StrategyKind::NextUse,
         other => return Err(format!("unknown strategy {other:?}")),
     })
 }
@@ -204,7 +207,11 @@ fn cmd_memsize(opts: &Opts) -> Result<(), String> {
     println!(
         "ancestral probability vectors for n = {n} taxa, s = {s} sites, {states}-state model, Γ{cats}:"
     );
-    println!("  per vector : {} ({} doubles)", human(per_vector), s * states * cats);
+    println!(
+        "  per vector : {} ({} doubles)",
+        human(per_vector),
+        s * states * cats
+    );
     println!("  vectors    : {n_vectors}");
     println!("  total      : {}", human(total));
     println!(
@@ -334,10 +341,9 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
                 Some(p) => std::path::PathBuf::from(p),
                 None => scratch_vector_path(),
             };
-            let store = FileStore::create(&vector_path, n_items, dims.width())
-                .map_err(|e| {
-                    format!("cannot create vector file '{}': {e}", vector_path.display())
-                })?;
+            let store = FileStore::create(&vector_path, n_items, dims.width()).map_err(|e| {
+                format!("cannot create vector file '{}': {e}", vector_path.display())
+            })?;
             let manager = VectorManager::new(cfg, strategy, store);
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
             let lnl = engine.log_likelihood().map_err(|e| {
@@ -396,10 +402,9 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 Some(p) => std::path::PathBuf::from(p),
                 None => scratch_vector_path(),
             };
-            let store = FileStore::create(&vector_path, n_items, dims.width())
-                .map_err(|e| {
-                    format!("cannot create vector file '{}': {e}", vector_path.display())
-                })?;
+            let store = FileStore::create(&vector_path, n_items, dims.width()).map_err(|e| {
+                format!("cannot create vector file '{}': {e}", vector_path.display())
+            })?;
             let manager = VectorManager::new(ooc_cfg, strategy, store);
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
             let stats = hill_climb(&mut engine, &cfg).map_err(|e| {

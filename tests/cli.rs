@@ -20,8 +20,17 @@ fn simulate_into(dir: &Path) -> (String, String) {
     let aln = dir.join("d.phy").to_string_lossy().into_owned();
     let tree = dir.join("t.nwk").to_string_lossy().into_owned();
     let (ok, _, err) = run(&[
-        "simulate", "--taxa", "16", "--sites", "200", "--seed", "5", "--out", &aln,
-        "--tree-out", &tree,
+        "simulate",
+        "--taxa",
+        "16",
+        "--sites",
+        "200",
+        "--seed",
+        "5",
+        "--out",
+        &aln,
+        "--tree-out",
+        &tree,
     ]);
     assert!(ok, "simulate failed: {err}");
     (aln, tree)
@@ -45,8 +54,16 @@ fn simulate_then_likelihood_in_ram_and_ooc_agree() {
     let (ok, out_ram, err) = run(&["likelihood", "--alignment", &aln, "--tree", &tree]);
     assert!(ok, "{err}");
     let (ok, out_ooc, err) = run(&[
-        "likelihood", "--alignment", &aln, "--tree", &tree, "--memory", "25%",
-        "--strategy", "rand", "--stats",
+        "likelihood",
+        "--alignment",
+        &aln,
+        "--tree",
+        &tree,
+        "--memory",
+        "25%",
+        "--strategy",
+        "rand",
+        "--stats",
     ]);
     assert!(ok, "{err}");
     let lnl = |s: &str| {
@@ -64,9 +81,21 @@ fn search_writes_a_parseable_tree() {
     let (aln, _) = simulate_into(dir.path());
     let best = dir.path().join("best.nwk");
     let (ok, out, err) = run(&[
-        "search", "--alignment", &aln, "--memory", "50%", "--rounds", "1",
-        "--radius", "3", "--seed", "3", "--alpha", "0.8",
-        "--out", best.to_str().unwrap(),
+        "search",
+        "--alignment",
+        &aln,
+        "--memory",
+        "50%",
+        "--rounds",
+        "1",
+        "--radius",
+        "3",
+        "--seed",
+        "3",
+        "--alpha",
+        "0.8",
+        "--out",
+        best.to_str().unwrap(),
     ]);
     assert!(ok, "{err}");
     assert!(out.contains("search: lnl"));
@@ -82,7 +111,13 @@ fn memory_suffixes_accepted() {
     let (aln, tree) = simulate_into(dir.path());
     for memory in ["1M", "300K", "100000"] {
         let (ok, out, err) = run(&[
-            "likelihood", "--alignment", &aln, "--tree", &tree, "--memory", memory,
+            "likelihood",
+            "--alignment",
+            &aln,
+            "--tree",
+            &tree,
+            "--memory",
+            memory,
         ]);
         assert!(ok, "--memory {memory}: {err}");
         assert!(out.contains("log-likelihood:"));
@@ -95,8 +130,15 @@ fn unwritable_vector_file_fails_with_context() {
     let (aln, tree) = simulate_into(dir.path());
     let bad = dir.path().join("no_such_dir").join("v.bin");
     let (ok, _, err) = run(&[
-        "likelihood", "--alignment", &aln, "--tree", &tree, "--memory", "25%",
-        "--vector-file", bad.to_str().unwrap(),
+        "likelihood",
+        "--alignment",
+        &aln,
+        "--tree",
+        &tree,
+        "--memory",
+        "25%",
+        "--vector-file",
+        bad.to_str().unwrap(),
     ]);
     assert!(!ok, "creating the store in a missing directory must fail");
     assert!(
@@ -114,7 +156,13 @@ fn missing_inputs_fail_gracefully() {
     let (ok, _, err) = run(&["likelihood"]);
     assert!(!ok);
     assert!(err.contains("missing --alignment"));
-    let (ok, _, err) = run(&["likelihood", "--alignment", "/nonexistent.phy", "--tree", "/x"]);
+    let (ok, _, err) = run(&[
+        "likelihood",
+        "--alignment",
+        "/nonexistent.phy",
+        "--tree",
+        "/x",
+    ]);
     assert!(!ok);
     assert!(err.contains("error"));
 }

@@ -5,9 +5,9 @@ use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
 use phylo_ooc::ooc::StrategyKind;
 use phylo_ooc::plf::{InRamStore, PlfEngine};
 use phylo_ooc::search::{hill_climb, nni_round, SearchConfig};
-use phylo_ooc::seq::{compress_patterns, simulate_alignment, Alphabet};
 use phylo_ooc::seq::fasta::{read_fasta, write_fasta};
 use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
+use phylo_ooc::seq::{compress_patterns, simulate_alignment, Alphabet};
 use phylo_ooc::setup::{self, DatasetSpec};
 use phylo_ooc::tree::build::{random_topology, yule_like_lengths};
 use phylo_ooc::tree::{parse_newick, write_newick};
@@ -95,14 +95,7 @@ fn newick_roundtrip_preserves_likelihood() {
     };
     let dims = PlfEngine::<InRamStore>::dims_for(&comp2, 4);
     let store = InRamStore::new(tree2.n_inner(), dims.width());
-    let mut engine = PlfEngine::new(
-        tree2,
-        &comp2,
-        data.model.clone(),
-        data.spec.alpha,
-        4,
-        store,
-    );
+    let mut engine = PlfEngine::new(tree2, &comp2, data.model.clone(), data.spec.alpha, 4, store);
     let lnl = engine.log_likelihood().unwrap();
     assert!(
         (lnl - reference).abs() < 1e-6 * reference.abs(),

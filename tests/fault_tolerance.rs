@@ -114,12 +114,18 @@ fn retrying_store_recovers_transient_faults_bit_exactly() {
     );
 
     let retry = engine.store().manager().store().retry_stats();
-    assert!(retry.retries > 0, "the schedule must have triggered retries");
+    assert!(
+        retry.retries > 0,
+        "the schedule must have triggered retries"
+    );
     assert!(retry.recoveries > 0, "faults must have been recovered");
     assert_eq!(retry.exhausted, 0);
     assert_eq!(retry.permanent_failures, 0);
     let faults = engine.store().manager().store().inner().fault_stats();
-    assert!(faults.total_faults() > 0, "the plan must actually have fired");
+    assert!(
+        faults.total_faults() > 0,
+        "the plan must actually have fired"
+    );
     // And no error ever leaked into the manager's counters.
     assert_eq!(engine.store().manager().stats().io_errors, 0);
 }

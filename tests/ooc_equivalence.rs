@@ -22,11 +22,12 @@ fn spec() -> DatasetSpec {
     }
 }
 
-const STRATEGIES: [StrategyKind; 4] = [
+const STRATEGIES: [StrategyKind; 5] = [
     StrategyKind::Random { seed: 3 },
     StrategyKind::Lru,
     StrategyKind::Lfu,
     StrategyKind::Topological,
+    StrategyKind::NextUse,
 ];
 
 #[test]
@@ -181,6 +182,10 @@ fn read_skipping_does_not_change_results() {
             OocStore::new(manager),
         );
         let lnl = engine.full_traversals(2).unwrap();
-        assert_eq!(reference.to_bits(), lnl.to_bits(), "read_skipping={read_skipping}");
+        assert_eq!(
+            reference.to_bits(),
+            lnl.to_bits(),
+            "read_skipping={read_skipping}"
+        );
     }
 }

@@ -65,8 +65,7 @@ fn fault_counts_grow_with_dataset_size() {
             ..Default::default()
         });
         let mut paged =
-            setup::paged_engine(&data, dir.path().join(format!("swap{i}.bin")), budget)
-                .unwrap();
+            setup::paged_engine(&data, dir.path().join(format!("swap{i}.bin")), budget).unwrap();
         let _ = paged.full_traversals(2).unwrap();
         faults.push(paged.store().arena().stats().major_faults);
     }
@@ -88,9 +87,13 @@ fn ooc_io_scales_with_misses_not_touches() {
     let mut fits = setup::ooc_engine_mem(&data, 1.0, StrategyKind::Lru);
     let _ = fits.full_traversals(4).unwrap();
     let stats = fits.store().manager().stats();
-    assert_eq!(stats.miss_rate() * stats.requests as f64, stats.misses as f64);
     assert_eq!(
-        stats.misses as usize, data.n_items(),
+        stats.miss_rate() * stats.requests as f64,
+        stats.misses as f64
+    );
+    assert_eq!(
+        stats.misses as usize,
+        data.n_items(),
         "f = 1.0: only the cold loads miss"
     );
     assert_eq!(stats.disk_reads, 0, "nothing is ever evicted at f = 1.0");

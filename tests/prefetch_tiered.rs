@@ -39,8 +39,9 @@ fn prefetching_store_is_transparent() {
         data.spec.n_cats,
         OocStore::new(manager),
     );
-    // Mix of traversals and smoothing; prefetch hints flow via
-    // begin_traversal -> store.hint on every plan.
+    // Mix of traversals and smoothing; prefetch hints flow from the
+    // submitted AccessPlan through the plan cursor's lookahead window
+    // (submit_plan -> begin_plan -> store.hint) on every traversal.
     let lnl = engine.full_traversals(3).unwrap();
     assert_eq!(lnl.to_bits(), reference.to_bits());
     engine.smooth_branches(1, 8).unwrap();
@@ -93,8 +94,8 @@ fn three_layer_hierarchy_is_exact_and_absorbs_io() {
     let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
 
     let dir = tempfile::tempdir().unwrap();
-    let disk = FileStore::create(dir.path().join("disk.bin"), data.n_items(), data.width())
-        .unwrap();
+    let disk =
+        FileStore::create(dir.path().join("disk.bin"), data.n_items(), data.width()).unwrap();
     // Middle tier ("RAM") holds half the vectors; the manager's slots
     // ("accelerator memory") hold only 10%.
     let tier = TieredStore::new(disk, data.n_items() / 2);
