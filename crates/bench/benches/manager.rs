@@ -3,14 +3,17 @@
 //! full swap path when missing.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ooc_core::{Intent, MemStore, OocConfig, StrategyKind, VectorManager};
+use ooc_core::{AccessRecord, MemStore, OocConfig, StrategyKind, VectorManager};
 use std::hint::black_box;
 
 const WIDTH: usize = 16_000; // 128 KB vectors
 
 fn manager(n: usize, m: usize, kind: StrategyKind) -> VectorManager<MemStore> {
     let mut mgr = VectorManager::new(
-        OocConfig::new(n, WIDTH, m),
+        OocConfig::builder(n, WIDTH)
+            .slots(m)
+            .build()
+            .expect("valid out-of-core config"),
         kind.build(None),
         MemStore::new(n, WIDTH),
     );
@@ -25,23 +28,29 @@ fn bench_hit_path(c: &mut Criterion) {
     // Everything resident: measures pure bookkeeping per access.
     let mut mgr = manager(64, 64, StrategyKind::Lru);
     let mut acc = 0.0;
-    c.bench_function("manager/hit_with_one", |b| {
+    c.bench_function("manager/hit_session_read", |b| {
         b.iter(|| {
-            mgr.with_one(black_box(17), Intent::Read, |buf| acc += buf[0])
-                .unwrap();
+            let sess = mgr.session(&[AccessRecord::read(black_box(17))]).unwrap();
+            acc += sess.read(17)[0];
         })
     });
     black_box(acc);
 
     let mut mgr = manager(64, 64, StrategyKind::Lru);
-    c.bench_function("manager/hit_with_triple", |b| {
+    c.bench_function("manager/hit_session_combine", |b| {
         let mut i = 0u32;
         b.iter(|| {
             let p = i % 60;
-            mgr.with_triple(p, Some(p + 1), Some(p + 2), |pv, lv, rv| {
-                pv[0] = lv.unwrap()[0] + rv.unwrap()[0];
-            })
-            .unwrap();
+            let mut sess = mgr
+                .session(&[
+                    AccessRecord::read(p + 1),
+                    AccessRecord::read(p + 2),
+                    AccessRecord::write(p),
+                ])
+                .unwrap();
+            let (pv, lv, rv) = sess.rw(p, Some(p + 1), Some(p + 2));
+            pv[0] = lv.unwrap()[0] + rv.unwrap()[0];
+            drop(sess);
             i += 1;
         })
     });
@@ -56,10 +65,10 @@ fn bench_miss_path(c: &mut Criterion) {
         let mut item = 0u32;
         group.bench_function(kind.label(), |b| {
             b.iter(|| {
-                mgr.with_one(black_box(item % 256), Intent::Read, |buf| {
-                    black_box(buf[0]);
-                })
-                .unwrap();
+                let it = black_box(item % 256);
+                let sess = mgr.session(&[AccessRecord::read(it)]).unwrap();
+                black_box(sess.read(it)[0]);
+                drop(sess);
                 item = item.wrapping_add(97); // stride through items
             })
         });

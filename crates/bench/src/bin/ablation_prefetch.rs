@@ -40,7 +40,10 @@ fn main() {
     let f = args.f64("fraction", 0.25);
     let data = simulate_dataset(&spec);
     let dir = tempfile::tempdir().expect("tempdir");
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(f)
+        .build()
+        .expect("valid out-of-core config");
     println!(
         "A2 prefetch ablation: {} taxa x {} patterns, f = {f}, {} traversals + smoothing\n",
         spec.n_taxa,

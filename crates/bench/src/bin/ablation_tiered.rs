@@ -34,7 +34,10 @@ fn main() {
     let ram_fraction = args.f64("ram", 0.50);
     let data = simulate_dataset(&spec);
     let dir = tempfile::tempdir().expect("tempdir");
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), accel_fraction);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(accel_fraction)
+        .build()
+        .expect("valid out-of-core config");
     println!(
         "A3 three-layer hierarchy: {} vectors; accelerator {:.0}%, RAM tier {:.0}%, disk below\n",
         data.n_items(),

@@ -39,8 +39,11 @@ fn main() {
         ("unconditional swap (paper)", true),
         ("dirty tracking", false),
     ] {
-        let mut cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
-        cfg.always_write_back = always;
+        let cfg = OocConfig::builder(data.n_items(), data.width())
+            .fraction(0.25)
+            .always_write_back(always)
+            .build()
+            .expect("valid out-of-core config");
         let r = run_search_workload(&data, cfg, StrategyKind::Lru, &workload);
         rows.push((label, r));
     }

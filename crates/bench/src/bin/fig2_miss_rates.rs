@@ -54,7 +54,10 @@ fn main() {
     let results: Vec<CellResult> = cells
         .par_iter()
         .map(|&(f, kind)| {
-            let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+            let cfg = OocConfig::builder(data.n_items(), data.width())
+                .fraction(f)
+                .build()
+                .expect("valid out-of-core config");
             run_search_workload(&data, cfg, kind, &workload)
         })
         .collect();

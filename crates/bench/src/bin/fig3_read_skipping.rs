@@ -51,8 +51,11 @@ fn main() {
     let results: Vec<Fig3Cell> = cells
         .par_iter()
         .map(|&(f, kind)| {
-            let mut on = OocConfig::with_fraction(data.n_items(), data.width(), f);
-            on.read_skipping = true;
+            let on = OocConfig::builder(data.n_items(), data.width())
+                .fraction(f)
+                .read_skipping(true)
+                .build()
+                .expect("valid out-of-core config");
             let mut off = on;
             off.read_skipping = false;
             Fig3Cell {

@@ -60,7 +60,10 @@ fn main() {
     let all: Vec<CellResult> = cells
         .par_iter()
         .map(|&(m, kind)| {
-            let cfg = OocConfig::new(n, data.width(), m);
+            let cfg = OocConfig::builder(n, data.width())
+                .slots(m)
+                .build()
+                .expect("valid out-of-core config");
             run_search_workload(&data, cfg, kind, &workload)
         })
         .collect();

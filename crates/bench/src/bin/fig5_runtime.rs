@@ -15,8 +15,15 @@
 //!    a 2010-era HDD cost model (no physical I/O), plus a calibrated
 //!    compute charge.
 //!
+//! A third part activates with `--shards k` (k ≥ 2): the same workload is
+//! run through the sharded engine — site columns split into `k` contiguous
+//! shards, each with its own manager over a disjoint region of one backing
+//! file, combined in parallel — for **all five** replacement strategies,
+//! asserting bit-identical log-likelihoods against the serial engine and
+//! reporting merged per-shard residency statistics.
+//!
 //! ```sh
-//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model]
+//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4]
 //! ```
 
 use ooc_bench::args::Args;
@@ -47,6 +54,20 @@ struct RealPoint {
 }
 
 #[derive(Serialize)]
+struct ShardPoint {
+    strategy: &'static str,
+    shards: usize,
+    serial_secs: f64,
+    sharded_secs: f64,
+    speedup: f64,
+    lnl: f64,
+    merged_requests: u64,
+    merged_misses: u64,
+    merged_disk_reads: u64,
+    merged_disk_writes: u64,
+}
+
+#[derive(Serialize)]
 struct ModelPoint {
     gb: f64,
     standard_secs: f64,
@@ -65,6 +86,10 @@ fn main() {
     }
     if !args.flag("skip-model") {
         modeled_paper_scale(&args, quick, traversals);
+    }
+    let shards = args.usize("shards", 0);
+    if shards >= 2 {
+        sharded_sweep(&args, quick, traversals, shards);
     }
 }
 
@@ -198,6 +223,132 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
          while out-of-core times scale smoothly — >5x at the largest size in the paper.\n"
     );
     write_json(args.string("out-real", "fig5_real_results.json"), &points);
+}
+
+/// Part 3 (`--shards k`): serial vs sharded-parallel out-of-core runs for
+/// all five replacement strategies, asserting bit-identical likelihoods.
+fn sharded_sweep(args: &Args, quick: bool, traversals: usize, shards: usize) {
+    let n_taxa = args.usize("taxa", if quick { 128 } else { 512 });
+    let n_sites = args.usize("sites", if quick { 600 } else { 2000 });
+    let budget = args.u64("budget-mib", if quick { 8 } else { 64 }) * 1024 * 1024;
+    let dir = tempfile::tempdir().expect("tempdir");
+    println!(
+        "Figure 5 (sharded sweep): {} taxa x {} sites, {} shards over {} worker threads, \
+         RAM budget {:.0} MiB, {} full traversals\n",
+        n_taxa,
+        n_sites,
+        shards,
+        ooc_core::parallelism(),
+        budget as f64 / (1024.0 * 1024.0),
+        traversals
+    );
+
+    let spec = DatasetSpec {
+        n_taxa,
+        n_sites,
+        seed: 8192,
+        ..Default::default()
+    };
+    let data = setup::simulate_dataset(&spec);
+
+    let strategies = [
+        StrategyKind::Random { seed: 5 },
+        StrategyKind::Lru,
+        StrategyKind::Lfu,
+        StrategyKind::Topological,
+        StrategyKind::NextUse,
+    ];
+    let mut points = Vec::new();
+    for (i, kind) in strategies.into_iter().enumerate() {
+        let mut serial = setup::ooc_engine_file(
+            &data,
+            dir.path().join(format!("serial_{i}.bin")),
+            budget,
+            kind,
+        )
+        .expect("failed to create backing file");
+        let t0 = Instant::now();
+        let lnl_serial = serial
+            .full_traversals(traversals)
+            .expect("serial OOC traversal failed");
+        let serial_secs = t0.elapsed().as_secs_f64();
+        drop(serial);
+
+        let mut sharded = setup::sharded_engine_file_limit(
+            &data,
+            dir.path().join(format!("sharded_{i}.bin")),
+            budget,
+            kind,
+            shards,
+        )
+        .expect("failed to create sharded backing file");
+        let t0 = Instant::now();
+        let lnl_sharded = sharded
+            .full_traversals(traversals)
+            .expect("sharded OOC traversal failed");
+        let sharded_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            lnl_sharded.to_bits(),
+            lnl_serial.to_bits(),
+            "{}: sharded log-likelihood must be bit-identical to serial \
+             ({lnl_sharded} vs {lnl_serial})",
+            kind.label()
+        );
+        let stats = sharded
+            .merged_ooc_stats()
+            .expect("sharded OOC engine reports merged stats");
+
+        points.push(ShardPoint {
+            strategy: kind.label(),
+            shards,
+            serial_secs,
+            sharded_secs,
+            speedup: serial_secs / sharded_secs,
+            lnl: lnl_sharded,
+            merged_requests: stats.requests,
+            merged_misses: stats.misses,
+            merged_disk_reads: stats.disk_reads,
+            merged_disk_writes: stats.disk_writes,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.strategy.to_string(),
+                secs(p.serial_secs),
+                secs(p.sharded_secs),
+                format!("{:.2}x", p.speedup),
+                format!("{:.4}", p.lnl),
+                p.merged_misses.to_string(),
+                p.merged_disk_reads.to_string(),
+                p.merged_disk_writes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "strategy",
+            "serial",
+            &format!("{shards} shards"),
+            "speedup",
+            "lnl (bit-identical)",
+            "misses",
+            "reads",
+            "writes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nall five strategies produced bit-identical log-likelihoods under {} shards;\n\
+         merged statistics aggregate the per-shard managers.\n",
+        shards
+    );
+    write_json(
+        args.string("out-shards", "fig5_shards_results.json"),
+        &points,
+    );
 }
 
 /// Part 2: paper-scale geometry replayed against a disk cost model.

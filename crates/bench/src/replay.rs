@@ -230,6 +230,21 @@ pub fn calibrate_newview_secs_per_f64() -> f64 {
     dt / dims.width() as f64
 }
 
+/// Pins for one Felsenstein combine, in the same access order the PLF
+/// engine uses: read children first (left, then right), then write the
+/// parent.
+fn combine_pins(parent: u32, left: Option<u32>, right: Option<u32>) -> Vec<AccessRecord> {
+    let mut pins = Vec::with_capacity(3);
+    if let Some(l) = left {
+        pins.push(AccessRecord::read(l));
+    }
+    if let Some(r) = right {
+        pins.push(AccessRecord::read(r));
+    }
+    pins.push(AccessRecord::write(parent));
+    pins
+}
+
 /// Replay `k` full traversals through the out-of-core manager with a
 /// modelled disk, returning the modelled times and the manager statistics.
 pub fn replay_ooc(
@@ -241,7 +256,10 @@ pub fn replay_ooc(
     k: usize,
     compute_secs_per_f64: f64,
 ) -> (ReplayResult, ooc_core::OocStats) {
-    let cfg = OocConfig::with_byte_limit(pattern.n_items, width, ram_limit_bytes);
+    let cfg = OocConfig::builder(pattern.n_items, width)
+        .byte_limit(ram_limit_bytes)
+        .build()
+        .expect("valid out-of-core config");
     let store = ModeledStore::new(NullStore, disk);
     let mut manager = VectorManager::new(cfg, kind.build(None), store);
 
@@ -249,9 +267,10 @@ pub fn replay_ooc(
     for _ in 0..k {
         manager.begin_plan(plan.clone());
         for &(parent, left, right) in &pattern.steps {
-            manager
-                .with_triple(parent, left, right, |_p, _l, _r| {})
+            let mut sess = manager
+                .session(&combine_pins(parent, left, right))
                 .expect("NullStore replay cannot fail on I/O");
+            let _ = sess.rw(parent, left, right);
         }
     }
     let stats = *manager.stats();
@@ -390,15 +409,17 @@ mod tests {
     /// final statistics.
     fn stats_for_plan(plan: &AccessPlan, p: &TraversalPattern, k: usize) -> ooc_core::OocStats {
         let width = 256;
-        let cfg = OocConfig::with_byte_limit(p.n_items, width, (p.n_items / 4 * width * 8) as u64);
+        let cfg = OocConfig::builder(p.n_items, width)
+            .byte_limit((p.n_items / 4 * width * 8) as u64)
+            .build()
+            .unwrap();
         let store = ModeledStore::new(NullStore, DiskModel::hdd_2010());
         let mut manager = VectorManager::new(cfg, StrategyKind::NextUse.build(None), store);
         for _ in 0..k {
             manager.begin_plan(plan.clone());
             for &(parent, left, right) in &p.steps {
-                manager
-                    .with_triple(parent, left, right, |_, _, _| {})
-                    .unwrap();
+                let mut sess = manager.session(&combine_pins(parent, left, right)).unwrap();
+                let _ = sess.rw(parent, left, right);
             }
         }
         *manager.stats()

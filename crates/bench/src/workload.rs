@@ -220,7 +220,10 @@ mod tests {
             radius: 3,
             ..Default::default()
         };
-        let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+        let cfg = OocConfig::builder(data.n_items(), data.width())
+            .fraction(0.25)
+            .build()
+            .expect("valid out-of-core config");
         let a = run_search_workload(&data, cfg, StrategyKind::Lru, &spec);
         let b = run_search_workload(&data, cfg, StrategyKind::Lru, &spec);
         assert_eq!(a.lnl.to_bits(), b.lnl.to_bits());
@@ -248,7 +251,10 @@ mod tests {
         };
         let mut rates = Vec::new();
         for f in [0.25, 0.5, 0.75, 1.0] {
-            let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+            let cfg = OocConfig::builder(data.n_items(), data.width())
+                .fraction(f)
+                .build()
+                .expect("valid out-of-core config");
             let r = run_search_workload(&data, cfg, StrategyKind::Lru, &spec);
             rates.push(r.miss_rate);
         }

@@ -43,6 +43,7 @@ pub mod manager;
 pub mod plan;
 pub mod prefetch;
 pub mod retry;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod strategy;
@@ -51,10 +52,14 @@ pub mod tiered;
 pub use diskmodel::{DiskModel, ModeledStore};
 pub use error::{OocError, OocOp, OocResult};
 pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats};
-pub use manager::{Intent, ItemId, OocConfig, SlotId, VectorManager, DEFAULT_PREFETCH_WINDOW};
+pub use manager::{
+    Intent, ItemId, OocConfig, OocConfigBuilder, OocConfigError, PinnedSession, SlotId,
+    VectorManager, DEFAULT_PREFETCH_WINDOW,
+};
 pub use plan::{AccessPlan, AccessRecord, PlanCursor};
 pub use prefetch::PrefetchingStore;
 pub use retry::{RetryPolicy, RetryStats, RetryingStore};
+pub use shard::{par_each_mut, parallelism, ShardSpec, ShardedManager};
 pub use stats::OocStats;
 pub use store::{BackingStore, FileStore, MemStore, MultiFileStore, NullStore};
 pub use strategy::{EvictionView, ReplacementStrategy, StrategyKind, TopologyOracle};

@@ -67,30 +67,19 @@ pub struct OocConfig {
 pub const DEFAULT_PREFETCH_WINDOW: usize = 16;
 
 impl OocConfig {
-    /// Config with `n_slots` slots and default behaviour flags.
-    pub fn new(n_items: usize, width: usize, n_slots: usize) -> Self {
-        OocConfig {
+    /// Start building a config for `n_items` vectors of `width` doubles.
+    /// Sizing (slots, RAM fraction or byte limit) and behaviour flags are
+    /// set on the [`OocConfigBuilder`]; validation happens once, in
+    /// [`OocConfigBuilder::build`].
+    pub fn builder(n_items: usize, width: usize) -> OocConfigBuilder {
+        OocConfigBuilder {
             n_items,
             width,
-            n_slots,
+            sizing: Sizing::AllResident,
             read_skipping: true,
             always_write_back: true,
             prefetch_window: DEFAULT_PREFETCH_WINDOW,
         }
-    }
-
-    /// The paper's `f` parameter: keep `m = f·n` vectors in RAM
-    /// (clamped to `[3, n]`).
-    pub fn with_fraction(n_items: usize, width: usize, f: f64) -> Self {
-        assert!(f > 0.0);
-        let m = ((n_items as f64 * f).round() as usize).clamp(3, n_items.max(3));
-        OocConfig::new(n_items, width, m)
-    }
-
-    /// The paper's `-L` flag: allocate at most `bytes` of RAM for slots.
-    pub fn with_byte_limit(n_items: usize, width: usize, bytes: u64) -> Self {
-        let m = ((bytes / (width as u64 * 8)) as usize).clamp(3, n_items.max(3));
-        OocConfig::new(n_items, width, m)
     }
 
     /// RAM actually allocated for slots, in bytes (`m · w`).
@@ -101,6 +90,135 @@ impl OocConfig {
     /// Bytes the full vector set would need (`n · w`).
     pub fn total_bytes(&self) -> u64 {
         self.n_items as u64 * self.width as u64 * 8
+    }
+}
+
+/// How the builder determines the slot count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Sizing {
+    /// No limit requested: every vector gets a slot.
+    AllResident,
+    /// Exact slot count (validated, not clamped).
+    Slots(usize),
+    /// The paper's `f` parameter: `m = f·n`, clamped to `[3, n]`.
+    Fraction(f64),
+    /// The paper's `-L` flag: at most this many bytes of slot RAM,
+    /// clamped to `[3, n]` slots.
+    ByteLimit(u64),
+}
+
+/// A rejected [`OocConfigBuilder::build`], with the paper's constraint that
+/// was violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OocConfigError(String);
+
+impl std::fmt::Display for OocConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid out-of-core config: {}", self.0)
+    }
+}
+
+impl std::error::Error for OocConfigError {}
+
+/// Builder for [`OocConfig`] — the single construction path. Geometry
+/// errors (fewer than the paper's 3-slot pinning minimum, more slots than
+/// items, empty geometry) are reported by [`OocConfigBuilder::build`]
+/// instead of panicking deep inside the manager.
+#[derive(Debug, Clone)]
+pub struct OocConfigBuilder {
+    n_items: usize,
+    width: usize,
+    sizing: Sizing,
+    read_skipping: bool,
+    always_write_back: bool,
+    prefetch_window: usize,
+}
+
+impl OocConfigBuilder {
+    /// Exactly `m` slots. Rejected at build time unless `3 ≤ m ≤ max(n, 3)`
+    /// — RAM must hold the three pinned vectors of one combine.
+    pub fn slots(mut self, m: usize) -> Self {
+        self.sizing = Sizing::Slots(m);
+        self
+    }
+
+    /// The paper's `f` parameter: keep `m = f·n` vectors in RAM
+    /// (clamped to `[3, n]`).
+    pub fn fraction(mut self, f: f64) -> Self {
+        self.sizing = Sizing::Fraction(f);
+        self
+    }
+
+    /// The paper's `-L` flag: allocate at most `bytes` of RAM for slots
+    /// (clamped to `[3, n]` slots).
+    pub fn byte_limit(mut self, bytes: u64) -> Self {
+        self.sizing = Sizing::ByteLimit(bytes);
+        self
+    }
+
+    /// Enable or disable §3.4 read skipping (on by default).
+    pub fn read_skipping(mut self, on: bool) -> Self {
+        self.read_skipping = on;
+        self
+    }
+
+    /// Paper-style unconditional write-back on eviction (on by default);
+    /// off switches to dirty tracking.
+    pub fn always_write_back(mut self, on: bool) -> Self {
+        self.always_write_back = on;
+        self
+    }
+
+    /// Lookahead window for plan-driven prefetch hints (`0` disables).
+    pub fn prefetch_window(mut self, window: usize) -> Self {
+        self.prefetch_window = window;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<OocConfig, OocConfigError> {
+        if self.n_items == 0 {
+            return Err(OocConfigError("n_items must be positive".into()));
+        }
+        if self.width == 0 {
+            return Err(OocConfigError("vector width must be positive".into()));
+        }
+        let max_slots = self.n_items.max(3);
+        let n_slots = match self.sizing {
+            Sizing::AllResident => max_slots,
+            Sizing::Slots(m) => {
+                if m < 3 {
+                    return Err(OocConfigError(format!(
+                        "{m} slots requested but the paper's pinning minimum is 3 \
+                         (parent + two children of one combine)"
+                    )));
+                }
+                if m > max_slots {
+                    return Err(OocConfigError(format!(
+                        "{m} slots requested for {} items (more slots than items)",
+                        self.n_items
+                    )));
+                }
+                m
+            }
+            Sizing::Fraction(f) => {
+                if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+                    return Err(OocConfigError(format!("fraction {f} must be positive")));
+                }
+                ((self.n_items as f64 * f).round() as usize).clamp(3, max_slots)
+            }
+            Sizing::ByteLimit(bytes) => {
+                ((bytes / (self.width as u64 * 8)) as usize).clamp(3, max_slots)
+            }
+        };
+        Ok(OocConfig {
+            n_items: self.n_items,
+            width: self.width,
+            n_slots,
+            read_skipping: self.read_skipping,
+            always_write_back: self.always_write_back,
+            prefetch_window: self.prefetch_window,
+        })
     }
 }
 
@@ -212,23 +330,6 @@ impl<S: BackingStore> VectorManager<S> {
     /// (NextUse). Submitting a new plan replaces the previous one.
     pub fn begin_plan(&mut self, plan: AccessPlan) {
         let window = self.cfg.prefetch_window;
-        self.install_plan(plan, window);
-    }
-
-    /// Legacy flat-list announcement, reimplemented on top of
-    /// [`VectorManager::begin_plan`]: `upcoming_reads` become leading read
-    /// records, `write_only` trailing write records. Callers that know the
-    /// real access order should lower it into an [`AccessPlan`] instead.
-    pub fn begin_traversal(&mut self, write_only: &[ItemId], upcoming_reads: &[ItemId]) {
-        let records: Vec<AccessRecord> = upcoming_reads
-            .iter()
-            .map(|&i| AccessRecord::read(i))
-            .chain(write_only.iter().map(|&i| AccessRecord::write(i)))
-            .collect();
-        let plan = AccessPlan::from_records(records, self.cfg.n_items);
-        // Flat lists carry no ordering information worth windowing over:
-        // hint every upcoming read at once, like the pre-plan interface.
-        let window = self.cfg.prefetch_window.max(upcoming_reads.len());
         self.install_plan(plan, window);
     }
 
@@ -461,122 +562,59 @@ impl<S: BackingStore> VectorManager<S> {
         self.pinned[slot as usize] = false;
     }
 
-    /// The Felsenstein combine access pattern: acquire `parent` for writing
-    /// and the inner children (if any) for reading, all pinned for the
-    /// duration of `f`. Tips have no ancestral vector, hence the `Option`s.
-    pub fn with_triple<T>(
-        &mut self,
-        parent: ItemId,
-        left: Option<ItemId>,
-        right: Option<ItemId>,
-        f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> OocResult<T> {
-        debug_assert!(Some(parent) != left && Some(parent) != right);
-        debug_assert!(left.is_none() || left != right);
-        // Children first (reads), then the parent (write): mirrors the
-        // paper's example where vectors 1 and 2 must be pinned before the
-        // swap for vector 3 happens. Already-pinned slots are released if
-        // a later acquisition fails.
-        let ls = match left {
-            Some(i) => Some(self.acquire_pinned(i, Intent::Read)?),
-            None => None,
-        };
-        let rs = match right {
-            Some(i) => match self.acquire_pinned(i, Intent::Read) {
-                Ok(s) => Some(s),
+    /// Lease a set of vectors, pinned for the lifetime of the returned
+    /// [`PinnedSession`]. Each pin carries its access intent, which drives
+    /// hit/miss accounting and §3.4 read skipping exactly like the
+    /// individual acquisitions it replaces — pin order is access order, so
+    /// a Felsenstein combine pins `[read left, read right, write parent]`
+    /// to match its lowered plan. Nothing stays pinned if any acquisition
+    /// fails; the session unpins everything on drop.
+    ///
+    /// Panics if the pins exceed the slot count (the paper's `m ≥ 3`
+    /// minimum exists precisely so one combine's three pins always fit) or
+    /// name the same item twice.
+    pub fn session(&mut self, pins: &[AccessRecord]) -> OocResult<PinnedSession<'_, S>> {
+        assert!(
+            pins.len() <= self.cfg.n_slots,
+            "{} pins cannot fit in {} slots",
+            pins.len(),
+            self.cfg.n_slots
+        );
+        let mut acquired: Vec<(ItemId, SlotId)> = Vec::with_capacity(pins.len());
+        for rec in pins {
+            assert!(
+                acquired.iter().all(|&(item, _)| item != rec.item),
+                "item {} pinned twice in one session",
+                rec.item
+            );
+            match self.acquire_pinned(rec.item, rec.intent) {
+                Ok(slot) => acquired.push((rec.item, slot)),
                 Err(e) => {
-                    if let Some(s) = ls {
-                        self.unpin(s);
+                    for &(_, slot) in &acquired {
+                        self.unpin(slot);
                     }
                     return Err(e);
                 }
-            },
-            None => None,
-        };
-        let ps = match self.acquire_pinned(parent, Intent::Write) {
-            Ok(s) => s,
-            Err(e) => {
-                if let Some(s) = ls {
-                    self.unpin(s);
-                }
-                if let Some(s) = rs {
-                    self.unpin(s);
-                }
-                return Err(e);
             }
-        };
-
-        // SAFETY: ps, ls, rs index distinct slots (distinct items map to
-        // distinct slots) and each slot is an independently boxed buffer,
-        // so one mutable and two shared borrows cannot alias.
-        let result = {
-            let base = self.slots.as_mut_ptr();
-            let pbuf: &mut [f64] = unsafe { &mut *base.add(ps as usize) };
-            let lbuf: Option<&[f64]> = ls.map(|s| unsafe { &(**base.add(s as usize)) });
-            let rbuf: Option<&[f64]> = rs.map(|s| unsafe { &(**base.add(s as usize)) });
-            f(pbuf, lbuf, rbuf)
-        };
-
-        self.unpin(ps);
-        if let Some(s) = ls {
-            self.unpin(s);
         }
-        if let Some(s) = rs {
-            self.unpin(s);
-        }
-        Ok(result)
-    }
-
-    /// Acquire two vectors for reading (root evaluation, branch-length
-    /// derivatives), pinned for the duration of `f`.
-    pub fn with_pair<T>(
-        &mut self,
-        a: ItemId,
-        b: ItemId,
-        f: impl FnOnce(&[f64], &[f64]) -> T,
-    ) -> OocResult<T> {
-        assert_ne!(a, b);
-        let sa = self.acquire_pinned(a, Intent::Read)?;
-        let sb = match self.acquire_pinned(b, Intent::Read) {
-            Ok(s) => s,
-            Err(e) => {
-                self.unpin(sa);
-                return Err(e);
-            }
-        };
-        let result = {
-            let base = self.slots.as_ptr();
-            // SAFETY: distinct slots, shared borrows only.
-            let ba: &[f64] = unsafe { &*base.add(sa as usize) };
-            let bb: &[f64] = unsafe { &*base.add(sb as usize) };
-            f(ba, bb)
-        };
-        self.unpin(sa);
-        self.unpin(sb);
-        Ok(result)
-    }
-
-    /// Acquire one vector with the given intent.
-    pub fn with_one<T>(
-        &mut self,
-        item: ItemId,
-        intent: Intent,
-        f: impl FnOnce(&mut [f64]) -> T,
-    ) -> OocResult<T> {
-        let s = self.acquire_pinned(item, intent)?;
-        let result = f(&mut self.slots[s as usize]);
-        self.unpin(s);
-        Ok(result)
+        Ok(PinnedSession {
+            pins: acquired,
+            mgr: self,
+        })
     }
 
     /// Copy a vector's current contents out (for tests and checkpointing).
     pub fn read_into(&mut self, item: ItemId, out: &mut [f64]) -> OocResult<()> {
-        self.with_one(item, Intent::Read, |buf| out.copy_from_slice(buf))
+        let s = self.ensure_resident(item, Intent::Read)?;
+        out.copy_from_slice(&self.slots[s as usize]);
+        Ok(())
     }
 
     /// Overwrite a vector (counts as a write access).
     pub fn write_vector(&mut self, item: ItemId, data: &[f64]) -> OocResult<()> {
-        self.with_one(item, Intent::Write, |buf| buf.copy_from_slice(data))
+        let s = self.ensure_resident(item, Intent::Write)?;
+        self.slots[s as usize].copy_from_slice(data);
+        Ok(())
     }
 
     /// Write every dirty resident vector to the store without evicting.
@@ -605,6 +643,88 @@ impl<S: BackingStore> VectorManager<S> {
     }
 }
 
+/// A lease over a set of pinned vectors, created by
+/// [`VectorManager::session`]. While the session lives, none of its
+/// vectors can be chosen as an eviction victim; dropping it releases every
+/// pin. Accessors take item ids (not slots), so callers never see the
+/// slot indirection.
+pub struct PinnedSession<'m, S: BackingStore> {
+    mgr: &'m mut VectorManager<S>,
+    pins: Vec<(ItemId, SlotId)>,
+}
+
+impl<S: BackingStore> std::fmt::Debug for PinnedSession<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinnedSession")
+            .field("pins", &self.pins)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S: BackingStore> PinnedSession<'_, S> {
+    fn slot_of(&self, item: ItemId) -> SlotId {
+        self.pins
+            .iter()
+            .find(|&&(i, _)| i == item)
+            .map(|&(_, s)| s)
+            .unwrap_or_else(|| panic!("item {item} is not pinned in this session"))
+    }
+
+    /// Items pinned by this session, in pin order.
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.pins.iter().map(|&(item, _)| item)
+    }
+
+    /// Shared view of a pinned vector.
+    pub fn read(&self, item: ItemId) -> &[f64] {
+        &self.mgr.slots[self.slot_of(item) as usize]
+    }
+
+    /// Mutable view of a pinned vector (marks its slot dirty).
+    pub fn write(&mut self, item: ItemId) -> &mut [f64] {
+        let slot = self.slot_of(item);
+        self.mgr.dirty[slot as usize] = true;
+        &mut self.mgr.slots[slot as usize]
+    }
+
+    /// The combine shape: one mutable target plus up to two shared source
+    /// views, all simultaneously borrowed (tips have no ancestral vector,
+    /// hence the `Option`s). All three must be pinned in this session and
+    /// the sources must not alias the target.
+    pub fn rw(
+        &mut self,
+        target: ItemId,
+        src1: Option<ItemId>,
+        src2: Option<ItemId>,
+    ) -> (&mut [f64], Option<&[f64]>, Option<&[f64]>) {
+        let ts = self.slot_of(target);
+        let s1 = src1.map(|i| self.slot_of(i));
+        let s2 = src2.map(|i| self.slot_of(i));
+        assert!(
+            Some(ts) != s1 && Some(ts) != s2,
+            "combine target {target} aliases a source"
+        );
+        self.mgr.dirty[ts as usize] = true;
+        // SAFETY: ts, s1, s2 index distinct slots (distinct pinned items
+        // map to distinct slots, and aliasing was rejected above) and each
+        // slot is an independently boxed buffer, so one mutable and two
+        // shared borrows cannot overlap.
+        let base = self.mgr.slots.as_mut_ptr();
+        let tbuf: &mut [f64] = unsafe { &mut *base.add(ts as usize) };
+        let b1: Option<&[f64]> = s1.map(|s| unsafe { &(**base.add(s as usize)) });
+        let b2: Option<&[f64]> = s2.map(|s| unsafe { &(**base.add(s as usize)) });
+        (tbuf, b1, b2)
+    }
+}
+
+impl<S: BackingStore> Drop for PinnedSession<'_, S> {
+    fn drop(&mut self) {
+        for &(_, slot) in &self.pins {
+            self.mgr.unpin(slot);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,7 +733,7 @@ mod tests {
 
     fn manager(n: usize, m: usize, width: usize) -> VectorManager<MemStore> {
         VectorManager::new(
-            OocConfig::new(n, width, m),
+            OocConfig::builder(n, width).slots(m).build().unwrap(),
             StrategyKind::Lru.build(None),
             MemStore::new(n, width),
         )
@@ -684,8 +804,11 @@ mod tests {
 
     #[test]
     fn read_skipping_can_be_disabled() {
-        let mut cfg = OocConfig::new(10, 8, 3);
-        cfg.read_skipping = false;
+        let cfg = OocConfig::builder(10, 8)
+            .slots(3)
+            .read_skipping(false)
+            .build()
+            .unwrap();
         let mut mgr = VectorManager::new(cfg, StrategyKind::Lru.build(None), MemStore::new(10, 8));
         for item in 0..10 {
             mgr.write_vector(item, &fill(item, 8)).unwrap();
@@ -703,9 +826,10 @@ mod tests {
         for item in 0..10 {
             mgr.write_vector(item, &fill(item, 8)).unwrap();
         }
-        mgr.begin_traversal(&[4], &[]);
+        use crate::plan::{AccessPlan, AccessRecord};
+        mgr.begin_plan(AccessPlan::from_records(vec![AccessRecord::write(4)], 10));
         let before = *mgr.stats();
-        // Even a Read-intent access skips, because the flag promises the
+        // Even a Read-intent access skips, because the plan promises the
         // traversal overwrites it first (we respect the caller's claim).
         let mut buf = vec![0.0; 8];
         mgr.read_into(4, &mut buf).unwrap();
@@ -722,59 +846,97 @@ mod tests {
     }
 
     #[test]
-    fn with_triple_pins_all_three() {
+    fn session_combine_pins_all_three() {
         let (n, m, w) = (30usize, 3usize, 4usize);
         let mut mgr = manager(n, m, w);
         for item in 0..n as u32 {
             mgr.write_vector(item, &fill(item, w)).unwrap();
         }
-        // With exactly 3 slots, acquiring a triple pins everything; the
+        // With exactly 3 slots, a combine session pins everything; the
         // combine must still succeed and see the right child data.
-        mgr.with_triple(0, Some(7), Some(13), |p, l, r| {
-            assert_eq!(l.unwrap(), &fill(7, w)[..]);
-            assert_eq!(r.unwrap(), &fill(13, w)[..]);
-            for (i, x) in p.iter_mut().enumerate() {
-                *x = l.unwrap()[i] + r.unwrap()[i];
-            }
-        })
-        .unwrap();
+        let mut sess = mgr
+            .session(&[
+                AccessRecord::read(7),
+                AccessRecord::read(13),
+                AccessRecord::write(0),
+            ])
+            .unwrap();
+        let (p, l, r) = sess.rw(0, Some(7), Some(13));
+        assert_eq!(l.unwrap(), &fill(7, w)[..]);
+        assert_eq!(r.unwrap(), &fill(13, w)[..]);
+        for (i, x) in p.iter_mut().enumerate() {
+            *x = l.unwrap()[i] + r.unwrap()[i];
+        }
+        drop(sess);
         let mut buf = vec![0.0; w];
         mgr.read_into(0, &mut buf).unwrap();
         let expect: Vec<f64> = (0..w).map(|i| fill(7, w)[i] + fill(13, w)[i]).collect();
         assert_eq!(buf, expect);
-        // Pins must be released afterwards.
+        // Pins must be released once the session is dropped.
         assert!(mgr.pinned.iter().all(|&p| !p));
     }
 
     #[test]
-    fn with_triple_handles_tip_children() {
+    fn session_combine_handles_tip_children() {
         let mut mgr = manager(5, 3, 4);
-        mgr.with_triple(2, None, None, |p, l, r| {
-            assert!(l.is_none() && r.is_none());
-            p.fill(9.0);
-        })
-        .unwrap();
+        let mut sess = mgr.session(&[AccessRecord::write(2)]).unwrap();
+        let (p, l, r) = sess.rw(2, None, None);
+        assert!(l.is_none() && r.is_none());
+        p.fill(9.0);
+        drop(sess);
         let mut buf = vec![0.0; 4];
         mgr.read_into(2, &mut buf).unwrap();
         assert_eq!(buf, vec![9.0; 4]);
     }
 
     #[test]
-    fn with_pair_reads_both() {
+    fn session_reads_pair() {
         let mut mgr = manager(10, 3, 4);
         mgr.write_vector(1, &fill(1, 4)).unwrap();
         mgr.write_vector(2, &fill(2, 4)).unwrap();
-        let dot = mgr
-            .with_pair(1, 2, |a, b| {
-                a.iter().zip(b.iter()).map(|(x, y)| x * y).sum::<f64>()
-            })
+        let sess = mgr
+            .session(&[AccessRecord::read(1), AccessRecord::read(2)])
             .unwrap();
+        let dot: f64 = sess
+            .read(1)
+            .iter()
+            .zip(sess.read(2).iter())
+            .map(|(x, y)| x * y)
+            .sum();
+        drop(sess);
         let expect: f64 = fill(1, 4)
             .iter()
             .zip(fill(2, 4).iter())
             .map(|(x, y)| x * y)
             .sum();
         assert_eq!(dot, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned twice")]
+    fn session_rejects_duplicate_pins() {
+        let mut mgr = manager(10, 3, 4);
+        let _ = mgr.session(&[AccessRecord::read(1), AccessRecord::write(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn session_rejects_more_pins_than_slots() {
+        let mut mgr = manager(10, 3, 4);
+        let _ = mgr.session(&[
+            AccessRecord::read(0),
+            AccessRecord::read(1),
+            AccessRecord::read(2),
+            AccessRecord::write(3),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not pinned in this session")]
+    fn session_read_of_unpinned_item_panics() {
+        let mut mgr = manager(10, 3, 4);
+        let sess = mgr.session(&[AccessRecord::read(1)]).unwrap();
+        let _ = sess.read(2);
     }
 
     #[test]
@@ -796,8 +958,11 @@ mod tests {
         let writes_swap = mgr.stats().disk_writes;
 
         // Dirty tracking: reading items back evicts clean copies silently.
-        let mut cfg = OocConfig::new(6, 4, 3);
-        cfg.always_write_back = false;
+        let cfg = OocConfig::builder(6, 4)
+            .slots(3)
+            .always_write_back(false)
+            .build()
+            .unwrap();
         let mut mgr2 = VectorManager::new(cfg, StrategyKind::Lru.build(None), MemStore::new(6, 4));
         for item in 0..6 {
             mgr2.write_vector(item, &fill(item, 4)).unwrap();
@@ -840,22 +1005,38 @@ mod tests {
     }
 
     #[test]
-    fn fraction_and_byte_limit_constructors() {
-        let c = OocConfig::with_fraction(1000, 64, 0.25);
+    fn fraction_and_byte_limit_sizing() {
+        let c = OocConfig::builder(1000, 64).fraction(0.25).build().unwrap();
         assert_eq!(c.n_slots, 250);
-        let c = OocConfig::with_fraction(10, 64, 0.01);
+        let c = OocConfig::builder(10, 64).fraction(0.01).build().unwrap();
         assert_eq!(c.n_slots, 3, "clamped to minimum");
-        let c = OocConfig::with_byte_limit(1000, 128, 1_000_000_000);
+        let c = OocConfig::builder(1000, 128)
+            .byte_limit(1_000_000_000)
+            .build()
+            .unwrap();
         assert_eq!(c.n_slots, 1000, "clamped to n_items");
-        let c = OocConfig::with_byte_limit(1_000_000, 160_000, 1_000_000_000);
+        let c = OocConfig::builder(1_000_000, 160_000)
+            .byte_limit(1_000_000_000)
+            .build()
+            .unwrap();
         // 1 GB / (160000*8 B) = 781 slots — the paper's -L 1GB geometry.
         assert_eq!(c.n_slots, 781);
+        // No sizing request at all: everything resident.
+        let c = OocConfig::builder(40, 8).build().unwrap();
+        assert_eq!(c.n_slots, 40);
     }
 
     #[test]
-    #[should_panic(expected = "at least 3 slots")]
-    fn fewer_than_three_slots_rejected() {
-        let _ = manager(10, 2, 8);
+    fn builder_rejects_bad_geometry() {
+        let err = OocConfig::builder(10, 8).slots(2).build().unwrap_err();
+        assert!(err.to_string().contains("pinning minimum is 3"));
+        assert!(OocConfig::builder(10, 8).slots(11).build().is_err());
+        assert!(OocConfig::builder(0, 8).build().is_err());
+        assert!(OocConfig::builder(10, 0).build().is_err());
+        assert!(OocConfig::builder(10, 8).fraction(0.0).build().is_err());
+        // Tiny item counts still admit the 3-slot minimum.
+        let c = OocConfig::builder(1, 8).slots(3).build().unwrap();
+        assert_eq!(c.n_slots, 3);
     }
 
     #[test]
@@ -883,7 +1064,7 @@ mod tests {
         plan: crate::fault::FaultPlan,
     ) -> VectorManager<crate::fault::FaultInjectingStore<MemStore>> {
         VectorManager::new(
-            OocConfig::new(n, width, m),
+            OocConfig::builder(n, width).slots(m).build().unwrap(),
             StrategyKind::Lru.build(None),
             crate::fault::FaultInjectingStore::new(MemStore::new(n, width), plan),
         )
@@ -957,9 +1138,9 @@ mod tests {
     }
 
     #[test]
-    fn with_triple_releases_pins_on_error() {
+    fn session_releases_pins_on_error() {
         let (n, m, w) = (8usize, 3usize, 4usize);
-        // The first store read fails permanently; the combine below pins a
+        // The first store read fails permanently; the session below pins a
         // resident child first, then fails acquiring the second child.
         let plan = crate::fault::FaultPlan::none().with(crate::fault::FaultRule::Window {
             op: crate::fault::FaultOp::Read,
@@ -974,9 +1155,12 @@ mod tests {
         // LRU residents are now items 5, 6, 7: child 5 hits (and is
         // pinned), child 1 needs a store read, which fails.
         assert!(mgr.is_resident(5) && !mgr.is_resident(1));
-        let err = mgr
-            .with_triple(0, Some(5), Some(1), |_, _, _| ())
-            .unwrap_err();
+        let combine = [
+            AccessRecord::read(5),
+            AccessRecord::read(1),
+            AccessRecord::write(0),
+        ];
+        let err = mgr.session(&combine).unwrap_err();
         assert_eq!(err.op, OocOp::Read);
         assert_eq!(err.item, Some(1));
         assert!(
@@ -984,12 +1168,11 @@ mod tests {
             "pins must be released when a later acquisition fails"
         );
         // Recovery: same combine works once the fault window has passed.
-        mgr.with_triple(0, Some(5), Some(1), |p, l, r| {
-            assert_eq!(l.unwrap(), &fill(5, w)[..]);
-            assert_eq!(r.unwrap(), &fill(1, w)[..]);
-            p.fill(1.0);
-        })
-        .unwrap();
+        let mut sess = mgr.session(&combine).unwrap();
+        let (p, l, r) = sess.rw(0, Some(5), Some(1));
+        assert_eq!(l.unwrap(), &fill(5, w)[..]);
+        assert_eq!(r.unwrap(), &fill(1, w)[..]);
+        p.fill(1.0);
     }
 
     /// A store that records every hint batch it receives, for asserting
@@ -1024,8 +1207,11 @@ mod tests {
             inner: MemStore::new(n, width),
             hints: hints.clone(),
         };
-        let mut cfg = OocConfig::new(n, width, m);
-        cfg.prefetch_window = window;
+        let cfg = OocConfig::builder(n, width)
+            .slots(m)
+            .prefetch_window(window)
+            .build()
+            .unwrap();
         let mgr = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
         (mgr, hints)
     }
@@ -1117,7 +1303,7 @@ mod tests {
         use crate::plan::{AccessPlan, AccessRecord};
         let (n, m, w) = (8usize, 3usize, 4usize);
         let mut mgr = VectorManager::new(
-            OocConfig::new(n, w, m),
+            OocConfig::builder(n, w).slots(m).build().unwrap(),
             StrategyKind::NextUse.build(None),
             MemStore::new(n, w),
         );
@@ -1208,7 +1394,7 @@ mod tests {
         };
         let run = |oracle: Option<AccessPlan>| {
             let mut mgr = VectorManager::new(
-                OocConfig::new(6, 4, 4),
+                OocConfig::builder(6, 4).slots(4).build().unwrap(),
                 StrategyKind::NextUse.build(None),
                 MemStore::new(6, 4),
             );
@@ -1242,20 +1428,25 @@ mod tests {
     }
 
     #[test]
-    fn legacy_begin_traversal_hints_all_reads_upfront() {
+    fn plan_mixes_hints_and_skip_flags() {
+        use crate::plan::AccessPlan;
         let (n, m, w) = (10usize, 3usize, 4usize);
-        let (mut mgr, hints) = hinting_manager(n, m, w, 1);
+        let (mut mgr, hints) = hinting_manager(n, m, w, 8);
         for item in 0..n as u32 {
             mgr.write_vector(item, &fill(item, w)).unwrap();
         }
         hints.borrow_mut().clear();
-        // The shim widens the window to cover every upcoming read at once,
-        // preserving the pre-plan hint-everything behaviour.
-        mgr.begin_traversal(&[8, 9], &[0, 1, 2, 3]);
+        // One plan carries both upcoming reads (hinted, window permitting)
+        // and write-first items (skip-flagged, never hinted).
+        let records: Vec<AccessRecord> = (0..4)
+            .map(AccessRecord::read)
+            .chain([8, 9].map(AccessRecord::write))
+            .collect();
+        mgr.begin_plan(AccessPlan::from_records(records, n));
         assert_eq!(hints.borrow().as_slice(), &[vec![0, 1, 2, 3]]);
-        // Write-only items still get the skip flag: reading the plan's
-        // reads evicts 8, and its next (read-intent) access skips the
-        // store read because the traversal promised to overwrite it.
+        // Write-first items get the skip flag: reading the plan's reads
+        // evicts 8, and its next (read-intent) access skips the store
+        // read because the plan promised to overwrite it.
         let mut buf = vec![0.0; w];
         for item in 0..4u32 {
             mgr.read_into(item, &mut buf).unwrap();

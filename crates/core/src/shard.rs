@@ -1,0 +1,399 @@
+//! Site-range sharding: running `k` independent out-of-core managers over
+//! disjoint column ranges of one alignment.
+//!
+//! The PLF is embarrassingly parallel across alignment sites — each
+//! column's conditional likelihood depends only on that column — so an
+//! alignment can be cut into `k` contiguous shards, each owning its own
+//! [`VectorManager`] over a disjoint region of the backing file. All
+//! shards replay the *same* lowered access plan (the traversal order is a
+//! property of the tree, not of the sites), and because every shard's
+//! slice of each per-site result buffer is disjoint, a final reduction in
+//! fixed shard order is exactly the serial left-to-right reduction —
+//! results stay bit-identical to the single-manager path no matter how
+//! the shards were scheduled onto threads.
+
+use crate::manager::VectorManager;
+use crate::plan::AccessPlan;
+use crate::stats::OocStats;
+use crate::store::BackingStore;
+use std::ops::Range;
+
+/// A partition of `n_columns` alignment columns into contiguous,
+/// non-empty, in-order shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    ranges: Vec<Range<usize>>,
+}
+
+impl ShardSpec {
+    /// Balanced partition into (at most) `k` shards: the first
+    /// `n_columns mod k` shards get one extra column. `k` is clamped to
+    /// `[1, n_columns]` so no shard is ever empty — a manager over zero
+    /// columns has no backing geometry.
+    pub fn even(n_columns: usize, k: usize) -> Self {
+        assert!(n_columns > 0, "cannot shard an empty alignment");
+        let k = k.clamp(1, n_columns);
+        let per = n_columns / k;
+        let extra = n_columns % k;
+        let mut ranges = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for s in 0..k {
+            let len = per + usize::from(s < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, n_columns);
+        ShardSpec { ranges }
+    }
+
+    /// Partition from explicit ranges; they must be non-empty, contiguous
+    /// and start at column 0.
+    pub fn from_ranges(ranges: Vec<Range<usize>>) -> Self {
+        assert!(!ranges.is_empty(), "need at least one shard");
+        let mut expect = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, expect, "shard ranges must be contiguous");
+            assert!(r.end > r.start, "shard ranges must be non-empty");
+            expect = r.end;
+        }
+        ShardSpec { ranges }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Column range of shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.ranges[s].clone()
+    }
+
+    /// All column ranges, in shard order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
+
+    /// Total columns covered.
+    pub fn n_columns(&self) -> usize {
+        self.ranges.last().map_or(0, |r| r.end)
+    }
+}
+
+/// Worker count for sharded execution: `RAYON_NUM_THREADS` if set (the
+/// conventional knob, honoured so CI can pin it), else the machine's
+/// available parallelism, else 1.
+pub fn parallelism() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(index, item)` for every item, spread over at most
+/// [`parallelism()`] scoped threads, and return the results **in item
+/// order**. Each worker owns a contiguous chunk, so result placement is
+/// positional and independent of scheduling; with one worker (or one
+/// item) everything runs inline on the caller's thread. A panicking `f`
+/// propagates out of the scope.
+pub fn par_each_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = parallelism().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, (item_chunk, result_chunk)) in items
+            .chunks_mut(chunk)
+            .zip(results.chunks_mut(chunk))
+            .enumerate()
+        {
+            let start = c * chunk;
+            let f = &f;
+            scope.spawn(move || {
+                for (j, (item, slot)) in item_chunk
+                    .iter_mut()
+                    .zip(result_chunk.iter_mut())
+                    .enumerate()
+                {
+                    *slot = Some(f(start + j, item));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("worker filled every slot"))
+        .collect()
+}
+
+/// `k` independent [`VectorManager`]s, one per site-range shard, plus the
+/// aggregate view over them. The managers share nothing — each owns its
+/// own slots, strategy state, statistics and backing-store region — so
+/// driving them from different threads needs only `S: Send`.
+pub struct ShardedManager<S: BackingStore> {
+    shards: Vec<VectorManager<S>>,
+}
+
+impl<S: BackingStore> ShardedManager<S> {
+    /// Assemble from per-shard managers (normally built over the region
+    /// stores of [`crate::FileStore::create_regions`]).
+    pub fn new(shards: Vec<VectorManager<S>>) -> Self {
+        assert!(!shards.is_empty(), "need at least one shard");
+        let n = shards[0].config().n_items;
+        assert!(
+            shards.iter().all(|m| m.config().n_items == n),
+            "all shards must manage the same item set (same tree)"
+        );
+        ShardedManager { shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow one shard's manager.
+    pub fn shard(&self, s: usize) -> &VectorManager<S> {
+        &self.shards[s]
+    }
+
+    /// Mutably borrow one shard's manager.
+    pub fn shard_mut(&mut self, s: usize) -> &mut VectorManager<S> {
+        &mut self.shards[s]
+    }
+
+    /// Mutably borrow all shard managers (for parallel dispatch).
+    pub fn shards_mut(&mut self) -> &mut [VectorManager<S>] {
+        &mut self.shards
+    }
+
+    /// Submit the same lowered access plan to every shard: the traversal
+    /// order is a property of the tree, so all shards follow one plan.
+    pub fn begin_plan_all(&mut self, plan: &AccessPlan) {
+        for mgr in &mut self.shards {
+            mgr.begin_plan(plan.clone());
+        }
+    }
+
+    /// Aggregate statistics: the field-wise sum of every shard's counters.
+    pub fn merged_stats(&self) -> OocStats {
+        self.shards.iter().map(|m| *m.stats()).sum()
+    }
+
+    /// Reset statistics on every shard.
+    pub fn reset_stats(&mut self) {
+        for mgr in &mut self.shards {
+            mgr.reset_stats();
+        }
+    }
+
+    /// Flush every shard's dirty residents to its store region.
+    pub fn flush_all(&mut self) -> crate::error::OocResult<()> {
+        for mgr in &mut self.shards {
+            mgr.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl<S: BackingStore + Send> ShardedManager<S> {
+    /// Run `f(shard_index, manager)` on every shard, in parallel across at
+    /// most [`parallelism()`] threads, returning results in shard order.
+    pub fn par_each_mut<R, F>(&mut self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut VectorManager<S>) -> R + Sync,
+    {
+        par_each_mut(&mut self.shards, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::OocConfig;
+    use crate::plan::AccessRecord;
+    use crate::store::{FileStore, MemStore};
+    use crate::strategy::StrategyKind;
+
+    #[test]
+    fn even_spec_is_balanced_and_contiguous() {
+        let spec = ShardSpec::even(10, 4);
+        assert_eq!(spec.n_shards(), 4);
+        assert_eq!(spec.ranges(), &[0..3, 3..6, 6..8, 8..10]);
+        assert_eq!(spec.n_columns(), 10);
+        // k = 1 is the serial layout.
+        assert_eq!(
+            ShardSpec::even(10, 1).ranges(),
+            std::slice::from_ref(&(0..10))
+        );
+        // k > n clamps so no shard is empty.
+        let spec = ShardSpec::even(3, 8);
+        assert_eq!(spec.n_shards(), 3);
+        assert_eq!(spec.ranges(), &[0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_ranges_rejects_gaps() {
+        let _ = ShardSpec::from_ranges(vec![0..3, 4..6]);
+    }
+
+    #[test]
+    fn par_each_mut_returns_in_item_order() {
+        let mut items: Vec<usize> = (0..23).collect();
+        let out = par_each_mut(&mut items, |i, x| {
+            *x += 1;
+            (i, *x)
+        });
+        for (i, &(idx, val)) in out.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(val, i + 1);
+        }
+        // Empty and single-item inputs run inline.
+        let mut empty: Vec<usize> = vec![];
+        assert!(par_each_mut(&mut empty, |_, _| ()).is_empty());
+        let mut one = vec![7usize];
+        assert_eq!(par_each_mut(&mut one, |_, x| *x * 2), vec![14]);
+    }
+
+    fn shard_managers(widths: &[usize], n: usize, m: usize) -> ShardedManager<MemStore> {
+        let shards = widths
+            .iter()
+            .map(|&w| {
+                VectorManager::new(
+                    OocConfig::builder(n, w).slots(m).build().unwrap(),
+                    StrategyKind::Lru.build(None),
+                    MemStore::new(n, w),
+                )
+            })
+            .collect();
+        ShardedManager::new(shards)
+    }
+
+    #[test]
+    fn merged_stats_is_sum_of_shards() {
+        let widths = [5usize, 3, 4];
+        let n = 8usize;
+        let mut sm = shard_managers(&widths, n, 3);
+        // Drive each shard through a different-length workload.
+        for (s, &w) in widths.iter().enumerate() {
+            for round in 0..=s {
+                for item in 0..n as u32 {
+                    let data = vec![round as f64; w];
+                    sm.shard_mut(s).write_vector(item, &data).unwrap();
+                }
+            }
+        }
+        let merged = sm.merged_stats();
+        let by_hand: OocStats = (0..sm.n_shards()).map(|s| *sm.shard(s).stats()).sum();
+        assert_eq!(merged, by_hand);
+        assert_eq!(
+            merged.requests,
+            (0..sm.n_shards())
+                .map(|s| sm.shard(s).stats().requests)
+                .sum::<u64>()
+        );
+        assert!(merged.requests > 0);
+    }
+
+    #[test]
+    fn parallel_dispatch_matches_serial_dispatch() {
+        // The same workload driven through par_each_mut and serially must
+        // produce identical per-shard stats and identical data.
+        let widths = [4usize, 4, 4, 4];
+        let n = 10usize;
+        let workload = |_s: usize, mgr: &mut VectorManager<MemStore>| {
+            let w = mgr.config().width;
+            for item in 0..n as u32 {
+                let data: Vec<f64> = (0..w).map(|i| item as f64 + i as f64).collect();
+                mgr.write_vector(item, &data).unwrap();
+            }
+            let mut buf = vec![0.0; w];
+            for item in 0..n as u32 {
+                mgr.read_into(item, &mut buf).unwrap();
+            }
+            *mgr.stats()
+        };
+        let mut par = shard_managers(&widths, n, 3);
+        let par_stats = par.par_each_mut(workload);
+        let mut ser = shard_managers(&widths, n, 3);
+        let ser_stats: Vec<OocStats> = (0..ser.n_shards())
+            .map(|s| workload(s, ser.shard_mut(s)))
+            .collect();
+        assert_eq!(par_stats, ser_stats);
+        assert_eq!(par.merged_stats(), ser.merged_stats());
+    }
+
+    #[test]
+    fn begin_plan_all_reaches_every_shard() {
+        let mut sm = shard_managers(&[4, 4], 6, 3);
+        let plan = AccessPlan::from_records(vec![AccessRecord::write(2)], 6);
+        sm.begin_plan_all(&plan);
+        assert_eq!(sm.merged_stats().plans, 2);
+    }
+
+    #[test]
+    fn sharded_manager_over_file_regions_roundtrips() {
+        let dir = tempfile::tempdir().unwrap();
+        let widths = [6usize, 2];
+        let n = 5usize;
+        let regions = FileStore::create_regions(dir.path().join("s.bin"), n, &widths).unwrap();
+        let shards: Vec<VectorManager<FileStore>> = regions
+            .into_iter()
+            .zip(widths)
+            .map(|(store, w)| {
+                VectorManager::new(
+                    OocConfig::builder(n, w).slots(3).build().unwrap(),
+                    StrategyKind::Lru.build(None),
+                    store,
+                )
+            })
+            .collect();
+        let mut sm = ShardedManager::new(shards);
+        sm.par_each_mut(|s, mgr| {
+            let w = mgr.config().width;
+            for item in 0..n as u32 {
+                let data = vec![(s * 100 + item as usize) as f64; w];
+                mgr.write_vector(item, &data).unwrap();
+            }
+        });
+        for (s, &w) in widths.iter().enumerate() {
+            let mut buf = vec![0.0; w];
+            for item in 0..n as u32 {
+                sm.shard_mut(s).read_into(item, &mut buf).unwrap();
+                assert_eq!(buf, vec![(s * 100 + item as usize) as f64; w]);
+            }
+        }
+    }
+
+    /// Compile-time check: a manager over a Send store is Send, which is
+    /// what lets scoped threads drive the shards.
+    #[test]
+    fn managers_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<VectorManager<MemStore>>();
+        assert_send::<VectorManager<FileStore>>();
+        assert_send::<VectorManager<crate::fault::FaultInjectingStore<FileStore>>>();
+        assert_send::<VectorManager<crate::retry::RetryingStore<FileStore>>>();
+        assert_send::<ShardedManager<FileStore>>();
+    }
+}

@@ -127,6 +127,49 @@ impl OocStats {
             self.hinted_reads as f64 / self.disk_reads as f64
         }
     }
+
+    /// Field-wise sum (`self + other`), the aggregate view over several
+    /// managers — e.g. the per-shard managers of a sharded run. Every
+    /// counter is additive, so the merged statistics of `k` disjoint shards
+    /// describe the combined workload exactly.
+    pub fn merged(&self, other: &OocStats) -> OocStats {
+        OocStats {
+            requests: self.requests + other.requests,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            disk_reads: self.disk_reads + other.disk_reads,
+            disk_writes: self.disk_writes + other.disk_writes,
+            skipped_reads: self.skipped_reads + other.skipped_reads,
+            cold_loads: self.cold_loads + other.cold_loads,
+            evictions: self.evictions + other.evictions,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+            io_errors: self.io_errors + other.io_errors,
+            plans: self.plans + other.plans,
+            hints_issued: self.hints_issued + other.hints_issued,
+            hinted_reads: self.hinted_reads + other.hinted_reads,
+        }
+    }
+}
+
+impl std::ops::Add for OocStats {
+    type Output = OocStats;
+
+    fn add(self, rhs: OocStats) -> OocStats {
+        self.merged(&rhs)
+    }
+}
+
+impl std::ops::AddAssign for OocStats {
+    fn add_assign(&mut self, rhs: OocStats) {
+        *self = self.merged(&rhs);
+    }
+}
+
+impl std::iter::Sum for OocStats {
+    fn sum<I: Iterator<Item = OocStats>>(iter: I) -> OocStats {
+        iter.fold(OocStats::default(), |acc, s| acc + s)
+    }
 }
 
 impl std::fmt::Display for OocStats {
@@ -190,6 +233,41 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.requests, 15);
         assert_eq!(d.misses, 3);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_sum() {
+        let a = OocStats {
+            requests: 10,
+            hits: 6,
+            misses: 4,
+            disk_reads: 2,
+            bytes_read: 128,
+            ..Default::default()
+        };
+        let b = OocStats {
+            requests: 5,
+            hits: 1,
+            misses: 4,
+            disk_writes: 3,
+            bytes_written: 96,
+            ..Default::default()
+        };
+        let m = a + b;
+        assert_eq!(m.requests, 15);
+        assert_eq!(m.hits, 7);
+        assert_eq!(m.misses, 8);
+        assert_eq!(m.disk_reads, 2);
+        assert_eq!(m.disk_writes, 3);
+        assert_eq!(m.bytes_read, 128);
+        assert_eq!(m.bytes_written, 96);
+        // Sum over an iterator agrees with repeated Add, and AddAssign too.
+        let total: OocStats = [a, b, a].into_iter().sum();
+        let mut acc = a + b;
+        acc += a;
+        assert_eq!(total, acc);
+        // Merging the identity is a no-op.
+        assert_eq!(a + OocStats::default(), a);
     }
 
     #[test]

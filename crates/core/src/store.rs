@@ -97,11 +97,14 @@ impl BackingStore for MemStore {
 }
 
 /// Single-binary-file store with positioned I/O: item `i` lives at byte
-/// offset `i · width · 8`. This is the paper's primary configuration.
+/// offset `base + i · width · 8`. This is the paper's primary
+/// configuration; `base` is zero except for region stores carved out of a
+/// shared file by [`FileStore::create_regions`].
 #[derive(Debug)]
 pub struct FileStore {
     file: File,
     width: usize,
+    base: u64,
 }
 
 impl FileStore {
@@ -115,24 +118,70 @@ impl FileStore {
             .truncate(true)
             .open(path)?;
         file.set_len((n_items * width * 8) as u64)?;
-        Ok(FileStore { file, width })
+        Ok(FileStore {
+            file,
+            width,
+            base: 0,
+        })
     }
 
     /// Open an existing store file (no truncation); used to get a second
     /// handle onto the same data, e.g. for the prefetch worker thread.
     pub fn open<P: AsRef<Path>>(path: P, width: usize) -> io::Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
-        Ok(FileStore { file, width })
+        Ok(FileStore {
+            file,
+            width,
+            base: 0,
+        })
     }
 
     /// Wrap an already-open file handle.
     pub fn from_file(file: File, width: usize) -> Self {
-        FileStore { file, width }
+        FileStore {
+            file,
+            width,
+            base: 0,
+        }
+    }
+
+    /// Carve one pre-sized file at `path` into `widths.len()` disjoint
+    /// regions, each holding `n_items` vectors of its own width (region
+    /// `k` spans bytes `[Σ_{j<k} n·wⱼ·8, Σ_{j≤k} n·wⱼ·8)`). Every region
+    /// gets an independent `File` handle onto the same inode, so the
+    /// returned stores can be driven from different threads — positioned
+    /// I/O (`pread`/`pwrite`) needs no shared cursor. This is the sharded
+    /// layout: one backing file, one region per site-range shard.
+    pub fn create_regions<P: AsRef<Path>>(
+        path: P,
+        n_items: usize,
+        widths: &[usize],
+    ) -> io::Result<Vec<FileStore>> {
+        assert!(!widths.is_empty(), "need at least one region");
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let total: u64 = widths.iter().map(|&w| (n_items * w * 8) as u64).sum();
+        file.set_len(total)?;
+        let mut regions = Vec::with_capacity(widths.len());
+        let mut base = 0u64;
+        for &width in widths {
+            regions.push(FileStore {
+                file: file.try_clone()?,
+                width,
+                base,
+            });
+            base += (n_items * width * 8) as u64;
+        }
+        Ok(regions)
     }
 
     /// Byte offset of an item.
     fn offset(&self, item: ItemId) -> u64 {
-        item as u64 * self.width as u64 * 8
+        self.base + item as u64 * self.width as u64 * 8
     }
 }
 
@@ -302,6 +351,38 @@ mod tests {
         // Items never written read back as zeros (file was pre-sized).
         s.read(0, &mut buf).unwrap();
         assert!(buf.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn file_store_regions_are_disjoint() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("regions.bin");
+        let widths = [16usize, 24, 8];
+        let n = 6usize;
+        let mut regions = FileStore::create_regions(&path, n, &widths).unwrap();
+        // Distinct fill per (region, item) pair; write everything, then
+        // verify nothing clobbered anything else.
+        for (k, store) in regions.iter_mut().enumerate() {
+            for item in 0..n as u32 {
+                let data: Vec<f64> = (0..widths[k])
+                    .map(|i| (k * 10_000) as f64 + item as f64 * 100.0 + i as f64)
+                    .collect();
+                store.write(item, &data).unwrap();
+            }
+        }
+        for (k, store) in regions.iter_mut().enumerate() {
+            let mut buf = vec![0.0; widths[k]];
+            for item in 0..n as u32 {
+                store.read(item, &mut buf).unwrap();
+                let expect: Vec<f64> = (0..widths[k])
+                    .map(|i| (k * 10_000) as f64 + item as f64 * 100.0 + i as f64)
+                    .collect();
+                assert_eq!(buf, expect, "region {k} item {item} corrupted");
+            }
+        }
+        // One file on disk, sized as the sum of all regions.
+        let total: u64 = widths.iter().map(|&w| (n * w * 8) as u64).sum();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), total);
     }
 
     #[test]

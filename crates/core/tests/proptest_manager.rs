@@ -2,7 +2,7 @@
 //! plain in-RAM array under *any* access sequence, strategy, slot count,
 //! and behaviour-flag combination.
 
-use ooc_core::{MemStore, OocConfig, StrategyKind, VectorManager};
+use ooc_core::{AccessPlan, AccessRecord, MemStore, OocConfig, StrategyKind, VectorManager};
 use proptest::prelude::*;
 
 /// One operation of a generated access sequence.
@@ -59,9 +59,12 @@ proptest! {
     ) {
         let n_items = 12usize;
         let width = 9usize;
-        let mut cfg = OocConfig::new(n_items, width, n_slots);
-        cfg.read_skipping = read_skipping;
-        cfg.always_write_back = always_write_back;
+        let cfg = OocConfig::builder(n_items, width)
+            .slots(n_slots)
+            .read_skipping(read_skipping)
+            .always_write_back(always_write_back)
+            .build()
+            .unwrap();
         let mut mgr = VectorManager::new(
             cfg,
             kind_from(selector).build(None),
@@ -89,12 +92,17 @@ proptest! {
                     if p == l || p == r || l == r {
                         continue;
                     }
-                    mgr.with_triple(p as u32, Some(l as u32), Some(r as u32), |pv, lv, rv| {
-                        let (lv, rv) = (lv.unwrap(), rv.unwrap());
-                        for k in 0..pv.len() {
-                            pv[k] = lv[k] + rv[k];
-                        }
-                    }).unwrap();
+                    let mut sess = mgr.session(&[
+                        AccessRecord::read(l as u32),
+                        AccessRecord::read(r as u32),
+                        AccessRecord::write(p as u32),
+                    ]).unwrap();
+                    let (pv, lv, rv) = sess.rw(p as u32, Some(l as u32), Some(r as u32));
+                    let (lv, rv) = (lv.unwrap(), rv.unwrap());
+                    for k in 0..pv.len() {
+                        pv[k] = lv[k] + rv[k];
+                    }
+                    drop(sess);
                     let lv = oracle[l as usize].clone().unwrap_or_else(|| vec![0.0; width]);
                     let rv = oracle[r as usize].clone().unwrap_or_else(|| vec![0.0; width]);
                     oracle[p as usize] =
@@ -105,7 +113,10 @@ proptest! {
                     // Claiming items are write-only is only sound if the
                     // next access really writes them; emulate that.
                     let items: Vec<u32> = items.iter().map(|&i| i as u32).collect();
-                    mgr.begin_traversal(&items, &[]);
+                    mgr.begin_plan(AccessPlan::from_records(
+                        items.iter().map(|&i| AccessRecord::write(i)).collect(),
+                        n_items,
+                    ));
                     for &i in &items {
                         let data = pattern(i as u8, 255, width);
                         mgr.write_vector(i, &data).unwrap();
@@ -132,7 +143,7 @@ proptest! {
 
     #[test]
     fn fraction_config_always_legal(n_items in 3usize..5000, f in 0.001f64..1.0) {
-        let cfg = OocConfig::with_fraction(n_items, 16, f);
+        let cfg = OocConfig::builder(n_items, 16).fraction(f).build().unwrap();
         prop_assert!(cfg.n_slots >= 3);
         prop_assert!(cfg.n_slots <= n_items.max(3));
     }
@@ -143,7 +154,7 @@ proptest! {
         width in 1usize..100_000,
         bytes in 0u64..10_000_000_000,
     ) {
-        let cfg = OocConfig::with_byte_limit(n_items, width, bytes);
+        let cfg = OocConfig::builder(n_items, width).byte_limit(bytes).build().unwrap();
         prop_assert!(cfg.n_slots >= 3);
         prop_assert!(cfg.n_slots <= n_items.max(3));
         prop_assert_eq!(cfg.width, width);

@@ -7,11 +7,11 @@
 //! either end of the branch) are required in this phase which accounts for
 //! approximately 20-30% of overall execution time."
 
-use crate::kernels::derivatives::{build_sumtable, nr_derivatives, SumSide};
-use crate::store_api::AncestralStore;
+use crate::kernels::derivatives::{build_sumtable, nr_derivatives, nr_derivatives_sites, SumSide};
+use crate::store_api::{AncestralStore, VectorSession};
 use crate::PlfEngine;
-use ooc_core::OocResult;
-use phylo_tree::{ChildRef, HalfEdgeId};
+use ooc_core::{AccessRecord, OocResult};
+use phylo_tree::{ChildRef, HalfEdgeId, Tree};
 
 /// Minimum branch length (matches RAxML's `zmin`-equivalent scale).
 pub const BL_MIN: f64 = 1e-6;
@@ -20,11 +20,87 @@ pub const BL_MAX: f64 = 20.0;
 /// Convergence tolerance on the derivative of the log-likelihood.
 pub const BL_TOL: f64 = 1e-8;
 
+/// The guarded Newton–Raphson iteration over a prepared branch, abstracted
+/// over how `(lnL, d1, d2)` are computed so the serial engine and the
+/// sharded engine run the *identical* sequence of proposals (bit-identical
+/// derivatives in → bit-identical branch length out). Returns
+/// `(z, best_lnl)`.
+pub(crate) fn newton_optimize(
+    z0: f64,
+    max_iter: u32,
+    mut derivs: impl FnMut(f64) -> (f64, f64, f64),
+) -> (f64, f64) {
+    let mut z = z0.clamp(BL_MIN, BL_MAX);
+    let mut best_lnl = f64::NEG_INFINITY;
+    for _ in 0..max_iter {
+        let (lnl, d1, d2) = derivs(z);
+        best_lnl = lnl;
+        if d1.abs() < BL_TOL {
+            break;
+        }
+        let step = if d2 < 0.0 {
+            d1 / d2
+        } else {
+            d1.signum() * -0.1 * z
+        };
+        let mut next = z - step;
+        if !next.is_finite() {
+            break;
+        }
+        next = next.clamp(BL_MIN, BL_MAX);
+        // Backtrack if the proposal does not improve.
+        let (lnl_next, _, _) = derivs(next);
+        if lnl_next + 1e-12 < lnl {
+            next = 0.5 * (z + next);
+        }
+        if (next - z).abs() < 1e-12 {
+            z = next;
+            break;
+        }
+        z = next;
+    }
+    let (lnl, _, _) = derivs(z);
+    best_lnl = best_lnl.max(lnl);
+    (z, best_lnl)
+}
+
+/// The branch visit order of one smoothing pass: a DFS over directed
+/// half-edges from the default root, so consecutive optimised branches
+/// share a node (the access pattern the out-of-core layer likes). The
+/// sharded engine derives the same order from its (identical) shard trees.
+pub(crate) fn smoothing_order(tree: &Tree) -> Vec<HalfEdgeId> {
+    let root = tree.default_root_edge();
+    let mut order: Vec<HalfEdgeId> = Vec::with_capacity(tree.n_branches());
+    let mut stack = vec![root, tree.back(root)];
+    let mut seen = vec![false; tree.n_half_edges()];
+    seen[root as usize] = true;
+    seen[tree.back(root) as usize] = true;
+    order.push(root);
+    while let Some(h) = stack.pop() {
+        let node = tree.node_of(h);
+        if tree.is_tip(node) {
+            continue;
+        }
+        let (l, r) = tree.children_dirs(h);
+        for c in [l, r] {
+            let cb = tree.back(c);
+            if !seen[c as usize] && !seen[cb as usize] {
+                seen[c as usize] = true;
+                seen[cb as usize] = true;
+                order.push(c);
+            }
+            stack.push(cb);
+        }
+    }
+    debug_assert_eq!(order.len(), tree.n_branches());
+    order
+}
+
 impl<S: AncestralStore> PlfEngine<S> {
     /// Build the sumtable for the branch of `h` into the engine scratch and
     /// return the combined per-pattern scale counts. Ancestral vectors at
     /// both ends must be valid towards the branch (ensured by a plan).
-    fn prepare_branch(&mut self, h: HalfEdgeId) -> OocResult<()> {
+    pub(crate) fn prepare_branch(&mut self, h: HalfEdgeId) -> OocResult<()> {
         let plan = self.make_plan(h, false);
         self.execute_plan(&plan)?;
         let dims = self.dims;
@@ -46,55 +122,57 @@ impl<S: AncestralStore> PlfEngine<S> {
         side_scale(plan.root_right, &mut self.scale_sums, &self.scale);
 
         let mut sumtable = std::mem::take(&mut self.sumtable);
-        let result = match (plan.root_left, plan.root_right) {
-            (ChildRef::Inner(p), ChildRef::Inner(q)) => self.store.with_pair(p, q, |pv, qv| {
+        let result = (|| match (plan.root_left, plan.root_right) {
+            (ChildRef::Inner(p), ChildRef::Inner(q)) => {
+                let sess = self
+                    .store
+                    .session(&[AccessRecord::read(p), AccessRecord::read(q)])?;
                 build_sumtable(
                     &dims,
-                    SumSide::Inner(pv),
-                    SumSide::Inner(qv),
+                    SumSide::Inner(sess.read(p)),
+                    SumSide::Inner(sess.read(q)),
                     eigen,
                     freqs,
                     &mut sumtable,
                 );
-            }),
+                sess.finish()
+            }
             (ChildRef::Tip(t), ChildRef::Inner(q)) => {
                 self.tips
                     .build_eigen_lut(eigen, gamma, freqs, &mut self.lut_l);
-                let (lut, tips) = (&self.lut_l, &self.tips);
-                self.store.with_one(q, false, |qv| {
-                    build_sumtable(
-                        &dims,
-                        SumSide::Tip {
-                            lut,
-                            codes: tips.tip(t as usize),
-                        },
-                        SumSide::Inner(qv),
-                        eigen,
-                        freqs,
-                        &mut sumtable,
-                    );
-                })
+                let sess = self.store.session(&[AccessRecord::read(q)])?;
+                build_sumtable(
+                    &dims,
+                    SumSide::Tip {
+                        lut: &self.lut_l,
+                        codes: self.tips.tip(t as usize),
+                    },
+                    SumSide::Inner(sess.read(q)),
+                    eigen,
+                    freqs,
+                    &mut sumtable,
+                );
+                sess.finish()
             }
             (ChildRef::Inner(p), ChildRef::Tip(t)) => {
                 self.tips
                     .build_eigen_lut_right(eigen, gamma, &mut self.lut_r);
-                let (lut, tips) = (&self.lut_r, &self.tips);
-                self.store.with_one(p, false, |pv| {
-                    build_sumtable(
-                        &dims,
-                        SumSide::Inner(pv),
-                        SumSide::Tip {
-                            lut,
-                            codes: tips.tip(t as usize),
-                        },
-                        eigen,
-                        freqs,
-                        &mut sumtable,
-                    );
-                })
+                let sess = self.store.session(&[AccessRecord::read(p)])?;
+                build_sumtable(
+                    &dims,
+                    SumSide::Inner(sess.read(p)),
+                    SumSide::Tip {
+                        lut: &self.lut_r,
+                        codes: self.tips.tip(t as usize),
+                    },
+                    eigen,
+                    freqs,
+                    &mut sumtable,
+                );
+                sess.finish()
             }
             (ChildRef::Tip(_), ChildRef::Tip(_)) => unreachable!("no tip-tip branches"),
-        };
+        })();
         self.sumtable = sumtable;
         result
     }
@@ -112,41 +190,35 @@ impl<S: AncestralStore> PlfEngine<S> {
         )
     }
 
+    /// Per-pattern `(lnL, d1, d2)` terms of the prepared branch at length
+    /// `z`, for the sharded engine's cross-shard ordered reduction.
+    pub(crate) fn branch_derivatives_sites(
+        &self,
+        z: f64,
+        out_l: &mut [f64],
+        out_d1: &mut [f64],
+        out_d2: &mut [f64],
+    ) {
+        nr_derivatives_sites(
+            &self.dims,
+            &self.sumtable,
+            &self.weights,
+            &self.scale_sums,
+            self.plf_model.eigen.values(),
+            self.plf_model.gamma.rates(),
+            z,
+            out_l,
+            out_d1,
+            out_d2,
+        );
+    }
+
     /// Optimise the length of the branch of `h` by guarded Newton–Raphson.
     /// Returns `(new_length, log_likelihood_at_new_length)`.
     pub fn optimize_branch(&mut self, h: HalfEdgeId, max_iter: u32) -> OocResult<(f64, f64)> {
         self.prepare_branch(h)?;
-        let mut z = self.tree.branch_length(h).clamp(BL_MIN, BL_MAX);
-        let mut best_lnl = f64::NEG_INFINITY;
-        for _ in 0..max_iter {
-            let (lnl, d1, d2) = self.branch_derivatives(z);
-            best_lnl = lnl;
-            if d1.abs() < BL_TOL {
-                break;
-            }
-            let step = if d2 < 0.0 {
-                d1 / d2
-            } else {
-                d1.signum() * -0.1 * z
-            };
-            let mut next = z - step;
-            if !next.is_finite() {
-                break;
-            }
-            next = next.clamp(BL_MIN, BL_MAX);
-            // Backtrack if the proposal does not improve.
-            let (lnl_next, _, _) = self.branch_derivatives(next);
-            if lnl_next + 1e-12 < lnl {
-                next = 0.5 * (z + next);
-            }
-            if (next - z).abs() < 1e-12 {
-                z = next;
-                break;
-            }
-            z = next;
-        }
-        let (lnl, _, _) = self.branch_derivatives(z);
-        best_lnl = best_lnl.max(lnl);
+        let z0 = self.tree.branch_length(h);
+        let (z, best_lnl) = newton_optimize(z0, max_iter, |z| self.branch_derivatives(z));
         self.set_branch_length(h, z); // engine method: staleness tracked
         Ok((z, best_lnl))
     }
@@ -157,33 +229,7 @@ impl<S: AncestralStore> PlfEngine<S> {
     pub fn smooth_branches(&mut self, passes: usize, nr_iter: u32) -> OocResult<f64> {
         let mut lnl = f64::NEG_INFINITY;
         for _ in 0..passes {
-            // DFS over directed half-edges from the default root so that
-            // consecutive optimised branches share a node.
-            let root = self.tree.default_root_edge();
-            let mut order: Vec<HalfEdgeId> = Vec::with_capacity(self.tree.n_branches());
-            let mut stack = vec![root, self.tree.back(root)];
-            let mut seen = vec![false; self.tree.n_half_edges()];
-            seen[root as usize] = true;
-            seen[self.tree.back(root) as usize] = true;
-            order.push(root);
-            while let Some(h) = stack.pop() {
-                let node = self.tree.node_of(h);
-                if self.tree.is_tip(node) {
-                    continue;
-                }
-                let (l, r) = self.tree.children_dirs(h);
-                for c in [l, r] {
-                    let cb = self.tree.back(c);
-                    if !seen[c as usize] && !seen[cb as usize] {
-                        seen[c as usize] = true;
-                        seen[cb as usize] = true;
-                        order.push(c);
-                    }
-                    stack.push(cb);
-                }
-            }
-            debug_assert_eq!(order.len(), self.tree.n_branches());
-            for h in order {
+            for h in smoothing_order(&self.tree) {
                 let (_, l) = self.optimize_branch(h, nr_iter)?;
                 lnl = l;
             }

@@ -74,6 +74,24 @@ impl TipCodes {
         self.codes[code as usize]
     }
 
+    /// Restrict to a contiguous pattern range (for site-range sharding):
+    /// each tip row is sliced to `range`, while the code table is kept
+    /// whole so code ids — and therefore every per-code lookup table —
+    /// stay identical across shards and to the unsharded encoding. Codes
+    /// that happen not to occur inside `range` merely leave unused lut
+    /// rows behind.
+    pub fn slice_patterns(&self, range: std::ops::Range<usize>) -> TipCodes {
+        TipCodes {
+            n_states: self.n_states,
+            codes: self.codes.clone(),
+            tip_patterns: self
+                .tip_patterns
+                .iter()
+                .map(|row| row[range.clone()].to_vec())
+                .collect(),
+        }
+    }
+
     /// Fill `lut` (layout `[code][cat][state]`) with
     /// `Σ_y P_c(x, y) · ind_mask(y)` for every distinct code. `lut` is
     /// resized as needed. This is the per-branch table used by the
@@ -220,6 +238,19 @@ mod tests {
         // Tip rows must decode back to the original masks.
         assert_eq!(tc.mask(tc.tip(0)[0]), 1); // A
         assert_eq!(tc.mask(tc.tip(1)[4]), 0x5); // R
+    }
+
+    #[test]
+    fn slice_patterns_keeps_code_table_whole() {
+        let tc = toy_codes();
+        let sub = tc.slice_patterns(1..4);
+        assert_eq!(sub.n_codes(), tc.n_codes(), "code ids must be stable");
+        assert_eq!(sub.n_patterns(), 3);
+        for t in 0..3 {
+            assert_eq!(sub.tip(t), &tc.tip(t)[1..4]);
+        }
+        // Same mask decoding through the sliced view.
+        assert_eq!(sub.mask(sub.tip(0)[0]), tc.mask(tc.tip(0)[1]));
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! operations.
 
 use crate::encode::TipCodes;
-use crate::kernels::evaluate::{evaluate_inner_inner, evaluate_tip_inner};
+use crate::kernels::evaluate::{
+    evaluate_inner_inner_sites, evaluate_tip_inner_sites, reduce_site_lnl,
+};
 use crate::kernels::newview::{newview_inner_inner, newview_tip_inner, newview_tip_tip};
 use crate::kernels::Dims;
-use crate::store_api::AncestralStore;
-use ooc_core::OocResult;
+use crate::store_api::{AncestralStore, VectorSession};
+use ooc_core::{AccessRecord, OocResult};
 use phylo_models::{DiscreteGamma, EigenDecomp, PMatrices, ReversibleModel};
 use phylo_seq::CompressedAlignment;
 use phylo_tree::spr::{spr_prune_regraft, spr_undo, SprUndo};
@@ -61,6 +63,10 @@ pub struct PlfEngine<S: AncestralStore> {
     pub(crate) lut_r: Vec<f64>,
     pub(crate) sumtable: Vec<f64>,
     pub(crate) scale_sums: Vec<u32>,
+    /// Per-pattern weighted log-likelihood terms of the most recent root
+    /// evaluation (what [`reduce_site_lnl`] folds). A sharded engine
+    /// concatenates these across shards in shard order before reducing.
+    pub(crate) site_lnl: Vec<f64>,
     /// Root branch of the most recent traversal plan. Invariant: every
     /// valid orientation points towards this branch, which makes the stale
     /// set after a content change exactly the path from the changed region
@@ -96,20 +102,37 @@ impl<S: AncestralStore> PlfEngine<S> {
             "tree tips and alignment sequences must match"
         );
         let dims = Self::dims_for(comp, n_cats);
-        assert_eq!(store.width(), dims.width(), "store width mismatch");
-        let plf_model = PlfModel::new(model, alpha, n_cats);
-        let n_inner = tree.n_inner();
         let tips = TipCodes::from_alignment(comp);
+        Self::from_parts(tree, model, alpha, dims, tips, comp.weights.clone(), store)
+    }
+
+    /// Build an engine from pre-sliced parts: a sharded engine constructs
+    /// one per shard with `dims.n_patterns`, `tips` and `weights` restricted
+    /// to the shard's pattern range, all over the same tree topology.
+    pub(crate) fn from_parts(
+        tree: Tree,
+        model: ReversibleModel,
+        alpha: f64,
+        dims: Dims,
+        tips: TipCodes,
+        weights: Vec<u32>,
+        store: S,
+    ) -> Self {
+        assert_eq!(store.width(), dims.width(), "store width mismatch");
+        assert_eq!(weights.len(), dims.n_patterns, "weights length mismatch");
+        let plf_model = PlfModel::new(model, alpha, dims.n_cats);
+        let n_inner = tree.n_inner();
         PlfEngine {
             orient: Orientation::new(n_inner),
             scale: vec![vec![0u32; dims.n_patterns]; n_inner],
-            pm_l: PMatrices::new(dims.n_states, n_cats),
-            pm_r: PMatrices::new(dims.n_states, n_cats),
+            pm_l: PMatrices::new(dims.n_states, dims.n_cats),
+            pm_r: PMatrices::new(dims.n_states, dims.n_cats),
             lut_l: Vec::new(),
             lut_r: Vec::new(),
             sumtable: Vec::new(),
             scale_sums: vec![0u32; dims.n_patterns],
-            weights: comp.weights.clone(),
+            site_lnl: vec![0.0; dims.n_patterns],
+            weights,
             last_root: None,
             tree,
             plf_model,
@@ -200,60 +223,65 @@ impl<S: AncestralStore> PlfEngine<S> {
 
         let parent = step.parent;
         let mut scale_p = std::mem::take(&mut self.scale[parent as usize]);
-        let result = match (left, right) {
+        // Pins are listed in access order (reads, then the written parent),
+        // matching the per-step record order of `TraversalPlan::lower`.
+        let result = (|| match (left, right) {
             (ChildRef::Tip(a), ChildRef::Tip(b)) => {
                 self.tips.build_lut(pm_l, &mut self.lut_l);
                 self.tips.build_lut(pm_r, &mut self.lut_r);
-                let (lut_l, lut_r, tips) = (&self.lut_l, &self.lut_r, &self.tips);
-                self.store.with_triple(parent, None, None, |pv, _, _| {
-                    newview_tip_tip(
-                        &dims,
-                        pv,
-                        &mut scale_p,
-                        lut_l,
-                        tips.tip(a as usize),
-                        lut_r,
-                        tips.tip(b as usize),
-                    );
-                })
+                let mut sess = self.store.session(&[AccessRecord::write(parent)])?;
+                let (pv, _, _) = sess.rw(parent, None, None);
+                newview_tip_tip(
+                    &dims,
+                    pv,
+                    &mut scale_p,
+                    &self.lut_l,
+                    self.tips.tip(a as usize),
+                    &self.lut_r,
+                    self.tips.tip(b as usize),
+                );
+                sess.finish()
             }
             (ChildRef::Tip(a), ChildRef::Inner(r)) => {
                 self.tips.build_lut(pm_l, &mut self.lut_l);
-                let (lut_l, tips) = (&self.lut_l, &self.tips);
-                let scale_r = &self.scale[r as usize];
-                self.store.with_triple(parent, Some(r), None, |pv, rv, _| {
-                    newview_tip_inner(
-                        &dims,
-                        pv,
-                        &mut scale_p,
-                        lut_l,
-                        tips.tip(a as usize),
-                        rv.unwrap(),
-                        scale_r,
-                        pm_r,
-                    );
-                })
+                let mut sess = self
+                    .store
+                    .session(&[AccessRecord::read(r), AccessRecord::write(parent)])?;
+                let (pv, rv, _) = sess.rw(parent, Some(r), None);
+                newview_tip_inner(
+                    &dims,
+                    pv,
+                    &mut scale_p,
+                    &self.lut_l,
+                    self.tips.tip(a as usize),
+                    rv.unwrap(),
+                    &self.scale[r as usize],
+                    pm_r,
+                );
+                sess.finish()
             }
             (ChildRef::Inner(l), ChildRef::Inner(r)) => {
-                let scale_l = &self.scale[l as usize];
-                let scale_r = &self.scale[r as usize];
-                self.store
-                    .with_triple(parent, Some(l), Some(r), |pv, lv, rv| {
-                        newview_inner_inner(
-                            &dims,
-                            pv,
-                            &mut scale_p,
-                            lv.unwrap(),
-                            scale_l,
-                            pm_l,
-                            rv.unwrap(),
-                            scale_r,
-                            pm_r,
-                        );
-                    })
+                let mut sess = self.store.session(&[
+                    AccessRecord::read(l),
+                    AccessRecord::read(r),
+                    AccessRecord::write(parent),
+                ])?;
+                let (pv, lv, rv) = sess.rw(parent, Some(l), Some(r));
+                newview_inner_inner(
+                    &dims,
+                    pv,
+                    &mut scale_p,
+                    lv.unwrap(),
+                    &self.scale[l as usize],
+                    pm_l,
+                    rv.unwrap(),
+                    &self.scale[r as usize],
+                    pm_r,
+                );
+                sess.finish()
             }
             (ChildRef::Inner(_), ChildRef::Tip(_)) => unreachable!("normalised above"),
-        };
+        })();
         // Put the scale buffer back even on failure: a failed combine must
         // not leave the parent with an empty scaling vector.
         self.scale[parent as usize] = scale_p;
@@ -279,6 +307,7 @@ impl<S: AncestralStore> PlfEngine<S> {
 
     /// Evaluate the log-likelihood at the plan's root branch (vectors must
     /// already be up to date, i.e. call after [`PlfEngine::execute_plan`]).
+    /// Fills `self.site_lnl` with per-pattern terms as a side effect.
     pub(crate) fn evaluate_plan(&mut self, plan: &TraversalPlan) -> OocResult<f64> {
         let dims = self.dims;
         self.pm_l
@@ -286,25 +315,48 @@ impl<S: AncestralStore> PlfEngine<S> {
         let freqs = self.plf_model.model.freqs();
         match (plan.root_left, plan.root_right) {
             (ChildRef::Inner(p), ChildRef::Inner(q)) => {
-                let scale_p = &self.scale[p as usize];
-                let scale_q = &self.scale[q as usize];
-                let (pm, weights) = (&self.pm_l, &self.weights);
-                self.store.with_pair(p, q, |pv, qv| {
-                    evaluate_inner_inner(&dims, pv, scale_p, qv, scale_q, pm, freqs, weights)
-                })
+                let sess = self
+                    .store
+                    .session(&[AccessRecord::read(p), AccessRecord::read(q)])?;
+                evaluate_inner_inner_sites(
+                    &dims,
+                    sess.read(p),
+                    &self.scale[p as usize],
+                    sess.read(q),
+                    &self.scale[q as usize],
+                    &self.pm_l,
+                    freqs,
+                    &self.weights,
+                    &mut self.site_lnl,
+                );
+                sess.finish()?;
             }
             (ChildRef::Tip(t), ChildRef::Inner(q)) | (ChildRef::Inner(q), ChildRef::Tip(t)) => {
                 self.tips.build_root_lut(&self.pm_l, freqs, &mut self.lut_l);
-                let (lut, tips, weights) = (&self.lut_l, &self.tips, &self.weights);
-                let scale_q = &self.scale[q as usize];
-                self.store.with_one(q, false, |qv| {
-                    evaluate_tip_inner(&dims, lut, tips.tip(t as usize), qv, scale_q, weights)
-                })
+                let sess = self.store.session(&[AccessRecord::read(q)])?;
+                evaluate_tip_inner_sites(
+                    &dims,
+                    &self.lut_l,
+                    self.tips.tip(t as usize),
+                    sess.read(q),
+                    &self.scale[q as usize],
+                    &self.weights,
+                    &mut self.site_lnl,
+                );
+                sess.finish()?;
             }
             (ChildRef::Tip(_), ChildRef::Tip(_)) => {
                 unreachable!("no tip-tip branches exist for n >= 3")
             }
         }
+        Ok(reduce_site_lnl(&self.site_lnl))
+    }
+
+    /// Per-pattern weighted log-likelihood terms of the most recent root
+    /// evaluation. A sharded engine folds these across shards in shard
+    /// order, reproducing the serial reduction bit-for-bit.
+    pub fn site_lnl(&self) -> &[f64] {
+        &self.site_lnl
     }
 
     /// Log-likelihood evaluated at the branch of `root_he`. With
@@ -394,12 +446,10 @@ impl<S: AncestralStore> PlfEngine<S> {
 
     /// Direct read-only access to a computed ancestral vector (test hook).
     pub fn debug_vector(&mut self, inner: u32) -> OocResult<Vec<f64>> {
-        let width = self.store.width();
-        self.store.with_one(inner, false, |buf| {
-            let mut out = vec![0.0; width];
-            out.copy_from_slice(buf);
-            out
-        })
+        let sess = self.store.session(&[AccessRecord::read(inner)])?;
+        let out = sess.read(inner).to_vec();
+        sess.finish()?;
+        Ok(out)
     }
 }
 

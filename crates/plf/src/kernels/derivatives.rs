@@ -99,11 +99,14 @@ pub fn build_sumtable(
     }
 }
 
-/// Evaluate `(lnL, d lnL/dz, d² lnL/dz²)` at branch length `z` from a
-/// sumtable. `scale_sums[i]` is the combined scaling count of both sides
-/// for pattern `i` (constant in `z`, so it shifts `lnL` but not the
-/// derivatives).
-pub fn nr_derivatives(
+/// Per-pattern variant of [`nr_derivatives`]: write pattern `i`'s weighted
+/// contributions to `lnL`, `d lnL/dz` and `d² lnL/dz²` into `out_l[i]`,
+/// `out_d1[i]`, `out_d2[i]`. The three accumulators of the scalar version
+/// are independent left-to-right sums over patterns, so folding these
+/// buffers in pattern order (and, for a sharded run, in shard order)
+/// reproduces the scalar results bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn nr_derivatives_sites(
     dims: &Dims,
     sumtable: &[f64],
     weights: &[u32],
@@ -111,7 +114,10 @@ pub fn nr_derivatives(
     eigenvalues: &[f64],
     rates: &[f64],
     z: f64,
-) -> (f64, f64, f64) {
+    out_l: &mut [f64],
+    out_d1: &mut [f64],
+    out_d2: &mut [f64],
+) {
     let (ns, nc) = (dims.n_states, dims.n_cats);
     let stride = dims.site_stride();
     let cat_w = 1.0 / nc as f64;
@@ -131,7 +137,6 @@ pub fn nr_derivatives(
     }
 
     let floor = 1e-300;
-    let (mut lnl, mut d1, mut d2) = (0.0, 0.0, 0.0);
     for i in 0..dims.n_patterns {
         let site = &sumtable[i * stride..(i + 1) * stride];
         let (mut l, mut lp, mut lpp) = (0.0, 0.0, 0.0);
@@ -145,11 +150,43 @@ pub fn nr_derivatives(
         lpp *= cat_w;
         let l_safe = l.max(floor);
         let w = weights[i] as f64;
-        lnl += w * (l_safe.ln() + scale_sums[i] as f64 * LOG_MINLIKELIHOOD);
-        d1 += w * (lp / l_safe);
-        d2 += w * ((lpp * l_safe - lp * lp) / (l_safe * l_safe));
+        out_l[i] = w * (l_safe.ln() + scale_sums[i] as f64 * LOG_MINLIKELIHOOD);
+        out_d1[i] = w * (lp / l_safe);
+        out_d2[i] = w * ((lpp * l_safe - lp * lp) / (l_safe * l_safe));
     }
-    (lnl, d1, d2)
+}
+
+/// Evaluate `(lnL, d lnL/dz, d² lnL/dz²)` at branch length `z` from a
+/// sumtable. `scale_sums[i]` is the combined scaling count of both sides
+/// for pattern `i` (constant in `z`, so it shifts `lnL` but not the
+/// derivatives).
+pub fn nr_derivatives(
+    dims: &Dims,
+    sumtable: &[f64],
+    weights: &[u32],
+    scale_sums: &[u32],
+    eigenvalues: &[f64],
+    rates: &[f64],
+    z: f64,
+) -> (f64, f64, f64) {
+    let n = dims.n_patterns;
+    let mut out_l = vec![0.0; n];
+    let mut out_d1 = vec![0.0; n];
+    let mut out_d2 = vec![0.0; n];
+    nr_derivatives_sites(
+        dims,
+        sumtable,
+        weights,
+        scale_sums,
+        eigenvalues,
+        rates,
+        z,
+        &mut out_l,
+        &mut out_d1,
+        &mut out_d2,
+    );
+    let fold = |b: &[f64]| b.iter().fold(0.0, |acc, &t| acc + t);
+    (fold(&out_l), fold(&out_d1), fold(&out_d2))
 }
 
 #[cfg(test)]

@@ -8,12 +8,23 @@ use phylo_models::PMatrices;
 /// rounding to zero (RAxML clamps the same way).
 const L_FLOOR: f64 = 1e-300;
 
+/// Left-to-right sum of per-pattern log-likelihood terms. This is *the*
+/// reduction order: the serial engine folds one full-alignment buffer, a
+/// sharded engine folds the shards' sub-buffers concatenated in shard
+/// order — the identical sequence of additions, hence bit-identical
+/// results regardless of how the terms were computed in parallel.
+pub fn reduce_site_lnl(site_lnl: &[f64]) -> f64 {
+    site_lnl.iter().fold(0.0, |acc, &t| acc + t)
+}
+
 /// Evaluate at a branch whose two ends both carry ancestral vectors
-/// (`p`, `q`), with transition matrices `pm_root` for the branch length.
-/// `weights` are pattern multiplicities; `scale_*` per-pattern scaling
-/// counts. Category weights are uniform `1/n_cats`.
+/// (`p`, `q`), with transition matrices `pm_root` for the branch length,
+/// writing each pattern's weighted log-likelihood term into `site_out`
+/// (one slot per pattern). `weights` are pattern multiplicities;
+/// `scale_*` per-pattern scaling counts. Category weights are uniform
+/// `1/n_cats`. Reduce with [`reduce_site_lnl`].
 #[allow(clippy::too_many_arguments)]
-pub fn evaluate_inner_inner(
+pub fn evaluate_inner_inner_sites(
     dims: &Dims,
     pvec: &[f64],
     scale_p: &[u32],
@@ -22,11 +33,11 @@ pub fn evaluate_inner_inner(
     pm_root: &PMatrices,
     freqs: &[f64],
     weights: &[u32],
-) -> f64 {
+    site_out: &mut [f64],
+) {
     let (ns, nc) = (dims.n_states, dims.n_cats);
     let stride = dims.site_stride();
     let cat_w = 1.0 / nc as f64;
-    let mut lnl = 0.0;
     for i in 0..dims.n_patterns {
         let psite = &pvec[i * stride..(i + 1) * stride];
         let qsite = &qvec[i * stride..(i + 1) * stride];
@@ -47,25 +58,45 @@ pub fn evaluate_inner_inner(
             site_l += cat_w * cat_sum;
         }
         let scale = (scale_p[i] + scale_q[i]) as f64;
-        lnl += weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale * LOG_MINLIKELIHOOD);
+        site_out[i] = weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale * LOG_MINLIKELIHOOD);
     }
-    lnl
+}
+
+/// Scalar convenience over [`evaluate_inner_inner_sites`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_inner_inner(
+    dims: &Dims,
+    pvec: &[f64],
+    scale_p: &[u32],
+    qvec: &[f64],
+    scale_q: &[u32],
+    pm_root: &PMatrices,
+    freqs: &[f64],
+    weights: &[u32],
+) -> f64 {
+    let mut sites = vec![0.0; dims.n_patterns];
+    evaluate_inner_inner_sites(
+        dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, &mut sites,
+    );
+    reduce_site_lnl(&sites)
 }
 
 /// Evaluate at a tip branch: the tip side is folded into a root-side lookup
 /// table (`root_lut`, see [`crate::TipCodes::build_root_lut`]) so the site
-/// likelihood is a plain dot product with the inner vector `qvec`.
-pub fn evaluate_tip_inner(
+/// likelihood is a plain dot product with the inner vector `qvec`. Writes
+/// per-pattern weighted terms into `site_out`; reduce with
+/// [`reduce_site_lnl`].
+pub fn evaluate_tip_inner_sites(
     dims: &Dims,
     root_lut: &[f64],
     codes_tip: &[u16],
     qvec: &[f64],
     scale_q: &[u32],
     weights: &[u32],
-) -> f64 {
+    site_out: &mut [f64],
+) {
     let stride = dims.site_stride();
     let cat_w = 1.0 / dims.n_cats as f64;
-    let mut lnl = 0.0;
     for i in 0..dims.n_patterns {
         let qsite = &qvec[i * stride..(i + 1) * stride];
         let lbase = codes_tip[i] as usize * stride;
@@ -75,10 +106,25 @@ pub fn evaluate_tip_inner(
             site_l += lut[e] * qsite[e];
         }
         site_l *= cat_w;
-        lnl +=
+        site_out[i] =
             weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale_q[i] as f64 * LOG_MINLIKELIHOOD);
     }
-    lnl
+}
+
+/// Scalar convenience over [`evaluate_tip_inner_sites`].
+pub fn evaluate_tip_inner(
+    dims: &Dims,
+    root_lut: &[f64],
+    codes_tip: &[u16],
+    qvec: &[f64],
+    scale_q: &[u32],
+    weights: &[u32],
+) -> f64 {
+    let mut sites = vec![0.0; dims.n_patterns];
+    evaluate_tip_inner_sites(
+        dims, root_lut, codes_tip, qvec, scale_q, weights, &mut sites,
+    );
+    reduce_site_lnl(&sites)
 }
 
 #[cfg(test)]

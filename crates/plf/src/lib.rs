@@ -27,12 +27,16 @@ pub mod brlen;
 pub mod encode;
 pub mod engine;
 pub mod kernels;
+pub mod likelihood_api;
 pub mod modelopt;
 pub mod oracle;
 pub mod scaling;
+pub mod sharded;
 pub mod store_api;
 
 pub use encode::TipCodes;
 pub use engine::{PlfEngine, PlfModel};
+pub use likelihood_api::LikelihoodEngine;
 pub use oracle::{SharedTree, TreeOracle};
-pub use store_api::{AncestralStore, InRamStore, OocStore, PagedStore};
+pub use sharded::ShardedPlfEngine;
+pub use store_api::{AncestralStore, InRamStore, OocStore, PagedStore, VectorSession};

@@ -1,0 +1,311 @@
+//! Sharded parallel PLF execution.
+//!
+//! [`ShardedPlfEngine`] partitions the alignment's pattern columns into
+//! `k` contiguous shards ([`ShardSpec`]) and runs one complete
+//! [`PlfEngine`] per shard: each owns the shard's slice of every ancestral
+//! vector (through its own [`AncestralStore`], typically a
+//! `VectorManager` over a disjoint region of one backing file), the
+//! shard's tip codes and pattern weights, and a private clone of the tree.
+//! Felsenstein combines are embarrassingly parallel across columns, so a
+//! traversal executes all shards concurrently ([`ooc_core::par_each_mut`])
+//! with zero synchronisation inside the kernels.
+//!
+//! **Determinism.** Results are bit-identical to the serial engine:
+//!
+//! * per-pattern terms are computed by the same kernels on the same
+//!   column data — shard boundaries do not change any per-column value;
+//! * reductions (root log-likelihood, Newton–Raphson derivatives) fold
+//!   the per-pattern term buffers *in shard order*, which is the serial
+//!   pattern order, using the same left-to-right fold
+//!   ([`crate::kernels::evaluate::reduce_site_lnl`]) the serial engine
+//!   uses — the identical sequence of floating-point additions;
+//! * control flow that depends on reduced values (Newton steps, Brent's
+//!   α search, search accept/reject) therefore sees identical numbers
+//!   and takes identical decisions.
+//!
+//! The shard trees are kept in lockstep: every topology or parameter
+//! operation is forwarded to all shards, so their traversal plans — and
+//! hence each shard's residency access pattern — coincide.
+
+use crate::brlen::{newton_optimize, smoothing_order};
+use crate::kernels::Dims;
+use crate::likelihood_api::LikelihoodEngine;
+use crate::modelopt::{ALPHA_MAX, ALPHA_MIN};
+use crate::store_api::AncestralStore;
+use crate::{PlfEngine, TipCodes};
+use ooc_core::{par_each_mut, OocError, OocResult, OocStats, ShardSpec};
+use phylo_models::{brent_minimize, ReversibleModel};
+use phylo_seq::CompressedAlignment;
+use phylo_tree::spr::{NniUndo, SprUndo};
+use phylo_tree::{HalfEdgeId, Tree};
+
+/// `k` shard engines over disjoint, contiguous pattern ranges.
+pub struct ShardedPlfEngine<S: AncestralStore + Send> {
+    shards: Vec<PlfEngine<S>>,
+    spec: ShardSpec,
+}
+
+impl<S: AncestralStore + Send> ShardedPlfEngine<S> {
+    /// Per-shard vector dimensions for `spec` — needed to size the backing
+    /// stores (e.g. the per-shard widths of
+    /// `ooc_core::FileStore::create_regions`) before construction.
+    pub fn shard_dims(comp: &CompressedAlignment, n_cats: usize, spec: &ShardSpec) -> Vec<Dims> {
+        let full = PlfEngine::<S>::dims_for(comp, n_cats);
+        spec.ranges()
+            .iter()
+            .map(|r| Dims {
+                n_patterns: r.len(),
+                ..full
+            })
+            .collect()
+    }
+
+    /// Build a sharded engine. `stores[i]` must be sized for
+    /// `tree.n_inner()` vectors of `shard_dims(..)[i].width()` doubles;
+    /// `spec` must cover exactly the alignment's patterns.
+    pub fn new(
+        tree: Tree,
+        comp: &CompressedAlignment,
+        model: ReversibleModel,
+        alpha: f64,
+        n_cats: usize,
+        spec: ShardSpec,
+        stores: Vec<S>,
+    ) -> Self {
+        assert_eq!(
+            spec.n_columns(),
+            comp.n_patterns(),
+            "shard spec must cover exactly the alignment's patterns"
+        );
+        assert_eq!(stores.len(), spec.n_shards(), "one backing store per shard");
+        let tips = TipCodes::from_alignment(comp);
+        let dims = Self::shard_dims(comp, n_cats, &spec);
+        let shards = spec
+            .ranges()
+            .iter()
+            .zip(dims)
+            .zip(stores)
+            .map(|((range, d), store)| {
+                PlfEngine::from_parts(
+                    tree.clone(),
+                    model.clone(),
+                    alpha,
+                    d,
+                    tips.slice_patterns(range.clone()),
+                    comp.weights[range.clone()].to_vec(),
+                    store,
+                )
+            })
+            .collect();
+        ShardedPlfEngine { shards, spec }
+    }
+
+    /// The shard specification.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A shard's engine (its store carries the shard's residency stats).
+    pub fn shard(&self, i: usize) -> &PlfEngine<S> {
+        &self.shards[i]
+    }
+
+    /// Mutable shard access (e.g. to reset per-shard statistics).
+    pub fn shard_mut(&mut self, i: usize) -> &mut PlfEngine<S> {
+        &mut self.shards[i]
+    }
+
+    /// Sum of the shards' residency statistics, or `None` if the backends
+    /// keep none.
+    pub fn merged_ooc_stats(&self) -> Option<OocStats> {
+        self.shards
+            .iter()
+            .map(|e| e.store().ooc_stats())
+            .sum::<Option<OocStats>>()
+    }
+
+    /// Run `op` on every shard concurrently, failing with the first
+    /// shard's error (in shard order) if any shard fails.
+    fn par_shards<R: Send>(
+        &mut self,
+        op: impl Fn(&mut PlfEngine<S>) -> OocResult<R> + Sync,
+    ) -> OocResult<Vec<R>> {
+        par_each_mut(&mut self.shards, |_, e| op(e))
+            .into_iter()
+            .collect()
+    }
+
+    /// The cross-shard ordered reduction: continue one left-to-right fold
+    /// across the shards' per-pattern buffers in shard order — exactly the
+    /// serial engine's `reduce_site_lnl` over the full-alignment buffer.
+    fn fold_shards<'a>(bufs: impl Iterator<Item = &'a [f64]>) -> f64 {
+        bufs.flatten().fold(0.0, |acc, &t| acc + t)
+    }
+
+    /// The paper's `-f z` worst case: `count` successive full traversals.
+    pub fn full_traversals(&mut self, count: usize) -> OocResult<f64> {
+        let root = self.tree().default_root_edge();
+        let mut lnl = 0.0;
+        for _ in 0..count {
+            lnl = self.log_likelihood_at(root, true)?;
+        }
+        Ok(lnl)
+    }
+}
+
+impl<S: AncestralStore + Send> LikelihoodEngine for ShardedPlfEngine<S> {
+    fn tree(&self) -> &Tree {
+        self.shards[0].tree()
+    }
+
+    fn alpha(&self) -> f64 {
+        self.shards[0].alpha()
+    }
+
+    fn set_alpha(&mut self, alpha: f64) {
+        for e in &mut self.shards {
+            e.set_alpha(alpha);
+        }
+    }
+
+    fn invalidate_all(&mut self) {
+        for e in &mut self.shards {
+            e.invalidate_all();
+        }
+    }
+
+    fn log_likelihood(&mut self) -> OocResult<f64> {
+        self.log_likelihood_at(self.tree().default_root_edge(), false)
+    }
+
+    fn log_likelihood_at(&mut self, root_he: HalfEdgeId, full: bool) -> OocResult<f64> {
+        // Each shard plans, executes and evaluates its columns in
+        // parallel, leaving per-pattern terms in its `site_lnl` buffer...
+        self.par_shards(|e| e.log_likelihood_at(root_he, full).map(|_| ()))?;
+        // ...which are reduced serially in shard order (determinism).
+        Ok(Self::fold_shards(self.shards.iter().map(|e| e.site_lnl())))
+    }
+
+    fn set_branch_length(&mut self, h: HalfEdgeId, len: f64) {
+        for e in &mut self.shards {
+            e.set_branch_length(h, len);
+        }
+    }
+
+    fn optimize_branch(&mut self, h: HalfEdgeId, max_iter: u32) -> OocResult<(f64, f64)> {
+        // Sumtables for the branch, all shards in parallel.
+        self.par_shards(|e| e.prepare_branch(h))?;
+        let z0 = self.tree().branch_length(h);
+        let shards = &mut self.shards;
+        let (z, best_lnl) = newton_optimize(z0, max_iter, |z| {
+            // Per-pattern (lnL, d1, d2) terms per shard in parallel;
+            // each accumulator is then folded across shards in shard
+            // order, matching the serial `nr_derivatives` folds.
+            let triples = par_each_mut(shards, |_, e| {
+                let n = e.dims().n_patterns;
+                let (mut l, mut d1, mut d2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                e.branch_derivatives_sites(z, &mut l, &mut d1, &mut d2);
+                (l, d1, d2)
+            });
+            (
+                Self::fold_shards(triples.iter().map(|t| t.0.as_slice())),
+                Self::fold_shards(triples.iter().map(|t| t.1.as_slice())),
+                Self::fold_shards(triples.iter().map(|t| t.2.as_slice())),
+            )
+        });
+        self.set_branch_length(h, z);
+        Ok((z, best_lnl))
+    }
+
+    fn smooth_branches(&mut self, passes: usize, nr_iter: u32) -> OocResult<f64> {
+        let mut lnl = f64::NEG_INFINITY;
+        for _ in 0..passes {
+            // Same DFS half-edge order as the serial engine (the shard
+            // trees are identical), so the optimisation sequence matches.
+            for h in smoothing_order(self.tree()) {
+                let (_, l) = self.optimize_branch(h, nr_iter)?;
+                lnl = l;
+            }
+        }
+        Ok(lnl)
+    }
+
+    fn optimize_alpha(&mut self, tol: f64, max_iter: u32) -> OocResult<(f64, f64)> {
+        // Same Brent-on-ln(α) procedure as the serial engine; because the
+        // sharded log-likelihood is bit-identical, Brent probes the same
+        // α sequence and converges to the same optimum.
+        let mut io_error: Option<OocError> = None;
+        let result = brent_minimize(
+            |ln_a| {
+                if io_error.is_some() {
+                    return f64::INFINITY;
+                }
+                self.set_alpha(ln_a.exp());
+                match self.log_likelihood() {
+                    Ok(lnl) => -lnl,
+                    Err(e) => {
+                        io_error = Some(e);
+                        f64::INFINITY
+                    }
+                }
+            },
+            ALPHA_MIN.ln(),
+            ALPHA_MAX.ln(),
+            tol,
+            max_iter,
+        );
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+        let alpha = result.x.exp();
+        self.set_alpha(alpha);
+        let lnl = self.log_likelihood()?;
+        Ok((alpha, lnl))
+    }
+
+    fn apply_spr(
+        &mut self,
+        prune_dir: HalfEdgeId,
+        target: HalfEdgeId,
+        graft_lens: Option<(f64, f64)>,
+    ) -> SprUndo {
+        // The shard trees are identical, so each shard produces the same
+        // undo record; keep the first.
+        let mut undo = None;
+        for e in &mut self.shards {
+            let u = e.apply_spr(prune_dir, target, graft_lens);
+            undo.get_or_insert(u);
+        }
+        undo.expect("sharded engine has at least one shard")
+    }
+
+    fn undo_spr(&mut self, prune_dir: HalfEdgeId, undo: &SprUndo) {
+        for e in &mut self.shards {
+            e.undo_spr(prune_dir, undo);
+        }
+    }
+
+    fn apply_nni(&mut self, h: HalfEdgeId, variant: u8) -> NniUndo {
+        let mut undo = None;
+        for e in &mut self.shards {
+            let u = e.apply_nni(h, variant);
+            undo.get_or_insert(u);
+        }
+        undo.expect("sharded engine has at least one shard")
+    }
+
+    fn undo_nni(&mut self, undo: &NniUndo) {
+        for e in &mut self.shards {
+            e.undo_nni(undo);
+        }
+    }
+
+    fn ooc_stats(&self) -> Option<OocStats> {
+        self.merged_ooc_stats()
+    }
+}

@@ -1,12 +1,14 @@
 //! Pluggable residency backends for ancestral probability vectors.
 //!
 //! The engine only ever touches vectors through the [`AncestralStore`]
-//! access-pattern API (acquire parent-for-write plus children-for-read,
-//! pinned together). Three backends implement it:
+//! session API: it leases the vectors of one kernel invocation (pins with
+//! intents, in access order), works on the borrowed buffers, and finishes
+//! the lease. Three backends implement it:
 //!
 //! * [`InRamStore`] — everything resident, the standard RAxML baseline,
 //! * [`OocStore`] — the paper's out-of-core manager
-//!   ([`ooc_core::VectorManager`]),
+//!   ([`ooc_core::VectorManager`]), whose [`ooc_core::PinnedSession`] is
+//!   the lease,
 //! * [`PagedStore`] — vectors in a [`pager_sim::PagedArena`], reproducing
 //!   the "standard implementation using OS paging" baseline of Figure 5.
 //!
@@ -14,12 +16,43 @@
 //! check applies verbatim: all three must produce bit-identical
 //! log-likelihoods.
 
-use ooc_core::{AccessPlan, BackingStore, Intent, OocError, OocOp, OocResult, VectorManager};
+use ooc_core::{
+    AccessPlan, AccessRecord, BackingStore, Intent, OocError, OocOp, OocResult, OocStats,
+    VectorManager,
+};
 use pager_sim::PagedArena;
+
+/// A live lease over the pinned vectors of one kernel invocation. Vectors
+/// are addressed by item id; every id must be among the session's pins.
+pub trait VectorSession {
+    /// Shared view of a pinned vector.
+    fn read(&self, item: u32) -> &[f64];
+
+    /// The combine shape: one mutable target plus up to two shared source
+    /// views, simultaneously borrowed (tips have no ancestral vector,
+    /// hence the `Option`s). Sources must not alias the target.
+    fn rw(
+        &mut self,
+        target: u32,
+        src1: Option<u32>,
+        src2: Option<u32>,
+    ) -> (&mut [f64], Option<&[f64]>, Option<&[f64]>);
+
+    /// End the lease, propagating any deferred write-back I/O. Dropping a
+    /// session without calling this still releases the pins but loses the
+    /// error (and, for scratch-based backends, the written data), so the
+    /// engine always finishes explicitly after mutating.
+    fn finish(self) -> OocResult<()>;
+}
 
 /// Access-pattern API over ancestral vectors, mirroring the pinning
 /// semantics of the paper's `getxvector()`.
 pub trait AncestralStore {
+    /// The lease type handed out by [`AncestralStore::session`].
+    type Session<'a>: VectorSession
+    where
+        Self: 'a;
+
     /// Vector width in `f64`s.
     fn width(&self) -> usize;
 
@@ -30,29 +63,17 @@ pub trait AncestralStore {
     /// residency management ignore it.
     fn submit_plan(&mut self, _plan: AccessPlan) {}
 
-    /// Acquire `parent` for writing and the inner children for reading,
-    /// all simultaneously live (pinned) for the duration of `f`. Fails
-    /// with a contextual [`OocError`] if the backend could not materialise
-    /// a vector; `f` is not called in that case.
-    fn with_triple<T>(
-        &mut self,
-        parent: u32,
-        left: Option<u32>,
-        right: Option<u32>,
-        f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> OocResult<T>;
+    /// Lease the given vectors, pinned with their intents in access order,
+    /// for one kernel invocation. Fails with a contextual [`OocError`] if
+    /// the backend could not materialise a vector; nothing stays pinned in
+    /// that case.
+    fn session(&mut self, pins: &[AccessRecord]) -> OocResult<Self::Session<'_>>;
 
-    /// Acquire two distinct vectors for reading.
-    fn with_pair<T>(&mut self, a: u32, b: u32, f: impl FnOnce(&[f64], &[f64]) -> T)
-        -> OocResult<T>;
-
-    /// Acquire one vector; `write == true` promises a full overwrite.
-    fn with_one<T>(
-        &mut self,
-        item: u32,
-        write: bool,
-        f: impl FnOnce(&mut [f64]) -> T,
-    ) -> OocResult<T>;
+    /// Residency statistics, if this backend keeps them ([`OocStore`]
+    /// does; the baselines return `None`).
+    fn ooc_stats(&self) -> Option<OocStats> {
+        None
+    }
 }
 
 /// All vectors permanently resident (standard implementation).
@@ -78,58 +99,86 @@ impl InRamStore {
     }
 }
 
+/// Lease over an [`InRamStore`]: no residency to manage, but the same
+/// pin-set discipline (bounds, duplicates, aliasing) is enforced so
+/// contract violations surface in the cheapest backend too.
+pub struct InRamSession<'a> {
+    vectors: &'a mut [Box<[f64]>],
+    pins: Vec<u32>,
+}
+
+impl InRamSession<'_> {
+    fn check_pinned(&self, item: u32) {
+        assert!(
+            self.pins.contains(&item),
+            "item {item} is not pinned in this session"
+        );
+    }
+}
+
+impl VectorSession for InRamSession<'_> {
+    fn read(&self, item: u32) -> &[f64] {
+        self.check_pinned(item);
+        &self.vectors[item as usize]
+    }
+
+    fn rw(
+        &mut self,
+        target: u32,
+        src1: Option<u32>,
+        src2: Option<u32>,
+    ) -> (&mut [f64], Option<&[f64]>, Option<&[f64]>) {
+        self.check_pinned(target);
+        if let Some(s) = src1 {
+            self.check_pinned(s);
+            assert_ne!(s, target, "source {s} aliases target");
+        }
+        if let Some(s) = src2 {
+            self.check_pinned(s);
+            assert_ne!(s, target, "source {s} aliases target");
+        }
+        // SAFETY: target, src1, src2 were bounds-checked at session
+        // creation and are pairwise distinct indices into separately boxed
+        // buffers, so the mutable and shared borrows cannot alias.
+        let base = self.vectors.as_mut_ptr();
+        let tv: &mut [f64] = unsafe { &mut *base.add(target as usize) };
+        let s1: Option<&[f64]> = src1.map(|i| unsafe { &(**base.add(i as usize)) });
+        let s2: Option<&[f64]> = src2.map(|i| unsafe { &(**base.add(i as usize)) });
+        (tv, s1, s2)
+    }
+
+    fn finish(self) -> OocResult<()> {
+        Ok(())
+    }
+}
+
 impl AncestralStore for InRamStore {
+    type Session<'a> = InRamSession<'a>;
+
     fn width(&self) -> usize {
         self.width
     }
 
-    fn with_triple<T>(
-        &mut self,
-        parent: u32,
-        left: Option<u32>,
-        right: Option<u32>,
-        f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> OocResult<T> {
+    fn session(&mut self, pins: &[AccessRecord]) -> OocResult<InRamSession<'_>> {
         let n = self.vectors.len();
-        assert!((parent as usize) < n, "parent {parent} out of range {n}");
-        if let Some(l) = left {
-            assert!((l as usize) < n, "left child {l} out of range {n}");
-            assert_ne!(l, parent, "left child aliases parent");
+        let mut items = Vec::with_capacity(pins.len());
+        for rec in pins {
+            assert!(
+                (rec.item as usize) < n,
+                "item {} out of range {n}",
+                rec.item
+            );
+            assert!(
+                !items.contains(&rec.item),
+                "item {} pinned twice in one session",
+                rec.item
+            );
+            items.push(rec.item);
         }
-        if let Some(r) = right {
-            assert!((r as usize) < n, "right child {r} out of range {n}");
-            assert_ne!(r, parent, "right child aliases parent");
-        }
-        if let (Some(l), Some(r)) = (left, right) {
-            assert_ne!(l, r, "children alias each other");
-        }
-        // SAFETY: all three indices were bounds-checked above and are
-        // pairwise distinct indices into separately boxed buffers, so the
-        // mutable and shared borrows cannot alias.
-        let base = self.vectors.as_mut_ptr();
-        let pv: &mut [f64] = unsafe { &mut *base.add(parent as usize) };
-        let lv: Option<&[f64]> = left.map(|i| unsafe { &(**base.add(i as usize)) });
-        let rv: Option<&[f64]> = right.map(|i| unsafe { &(**base.add(i as usize)) });
-        Ok(f(pv, lv, rv))
-    }
-
-    fn with_pair<T>(
-        &mut self,
-        a: u32,
-        b: u32,
-        f: impl FnOnce(&[f64], &[f64]) -> T,
-    ) -> OocResult<T> {
-        assert_ne!(a, b);
-        Ok(f(&self.vectors[a as usize], &self.vectors[b as usize]))
-    }
-
-    fn with_one<T>(
-        &mut self,
-        item: u32,
-        _write: bool,
-        f: impl FnOnce(&mut [f64]) -> T,
-    ) -> OocResult<T> {
-        Ok(f(&mut self.vectors[item as usize]))
+        Ok(InRamSession {
+            vectors: &mut self.vectors,
+            pins: items,
+        })
     }
 }
 
@@ -155,7 +204,37 @@ impl<S: BackingStore> OocStore<S> {
     }
 }
 
+/// Lease over an [`OocStore`]: a thin veneer over the manager's own
+/// [`ooc_core::PinnedSession`], which holds the slot pins.
+pub struct OocSession<'a, S: BackingStore>(ooc_core::PinnedSession<'a, S>);
+
+impl<S: BackingStore> VectorSession for OocSession<'_, S> {
+    fn read(&self, item: u32) -> &[f64] {
+        self.0.read(item)
+    }
+
+    fn rw(
+        &mut self,
+        target: u32,
+        src1: Option<u32>,
+        src2: Option<u32>,
+    ) -> (&mut [f64], Option<&[f64]>, Option<&[f64]>) {
+        self.0.rw(target, src1, src2)
+    }
+
+    fn finish(self) -> OocResult<()> {
+        // Slots are written back on eviction / flush; releasing the pins
+        // (on drop) is all that is needed here.
+        Ok(())
+    }
+}
+
 impl<S: BackingStore> AncestralStore for OocStore<S> {
+    type Session<'a>
+        = OocSession<'a, S>
+    where
+        S: 'a;
+
     fn width(&self) -> usize {
         self.manager.config().width
     }
@@ -164,39 +243,18 @@ impl<S: BackingStore> AncestralStore for OocStore<S> {
         self.manager.begin_plan(plan);
     }
 
-    fn with_triple<T>(
-        &mut self,
-        parent: u32,
-        left: Option<u32>,
-        right: Option<u32>,
-        f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> OocResult<T> {
-        self.manager.with_triple(parent, left, right, f)
+    fn session(&mut self, pins: &[AccessRecord]) -> OocResult<OocSession<'_, S>> {
+        Ok(OocSession(self.manager.session(pins)?))
     }
 
-    fn with_pair<T>(
-        &mut self,
-        a: u32,
-        b: u32,
-        f: impl FnOnce(&[f64], &[f64]) -> T,
-    ) -> OocResult<T> {
-        self.manager.with_pair(a, b, f)
-    }
-
-    fn with_one<T>(
-        &mut self,
-        item: u32,
-        write: bool,
-        f: impl FnOnce(&mut [f64]) -> T,
-    ) -> OocResult<T> {
-        let intent = if write { Intent::Write } else { Intent::Read };
-        self.manager.with_one(item, intent, f)
+    fn ooc_stats(&self) -> Option<OocStats> {
+        Some(*self.manager.stats())
     }
 }
 
 /// Vectors living in a demand-paged arena (the OS-paging baseline). Every
-/// access copies whole vectors between the arena (touching its pages) and
-/// three scratch buffers; when the arena's physical memory is exhausted,
+/// session copies whole vectors between the arena (touching its pages) and
+/// per-pin scratch buffers; when the arena's physical memory is exhausted,
 /// each copy triggers page-granularity swap I/O with no application
 /// knowledge — the behaviour the paper's Figure 5 measures for "Standard".
 pub struct PagedStore {
@@ -230,81 +288,99 @@ impl PagedStore {
     pub fn arena_mut(&mut self) -> &mut PagedArena {
         &mut self.arena
     }
+}
 
-    fn index(&self, item: u32) -> usize {
-        item as usize * self.width
+/// Lease over a [`PagedStore`]: read pins were staged into scratch
+/// buffers at creation (faulting arena pages in), write pins are copied
+/// back to the arena by [`VectorSession::finish`].
+pub struct PagedSession<'a> {
+    arena: &'a mut PagedArena,
+    width: usize,
+    scratch: &'a mut [Box<[f64]>; 3],
+    pins: Vec<AccessRecord>,
+}
+
+impl PagedSession<'_> {
+    fn pos_of(&self, item: u32) -> usize {
+        self.pins
+            .iter()
+            .position(|rec| rec.item == item)
+            .unwrap_or_else(|| panic!("item {item} is not pinned in this session"))
+    }
+}
+
+impl VectorSession for PagedSession<'_> {
+    fn read(&self, item: u32) -> &[f64] {
+        &self.scratch[self.pos_of(item)]
+    }
+
+    fn rw(
+        &mut self,
+        target: u32,
+        src1: Option<u32>,
+        src2: Option<u32>,
+    ) -> (&mut [f64], Option<&[f64]>, Option<&[f64]>) {
+        let tp = self.pos_of(target);
+        let p1 = src1.map(|i| self.pos_of(i));
+        let p2 = src2.map(|i| self.pos_of(i));
+        assert!(
+            Some(tp) != p1 && Some(tp) != p2,
+            "target {target} aliases a source"
+        );
+        // SAFETY: tp, p1, p2 are pairwise distinct indices (pins are
+        // duplicate-free) into separately boxed scratch buffers, so the
+        // mutable and shared borrows cannot alias.
+        let base = self.scratch.as_mut_ptr();
+        let tv: &mut [f64] = unsafe { &mut *base.add(tp) };
+        let s1: Option<&[f64]> = p1.map(|p| unsafe { &(**base.add(p)) });
+        let s2: Option<&[f64]> = p2.map(|p| unsafe { &(**base.add(p)) });
+        (tv, s1, s2)
+    }
+
+    fn finish(self) -> OocResult<()> {
+        for (pos, rec) in self.pins.iter().enumerate() {
+            if rec.intent == Intent::Write {
+                self.arena
+                    .write_f64s(rec.item as usize * self.width, &self.scratch[pos])
+                    .map_err(|e| OocError::item_op(OocOp::Write, rec.item, "arena write", e))?;
+            }
+        }
+        Ok(())
     }
 }
 
 impl AncestralStore for PagedStore {
+    type Session<'a> = PagedSession<'a>;
+
     fn width(&self) -> usize {
         self.width
     }
 
-    fn with_triple<T>(
-        &mut self,
-        parent: u32,
-        left: Option<u32>,
-        right: Option<u32>,
-        f: impl FnOnce(&mut [f64], Option<&[f64]>, Option<&[f64]>) -> T,
-    ) -> OocResult<T> {
-        let [pbuf, lbuf, rbuf] = &mut self.scratch;
-        if let Some(l) = left {
-            self.arena
-                .read_f64s(l as usize * self.width, lbuf)
-                .map_err(|e| OocError::item_op(OocOp::Read, l, "arena read", e))?;
+    fn session(&mut self, pins: &[AccessRecord]) -> OocResult<PagedSession<'_>> {
+        assert!(
+            pins.len() <= self.scratch.len(),
+            "{} pins exceed the paged store's {} scratch buffers",
+            pins.len(),
+            self.scratch.len()
+        );
+        for (pos, rec) in pins.iter().enumerate() {
+            assert!(
+                pins[..pos].iter().all(|p| p.item != rec.item),
+                "item {} pinned twice in one session",
+                rec.item
+            );
+            if rec.intent == Intent::Read {
+                self.arena
+                    .read_f64s(rec.item as usize * self.width, &mut self.scratch[pos])
+                    .map_err(|e| OocError::item_op(OocOp::Read, rec.item, "arena read", e))?;
+            }
         }
-        if let Some(r) = right {
-            self.arena
-                .read_f64s(r as usize * self.width, rbuf)
-                .map_err(|e| OocError::item_op(OocOp::Read, r, "arena read", e))?;
-        }
-        let result = f(pbuf, left.map(|_| &**lbuf), right.map(|_| &**rbuf));
-        self.arena
-            .write_f64s(parent as usize * self.width, &self.scratch[0])
-            .map_err(|e| OocError::item_op(OocOp::Write, parent, "arena write", e))?;
-        Ok(result)
-    }
-
-    fn with_pair<T>(
-        &mut self,
-        a: u32,
-        b: u32,
-        f: impl FnOnce(&[f64], &[f64]) -> T,
-    ) -> OocResult<T> {
-        assert_ne!(a, b);
-        let ia = self.index(a);
-        let ib = self.index(b);
-        let [abuf, bbuf, _] = &mut self.scratch;
-        self.arena
-            .read_f64s(ia, abuf)
-            .map_err(|e| OocError::item_op(OocOp::Read, a, "arena read", e))?;
-        self.arena
-            .read_f64s(ib, bbuf)
-            .map_err(|e| OocError::item_op(OocOp::Read, b, "arena read", e))?;
-        Ok(f(abuf, bbuf))
-    }
-
-    fn with_one<T>(
-        &mut self,
-        item: u32,
-        write: bool,
-        f: impl FnOnce(&mut [f64]) -> T,
-    ) -> OocResult<T> {
-        let idx = self.index(item);
-        let buf = &mut self.scratch[0];
-        if !write {
-            self.arena
-                .read_f64s(idx, buf)
-                .map_err(|e| OocError::item_op(OocOp::Read, item, "arena read", e))?;
-        }
-        let result = f(buf);
-        if write {
-            self.arena
-                .write_f64s(idx, buf)
-                .map_err(|e| OocError::item_op(OocOp::Write, item, "arena write", e))?;
-        }
-        Ok(result)
+        Ok(PagedSession {
+            arena: &mut self.arena,
+            width: self.width,
+            scratch: &mut self.scratch,
+            pins: pins.to_vec(),
+        })
     }
 }
 
@@ -313,37 +389,50 @@ mod tests {
     use super::*;
     use ooc_core::{MemStore, OocConfig, StrategyKind};
 
+    /// One write access via a single-pin session.
+    fn write_one<S: AncestralStore>(store: &mut S, item: u32, f: impl FnOnce(&mut [f64])) {
+        let mut sess = store.session(&[AccessRecord::write(item)]).unwrap();
+        let (buf, _, _) = sess.rw(item, None, None);
+        f(buf);
+        sess.finish().unwrap();
+    }
+
     fn check_store<S: AncestralStore>(store: &mut S, n: usize) {
         let w = store.width();
-        // Write every vector through with_one / with_triple paths.
+        // Write every vector through single-pin sessions.
         for item in 0..n as u32 {
-            store
-                .with_one(item, true, |buf| {
-                    for (i, x) in buf.iter_mut().enumerate() {
-                        *x = item as f64 + i as f64 * 0.5;
-                    }
-                })
-                .unwrap();
-        }
-        // Combine 0 and 1 into 2.
-        store
-            .with_triple(2, Some(0), Some(1), |p, l, r| {
-                let (l, r) = (l.unwrap(), r.unwrap());
-                for i in 0..w {
-                    p[i] = l[i] * r[i];
+            write_one(store, item, |buf| {
+                for (i, x) in buf.iter_mut().enumerate() {
+                    *x = item as f64 + i as f64 * 0.5;
                 }
-            })
+            });
+        }
+        // Combine 0 and 1 into 2 through a three-pin session.
+        let mut sess = store
+            .session(&[
+                AccessRecord::read(0),
+                AccessRecord::read(1),
+                AccessRecord::write(2),
+            ])
             .unwrap();
+        let (p, l, r) = sess.rw(2, Some(0), Some(1));
+        let (l, r) = (l.unwrap(), r.unwrap());
+        for i in 0..w {
+            p[i] = l[i] * r[i];
+        }
+        sess.finish().unwrap();
         let expect: Vec<f64> = (0..w)
             .map(|i| (0.0 + i as f64 * 0.5) * (1.0 + i as f64 * 0.5))
             .collect();
-        store
-            .with_one(2, false, |buf| {
-                assert_eq!(&buf[..], &expect[..]);
-            })
-            .unwrap();
+        let sess = store.session(&[AccessRecord::read(2)]).unwrap();
+        assert_eq!(sess.read(2), &expect[..]);
+        sess.finish().unwrap();
         // Pair access sees consistent data.
-        let sum = store.with_pair(0, 1, |a, b| a[3] + b[3]).unwrap();
+        let sess = store
+            .session(&[AccessRecord::read(0), AccessRecord::read(1)])
+            .unwrap();
+        let sum = sess.read(0)[3] + sess.read(1)[3];
+        sess.finish().unwrap();
         assert_eq!(sum, (0.0 + 1.5) + (1.0 + 1.5));
     }
 
@@ -352,46 +441,52 @@ mod tests {
         let mut s = InRamStore::new(6, 32);
         check_store(&mut s, 6);
         assert_eq!(s.bytes(), 6 * 32 * 8);
+        assert!(s.ooc_stats().is_none());
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
-    fn in_ram_triple_rejects_out_of_range_parent() {
+    fn in_ram_session_rejects_out_of_range_item() {
         let mut s = InRamStore::new(4, 8);
-        let _ = s.with_triple(4, None, None, |_, _, _| ());
+        let _ = s.session(&[AccessRecord::write(4)]);
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn in_ram_triple_rejects_out_of_range_child() {
+    #[should_panic(expected = "pinned twice")]
+    fn in_ram_session_rejects_duplicate_pins() {
         let mut s = InRamStore::new(4, 8);
-        let _ = s.with_triple(0, Some(9), None, |_, _, _| ());
+        let _ = s.session(&[AccessRecord::read(2), AccessRecord::write(2)]);
     }
 
     #[test]
-    #[should_panic(expected = "aliases parent")]
-    fn in_ram_triple_rejects_parent_aliasing() {
+    #[should_panic(expected = "aliases target")]
+    fn in_ram_rw_rejects_source_aliasing_target() {
         let mut s = InRamStore::new(4, 8);
-        let _ = s.with_triple(1, Some(0), Some(1), |_, _, _| ());
+        let mut sess = s
+            .session(&[AccessRecord::read(0), AccessRecord::write(1)])
+            .unwrap();
+        let _ = sess.rw(1, Some(0), Some(1));
     }
 
     #[test]
-    #[should_panic(expected = "children alias")]
-    fn in_ram_triple_rejects_duplicate_children() {
+    #[should_panic(expected = "not pinned")]
+    fn in_ram_read_requires_pin() {
         let mut s = InRamStore::new(4, 8);
-        let _ = s.with_triple(0, Some(2), Some(2), |_, _, _| ());
+        let sess = s.session(&[AccessRecord::read(0)]).unwrap();
+        let _ = sess.read(3);
     }
 
     #[test]
     fn ooc_store_contract() {
         let mgr = VectorManager::new(
-            OocConfig::new(6, 32, 3),
+            OocConfig::builder(6, 32).slots(3).build().unwrap(),
             StrategyKind::Lru.build(None),
             MemStore::new(6, 32),
         );
         let mut s = OocStore::new(mgr);
         check_store(&mut s, 6);
         assert!(s.manager().stats().requests > 0);
+        assert_eq!(s.ooc_stats().unwrap(), *s.manager().stats());
     }
 
     #[test]

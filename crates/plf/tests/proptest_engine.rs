@@ -96,7 +96,10 @@ proptest! {
             3 => StrategyKind::NextUse,
             _ => StrategyKind::Lru, // Topological needs an oracle; covered elsewhere
         };
-        let cfg = OocConfig::new(n_items, dims.width(), n_slots.min(n_items.max(3)));
+        let cfg = OocConfig::builder(n_items, dims.width())
+            .slots(n_slots.min(n_items.max(3)))
+            .build()
+            .unwrap();
         let manager = VectorManager::new(cfg, kind.build(None), MemStore::new(n_items, dims.width()));
         let mut ooc = PlfEngine::new(
             case.tree.clone(),

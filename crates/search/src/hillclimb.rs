@@ -3,7 +3,7 @@
 
 use crate::spr::lazy_spr_round;
 use ooc_core::OocResult;
-use phylo_plf::{AncestralStore, PlfEngine};
+use phylo_plf::LikelihoodEngine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,9 +58,10 @@ pub struct SearchStats {
 }
 
 /// Run the search on an engine holding the starting tree. Deterministic
-/// for a given configuration (and starting state).
-pub fn hill_climb<S: AncestralStore>(
-    engine: &mut PlfEngine<S>,
+/// for a given configuration (and starting state) — including across
+/// serial and sharded engines, which are bit-identical.
+pub fn hill_climb<E: LikelihoodEngine>(
+    engine: &mut E,
     cfg: &SearchConfig,
 ) -> OocResult<SearchStats> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -110,7 +111,7 @@ pub fn hill_climb<S: AncestralStore>(
 mod tests {
     use super::*;
     use phylo_models::{DiscreteGamma, ReversibleModel};
-    use phylo_plf::InRamStore;
+    use phylo_plf::{InRamStore, PlfEngine};
     use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment};
     use phylo_tree::build::{random_topology, yule_like_lengths};
     use phylo_tree::Tree;

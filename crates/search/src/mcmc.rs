@@ -18,7 +18,7 @@
 //! its own.
 
 use ooc_core::OocResult;
-use phylo_plf::{AncestralStore, PlfEngine};
+use phylo_plf::LikelihoodEngine;
 use phylo_tree::HalfEdgeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,7 +71,7 @@ pub struct McmcStats {
 }
 
 /// Log prior: exponential on every branch length plus exponential(1) on α.
-fn log_prior<S: AncestralStore>(engine: &PlfEngine<S>, mean: f64) -> f64 {
+fn log_prior<E: LikelihoodEngine>(engine: &E, mean: f64) -> f64 {
     let rate = 1.0 / mean;
     let mut lp = 0.0;
     for h in engine.tree().branches() {
@@ -82,10 +82,7 @@ fn log_prior<S: AncestralStore>(engine: &PlfEngine<S>, mean: f64) -> f64 {
 
 /// Run a Metropolis–Hastings chain on the engine's tree. The engine is
 /// left in the final state of the chain.
-pub fn run_mcmc<S: AncestralStore>(
-    engine: &mut PlfEngine<S>,
-    cfg: &McmcConfig,
-) -> OocResult<McmcStats> {
+pub fn run_mcmc<E: LikelihoodEngine>(engine: &mut E, cfg: &McmcConfig) -> OocResult<McmcStats> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut log_like = engine.log_likelihood()?;
     let mut log_post = log_like + log_prior(engine, cfg.branch_prior_mean);
@@ -187,7 +184,7 @@ enum Undo {
 mod tests {
     use super::*;
     use phylo_models::{DiscreteGamma, ReversibleModel};
-    use phylo_plf::InRamStore;
+    use phylo_plf::{InRamStore, PlfEngine};
     use phylo_seq::{compress_patterns, simulate_alignment};
     use phylo_tree::build::{random_topology, yule_like_lengths};
     use rand::rngs::StdRng;

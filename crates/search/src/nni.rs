@@ -2,15 +2,15 @@
 //! used to polish the tree between SPR rounds).
 
 use ooc_core::OocResult;
-use phylo_plf::{AncestralStore, PlfEngine};
+use phylo_plf::LikelihoodEngine;
 use phylo_tree::HalfEdgeId;
 
 /// One NNI sweep: every internal branch is tried in both swap variants;
 /// improving swaps are kept (with the branch re-optimised), the rest are
 /// undone. Returns the final log-likelihood and the number of accepted
 /// swaps.
-pub fn nni_round<S: AncestralStore>(
-    engine: &mut PlfEngine<S>,
+pub fn nni_round<E: LikelihoodEngine>(
+    engine: &mut E,
     nr_iter: u32,
     epsilon: f64,
 ) -> OocResult<(f64, usize)> {
@@ -50,7 +50,7 @@ pub fn nni_round<S: AncestralStore>(
 mod tests {
     use super::*;
     use phylo_models::{DiscreteGamma, ReversibleModel};
-    use phylo_plf::InRamStore;
+    use phylo_plf::{InRamStore, PlfEngine};
     use phylo_seq::{compress_patterns, simulate_alignment};
     use phylo_tree::build::{random_topology, yule_like_lengths};
     use rand::rngs::StdRng;

@@ -6,7 +6,7 @@
 //! to track its (highly local) access pattern.
 
 use ooc_core::OocResult;
-use phylo_plf::{AncestralStore, PlfEngine};
+use phylo_plf::LikelihoodEngine;
 use phylo_tree::{HalfEdgeId, Tree};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -83,8 +83,8 @@ pub fn spr_candidates(tree: &Tree, prune_dir: HalfEdgeId, radius: u32) -> Vec<Ha
 /// (*lazy*: default graft lengths, no global re-optimisation), and the best
 /// improving move is kept, followed by Newton–Raphson on the three local
 /// branches.
-pub fn lazy_spr_round<S: AncestralStore, R: Rng>(
-    engine: &mut PlfEngine<S>,
+pub fn lazy_spr_round<E: LikelihoodEngine, R: Rng>(
+    engine: &mut E,
     radius: u32,
     nr_iter: u32,
     epsilon: f64,

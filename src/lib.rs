@@ -55,9 +55,11 @@ pub use phylo_tree as tree;
 pub mod setup {
     //! Canonical experiment setups shared by examples, tests and benches.
 
-    use ooc_core::{FileStore, MemStore, OocConfig, StrategyKind, VectorManager};
+    use ooc_core::{FileStore, MemStore, OocConfig, ShardSpec, StrategyKind, VectorManager};
     use phylo_models::{DiscreteGamma, ReversibleModel};
-    use phylo_plf::{InRamStore, OocStore, PagedStore, PlfEngine, SharedTree, TreeOracle};
+    use phylo_plf::{
+        InRamStore, OocStore, PagedStore, PlfEngine, ShardedPlfEngine, SharedTree, TreeOracle,
+    };
     use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment};
     use phylo_tree::build::{random_topology, yule_like_lengths};
     use phylo_tree::Tree;
@@ -195,7 +197,10 @@ pub mod setup {
         f: f64,
         kind: StrategyKind,
     ) -> (PlfEngine<OocStore<MemStore>>, Option<SharedTree>) {
-        let cfg = OocConfig::with_fraction(data.n_items(), data.width(), f);
+        let cfg = OocConfig::builder(data.n_items(), data.width())
+            .fraction(f)
+            .build()
+            .expect("valid out-of-core config");
         let (strategy, handle) = build_strategy(kind, &data.tree);
         let manager =
             VectorManager::new(cfg, strategy, MemStore::new(data.n_items(), data.width()));
@@ -219,7 +224,10 @@ pub mod setup {
         limit_bytes: u64,
         kind: StrategyKind,
     ) -> std::io::Result<PlfEngine<OocStore<FileStore>>> {
-        let cfg = OocConfig::with_byte_limit(data.n_items(), data.width(), limit_bytes);
+        let cfg = OocConfig::builder(data.n_items(), data.width())
+            .byte_limit(limit_bytes)
+            .build()
+            .expect("valid out-of-core config");
         let (strategy, _) = build_strategy(kind, &data.tree);
         let store = FileStore::create(path, data.n_items(), data.width())?;
         let manager = VectorManager::new(cfg, strategy, store);
@@ -230,6 +238,131 @@ pub mod setup {
             data.spec.alpha,
             data.spec.n_cats,
             OocStore::new(manager),
+        ))
+    }
+
+    /// Sharded out-of-core engine with per-shard in-memory backing stores:
+    /// the pattern columns are split into `n_shards` contiguous ranges,
+    /// each managed by its own `VectorManager` holding a fraction `f` of
+    /// its vectors in RAM slots, executed in parallel. Log-likelihoods are
+    /// bit-identical to the serial engines.
+    pub fn sharded_engine_mem(
+        data: &Dataset,
+        f: f64,
+        kind: StrategyKind,
+        n_shards: usize,
+    ) -> ShardedPlfEngine<OocStore<MemStore>> {
+        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
+        let dims =
+            ShardedPlfEngine::<OocStore<MemStore>>::shard_dims(&data.comp, data.spec.n_cats, &spec);
+        let stores = dims
+            .iter()
+            .map(|d| {
+                let cfg = OocConfig::builder(data.n_items(), d.width())
+                    .fraction(f)
+                    .build()
+                    .expect("valid out-of-core config");
+                let (strategy, _) = build_strategy(kind, &data.tree);
+                OocStore::new(VectorManager::new(
+                    cfg,
+                    strategy,
+                    MemStore::new(data.n_items(), d.width()),
+                ))
+            })
+            .collect();
+        ShardedPlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            spec,
+            stores,
+        )
+    }
+
+    /// Sharded out-of-core engine over one backing file split into
+    /// disjoint per-shard regions (`FileStore::create_regions`), each
+    /// shard's manager holding a fraction `f` of its vectors in RAM.
+    /// Fails if the backing file cannot be created.
+    pub fn sharded_engine_file<P: AsRef<Path>>(
+        data: &Dataset,
+        path: P,
+        f: f64,
+        kind: StrategyKind,
+        n_shards: usize,
+    ) -> std::io::Result<ShardedPlfEngine<OocStore<FileStore>>> {
+        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
+        let dims = ShardedPlfEngine::<OocStore<FileStore>>::shard_dims(
+            &data.comp,
+            data.spec.n_cats,
+            &spec,
+        );
+        let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
+        let regions = FileStore::create_regions(path, data.n_items(), &widths)?;
+        let stores = regions
+            .into_iter()
+            .zip(&widths)
+            .map(|(store, &w)| {
+                let cfg = OocConfig::builder(data.n_items(), w)
+                    .fraction(f)
+                    .build()
+                    .expect("valid out-of-core config");
+                let (strategy, _) = build_strategy(kind, &data.tree);
+                OocStore::new(VectorManager::new(cfg, strategy, store))
+            })
+            .collect();
+        Ok(ShardedPlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            spec,
+            stores,
+        ))
+    }
+
+    /// As [`sharded_engine_file`] but with the paper's `-L` byte budget
+    /// instead of a fraction: `limit_bytes` of slot RAM is divided evenly
+    /// across the shards, so the sharded run respects the same total
+    /// memory ceiling as the serial run it is compared against.
+    pub fn sharded_engine_file_limit<P: AsRef<Path>>(
+        data: &Dataset,
+        path: P,
+        limit_bytes: u64,
+        kind: StrategyKind,
+        n_shards: usize,
+    ) -> std::io::Result<ShardedPlfEngine<OocStore<FileStore>>> {
+        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
+        let dims = ShardedPlfEngine::<OocStore<FileStore>>::shard_dims(
+            &data.comp,
+            data.spec.n_cats,
+            &spec,
+        );
+        let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
+        let regions = FileStore::create_regions(path, data.n_items(), &widths)?;
+        let per_shard = (limit_bytes / n_shards as u64).max(1);
+        let stores = regions
+            .into_iter()
+            .zip(&widths)
+            .map(|(store, &w)| {
+                let cfg = OocConfig::builder(data.n_items(), w)
+                    .byte_limit(per_shard)
+                    .build()
+                    .expect("valid out-of-core config");
+                let (strategy, _) = build_strategy(kind, &data.tree);
+                OocStore::new(VectorManager::new(cfg, strategy, store))
+            })
+            .collect();
+        Ok(ShardedPlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            spec,
+            stores,
         ))
     }
 

@@ -330,10 +330,12 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
         }
         spec => {
             let cfg = match spec {
-                MemorySpec::Bytes(b) => OocConfig::with_byte_limit(n_items, dims.width(), b),
-                MemorySpec::Fraction(f) => OocConfig::with_fraction(n_items, dims.width(), f),
+                MemorySpec::Bytes(b) => OocConfig::builder(n_items, dims.width()).byte_limit(b),
+                MemorySpec::Fraction(f) => OocConfig::builder(n_items, dims.width()).fraction(f),
                 MemorySpec::All => unreachable!(),
-            };
+            }
+            .build()
+            .map_err(|e| e.to_string())?;
             let seed = opts.u64("seed", 42)?;
             let kind = parse_strategy(opts.get("strategy"), seed)?;
             let (strategy, _handle) = build_strategy(kind, &tree);
@@ -392,10 +394,12 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         }
         spec => {
             let ooc_cfg = match spec {
-                MemorySpec::Bytes(b) => OocConfig::with_byte_limit(n_items, dims.width(), b),
-                MemorySpec::Fraction(f) => OocConfig::with_fraction(n_items, dims.width(), f),
+                MemorySpec::Bytes(b) => OocConfig::builder(n_items, dims.width()).byte_limit(b),
+                MemorySpec::Fraction(f) => OocConfig::builder(n_items, dims.width()).fraction(f),
                 MemorySpec::All => unreachable!(),
-            };
+            }
+            .build()
+            .map_err(|e| e.to_string())?;
             let kind = parse_strategy(opts.get("strategy"), seed)?;
             let (strategy, handle) = build_strategy(kind, &tree);
             let vector_path = match opts.get("vector-file") {

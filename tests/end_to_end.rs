@@ -203,7 +203,10 @@ fn protein_data_end_to_end() {
     use phylo_ooc::ooc::{MemStore, OocConfig, VectorManager};
     use phylo_ooc::plf::OocStore;
     let manager = VectorManager::new(
-        OocConfig::new(tree.n_inner(), dims.width(), 3),
+        OocConfig::builder(tree.n_inner(), dims.width())
+            .slots(3)
+            .build()
+            .unwrap(),
         StrategyKind::Lru.build(None),
         MemStore::new(tree.n_inner(), dims.width()),
     );

@@ -26,7 +26,10 @@ fn engine_over<S: phylo_ooc::ooc::BackingStore>(
 ) -> PlfEngine<OocStore<S>> {
     // A quarter of the vectors in RAM: evictions (store writes) and
     // reloads (store reads) both happen during a single traversal.
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(0.25)
+        .build()
+        .expect("valid out-of-core config");
     let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
     PlfEngine::new(
         data.tree.clone(),

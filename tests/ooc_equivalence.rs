@@ -166,8 +166,11 @@ fn read_skipping_does_not_change_results() {
     let data = setup::simulate_dataset(&spec());
     let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
     for read_skipping in [true, false] {
-        let mut cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
-        cfg.read_skipping = read_skipping;
+        let cfg = OocConfig::builder(data.n_items(), data.width())
+            .fraction(0.25)
+            .read_skipping(read_skipping)
+            .build()
+            .expect("valid out-of-core config");
         let manager = VectorManager::new(
             cfg,
             StrategyKind::Lru.build(None),

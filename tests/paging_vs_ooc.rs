@@ -113,7 +113,10 @@ fn modeled_clock_replays_paper_scale_geometry() {
         seed: 12,
         ..Default::default()
     });
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(0.25)
+        .build()
+        .expect("valid out-of-core config");
     let store = ModeledStore::new(NullStore, DiskModel::hdd_2010());
     let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
     let mut engine = PlfEngine::new(

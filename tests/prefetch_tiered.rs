@@ -29,7 +29,10 @@ fn prefetching_store_is_transparent() {
     let worker = FileStore::open(&path, data.width()).unwrap();
     let store = PrefetchingStore::new(main, worker, data.n_items(), data.width());
 
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.25);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(0.25)
+        .build()
+        .expect("valid out-of-core config");
     let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
     let mut engine = PlfEngine::new(
         data.tree.clone(),
@@ -60,7 +63,10 @@ fn prefetch_thread_actually_stages_reads() {
     let worker = FileStore::open(&path, data.width()).unwrap();
     let store = PrefetchingStore::new(main, worker, data.n_items(), data.width());
 
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.2);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(0.2)
+        .build()
+        .expect("valid out-of-core config");
     let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), store);
     let mut engine = PlfEngine::new(
         data.tree.clone(),
@@ -99,7 +105,10 @@ fn three_layer_hierarchy_is_exact_and_absorbs_io() {
     // Middle tier ("RAM") holds half the vectors; the manager's slots
     // ("accelerator memory") hold only 10%.
     let tier = TieredStore::new(disk, data.n_items() / 2);
-    let cfg = OocConfig::with_fraction(data.n_items(), data.width(), 0.10);
+    let cfg = OocConfig::builder(data.n_items(), data.width())
+        .fraction(0.10)
+        .build()
+        .expect("valid out-of-core config");
     let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), tier);
     let mut engine = PlfEngine::new(
         data.tree.clone(),

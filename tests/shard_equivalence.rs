@@ -1,0 +1,207 @@
+//! Shard-equivalence suite: the sharded parallel engine must be
+//! bit-identical to the serial path for every shard count, merge its
+//! per-shard residency statistics exactly, and keep both properties
+//! under injected store faults with a retry layer.
+
+use phylo_ooc::ooc::{
+    BackingStore, FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, MemStore,
+    OocConfig, OocStats, RetryPolicy, RetryingStore, ShardSpec, StrategyKind, VectorManager,
+};
+use phylo_ooc::plf::{LikelihoodEngine, OocStore, ShardedPlfEngine};
+use phylo_ooc::setup::{self, DatasetSpec};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        n_taxa: 24,
+        n_sites: 211, // odd length: uneven shard ranges for k = 2, 4, 7
+        seed: 1105,
+        ..Default::default()
+    }
+}
+
+/// Sharded engine over arbitrary per-shard backing stores built by `mk`
+/// (the setup helpers only cover Mem/File stores).
+fn sharded_over<S, F>(data: &setup::Dataset, k: usize, mut mk: F) -> ShardedPlfEngine<OocStore<S>>
+where
+    S: BackingStore + Send,
+    F: FnMut(usize) -> S,
+{
+    let spec = ShardSpec::even(data.comp.n_patterns(), k);
+    let dims = ShardedPlfEngine::<OocStore<S>>::shard_dims(&data.comp, data.spec.n_cats, &spec);
+    let stores = dims
+        .iter()
+        .map(|d| {
+            let cfg = OocConfig::builder(data.n_items(), d.width())
+                .fraction(0.25)
+                .build()
+                .expect("valid out-of-core config");
+            let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), mk(d.width()));
+            OocStore::new(manager)
+        })
+        .collect();
+    ShardedPlfEngine::new(
+        data.tree.clone(),
+        &data.comp,
+        data.model.clone(),
+        data.spec.alpha,
+        data.spec.n_cats,
+        spec,
+        stores,
+    )
+}
+
+#[test]
+fn sharded_likelihood_bit_identical_for_all_shard_counts() {
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data)
+        .log_likelihood()
+        .expect("in-RAM reference cannot fail");
+    let serial = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru)
+        .log_likelihood()
+        .expect("serial OOC traversal failed");
+    assert_eq!(serial.to_bits(), reference.to_bits());
+
+    for k in SHARD_COUNTS {
+        let mut sharded = setup::sharded_engine_mem(&data, 0.25, StrategyKind::Lru, k);
+        assert_eq!(sharded.n_shards(), k);
+        let lnl = sharded.log_likelihood().expect("sharded traversal failed");
+        assert_eq!(
+            lnl.to_bits(),
+            reference.to_bits(),
+            "k={k}: {lnl} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn sharded_file_regions_bit_identical_to_serial() {
+    let data = setup::simulate_dataset(&spec());
+    let dir = tempfile::tempdir().expect("tempdir");
+    let reference = setup::inram_engine(&data)
+        .log_likelihood()
+        .expect("in-RAM reference cannot fail");
+
+    for k in SHARD_COUNTS {
+        let mut sharded = setup::sharded_engine_file(
+            &data,
+            dir.path().join(format!("shards_{k}.bin")),
+            0.25,
+            StrategyKind::Lru,
+            k,
+        )
+        .expect("failed to create sharded backing file");
+        let lnl = sharded
+            .log_likelihood()
+            .expect("sharded file traversal failed");
+        assert_eq!(lnl.to_bits(), reference.to_bits(), "k={k}");
+    }
+}
+
+#[test]
+fn sharded_search_operations_bit_identical_to_serial() {
+    // The harder determinism claims: branch-length Newton (three per-site
+    // accumulators), smoothing sweeps and the Brent α optimisation must
+    // follow exactly the serial engine's floating-point trajectory.
+    let data = setup::simulate_dataset(&spec());
+    let mut serial = setup::inram_engine(&data);
+    let mut sharded = setup::sharded_engine_mem(&data, 0.25, StrategyKind::Lru, 4);
+
+    let h = serial.tree().branches().next().expect("tree has branches");
+    let (z_s, l_s) = serial.optimize_branch(h, 16).expect("serial NR failed");
+    let (z_p, l_p) = sharded.optimize_branch(h, 16).expect("sharded NR failed");
+    assert_eq!(z_s.to_bits(), z_p.to_bits(), "NR branch length diverged");
+    assert_eq!(l_s.to_bits(), l_p.to_bits(), "NR likelihood diverged");
+
+    let sm_s = serial.smooth_branches(2, 8).expect("serial smoothing");
+    let sm_p = sharded.smooth_branches(2, 8).expect("sharded smoothing");
+    assert_eq!(sm_s.to_bits(), sm_p.to_bits(), "smoothing diverged");
+
+    let (a_s, la_s) = serial.optimize_alpha(1e-3, 40).expect("serial alpha");
+    let (a_p, la_p) = sharded.optimize_alpha(1e-3, 40).expect("sharded alpha");
+    assert_eq!(a_s.to_bits(), a_p.to_bits(), "Brent α diverged");
+    assert_eq!(la_s.to_bits(), la_p.to_bits(), "α likelihood diverged");
+}
+
+#[test]
+fn merged_stats_equal_sum_of_per_shard_stats() {
+    let data = setup::simulate_dataset(&spec());
+    let mut sharded = setup::sharded_engine_mem(&data, 0.25, StrategyKind::Lru, 4);
+    sharded.full_traversals(3).expect("traversals failed");
+
+    let merged = sharded.merged_ooc_stats().expect("merged stats");
+    let sum: OocStats = (0..sharded.n_shards())
+        .map(|i| *sharded.shard(i).store().manager().stats())
+        .sum();
+    assert_eq!(merged, sum, "merged stats must be the exact field-wise sum");
+    assert!(merged.requests > 0);
+    assert!(
+        merged.misses > 0,
+        "a quarter-resident run must miss in at least one shard"
+    );
+}
+
+#[test]
+fn sharded_engine_absorbs_transient_faults_with_retry() {
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data)
+        .log_likelihood()
+        .expect("in-RAM reference cannot fail");
+
+    let n_items = data.n_items();
+    let mut sharded = sharded_over(&data, 4, |width| {
+        let plan = FaultPlan::transient_reads(2, 3).with(FaultRule::Window {
+            op: FaultOp::Write,
+            start: 1,
+            count: 2,
+            kind: FaultKind::Transient,
+        });
+        RetryingStore::new(
+            FaultInjectingStore::new(MemStore::new(n_items, width), plan),
+            RetryPolicy::immediate(4),
+        )
+    });
+    let lnl = sharded
+        .log_likelihood()
+        .expect("transient faults must be absorbed per shard");
+    assert_eq!(
+        lnl.to_bits(),
+        reference.to_bits(),
+        "recovery must not perturb the likelihood"
+    );
+
+    let (mut retries, mut recoveries, mut io_errors) = (0, 0, 0);
+    for i in 0..sharded.n_shards() {
+        let mgr = sharded.shard(i).store().manager();
+        let r = mgr.store().retry_stats();
+        retries += r.retries;
+        recoveries += r.recoveries;
+        assert_eq!(r.exhausted, 0);
+        assert_eq!(r.permanent_failures, 0);
+        io_errors += mgr.stats().io_errors;
+    }
+    assert!(retries > 0, "the fault schedules must have fired");
+    assert!(recoveries > 0);
+    assert_eq!(io_errors, 0, "no error may leak past the retry layer");
+}
+
+#[test]
+fn sharded_engine_surfaces_permanent_faults() {
+    let data = setup::simulate_dataset(&spec());
+    let n_items = data.n_items();
+    // Every shard's write-backs fail permanently; the parallel traversal
+    // must surface an error, not panic or silently drop a shard.
+    let mut sharded = sharded_over(&data, 4, |width| {
+        let plan = FaultPlan::none().with(FaultRule::From {
+            op: FaultOp::Write,
+            start: 0,
+            kind: FaultKind::Permanent,
+        });
+        FaultInjectingStore::new(MemStore::new(n_items, width), plan)
+    });
+    let err = sharded
+        .log_likelihood()
+        .expect_err("permanent write faults must surface from the sharded engine");
+    assert!(err.to_string().contains("write failed"), "{err}");
+}
