@@ -10,6 +10,7 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{pct, print_table};
 use ooc_core::StrategyKind;
 use phylo_ooc::search::{run_mcmc, McmcConfig};
@@ -47,30 +48,42 @@ fn main() {
         StrategyKind::Lru,
         StrategyKind::NextUse,
     ];
-    let rows: Vec<Vec<String>> = strategies
-        .par_iter()
-        .map(|&kind| {
-            let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
-            let stats = run_mcmc(&mut engine, &cfg).expect("OOC MCMC failed");
-            if let Some(h) = handle {
-                h.update(engine.tree());
-            }
-            assert_eq!(
-                stats.final_log_posterior.to_bits(),
-                reference.final_log_posterior.to_bits(),
-                "chain must be identical ({})",
-                kind.label()
-            );
-            let m = engine.store().manager().stats();
-            vec![
-                kind.label().to_owned(),
-                pct(m.miss_rate()),
-                pct(m.read_rate()),
-                m.requests.to_string(),
-                format!("{}", stats.accepted),
-            ]
-        })
-        .collect();
+    let metrics = MetricsFile::from_args(&args);
+    let run_one = |&kind: &StrategyKind| {
+        let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
+        let rec = metrics.recorder(format!("mcmc/{}", kind.label()));
+        if let Some(rec) = &rec {
+            engine.store_mut().manager_mut().set_recorder(rec.clone());
+            engine.set_recorder(rec.clone());
+        }
+        let stats = run_mcmc(&mut engine, &cfg).expect("OOC MCMC failed");
+        if let Some(h) = handle {
+            h.update(engine.tree());
+        }
+        assert_eq!(
+            stats.final_log_posterior.to_bits(),
+            reference.final_log_posterior.to_bits(),
+            "chain must be identical ({})",
+            kind.label()
+        );
+        let m = engine.store().manager().stats();
+        if let Some(rec) = &rec {
+            MetricsFile::finish(rec, Some(m));
+        }
+        vec![
+            kind.label().to_owned(),
+            pct(m.miss_rate()),
+            pct(m.read_rate()),
+            m.requests.to_string(),
+            format!("{}", stats.accepted),
+        ]
+    };
+    // One shared JSONL stream means the cells must not interleave.
+    let rows: Vec<Vec<String>> = if metrics.enabled() {
+        strategies.iter().map(run_one).collect()
+    } else {
+        strategies.par_iter().map(run_one).collect()
+    };
 
     print_table(
         &["strategy", "miss rate", "read rate", "requests", "accepted"],

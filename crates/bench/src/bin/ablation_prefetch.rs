@@ -11,6 +11,7 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{print_table, secs};
 use ooc_core::{FileStore, OocConfig, PrefetchingStore, StrategyKind, VectorManager};
 use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
@@ -65,25 +66,50 @@ fn main() {
         )
     }
 
+    let metrics = MetricsFile::from_args(&args);
+
     // Baseline: plain file store.
     let plain = FileStore::create(dir.path().join("plain.bin"), data.n_items(), data.width())
         .expect("create store");
-    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), plain);
+    let mut manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), plain);
+    let rec = metrics.recorder("prefetch/plain");
+    if let Some(rec) = &rec {
+        manager.set_recorder(rec.clone());
+    }
     let mut engine = build_engine(&data, manager);
+    if let Some(rec) = &rec {
+        engine.set_recorder(rec.clone());
+    }
     let (t_plain, lnl_plain) = run_workload(&mut engine, traversals);
     let io_plain = engine.store().manager().stats().io_ops();
+    if let Some(rec) = &rec {
+        MetricsFile::finish(rec, Some(engine.store().manager().stats()));
+    }
     drop(engine);
 
     // Prefetching wrapper over the same file layout.
     let path = dir.path().join("prefetch.bin");
     let main_store = FileStore::create(&path, data.n_items(), data.width()).expect("create store");
     let worker = FileStore::open(&path, data.width()).expect("open worker handle");
-    let prefetching = PrefetchingStore::new(main_store, worker, data.n_items(), data.width());
-    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), prefetching);
+    let mut prefetching = PrefetchingStore::new(main_store, worker, data.n_items(), data.width());
+    let rec = metrics.recorder("prefetch/staged");
+    if let Some(rec) = &rec {
+        prefetching.set_recorder(rec.clone());
+    }
+    let mut manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), prefetching);
+    if let Some(rec) = &rec {
+        manager.set_recorder(rec.clone());
+    }
     let mut engine = build_engine(&data, manager);
+    if let Some(rec) = &rec {
+        engine.set_recorder(rec.clone());
+    }
     let (t_pre, lnl_pre) = run_workload(&mut engine, traversals);
     assert_eq!(lnl_plain.to_bits(), lnl_pre.to_bits(), "results must agree");
     let mgr_stats = *engine.store().manager().stats();
+    if let Some(rec) = &rec {
+        MetricsFile::finish(rec, Some(&mgr_stats));
+    }
     let stats = engine.store().manager().store().stats();
     let staged_hits = stats.staged_hits.load(Ordering::Relaxed);
     let staged_misses = stats.staged_misses.load(Ordering::Relaxed);

@@ -12,6 +12,7 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{print_table, secs};
 use ooc_core::{
     DiskModel, FileStore, ModeledStore, OocConfig, StrategyKind, TieredStore, VectorManager,
@@ -45,11 +46,17 @@ fn main() {
         ram_fraction * 100.0
     );
 
+    let metrics = MetricsFile::from_args(&args);
+
     // Two layers: accelerator slots directly over (modelled-cost) disk.
     let disk = FileStore::create(dir.path().join("two.bin"), data.n_items(), data.width())
         .expect("create");
     let disk = ModeledStore::new(disk, DiskModel::hdd_2010());
-    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), disk);
+    let rec = metrics.recorder("tiered/two-layer");
+    let mut manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), disk);
+    if let Some(rec) = &rec {
+        manager.set_recorder(rec.clone());
+    }
     let mut two = PlfEngine::new(
         data.tree.clone(),
         &data.comp,
@@ -67,13 +74,23 @@ fn main() {
     let t_two = t0.elapsed().as_secs_f64();
     let ops_two = two.store().manager().store().ops();
     let modeled_two = two.store().manager().store().clock_secs();
+    if let Some(rec) = &rec {
+        MetricsFile::finish(rec, Some(two.store().manager().stats()));
+    }
 
     // Three layers: accelerator slots over a RAM tier over the disk.
     let disk = FileStore::create(dir.path().join("three.bin"), data.n_items(), data.width())
         .expect("create");
     let disk = ModeledStore::new(disk, DiskModel::hdd_2010());
-    let tier = TieredStore::new(disk, (data.n_items() as f64 * ram_fraction) as usize);
-    let manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), tier);
+    let mut tier = TieredStore::new(disk, (data.n_items() as f64 * ram_fraction) as usize);
+    let rec = metrics.recorder("tiered/three-layer");
+    if let Some(rec) = &rec {
+        tier.set_recorder(rec.clone());
+    }
+    let mut manager = VectorManager::new(cfg, StrategyKind::Lru.build(None), tier);
+    if let Some(rec) = &rec {
+        manager.set_recorder(rec.clone());
+    }
     let mut three = PlfEngine::new(
         data.tree.clone(),
         &data.comp,
@@ -94,6 +111,9 @@ fn main() {
     let tier_stats = three.store().manager().store().stats();
     let ops_three = three.store().manager().store().inner().ops();
     let modeled_three = three.store().manager().store().inner().clock_secs();
+    if let Some(rec) = &rec {
+        MetricsFile::finish(rec, Some(three.store().manager().stats()));
+    }
 
     print_table(
         &[

@@ -9,8 +9,9 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{pct, print_table};
-use ooc_bench::workload::{run_search_workload, WorkloadSpec};
+use ooc_bench::workload::{run_search_workload_observed, WorkloadSpec};
 use ooc_core::{OocConfig, StrategyKind};
 use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
 
@@ -34,6 +35,7 @@ fn main() {
         spec.n_taxa
     );
 
+    let metrics = MetricsFile::from_args(&args);
     let mut rows = Vec::new();
     for (label, always) in [
         ("unconditional swap (paper)", true),
@@ -44,7 +46,14 @@ fn main() {
             .always_write_back(always)
             .build()
             .expect("valid out-of-core config");
-        let r = run_search_workload(&data, cfg, StrategyKind::Lru, &workload);
+        let scope = if always {
+            "writeback/unconditional"
+        } else {
+            "writeback/dirty-tracking"
+        };
+        let rec = metrics.recorder(scope);
+        let r =
+            run_search_workload_observed(&data, cfg, StrategyKind::Lru, &workload, rec.as_ref());
         rows.push((label, r));
     }
     assert_eq!(

@@ -9,6 +9,7 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::print_table;
 use ooc_core::StrategyKind;
 use phylo_ooc::search::{hill_climb, SearchConfig};
@@ -46,16 +47,25 @@ fn main() {
         StrategyKind::Topological,
         StrategyKind::NextUse,
     ];
+    let metrics = MetricsFile::from_args(&args);
     let mut rows = Vec::new();
     let mut all_pass = true;
     for kind in strategies {
         for f in [0.25, 0.5, 0.75] {
             eprintln!("checking {} f={f}...", kind.label());
             let (mut ooc, handle) = setup::ooc_engine_mem_with_handle(&data, f, kind);
+            let rec = metrics.recorder(format!("correctness/{}/f{f:.2}", kind.label()));
+            if let Some(rec) = &rec {
+                ooc.store_mut().manager_mut().set_recorder(rec.clone());
+                ooc.set_recorder(rec.clone());
+            }
             let eval = ooc.log_likelihood().expect("OOC evaluation failed");
             let search = hill_climb(&mut ooc, &search_cfg).expect("OOC search failed");
             if let Some(h) = handle {
                 h.update(ooc.tree());
+            }
+            if let Some(rec) = &rec {
+                MetricsFile::finish(rec, Some(ooc.store().manager().stats()));
             }
             let tree = write_newick(ooc.tree(), &names);
             let eval_ok = eval.to_bits() == eval_ref.to_bits();

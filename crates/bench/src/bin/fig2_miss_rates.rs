@@ -10,10 +10,14 @@
 //! cargo run --release -p ooc-bench --bin fig2_miss_rates            # paper geometry
 //! cargo run --release -p ooc-bench --bin fig2_miss_rates -- --quick # small smoke run
 //! ```
+//!
+//! With `--metrics FILE` the cells run sequentially and stream per-cell
+//! latency events/histograms as JSONL (validate with `metrics_check`).
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{pct, print_table, write_json};
-use ooc_bench::workload::{all_strategies, run_search_workload, CellResult, WorkloadSpec};
+use ooc_bench::workload::{all_strategies, run_search_workload_observed, CellResult, WorkloadSpec};
 use ooc_core::OocConfig;
 use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
 use rayon::prelude::*;
@@ -51,16 +55,21 @@ fn main() {
         .iter()
         .flat_map(|&f| all_strategies().into_iter().map(move |s| (f, s)))
         .collect();
-    let results: Vec<CellResult> = cells
-        .par_iter()
-        .map(|&(f, kind)| {
-            let cfg = OocConfig::builder(data.n_items(), data.width())
-                .fraction(f)
-                .build()
-                .expect("valid out-of-core config");
-            run_search_workload(&data, cfg, kind, &workload)
-        })
-        .collect();
+    let metrics = MetricsFile::from_args(&args);
+    let run_one = |&(f, kind): &(f64, ooc_core::StrategyKind)| {
+        let cfg = OocConfig::builder(data.n_items(), data.width())
+            .fraction(f)
+            .build()
+            .expect("valid out-of-core config");
+        let rec = metrics.recorder(format!("fig2/{}/f{f:.2}", kind.label()));
+        run_search_workload_observed(&data, cfg, kind, &workload, rec.as_ref())
+    };
+    // One shared JSONL stream means the cells must not interleave.
+    let results: Vec<CellResult> = if metrics.enabled() {
+        cells.iter().map(run_one).collect()
+    } else {
+        cells.par_iter().map(run_one).collect()
+    };
 
     // All cells must have seen the identical likelihood (paper §4.1).
     let lnl0 = results[0].lnl;

@@ -9,8 +9,9 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{pct, print_table, write_json};
-use ooc_bench::workload::{all_strategies, run_search_workload, CellResult, WorkloadSpec};
+use ooc_bench::workload::{all_strategies, run_search_workload_observed, CellResult, WorkloadSpec};
 use ooc_core::OocConfig;
 use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
 use rayon::prelude::*;
@@ -48,22 +49,40 @@ fn main() {
         .iter()
         .flat_map(|&f| all_strategies().into_iter().map(move |s| (f, s)))
         .collect();
-    let results: Vec<Fig3Cell> = cells
-        .par_iter()
-        .map(|&(f, kind)| {
-            let on = OocConfig::builder(data.n_items(), data.width())
-                .fraction(f)
-                .read_skipping(true)
-                .build()
-                .expect("valid out-of-core config");
-            let mut off = on;
-            off.read_skipping = false;
-            Fig3Cell {
-                with_skipping: run_search_workload(&data, on, kind, &workload),
-                without_skipping: run_search_workload(&data, off, kind, &workload),
-            }
-        })
-        .collect();
+    let metrics = MetricsFile::from_args(&args);
+    let run_one = |&(f, kind): &(f64, ooc_core::StrategyKind)| {
+        let on = OocConfig::builder(data.n_items(), data.width())
+            .fraction(f)
+            .read_skipping(true)
+            .build()
+            .expect("valid out-of-core config");
+        let mut off = on;
+        off.read_skipping = false;
+        let rec_on = metrics.recorder(format!("fig3/{}/f{f:.2}/skip", kind.label()));
+        let rec_off = metrics.recorder(format!("fig3/{}/f{f:.2}/noskip", kind.label()));
+        Fig3Cell {
+            with_skipping: run_search_workload_observed(
+                &data,
+                on,
+                kind,
+                &workload,
+                rec_on.as_ref(),
+            ),
+            without_skipping: run_search_workload_observed(
+                &data,
+                off,
+                kind,
+                &workload,
+                rec_off.as_ref(),
+            ),
+        }
+    };
+    // One shared JSONL stream means the cells must not interleave.
+    let results: Vec<Fig3Cell> = if metrics.enabled() {
+        cells.iter().map(run_one).collect()
+    } else {
+        cells.par_iter().map(run_one).collect()
+    };
 
     println!(
         "\nFigure 3 — read rate (% of total vector requests) WITH read skipping, n = {}\n",

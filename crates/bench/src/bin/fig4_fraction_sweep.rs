@@ -12,8 +12,9 @@
 //! ```
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{pct, print_table, write_json};
-use ooc_bench::workload::{run_search_workload, CellResult, WorkloadSpec};
+use ooc_bench::workload::{run_search_workload_observed, CellResult, WorkloadSpec};
 use ooc_core::{OocConfig, StrategyKind};
 use phylo_ooc::setup::{simulate_dataset, DatasetSpec};
 use rayon::prelude::*;
@@ -57,16 +58,21 @@ fn main() {
                 .map(move |k| (m, k))
         })
         .collect();
-    let all: Vec<CellResult> = cells
-        .par_iter()
-        .map(|&(m, kind)| {
-            let cfg = OocConfig::builder(n, data.width())
-                .slots(m)
-                .build()
-                .expect("valid out-of-core config");
-            run_search_workload(&data, cfg, kind, &workload)
-        })
-        .collect();
+    let metrics = MetricsFile::from_args(&args);
+    let run_one = |&(m, kind): &(usize, StrategyKind)| {
+        let cfg = OocConfig::builder(n, data.width())
+            .slots(m)
+            .build()
+            .expect("valid out-of-core config");
+        let rec = metrics.recorder(format!("fig4/{}/m{m}", kind.label()));
+        run_search_workload_observed(&data, cfg, kind, &workload, rec.as_ref())
+    };
+    // One shared JSONL stream means the cells must not interleave.
+    let all: Vec<CellResult> = if metrics.enabled() {
+        cells.iter().map(run_one).collect()
+    } else {
+        cells.par_iter().map(run_one).collect()
+    };
     let results: Vec<CellResult> = all
         .iter()
         .filter(|r| r.strategy == "RAND")

@@ -23,10 +23,17 @@
 //! reporting merged per-shard residency statistics.
 //!
 //! ```sh
-//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4]
+//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--metrics FILE]
 //! ```
+//!
+//! With `--metrics FILE` every real-I/O out-of-core cell (parts 1 and 3)
+//! streams stall-attribution events, latency histograms, and its final
+//! `OocStats` to FILE as JSONL, one scope per strategy/geometry cell; the
+//! modelled replay (part 2) builds its managers internally and is not
+//! instrumented.
 
 use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
 use ooc_bench::replay::{
     calibrate_newview_secs_per_f64, full_traversal_pattern, replay_ooc, replay_paged,
 };
@@ -81,20 +88,24 @@ fn main() {
     let quick = args.flag("quick");
     let traversals = args.usize("traversals", 5);
 
+    // One shared JSONL stream for both real-I/O parts (the modelled replay
+    // builds its managers internally and stays unwired).
+    let metrics = MetricsFile::from_args(&args);
+
     if !args.flag("skip-real") {
-        real_scaled_runs(&args, quick, traversals);
+        real_scaled_runs(&args, quick, traversals, &metrics);
     }
     if !args.flag("skip-model") {
         modeled_paper_scale(&args, quick, traversals);
     }
     let shards = args.usize("shards", 0);
     if shards >= 2 {
-        sharded_sweep(&args, quick, traversals, shards);
+        sharded_sweep(&args, quick, traversals, shards, &metrics);
     }
 }
 
 /// Part 1: real I/O at scaled-down geometry.
-fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
+fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &MetricsFile) {
     let n_taxa = args.usize("taxa", if quick { 256 } else { 1024 });
     let budget = args.u64("budget-mib", if quick { 8 } else { 64 }) * 1024 * 1024;
     let ratios: &[f64] = if quick {
@@ -169,12 +180,20 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
                 kind,
             )
             .expect("failed to create backing file");
+            let rec = metrics.recorder(format!("fig5-real/{ratio}x/{}", kind.label()));
+            if let Some(rec) = &rec {
+                ooc.store_mut().manager_mut().set_recorder(rec.clone());
+                ooc.set_recorder(rec.clone());
+            }
             let t0 = Instant::now();
             let l = ooc
                 .full_traversals(traversals)
                 .expect("OOC traversal failed");
             ooc_secs[k] = t0.elapsed().as_secs_f64();
             assert_eq!(l.to_bits(), lnl.to_bits(), "results must be identical");
+            if let Some(rec) = &rec {
+                MetricsFile::finish(rec, Some(ooc.store().manager().stats()));
+            }
         }
 
         points.push(RealPoint {
@@ -227,7 +246,13 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize) {
 
 /// Part 3 (`--shards k`): serial vs sharded-parallel out-of-core runs for
 /// all five replacement strategies, asserting bit-identical likelihoods.
-fn sharded_sweep(args: &Args, quick: bool, traversals: usize, shards: usize) {
+fn sharded_sweep(
+    args: &Args,
+    quick: bool,
+    traversals: usize,
+    shards: usize,
+    metrics: &MetricsFile,
+) {
     let n_taxa = args.usize("taxa", if quick { 128 } else { 512 });
     let n_sites = args.usize("sites", if quick { 600 } else { 2000 });
     let budget = args.u64("budget-mib", if quick { 8 } else { 64 }) * 1024 * 1024;
@@ -267,11 +292,19 @@ fn sharded_sweep(args: &Args, quick: bool, traversals: usize, shards: usize) {
             kind,
         )
         .expect("failed to create backing file");
+        let rec = metrics.recorder(format!("fig5-shards/{}/serial", kind.label()));
+        if let Some(rec) = &rec {
+            serial.store_mut().manager_mut().set_recorder(rec.clone());
+            serial.set_recorder(rec.clone());
+        }
         let t0 = Instant::now();
         let lnl_serial = serial
             .full_traversals(traversals)
             .expect("serial OOC traversal failed");
         let serial_secs = t0.elapsed().as_secs_f64();
+        if let Some(rec) = &rec {
+            MetricsFile::finish(rec, Some(serial.store().manager().stats()));
+        }
         drop(serial);
 
         let mut sharded = setup::sharded_engine_file_limit(
@@ -282,6 +315,19 @@ fn sharded_sweep(args: &Args, quick: bool, traversals: usize, shards: usize) {
             shards,
         )
         .expect("failed to create sharded backing file");
+        let rec = metrics.recorder(format!("fig5-shards/{}/sharded{shards}", kind.label()));
+        if let Some(rec) = &rec {
+            for s in 0..shards {
+                sharded
+                    .shard_mut(s)
+                    .store_mut()
+                    .manager_mut()
+                    .set_recorder(rec.clone());
+            }
+            // Also installs per-shard combine-batch spans and the
+            // shard-exec/barrier-wait attribution around `par_shards`.
+            sharded.set_recorder(rec.clone());
+        }
         let t0 = Instant::now();
         let lnl_sharded = sharded
             .full_traversals(traversals)
@@ -297,6 +343,9 @@ fn sharded_sweep(args: &Args, quick: bool, traversals: usize, shards: usize) {
         let stats = sharded
             .merged_ooc_stats()
             .expect("sharded OOC engine reports merged stats");
+        if let Some(rec) = &rec {
+            MetricsFile::finish(rec, Some(&stats));
+        }
 
         points.push(ShardPoint {
             strategy: kind.label(),

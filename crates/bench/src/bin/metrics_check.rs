@@ -1,0 +1,512 @@
+//! **metrics_check** — schema and reconciliation validator for the JSONL
+//! stall-attribution streams the `--metrics FILE` flag produces (CLI and
+//! every bench binary). CI runs it after a `--metrics` smoke run; it is
+//! also the offline answer to "did the observability layer double-count?".
+//!
+//! Checks, per line:
+//!
+//! - the line parses as JSON with `"type"` ∈ {`event`, `hist`, `ooc-stats`}
+//!   (a NaN rate would already fail the parse — `NaN` is not JSON);
+//! - `event`: required fields, `kind` is one of the six stall kinds;
+//! - `hist`: bucket counts sum to `count`, `min_ns <= max_ns`;
+//! - `ooc-stats`: all counters present and integral, rates finite.
+//!
+//! And per scope that carries an `ooc-stats` record:
+//!
+//! - manager `demand-read` events == `disk_reads` (a read that succeeded
+//!   after retries is still ONE event and ONE counted read);
+//! - manager `write-back` events == `disk_writes`.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin metrics_check -- metrics.jsonl
+//! ```
+//!
+//! Exits non-zero with a message on the first hard failure class; prints
+//! a per-scope summary on success. The JSON parser is local to this
+//! binary: the records are flat objects plus one array of integer pairs,
+//! and keeping the reader dependency-free mirrors the writer in
+//! `ooc_core::obs` (hand-rolled for the same reason).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (strict; full escape set).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Int(u64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    fn is_u64(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse(input: &'a str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("invalid escape at offset {}", self.pos)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| format!("invalid number '{text}'"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema checks.
+// ---------------------------------------------------------------------------
+
+const KINDS: [&str; 6] = [
+    "compute",
+    "demand-read",
+    "write-back",
+    "prefetch-wait",
+    "retry-backoff",
+    "barrier-wait",
+];
+
+#[derive(Default)]
+struct ScopeTally {
+    events: u64,
+    hists: u64,
+    demand_read_events: u64,
+    write_back_events: u64,
+    stats: Option<(u64, u64)>, // (disk_reads, disk_writes)
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+fn check_event(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
+    let layer = get_str(v, "layer")?;
+    let op = get_str(v, "op")?;
+    let kind = get_str(v, "kind")?;
+    if !KINDS.contains(&kind) {
+        return Err(format!("unknown stall kind '{kind}'"));
+    }
+    get_u64(v, "ts_ns")?;
+    get_u64(v, "dur_ns")?;
+    get_u64(v, "bytes")?;
+    get_u64(v, "n")?;
+    for key in ["item", "shard"] {
+        match v.get(key) {
+            Some(x) if x.is_null() || x.is_u64() => {}
+            _ => return Err(format!("field '{key}' must be null or an integer")),
+        }
+    }
+    tally.events += 1;
+    if layer == "manager" && op == "demand-read" {
+        tally.demand_read_events += 1;
+    }
+    if layer == "manager" && op == "write-back" {
+        tally.write_back_events += 1;
+    }
+    Ok(())
+}
+
+fn check_hist(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
+    get_str(v, "layer")?;
+    get_str(v, "op")?;
+    let count = get_u64(v, "count")?;
+    get_u64(v, "sum_ns")?;
+    let min = get_u64(v, "min_ns")?;
+    let max = get_u64(v, "max_ns")?;
+    if count > 0 && min > max {
+        return Err(format!("histogram min_ns {min} > max_ns {max}"));
+    }
+    let buckets = v
+        .get("buckets")
+        .and_then(Value::as_array)
+        .ok_or("missing or non-array field 'buckets'")?;
+    let mut bucket_total = 0u64;
+    for b in buckets {
+        let pair = b.as_array().filter(|p| p.len() == 2);
+        let pair = pair.ok_or("bucket entries must be [index, count] pairs")?;
+        pair[0].as_u64().ok_or("bucket index must be an integer")?;
+        bucket_total += pair[1].as_u64().ok_or("bucket count must be an integer")?;
+    }
+    if bucket_total != count {
+        return Err(format!(
+            "bucket counts sum to {bucket_total} but 'count' is {count}"
+        ));
+    }
+    tally.hists += 1;
+    Ok(())
+}
+
+const STAT_COUNTERS: [&str; 14] = [
+    "requests",
+    "hits",
+    "misses",
+    "disk_reads",
+    "disk_writes",
+    "skipped_reads",
+    "cold_loads",
+    "evictions",
+    "bytes_read",
+    "bytes_written",
+    "io_errors",
+    "plans",
+    "hints_issued",
+    "hinted_reads",
+];
+
+fn check_stats(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
+    for key in STAT_COUNTERS {
+        get_u64(v, key)?;
+    }
+    for key in ["miss_rate", "read_rate"] {
+        let r = v
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("missing or non-numeric field '{key}'"))?;
+        if !r.is_finite() {
+            return Err(format!("field '{key}' is not finite: {r}"));
+        }
+    }
+    tally.stats = Some((get_u64(v, "disk_reads")?, get_u64(v, "disk_writes")?));
+    Ok(())
+}
+
+fn run(path: &str) -> Result<(), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
+    let mut scopes: BTreeMap<String, ScopeTally> = BTreeMap::new();
+    let mut lines = 0u64;
+    for (idx, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("line {}: read error: {e}", idx + 1))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let v = Parser::parse(&line).map_err(|e| format!("line {}: invalid JSON: {e}", idx + 1))?;
+        let at = |e: String| format!("line {}: {e}", idx + 1);
+        let ty = get_str(&v, "type").map_err(at)?.to_owned();
+        let scope = get_str(&v, "scope").map_err(at)?.to_owned();
+        let tally = scopes.entry(scope).or_default();
+        match ty.as_str() {
+            "event" => check_event(&v, tally).map_err(at)?,
+            "hist" => check_hist(&v, tally).map_err(at)?,
+            "ooc-stats" => check_stats(&v, tally).map_err(at)?,
+            other => return Err(at(format!("unknown record type '{other}'"))),
+        }
+    }
+    if lines == 0 {
+        return Err(format!("'{path}' contains no records"));
+    }
+
+    // Reconcile event counts against the counter snapshot, per scope.
+    // Every scope that went through a VectorManager must agree exactly:
+    // retried ops may not double-count, prefetch staging may not hide
+    // reads, and hist-only spans (hits/misses/evictions) emit no events.
+    for (scope, t) in &scopes {
+        let Some((disk_reads, disk_writes)) = t.stats else {
+            continue;
+        };
+        if t.demand_read_events != disk_reads {
+            return Err(format!(
+                "scope '{scope}': {} manager demand-read events but \
+                 ooc-stats reports disk_reads = {disk_reads}",
+                t.demand_read_events
+            ));
+        }
+        if t.write_back_events != disk_writes {
+            return Err(format!(
+                "scope '{scope}': {} manager write-back events but \
+                 ooc-stats reports disk_writes = {disk_writes}",
+                t.write_back_events
+            ));
+        }
+    }
+
+    println!(
+        "{path}: {lines} records across {} scope(s) OK",
+        scopes.len()
+    );
+    for (scope, t) in &scopes {
+        let rec = match t.stats {
+            Some((r, w)) => format!("reconciled (reads {r}, writes {w})"),
+            None => "no ooc-stats record (reconciliation skipped)".to_owned(),
+        };
+        println!(
+            "  {scope}: {} events, {} histograms — {rec}",
+            t.events, t.hists
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: metrics_check <metrics.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    match run(&path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("metrics_check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_roundtrips_event_line() {
+        let line = r#"{"type":"event","scope":"s","ts_ns":1,"dur_ns":2,"layer":"manager","op":"demand-read","kind":"demand-read","item":7,"shard":null,"bytes":64,"n":1}"#;
+        let v = Parser::parse(line).unwrap();
+        let mut t = ScopeTally::default();
+        check_event(&v, &mut t).unwrap();
+        assert_eq!(t.demand_read_events, 1);
+    }
+
+    #[test]
+    fn parser_rejects_bad_kind_and_nan() {
+        let bad_kind = r#"{"type":"event","scope":"s","ts_ns":1,"dur_ns":2,"layer":"x","op":"y","kind":"sleeping","item":null,"shard":null,"bytes":0,"n":1}"#;
+        let v = Parser::parse(bad_kind).unwrap();
+        assert!(check_event(&v, &mut ScopeTally::default()).is_err());
+        assert!(Parser::parse(r#"{"miss_rate":NaN}"#).is_err());
+    }
+
+    #[test]
+    fn hist_bucket_sum_must_match_count() {
+        let line = r#"{"type":"hist","scope":"s","layer":"l","op":"o","count":3,"sum_ns":30,"min_ns":5,"max_ns":20,"buckets":[[3,2],[4,1]]}"#;
+        let v = Parser::parse(line).unwrap();
+        check_hist(&v, &mut ScopeTally::default()).unwrap();
+        let short = line.replace("[[3,2],[4,1]]", "[[3,2]]");
+        let v = Parser::parse(&short).unwrap();
+        assert!(check_hist(&v, &mut ScopeTally::default()).is_err());
+    }
+}

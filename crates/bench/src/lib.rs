@@ -9,9 +9,12 @@
 //!   drive the miss-rate experiments (Figures 2–4, supplement),
 //! * [`replay`] — access-pattern replay with modelled disk costs, used to
 //!   run Figure 5 at the paper's 1–32 GB geometry without physical I/O,
-//! * [`report`] — aligned tables on stdout and JSON series on disk.
+//! * [`report`] — aligned tables on stdout and JSON series on disk,
+//! * [`metrics`] — the `--metrics FILE` JSONL observability stream shared
+//!   by every binary (one scope per measured configuration).
 
 pub mod args;
+pub mod metrics;
 pub mod replay;
 pub mod report;
 pub mod workload;

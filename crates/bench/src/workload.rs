@@ -8,7 +8,7 @@
 //! f) cell sees the *identical* access request stream — exactly the
 //! property that makes the paper's miss-rate comparison meaningful.
 
-use ooc_core::{AccessPlan, MemStore, OocConfig, OocStats, StrategyKind, VectorManager};
+use ooc_core::{AccessPlan, MemStore, OocConfig, OocStats, Recorder, StrategyKind, VectorManager};
 use phylo_ooc::setup::{build_strategy, Dataset};
 use phylo_plf::{OocStore, PlfEngine};
 use phylo_search::lazy_spr_round;
@@ -105,12 +105,28 @@ pub fn run_search_workload(
     kind: StrategyKind,
     spec: &WorkloadSpec,
 ) -> CellResult {
+    run_search_workload_observed(data, cfg, kind, spec, None)
+}
+
+/// [`run_search_workload`] with an optional observability recorder. The
+/// recorder is attached *after* the warm-up evaluation (whose counters are
+/// reset), so the emitted events and histograms reconcile exactly with the
+/// cell's reported [`OocStats`]: demand-read events == `disk_reads`,
+/// write-back events == `disk_writes`. The NextUse recording pass is never
+/// observed — only the measured replay is.
+pub fn run_search_workload_observed(
+    data: &Dataset,
+    cfg: OocConfig,
+    kind: StrategyKind,
+    spec: &WorkloadSpec,
+    obs: Option<&Recorder>,
+) -> CellResult {
     if kind == StrategyKind::NextUse {
-        let (_, recording) = run_cell(data, cfg, StrategyKind::Lru, spec, Pass::Record);
+        let (_, recording) = run_cell(data, cfg, StrategyKind::Lru, spec, Pass::Record, None);
         let plan = recording.expect("recording pass must yield a plan");
-        run_cell(data, cfg, kind, spec, Pass::Replay(plan)).0
+        run_cell(data, cfg, kind, spec, Pass::Replay(plan), obs).0
     } else {
-        run_cell(data, cfg, kind, spec, Pass::Online).0
+        run_cell(data, cfg, kind, spec, Pass::Online, obs).0
     }
 }
 
@@ -120,6 +136,7 @@ fn run_cell(
     kind: StrategyKind,
     spec: &WorkloadSpec,
     pass: Pass,
+    obs: Option<&Recorder>,
 ) -> (CellResult, Option<AccessPlan>) {
     cfg.n_items = data.n_items();
     cfg.width = data.width();
@@ -140,6 +157,12 @@ fn run_cell(
         .log_likelihood()
         .expect("MemStore workload cannot fail on I/O");
     engine.store_mut().manager_mut().reset_stats();
+    // Observe only the measured phase: attaching after the warm-up reset
+    // keeps the event stream reconcilable with the reported counters.
+    if let Some(rec) = obs {
+        engine.store_mut().manager_mut().set_recorder(rec.clone());
+        engine.set_recorder(rec.clone());
+    }
     match pass {
         Pass::Record => engine.store_mut().manager_mut().start_recording(),
         Pass::Replay(plan) => engine.store_mut().manager_mut().install_oracle_plan(plan),
@@ -169,6 +192,9 @@ fn run_cell(
         Some(recorded)
     };
     let stats: OocStats = *engine.store().manager().stats();
+    if let Some(rec) = obs {
+        crate::metrics::MetricsFile::finish(rec, Some(&stats));
+    }
     let cell = CellResult {
         strategy: kind.label(),
         fraction: engine.store().manager().config().n_slots as f64 / data.n_items() as f64,

@@ -111,6 +111,10 @@ impl<S: BackingStore> BackingStore for ModeledStore<S> {
         self.inner.hint(upcoming);
     }
 
+    fn forget_hints(&mut self) {
+        self.inner.forget_hints();
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         self.inner.flush()
     }

@@ -35,11 +35,15 @@
 //!   [`FaultInjectingStore`] injects deterministic failure schedules for
 //!   testing, and [`RetryingStore`] absorbs transient errors with bounded
 //!   retries.
+//! * [`obs`] — stall-attribution observability: log2-bucketed latency
+//!   histograms, tracing spans with an injectable clock, and a lossless
+//!   JSONL event stream, threaded through every layer that touches bytes.
 
 pub mod diskmodel;
 pub mod error;
 pub mod fault;
 pub mod manager;
+pub mod obs;
 pub mod plan;
 pub mod prefetch;
 pub mod retry;
@@ -55,6 +59,10 @@ pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, F
 pub use manager::{
     Intent, ItemId, OocConfig, OocConfigBuilder, OocConfigError, PinnedSession, SlotId,
     VectorManager, DEFAULT_PREFETCH_WINDOW,
+};
+pub use obs::{
+    Clock, Event, EventSink, JsonlSink, LatencyHistogram, ManualClock, MemorySink, MonotonicClock,
+    NullSink, Recorder, StallAttribution, StallKind,
 };
 pub use plan::{AccessPlan, AccessRecord, PlanCursor};
 pub use prefetch::PrefetchingStore;

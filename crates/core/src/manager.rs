@@ -9,6 +9,7 @@
 //! statistics collection.
 
 use crate::error::{OocError, OocOp, OocResult};
+use crate::obs::{Recorder, StallKind};
 use crate::plan::{AccessPlan, AccessRecord, PlanCursor};
 use crate::stats::OocStats;
 use crate::store::BackingStore;
@@ -252,6 +253,10 @@ pub struct VectorManager<S: BackingStore> {
     strategy: Box<dyn ReplacementStrategy>,
     store: S,
     stats: OocStats,
+    /// Observability: when attached, per-access hit/miss/evict latency
+    /// lands in histograms and every store transfer becomes an attributed
+    /// span (see [`crate::obs`]). `None` costs nothing on the hot path.
+    obs: Option<Recorder>,
 }
 
 impl<S: BackingStore> VectorManager<S> {
@@ -282,7 +287,19 @@ impl<S: BackingStore> VectorManager<S> {
             store,
             cfg,
             stats: OocStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability recorder: per-access latency histograms
+    /// plus attributed demand-read/write-back spans from now on.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.obs.as_ref()
     }
 
     /// Configuration in effect.
@@ -377,9 +394,13 @@ impl<S: BackingStore> VectorManager<S> {
             self.cfg.n_items
         );
         self.stats.plans += 1;
-        // Flags from an abandoned plan must not leak into this one.
+        // Flags from an abandoned plan must not leak into this one, and
+        // the store must drop that plan's queued/in-flight hints: a
+        // superseded prefetch landing later would otherwise be credited
+        // to (or stall) this plan's accounting.
         self.skip_read.fill(false);
         self.hinted.fill(false);
+        self.store.forget_hints();
         for &item in plan.write_first_items() {
             self.skip_read[item as usize] = true;
         }
@@ -445,6 +466,7 @@ impl<S: BackingStore> VectorManager<S> {
     /// failed load read leaves the slot unoccupied and the item in the
     /// store — either way every later access sees consistent state.
     fn ensure_resident(&mut self, item: ItemId, intent: Intent) -> OocResult<SlotId> {
+        let t0 = self.obs.as_ref().map(|r| r.now());
         self.stats.requests += 1;
         self.advance_plan(item, intent);
         if let Location::InSlot(slot) = self.loc[item as usize] {
@@ -454,10 +476,28 @@ impl<S: BackingStore> VectorManager<S> {
                 self.dirty[slot as usize] = true;
             }
             self.skip_read[item as usize] = false;
+            // Hits are far too frequent for one event each; the histogram
+            // keeps every observation.
+            if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                rec.span_at("manager", "hit", StallKind::Compute, t0)
+                    .hist_only()
+                    .unattributed()
+                    .finish();
+            }
             return Ok(slot);
         }
         self.stats.misses += 1;
-        self.load(item, intent)
+        let slot = self.load(item, intent)?;
+        // Unattributed: the stall part of a miss is already covered by the
+        // demand-read / write-back spans recorded inside `load`.
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.span_at("manager", "miss", StallKind::Compute, t0)
+                .item(item)
+                .hist_only()
+                .unattributed()
+                .finish();
+        }
+        Ok(slot)
     }
 
     /// Bring a non-resident item into a slot, evicting if necessary.
@@ -496,6 +536,7 @@ impl<S: BackingStore> VectorManager<S> {
                 if skip {
                     self.stats.skipped_reads += 1;
                 } else {
+                    let t0 = self.obs.as_ref().map(|r| r.now());
                     // The slot is still unoccupied at this point, so a
                     // failed read leaves `item` safely in the store.
                     self.store.read(item, &mut self.slots[s]).map_err(|e| {
@@ -504,6 +545,13 @@ impl<S: BackingStore> VectorManager<S> {
                     })?;
                     self.stats.disk_reads += 1;
                     self.stats.bytes_read += self.cfg.width as u64 * 8;
+                    // Success only, so demand-read events == disk_reads.
+                    if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        rec.span_at("manager", "demand-read", StallKind::DemandRead, t0)
+                            .item(item)
+                            .bytes(self.cfg.width as u64 * 8)
+                            .finish();
+                    }
                     if self.hinted[item as usize] {
                         self.hinted[item as usize] = false;
                         self.stats.hinted_reads += 1;
@@ -529,6 +577,7 @@ impl<S: BackingStore> VectorManager<S> {
     fn evict(&mut self, slot: SlotId) -> OocResult<()> {
         let s = slot as usize;
         let item = self.slot_item[s].expect("evicting empty slot");
+        let t0 = self.obs.as_ref().map(|r| r.now());
         if self.dirty[s] || self.cfg.always_write_back {
             self.store.write(item, &self.slots[s]).map_err(|e| {
                 self.stats.io_errors += 1;
@@ -537,6 +586,13 @@ impl<S: BackingStore> VectorManager<S> {
             self.stats.disk_writes += 1;
             self.stats.bytes_written += self.cfg.width as u64 * 8;
             self.materialized[item as usize] = true;
+            // Success only, so write-back events == eviction disk_writes.
+            if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                rec.span_at("manager", "write-back", StallKind::WriteBack, t0)
+                    .item(item)
+                    .bytes(self.cfg.width as u64 * 8)
+                    .finish();
+            }
         }
         self.loc[item as usize] = if self.materialized[item as usize] {
             Location::InStore
@@ -547,6 +603,13 @@ impl<S: BackingStore> VectorManager<S> {
         self.dirty[s] = false;
         self.stats.evictions += 1;
         self.strategy.on_evict(item, slot);
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.span_at("manager", "evict", StallKind::Compute, t0)
+                .item(item)
+                .hist_only()
+                .unattributed()
+                .finish();
+        }
         Ok(())
     }
 
@@ -625,6 +688,7 @@ impl<S: BackingStore> VectorManager<S> {
         for s in 0..self.cfg.n_slots {
             if let Some(item) = self.slot_item[s] {
                 if self.dirty[s] {
+                    let t0 = self.obs.as_ref().map(|r| r.now());
                     self.store.write(item, &self.slots[s]).map_err(|e| {
                         self.stats.io_errors += 1;
                         OocError::item_op(OocOp::Write, item, "flush", e).with_slot(s as SlotId)
@@ -633,13 +697,27 @@ impl<S: BackingStore> VectorManager<S> {
                     self.stats.bytes_written += self.cfg.width as u64 * 8;
                     self.materialized[item as usize] = true;
                     self.dirty[s] = false;
+                    // Same op name as eviction write-backs: together the
+                    // "write-back" event count equals disk_writes.
+                    if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        rec.span_at("manager", "write-back", StallKind::WriteBack, t0)
+                            .item(item)
+                            .bytes(self.cfg.width as u64 * 8)
+                            .finish();
+                    }
                 }
             }
         }
+        let t0 = self.obs.as_ref().map(|r| r.now());
         self.store.flush().map_err(|e| {
             self.stats.io_errors += 1;
             OocError::store_op(OocOp::Flush, "store flush", e)
-        })
+        })?;
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.span_at("manager", "flush", StallKind::WriteBack, t0)
+                .finish();
+        }
+        Ok(())
     }
 }
 
@@ -1180,6 +1258,7 @@ mod tests {
     struct HintRecordingStore {
         inner: MemStore,
         hints: std::rc::Rc<std::cell::RefCell<Vec<Vec<ItemId>>>>,
+        forgets: std::rc::Rc<std::cell::RefCell<usize>>,
     }
 
     impl crate::store::BackingStore for HintRecordingStore {
@@ -1191,6 +1270,9 @@ mod tests {
         }
         fn hint(&mut self, upcoming: &[ItemId]) {
             self.hints.borrow_mut().push(upcoming.to_vec());
+        }
+        fn forget_hints(&mut self) {
+            *self.forgets.borrow_mut() += 1;
         }
     }
 
@@ -1206,6 +1288,7 @@ mod tests {
         let store = HintRecordingStore {
             inner: MemStore::new(n, width),
             hints: hints.clone(),
+            forgets: Default::default(),
         };
         let cfg = OocConfig::builder(n, width)
             .slots(m)
@@ -1296,6 +1379,48 @@ mod tests {
         assert_eq!(d.disk_reads, 1, "stale write-first flag must not leak");
         assert_eq!(d.skipped_reads, 0);
         assert_eq!(buf, fill(4, 8));
+    }
+
+    #[test]
+    fn begin_plan_drains_stale_hints_and_hinted_flags() {
+        use crate::plan::{AccessPlan, AccessRecord};
+        let (n, m, w) = (12usize, 3usize, 4usize);
+        let (mut mgr, hints) = hinting_manager(n, m, w, 4);
+        let forgets = mgr.store().forgets.clone();
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        hints.borrow_mut().clear();
+        let forgets_warmup = *forgets.borrow();
+
+        // Plan 1 hints its upcoming reads, then is abandoned mid-way.
+        mgr.begin_plan(AccessPlan::from_records(
+            (0..4).map(AccessRecord::read).collect(),
+            n,
+        ));
+        assert_eq!(hints.borrow().as_slice(), &[vec![0, 1, 2, 3]]);
+        assert_eq!(*forgets.borrow(), forgets_warmup + 1);
+
+        // Plan 2 replaces it back-to-back: the store must be told to drop
+        // plan 1's in-flight hints before plan 2's are issued...
+        mgr.begin_plan(AccessPlan::from_records(vec![AccessRecord::read(8)], n));
+        assert_eq!(*forgets.borrow(), forgets_warmup + 2);
+        assert_eq!(hints.borrow().last().unwrap(), &vec![8]);
+
+        // ...and plan 1's `hinted` flags must not leak into plan 2's
+        // hint-effectiveness accounting: demand-loading item 0 (hinted
+        // only by the dead plan) is not a hinted read.
+        let hinted_before = mgr.stats().hinted_reads;
+        let mut buf = vec![0.0; w];
+        mgr.read_into(0, &mut buf).unwrap();
+        assert_eq!(
+            mgr.stats().hinted_reads,
+            hinted_before,
+            "stale hinted flag credited a dead plan's hint"
+        );
+        // Plan 2's own hint still counts.
+        mgr.read_into(8, &mut buf).unwrap();
+        assert_eq!(mgr.stats().hinted_reads, hinted_before + 1);
     }
 
     #[test]

@@ -1,0 +1,1116 @@
+//! Stall-attribution observability: latency histograms, spans and a JSONL
+//! event stream for every layer of the residency stack.
+//!
+//! The paper's argument (Figures 2–5) is about *where the time goes* —
+//! demand reads vs. skipped reads vs. paging stalls. The counters in
+//! [`crate::OocStats`] say how often each event happened; this module says
+//! how long it took. Three pieces:
+//!
+//! * [`LatencyHistogram`] — a dependency-free log2-bucketed histogram,
+//!   mergeable via `Sum` exactly like `OocStats`, so per-shard histograms
+//!   fold into run totals.
+//! * [`Recorder`] — a cloneable, thread-safe handle threaded through the
+//!   [`crate::VectorManager`], the store wrappers and the sharded engine.
+//!   Layers time their operations against an injectable [`Clock`]
+//!   (deterministic tests use [`ManualClock`]) and record spans; the
+//!   recorder maintains per-`(layer, op)` histograms, per-[`StallKind`]
+//!   totals, and forwards events to an [`EventSink`].
+//! * [`StallAttribution`] — the report splitting elapsed wall time into
+//!   compute / demand-read / write-back / prefetch-wait / retry-backoff
+//!   (plus barrier-wait for sharded runs).
+//!
+//! # Attribution taxonomy
+//!
+//! Spans carry a [`StallKind`] and an *attributed* flag. Only attributed
+//! spans accumulate into the stall totals, and the kinds form two groups:
+//!
+//! * **top-level** — [`StallKind::DemandRead`], [`StallKind::WriteBack`]
+//!   and [`StallKind::BarrierWait`]. These are recorded at the top of the
+//!   residency stack (the manager around its store calls, the sharded
+//!   engine around its joins) and are disjoint by construction, so
+//!   `compute = wall − demand_read − write_back − barrier_wait`.
+//! * **nested** — [`StallKind::PrefetchWait`] and
+//!   [`StallKind::RetryBackoff`]. These are carved *out of* an enclosing
+//!   top-level span by a lower layer (a prefetching store classifying a
+//!   too-late hint, a retrying store sleeping between attempts). They are
+//!   reported as "of which" lines and must not be subtracted again.
+//!
+//! Lower layers that merely observe time already covered by an enclosing
+//! span (e.g. a [`crate::TieredStore`] read under the manager's demand
+//! read) record *unattributed* spans: histogram and event stream only.
+
+use crate::manager::ItemId;
+use crate::stats::OocStats;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Clocks
+// ---------------------------------------------------------------------------
+
+/// A monotonic nanosecond clock. Injectable so deterministic tests can
+/// script time and assert attribution exactly.
+pub trait Clock {
+    /// Nanoseconds since an arbitrary (fixed) origin.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real clock: nanoseconds since recorder construction.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time advances only when
+/// the test (or a simulated store) says so. Clones share the same time.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance time by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::SeqCst);
+    }
+
+    /// Set the absolute time.
+    pub fn set(&self, ns: u64) {
+        self.0.store(ns, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+/// Number of log2 buckets: bucket `i` counts durations of bit-length `i`
+/// (bucket 0 counts exact zeros), so bucket `i ≥ 1` spans
+/// `[2^(i-1), 2^i)` ns. 64 buckets cover every `u64` duration; the last
+/// bucket absorbs anything of bit-length ≥ 63.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A dependency-free log2-bucketed latency histogram.
+///
+/// Mergeable via `+` / `+=` / `Sum` exactly like [`OocStats`], so the
+/// per-shard histograms of a sharded run fold into the same totals a
+/// serial run would have recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index of a duration: its bit length, clamped to the last bucket.
+fn bucket_of(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i`, for quantile estimates.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, ns: u64) {
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_of(ns)] += 1;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded durations in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest recorded duration, or `None` when empty.
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest recorded duration (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
+    /// inclusive upper edge of the first bucket whose cumulative count
+    /// reaches `q · count`. `None` when empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_upper(i).min(self.max_ns));
+            }
+        }
+        Some(self.max_ns)
+    }
+
+    /// Non-empty buckets as `(index, count, inclusive upper bound)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c, bucket_upper(i)))
+    }
+
+    /// Field-wise merge (`self + other`), the aggregate over several
+    /// recorders — e.g. the per-shard histograms of a sharded run.
+    pub fn merged(&self, other: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = *self;
+        out += *other;
+        out
+    }
+}
+
+impl std::ops::AddAssign for LatencyHistogram {
+    fn add_assign(&mut self, rhs: LatencyHistogram) {
+        // Exhaustive destructuring: adding a field without merging it here
+        // is a compile error, so `Add`/`Sum`/`merged` can never drift.
+        let LatencyHistogram {
+            count,
+            sum_ns,
+            min_ns,
+            max_ns,
+            buckets,
+        } = rhs;
+        self.count += count;
+        self.sum_ns = self.sum_ns.saturating_add(sum_ns);
+        self.min_ns = self.min_ns.min(min_ns);
+        self.max_ns = self.max_ns.max(max_ns);
+        for (a, b) in self.buckets.iter_mut().zip(buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl std::ops::Add for LatencyHistogram {
+    type Output = LatencyHistogram;
+
+    fn add(mut self, rhs: LatencyHistogram) -> LatencyHistogram {
+        self += rhs;
+        self
+    }
+}
+
+impl std::iter::Sum for LatencyHistogram {
+    fn sum<I: Iterator<Item = LatencyHistogram>>(iter: I) -> LatencyHistogram {
+        iter.fold(LatencyHistogram::default(), |acc, h| acc + h)
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "count={} mean={:.0}ns p50={}ns p99={}ns max={}ns",
+            self.count,
+            self.mean_ns(),
+            self.quantile_ns(0.5).unwrap_or(0),
+            self.quantile_ns(0.99).unwrap_or(0),
+            self.max_ns,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stall kinds and attribution
+// ---------------------------------------------------------------------------
+
+/// What a span's duration was spent on (see the module-level taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// Useful work (kernels, bookkeeping); also the remainder kind.
+    Compute,
+    /// Top-level: a miss had to read the vector from the store.
+    DemandRead,
+    /// Top-level: an eviction or flush wrote a vector to the store.
+    WriteBack,
+    /// Nested: a demand read arrived while its prefetch was in flight.
+    PrefetchWait,
+    /// Nested: a retry layer slept between attempts.
+    RetryBackoff,
+    /// Top-level: a shard finished early and waited for the slowest shard.
+    BarrierWait,
+}
+
+impl StallKind {
+    /// All kinds, in report order.
+    pub const ALL: [StallKind; 6] = [
+        StallKind::Compute,
+        StallKind::DemandRead,
+        StallKind::WriteBack,
+        StallKind::PrefetchWait,
+        StallKind::RetryBackoff,
+        StallKind::BarrierWait,
+    ];
+
+    /// Stable machine-readable name (the JSONL `kind` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StallKind::Compute => "compute",
+            StallKind::DemandRead => "demand-read",
+            StallKind::WriteBack => "write-back",
+            StallKind::PrefetchWait => "prefetch-wait",
+            StallKind::RetryBackoff => "retry-backoff",
+            StallKind::BarrierWait => "barrier-wait",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallKind::Compute => 0,
+            StallKind::DemandRead => 1,
+            StallKind::WriteBack => 2,
+            StallKind::PrefetchWait => 3,
+            StallKind::RetryBackoff => 4,
+            StallKind::BarrierWait => 5,
+        }
+    }
+}
+
+/// Where the elapsed time of a run went. Produced by
+/// [`Recorder::attribution`] from the attributed span totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallAttribution {
+    /// Wall time of the measured phase.
+    pub wall_ns: u64,
+    /// Top-level: demand reads (store reads on the miss path).
+    pub demand_read_ns: u64,
+    /// Top-level: write-backs (eviction and flush writes).
+    pub write_back_ns: u64,
+    /// Top-level: shards waiting at the implicit join barrier.
+    pub barrier_wait_ns: u64,
+    /// Nested inside demand reads: hint issued too late, the demand read
+    /// overlapped its own prefetch.
+    pub prefetch_wait_ns: u64,
+    /// Nested inside demand reads / write-backs: retry backoff sleeps.
+    pub retry_backoff_ns: u64,
+}
+
+impl StallAttribution {
+    /// Everything not attributed to a top-level stall: kernel compute plus
+    /// unmeasured bookkeeping.
+    pub fn compute_ns(&self) -> u64 {
+        self.wall_ns
+            .saturating_sub(self.demand_read_ns)
+            .saturating_sub(self.write_back_ns)
+            .saturating_sub(self.barrier_wait_ns)
+    }
+
+    /// Fraction of wall time in `[0, 1]` (0 when wall time is zero).
+    fn frac(&self, ns: u64) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StallAttribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        writeln!(f, "stall attribution over {:.3} ms wall:", ms(self.wall_ns))?;
+        writeln!(
+            f,
+            "  compute      {:>10.3} ms ({:5.1}%)",
+            ms(self.compute_ns()),
+            self.frac(self.compute_ns()) * 100.0
+        )?;
+        writeln!(
+            f,
+            "  demand-read  {:>10.3} ms ({:5.1}%)",
+            ms(self.demand_read_ns),
+            self.frac(self.demand_read_ns) * 100.0
+        )?;
+        writeln!(
+            f,
+            "    of which prefetch-wait {:>10.3} ms",
+            ms(self.prefetch_wait_ns)
+        )?;
+        writeln!(
+            f,
+            "  write-back   {:>10.3} ms ({:5.1}%)",
+            ms(self.write_back_ns),
+            self.frac(self.write_back_ns) * 100.0
+        )?;
+        writeln!(
+            f,
+            "    of which retry-backoff {:>10.3} ms",
+            ms(self.retry_backoff_ns)
+        )?;
+        write!(
+            f,
+            "  barrier-wait {:>10.3} ms ({:5.1}%)",
+            ms(self.barrier_wait_ns),
+            self.frac(self.barrier_wait_ns) * 100.0
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events and sinks
+// ---------------------------------------------------------------------------
+
+/// One completed span, as delivered to an [`EventSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Span start, nanoseconds on the recorder's clock.
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Emitting layer (`"manager"`, `"prefetch"`, `"sharded"`, ...).
+    pub layer: &'static str,
+    /// Operation within the layer (`"demand-read"`, `"write-back"`, ...).
+    pub op: &'static str,
+    /// Stall classification.
+    pub kind: StallKind,
+    /// Item the operation touched, if any.
+    pub item: Option<ItemId>,
+    /// Shard the operation belongs to, if any.
+    pub shard: Option<u32>,
+    /// Bytes moved by the operation (0 if not a transfer).
+    pub bytes: u64,
+    /// Batch size for batch-shaped spans (steps in a combine batch,
+    /// retries behind a backoff, ...); 1 for plain operations.
+    pub n: u64,
+}
+
+/// Receiver of the event stream. Implementations must not block for long:
+/// the recorder calls them under a mutex from hot paths.
+pub trait EventSink {
+    /// One completed span.
+    fn event(&mut self, scope: &str, event: &Event);
+
+    /// A run-level counter snapshot ([`Recorder::emit_stats`]), so offline
+    /// consumers can reconcile event counts against [`OocStats`].
+    fn stats(&mut self, _scope: &str, _stats: &OocStats) {}
+
+    /// A finished `(layer, op)` histogram ([`Recorder::finish`]).
+    fn histogram(&mut self, _scope: &str, _layer: &str, _op: &str, _hist: &LatencyHistogram) {}
+
+    /// Flush buffered output.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Discards everything (histograms and attribution still accumulate in
+/// the recorder).
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn event(&mut self, _scope: &str, _event: &Event) {}
+}
+
+/// Collects events in memory; tests read them back through the shared
+/// handle returned by [`MemorySink::new`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// A sink plus the handle its events can be read through.
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> (MemorySink, Arc<Mutex<Vec<Event>>>) {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        (
+            MemorySink {
+                events: Arc::clone(&events),
+            },
+            events,
+        )
+    }
+}
+
+impl EventSink for MemorySink {
+    fn event(&mut self, _scope: &str, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Minimal JSON string escaping (control characters, quotes, backslash).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Lossless JSONL emitter: every span becomes one line, nothing is sampled
+/// or dropped. Three record types share the file, discriminated by a
+/// `"type"` field:
+///
+/// ```json
+/// {"type":"event","scope":"...","ts_ns":0,"dur_ns":0,"layer":"...",
+///  "op":"...","kind":"...","item":null,"shard":null,"bytes":0,"n":1}
+/// {"type":"hist","scope":"...","layer":"...","op":"...","count":0,
+///  "sum_ns":0,"min_ns":0,"max_ns":0,"buckets":[[idx,count],...]}
+/// {"type":"ooc-stats","scope":"...","requests":0,...}
+/// ```
+///
+/// Hand-rolled (no serde): `ooc-core` stays dependency-free; schema
+/// validation lives in the `ooc-bench` `metrics_check` binary.
+#[derive(Debug)]
+pub struct JsonlSink<W: io::Write> {
+    out: io::BufWriter<W>,
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::from_writer(std::fs::File::create(path)?))
+    }
+
+    /// Append to a JSONL file at `path`, creating it if absent — lets
+    /// several consecutive recorders (one scope each) share one file.
+    pub fn append<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::from_writer(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        ))
+    }
+}
+
+impl<W: io::Write> JsonlSink<W> {
+    /// Wrap any writer.
+    pub fn from_writer(w: W) -> Self {
+        JsonlSink {
+            out: io::BufWriter::new(w),
+        }
+    }
+
+    fn head(&self, ty: &str, scope: &str) -> String {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"type\":\"");
+        line.push_str(ty);
+        line.push_str("\",\"scope\":\"");
+        escape_json(scope, &mut line);
+        line.push('"');
+        line
+    }
+}
+
+impl<W: io::Write> EventSink for JsonlSink<W> {
+    fn event(&mut self, scope: &str, e: &Event) {
+        let mut line = self.head("event", scope);
+        let opt = |v: Option<u32>| match v {
+            Some(x) => x.to_string(),
+            None => "null".to_string(),
+        };
+        line.push_str(&format!(
+            ",\"ts_ns\":{},\"dur_ns\":{},\"layer\":\"{}\",\"op\":\"{}\",\
+             \"kind\":\"{}\",\"item\":{},\"shard\":{},\"bytes\":{},\"n\":{}}}",
+            e.ts_ns,
+            e.dur_ns,
+            e.layer,
+            e.op,
+            e.kind.as_str(),
+            opt(e.item),
+            opt(e.shard),
+            e.bytes,
+            e.n,
+        ));
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn stats(&mut self, scope: &str, s: &OocStats) {
+        let mut line = self.head("ooc-stats", scope);
+        line.push_str(&format!(
+            ",\"requests\":{},\"hits\":{},\"misses\":{},\"disk_reads\":{},\
+             \"disk_writes\":{},\"skipped_reads\":{},\"cold_loads\":{},\
+             \"evictions\":{},\"bytes_read\":{},\"bytes_written\":{},\
+             \"io_errors\":{},\"plans\":{},\"hints_issued\":{},\
+             \"hinted_reads\":{},\"miss_rate\":{},\"read_rate\":{}}}",
+            s.requests,
+            s.hits,
+            s.misses,
+            s.disk_reads,
+            s.disk_writes,
+            s.skipped_reads,
+            s.cold_loads,
+            s.evictions,
+            s.bytes_read,
+            s.bytes_written,
+            s.io_errors,
+            s.plans,
+            s.hints_issued,
+            s.hinted_reads,
+            s.miss_rate(),
+            s.read_rate(),
+        ));
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn histogram(&mut self, scope: &str, layer: &str, op: &str, h: &LatencyHistogram) {
+        let mut line = self.head("hist", scope);
+        line.push_str(",\"layer\":\"");
+        escape_json(layer, &mut line);
+        line.push_str("\",\"op\":\"");
+        escape_json(op, &mut line);
+        line.push_str(&format!(
+            "\",\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[",
+            h.count(),
+            h.sum_ns(),
+            h.min_ns().unwrap_or(0),
+            h.max_ns(),
+        ));
+        let mut first = true;
+        for (i, c, _) in h.nonzero_buckets() {
+            if !first {
+                line.push(',');
+            }
+            first = false;
+            line.push_str(&format!("[{i},{c}]"));
+        }
+        line.push_str("]}");
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+struct RecorderInner {
+    clock: Box<dyn Clock + Send + Sync>,
+    scope: String,
+    sink: Mutex<Box<dyn EventSink + Send>>,
+    hists: Mutex<BTreeMap<(&'static str, &'static str), LatencyHistogram>>,
+    kind_ns: [AtomicU64; 6],
+    events: AtomicU64,
+}
+
+/// The shared observability handle. Cheap to clone (an `Arc`); safe to use
+/// from shard worker threads. Layers hold an `Option<Recorder>` and record
+/// spans only when one is attached, so the instrumented paths cost nothing
+/// when observability is off.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("scope", &self.inner.scope)
+            .field("events", &self.events_recorded())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// A recorder over `clock`, streaming to `sink`, with an empty scope.
+    pub fn new(
+        clock: impl Clock + Send + Sync + 'static,
+        sink: impl EventSink + Send + 'static,
+    ) -> Self {
+        Self::scoped(clock, sink, "")
+    }
+
+    /// As [`Recorder::new`], with a scope label stamped into every emitted
+    /// record (benchmarks use one recorder per measured configuration).
+    pub fn scoped(
+        clock: impl Clock + Send + Sync + 'static,
+        sink: impl EventSink + Send + 'static,
+        scope: impl Into<String>,
+    ) -> Self {
+        Recorder {
+            inner: Arc::new(RecorderInner {
+                clock: Box::new(clock),
+                scope: scope.into(),
+                sink: Mutex::new(Box::new(sink)),
+                hists: Mutex::new(BTreeMap::new()),
+                kind_ns: Default::default(),
+                events: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A real-clock recorder writing JSONL to `path` (truncating).
+    pub fn jsonl<P: AsRef<std::path::Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(MonotonicClock::new(), JsonlSink::create(path)?))
+    }
+
+    /// The scope label.
+    pub fn scope(&self) -> &str {
+        &self.inner.scope
+    }
+
+    /// Current time on the recorder's clock.
+    pub fn now(&self) -> u64 {
+        self.inner.clock.now_ns()
+    }
+
+    /// Open a span starting now. Configure with the builder methods, then
+    /// call [`Span::finish`] (or [`Span::finish_at`]) to record it.
+    pub fn span(&self, layer: &'static str, op: &'static str, kind: StallKind) -> Span<'_> {
+        self.span_at(layer, op, kind, self.now())
+    }
+
+    /// Open a span with an explicit start time (for timings taken before
+    /// the recorder could be consulted, e.g. inside a worker closure).
+    pub fn span_at(
+        &self,
+        layer: &'static str,
+        op: &'static str,
+        kind: StallKind,
+        start_ns: u64,
+    ) -> Span<'_> {
+        Span {
+            rec: self,
+            start_ns,
+            layer,
+            op,
+            kind,
+            item: None,
+            shard: None,
+            bytes: 0,
+            n: 1,
+            attributed: true,
+            emit: true,
+        }
+    }
+
+    fn record(&self, span: &Span<'_>, end_ns: u64) {
+        let dur = end_ns.saturating_sub(span.start_ns);
+        self.inner
+            .hists
+            .lock()
+            .entry((span.layer, span.op))
+            .or_default()
+            .record(dur);
+        if span.attributed {
+            self.inner.kind_ns[span.kind.index()].fetch_add(dur, Ordering::Relaxed);
+        }
+        if span.emit {
+            self.inner.events.fetch_add(1, Ordering::Relaxed);
+            let event = Event {
+                ts_ns: span.start_ns,
+                dur_ns: dur,
+                layer: span.layer,
+                op: span.op,
+                kind: span.kind,
+                item: span.item,
+                shard: span.shard,
+                bytes: span.bytes,
+                n: span.n,
+            };
+            self.inner.sink.lock().event(&self.inner.scope, &event);
+        }
+    }
+
+    /// Total nanoseconds attributed to `kind` so far.
+    pub fn kind_ns(&self, kind: StallKind) -> u64 {
+        self.inner.kind_ns[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Events emitted to the sink so far (histogram-only spans excluded).
+    pub fn events_recorded(&self) -> u64 {
+        self.inner.events.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of one `(layer, op)` histogram.
+    pub fn histogram(&self, layer: &str, op: &str) -> Option<LatencyHistogram> {
+        self.inner.hists.lock().get(&(layer, op)).copied()
+    }
+
+    /// Snapshot of every histogram, in deterministic `(layer, op)` order.
+    pub fn histograms(&self) -> Vec<((&'static str, &'static str), LatencyHistogram)> {
+        self.inner
+            .hists
+            .lock()
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// The stall-attribution report for a phase that took `wall_ns`.
+    pub fn attribution(&self, wall_ns: u64) -> StallAttribution {
+        StallAttribution {
+            wall_ns,
+            demand_read_ns: self.kind_ns(StallKind::DemandRead),
+            write_back_ns: self.kind_ns(StallKind::WriteBack),
+            barrier_wait_ns: self.kind_ns(StallKind::BarrierWait),
+            prefetch_wait_ns: self.kind_ns(StallKind::PrefetchWait),
+            retry_backoff_ns: self.kind_ns(StallKind::RetryBackoff),
+        }
+    }
+
+    /// Forward a counter snapshot to the sink (the reconciliation record:
+    /// `metrics_check` verifies event counts against it).
+    pub fn emit_stats(&self, stats: &OocStats) {
+        self.inner.sink.lock().stats(&self.inner.scope, stats);
+    }
+
+    /// Dump every `(layer, op)` histogram to the sink and flush it. Call
+    /// once at the end of the measured phase.
+    pub fn finish(&self) -> io::Result<()> {
+        let hists = self.histograms();
+        let mut sink = self.inner.sink.lock();
+        for ((layer, op), h) in &hists {
+            sink.histogram(&self.inner.scope, layer, op, h);
+        }
+        sink.flush()
+    }
+}
+
+/// An open span; see [`Recorder::span`]. Builder methods refine the event,
+/// `finish` records it.
+#[must_use = "a span records nothing until finish() is called"]
+pub struct Span<'r> {
+    rec: &'r Recorder,
+    start_ns: u64,
+    layer: &'static str,
+    op: &'static str,
+    kind: StallKind,
+    item: Option<ItemId>,
+    shard: Option<u32>,
+    bytes: u64,
+    n: u64,
+    attributed: bool,
+    emit: bool,
+}
+
+impl Span<'_> {
+    /// Tag the span with the item it touched.
+    pub fn item(mut self, item: ItemId) -> Self {
+        self.item = Some(item);
+        self
+    }
+
+    /// Tag the span with its shard index.
+    pub fn shard(mut self, shard: u32) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// Bytes moved by the operation.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+
+    /// Batch size (combine steps, retries, ...).
+    pub fn count(mut self, n: u64) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Record into the histogram only — no event is emitted. For
+    /// high-frequency spans (per-access hits) where the event stream
+    /// would dwarf the signal; the histogram keeps every observation.
+    pub fn hist_only(mut self) -> Self {
+        self.emit = false;
+        self
+    }
+
+    /// Exclude from the stall totals: the time is already covered by an
+    /// enclosing attributed span (see the module-level taxonomy).
+    pub fn unattributed(mut self) -> Self {
+        self.attributed = false;
+        self
+    }
+
+    /// Close the span now and record it.
+    pub fn finish(self) {
+        let end = self.rec.now();
+        self.rec.record(&self, end);
+    }
+
+    /// Close the span at an explicit end time (synthetic durations, e.g. a
+    /// retry layer charging its configured backoff).
+    pub fn finish_at(self, end_ns: u64) {
+        self.rec.record(&self, end_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_summarises() {
+        let mut h = LatencyHistogram::new();
+        for ns in [0u64, 1, 100, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum_ns(), 1_001_101);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert!((h.mean_ns() - 200_220.2).abs() < 1e-6);
+        // p50 of {0,1,100,1000,1e6} sits in the bucket of 100 -> upper 127.
+        assert_eq!(h.quantile_ns(0.5), Some(127));
+        assert_eq!(h.quantile_ns(1.0), Some(1_000_000));
+        assert_eq!(h.quantile_ns(0.0), Some(0));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean_ns(), 0.0);
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.quantile_ns(0.5), None);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_serial() {
+        let mut serial = LatencyHistogram::new();
+        let mut parts = vec![LatencyHistogram::new(); 4];
+        for i in 0..1000u64 {
+            let ns = i * 37 % 4096;
+            serial.record(ns);
+            parts[(i % 4) as usize].record(ns);
+        }
+        let merged: LatencyHistogram = parts.into_iter().sum();
+        assert_eq!(merged, serial);
+        // Identity element.
+        assert_eq!(serial + LatencyHistogram::default(), serial);
+    }
+
+    #[test]
+    fn manual_clock_shared_between_clones() {
+        let c = ManualClock::new();
+        let c2 = c.clone();
+        c.advance(500);
+        assert_eq!(c2.now_ns(), 500);
+        c2.set(42);
+        assert_eq!(c.now_ns(), 42);
+    }
+
+    #[test]
+    fn recorder_attributes_spans_exactly() {
+        let clock = ManualClock::new();
+        let (sink, events) = MemorySink::new();
+        let rec = Recorder::new(clock.clone(), sink);
+
+        let span = rec
+            .span("manager", "demand-read", StallKind::DemandRead)
+            .item(7)
+            .bytes(64);
+        clock.advance(1000);
+        span.finish();
+
+        let span = rec
+            .span("manager", "hit", StallKind::Compute)
+            .hist_only()
+            .unattributed();
+        clock.advance(10);
+        span.finish();
+
+        assert_eq!(rec.kind_ns(StallKind::DemandRead), 1000);
+        assert_eq!(rec.kind_ns(StallKind::Compute), 0, "unattributed");
+        let att = rec.attribution(2000);
+        assert_eq!(att.demand_read_ns, 1000);
+        assert_eq!(att.compute_ns(), 1000);
+
+        // Only the emitted span reached the sink; both hit histograms.
+        let ev = events.lock();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].dur_ns, 1000);
+        assert_eq!(ev[0].item, Some(7));
+        assert_eq!(ev[0].bytes, 64);
+        assert_eq!(rec.events_recorded(), 1);
+        assert_eq!(rec.histogram("manager", "hit").unwrap().count(), 1);
+        assert_eq!(rec.histogram("manager", "demand-read").unwrap().count(), 1);
+        assert!(rec.histogram("manager", "nope").is_none());
+    }
+
+    #[test]
+    fn jsonl_sink_emits_parseable_lines() {
+        let clock = ManualClock::new();
+        let buf: Vec<u8> = Vec::new();
+        // Write through a recorder into an in-memory JSONL sink.
+        let rec = Recorder::scoped(clock.clone(), JsonlSink::from_writer(buf), "lru/f0.25");
+        let span = rec
+            .span("manager", "demand-read", StallKind::DemandRead)
+            .item(3);
+        clock.advance(250);
+        span.finish();
+        rec.emit_stats(&OocStats {
+            requests: 10,
+            disk_reads: 1,
+            ..Default::default()
+        });
+        rec.finish().unwrap();
+        // The sink is boxed inside the recorder; reproduce the same lines
+        // directly to validate shape (escape + null handling).
+        let mut direct = JsonlSink::from_writer(Vec::new());
+        direct.event(
+            "scope \"x\"",
+            &Event {
+                ts_ns: 0,
+                dur_ns: 250,
+                layer: "manager",
+                op: "demand-read",
+                kind: StallKind::DemandRead,
+                item: None,
+                shard: Some(2),
+                bytes: 8,
+                n: 1,
+            },
+        );
+        direct.flush().unwrap();
+        let line = String::from_utf8(direct.out.into_inner().unwrap()).unwrap();
+        assert!(line.starts_with("{\"type\":\"event\",\"scope\":\"scope \\\"x\\\"\""));
+        assert!(line.contains("\"item\":null"));
+        assert!(line.contains("\"shard\":2"));
+        assert!(line.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn attribution_display_mentions_every_kind() {
+        let att = StallAttribution {
+            wall_ns: 10_000_000,
+            demand_read_ns: 3_000_000,
+            write_back_ns: 2_000_000,
+            barrier_wait_ns: 1_000_000,
+            prefetch_wait_ns: 500_000,
+            retry_backoff_ns: 250_000,
+        };
+        assert_eq!(att.compute_ns(), 4_000_000);
+        let text = att.to_string();
+        for kind in [
+            "compute",
+            "demand-read",
+            "write-back",
+            "prefetch-wait",
+            "retry-backoff",
+            "barrier-wait",
+        ] {
+            assert!(text.contains(kind), "missing {kind} in report");
+        }
+    }
+
+    #[test]
+    fn span_finish_at_supports_synthetic_durations() {
+        let rec = Recorder::new(ManualClock::new(), NullSink);
+        rec.span_at("retry", "backoff", StallKind::RetryBackoff, 100)
+            .finish_at(100 + 2_000_000);
+        assert_eq!(rec.kind_ns(StallKind::RetryBackoff), 2_000_000);
+        assert_eq!(
+            rec.histogram("retry", "backoff").unwrap().sum_ns(),
+            2_000_000
+        );
+    }
+}

@@ -13,6 +13,7 @@
 //! same item, so a stale prefetched copy can never be returned.
 
 use crate::manager::ItemId;
+use crate::obs::{Recorder, StallKind};
 use crate::store::BackingStore;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
@@ -30,6 +31,10 @@ struct Staging {
     /// read that misses the cache but finds its item here arrived *before*
     /// the prefetch completed — the hint was issued too late.
     pending: std::collections::HashSet<ItemId>,
+    /// Bumped by [`BackingStore::forget_hints`]; hint batches stamped with
+    /// an older generation are dropped by the worker unprocessed, so a
+    /// superseded plan's hints stop competing with the live plan's.
+    generation: u64,
 }
 
 /// Counters for prefetch effectiveness.
@@ -58,6 +63,10 @@ pub struct PrefetchStats {
     pub batches_submitted: AtomicU64,
     /// Hint batches the worker finished processing.
     pub batches_processed: AtomicU64,
+    /// Hint batches dropped whole because [`BackingStore::forget_hints`]
+    /// obsoleted them before the worker got there (still counted as
+    /// processed, so [`PrefetchingStore::drain`] terminates).
+    pub stale_batches: AtomicU64,
 }
 
 /// Clears the shared alive flag when the worker exits — including by
@@ -76,8 +85,9 @@ pub struct PrefetchingStore<S: BackingStore> {
     staging: Arc<Mutex<Staging>>,
     stats: Arc<PrefetchStats>,
     alive: Arc<AtomicBool>,
-    sender: Option<Sender<Vec<ItemId>>>,
+    sender: Option<Sender<(u64, Vec<ItemId>)>>,
     worker: Option<JoinHandle<()>>,
+    obs: Option<Recorder>,
 }
 
 impl<S: BackingStore> PrefetchingStore<S> {
@@ -91,10 +101,11 @@ impl<S: BackingStore> PrefetchingStore<S> {
             cache: std::collections::HashMap::new(),
             versions: vec![0; n_items],
             pending: std::collections::HashSet::new(),
+            generation: 0,
         }));
         let stats = Arc::new(PrefetchStats::default());
         let alive = Arc::new(AtomicBool::new(true));
-        let (sender, receiver) = unbounded::<Vec<ItemId>>();
+        let (sender, receiver) = unbounded::<(u64, Vec<ItemId>)>();
         let worker = {
             let staging = Arc::clone(&staging);
             let stats = Arc::clone(&stats);
@@ -103,10 +114,23 @@ impl<S: BackingStore> PrefetchingStore<S> {
             std::thread::spawn(move || {
                 let _guard = AliveGuard(alive);
                 let mut buf = vec![0.0f64; width];
-                while let Ok(batch) = receiver.recv() {
+                while let Ok((generation, batch)) = receiver.recv() {
+                    if staging.lock().generation != generation {
+                        // forget_hints() obsoleted this whole batch before
+                        // we got to it. Still counted as processed:
+                        // drain() waits on that counter.
+                        stats.stale_batches.fetch_add(1, Ordering::Relaxed);
+                        stats.batches_processed.fetch_add(1, Ordering::Release);
+                        continue;
+                    }
                     for item in batch {
                         let version = {
                             let mut st = staging.lock();
+                            if st.generation != generation {
+                                // Batch went stale mid-flight; the rest of
+                                // its items are no longer wanted.
+                                break;
+                            }
                             if item as usize >= st.versions.len() {
                                 // Out-of-geometry hint: ignore it rather
                                 // than letting an index panic kill the
@@ -126,7 +150,7 @@ impl<S: BackingStore> PrefetchingStore<S> {
                             continue;
                         }
                         let mut st = staging.lock();
-                        if st.versions[item as usize] == version {
+                        if st.generation == generation && st.versions[item as usize] == version {
                             st.cache.insert(item, buf.clone().into_boxed_slice());
                             stats.prefetched.fetch_add(1, Ordering::Relaxed);
                         } else {
@@ -147,7 +171,21 @@ impl<S: BackingStore> PrefetchingStore<S> {
             alive,
             sender: Some(sender),
             worker: Some(worker),
+            obs: None,
         }
+    }
+
+    /// Attach an observability recorder: demand reads are classified as
+    /// staged / stalled (prefetch-wait) / fall-through from now on.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
+    }
+
+    /// Force `item` into the pending set as if its hint were in flight —
+    /// deterministic stand-in for a racing worker in attribution tests.
+    #[doc(hidden)]
+    pub fn debug_mark_pending(&self, item: ItemId) {
+        self.staging.lock().pending.insert(item);
     }
 
     /// Prefetch counters.
@@ -181,19 +219,47 @@ impl<S: BackingStore> PrefetchingStore<S> {
 
 impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        let t0 = self.obs.as_ref().map(|r| r.now());
+        let was_pending;
         {
             let mut st = self.staging.lock();
             if let Some(staged) = st.cache.remove(&item) {
                 buf.copy_from_slice(&staged);
                 self.stats.staged_hits.fetch_add(1, Ordering::Relaxed);
+                if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                    rec.span_at("prefetch", "staged-read", StallKind::Compute, t0)
+                        .item(item)
+                        .hist_only()
+                        .unattributed()
+                        .finish();
+                }
                 return Ok(());
             }
-            if st.pending.contains(&item) {
+            was_pending = st.pending.contains(&item);
+            if was_pending {
                 self.stats.hinted_too_late.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.stats.staged_misses.fetch_add(1, Ordering::Relaxed);
-        self.main.read(item, buf)
+        self.main.read(item, buf)?;
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            if was_pending {
+                // The prefetch was in flight but lost the race: this
+                // demand read overlapped its own prefetch. Nested kind —
+                // the manager's enclosing demand-read span attributes the
+                // same time at the top level; this is the "of which" part.
+                rec.span_at("prefetch", "stalled-read", StallKind::PrefetchWait, t0)
+                    .item(item)
+                    .finish();
+            } else {
+                rec.span_at("prefetch", "fallthrough-read", StallKind::DemandRead, t0)
+                    .item(item)
+                    .hist_only()
+                    .unattributed()
+                    .finish();
+            }
+        }
+        Ok(())
     }
 
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
@@ -213,16 +279,19 @@ impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
 
     fn hint(&mut self, upcoming: &[ItemId]) {
         if let Some(sender) = &self.sender {
-            {
+            let generation = {
                 // Record in-geometry hints as pending before the worker can
                 // possibly see them, so a demand read racing the worker is
-                // classified as hinted-too-late rather than unhinted.
+                // classified as hinted-too-late rather than unhinted. The
+                // batch is stamped with the current generation so a later
+                // forget_hints() can obsolete it in flight.
                 let mut st = self.staging.lock();
                 let n = st.versions.len();
                 st.pending
                     .extend(upcoming.iter().filter(|&&i| (i as usize) < n));
-            }
-            if sender.send(upcoming.to_vec()).is_ok() {
+                st.generation
+            };
+            if sender.send((generation, upcoming.to_vec())).is_ok() {
                 self.stats.batches_submitted.fetch_add(1, Ordering::Release);
             } else {
                 // Worker gone: nothing will ever resolve these hints, so
@@ -233,6 +302,19 @@ impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
                 }
             }
         }
+    }
+
+    fn forget_hints(&mut self) {
+        {
+            let mut st = self.staging.lock();
+            st.generation += 1;
+            // Queued and in-flight batches now fail the generation check;
+            // nothing outstanding may linger as "pending" (it would be
+            // misclassified as hinted-too-late by the next plan's reads).
+            // Already-staged copies stay: the data is still valid.
+            st.pending.clear();
+        }
+        self.main.forget_hints();
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -357,6 +439,95 @@ mod tests {
         // Nothing was rewritten meanwhile, so every hint got staged and
         // every staged copy is observable right after drain() returns.
         assert_eq!(s.prefetched.load(Ordering::Relaxed), 16);
+    }
+
+    /// A store whose reads block on a gate until the test opens it, and
+    /// which signals how many reads have started — a deterministic
+    /// stand-in for a slow disk under the prefetch worker.
+    type Gate = Arc<(std::sync::Mutex<(bool, usize)>, std::sync::Condvar)>;
+
+    struct GateStore<S> {
+        inner: S,
+        state: Gate,
+    }
+
+    impl<S: BackingStore> BackingStore for GateStore<S> {
+        fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+            let (lock, cvar) = &*self.state;
+            let mut st = lock.lock().unwrap();
+            st.1 += 1;
+            cvar.notify_all();
+            while !st.0 {
+                st = cvar.wait(st).unwrap();
+            }
+            drop(st);
+            self.inner.read(item, buf)
+        }
+        fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
+            self.inner.write(item, buf)
+        }
+    }
+
+    #[test]
+    fn forget_hints_obsoletes_queued_and_inflight_batches() {
+        let dir = tempfile::tempdir().unwrap();
+        let (main, worker) = file_pair(dir.path(), 8, 4);
+        let state: Gate = Arc::new(Default::default());
+        let gated = GateStore {
+            inner: worker,
+            state: Arc::clone(&state),
+        };
+        let mut store = PrefetchingStore::new(main, gated, 8, 4);
+        for i in 0..4u32 {
+            store.write(i, &[i as f64 + 1.0; 4]).unwrap();
+        }
+        store.hint(&[0]);
+        // Wait until the worker is inside the gated read of item 0 — its
+        // batch passed the generation check and is now "in flight".
+        {
+            let (lock, cvar) = &*state;
+            let mut st = lock.lock().unwrap();
+            while st.1 == 0 {
+                st = cvar.wait(st).unwrap();
+            }
+        }
+        store.hint(&[1]);
+        store.hint(&[2]);
+        // The plan changes: all three batches are now obsolete.
+        store.forget_hints();
+        {
+            let (lock, cvar) = &*state;
+            lock.lock().unwrap().0 = true;
+            cvar.notify_all();
+        }
+        store.drain();
+        let s = store.stats();
+        assert_eq!(s.batches_submitted.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            s.batches_processed.load(Ordering::Relaxed),
+            3,
+            "stale batches must still count as processed or drain() hangs"
+        );
+        assert_eq!(
+            s.stale_batches.load(Ordering::Relaxed),
+            2,
+            "queued batches dropped whole"
+        );
+        assert_eq!(
+            s.discarded.load(Ordering::Relaxed),
+            1,
+            "the in-flight prefetch completed after forget and must be rejected"
+        );
+        assert_eq!(s.prefetched.load(Ordering::Relaxed), 0);
+        // Nothing lingers as pending: the next demand read of a forgotten
+        // item is a plain fall-through, not "hinted too late".
+        let mut buf = vec![0.0; 4];
+        store.read(0, &mut buf).unwrap();
+        assert_eq!(buf, vec![1.0; 4]);
+        let s = store.stats();
+        assert_eq!(s.hinted_too_late.load(Ordering::Relaxed), 0);
+        assert_eq!(s.staged_hits.load(Ordering::Relaxed), 0);
+        assert!(store.worker_alive());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! slow one — the degradation mode a long likelihood search wants.
 
 use crate::manager::ItemId;
+use crate::obs::{Recorder, StallKind};
 use crate::store::BackingStore;
 use std::io;
 use std::time::Duration;
@@ -66,6 +67,14 @@ pub struct RetryStats {
     pub exhausted: u64,
     /// Operations that failed with a non-transient error (no retry).
     pub permanent_failures: u64,
+    /// Operations that needed more than one attempt (recovered or
+    /// exhausted). This — not the attempt count — is the retry-visible op
+    /// total: one logical read that recovers after 3 retries is **one**
+    /// `disk_read` in [`crate::OocStats`] and one `retried_ops` here, so
+    /// the two books reconcile without double-counting.
+    pub retried_ops: u64,
+    /// Total backoff time charged (intended sleep durations), summed.
+    pub backoff_ns: u64,
 }
 
 /// A [`BackingStore`] wrapper that retries transient failures.
@@ -74,6 +83,7 @@ pub struct RetryingStore<S> {
     inner: S,
     policy: RetryPolicy,
     stats: RetryStats,
+    obs: Option<Recorder>,
 }
 
 impl<S: BackingStore> RetryingStore<S> {
@@ -83,7 +93,14 @@ impl<S: BackingStore> RetryingStore<S> {
             inner,
             policy,
             stats: RetryStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability recorder: each backoff sleep is charged as
+    /// a retry-backoff span from now on.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
     }
 
     /// Retry counters so far.
@@ -104,6 +121,7 @@ impl<S: BackingStore> RetryingStore<S> {
     fn run<T>(
         policy: &RetryPolicy,
         stats: &mut RetryStats,
+        obs: Option<&Recorder>,
         mut attempt: impl FnMut() -> io::Result<T>,
     ) -> io::Result<T> {
         let mut failures = 0u32;
@@ -112,6 +130,7 @@ impl<S: BackingStore> RetryingStore<S> {
                 Ok(v) => {
                     if failures > 0 {
                         stats.recoveries += 1;
+                        stats.retried_ops += 1;
                     }
                     return Ok(v);
                 }
@@ -122,12 +141,24 @@ impl<S: BackingStore> RetryingStore<S> {
                 Err(e) => {
                     if failures >= policy.max_retries {
                         stats.exhausted += 1;
+                        stats.retried_ops += failures.min(1) as u64;
                         return Err(e);
                     }
                     let backoff = policy.backoff(failures);
                     failures += 1;
                     stats.retries += 1;
+                    let backoff_ns = u64::try_from(backoff.as_nanos()).unwrap_or(u64::MAX);
+                    stats.backoff_ns = stats.backoff_ns.saturating_add(backoff_ns);
                     if !backoff.is_zero() {
+                        // Nested kind: the sleep happens under the
+                        // manager's enclosing demand-read or write-back
+                        // span. Charged synthetically (intended duration)
+                        // so a manual clock attributes it exactly.
+                        if let Some(rec) = obs {
+                            let t0 = rec.now();
+                            rec.span_at("store-retry", "backoff", StallKind::RetryBackoff, t0)
+                                .finish_at(t0.saturating_add(backoff_ns));
+                        }
                         std::thread::sleep(backoff);
                     }
                 }
@@ -139,21 +170,25 @@ impl<S: BackingStore> RetryingStore<S> {
 impl<S: BackingStore> BackingStore for RetryingStore<S> {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
         let (inner, policy, stats) = (&mut self.inner, &self.policy, &mut self.stats);
-        Self::run(policy, stats, || inner.read(item, buf))
+        Self::run(policy, stats, self.obs.as_ref(), || inner.read(item, buf))
     }
 
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
         let (inner, policy, stats) = (&mut self.inner, &self.policy, &mut self.stats);
-        Self::run(policy, stats, || inner.write(item, buf))
+        Self::run(policy, stats, self.obs.as_ref(), || inner.write(item, buf))
     }
 
     fn hint(&mut self, upcoming: &[ItemId]) {
         self.inner.hint(upcoming);
     }
 
+    fn forget_hints(&mut self) {
+        self.inner.forget_hints();
+    }
+
     fn flush(&mut self) -> io::Result<()> {
         let (inner, policy, stats) = (&mut self.inner, &self.policy, &mut self.stats);
-        Self::run(policy, stats, || inner.flush())
+        Self::run(policy, stats, self.obs.as_ref(), || inner.flush())
     }
 }
 
@@ -181,6 +216,8 @@ mod tests {
         assert_eq!(s.retry_stats().retries, 2);
         assert_eq!(s.retry_stats().recoveries, 1);
         assert_eq!(s.retry_stats().exhausted, 0);
+        // Two attempts were absorbed, but only one logical op retried.
+        assert_eq!(s.retry_stats().retried_ops, 1);
     }
 
     #[test]
@@ -192,6 +229,7 @@ mod tests {
         assert_eq!(s.retry_stats().retries, 2);
         assert_eq!(s.retry_stats().exhausted, 1);
         assert_eq!(s.retry_stats().recoveries, 0);
+        assert_eq!(s.retry_stats().retried_ops, 1);
     }
 
     #[test]

@@ -133,36 +133,56 @@ impl OocStats {
     /// counter is additive, so the merged statistics of `k` disjoint shards
     /// describe the combined workload exactly.
     pub fn merged(&self, other: &OocStats) -> OocStats {
-        OocStats {
-            requests: self.requests + other.requests,
-            hits: self.hits + other.hits,
-            misses: self.misses + other.misses,
-            disk_reads: self.disk_reads + other.disk_reads,
-            disk_writes: self.disk_writes + other.disk_writes,
-            skipped_reads: self.skipped_reads + other.skipped_reads,
-            cold_loads: self.cold_loads + other.cold_loads,
-            evictions: self.evictions + other.evictions,
-            bytes_read: self.bytes_read + other.bytes_read,
-            bytes_written: self.bytes_written + other.bytes_written,
-            io_errors: self.io_errors + other.io_errors,
-            plans: self.plans + other.plans,
-            hints_issued: self.hints_issued + other.hints_issued,
-            hinted_reads: self.hinted_reads + other.hinted_reads,
-        }
+        let mut out = *self;
+        out += *other;
+        out
+    }
+}
+
+impl std::ops::AddAssign for OocStats {
+    // The single merge primitive: `Add`, `Sum` and `merged` all delegate
+    // here. The exhaustive destructuring makes adding a counter without
+    // merging it a compile error, so the impls can never drift.
+    fn add_assign(&mut self, rhs: OocStats) {
+        let OocStats {
+            requests,
+            hits,
+            misses,
+            disk_reads,
+            disk_writes,
+            skipped_reads,
+            cold_loads,
+            evictions,
+            bytes_read,
+            bytes_written,
+            io_errors,
+            plans,
+            hints_issued,
+            hinted_reads,
+        } = rhs;
+        self.requests += requests;
+        self.hits += hits;
+        self.misses += misses;
+        self.disk_reads += disk_reads;
+        self.disk_writes += disk_writes;
+        self.skipped_reads += skipped_reads;
+        self.cold_loads += cold_loads;
+        self.evictions += evictions;
+        self.bytes_read += bytes_read;
+        self.bytes_written += bytes_written;
+        self.io_errors += io_errors;
+        self.plans += plans;
+        self.hints_issued += hints_issued;
+        self.hinted_reads += hinted_reads;
     }
 }
 
 impl std::ops::Add for OocStats {
     type Output = OocStats;
 
-    fn add(self, rhs: OocStats) -> OocStats {
-        self.merged(&rhs)
-    }
-}
-
-impl std::ops::AddAssign for OocStats {
-    fn add_assign(&mut self, rhs: OocStats) {
-        *self = self.merged(&rhs);
+    fn add(mut self, rhs: OocStats) -> OocStats {
+        self += rhs;
+        self
     }
 }
 
@@ -268,6 +288,58 @@ mod tests {
         assert_eq!(total, acc);
         // Merging the identity is a no-op.
         assert_eq!(a + OocStats::default(), a);
+    }
+
+    #[test]
+    fn field_count_guard() {
+        // `AddAssign` destructures every field, so a new counter that is
+        // not merged fails to compile; this guard additionally pins the
+        // struct to plain u64 counters (no padding, no non-counter field
+        // sneaking in) and verifies every field doubles under `x + x`.
+        assert_eq!(
+            std::mem::size_of::<OocStats>(),
+            14 * std::mem::size_of::<u64>(),
+            "OocStats gained or lost a counter: update AddAssign, since(), \
+             the JSONL emitter and this guard together"
+        );
+        let ones = OocStats {
+            requests: 1,
+            hits: 1,
+            misses: 1,
+            disk_reads: 1,
+            disk_writes: 1,
+            skipped_reads: 1,
+            cold_loads: 1,
+            evictions: 1,
+            bytes_read: 1,
+            bytes_written: 1,
+            io_errors: 1,
+            plans: 1,
+            hints_issued: 1,
+            hinted_reads: 1,
+        };
+        let twos = OocStats {
+            requests: 2,
+            hits: 2,
+            misses: 2,
+            disk_reads: 2,
+            disk_writes: 2,
+            skipped_reads: 2,
+            cold_loads: 2,
+            evictions: 2,
+            bytes_read: 2,
+            bytes_written: 2,
+            io_errors: 2,
+            plans: 2,
+            hints_issued: 2,
+            hinted_reads: 2,
+        };
+        assert_eq!(ones + ones, twos);
+        assert_eq!(ones.merged(&ones), twos);
+        let mut acc = ones;
+        acc += ones;
+        assert_eq!(acc, twos);
+        assert_eq!([ones, ones].into_iter().sum::<OocStats>(), twos);
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub trait BackingStore {
     /// Advisory: the caller expects to read these items soon.
     fn hint(&mut self, _upcoming: &[ItemId]) {}
 
+    /// Advisory: previously hinted items are no longer expected — the
+    /// caller's plan changed (e.g. [`crate::VectorManager::begin_plan`]
+    /// installing a new access plan). Layers that act on hints (a prefetch
+    /// thread) drop queued and in-flight hints so a superseded plan cannot
+    /// skew the next plan's hint-effectiveness accounting; wrappers
+    /// forward, plain stores ignore.
+    fn forget_hints(&mut self) {}
+
     /// Flush any buffered state to durable storage.
     fn flush(&mut self) -> io::Result<()> {
         Ok(())

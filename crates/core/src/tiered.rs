@@ -9,6 +9,7 @@
 //! to the inner (disk) store when the tier also misses.
 
 use crate::manager::ItemId;
+use crate::obs::{Recorder, StallKind};
 use crate::store::BackingStore;
 use std::collections::HashMap;
 use std::io;
@@ -40,6 +41,7 @@ pub struct TieredStore<S> {
     entries: HashMap<ItemId, Entry>,
     tick: u64,
     stats: TierStats,
+    obs: Option<Recorder>,
 }
 
 impl<S: BackingStore> TieredStore<S> {
@@ -52,7 +54,15 @@ impl<S: BackingStore> TieredStore<S> {
             entries: HashMap::with_capacity(capacity),
             tick: 0,
             stats: TierStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attach an observability recorder: per-op tier read/write latency
+    /// histograms from now on. Always unattributed — the manager above
+    /// already attributes the enclosing demand-read / write-back time.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
     }
 
     /// Tier statistics.
@@ -117,30 +127,59 @@ impl<S: BackingStore> TieredStore<S> {
 
 impl<S: BackingStore> BackingStore for TieredStore<S> {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        let t0 = self.obs.as_ref().map(|r| r.now());
         if let Some(e) = self.entries.get(&item) {
             buf.copy_from_slice(&e.data);
             self.stats.hits += 1;
             self.touch(item);
+            if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                rec.span_at("tier", "hit-read", StallKind::Compute, t0)
+                    .hist_only()
+                    .unattributed()
+                    .finish();
+            }
             return Ok(());
         }
         self.stats.misses += 1;
         self.inner.read(item, buf)?;
         self.insert(item, buf.to_vec().into_boxed_slice(), false)?;
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.span_at("tier", "miss-read", StallKind::DemandRead, t0)
+                .item(item)
+                .hist_only()
+                .unattributed()
+                .finish();
+        }
         Ok(())
     }
 
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
-        if let Some(e) = self.entries.get_mut(&item) {
+        let t0 = self.obs.as_ref().map(|r| r.now());
+        let result = if let Some(e) = self.entries.get_mut(&item) {
             e.data.copy_from_slice(buf);
             e.dirty = true;
             self.touch(item);
-            return Ok(());
+            Ok(())
+        } else {
+            self.insert(item, buf.to_vec().into_boxed_slice(), true)
+        };
+        if result.is_ok() {
+            if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                rec.span_at("tier", "write", StallKind::WriteBack, t0)
+                    .hist_only()
+                    .unattributed()
+                    .finish();
+            }
         }
-        self.insert(item, buf.to_vec().into_boxed_slice(), true)
+        result
     }
 
     fn hint(&mut self, upcoming: &[ItemId]) {
         self.inner.hint(upcoming);
+    }
+
+    fn forget_hints(&mut self) {
+        self.inner.forget_hints();
     }
 
     fn flush(&mut self) -> io::Result<()> {

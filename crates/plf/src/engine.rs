@@ -8,7 +8,7 @@ use crate::kernels::evaluate::{
 use crate::kernels::newview::{newview_inner_inner, newview_tip_inner, newview_tip_tip};
 use crate::kernels::Dims;
 use crate::store_api::{AncestralStore, VectorSession};
-use ooc_core::{AccessRecord, OocResult};
+use ooc_core::{AccessRecord, OocResult, Recorder, StallKind};
 use phylo_models::{DiscreteGamma, EigenDecomp, PMatrices, ReversibleModel};
 use phylo_seq::CompressedAlignment;
 use phylo_tree::spr::{spr_prune_regraft, spr_undo, SprUndo};
@@ -72,6 +72,8 @@ pub struct PlfEngine<S: AncestralStore> {
     /// set after a content change exactly the path from the changed region
     /// to this root (see `content_changed_at`).
     pub(crate) last_root: Option<HalfEdgeId>,
+    /// Observability recorder: each combine batch becomes one span.
+    pub(crate) obs: Option<Recorder>,
 }
 
 impl<S: AncestralStore> PlfEngine<S> {
@@ -134,6 +136,7 @@ impl<S: AncestralStore> PlfEngine<S> {
             site_lnl: vec![0.0; dims.n_patterns],
             weights,
             last_root: None,
+            obs: None,
             tree,
             plf_model,
             dims,
@@ -186,6 +189,19 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// Mutable backend access (statistics resets between phases).
     pub fn store_mut(&mut self) -> &mut S {
         &mut self.store
+    }
+
+    /// Attach an observability recorder: every executed combine batch is
+    /// recorded as one `("plf", "combine-batch")` span from now on. The
+    /// residency layers below carve their own demand-read / write-back
+    /// time out of it, so the span itself stays unattributed.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.obs = Some(rec);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.obs.as_ref()
     }
 
     /// Replace the Γ shape parameter; all ancestral vectors become stale.
@@ -295,12 +311,19 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// and plan-aware replacement all derive from the one submitted
     /// [`ooc_core::AccessPlan`] — there is no separate written/reads scan.
     pub(crate) fn execute_plan(&mut self, plan: &TraversalPlan) -> OocResult<()> {
+        let t0 = self.obs.as_ref().map(|r| r.now());
         // Even a step-free plan (fully oriented tree) is submitted: its
         // trailing root-read records let the residency layer prefetch the
         // two vectors the root evaluation is about to touch.
         self.store.submit_plan(plan.lower(self.tree.n_inner()));
         for step in &plan.steps {
             self.newview_step(step)?;
+        }
+        if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+            rec.span_at("plf", "combine-batch", StallKind::Compute, t0)
+                .count(plan.steps.len() as u64)
+                .unattributed()
+                .finish();
         }
         Ok(())
     }

@@ -33,7 +33,7 @@ use crate::likelihood_api::LikelihoodEngine;
 use crate::modelopt::{ALPHA_MAX, ALPHA_MIN};
 use crate::store_api::AncestralStore;
 use crate::{PlfEngine, TipCodes};
-use ooc_core::{par_each_mut, OocError, OocResult, OocStats, ShardSpec};
+use ooc_core::{par_each_mut, OocError, OocResult, OocStats, Recorder, ShardSpec, StallKind};
 use phylo_models::{brent_minimize, ReversibleModel};
 use phylo_seq::CompressedAlignment;
 use phylo_tree::spr::{NniUndo, SprUndo};
@@ -43,6 +43,8 @@ use phylo_tree::{HalfEdgeId, Tree};
 pub struct ShardedPlfEngine<S: AncestralStore + Send> {
     shards: Vec<PlfEngine<S>>,
     spec: ShardSpec,
+    /// Observability recorder: per-shard execution and barrier-wait spans.
+    obs: Option<Recorder>,
 }
 
 impl<S: AncestralStore + Send> ShardedPlfEngine<S> {
@@ -97,7 +99,31 @@ impl<S: AncestralStore + Send> ShardedPlfEngine<S> {
                 )
             })
             .collect();
-        ShardedPlfEngine { shards, spec }
+        ShardedPlfEngine {
+            shards,
+            spec,
+            obs: None,
+        }
+    }
+
+    /// Attach an observability recorder. Every parallel section then
+    /// records, per shard, a `("sharded", "shard-exec")` span (the shard's
+    /// own wall time, unattributed — the residency layers below attribute
+    /// their slices) and a `("sharded", "barrier-wait")` span (how long
+    /// the shard sat idle waiting for the slowest sibling — the §4
+    /// load-imbalance signal). The recorder is also forwarded to each
+    /// shard engine for its combine-batch spans; shard-level residency
+    /// stores attach their own recorders via [`Self::shard_mut`].
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        for e in &mut self.shards {
+            e.set_recorder(rec.clone());
+        }
+        self.obs = Some(rec);
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.obs.as_ref()
     }
 
     /// The shard specification.
@@ -130,14 +156,38 @@ impl<S: AncestralStore + Send> ShardedPlfEngine<S> {
     }
 
     /// Run `op` on every shard concurrently, failing with the first
-    /// shard's error (in shard order) if any shard fails.
+    /// shard's error (in shard order) if any shard fails. With a recorder
+    /// attached, each shard's wall time and its wait for the slowest
+    /// sibling (the parallel-section barrier) are recorded as spans.
     fn par_shards<R: Send>(
         &mut self,
         op: impl Fn(&mut PlfEngine<S>) -> OocResult<R> + Sync,
     ) -> OocResult<Vec<R>> {
-        par_each_mut(&mut self.shards, |_, e| op(e))
-            .into_iter()
-            .collect()
+        let Some(rec) = self.obs.clone() else {
+            return par_each_mut(&mut self.shards, |_, e| op(e))
+                .into_iter()
+                .collect();
+        };
+        let timed = par_each_mut(&mut self.shards, |_, e| {
+            let t0 = rec.now();
+            let r = op(e);
+            (r, t0, rec.now())
+        });
+        // The barrier releases when the slowest shard finishes; everything
+        // a faster shard spent past its own finish is attributed wait.
+        let max_end = timed.iter().map(|&(_, _, t1)| t1).max().unwrap_or(0);
+        let mut out = Vec::with_capacity(timed.len());
+        for (i, (r, t0, t1)) in timed.into_iter().enumerate() {
+            rec.span_at("sharded", "shard-exec", StallKind::Compute, t0)
+                .shard(i as u32)
+                .unattributed()
+                .finish_at(t1);
+            rec.span_at("sharded", "barrier-wait", StallKind::BarrierWait, t1)
+                .shard(i as u32)
+                .finish_at(max_end);
+            out.push(r?);
+        }
+        Ok(out)
     }
 
     /// The cross-shard ordered reduction: continue one left-to-right fold

@@ -2,7 +2,7 @@
 //! optimisation) until no further improvement.
 
 use crate::spr::lazy_spr_round;
-use ooc_core::OocResult;
+use ooc_core::{OocResult, Recorder, StallKind};
 use phylo_plf::LikelihoodEngine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,12 +64,37 @@ pub fn hill_climb<E: LikelihoodEngine>(
     engine: &mut E,
     cfg: &SearchConfig,
 ) -> OocResult<SearchStats> {
+    hill_climb_observed(engine, cfg, None)
+}
+
+/// [`hill_climb`] with an optional observability recorder: each search
+/// phase (initial/per-round smoothing, SPR rounds, α optimisation) becomes
+/// one `("search", …)` span. The spans are unattributed wall-time markers
+/// — the residency layers below carve the actual stall time out of them —
+/// so the search trace answers "*which phase* paid the I/O".
+pub fn hill_climb_observed<E: LikelihoodEngine>(
+    engine: &mut E,
+    cfg: &SearchConfig,
+    obs: Option<&Recorder>,
+) -> OocResult<SearchStats> {
+    let now = || obs.map(|r| r.now());
+    let span = |op: &'static str, t0: Option<u64>| {
+        if let (Some(rec), Some(t0)) = (obs, t0) {
+            rec.span_at("search", op, StallKind::Compute, t0)
+                .unattributed()
+                .finish();
+        }
+    };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Initial branch smoothing (and model optimisation) on the start tree.
+    let t0 = now();
     let mut lnl = engine.smooth_branches(cfg.smooth_passes.max(1), cfg.nr_iter)?;
+    span("smooth", t0);
     if cfg.optimize_model {
+        let t0 = now();
         let (_, l) = engine.optimize_alpha(1e-3, 40)?;
+        span("alpha-opt", t0);
         lnl = l;
     }
     let initial_lnl = lnl;
@@ -79,15 +104,21 @@ pub fn hill_climb<E: LikelihoodEngine>(
     let mut spr_evaluated = 0u64;
     for _ in 0..cfg.max_rounds {
         rounds += 1;
+        let t0 = now();
         let round = lazy_spr_round(engine, cfg.spr_radius, cfg.nr_iter, cfg.epsilon, &mut rng)?;
+        span("spr-round", t0);
         spr_applied += round.applied;
         spr_evaluated += round.evaluated;
         let mut new_lnl = round.lnl;
         if cfg.smooth_passes > 0 {
+            let t0 = now();
             new_lnl = engine.smooth_branches(cfg.smooth_passes, cfg.nr_iter)?;
+            span("smooth", t0);
         }
         if cfg.optimize_model {
+            let t0 = now();
             let (_, l) = engine.optimize_alpha(1e-3, 40)?;
+            span("alpha-opt", t0);
             new_lnl = l;
         }
         let improved = new_lnl > lnl + cfg.epsilon;

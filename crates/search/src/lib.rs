@@ -25,7 +25,7 @@ pub mod nni;
 pub mod parsimony;
 pub mod spr;
 
-pub use hillclimb::{hill_climb, SearchConfig, SearchStats};
+pub use hillclimb::{hill_climb, hill_climb_observed, SearchConfig, SearchStats};
 pub use mcmc::{run_mcmc, McmcConfig, McmcStats};
 pub use nni::nni_round;
 pub use parsimony::{parsimony_stepwise_tree, FitchScorer};

@@ -12,9 +12,9 @@
 //! Omitting it runs the standard all-in-RAM implementation.
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
-use phylo_ooc::ooc::{FileStore, OocConfig, StrategyKind, VectorManager};
+use phylo_ooc::ooc::{FileStore, OocConfig, Recorder, StrategyKind, VectorManager};
 use phylo_ooc::plf::{AncestralStore, InRamStore, OocStore, PlfEngine};
-use phylo_ooc::search::{hill_climb, parsimony_stepwise_tree, SearchConfig};
+use phylo_ooc::search::{hill_climb_observed, parsimony_stepwise_tree, SearchConfig};
 use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
 use phylo_ooc::seq::{
     compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment,
@@ -80,7 +80,10 @@ OPTIONS:
   --radius R        SPR rearrangement radius          [default: 5]
   --rounds K        max SPR rounds                    [default: 8]
   --seed S          RNG seed                          [default: 42]
-  --stats           print out-of-core statistics";
+  --stats           print out-of-core statistics
+  --metrics FILE    write a JSONL observability stream (per-op latency
+                    events, histograms, counters) and print a stall
+                    attribution (compute vs demand-read vs write-back)";
 
 struct Opts {
     values: HashMap<String, String>,
@@ -312,6 +315,33 @@ fn default_model(comp: &CompressedAlignment) -> ReversibleModel {
     ReversibleModel::hky85(2.5, &[f[0], f[1], f[2], f[3]])
 }
 
+/// Build the optional JSONL observability recorder from `--metrics`.
+fn make_recorder(opts: &Opts) -> Result<Option<Recorder>, String> {
+    match opts.get("metrics") {
+        None => Ok(None),
+        Some(path) => Recorder::jsonl(path)
+            .map(Some)
+            .map_err(|e| format!("cannot create metrics file '{path}': {e}")),
+    }
+}
+
+/// Close out a recorder: emit final counters, dump the per-op latency
+/// histograms to the JSONL stream, and print a stall attribution of the
+/// elapsed wall time to stderr.
+fn finish_recorder(
+    rec: &Recorder,
+    t0: u64,
+    stats: Option<&phylo_ooc::ooc::OocStats>,
+) -> Result<(), String> {
+    if let Some(s) = stats {
+        rec.emit_stats(s);
+    }
+    let wall = rec.now().saturating_sub(t0);
+    eprintln!("{}", rec.attribution(wall));
+    rec.finish()
+        .map_err(|e| format!("cannot write metrics: {e}"))
+}
+
 fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
     let (tree, comp) = load_inputs(opts)?;
     let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
@@ -319,14 +349,22 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
     let model = default_model(&comp);
     let n_items = tree.n_inner();
     let total_bytes = (n_items * dims.width() * 8) as u64;
+    let recorder = make_recorder(opts)?;
 
     match parse_memory(opts.get("memory"))? {
         MemorySpec::All => {
             let store = InRamStore::new(n_items, dims.width());
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
+            if let Some(rec) = &recorder {
+                engine.set_recorder(rec.clone());
+            }
+            let t0 = recorder.as_ref().map(|r| r.now());
             let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
             println!("log-likelihood: {lnl:.6}");
             println!("{}", engine_report(&engine));
+            if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                finish_recorder(rec, t0, None)?;
+            }
         }
         spec => {
             let cfg = match spec {
@@ -346,8 +384,15 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
             let store = FileStore::create(&vector_path, n_items, dims.width()).map_err(|e| {
                 format!("cannot create vector file '{}': {e}", vector_path.display())
             })?;
-            let manager = VectorManager::new(cfg, strategy, store);
+            let mut manager = VectorManager::new(cfg, strategy, store);
+            if let Some(rec) = &recorder {
+                manager.set_recorder(rec.clone());
+            }
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
+            if let Some(rec) = &recorder {
+                engine.set_recorder(rec.clone());
+            }
+            let t0 = recorder.as_ref().map(|r| r.now());
             let lnl = engine.log_likelihood().map_err(|e| {
                 cleanup_scratch();
                 e.to_string()
@@ -363,6 +408,9 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
             );
             if opts.flag("stats") {
                 eprintln!("{}", engine.store().manager().stats());
+            }
+            if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                finish_recorder(rec, t0, Some(engine.store().manager().stats()))?;
             }
             cleanup_scratch();
         }
@@ -385,11 +433,20 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
         ..Default::default()
     };
 
+    let recorder = make_recorder(opts)?;
     let (stats, final_tree, mgr_stats) = match parse_memory(opts.get("memory"))? {
         MemorySpec::All => {
             let store = InRamStore::new(n_items, dims.width());
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
-            let stats = hill_climb(&mut engine, &cfg).map_err(|e| e.to_string())?;
+            if let Some(rec) = &recorder {
+                engine.set_recorder(rec.clone());
+            }
+            let t0 = recorder.as_ref().map(|r| r.now());
+            let stats = hill_climb_observed(&mut engine, &cfg, recorder.as_ref())
+                .map_err(|e| e.to_string())?;
+            if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                finish_recorder(rec, t0, None)?;
+            }
             (stats, engine.tree().clone(), None)
         }
         spec => {
@@ -409,9 +466,16 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
             let store = FileStore::create(&vector_path, n_items, dims.width()).map_err(|e| {
                 format!("cannot create vector file '{}': {e}", vector_path.display())
             })?;
-            let manager = VectorManager::new(ooc_cfg, strategy, store);
+            let mut manager = VectorManager::new(ooc_cfg, strategy, store);
+            if let Some(rec) = &recorder {
+                manager.set_recorder(rec.clone());
+            }
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
-            let stats = hill_climb(&mut engine, &cfg).map_err(|e| {
+            if let Some(rec) = &recorder {
+                engine.set_recorder(rec.clone());
+            }
+            let t0 = recorder.as_ref().map(|r| r.now());
+            let stats = hill_climb_observed(&mut engine, &cfg, recorder.as_ref()).map_err(|e| {
                 cleanup_scratch();
                 e.to_string()
             })?;
@@ -419,6 +483,9 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 h.update(engine.tree());
             }
             let mgr = *engine.store().manager().stats();
+            if let (Some(rec), Some(t0)) = (&recorder, t0) {
+                finish_recorder(rec, t0, Some(&mgr))?;
+            }
             cleanup_scratch();
             (stats, engine.tree().clone(), Some(mgr))
         }

@@ -133,6 +133,66 @@ fn retrying_store_recovers_transient_faults_bit_exactly() {
     assert_eq!(engine.store().manager().stats().io_errors, 0);
 }
 
+/// A transfer that succeeds only after retries must count ONCE in the
+/// manager's `OocStats`: the same workload run fault-free and run through
+/// a transient fault plan + retry layer must report identical residency
+/// counters, with the extra attempts visible only in the fault injector's
+/// own attempt counts and the retry layer's `retried_ops`.
+#[test]
+fn retried_operations_do_not_double_count_in_ooc_stats() {
+    let data = setup::simulate_dataset(&spec());
+
+    // Fault-free baseline over the identical store stack shape.
+    let clean = FaultInjectingStore::new(MemStore::new(data.n_items(), data.width()), {
+        FaultPlan::none()
+    });
+    let clean = RetryingStore::new(clean, RetryPolicy::immediate(4));
+    let mut baseline = engine_over(&data, clean);
+    let lnl_ref = baseline.log_likelihood().expect("baseline cannot fault");
+    let stats_ref = *baseline.store().manager().stats();
+
+    // Same workload with transient fault windows on reads and writes.
+    let plan = FaultPlan::transient_reads(2, 3).with(FaultRule::Window {
+        op: FaultOp::Write,
+        start: 1,
+        count: 2,
+        kind: FaultKind::Transient,
+    });
+    let faulty = FaultInjectingStore::new(MemStore::new(data.n_items(), data.width()), plan);
+    let store = RetryingStore::new(faulty, RetryPolicy::immediate(4));
+    let mut engine = engine_over(&data, store);
+    let lnl = engine.log_likelihood().expect("transient faults absorbed");
+    assert_eq!(lnl.to_bits(), lnl_ref.to_bits());
+
+    let stats = *engine.store().manager().stats();
+    assert_eq!(
+        stats, stats_ref,
+        "an op that succeeded after retries must still be ONE disk_read / \
+         disk_write — retries may not leak into the residency counters"
+    );
+
+    let retry = engine.store().manager().store().retry_stats();
+    assert!(retry.retried_ops > 0, "schedule must have retried some ops");
+    assert!(
+        retry.retries >= retry.retried_ops,
+        "each retried op costs at least one retry attempt"
+    );
+
+    // The extra attempts are visible below the retry layer: the injector
+    // saw more read+write attempts than the manager counted successes.
+    let faults = engine.store().manager().store().inner().fault_stats();
+    assert!(faults.total_faults() > 0, "the plan must actually fire");
+    assert!(
+        faults.reads + faults.writes > stats.disk_reads + stats.disk_writes,
+        "attempts below the retry layer ({} + {}) must exceed counted \
+         transfers ({} + {})",
+        faults.reads,
+        faults.writes,
+        stats.disk_reads,
+        stats.disk_writes
+    );
+}
+
 #[test]
 fn retrying_store_gives_up_on_permanent_faults() {
     let data = setup::simulate_dataset(&spec());
