@@ -1,15 +1,44 @@
 //! Microbenchmarks of the PLF numerical kernels (the compute side whose
-//! cost the out-of-core layer must overlap with I/O).
+//! cost the out-of-core layer must overlap with I/O), swept across the
+//! runtime-dispatched backends ([`phylo_plf::KernelBackend`]).
+//!
+//! Throughput is reported in **patterns per second** (`Throughput::
+//! Elements`): one element is one alignment pattern pushed through the
+//! kernel, the unit the paper's runtime model counts.
+//!
+//! The committed baseline `BENCH_kernels.json` is produced by the
+//! `kernels_baseline` binary (same workloads, plain `std::time` harness);
+//! this criterion bench is for interactive exploration and CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
-use phylo_plf::kernels::derivatives::{build_sumtable, nr_derivatives, SumSide};
-use phylo_plf::kernels::evaluate::evaluate_inner_inner;
-use phylo_plf::kernels::newview::{newview_inner_inner, newview_tip_inner};
+use phylo_plf::kernels::derivatives::{build_sumtable, SumSide};
 use phylo_plf::kernels::Dims;
-use phylo_plf::TipCodes;
+use phylo_plf::{KernelBackend, TipCodes};
 use phylo_seq::{compress_patterns, Alignment, Alphabet};
 use std::hint::black_box;
+
+/// A deterministic pseudo-random 8-taxon DNA alignment: with 8 diverse
+/// rows almost every column is a distinct pattern, so the compressed
+/// pattern count stays close to `n_sites` and the per-pattern throughput
+/// figures mean what they say.
+fn random_dna_alignment(n_sites: usize) -> Alignment {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let chars = ['A', 'C', 'G', 'T', 'N'];
+    let entries: Vec<(String, String)> = (0..8)
+        .map(|r| {
+            let seq: String = (0..n_sites).map(|_| chars[next() % chars.len()]).collect();
+            (format!("t{r}"), seq)
+        })
+        .collect();
+    Alignment::from_chars(Alphabet::Dna, &entries).unwrap()
+}
 
 fn dna_setup(n_patterns: usize) -> (Dims, PMatrices, PMatrices, ReversibleModel, DiscreteGamma) {
     let dims = Dims {
@@ -27,8 +56,18 @@ fn dna_setup(n_patterns: usize) -> (Dims, PMatrices, PMatrices, ReversibleModel,
     (dims, pm_l, pm_r, model, gamma)
 }
 
+/// Backends that genuinely run their own code path for `dims` on this
+/// machine (skip entries that would silently degrade to another backend).
+fn backends_for(dims: &Dims) -> Vec<KernelBackend> {
+    KernelBackend::ALL
+        .iter()
+        .copied()
+        .filter(|b| b.effective(dims) == *b)
+        .collect()
+}
+
 fn bench_newview(c: &mut Criterion) {
-    let mut group = c.benchmark_group("newview");
+    let mut group = c.benchmark_group("newview_inner_inner");
     for n_patterns in [1000usize, 10_000] {
         let (dims, pm_l, pm_r, _model, _gamma) = dna_setup(n_patterns);
         let left = vec![0.4f64; dims.width()];
@@ -36,90 +75,106 @@ fn bench_newview(c: &mut Criterion) {
         let zeros = vec![0u32; n_patterns];
         let mut parent = vec![0.0f64; dims.width()];
         let mut scale_p = vec![0u32; n_patterns];
-        group.throughput(Throughput::Bytes((dims.width() * 8) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("inner_inner", n_patterns),
-            &n_patterns,
-            |b, _| {
-                b.iter(|| {
-                    newview_inner_inner(
-                        &dims,
-                        black_box(&mut parent),
-                        &mut scale_p,
-                        black_box(&left),
-                        &zeros,
-                        &pm_l,
-                        black_box(&right),
-                        &zeros,
-                        &pm_r,
-                    )
-                })
-            },
-        );
+        group.throughput(Throughput::Elements(n_patterns as u64));
+        for backend in backends_for(&dims) {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), n_patterns),
+                &n_patterns,
+                |b, _| {
+                    b.iter(|| {
+                        backend.newview_inner_inner(
+                            &dims,
+                            black_box(&mut parent),
+                            &mut scale_p,
+                            black_box(&left),
+                            &zeros,
+                            &pm_l,
+                            black_box(&right),
+                            &zeros,
+                            &pm_r,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
 
-        // Tip/inner with a representative code table.
-        let seq: String = "ACGTN".chars().cycle().take(n_patterns).collect();
-        let aln = Alignment::from_chars(
-            Alphabet::Dna,
-            &[("a".into(), seq.clone()), ("b".into(), seq)],
-        )
-        .unwrap();
-        let codes = TipCodes::from_alignment(&compress_patterns(&aln));
-        let tip_dims = Dims {
+    // Tip/inner with a representative code table.
+    let mut group = c.benchmark_group("newview_tip_inner");
+    for n_patterns in [1000usize, 10_000] {
+        let (_, pm_l, pm_r, _model, _gamma) = dna_setup(n_patterns);
+        let codes = TipCodes::from_alignment(&compress_patterns(&random_dna_alignment(n_patterns)));
+        let dims = Dims {
             n_patterns: codes.n_patterns(),
             n_states: 4,
             n_cats: 4,
         };
         let mut lut = Vec::new();
         codes.build_lut(&pm_l, &mut lut);
-        let inner = vec![0.4f64; tip_dims.width()];
-        let tzeros = vec![0u32; tip_dims.n_patterns];
-        let mut tparent = vec![0.0f64; tip_dims.width()];
-        let mut tscale = vec![0u32; tip_dims.n_patterns];
+        let inner = vec![0.4f64; dims.width()];
+        let zeros = vec![0u32; dims.n_patterns];
+        let mut parent = vec![0.0f64; dims.width()];
+        let mut scale = vec![0u32; dims.n_patterns];
+        group.throughput(Throughput::Elements(dims.n_patterns as u64));
+        for backend in backends_for(&dims) {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), n_patterns),
+                &n_patterns,
+                |b, _| {
+                    b.iter(|| {
+                        backend.newview_tip_inner(
+                            &dims,
+                            black_box(&mut parent),
+                            &mut scale,
+                            &lut,
+                            codes.tip(0),
+                            black_box(&inner),
+                            &zeros,
+                            &pm_r,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_evaluate_and_derivatives(c: &mut Criterion) {
+    let n_patterns = 5000usize;
+    let (dims, pm_l, _pm_r, model, gamma) = dna_setup(n_patterns);
+    let eigen = model.eigen();
+    let p = vec![0.4f64; dims.width()];
+    let q = vec![0.3f64; dims.width()];
+    let zeros = vec![0u32; dims.n_patterns];
+    let weights = vec![1u32; dims.n_patterns];
+    let mut site_out = vec![0.0f64; dims.n_patterns];
+
+    let mut group = c.benchmark_group("evaluate_inner_inner");
+    group.throughput(Throughput::Elements(n_patterns as u64));
+    for backend in backends_for(&dims) {
         group.bench_with_input(
-            BenchmarkId::new("tip_inner", n_patterns),
+            BenchmarkId::new(backend.name(), n_patterns),
             &n_patterns,
             |b, _| {
                 b.iter(|| {
-                    newview_tip_inner(
-                        &tip_dims,
-                        black_box(&mut tparent),
-                        &mut tscale,
-                        &lut,
-                        codes.tip(0),
-                        black_box(&inner),
-                        &tzeros,
-                        &pm_r,
+                    backend.evaluate_inner_inner_sites(
+                        &dims,
+                        black_box(&p),
+                        &zeros,
+                        black_box(&q),
+                        &zeros,
+                        &pm_l,
+                        model.freqs(),
+                        &weights,
+                        &mut site_out,
                     )
                 })
             },
         );
     }
     group.finish();
-}
-
-fn bench_evaluate_and_derivatives(c: &mut Criterion) {
-    let (dims, pm_l, _pm_r, model, gamma) = dna_setup(5000);
-    let eigen = model.eigen();
-    let p = vec![0.4f64; dims.width()];
-    let q = vec![0.3f64; dims.width()];
-    let zeros = vec![0u32; dims.n_patterns];
-    let weights = vec![1u32; dims.n_patterns];
-
-    c.bench_function("evaluate/inner_inner_5000", |b| {
-        b.iter(|| {
-            evaluate_inner_inner(
-                &dims,
-                black_box(&p),
-                &zeros,
-                black_box(&q),
-                &zeros,
-                &pm_l,
-                model.freqs(),
-                &weights,
-            )
-        })
-    });
 
     let mut sumtable = Vec::new();
     c.bench_function("derivatives/build_sumtable_5000", |b| {
@@ -142,23 +197,42 @@ fn bench_evaluate_and_derivatives(c: &mut Criterion) {
         model.freqs(),
         &mut sumtable,
     );
-    c.bench_function("derivatives/nr_iteration_5000", |b| {
-        b.iter(|| {
-            nr_derivatives(
-                &dims,
-                black_box(&sumtable),
-                &weights,
-                &zeros,
-                eigen.values(),
-                gamma.rates(),
-                black_box(0.17),
-            )
-        })
-    });
+    let (mut out_l, mut out_d1, mut out_d2) = (
+        vec![0.0f64; dims.n_patterns],
+        vec![0.0f64; dims.n_patterns],
+        vec![0.0f64; dims.n_patterns],
+    );
+    let mut group = c.benchmark_group("nr_derivatives");
+    group.throughput(Throughput::Elements(n_patterns as u64));
+    for backend in backends_for(&dims) {
+        group.bench_with_input(
+            BenchmarkId::new(backend.name(), n_patterns),
+            &n_patterns,
+            |b, _| {
+                b.iter(|| {
+                    backend.nr_derivatives_sites(
+                        &dims,
+                        black_box(&sumtable),
+                        &weights,
+                        &zeros,
+                        eigen.values(),
+                        gamma.rates(),
+                        black_box(0.17),
+                        &mut out_l,
+                        &mut out_d1,
+                        &mut out_d2,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
 }
 
 fn bench_protein(c: &mut Criterion) {
     // The paper's §3.1 footprint argument: protein vectors are 5x wider.
+    // Only the scalar backend supports 20 states; the dispatcher degrades
+    // the others, so bench it directly.
     let dims = Dims {
         n_patterns: 1000,
         n_states: 20,
@@ -174,9 +248,11 @@ fn bench_protein(c: &mut Criterion) {
     let zeros = vec![0u32; dims.n_patterns];
     let mut parent = vec![0.0f64; dims.width()];
     let mut scale = vec![0u32; dims.n_patterns];
-    c.bench_function("newview/protein_inner_inner_1000", |b| {
+    let mut group = c.benchmark_group("newview_protein");
+    group.throughput(Throughput::Elements(dims.n_patterns as u64));
+    group.bench_function("scalar/1000", |b| {
         b.iter(|| {
-            newview_inner_inner(
+            KernelBackend::Scalar.newview_inner_inner(
                 &dims,
                 black_box(&mut parent),
                 &mut scale,
@@ -189,6 +265,7 @@ fn bench_protein(c: &mut Criterion) {
             )
         })
     });
+    group.finish();
 }
 
 criterion_group! {

@@ -1,0 +1,400 @@
+//! **Kernel baseline** — per-backend throughput of the PLF numerical
+//! kernels, written as the committed `BENCH_kernels.json` so kernel
+//! regressions (and the speedup claims of the unrolled/AVX2 backends)
+//! are diffable in review.
+//!
+//! Workloads mirror `benches/kernels.rs`; the harness is plain
+//! `std::time::Instant` (calibrated iteration counts, best-of-N samples)
+//! so the artifact is reproducible without criterion's statistics.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin kernels_baseline                  # write BENCH_kernels.json
+//! cargo run --release -p ooc-bench --bin kernels_baseline -- --quick      # fast smoke run
+//! cargo run --release -p ooc-bench --bin kernels_baseline -- --check      # schema-check existing file
+//! cargo run --release -p ooc-bench --bin kernels_baseline -- --kernel dna4
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::report::{print_table, write_json};
+use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
+use phylo_plf::kernels::derivatives::{build_sumtable, SumSide};
+use phylo_plf::kernels::Dims;
+use phylo_plf::{KernelBackend, TipCodes};
+use phylo_seq::{compress_patterns, Alignment, Alphabet};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SCHEMA: &str = "bench-kernels-v1";
+
+#[derive(Serialize)]
+struct Baseline {
+    schema: &'static str,
+    detected_backend: String,
+    results: Vec<BenchResult>,
+    /// Per group+size: backend name -> speedup over scalar.
+    speedups: Vec<Speedup>,
+}
+
+#[derive(Serialize)]
+struct BenchResult {
+    group: String,
+    backend: String,
+    n_patterns: usize,
+    ns_per_iter: f64,
+    patterns_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Speedup {
+    group: String,
+    n_patterns: usize,
+    backend: String,
+    vs_scalar: f64,
+}
+
+/// Calibrate an iteration count to a target sample duration, then take
+/// the best (minimum) ns/iter over several samples.
+fn time_ns(quick: bool, mut f: impl FnMut()) -> f64 {
+    let target_ns: u128 = if quick { 1_000_000 } else { 20_000_000 };
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed().as_nanos();
+        if dt >= target_ns || iters >= 1 << 30 {
+            break;
+        }
+        // Scale toward the target, at least doubling.
+        iters = (iters * 2).max((iters as u128 * target_ns / dt.max(1)) as u64);
+    }
+    let samples = if quick { 3 } else { 7 };
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// A deterministic pseudo-random 8-taxon DNA alignment: with 8 diverse
+/// rows almost every column is a distinct pattern, so the compressed
+/// pattern count stays close to `n_sites` (cycling a short motif over two
+/// identical rows would collapse to a handful of patterns and make any
+/// per-pattern throughput figure meaningless).
+fn random_dna_alignment(n_sites: usize) -> Alignment {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let chars = ['A', 'C', 'G', 'T', 'N'];
+    let entries: Vec<(String, String)> = (0..8)
+        .map(|r| {
+            let seq: String = (0..n_sites).map(|_| chars[next() % chars.len()]).collect();
+            (format!("t{r}"), seq)
+        })
+        .collect();
+    Alignment::from_chars(Alphabet::Dna, &entries).unwrap()
+}
+
+fn dna_setup(n_patterns: usize) -> (Dims, PMatrices, PMatrices, ReversibleModel, DiscreteGamma) {
+    let dims = Dims {
+        n_patterns,
+        n_states: 4,
+        n_cats: 4,
+    };
+    let model = ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]);
+    let gamma = DiscreteGamma::new(0.8, 4);
+    let eigen = model.eigen();
+    let mut pm_l = PMatrices::new(4, 4);
+    let mut pm_r = PMatrices::new(4, 4);
+    pm_l.update(&eigen, &gamma, 0.12);
+    pm_r.update(&eigen, &gamma, 0.3);
+    (dims, pm_l, pm_r, model, gamma)
+}
+
+/// Backends to measure: those whose own code path actually runs for
+/// `dims` on this machine, optionally restricted by `--kernel`.
+fn backends_for(dims: &Dims, only: Option<KernelBackend>) -> Vec<KernelBackend> {
+    KernelBackend::ALL
+        .iter()
+        .copied()
+        .filter(|b| b.effective(dims) == *b)
+        .filter(|b| only.is_none_or(|o| o == *b))
+        .collect()
+}
+
+fn run(quick: bool, only: Option<KernelBackend>) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    let mut push = |group: &str, backend: KernelBackend, n_patterns: usize, ns: f64| {
+        results.push(BenchResult {
+            group: group.to_owned(),
+            backend: backend.name().to_owned(),
+            n_patterns,
+            ns_per_iter: ns,
+            patterns_per_sec: n_patterns as f64 / (ns * 1e-9),
+        });
+    };
+
+    for n_patterns in [1000usize, 10_000] {
+        let (dims, pm_l, pm_r, _model, _gamma) = dna_setup(n_patterns);
+        let left = vec![0.4f64; dims.width()];
+        let right = vec![0.3f64; dims.width()];
+        let zeros = vec![0u32; n_patterns];
+        let mut parent = vec![0.0f64; dims.width()];
+        let mut scale_p = vec![0u32; n_patterns];
+        for backend in backends_for(&dims, only) {
+            let ns = time_ns(quick, || {
+                backend.newview_inner_inner(
+                    &dims,
+                    black_box(&mut parent),
+                    &mut scale_p,
+                    black_box(&left),
+                    &zeros,
+                    &pm_l,
+                    black_box(&right),
+                    &zeros,
+                    &pm_r,
+                )
+            });
+            push("newview_inner_inner", backend, n_patterns, ns);
+        }
+
+        let codes = TipCodes::from_alignment(&compress_patterns(&random_dna_alignment(n_patterns)));
+        let tdims = Dims {
+            n_patterns: codes.n_patterns(),
+            n_states: 4,
+            n_cats: 4,
+        };
+        let mut lut = Vec::new();
+        codes.build_lut(&pm_l, &mut lut);
+        let inner = vec![0.4f64; tdims.width()];
+        let tzeros = vec![0u32; tdims.n_patterns];
+        let mut tparent = vec![0.0f64; tdims.width()];
+        let mut tscale = vec![0u32; tdims.n_patterns];
+        for backend in backends_for(&tdims, only) {
+            let ns = time_ns(quick, || {
+                backend.newview_tip_inner(
+                    &tdims,
+                    black_box(&mut tparent),
+                    &mut tscale,
+                    &lut,
+                    codes.tip(0),
+                    black_box(&inner),
+                    &tzeros,
+                    &pm_r,
+                )
+            });
+            push("newview_tip_inner", backend, tdims.n_patterns, ns);
+        }
+    }
+
+    let n_patterns = 5000usize;
+    let (dims, pm_l, _pm_r, model, gamma) = dna_setup(n_patterns);
+    let eigen = model.eigen();
+    let p = vec![0.4f64; dims.width()];
+    let q = vec![0.3f64; dims.width()];
+    let zeros = vec![0u32; dims.n_patterns];
+    let weights = vec![1u32; dims.n_patterns];
+    let mut site_out = vec![0.0f64; dims.n_patterns];
+    for backend in backends_for(&dims, only) {
+        let ns = time_ns(quick, || {
+            backend.evaluate_inner_inner_sites(
+                &dims,
+                black_box(&p),
+                &zeros,
+                black_box(&q),
+                &zeros,
+                &pm_l,
+                model.freqs(),
+                &weights,
+                &mut site_out,
+            )
+        });
+        push("evaluate_inner_inner", backend, n_patterns, ns);
+    }
+
+    let mut sumtable = Vec::new();
+    build_sumtable(
+        &dims,
+        SumSide::Inner(&p),
+        SumSide::Inner(&q),
+        &eigen,
+        model.freqs(),
+        &mut sumtable,
+    );
+    let (mut out_l, mut out_d1, mut out_d2) = (
+        vec![0.0f64; dims.n_patterns],
+        vec![0.0f64; dims.n_patterns],
+        vec![0.0f64; dims.n_patterns],
+    );
+    for backend in backends_for(&dims, only) {
+        let ns = time_ns(quick, || {
+            backend.nr_derivatives_sites(
+                &dims,
+                black_box(&sumtable),
+                &weights,
+                &zeros,
+                eigen.values(),
+                gamma.rates(),
+                black_box(0.17),
+                &mut out_l,
+                &mut out_d1,
+                &mut out_d2,
+            )
+        });
+        push("nr_derivatives", backend, n_patterns, ns);
+    }
+
+    results
+}
+
+fn speedups(results: &[BenchResult]) -> Vec<Speedup> {
+    let mut out = Vec::new();
+    for r in results {
+        if r.backend == "scalar" {
+            continue;
+        }
+        if let Some(base) = results
+            .iter()
+            .find(|b| b.backend == "scalar" && b.group == r.group && b.n_patterns == r.n_patterns)
+        {
+            out.push(Speedup {
+                group: r.group.clone(),
+                n_patterns: r.n_patterns,
+                backend: r.backend.clone(),
+                vs_scalar: base.ns_per_iter / r.ns_per_iter,
+            });
+        }
+    }
+    out
+}
+
+/// Validate an existing baseline file against the expected schema.
+///
+/// Textual (substring-based) rather than a full JSON parse: the harness
+/// deliberately avoids a JSON-parsing dependency, and every field the
+/// writer emits has a fixed `"key":` spelling to look for.
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    // Normalise away whitespace so compact and pretty JSON both match.
+    let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+    let require = |needle: &str| -> Result<(), String> {
+        if compact.contains(needle) {
+            Ok(())
+        } else {
+            Err(format!("{path}: missing {needle:?}"))
+        }
+    };
+    require(&format!("\"schema\":\"{SCHEMA}\""))?;
+    for key in [
+        "\"detected_backend\":",
+        "\"results\":",
+        "\"speedups\":",
+        "\"group\":",
+        "\"backend\":",
+        "\"n_patterns\":",
+        "\"ns_per_iter\":",
+        "\"patterns_per_sec\":",
+        "\"vs_scalar\":",
+    ] {
+        require(key)?;
+    }
+    for group in [
+        "newview_inner_inner",
+        "newview_tip_inner",
+        "evaluate_inner_inner",
+        "nr_derivatives",
+    ] {
+        require(&format!("\"group\":\"{group}\""))?;
+    }
+    let n_results = compact.matches("\"ns_per_iter\":").count();
+    println!("{path}: ok ({n_results} results, schema {SCHEMA})");
+    Ok(())
+}
+
+fn main() {
+    let args = Args::parse();
+    let out = args.string("out", "BENCH_kernels.json");
+    if args.flag("check") {
+        if let Err(e) = check(&out) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let quick = args.flag("quick");
+    let only = {
+        let name = args.string("kernel", "");
+        if name.is_empty() {
+            None
+        } else {
+            match name.parse::<KernelBackend>() {
+                Ok(k) => Some(k),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — baseline numbers will be meaningless");
+    }
+
+    let results = run(quick, only);
+    let speed = speedups(&results);
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.group.clone(),
+                r.backend.clone(),
+                r.n_patterns.to_string(),
+                format!("{:.0}", r.ns_per_iter),
+                format!("{:.2}", r.patterns_per_sec / 1e6),
+            ]
+        })
+        .collect();
+    print_table(
+        &["group", "backend", "patterns", "ns/iter", "Mpatterns/s"],
+        &rows,
+    );
+    if !speed.is_empty() {
+        println!();
+        let rows: Vec<Vec<String>> = speed
+            .iter()
+            .map(|s| {
+                vec![
+                    s.group.clone(),
+                    s.backend.clone(),
+                    s.n_patterns.to_string(),
+                    format!("{:.2}x", s.vs_scalar),
+                ]
+            })
+            .collect();
+        print_table(&["group", "backend", "patterns", "vs scalar"], &rows);
+    }
+
+    write_json(
+        &out,
+        &Baseline {
+            schema: SCHEMA,
+            detected_backend: KernelBackend::detect().name().to_owned(),
+            results,
+            speedups: speed,
+        },
+    );
+}

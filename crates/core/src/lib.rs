@@ -39,6 +39,7 @@
 //!   histograms, tracing spans with an injectable clock, and a lossless
 //!   JSONL event stream, threaded through every layer that touches bytes.
 
+pub mod aligned;
 pub mod diskmodel;
 pub mod error;
 pub mod fault;
@@ -53,6 +54,7 @@ pub mod store;
 pub mod strategy;
 pub mod tiered;
 
+pub use aligned::{AlignedBuf, APV_ALIGN};
 pub use diskmodel::{DiskModel, ModeledStore};
 pub use error::{OocError, OocOp, OocResult};
 pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats};

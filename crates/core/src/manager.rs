@@ -8,6 +8,7 @@
 //! likelihood combine, read skipping for write-only first accesses, and
 //! statistics collection.
 
+use crate::aligned::AlignedBuf;
 use crate::error::{OocError, OocOp, OocResult};
 use crate::obs::{Recorder, StallKind};
 use crate::plan::{AccessPlan, AccessRecord, PlanCursor};
@@ -226,7 +227,9 @@ impl OocConfigBuilder {
 /// Out-of-core vector manager over a backing store `S`.
 pub struct VectorManager<S: BackingStore> {
     cfg: OocConfig,
-    slots: Vec<Box<[f64]>>,
+    /// Slot arena: every buffer is 64-byte aligned ([`crate::aligned`]) so
+    /// the SIMD kernels' site strides never straddle cache lines.
+    slots: Vec<AlignedBuf>,
     slot_item: Vec<Option<ItemId>>,
     pinned: Vec<bool>,
     dirty: Vec<bool>,
@@ -271,7 +274,7 @@ impl<S: BackingStore> VectorManager<S> {
         assert!(cfg.width > 0 && cfg.n_items > 0);
         VectorManager {
             slots: (0..cfg.n_slots)
-                .map(|_| vec![0.0; cfg.width].into_boxed_slice())
+                .map(|_| AlignedBuf::zeroed(cfg.width))
                 .collect(),
             slot_item: vec![None; cfg.n_slots],
             pinned: vec![false; cfg.n_slots],

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 struct Staging {
-    cache: std::collections::HashMap<ItemId, Box<[f64]>>,
+    cache: std::collections::HashMap<ItemId, crate::aligned::AlignedBuf>,
     /// Bumped on every write to the item; a prefetch result is only
     /// accepted if the version it started from is still current.
     versions: Vec<u64>,
@@ -151,7 +151,8 @@ impl<S: BackingStore> PrefetchingStore<S> {
                         }
                         let mut st = staging.lock();
                         if st.generation == generation && st.versions[item as usize] == version {
-                            st.cache.insert(item, buf.clone().into_boxed_slice());
+                            st.cache
+                                .insert(item, crate::aligned::AlignedBuf::from_slice(&buf));
                             stats.prefetched.fetch_add(1, Ordering::Relaxed);
                         } else {
                             stats.discarded.fetch_add(1, Ordering::Relaxed);

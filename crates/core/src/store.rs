@@ -5,6 +5,7 @@
 //! 8 KiB hardware block granularity, so every transfer is one large
 //! contiguous positioned I/O — exactly the amortisation argument of §3.1.
 
+use crate::aligned::AlignedBuf;
 use crate::manager::ItemId;
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -55,13 +56,14 @@ pub trait BackingStore {
     }
 }
 
-/// In-memory store: one optional boxed buffer per item. Used to measure
+/// In-memory store: one optional buffer per item (64-byte aligned like
+/// every other APV buffer, see [`crate::aligned`]). Used to measure
 /// pure access-pattern statistics (miss rates are I/O-independent) and as
 /// the reference implementation in tests.
 #[derive(Debug)]
 pub struct MemStore {
     width: usize,
-    items: Vec<Option<Box<[f64]>>>,
+    items: Vec<Option<AlignedBuf>>,
 }
 
 impl MemStore {
@@ -98,7 +100,7 @@ impl BackingStore for MemStore {
         debug_assert_eq!(buf.len(), self.width);
         match &mut self.items[item as usize] {
             Some(data) => data.copy_from_slice(buf),
-            slot @ None => *slot = Some(buf.to_vec().into_boxed_slice()),
+            slot @ None => *slot = Some(AlignedBuf::from_slice(buf)),
         }
         Ok(())
     }

@@ -9,11 +9,27 @@ use crate::eigen::EigenDecomp;
 use crate::gamma::DiscreteGamma;
 
 /// Transition matrices for one branch across all rate categories.
+///
+/// Two layouts are maintained in lockstep by [`PMatrices::update`]:
+///
+/// * the **row-major** layout ([`PMatrices::cat`]), `P[c](x, y)` at
+///   `c·n² + x·n + y` — what the scalar kernels index;
+/// * the **transposed** layout ([`PMatrices::cat_t`]), the same matrix
+///   stored column-major (`P[c](x, y)` at `c·n² + y·n + x`), so for a
+///   fixed destination state `y` the column `P[c](·, y)` is one contiguous
+///   `n_states`-vector. The SIMD kernels compute `Σ_y P(x, y)·v[y]`
+///   for all `x` at once as `Σ_y v[y] · column_y` — a broadcast-FMA
+///   stream over contiguous loads instead of `n_states` strided row dots.
+///
+/// Both views are refreshed once per branch-length update, off the
+/// per-pattern hot path.
 #[derive(Debug, Clone)]
 pub struct PMatrices {
     n_states: usize,
     n_cats: usize,
     data: Vec<f64>,
+    /// Transposed copy of `data` (per category), rebuilt by `update`.
+    data_t: Vec<f64>,
 }
 
 impl PMatrices {
@@ -24,16 +40,28 @@ impl PMatrices {
             n_states,
             n_cats,
             data: vec![0.0; n_states * n_states * n_cats],
+            data_t: vec![0.0; n_states * n_states * n_cats],
         }
     }
 
-    /// Recompute all category matrices for branch length `t`.
+    /// Recompute all category matrices for branch length `t` (both the
+    /// row-major and the transposed view).
     pub fn update(&mut self, eigen: &EigenDecomp, gamma: &DiscreteGamma, t: f64) {
         assert_eq!(eigen.n_states(), self.n_states);
         assert_eq!(gamma.n_cats(), self.n_cats);
-        let nn = self.n_states * self.n_states;
+        let ns = self.n_states;
+        let nn = ns * ns;
         for (c, &rate) in gamma.rates().iter().enumerate() {
             eigen.transition_matrix(t, rate, &mut self.data[c * nn..(c + 1) * nn]);
+            let (p, pt) = (
+                &self.data[c * nn..(c + 1) * nn],
+                &mut self.data_t[c * nn..(c + 1) * nn],
+            );
+            for x in 0..ns {
+                for y in 0..ns {
+                    pt[y * ns + x] = p[x * ns + y];
+                }
+            }
         }
     }
 
@@ -42,6 +70,15 @@ impl PMatrices {
     pub fn cat(&self, c: usize) -> &[f64] {
         let nn = self.n_states * self.n_states;
         &self.data[c * nn..(c + 1) * nn]
+    }
+
+    /// Transposed (column-major) matrix for category `c`: entry
+    /// `P[c](from, to)` lives at index `to · n_states + from`, so each
+    /// destination state's column is contiguous.
+    #[inline]
+    pub fn cat_t(&self, c: usize) -> &[f64] {
+        let nn = self.n_states * self.n_states;
+        &self.data_t[c * nn..(c + 1) * nn]
     }
 
     /// `P[c](from, to)`.
@@ -95,6 +132,28 @@ mod tests {
             for (a, b) in pm.cat(c).iter().zip(direct.iter()) {
                 assert!((a - b).abs() < 1e-15);
             }
+        }
+    }
+
+    #[test]
+    fn transposed_view_matches_row_major() {
+        let model = ReversibleModel::hky85(1.8, &[0.27, 0.23, 0.21, 0.29]);
+        let eigen = model.eigen();
+        let gamma = DiscreteGamma::new(0.6, 4);
+        let mut pm = PMatrices::new(4, 4);
+        pm.update(&eigen, &gamma, 0.33);
+        for c in 0..4 {
+            let (p, pt) = (pm.cat(c), pm.cat_t(c));
+            for x in 0..4 {
+                for y in 0..4 {
+                    assert_eq!(p[x * 4 + y], pt[y * 4 + x], "c={c} x={x} y={y}");
+                }
+            }
+        }
+        // The transpose follows updates.
+        pm.update(&eigen, &gamma, 0.71);
+        for c in 0..4 {
+            assert_eq!(pm.cat(c)[6], pm.cat_t(c)[9], "P(1,2) vs Pt(2,1)");
         }
     }
 

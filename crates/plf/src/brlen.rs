@@ -7,7 +7,7 @@
 //! either end of the branch) are required in this phase which accounts for
 //! approximately 20-30% of overall execution time."
 
-use crate::kernels::derivatives::{build_sumtable, nr_derivatives, nr_derivatives_sites, SumSide};
+use crate::kernels::derivatives::{build_sumtable, SumSide};
 use crate::store_api::{AncestralStore, VectorSession};
 use crate::PlfEngine;
 use ooc_core::{AccessRecord, OocResult};
@@ -177,17 +177,20 @@ impl<S: AncestralStore> PlfEngine<S> {
         result
     }
 
-    /// `(lnL, d1, d2)` of the prepared branch at length `z`.
-    fn branch_derivatives(&self, z: f64) -> (f64, f64, f64) {
-        nr_derivatives(
-            &self.dims,
-            &self.sumtable,
-            &self.weights,
-            &self.scale_sums,
-            self.plf_model.eigen.values(),
-            self.plf_model.gamma.rates(),
-            z,
-        )
+    /// `(lnL, d1, d2)` of the prepared branch at length `z`. Uses the
+    /// engine's reusable per-pattern term buffers — a Newton iteration
+    /// performs no allocation.
+    fn branch_derivatives(&mut self, z: f64) -> (f64, f64, f64) {
+        let mut out_l = std::mem::take(&mut self.nr_l);
+        let mut out_d1 = std::mem::take(&mut self.nr_d1);
+        let mut out_d2 = std::mem::take(&mut self.nr_d2);
+        self.branch_derivatives_sites(z, &mut out_l, &mut out_d1, &mut out_d2);
+        let fold = |b: &[f64]| b.iter().fold(0.0, |acc, &t| acc + t);
+        let result = (fold(&out_l), fold(&out_d1), fold(&out_d2));
+        self.nr_l = out_l;
+        self.nr_d1 = out_d1;
+        self.nr_d2 = out_d2;
+        result
     }
 
     /// Per-pattern `(lnL, d1, d2)` terms of the prepared branch at length
@@ -199,7 +202,7 @@ impl<S: AncestralStore> PlfEngine<S> {
         out_d1: &mut [f64],
         out_d2: &mut [f64],
     ) {
-        nr_derivatives_sites(
+        self.kernel.nr_derivatives_sites(
             &self.dims,
             &self.sumtable,
             &self.weights,

@@ -21,6 +21,19 @@ pub struct TipCodes {
     tip_patterns: Vec<Vec<u16>>,
 }
 
+/// Size a reusable lut buffer for `n` entries *without* zero-scrubbing
+/// when the length already matches. Callers overwrite every entry, and
+/// these tables are rebuilt once per branch-length update — the
+/// unconditional `clear` + `resize` memset was pure allocator/memory
+/// churn on the branch-update path. Only valid for builders that assign
+/// (not accumulate into) every slot.
+fn size_for_overwrite(lut: &mut Vec<f64>, n: usize) {
+    if lut.len() != n {
+        lut.clear();
+        lut.resize(n, 0.0);
+    }
+}
+
 impl TipCodes {
     /// Build the code table from a compressed alignment.
     pub fn from_alignment(comp: &CompressedAlignment) -> Self {
@@ -99,8 +112,7 @@ impl TipCodes {
     pub fn build_lut(&self, pm: &PMatrices, lut: &mut Vec<f64>) {
         let ns = self.n_states;
         let nc = pm.n_cats();
-        lut.clear();
-        lut.resize(self.codes.len() * nc * ns, 0.0);
+        size_for_overwrite(lut, self.codes.len() * nc * ns);
         for (ci, &mask) in self.codes.iter().enumerate() {
             for c in 0..nc {
                 let p = pm.cat(c);
@@ -157,8 +169,7 @@ impl TipCodes {
         let ns = self.n_states;
         let nc = gamma.n_cats();
         let v_inv = eigen.v_inv();
-        lut.clear();
-        lut.resize(self.codes.len() * nc * ns, 0.0);
+        size_for_overwrite(lut, self.codes.len() * nc * ns);
         for (ci, &mask) in self.codes.iter().enumerate() {
             let base = ci * nc * ns;
             for k in 0..ns {
@@ -190,8 +201,7 @@ impl TipCodes {
         let ns = self.n_states;
         let nc = gamma.n_cats();
         let v = eigen.v();
-        lut.clear();
-        lut.resize(self.codes.len() * nc * ns, 0.0);
+        size_for_overwrite(lut, self.codes.len() * nc * ns);
         for (ci, &mask) in self.codes.iter().enumerate() {
             let base = ci * nc * ns;
             for k in 0..ns {

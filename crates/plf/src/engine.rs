@@ -2,11 +2,8 @@
 //! operations.
 
 use crate::encode::TipCodes;
-use crate::kernels::evaluate::{
-    evaluate_inner_inner_sites, evaluate_tip_inner_sites, reduce_site_lnl,
-};
-use crate::kernels::newview::{newview_inner_inner, newview_tip_inner, newview_tip_tip};
-use crate::kernels::Dims;
+use crate::kernels::evaluate::reduce_site_lnl;
+use crate::kernels::{Dims, KernelBackend};
 use crate::store_api::{AncestralStore, VectorSession};
 use ooc_core::{AccessRecord, OocResult, Recorder, StallKind};
 use phylo_models::{DiscreteGamma, EigenDecomp, PMatrices, ReversibleModel};
@@ -53,6 +50,9 @@ pub struct PlfEngine<S: AncestralStore> {
     pub(crate) weights: Vec<u32>,
     pub(crate) store: S,
     pub(crate) orient: Orientation,
+    /// Kernel backend selected once at construction (env override, then
+    /// CPU detection); every kernel invocation dispatches through it.
+    pub(crate) kernel: KernelBackend,
     /// Per inner node, per pattern scaling counts (always in RAM — the
     /// paper swaps only the probability vectors; these are 32× smaller).
     pub(crate) scale: Vec<Vec<u32>>,
@@ -63,6 +63,12 @@ pub struct PlfEngine<S: AncestralStore> {
     pub(crate) lut_r: Vec<f64>,
     pub(crate) sumtable: Vec<f64>,
     pub(crate) scale_sums: Vec<u32>,
+    // Newton-Raphson per-pattern term buffers, reused across every
+    // `branch_derivatives` call (each Newton iteration used to allocate
+    // three fresh Vecs — measurable churn during smoothing passes).
+    pub(crate) nr_l: Vec<f64>,
+    pub(crate) nr_d1: Vec<f64>,
+    pub(crate) nr_d2: Vec<f64>,
     /// Per-pattern weighted log-likelihood terms of the most recent root
     /// evaluation (what [`reduce_site_lnl`] folds). A sharded engine
     /// concatenates these across shards in shard order before reducing.
@@ -126,6 +132,7 @@ impl<S: AncestralStore> PlfEngine<S> {
         let n_inner = tree.n_inner();
         PlfEngine {
             orient: Orientation::new(n_inner),
+            kernel: KernelBackend::choose(),
             scale: vec![vec![0u32; dims.n_patterns]; n_inner],
             pm_l: PMatrices::new(dims.n_states, dims.n_cats),
             pm_r: PMatrices::new(dims.n_states, dims.n_cats),
@@ -133,6 +140,9 @@ impl<S: AncestralStore> PlfEngine<S> {
             lut_r: Vec::new(),
             sumtable: Vec::new(),
             scale_sums: vec![0u32; dims.n_patterns],
+            nr_l: vec![0.0; dims.n_patterns],
+            nr_d1: vec![0.0; dims.n_patterns],
+            nr_d2: vec![0.0; dims.n_patterns],
             site_lnl: vec![0.0; dims.n_patterns],
             weights,
             last_root: None,
@@ -169,6 +179,23 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// Vector dimensions in use.
     pub fn dims(&self) -> Dims {
         self.dims
+    }
+
+    /// The kernel backend this engine dispatches through (the *requested*
+    /// one; see [`KernelBackend::effective`] for what actually runs).
+    pub fn kernel(&self) -> KernelBackend {
+        self.kernel
+    }
+
+    /// Replace the kernel backend. All cached ancestral vectors are
+    /// invalidated: backends may differ in the last ulps (FMA
+    /// contraction), and mixing vectors computed under different backends
+    /// would break the engine's reproducibility guarantees.
+    pub fn set_kernel(&mut self, kernel: KernelBackend) {
+        if kernel != self.kernel {
+            self.kernel = kernel;
+            self.orient.invalidate_all();
+        }
     }
 
     /// The tree (read-only; use the engine's topology operations to mutate).
@@ -238,6 +265,7 @@ impl<S: AncestralStore> PlfEngine<S> {
         };
 
         let parent = step.parent;
+        let kernel = self.kernel;
         let mut scale_p = std::mem::take(&mut self.scale[parent as usize]);
         // Pins are listed in access order (reads, then the written parent),
         // matching the per-step record order of `TraversalPlan::lower`.
@@ -247,7 +275,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                 self.tips.build_lut(pm_r, &mut self.lut_r);
                 let mut sess = self.store.session(&[AccessRecord::write(parent)])?;
                 let (pv, _, _) = sess.rw(parent, None, None);
-                newview_tip_tip(
+                kernel.newview_tip_tip(
                     &dims,
                     pv,
                     &mut scale_p,
@@ -264,7 +292,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                     .store
                     .session(&[AccessRecord::read(r), AccessRecord::write(parent)])?;
                 let (pv, rv, _) = sess.rw(parent, Some(r), None);
-                newview_tip_inner(
+                kernel.newview_tip_inner(
                     &dims,
                     pv,
                     &mut scale_p,
@@ -283,7 +311,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                     AccessRecord::write(parent),
                 ])?;
                 let (pv, lv, rv) = sess.rw(parent, Some(l), Some(r));
-                newview_inner_inner(
+                kernel.newview_inner_inner(
                     &dims,
                     pv,
                     &mut scale_p,
@@ -333,6 +361,7 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// Fills `self.site_lnl` with per-pattern terms as a side effect.
     pub(crate) fn evaluate_plan(&mut self, plan: &TraversalPlan) -> OocResult<f64> {
         let dims = self.dims;
+        let kernel = self.kernel;
         self.pm_l
             .update(&self.plf_model.eigen, &self.plf_model.gamma, plan.root_len);
         let freqs = self.plf_model.model.freqs();
@@ -341,7 +370,7 @@ impl<S: AncestralStore> PlfEngine<S> {
                 let sess = self
                     .store
                     .session(&[AccessRecord::read(p), AccessRecord::read(q)])?;
-                evaluate_inner_inner_sites(
+                kernel.evaluate_inner_inner_sites(
                     &dims,
                     sess.read(p),
                     &self.scale[p as usize],
@@ -357,7 +386,7 @@ impl<S: AncestralStore> PlfEngine<S> {
             (ChildRef::Tip(t), ChildRef::Inner(q)) | (ChildRef::Inner(q), ChildRef::Tip(t)) => {
                 self.tips.build_root_lut(&self.pm_l, freqs, &mut self.lut_l);
                 let sess = self.store.session(&[AccessRecord::read(q)])?;
-                evaluate_tip_inner_sites(
+                kernel.evaluate_tip_inner_sites(
                     &dims,
                     &self.lut_l,
                     self.tips.tip(t as usize),

@@ -1,0 +1,644 @@
+//! AVX2+FMA kernels for the DNA/Γ4 case (site stride 16 = four `__m256d`).
+//!
+//! One `__m256d` holds exactly one rate category's four DNA states, so a
+//! site block is four vector registers. The mat-vec `Σ_y P(x,y)·v[y]` for
+//! all four `x` at once uses the **transposed** per-category matrices
+//! ([`phylo_models::PMatrices::cat_t`]): destination-state columns are
+//! contiguous, so the product is four broadcast-FMA steps over contiguous
+//! loads instead of four strided row dot products.
+//!
+//! Every function carrying `#[target_feature]` is `unsafe fn`; the only
+//! caller is [`super::backend::KernelBackend`], which re-checks
+//! `is_x86_feature_detected!` (cached by std in atomics, a load per call)
+//! before entering, and falls back to the scalar/unrolled path otherwise —
+//! forcing `Avx2Fma` on a machine without the features degrades safely
+//! instead of faulting.
+//!
+//! FMA contracts `a·b + c` into one rounding, so results differ from the
+//! scalar backend in the last ulps (equivalence tests use a 1e-13
+//! tolerance). The underflow-scaling *decision* compares a max-reduction
+//! against 2⁻²⁵⁶ — a threshold no real dataset straddles within ulps — so
+//! scale counts remain identical across backends.
+//!
+//! All loads/stores are unaligned (`loadu`/`storeu`): APV slot arenas are
+//! 64-byte aligned ([`ooc_core::AlignedBuf`]) and on current x86 an
+//! unaligned load instruction on an aligned address costs the same as an
+//! aligned one, while tip LUTs and test vectors make no alignment promise.
+
+#![allow(unsafe_code)]
+
+use super::Dims;
+use crate::scaling::{LOG_MINLIKELIHOOD, MINLIKELIHOOD, TWOTOTHE256};
+use core::arch::x86_64::*;
+use phylo_models::PMatrices;
+
+/// Site stride this module is specialized for.
+pub const STRIDE: usize = 16;
+
+/// Floor for per-site likelihoods before taking logs (same as the scalar
+/// evaluate kernel).
+const L_FLOOR: f64 = 1e-300;
+
+/// Are the required CPU features present on this machine? std caches the
+/// CPUID results, so calling this per kernel invocation is a few atomic
+/// loads.
+#[inline]
+pub fn available() -> bool {
+    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+}
+
+/// Horizontal max of the four lanes.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hmax(v: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd(v, 1);
+    let m = _mm_max_pd(lo, hi);
+    let h = _mm_unpackhi_pd(m, m);
+    _mm_cvtsd_f64(_mm_max_sd(m, h))
+}
+
+/// Horizontal sum of the four lanes.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum(v: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd(v, 1);
+    let s = _mm_add_pd(lo, hi);
+    let h = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, h))
+}
+
+/// Lane-wise |x| (clear the sign bit).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn vabs(v: __m256d) -> __m256d {
+    _mm256_and_pd(
+        v,
+        _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fff_ffff_ffff_ffff)),
+    )
+}
+
+/// Cold path: multiply the 16 already-stored entries at `p` by 2²⁵⁶.
+#[cold]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn rescale16(p: *mut f64) {
+    let s = _mm256_set1_pd(TWOTOTHE256);
+    for c in 0..4 {
+        let v = _mm256_loadu_pd(p.add(c * 4));
+        _mm256_storeu_pd(p.add(c * 4), _mm256_mul_pd(v, s));
+    }
+}
+
+/// Load the four transposed category matrices as destination-state
+/// columns: `cols[c][y]` is `P_c(·, y)`, one contiguous `__m256d`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn load_cols(pm: &PMatrices) -> [[__m256d; 4]; 4] {
+    let mut cols = [[_mm256_setzero_pd(); 4]; 4];
+    for (c, cat) in cols.iter_mut().enumerate() {
+        let pt = pm.cat_t(c).as_ptr();
+        for (y, col) in cat.iter_mut().enumerate() {
+            *col = _mm256_loadu_pd(pt.add(y * 4));
+        }
+    }
+    cols
+}
+
+/// `Σ_y v[y] · column_y` via broadcast-FMA: the four-row mat-vec in four
+/// instructions. `v` points at one category's four child entries.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn matvec(cols: &[__m256d; 4], v: *const f64) -> __m256d {
+    let mut acc = _mm256_mul_pd(cols[0], _mm256_set1_pd(*v));
+    acc = _mm256_fmadd_pd(cols[1], _mm256_set1_pd(*v.add(1)), acc);
+    acc = _mm256_fmadd_pd(cols[2], _mm256_set1_pd(*v.add(2)), acc);
+    _mm256_fmadd_pd(cols[3], _mm256_set1_pd(*v.add(3)), acc)
+}
+
+/// AVX2 `newview` for two tip children.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available (see [`available`]) and that
+/// the slices satisfy the scalar kernel's length contracts.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn newview_tip_tip(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_l: &[f64],
+    codes_l: &[u16],
+    lut_r: &[f64],
+    codes_r: &[u16],
+) {
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(scale_p.len(), dims.n_patterns);
+    debug_assert_eq!(lut_l.len() % STRIDE, 0);
+    debug_assert_eq!(lut_r.len() % STRIDE, 0);
+    let lutl = lut_l.as_ptr();
+    let lutr = lut_r.as_ptr();
+    let out0 = parent.as_mut_ptr();
+    for i in 0..dims.n_patterns {
+        let l = lutl.add(codes_l[i] as usize * STRIDE);
+        let r = lutr.add(codes_r[i] as usize * STRIDE);
+        let out = out0.add(i * STRIDE);
+        let mut vmax = _mm256_setzero_pd();
+        for c in 0..4 {
+            let v = _mm256_mul_pd(_mm256_loadu_pd(l.add(c * 4)), _mm256_loadu_pd(r.add(c * 4)));
+            _mm256_storeu_pd(out.add(c * 4), v);
+            vmax = _mm256_max_pd(vmax, vabs(v));
+        }
+        scale_p[i] = if hmax(vmax) < MINLIKELIHOOD {
+            rescale16(out);
+            1
+        } else {
+            0
+        };
+    }
+}
+
+/// AVX2 `newview` for one tip and one inner child.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available (see [`available`]) and that
+/// the slices satisfy the scalar kernel's length contracts.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn newview_tip_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_tip: &[f64],
+    codes_tip: &[u16],
+    inner: &[f64],
+    scale_inner: &[u32],
+    pm_inner: &PMatrices,
+) {
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(inner.len(), dims.width());
+    debug_assert_eq!(lut_tip.len() % STRIDE, 0);
+    let cols = load_cols(pm_inner);
+    let lut = lut_tip.as_ptr();
+    let child0 = inner.as_ptr();
+    let out0 = parent.as_mut_ptr();
+    for i in 0..dims.n_patterns {
+        let tip = lut.add(codes_tip[i] as usize * STRIDE);
+        let child = child0.add(i * STRIDE);
+        let out = out0.add(i * STRIDE);
+        let mut vmax = _mm256_setzero_pd();
+        for (c, col) in cols.iter().enumerate() {
+            let sum = matvec(col, child.add(c * 4));
+            let v = _mm256_mul_pd(_mm256_loadu_pd(tip.add(c * 4)), sum);
+            _mm256_storeu_pd(out.add(c * 4), v);
+            vmax = _mm256_max_pd(vmax, vabs(v));
+        }
+        let scaled = if hmax(vmax) < MINLIKELIHOOD {
+            rescale16(out);
+            1
+        } else {
+            0
+        };
+        scale_p[i] = scale_inner[i] + scaled;
+    }
+}
+
+/// AVX2 `newview` for two inner children.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available (see [`available`]) and that
+/// the slices satisfy the scalar kernel's length contracts.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn newview_inner_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    left: &[f64],
+    scale_l: &[u32],
+    pm_l: &PMatrices,
+    right: &[f64],
+    scale_r: &[u32],
+    pm_r: &PMatrices,
+) {
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(left.len(), dims.width());
+    debug_assert_eq!(right.len(), dims.width());
+    let cols_l = load_cols(pm_l);
+    let cols_r = load_cols(pm_r);
+    let l0 = left.as_ptr();
+    let r0 = right.as_ptr();
+    let out0 = parent.as_mut_ptr();
+    for i in 0..dims.n_patterns {
+        let lsite = l0.add(i * STRIDE);
+        let rsite = r0.add(i * STRIDE);
+        let out = out0.add(i * STRIDE);
+        let mut vmax = _mm256_setzero_pd();
+        for c in 0..4 {
+            let suml = matvec(&cols_l[c], lsite.add(c * 4));
+            let sumr = matvec(&cols_r[c], rsite.add(c * 4));
+            let v = _mm256_mul_pd(suml, sumr);
+            _mm256_storeu_pd(out.add(c * 4), v);
+            vmax = _mm256_max_pd(vmax, vabs(v));
+        }
+        let scaled = if hmax(vmax) < MINLIKELIHOOD {
+            rescale16(out);
+            1
+        } else {
+            0
+        };
+        scale_p[i] = scale_l[i] + scale_r[i] + scaled;
+    }
+}
+
+/// AVX2 root evaluation for two inner vectors.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available (see [`available`]) and that
+/// the slices satisfy the scalar kernel's length contracts.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn evaluate_inner_inner_sites(
+    dims: &Dims,
+    pvec: &[f64],
+    scale_p: &[u32],
+    qvec: &[f64],
+    scale_q: &[u32],
+    pm_root: &PMatrices,
+    freqs: &[f64],
+    weights: &[u32],
+    site_out: &mut [f64],
+) {
+    debug_assert_eq!(pvec.len(), dims.width());
+    debug_assert_eq!(qvec.len(), dims.width());
+    debug_assert_eq!(freqs.len(), 4);
+    let cols = load_cols(pm_root);
+    let freqs_v = _mm256_loadu_pd(freqs.as_ptr());
+    let cat_w = 0.25;
+    let p0 = pvec.as_ptr();
+    let q0 = qvec.as_ptr();
+    for i in 0..dims.n_patterns {
+        let psite = p0.add(i * STRIDE);
+        let qsite = q0.add(i * STRIDE);
+        let mut site_l = 0.0;
+        for (c, col) in cols.iter().enumerate() {
+            let dot = matvec(col, qsite.add(c * 4));
+            let pc = _mm256_loadu_pd(psite.add(c * 4));
+            let term = _mm256_mul_pd(_mm256_mul_pd(freqs_v, pc), dot);
+            site_l += cat_w * hsum(term);
+        }
+        let scale = (scale_p[i] + scale_q[i]) as f64;
+        site_out[i] = weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale * LOG_MINLIKELIHOOD);
+    }
+}
+
+/// AVX2 root evaluation against a tip (root-LUT dot product).
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available (see [`available`]) and that
+/// the slices satisfy the scalar kernel's length contracts.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn evaluate_tip_inner_sites(
+    dims: &Dims,
+    root_lut: &[f64],
+    codes_tip: &[u16],
+    qvec: &[f64],
+    scale_q: &[u32],
+    weights: &[u32],
+    site_out: &mut [f64],
+) {
+    debug_assert_eq!(qvec.len(), dims.width());
+    debug_assert_eq!(root_lut.len() % STRIDE, 0);
+    let cat_w = 0.25;
+    let lut0 = root_lut.as_ptr();
+    let q0 = qvec.as_ptr();
+    for i in 0..dims.n_patterns {
+        let lut = lut0.add(codes_tip[i] as usize * STRIDE);
+        let qsite = q0.add(i * STRIDE);
+        let mut acc = _mm256_mul_pd(_mm256_loadu_pd(lut), _mm256_loadu_pd(qsite));
+        for c in 1..4 {
+            acc = _mm256_fmadd_pd(
+                _mm256_loadu_pd(lut.add(c * 4)),
+                _mm256_loadu_pd(qsite.add(c * 4)),
+                acc,
+            );
+        }
+        let site_l = cat_w * hsum(acc);
+        site_out[i] =
+            weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale_q[i] as f64 * LOG_MINLIKELIHOOD);
+    }
+}
+
+/// AVX2 Newton-Raphson derivative site loop over a sumtable.
+///
+/// # Safety
+/// Caller must ensure AVX2+FMA are available (see [`available`]) and that
+/// the slices satisfy the scalar kernel's length contracts.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn nr_derivatives_sites(
+    dims: &Dims,
+    sumtable: &[f64],
+    weights: &[u32],
+    scale_sums: &[u32],
+    eigenvalues: &[f64],
+    rates: &[f64],
+    z: f64,
+    out_l: &mut [f64],
+    out_d1: &mut [f64],
+    out_d2: &mut [f64],
+) {
+    debug_assert_eq!(sumtable.len(), dims.width());
+    let cat_w = 0.25;
+    let mut e0 = [0.0f64; STRIDE];
+    let mut e1 = [0.0f64; STRIDE];
+    let mut e2 = [0.0f64; STRIDE];
+    for c in 0..4 {
+        for k in 0..4 {
+            let lr = eigenvalues[k] * rates[c];
+            let ex = (lr * z).exp();
+            e0[c * 4 + k] = ex;
+            e1[c * 4 + k] = lr * ex;
+            e2[c * 4 + k] = lr * lr * ex;
+        }
+    }
+    let mut ev0 = [_mm256_setzero_pd(); 4];
+    let mut ev1 = [_mm256_setzero_pd(); 4];
+    let mut ev2 = [_mm256_setzero_pd(); 4];
+    for c in 0..4 {
+        ev0[c] = _mm256_loadu_pd(e0.as_ptr().add(c * 4));
+        ev1[c] = _mm256_loadu_pd(e1.as_ptr().add(c * 4));
+        ev2[c] = _mm256_loadu_pd(e2.as_ptr().add(c * 4));
+    }
+    let s0 = sumtable.as_ptr();
+    for i in 0..dims.n_patterns {
+        let site = s0.add(i * STRIDE);
+        let mut al = _mm256_setzero_pd();
+        let mut a1 = _mm256_setzero_pd();
+        let mut a2 = _mm256_setzero_pd();
+        for c in 0..4 {
+            let sv = _mm256_loadu_pd(site.add(c * 4));
+            al = _mm256_fmadd_pd(sv, ev0[c], al);
+            a1 = _mm256_fmadd_pd(sv, ev1[c], a1);
+            a2 = _mm256_fmadd_pd(sv, ev2[c], a2);
+        }
+        let l = cat_w * hsum(al);
+        let lp = cat_w * hsum(a1);
+        let lpp = cat_w * hsum(a2);
+        let l_safe = l.max(L_FLOOR);
+        let w = weights[i] as f64;
+        out_l[i] = w * (l_safe.ln() + scale_sums[i] as f64 * LOG_MINLIKELIHOOD);
+        out_d1[i] = w * (lp / l_safe);
+        out_d2[i] = w * ((lpp * l_safe - lp * lp) / (l_safe * l_safe));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::random_vector;
+    use super::super::{derivatives, evaluate, newview};
+    use super::*;
+    use crate::encode::TipCodes;
+    use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_seq::{compress_patterns, Alignment, Alphabet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        Dims,
+        TipCodes,
+        PMatrices,
+        PMatrices,
+        ReversibleModel,
+        DiscreteGamma,
+    ) {
+        let aln = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ACGTNACGTRYAGG".into()),
+                ("b".into(), "ACGARGTTACGTCA".into()),
+            ],
+        )
+        .unwrap();
+        let comp = compress_patterns(&aln);
+        let codes = TipCodes::from_alignment(&comp);
+        let model =
+            ReversibleModel::gtr(&[1.3, 2.8, 0.7, 1.1, 3.5, 1.0], &[0.31, 0.19, 0.23, 0.27]);
+        let gamma = DiscreteGamma::new(0.6, 4);
+        let eigen = model.eigen();
+        let mut pm_l = PMatrices::new(4, 4);
+        let mut pm_r = PMatrices::new(4, 4);
+        pm_l.update(&eigen, &gamma, 0.17);
+        pm_r.update(&eigen, &gamma, 0.42);
+        let dims = Dims {
+            n_patterns: comp.n_patterns(),
+            n_states: 4,
+            n_cats: 4,
+        };
+        (dims, codes, pm_l, pm_r, model, gamma)
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-13 * a.abs().max(b.abs()).max(1.0)
+    }
+
+    #[test]
+    fn newview_matches_scalar_within_ulps() {
+        if !available() {
+            eprintln!("skipping: avx2+fma not available");
+            return;
+        }
+        let (dims, codes, pm_l, pm_r, _m, _g) = setup();
+        let (mut lut_l, mut lut_r) = (Vec::new(), Vec::new());
+        codes.build_lut(&pm_l, &mut lut_l);
+        codes.build_lut(&pm_r, &mut lut_r);
+        let mut rng = StdRng::seed_from_u64(61);
+
+        // tip/tip
+        let mut p_s = vec![0.0; dims.width()];
+        let mut sc_s = vec![0u32; dims.n_patterns];
+        let mut p_v = vec![0.0; dims.width()];
+        let mut sc_v = vec![0u32; dims.n_patterns];
+        newview::newview_tip_tip(
+            &dims,
+            &mut p_s,
+            &mut sc_s,
+            &lut_l,
+            codes.tip(0),
+            &lut_r,
+            codes.tip(1),
+        );
+        unsafe {
+            newview_tip_tip(
+                &dims,
+                &mut p_v,
+                &mut sc_v,
+                &lut_l,
+                codes.tip(0),
+                &lut_r,
+                codes.tip(1),
+            );
+        }
+        assert!(p_s.iter().zip(&p_v).all(|(a, b)| close(*a, *b)));
+        assert_eq!(sc_s, sc_v);
+
+        // tip/inner
+        let inner = random_vector(&dims, &mut rng);
+        let sc_in = vec![1u32; dims.n_patterns];
+        newview::newview_tip_inner(
+            &dims,
+            &mut p_s,
+            &mut sc_s,
+            &lut_l,
+            codes.tip(0),
+            &inner,
+            &sc_in,
+            &pm_r,
+        );
+        unsafe {
+            newview_tip_inner(
+                &dims,
+                &mut p_v,
+                &mut sc_v,
+                &lut_l,
+                codes.tip(0),
+                &inner,
+                &sc_in,
+                &pm_r,
+            );
+        }
+        assert!(p_s.iter().zip(&p_v).all(|(a, b)| close(*a, *b)));
+        assert_eq!(sc_s, sc_v);
+
+        // inner/inner, normal and underflowing magnitudes
+        for magnitude in [1.0, 1e-100] {
+            let left: Vec<f64> = random_vector(&dims, &mut rng)
+                .iter()
+                .map(|x| x * magnitude)
+                .collect();
+            let right: Vec<f64> = random_vector(&dims, &mut rng)
+                .iter()
+                .map(|x| x * magnitude)
+                .collect();
+            let sl = vec![1u32; dims.n_patterns];
+            let sr = vec![2u32; dims.n_patterns];
+            newview::newview_inner_inner(
+                &dims, &mut p_s, &mut sc_s, &left, &sl, &pm_l, &right, &sr, &pm_r,
+            );
+            unsafe {
+                newview_inner_inner(
+                    &dims, &mut p_v, &mut sc_v, &left, &sl, &pm_l, &right, &sr, &pm_r,
+                );
+            }
+            assert!(
+                p_s.iter().zip(&p_v).all(|(a, b)| close(*a, *b)),
+                "magnitude {magnitude}"
+            );
+            assert_eq!(sc_s, sc_v, "magnitude {magnitude}");
+        }
+    }
+
+    #[test]
+    fn evaluate_and_derivatives_match_scalar_within_ulps() {
+        if !available() {
+            eprintln!("skipping: avx2+fma not available");
+            return;
+        }
+        let (dims, codes, pm_l, _pm_r, model, gamma) = setup();
+        let eigen = model.eigen();
+        let mut rng = StdRng::seed_from_u64(67);
+        let p = random_vector(&dims, &mut rng);
+        let q = random_vector(&dims, &mut rng);
+        let scale_p = vec![1u32; dims.n_patterns];
+        let scale_q = vec![0u32; dims.n_patterns];
+        let w = vec![2u32; dims.n_patterns];
+        let n = dims.n_patterns;
+
+        let mut s_ref = vec![0.0; n];
+        let mut s_got = vec![0.0; n];
+        evaluate::evaluate_inner_inner_sites(
+            &dims,
+            &p,
+            &scale_p,
+            &q,
+            &scale_q,
+            &pm_l,
+            model.freqs(),
+            &w,
+            &mut s_ref,
+        );
+        unsafe {
+            evaluate_inner_inner_sites(
+                &dims,
+                &p,
+                &scale_p,
+                &q,
+                &scale_q,
+                &pm_l,
+                model.freqs(),
+                &w,
+                &mut s_got,
+            );
+        }
+        assert!(s_ref.iter().zip(&s_got).all(|(a, b)| close(*a, *b)));
+
+        let mut rlut = Vec::new();
+        codes.build_root_lut(&pm_l, model.freqs(), &mut rlut);
+        evaluate::evaluate_tip_inner_sites(
+            &dims,
+            &rlut,
+            codes.tip(0),
+            &q,
+            &scale_q,
+            &w,
+            &mut s_ref,
+        );
+        unsafe {
+            evaluate_tip_inner_sites(&dims, &rlut, codes.tip(0), &q, &scale_q, &w, &mut s_got);
+        }
+        assert!(s_ref.iter().zip(&s_got).all(|(a, b)| close(*a, *b)));
+
+        let mut sumtable = Vec::new();
+        derivatives::build_sumtable(
+            &dims,
+            derivatives::SumSide::Inner(&p),
+            derivatives::SumSide::Inner(&q),
+            &eigen,
+            model.freqs(),
+            &mut sumtable,
+        );
+        let ss = vec![1u32; n];
+        let (mut l_a, mut d1_a, mut d2_a) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let (mut l_b, mut d1_b, mut d2_b) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        derivatives::nr_derivatives_sites(
+            &dims,
+            &sumtable,
+            &w,
+            &ss,
+            eigen.values(),
+            gamma.rates(),
+            0.23,
+            &mut l_a,
+            &mut d1_a,
+            &mut d2_a,
+        );
+        unsafe {
+            nr_derivatives_sites(
+                &dims,
+                &sumtable,
+                &w,
+                &ss,
+                eigen.values(),
+                gamma.rates(),
+                0.23,
+                &mut l_b,
+                &mut d1_b,
+                &mut d2_b,
+            );
+        }
+        for ((a, b), (c, d)) in l_a.iter().zip(&l_b).zip(d1_a.iter().zip(&d1_b)) {
+            assert!(close(*a, *b));
+            assert!(close(*c, *d));
+        }
+        assert!(d2_a.iter().zip(&d2_b).all(|(a, b)| close(*a, *b)));
+    }
+}

@@ -1,0 +1,520 @@
+//! Runtime-dispatched kernel backends.
+//!
+//! A [`KernelBackend`] is chosen **once** at engine construction —
+//! [`KernelBackend::choose`] consults the `OOC_PLF_KERNEL` environment
+//! variable, then CPU feature detection — and every kernel invocation
+//! dispatches through it. Dispatch is a per-call (whole-vector, not
+//! per-site) match, so its cost is noise.
+//!
+//! The selected backend is a *request*, not a guarantee: each dispatch
+//! resolves it against the actual dimensions and (for AVX2) the actual CPU
+//! via [`KernelBackend::effective`], degrading to the next backend down
+//! whenever the specialization does not apply. Forcing `avx2` on a machine
+//! without the features, or running a 20-state protein model under
+//! `dna4`, is therefore safe — it silently runs the widest applicable
+//! kernel rather than faulting or producing garbage.
+
+use super::{derivatives, dna4, evaluate, newview, Dims};
+use phylo_models::PMatrices;
+
+#[cfg(target_arch = "x86_64")]
+use super::avx2;
+
+/// Environment variable overriding backend auto-detection
+/// (`scalar` | `dna4` | `avx2`; empty or unset means auto).
+pub const KERNEL_ENV_VAR: &str = "OOC_PLF_KERNEL";
+
+/// Which kernel implementation an engine executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Generic triple-loop kernels, any `n_states`/`n_cats`. The reference
+    /// implementation every other backend is validated against.
+    Scalar,
+    /// Fully unrolled DNA/Γ4 (stride-16) kernels; bit-identical to
+    /// `Scalar` (same floating-point evaluation order).
+    Dna4Unrolled,
+    /// AVX2+FMA DNA/Γ4 kernels over transposed transition matrices;
+    /// last-ulp differences from FMA contraction, identical scale counts.
+    Avx2Fma,
+}
+
+impl KernelBackend {
+    /// All backends, in increasing specialization order.
+    pub const ALL: [KernelBackend; 3] = [
+        KernelBackend::Scalar,
+        KernelBackend::Dna4Unrolled,
+        KernelBackend::Avx2Fma,
+    ];
+
+    /// Canonical name, accepted by [`KernelBackend::from_name`] and
+    /// `OOC_PLF_KERNEL`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Dna4Unrolled => "dna4",
+            KernelBackend::Avx2Fma => "avx2",
+        }
+    }
+
+    /// Parse a backend name (case-insensitive; a few aliases accepted).
+    pub fn from_name(s: &str) -> Option<KernelBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "dna4" | "dna4unrolled" | "dna4-unrolled" | "unrolled" => {
+                Some(KernelBackend::Dna4Unrolled)
+            }
+            "avx2" | "avx2fma" | "avx2-fma" | "simd" => Some(KernelBackend::Avx2Fma),
+            _ => None,
+        }
+    }
+
+    /// Read the `OOC_PLF_KERNEL` override. Unset or empty means "no
+    /// override"; anything unparsable is an error naming the valid values.
+    pub fn from_env() -> Result<Option<KernelBackend>, String> {
+        match std::env::var(KERNEL_ENV_VAR) {
+            Err(_) => Ok(None),
+            Ok(s) if s.trim().is_empty() => Ok(None),
+            Ok(s) => KernelBackend::from_name(&s).map(Some).ok_or_else(|| {
+                format!("invalid {KERNEL_ENV_VAR}={s:?}: expected one of scalar | dna4 | avx2")
+            }),
+        }
+    }
+
+    /// The best backend this machine supports: AVX2+FMA when the CPU has
+    /// it, otherwise the unrolled kernels (which degrade per-dispatch to
+    /// scalar for non-DNA dimensions).
+    pub fn detect() -> KernelBackend {
+        #[cfg(target_arch = "x86_64")]
+        if avx2::available() {
+            return KernelBackend::Avx2Fma;
+        }
+        KernelBackend::Dna4Unrolled
+    }
+
+    /// The construction-time selection: the `OOC_PLF_KERNEL` override if
+    /// set (panicking on an unparsable value — a misconfiguration worth
+    /// failing loudly on), else [`KernelBackend::detect`].
+    pub fn choose() -> KernelBackend {
+        match KernelBackend::from_env() {
+            Ok(Some(b)) => b,
+            Ok(None) => KernelBackend::detect(),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Can this backend's specialized kernels run these dimensions (on
+    /// this machine)? `Scalar` always can.
+    pub fn supports(&self, dims: &Dims) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            KernelBackend::Dna4Unrolled => dna4::dims_match(dims),
+            KernelBackend::Avx2Fma => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    dna4::dims_match(dims) && avx2::available()
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Resolve the requested backend against dimensions and CPU: the
+    /// backend whose kernels will actually execute.
+    pub fn effective(&self, dims: &Dims) -> KernelBackend {
+        match self {
+            KernelBackend::Scalar => KernelBackend::Scalar,
+            KernelBackend::Dna4Unrolled if dna4::dims_match(dims) => KernelBackend::Dna4Unrolled,
+            KernelBackend::Dna4Unrolled => KernelBackend::Scalar,
+            KernelBackend::Avx2Fma if self.supports(dims) => KernelBackend::Avx2Fma,
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => KernelBackend::Dna4Unrolled,
+            KernelBackend::Avx2Fma => KernelBackend::Scalar,
+        }
+    }
+
+    /// Dispatch [`newview::newview_tip_tip`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn newview_tip_tip(
+        &self,
+        dims: &Dims,
+        parent: &mut [f64],
+        scale_p: &mut [u32],
+        lut_l: &[f64],
+        codes_l: &[u16],
+        lut_r: &[f64],
+        codes_r: &[u16],
+    ) {
+        match self.effective(dims) {
+            KernelBackend::Scalar => {
+                newview::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
+            }
+            KernelBackend::Dna4Unrolled => {
+                dna4::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
+            }
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective` returned Avx2Fma only after
+            // `avx2::available()` confirmed the CPU features.
+            KernelBackend::Avx2Fma => unsafe {
+                avx2::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
+        }
+    }
+
+    /// Dispatch [`newview::newview_tip_inner`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn newview_tip_inner(
+        &self,
+        dims: &Dims,
+        parent: &mut [f64],
+        scale_p: &mut [u32],
+        lut_tip: &[f64],
+        codes_tip: &[u16],
+        inner: &[f64],
+        scale_inner: &[u32],
+        pm_inner: &PMatrices,
+    ) {
+        match self.effective(dims) {
+            KernelBackend::Scalar => newview::newview_tip_inner(
+                dims,
+                parent,
+                scale_p,
+                lut_tip,
+                codes_tip,
+                inner,
+                scale_inner,
+                pm_inner,
+            ),
+            KernelBackend::Dna4Unrolled => dna4::newview_tip_inner(
+                dims,
+                parent,
+                scale_p,
+                lut_tip,
+                codes_tip,
+                inner,
+                scale_inner,
+                pm_inner,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective` returned Avx2Fma only after
+            // `avx2::available()` confirmed the CPU features.
+            KernelBackend::Avx2Fma => unsafe {
+                avx2::newview_tip_inner(
+                    dims,
+                    parent,
+                    scale_p,
+                    lut_tip,
+                    codes_tip,
+                    inner,
+                    scale_inner,
+                    pm_inner,
+                )
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
+        }
+    }
+
+    /// Dispatch [`newview::newview_inner_inner`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn newview_inner_inner(
+        &self,
+        dims: &Dims,
+        parent: &mut [f64],
+        scale_p: &mut [u32],
+        left: &[f64],
+        scale_l: &[u32],
+        pm_l: &PMatrices,
+        right: &[f64],
+        scale_r: &[u32],
+        pm_r: &PMatrices,
+    ) {
+        match self.effective(dims) {
+            KernelBackend::Scalar => newview::newview_inner_inner(
+                dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
+            ),
+            KernelBackend::Dna4Unrolled => dna4::newview_inner_inner(
+                dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective` returned Avx2Fma only after
+            // `avx2::available()` confirmed the CPU features.
+            KernelBackend::Avx2Fma => unsafe {
+                avx2::newview_inner_inner(
+                    dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
+                )
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
+        }
+    }
+
+    /// Dispatch [`evaluate::evaluate_inner_inner_sites`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_inner_inner_sites(
+        &self,
+        dims: &Dims,
+        pvec: &[f64],
+        scale_p: &[u32],
+        qvec: &[f64],
+        scale_q: &[u32],
+        pm_root: &PMatrices,
+        freqs: &[f64],
+        weights: &[u32],
+        site_out: &mut [f64],
+    ) {
+        match self.effective(dims) {
+            KernelBackend::Scalar => evaluate::evaluate_inner_inner_sites(
+                dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
+            ),
+            KernelBackend::Dna4Unrolled => dna4::evaluate_inner_inner_sites(
+                dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective` returned Avx2Fma only after
+            // `avx2::available()` confirmed the CPU features.
+            KernelBackend::Avx2Fma => unsafe {
+                avx2::evaluate_inner_inner_sites(
+                    dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
+                )
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
+        }
+    }
+
+    /// Dispatch [`evaluate::evaluate_tip_inner_sites`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_tip_inner_sites(
+        &self,
+        dims: &Dims,
+        root_lut: &[f64],
+        codes_tip: &[u16],
+        qvec: &[f64],
+        scale_q: &[u32],
+        weights: &[u32],
+        site_out: &mut [f64],
+    ) {
+        match self.effective(dims) {
+            KernelBackend::Scalar => evaluate::evaluate_tip_inner_sites(
+                dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
+            ),
+            KernelBackend::Dna4Unrolled => dna4::evaluate_tip_inner_sites(
+                dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective` returned Avx2Fma only after
+            // `avx2::available()` confirmed the CPU features.
+            KernelBackend::Avx2Fma => unsafe {
+                avx2::evaluate_tip_inner_sites(
+                    dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
+                )
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
+        }
+    }
+
+    /// Dispatch [`derivatives::nr_derivatives_sites`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn nr_derivatives_sites(
+        &self,
+        dims: &Dims,
+        sumtable: &[f64],
+        weights: &[u32],
+        scale_sums: &[u32],
+        eigenvalues: &[f64],
+        rates: &[f64],
+        z: f64,
+        out_l: &mut [f64],
+        out_d1: &mut [f64],
+        out_d2: &mut [f64],
+    ) {
+        match self.effective(dims) {
+            KernelBackend::Scalar => derivatives::nr_derivatives_sites(
+                dims,
+                sumtable,
+                weights,
+                scale_sums,
+                eigenvalues,
+                rates,
+                z,
+                out_l,
+                out_d1,
+                out_d2,
+            ),
+            KernelBackend::Dna4Unrolled => dna4::nr_derivatives_sites(
+                dims,
+                sumtable,
+                weights,
+                scale_sums,
+                eigenvalues,
+                rates,
+                z,
+                out_l,
+                out_d1,
+                out_d2,
+            ),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective` returned Avx2Fma only after
+            // `avx2::available()` confirmed the CPU features.
+            KernelBackend::Avx2Fma => unsafe {
+                avx2::nr_derivatives_sites(
+                    dims,
+                    sumtable,
+                    weights,
+                    scale_sums,
+                    eigenvalues,
+                    rates,
+                    z,
+                    out_l,
+                    out_d1,
+                    out_d2,
+                )
+            },
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for KernelBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        KernelBackend::from_name(s)
+            .ok_or_else(|| format!("unknown kernel backend {s:?}: expected scalar | dna4 | avx2"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dna_dims() -> Dims {
+        Dims {
+            n_patterns: 8,
+            n_states: 4,
+            n_cats: 4,
+        }
+    }
+
+    fn protein_dims() -> Dims {
+        Dims {
+            n_patterns: 8,
+            n_states: 20,
+            n_cats: 4,
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for b in KernelBackend::ALL {
+            assert_eq!(KernelBackend::from_name(b.name()), Some(b));
+            assert_eq!(b.name().parse::<KernelBackend>().unwrap(), b);
+            assert_eq!(format!("{b}"), b.name());
+        }
+        assert_eq!(
+            KernelBackend::from_name("AVX2-FMA"),
+            Some(KernelBackend::Avx2Fma)
+        );
+        assert!(KernelBackend::from_name("sse9").is_none());
+        assert!("sse9".parse::<KernelBackend>().is_err());
+    }
+
+    #[test]
+    fn scalar_supports_everything() {
+        assert!(KernelBackend::Scalar.supports(&dna_dims()));
+        assert!(KernelBackend::Scalar.supports(&protein_dims()));
+    }
+
+    #[test]
+    fn specialized_backends_degrade_on_protein_dims() {
+        let d = protein_dims();
+        assert!(!KernelBackend::Dna4Unrolled.supports(&d));
+        assert_eq!(
+            KernelBackend::Dna4Unrolled.effective(&d),
+            KernelBackend::Scalar
+        );
+        assert!(!KernelBackend::Avx2Fma.supports(&d));
+        assert_eq!(KernelBackend::Avx2Fma.effective(&d), KernelBackend::Scalar);
+    }
+
+    #[test]
+    fn dna_dims_resolve_to_requested_backend() {
+        let d = dna_dims();
+        assert_eq!(
+            KernelBackend::Dna4Unrolled.effective(&d),
+            KernelBackend::Dna4Unrolled
+        );
+        // Avx2Fma resolves to itself iff the CPU has the features,
+        // otherwise to the unrolled kernels — never to garbage.
+        let eff = KernelBackend::Avx2Fma.effective(&d);
+        if KernelBackend::Avx2Fma.supports(&d) {
+            assert_eq!(eff, KernelBackend::Avx2Fma);
+        } else {
+            assert_eq!(eff, KernelBackend::Dna4Unrolled);
+        }
+    }
+
+    #[test]
+    fn detect_returns_a_supported_backend() {
+        let b = KernelBackend::detect();
+        assert!(b == KernelBackend::Avx2Fma || b == KernelBackend::Dna4Unrolled);
+        if b == KernelBackend::Avx2Fma {
+            assert!(b.supports(&dna_dims()));
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_for_every_backend_and_dims() {
+        // Smoke: dispatch through each backend on both dims; the
+        // correctness of each specialized kernel is covered in its module.
+        use crate::kernels::testutil::random_vector;
+        use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = ReversibleModel::jc69();
+        let gamma = DiscreteGamma::new(1.0, 4);
+        let mut pm = PMatrices::new(4, 4);
+        pm.update(&model.eigen(), &gamma, 0.1);
+        let d = dna_dims();
+        let mut rng = StdRng::seed_from_u64(3);
+        let left = random_vector(&d, &mut rng);
+        let right = random_vector(&d, &mut rng);
+        let zeros = vec![0u32; d.n_patterns];
+        let mut reference: Option<Vec<f64>> = None;
+        for b in KernelBackend::ALL {
+            let mut parent = vec![0.0; d.width()];
+            let mut scale = vec![0u32; d.n_patterns];
+            b.newview_inner_inner(
+                &d,
+                &mut parent,
+                &mut scale,
+                &left,
+                &zeros,
+                &pm,
+                &right,
+                &zeros,
+                &pm,
+            );
+            assert!(scale.iter().all(|&s| s == 0));
+            match &reference {
+                None => reference = Some(parent),
+                Some(r) => {
+                    for (a, b) in r.iter().zip(&parent) {
+                        assert!((a - b).abs() <= 1e-13 * a.abs().max(1.0));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Fully unrolled kernels for the dominant case: DNA (4 states) under Γ4
+//! (4 rate categories), i.e. a site stride of exactly 16 `f64`s.
+//!
+//! The generic kernels in [`super::newview`] walk `n_states`/`n_cats` with
+//! runtime trip counts, which keeps the inner loops opaque to the
+//! optimizer. Here every loop is either fully unrolled by hand (the 4×4
+//! mat-vec) or runs over a fixed-size `[f64; 16]` obtained via
+//! `chunks_exact`, so the compiler sees constant trip counts and emits
+//! straight-line vectorizable code. Floating-point evaluation order is kept
+//! identical to the scalar kernels (left-to-right sums, no reassociation),
+//! so results — including scale counts — match the scalar backend exactly.
+
+use super::Dims;
+use crate::scaling::{rescale_site, site_needs_scaling, LOG_MINLIKELIHOOD};
+use phylo_models::PMatrices;
+
+/// Site stride this module is specialized for: 4 states × 4 categories.
+pub const DNA4_STRIDE: usize = 16;
+
+/// Does this dimension set match the specialization?
+#[inline]
+pub fn dims_match(dims: &Dims) -> bool {
+    dims.n_states == 4 && dims.n_cats == 4
+}
+
+/// Floor for per-site likelihoods before taking logs (same as the scalar
+/// evaluate kernel).
+const L_FLOOR: f64 = 1e-300;
+
+#[inline(always)]
+fn a16(s: &[f64]) -> &[f64; DNA4_STRIDE] {
+    s.try_into().expect("dna4 kernels require stride-16 blocks")
+}
+
+/// Copy the four per-category 4×4 matrices into stack-local fixed arrays
+/// (512 B, one-time per kernel call) so the site loop indexes constants.
+#[inline]
+fn load_pms(pm: &PMatrices) -> [[f64; DNA4_STRIDE]; 4] {
+    core::array::from_fn(|c| *a16(pm.cat(c)))
+}
+
+/// Unrolled 4×4 row-major mat-vec with the scalar kernels' exact
+/// (left-to-right) summation order.
+#[inline(always)]
+fn matvec4(p: &[f64; DNA4_STRIDE], v: &[f64; 4]) -> [f64; 4] {
+    [
+        p[0] * v[0] + p[1] * v[1] + p[2] * v[2] + p[3] * v[3],
+        p[4] * v[0] + p[5] * v[1] + p[6] * v[2] + p[7] * v[3],
+        p[8] * v[0] + p[9] * v[1] + p[10] * v[2] + p[11] * v[3],
+        p[12] * v[0] + p[13] * v[1] + p[14] * v[2] + p[15] * v[3],
+    ]
+}
+
+/// Hoisted scale handling: test the whole 16-entry block once, branch to
+/// the cold rescale only when every entry underflowed.
+#[inline(always)]
+fn scale_block(site: &mut [f64; DNA4_STRIDE]) -> u32 {
+    if site_needs_scaling(site) {
+        rescale_site(site);
+        1
+    } else {
+        0
+    }
+}
+
+/// DNA/Γ4 specialization of [`super::newview::newview_tip_tip`].
+pub fn newview_tip_tip(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_l: &[f64],
+    codes_l: &[u16],
+    lut_r: &[f64],
+    codes_r: &[u16],
+) {
+    debug_assert!(dims_match(dims));
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(scale_p.len(), dims.n_patterns);
+    debug_assert_eq!(lut_l.len() % DNA4_STRIDE, 0);
+    debug_assert_eq!(lut_r.len() % DNA4_STRIDE, 0);
+    for (i, chunk) in parent.chunks_exact_mut(DNA4_STRIDE).enumerate() {
+        let site: &mut [f64; DNA4_STRIDE] = chunk.try_into().unwrap();
+        let lbase = codes_l[i] as usize * DNA4_STRIDE;
+        let rbase = codes_r[i] as usize * DNA4_STRIDE;
+        let l = a16(&lut_l[lbase..lbase + DNA4_STRIDE]);
+        let r = a16(&lut_r[rbase..rbase + DNA4_STRIDE]);
+        for e in 0..DNA4_STRIDE {
+            site[e] = l[e] * r[e];
+        }
+        scale_p[i] = scale_block(site);
+    }
+}
+
+/// DNA/Γ4 specialization of [`super::newview::newview_tip_inner`].
+#[allow(clippy::too_many_arguments)]
+pub fn newview_tip_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_tip: &[f64],
+    codes_tip: &[u16],
+    inner: &[f64],
+    scale_inner: &[u32],
+    pm_inner: &PMatrices,
+) {
+    debug_assert!(dims_match(dims));
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(inner.len(), dims.width());
+    debug_assert_eq!(lut_tip.len() % DNA4_STRIDE, 0);
+    let pms = load_pms(pm_inner);
+    for (i, (chunk, child)) in parent
+        .chunks_exact_mut(DNA4_STRIDE)
+        .zip(inner.chunks_exact(DNA4_STRIDE))
+        .enumerate()
+    {
+        let site: &mut [f64; DNA4_STRIDE] = chunk.try_into().unwrap();
+        let tbase = codes_tip[i] as usize * DNA4_STRIDE;
+        let tip = a16(&lut_tip[tbase..tbase + DNA4_STRIDE]);
+        let child = a16(child);
+        for (c, pm) in pms.iter().enumerate() {
+            let o = c * 4;
+            let ch = [child[o], child[o + 1], child[o + 2], child[o + 3]];
+            let s = matvec4(pm, &ch);
+            site[o] = tip[o] * s[0];
+            site[o + 1] = tip[o + 1] * s[1];
+            site[o + 2] = tip[o + 2] * s[2];
+            site[o + 3] = tip[o + 3] * s[3];
+        }
+        scale_p[i] = scale_inner[i] + scale_block(site);
+    }
+}
+
+/// DNA/Γ4 specialization of [`super::newview::newview_inner_inner`].
+#[allow(clippy::too_many_arguments)]
+pub fn newview_inner_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    left: &[f64],
+    scale_l: &[u32],
+    pm_l: &PMatrices,
+    right: &[f64],
+    scale_r: &[u32],
+    pm_r: &PMatrices,
+) {
+    debug_assert!(dims_match(dims));
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(left.len(), dims.width());
+    debug_assert_eq!(right.len(), dims.width());
+    let pls = load_pms(pm_l);
+    let prs = load_pms(pm_r);
+    for (i, ((chunk, lsite), rsite)) in parent
+        .chunks_exact_mut(DNA4_STRIDE)
+        .zip(left.chunks_exact(DNA4_STRIDE))
+        .zip(right.chunks_exact(DNA4_STRIDE))
+        .enumerate()
+    {
+        let site: &mut [f64; DNA4_STRIDE] = chunk.try_into().unwrap();
+        let lsite = a16(lsite);
+        let rsite = a16(rsite);
+        for c in 0..4 {
+            let o = c * 4;
+            let lc = [lsite[o], lsite[o + 1], lsite[o + 2], lsite[o + 3]];
+            let rc = [rsite[o], rsite[o + 1], rsite[o + 2], rsite[o + 3]];
+            let sl = matvec4(&pls[c], &lc);
+            let sr = matvec4(&prs[c], &rc);
+            site[o] = sl[0] * sr[0];
+            site[o + 1] = sl[1] * sr[1];
+            site[o + 2] = sl[2] * sr[2];
+            site[o + 3] = sl[3] * sr[3];
+        }
+        scale_p[i] = scale_l[i] + scale_r[i] + scale_block(site);
+    }
+}
+
+/// DNA/Γ4 specialization of
+/// [`super::evaluate::evaluate_inner_inner_sites`].
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_inner_inner_sites(
+    dims: &Dims,
+    pvec: &[f64],
+    scale_p: &[u32],
+    qvec: &[f64],
+    scale_q: &[u32],
+    pm_root: &PMatrices,
+    freqs: &[f64],
+    weights: &[u32],
+    site_out: &mut [f64],
+) {
+    debug_assert!(dims_match(dims));
+    debug_assert_eq!(pvec.len(), dims.width());
+    debug_assert_eq!(qvec.len(), dims.width());
+    let pms = load_pms(pm_root);
+    let fr = [freqs[0], freqs[1], freqs[2], freqs[3]];
+    let cat_w = 0.25;
+    for (i, (psite, qsite)) in pvec
+        .chunks_exact(DNA4_STRIDE)
+        .zip(qvec.chunks_exact(DNA4_STRIDE))
+        .enumerate()
+    {
+        let psite = a16(psite);
+        let qsite = a16(qsite);
+        let mut site_l = 0.0;
+        for (c, pm) in pms.iter().enumerate() {
+            let o = c * 4;
+            let qc = [qsite[o], qsite[o + 1], qsite[o + 2], qsite[o + 3]];
+            let dot = matvec4(pm, &qc);
+            let mut cat_sum = 0.0;
+            cat_sum += fr[0] * psite[o] * dot[0];
+            cat_sum += fr[1] * psite[o + 1] * dot[1];
+            cat_sum += fr[2] * psite[o + 2] * dot[2];
+            cat_sum += fr[3] * psite[o + 3] * dot[3];
+            site_l += cat_w * cat_sum;
+        }
+        let scale = (scale_p[i] + scale_q[i]) as f64;
+        site_out[i] = weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale * LOG_MINLIKELIHOOD);
+    }
+}
+
+/// DNA/Γ4 specialization of [`super::evaluate::evaluate_tip_inner_sites`].
+pub fn evaluate_tip_inner_sites(
+    dims: &Dims,
+    root_lut: &[f64],
+    codes_tip: &[u16],
+    qvec: &[f64],
+    scale_q: &[u32],
+    weights: &[u32],
+    site_out: &mut [f64],
+) {
+    debug_assert!(dims_match(dims));
+    debug_assert_eq!(qvec.len(), dims.width());
+    debug_assert_eq!(root_lut.len() % DNA4_STRIDE, 0);
+    let cat_w = 0.25;
+    for (i, qsite) in qvec.chunks_exact(DNA4_STRIDE).enumerate() {
+        let qsite = a16(qsite);
+        let lbase = codes_tip[i] as usize * DNA4_STRIDE;
+        let lut = a16(&root_lut[lbase..lbase + DNA4_STRIDE]);
+        let mut site_l = 0.0;
+        for e in 0..DNA4_STRIDE {
+            site_l += lut[e] * qsite[e];
+        }
+        site_l *= cat_w;
+        site_out[i] =
+            weights[i] as f64 * (site_l.max(L_FLOOR).ln() + scale_q[i] as f64 * LOG_MINLIKELIHOOD);
+    }
+}
+
+/// DNA/Γ4 specialization of [`super::derivatives::nr_derivatives_sites`].
+#[allow(clippy::too_many_arguments)]
+pub fn nr_derivatives_sites(
+    dims: &Dims,
+    sumtable: &[f64],
+    weights: &[u32],
+    scale_sums: &[u32],
+    eigenvalues: &[f64],
+    rates: &[f64],
+    z: f64,
+    out_l: &mut [f64],
+    out_d1: &mut [f64],
+    out_d2: &mut [f64],
+) {
+    debug_assert!(dims_match(dims));
+    debug_assert_eq!(sumtable.len(), dims.width());
+    let cat_w = 0.25;
+    let mut e0 = [0.0; DNA4_STRIDE];
+    let mut e1 = [0.0; DNA4_STRIDE];
+    let mut e2 = [0.0; DNA4_STRIDE];
+    for c in 0..4 {
+        for k in 0..4 {
+            let lr = eigenvalues[k] * rates[c];
+            let ex = (lr * z).exp();
+            e0[c * 4 + k] = ex;
+            e1[c * 4 + k] = lr * ex;
+            e2[c * 4 + k] = lr * lr * ex;
+        }
+    }
+    for (i, site) in sumtable.chunks_exact(DNA4_STRIDE).enumerate() {
+        let site = a16(site);
+        let (mut l, mut lp, mut lpp) = (0.0, 0.0, 0.0);
+        for e in 0..DNA4_STRIDE {
+            l += site[e] * e0[e];
+            lp += site[e] * e1[e];
+            lpp += site[e] * e2[e];
+        }
+        l *= cat_w;
+        lp *= cat_w;
+        lpp *= cat_w;
+        let l_safe = l.max(L_FLOOR);
+        let w = weights[i] as f64;
+        out_l[i] = w * (l_safe.ln() + scale_sums[i] as f64 * LOG_MINLIKELIHOOD);
+        out_d1[i] = w * (lp / l_safe);
+        out_d2[i] = w * ((lpp * l_safe - lp * lp) / (l_safe * l_safe));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::random_vector;
+    use super::super::{derivatives, evaluate, newview};
+    use super::*;
+    use crate::encode::TipCodes;
+    use phylo_models::{DiscreteGamma, ReversibleModel};
+    use phylo_seq::{compress_patterns, Alignment, Alphabet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (
+        Dims,
+        TipCodes,
+        PMatrices,
+        PMatrices,
+        ReversibleModel,
+        DiscreteGamma,
+    ) {
+        let aln = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ACGTNACGTRYA".into()),
+                ("b".into(), "ACGARGTTACGT".into()),
+            ],
+        )
+        .unwrap();
+        let comp = compress_patterns(&aln);
+        let codes = TipCodes::from_alignment(&comp);
+        let model = ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]);
+        let gamma = DiscreteGamma::new(0.7, 4);
+        let eigen = model.eigen();
+        let mut pm_l = PMatrices::new(4, 4);
+        let mut pm_r = PMatrices::new(4, 4);
+        pm_l.update(&eigen, &gamma, 0.12);
+        pm_r.update(&eigen, &gamma, 0.31);
+        let dims = Dims {
+            n_patterns: comp.n_patterns(),
+            n_states: 4,
+            n_cats: 4,
+        };
+        (dims, codes, pm_l, pm_r, model, gamma)
+    }
+
+    #[test]
+    fn tip_tip_matches_scalar_exactly() {
+        let (dims, codes, pm_l, pm_r, _m, _g) = setup();
+        let (mut lut_l, mut lut_r) = (Vec::new(), Vec::new());
+        codes.build_lut(&pm_l, &mut lut_l);
+        codes.build_lut(&pm_r, &mut lut_r);
+        let mut p_s = vec![0.0; dims.width()];
+        let mut sc_s = vec![0u32; dims.n_patterns];
+        newview::newview_tip_tip(
+            &dims,
+            &mut p_s,
+            &mut sc_s,
+            &lut_l,
+            codes.tip(0),
+            &lut_r,
+            codes.tip(1),
+        );
+        let mut p_u = vec![0.0; dims.width()];
+        let mut sc_u = vec![0u32; dims.n_patterns];
+        newview_tip_tip(
+            &dims,
+            &mut p_u,
+            &mut sc_u,
+            &lut_l,
+            codes.tip(0),
+            &lut_r,
+            codes.tip(1),
+        );
+        assert_eq!(p_s, p_u, "identical op order must be bit-identical");
+        assert_eq!(sc_s, sc_u);
+    }
+
+    #[test]
+    fn tip_inner_matches_scalar_exactly() {
+        let (dims, codes, pm_l, pm_r, _m, _g) = setup();
+        let mut lut = Vec::new();
+        codes.build_lut(&pm_l, &mut lut);
+        let mut rng = StdRng::seed_from_u64(41);
+        let inner = random_vector(&dims, &mut rng);
+        let scale_inner = vec![1u32; dims.n_patterns];
+        let mut p_s = vec![0.0; dims.width()];
+        let mut sc_s = vec![0u32; dims.n_patterns];
+        newview::newview_tip_inner(
+            &dims,
+            &mut p_s,
+            &mut sc_s,
+            &lut,
+            codes.tip(0),
+            &inner,
+            &scale_inner,
+            &pm_r,
+        );
+        let mut p_u = vec![0.0; dims.width()];
+        let mut sc_u = vec![0u32; dims.n_patterns];
+        newview_tip_inner(
+            &dims,
+            &mut p_u,
+            &mut sc_u,
+            &lut,
+            codes.tip(0),
+            &inner,
+            &scale_inner,
+            &pm_r,
+        );
+        assert_eq!(p_s, p_u);
+        assert_eq!(sc_s, sc_u);
+    }
+
+    #[test]
+    fn inner_inner_matches_scalar_incl_underflow() {
+        let (dims, _codes, pm_l, pm_r, _m, _g) = setup();
+        for magnitude in [1.0, 1e-100] {
+            let mut rng = StdRng::seed_from_u64(43);
+            let left: Vec<f64> = random_vector(&dims, &mut rng)
+                .iter()
+                .map(|x| x * magnitude)
+                .collect();
+            let right: Vec<f64> = random_vector(&dims, &mut rng)
+                .iter()
+                .map(|x| x * magnitude)
+                .collect();
+            let scale_l = vec![1u32; dims.n_patterns];
+            let scale_r = vec![2u32; dims.n_patterns];
+            let mut p_s = vec![0.0; dims.width()];
+            let mut sc_s = vec![0u32; dims.n_patterns];
+            newview::newview_inner_inner(
+                &dims, &mut p_s, &mut sc_s, &left, &scale_l, &pm_l, &right, &scale_r, &pm_r,
+            );
+            let mut p_u = vec![0.0; dims.width()];
+            let mut sc_u = vec![0u32; dims.n_patterns];
+            newview_inner_inner(
+                &dims, &mut p_u, &mut sc_u, &left, &scale_l, &pm_l, &right, &scale_r, &pm_r,
+            );
+            assert_eq!(p_s, p_u, "magnitude {magnitude}");
+            assert_eq!(sc_s, sc_u, "magnitude {magnitude}");
+            if magnitude < 1.0 {
+                assert!(sc_u.iter().all(|&s| s == 4), "underflow must have scaled");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_scalar_exactly() {
+        let (dims, codes, pm_l, _pm_r, model, _g) = setup();
+        let mut rng = StdRng::seed_from_u64(47);
+        let p = random_vector(&dims, &mut rng);
+        let q = random_vector(&dims, &mut rng);
+        let scale_p = vec![1u32; dims.n_patterns];
+        let scale_q = vec![0u32; dims.n_patterns];
+        let w = vec![2u32; dims.n_patterns];
+        let mut s_ref = vec![0.0; dims.n_patterns];
+        let mut s_got = vec![0.0; dims.n_patterns];
+        evaluate::evaluate_inner_inner_sites(
+            &dims,
+            &p,
+            &scale_p,
+            &q,
+            &scale_q,
+            &pm_l,
+            model.freqs(),
+            &w,
+            &mut s_ref,
+        );
+        evaluate_inner_inner_sites(
+            &dims,
+            &p,
+            &scale_p,
+            &q,
+            &scale_q,
+            &pm_l,
+            model.freqs(),
+            &w,
+            &mut s_got,
+        );
+        assert_eq!(s_ref, s_got);
+
+        let mut rlut = Vec::new();
+        codes.build_root_lut(&pm_l, model.freqs(), &mut rlut);
+        evaluate::evaluate_tip_inner_sites(
+            &dims,
+            &rlut,
+            codes.tip(0),
+            &q,
+            &scale_q,
+            &w,
+            &mut s_ref,
+        );
+        evaluate_tip_inner_sites(&dims, &rlut, codes.tip(0), &q, &scale_q, &w, &mut s_got);
+        assert_eq!(s_ref, s_got);
+    }
+
+    #[test]
+    fn derivatives_match_scalar_exactly() {
+        let (dims, _codes, _pm_l, _pm_r, model, gamma) = setup();
+        let eigen = model.eigen();
+        let mut rng = StdRng::seed_from_u64(53);
+        let p = random_vector(&dims, &mut rng);
+        let q = random_vector(&dims, &mut rng);
+        let mut sumtable = Vec::new();
+        derivatives::build_sumtable(
+            &dims,
+            derivatives::SumSide::Inner(&p),
+            derivatives::SumSide::Inner(&q),
+            &eigen,
+            model.freqs(),
+            &mut sumtable,
+        );
+        let w = vec![1u32; dims.n_patterns];
+        let ss = vec![1u32; dims.n_patterns];
+        let n = dims.n_patterns;
+        let (mut l_a, mut d1_a, mut d2_a) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        let (mut l_b, mut d1_b, mut d2_b) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+        derivatives::nr_derivatives_sites(
+            &dims,
+            &sumtable,
+            &w,
+            &ss,
+            eigen.values(),
+            gamma.rates(),
+            0.2,
+            &mut l_a,
+            &mut d1_a,
+            &mut d2_a,
+        );
+        nr_derivatives_sites(
+            &dims,
+            &sumtable,
+            &w,
+            &ss,
+            eigen.values(),
+            gamma.rates(),
+            0.2,
+            &mut l_b,
+            &mut d1_b,
+            &mut d2_b,
+        );
+        assert_eq!(l_a, l_b);
+        assert_eq!(d1_a, d1_b);
+        assert_eq!(d2_a, d2_b);
+    }
+}

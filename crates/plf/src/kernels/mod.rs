@@ -4,9 +4,15 @@
 //! `[pattern][rate category][state]` (site-major, exactly one contiguous
 //! block per inner node — the out-of-core transfer unit).
 
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+pub mod backend;
 pub mod derivatives;
+pub mod dna4;
 pub mod evaluate;
 pub mod newview;
+
+pub use backend::KernelBackend;
 
 /// Vector dimensions shared by every kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

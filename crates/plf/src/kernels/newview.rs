@@ -18,10 +18,13 @@ pub fn newview_tip_tip(
     lut_r: &[f64],
     codes_r: &[u16],
 ) {
-    let (ns, nc) = (dims.n_states, dims.n_cats);
     let stride = dims.site_stride();
     debug_assert_eq!(parent.len(), dims.width());
     debug_assert_eq!(scale_p.len(), dims.n_patterns);
+    debug_assert_eq!(lut_l.len() % stride, 0);
+    debug_assert_eq!(lut_r.len() % stride, 0);
+    debug_assert!(codes_l.len() >= dims.n_patterns);
+    debug_assert!(codes_r.len() >= dims.n_patterns);
     for i in 0..dims.n_patterns {
         let site = &mut parent[i * stride..(i + 1) * stride];
         let lbase = codes_l[i] as usize * stride;
@@ -32,8 +35,6 @@ pub fn newview_tip_tip(
             site[e] = l[e] * r[e];
         }
         scale_p[i] = scale_site(site);
-        let _ = nc;
-        let _ = ns;
     }
 }
 
@@ -54,6 +55,9 @@ pub fn newview_tip_inner(
     let stride = dims.site_stride();
     debug_assert_eq!(parent.len(), dims.width());
     debug_assert_eq!(inner.len(), dims.width());
+    debug_assert_eq!(lut_tip.len() % stride, 0);
+    debug_assert!(codes_tip.len() >= dims.n_patterns);
+    debug_assert!(scale_inner.len() >= dims.n_patterns);
     for i in 0..dims.n_patterns {
         let site = &mut parent[i * stride..(i + 1) * stride];
         let tbase = codes_tip[i] as usize * stride;
@@ -93,6 +97,10 @@ pub fn newview_inner_inner(
     let (ns, nc) = (dims.n_states, dims.n_cats);
     let stride = dims.site_stride();
     debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(left.len(), dims.width());
+    debug_assert_eq!(right.len(), dims.width());
+    debug_assert!(scale_l.len() >= dims.n_patterns);
+    debug_assert!(scale_r.len() >= dims.n_patterns);
     for i in 0..dims.n_patterns {
         let site = &mut parent[i * stride..(i + 1) * stride];
         let lsite = &left[i * stride..(i + 1) * stride];

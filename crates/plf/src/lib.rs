@@ -9,7 +9,10 @@
 //!   the out-of-core layer pages,
 //! * tip lookup tables for ambiguity-coded tips ([`encode`]),
 //! * `newview` combine kernels with 2⁻²⁵⁶ underflow scaling
-//!   ([`kernels::newview`], [`scaling`]),
+//!   ([`kernels::newview`], [`scaling`]), behind runtime-dispatched
+//!   backends — scalar reference, unrolled DNA/Γ4, AVX2+FMA
+//!   ([`kernels::backend`]), selected per CPU at engine construction and
+//!   overridable via `OOC_PLF_KERNEL` or `--kernel`,
 //! * root evaluation and eigenbasis "sumtable" branch-length derivatives
 //!   for Newton–Raphson optimisation ([`kernels::evaluate`],
 //!   [`kernels::derivatives`]),
@@ -36,6 +39,7 @@ pub mod store_api;
 
 pub use encode::TipCodes;
 pub use engine::{PlfEngine, PlfModel};
+pub use kernels::KernelBackend;
 pub use likelihood_api::LikelihoodEngine;
 pub use oracle::{SharedTree, TreeOracle};
 pub use sharded::ShardedPlfEngine;

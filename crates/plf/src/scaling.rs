@@ -17,10 +17,14 @@ pub const TWOTOTHE256: f64 = 1.157920892373162e77;
 /// `ln 2⁻²⁵⁶`, the log-likelihood contribution of one scaling event.
 pub const LOG_MINLIKELIHOOD: f64 = -177.445_678_223_346;
 
-/// Rescale one site's entries (all categories × states) if every entry's
-/// magnitude is below [`MINLIKELIHOOD`]. Returns 1 if rescaled, else 0.
+/// The hoisted underflow test: does the whole site block (all categories ×
+/// states) sit below [`MINLIKELIHOOD`]? Kernels test the block first and
+/// only branch into the (cold) rescale when it does — in a converged
+/// likelihood computation almost every site takes the not-scaled path, so
+/// the predicate is separated from the rescale to keep the hot loop free
+/// of the multiply branch.
 #[inline]
-pub fn scale_site(entries: &mut [f64]) -> u32 {
+pub fn site_needs_scaling(entries: &[f64]) -> bool {
     let mut max = 0.0f64;
     for &x in entries.iter() {
         let a = x.abs();
@@ -28,10 +32,25 @@ pub fn scale_site(entries: &mut [f64]) -> u32 {
             max = a;
         }
     }
-    if max < MINLIKELIHOOD {
-        for x in entries.iter_mut() {
-            *x *= TWOTOTHE256;
-        }
+    max < MINLIKELIHOOD
+}
+
+/// The rare path: multiply every entry of an underflowed site block by
+/// [`TWOTOTHE256`]. Cold — callers branch here only after
+/// [`site_needs_scaling`] (or a SIMD max-reduction equivalent) fired.
+#[cold]
+pub fn rescale_site(entries: &mut [f64]) {
+    for x in entries.iter_mut() {
+        *x *= TWOTOTHE256;
+    }
+}
+
+/// Rescale one site's entries (all categories × states) if every entry's
+/// magnitude is below [`MINLIKELIHOOD`]. Returns 1 if rescaled, else 0.
+#[inline]
+pub fn scale_site(entries: &mut [f64]) -> u32 {
+    if site_needs_scaling(entries) {
+        rescale_site(entries);
         1
     } else {
         0

@@ -28,7 +28,7 @@
 //! hence each shard's residency access pattern — coincide.
 
 use crate::brlen::{newton_optimize, smoothing_order};
-use crate::kernels::Dims;
+use crate::kernels::{Dims, KernelBackend};
 use crate::likelihood_api::LikelihoodEngine;
 use crate::modelopt::{ALPHA_MAX, ALPHA_MIN};
 use crate::store_api::AncestralStore;
@@ -134,6 +134,20 @@ impl<S: AncestralStore + Send> ShardedPlfEngine<S> {
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The kernel backend the shard engines dispatch through.
+    pub fn kernel(&self) -> KernelBackend {
+        self.shards[0].kernel()
+    }
+
+    /// Set the kernel backend on every shard. The serial/sharded
+    /// bit-equality guarantee holds between engines running the *same*
+    /// backend — mixed backends differ in the last ulps (FMA contraction).
+    pub fn set_kernel(&mut self, kernel: KernelBackend) {
+        for e in &mut self.shards {
+            e.set_kernel(kernel);
+        }
     }
 
     /// A shard's engine (its store carries the shard's residency stats).
@@ -253,20 +267,28 @@ impl<S: AncestralStore + Send> LikelihoodEngine for ShardedPlfEngine<S> {
         let z0 = self.tree().branch_length(h);
         let shards = &mut self.shards;
         let (z, best_lnl) = newton_optimize(z0, max_iter, |z| {
-            // Per-pattern (lnL, d1, d2) terms per shard in parallel;
-            // each accumulator is then folded across shards in shard
-            // order, matching the serial `nr_derivatives` folds.
+            // Per-pattern (lnL, d1, d2) terms per shard in parallel, into
+            // each shard's reusable NR scratch (no per-iteration
+            // allocation); each accumulator is then folded across shards
+            // in shard order, matching the serial `nr_derivatives` folds.
             let triples = par_each_mut(shards, |_, e| {
-                let n = e.dims().n_patterns;
-                let (mut l, mut d1, mut d2) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+                let mut l = std::mem::take(&mut e.nr_l);
+                let mut d1 = std::mem::take(&mut e.nr_d1);
+                let mut d2 = std::mem::take(&mut e.nr_d2);
                 e.branch_derivatives_sites(z, &mut l, &mut d1, &mut d2);
                 (l, d1, d2)
             });
-            (
+            let folded = (
                 Self::fold_shards(triples.iter().map(|t| t.0.as_slice())),
                 Self::fold_shards(triples.iter().map(|t| t.1.as_slice())),
                 Self::fold_shards(triples.iter().map(|t| t.2.as_slice())),
-            )
+            );
+            for (e, (l, d1, d2)) in shards.iter_mut().zip(triples) {
+                e.nr_l = l;
+                e.nr_d1 = d1;
+                e.nr_d2 = d2;
+            }
+            folded
         });
         self.set_branch_length(h, z);
         Ok((z, best_lnl))

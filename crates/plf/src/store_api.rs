@@ -17,8 +17,8 @@
 //! log-likelihoods.
 
 use ooc_core::{
-    AccessPlan, AccessRecord, BackingStore, Intent, OocError, OocOp, OocResult, OocStats,
-    VectorManager,
+    AccessPlan, AccessRecord, AlignedBuf, BackingStore, Intent, OocError, OocOp, OocResult,
+    OocStats, VectorManager,
 };
 use pager_sim::PagedArena;
 
@@ -79,17 +79,17 @@ pub trait AncestralStore {
 /// All vectors permanently resident (standard implementation).
 pub struct InRamStore {
     width: usize,
-    vectors: Vec<Box<[f64]>>,
+    vectors: Vec<AlignedBuf>,
 }
 
 impl InRamStore {
-    /// Allocate `n_items` zeroed vectors of `width` doubles.
+    /// Allocate `n_items` zeroed vectors of `width` doubles, each
+    /// 64-byte-aligned ([`ooc_core::APV_ALIGN`]) like the manager's slot
+    /// arena, so SIMD kernels see the same alignment in every backend.
     pub fn new(n_items: usize, width: usize) -> Self {
         InRamStore {
             width,
-            vectors: (0..n_items)
-                .map(|_| vec![0.0; width].into_boxed_slice())
-                .collect(),
+            vectors: (0..n_items).map(|_| AlignedBuf::zeroed(width)).collect(),
         }
     }
 
@@ -103,7 +103,7 @@ impl InRamStore {
 /// pin-set discipline (bounds, duplicates, aliasing) is enforced so
 /// contract violations surface in the cheapest backend too.
 pub struct InRamSession<'a> {
-    vectors: &'a mut [Box<[f64]>],
+    vectors: &'a mut [AlignedBuf],
     pins: Vec<u32>,
 }
 
@@ -138,8 +138,9 @@ impl VectorSession for InRamSession<'_> {
             assert_ne!(s, target, "source {s} aliases target");
         }
         // SAFETY: target, src1, src2 were bounds-checked at session
-        // creation and are pairwise distinct indices into separately boxed
-        // buffers, so the mutable and shared borrows cannot alias.
+        // creation and are pairwise distinct indices into separately
+        // allocated buffers, so the mutable and shared borrows cannot
+        // alias.
         let base = self.vectors.as_mut_ptr();
         let tv: &mut [f64] = unsafe { &mut *base.add(target as usize) };
         let s1: Option<&[f64]> = src1.map(|i| unsafe { &(**base.add(i as usize)) });
@@ -260,7 +261,7 @@ impl<S: BackingStore> AncestralStore for OocStore<S> {
 pub struct PagedStore {
     arena: PagedArena,
     width: usize,
-    scratch: [Box<[f64]>; 3],
+    scratch: [AlignedBuf; 3],
 }
 
 impl PagedStore {
@@ -272,9 +273,9 @@ impl PagedStore {
             arena,
             width,
             scratch: [
-                vec![0.0; width].into_boxed_slice(),
-                vec![0.0; width].into_boxed_slice(),
-                vec![0.0; width].into_boxed_slice(),
+                AlignedBuf::zeroed(width),
+                AlignedBuf::zeroed(width),
+                AlignedBuf::zeroed(width),
             ],
         }
     }
@@ -296,7 +297,7 @@ impl PagedStore {
 pub struct PagedSession<'a> {
     arena: &'a mut PagedArena,
     width: usize,
-    scratch: &'a mut [Box<[f64]>; 3],
+    scratch: &'a mut [AlignedBuf; 3],
     pins: Vec<AccessRecord>,
 }
 
@@ -328,8 +329,8 @@ impl VectorSession for PagedSession<'_> {
             "target {target} aliases a source"
         );
         // SAFETY: tp, p1, p2 are pairwise distinct indices (pins are
-        // duplicate-free) into separately boxed scratch buffers, so the
-        // mutable and shared borrows cannot alias.
+        // duplicate-free) into separately allocated scratch buffers, so
+        // the mutable and shared borrows cannot alias.
         let base = self.scratch.as_mut_ptr();
         let tv: &mut [f64] = unsafe { &mut *base.add(tp) };
         let s1: Option<&[f64]> = p1.map(|p| unsafe { &(**base.add(p)) });

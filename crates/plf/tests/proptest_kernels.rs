@@ -1,0 +1,210 @@
+//! Property-based equivalence of the kernel backends: for arbitrary
+//! pattern counts, branch lengths, APV contents and underflow magnitudes,
+//! every backend that runs on this machine must agree with the scalar
+//! reference — entries within 1e-13 relative, scale counts *exactly*
+//! equal (the 2⁻²⁵⁶ threshold predicate must never flip across backends).
+
+use phylo_models::{DiscreteGamma, PMatrices, ReversibleModel};
+use phylo_plf::kernels::derivatives::{build_sumtable, SumSide};
+use phylo_plf::kernels::{Dims, KernelBackend};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Backends whose own code path runs for `dims` on this machine.
+fn live_backends(dims: &Dims) -> Vec<KernelBackend> {
+    KernelBackend::ALL
+        .iter()
+        .copied()
+        .filter(|b| *b != KernelBackend::Scalar && b.effective(dims) == *b)
+        .collect()
+}
+
+/// Relative closeness: 1e-13 of the larger magnitude (AVX2 differs from
+/// scalar only by FMA contraction and horizontal-sum reassociation).
+fn close(a: f64, b: f64) -> bool {
+    a == b || (a - b).abs() <= 1e-13 * a.abs().max(b.abs())
+}
+
+fn assert_close_slices(name: &str, got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (i, (&g, &w)) in got.iter().zip(want.iter()).enumerate() {
+        prop_assert!(close(g, w), "{}[{}]: {} vs scalar {}", name, i, g, w);
+    }
+    Ok(())
+}
+
+/// One random kernel workload: APVs drawn at `magnitude` (driving the
+/// 2⁻²⁵⁶ scaling predicate when small), P-matrices from real branch
+/// lengths.
+struct Case {
+    dims: Dims,
+    pm_l: PMatrices,
+    pm_r: PMatrices,
+    model: ReversibleModel,
+    gamma: DiscreteGamma,
+    left: Vec<f64>,
+    right: Vec<f64>,
+    scale_l: Vec<u32>,
+    scale_r: Vec<u32>,
+}
+
+fn build_case(n_patterns: usize, seed: u64, bl_l: f64, bl_r: f64, mag_exp: i32) -> Case {
+    let dims = Dims {
+        n_patterns,
+        n_states: 4,
+        n_cats: 4,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = ReversibleModel::hky85(2.0 + rng.gen_range(0.0..2.0), &[0.3, 0.2, 0.2, 0.3]);
+    let gamma = DiscreteGamma::new(0.5 + rng.gen_range(0.0..1.0), 4);
+    let eigen = model.eigen();
+    let mut pm_l = PMatrices::new(4, 4);
+    let mut pm_r = PMatrices::new(4, 4);
+    pm_l.update(&eigen, &gamma, bl_l);
+    pm_r.update(&eigen, &gamma, bl_r);
+    let magnitude = 10.0f64.powi(mag_exp);
+    let mut apv = |_| {
+        (0..dims.width())
+            .map(|_| rng.gen_range(0.05..1.0) * magnitude)
+            .collect::<Vec<f64>>()
+    };
+    let left = apv(0);
+    let right = apv(1);
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xabcd);
+    let scale_l: Vec<u32> = (0..n_patterns).map(|_| rng2.gen_range(0u32..3)).collect();
+    let scale_r: Vec<u32> = (0..n_patterns).map(|_| rng2.gen_range(0u32..3)).collect();
+    Case {
+        dims,
+        pm_l,
+        pm_r,
+        model,
+        gamma,
+        left,
+        right,
+        scale_l,
+        scale_r,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `newview_inner_inner`: entries within 1e-13, scale counts exact.
+    /// `mag_exp` sweeps from no-scaling (0) to deep-underflow (-100)
+    /// territory; at -100 every site trips the 2⁻²⁵⁶ threshold.
+    #[test]
+    fn newview_backends_agree(
+        n_patterns in 1usize..96,
+        seed in any::<u64>(),
+        bl_l in 1e-6f64..2.0,
+        bl_r in 1e-6f64..2.0,
+        mag_exp in -100i32..0,
+    ) {
+        let case = build_case(n_patterns, seed, bl_l, bl_r, mag_exp);
+        let dims = &case.dims;
+
+        let mut want = vec![0.0f64; dims.width()];
+        let mut want_scale = vec![0u32; n_patterns];
+        KernelBackend::Scalar.newview_inner_inner(
+            dims, &mut want, &mut want_scale,
+            &case.left, &case.scale_l, &case.pm_l,
+            &case.right, &case.scale_r, &case.pm_r,
+        );
+
+        for backend in live_backends(dims) {
+            let mut got = vec![0.0f64; dims.width()];
+            let mut got_scale = vec![0u32; n_patterns];
+            backend.newview_inner_inner(
+                dims, &mut got, &mut got_scale,
+                &case.left, &case.scale_l, &case.pm_l,
+                &case.right, &case.scale_r, &case.pm_r,
+            );
+            prop_assert_eq!(
+                &got_scale, &want_scale,
+                "{} scale counts diverged from scalar", backend.name()
+            );
+            assert_close_slices(backend.name(), &got, &want)?;
+        }
+        // Deep underflow must actually engage the scaling path, so the
+        // equality above is exercised where it matters.
+        if mag_exp <= -80 {
+            prop_assert!(want_scale.iter().all(|&s| s > 0));
+        }
+    }
+
+    /// Root evaluation and NR derivative site terms across backends.
+    #[test]
+    fn evaluate_and_derivative_backends_agree(
+        n_patterns in 1usize..96,
+        seed in any::<u64>(),
+        bl in 1e-6f64..2.0,
+        z in 0.02f64..0.95,
+        mag_exp in -60i32..0,
+    ) {
+        let case = build_case(n_patterns, seed, bl, bl, mag_exp);
+        let dims = &case.dims;
+        let eigen = case.model.eigen();
+        let mut wrng = StdRng::seed_from_u64(seed ^ 0x77);
+        let weights: Vec<u32> = (0..n_patterns).map(|_| wrng.gen_range(1u32..5)).collect();
+
+        let mut want = vec![0.0f64; n_patterns];
+        KernelBackend::Scalar.evaluate_inner_inner_sites(
+            dims, &case.left, &case.scale_l, &case.right, &case.scale_r,
+            &case.pm_l, case.model.freqs(), &weights, &mut want,
+        );
+        for backend in live_backends(dims) {
+            let mut got = vec![0.0f64; n_patterns];
+            backend.evaluate_inner_inner_sites(
+                dims, &case.left, &case.scale_l, &case.right, &case.scale_r,
+                &case.pm_l, case.model.freqs(), &weights, &mut got,
+            );
+            assert_close_slices(backend.name(), &got, &want)?;
+        }
+
+        let mut sumtable = Vec::new();
+        build_sumtable(
+            dims,
+            SumSide::Inner(&case.left),
+            SumSide::Inner(&case.right),
+            &eigen,
+            case.model.freqs(),
+            &mut sumtable,
+        );
+        let scale_sums: Vec<u32> = case
+            .scale_l
+            .iter()
+            .zip(&case.scale_r)
+            .map(|(&a, &b)| a + b)
+            .collect();
+        let mut want = [
+            vec![0.0f64; n_patterns],
+            vec![0.0f64; n_patterns],
+            vec![0.0f64; n_patterns],
+        ];
+        {
+            let [l, d1, d2] = &mut want;
+            KernelBackend::Scalar.nr_derivatives_sites(
+                dims, &sumtable, &weights, &scale_sums,
+                eigen.values(), case.gamma.rates(), z, l, d1, d2,
+            );
+        }
+        for backend in live_backends(dims) {
+            let mut got = [
+                vec![0.0f64; n_patterns],
+                vec![0.0f64; n_patterns],
+                vec![0.0f64; n_patterns],
+            ];
+            {
+                let [l, d1, d2] = &mut got;
+                backend.nr_derivatives_sites(
+                    dims, &sumtable, &weights, &scale_sums,
+                    eigen.values(), case.gamma.rates(), z, l, d1, d2,
+                );
+            }
+            for (part, (g, w)) in ["lnl", "d1", "d2"].iter().zip(got.iter().zip(want.iter())) {
+                assert_close_slices(&format!("{}:{}", backend.name(), part), g, w)?;
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
 use phylo_ooc::ooc::{FileStore, OocConfig, Recorder, StrategyKind, VectorManager};
-use phylo_ooc::plf::{AncestralStore, InRamStore, OocStore, PlfEngine};
+use phylo_ooc::plf::{AncestralStore, InRamStore, KernelBackend, OocStore, PlfEngine};
 use phylo_ooc::search::{hill_climb_observed, parsimony_stepwise_tree, SearchConfig};
 use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
 use phylo_ooc::seq::{
@@ -80,6 +80,8 @@ OPTIONS:
   --radius R        SPR rearrangement radius          [default: 5]
   --rounds K        max SPR rounds                    [default: 8]
   --seed S          RNG seed                          [default: 42]
+  --kernel NAME     likelihood kernel backend: scalar | dna4 | avx2
+                    [default: auto-detect; env OOC_PLF_KERNEL overrides]
   --stats           print out-of-core statistics
   --metrics FILE    write a JSONL observability stream (per-op latency
                     events, histograms, counters) and print a stall
@@ -309,6 +311,22 @@ fn cleanup_scratch() {
     let _ = std::fs::remove_file(scratch_vector_path());
 }
 
+/// Parse `--kernel`; `None` keeps the auto-detected backend (which the
+/// `OOC_PLF_KERNEL` environment variable can still override).
+fn parse_kernel(opts: &Opts) -> Result<Option<KernelBackend>, String> {
+    match opts.get("kernel") {
+        None => Ok(None),
+        Some(name) => name.parse().map(Some),
+    }
+}
+
+/// Apply an explicit `--kernel` choice to a freshly built engine.
+fn apply_kernel<S: AncestralStore>(engine: &mut PlfEngine<S>, kernel: Option<KernelBackend>) {
+    if let Some(k) = kernel {
+        engine.set_kernel(k);
+    }
+}
+
 /// HKY85 with empirical base frequencies — the standard default model.
 fn default_model(comp: &CompressedAlignment) -> ReversibleModel {
     let f = comp.alignment.empirical_freqs();
@@ -350,11 +368,13 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
     let n_items = tree.n_inner();
     let total_bytes = (n_items * dims.width() * 8) as u64;
     let recorder = make_recorder(opts)?;
+    let kernel = parse_kernel(opts)?;
 
     match parse_memory(opts.get("memory"))? {
         MemorySpec::All => {
             let store = InRamStore::new(n_items, dims.width());
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
+            apply_kernel(&mut engine, kernel);
             if let Some(rec) = &recorder {
                 engine.set_recorder(rec.clone());
             }
@@ -389,6 +409,7 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
                 manager.set_recorder(rec.clone());
             }
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
+            apply_kernel(&mut engine, kernel);
             if let Some(rec) = &recorder {
                 engine.set_recorder(rec.clone());
             }
@@ -434,10 +455,12 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     };
 
     let recorder = make_recorder(opts)?;
+    let kernel = parse_kernel(opts)?;
     let (stats, final_tree, mgr_stats) = match parse_memory(opts.get("memory"))? {
         MemorySpec::All => {
             let store = InRamStore::new(n_items, dims.width());
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
+            apply_kernel(&mut engine, kernel);
             if let Some(rec) = &recorder {
                 engine.set_recorder(rec.clone());
             }
@@ -471,6 +494,7 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 manager.set_recorder(rec.clone());
             }
             let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
+            apply_kernel(&mut engine, kernel);
             if let Some(rec) = &recorder {
                 engine.set_recorder(rec.clone());
             }
