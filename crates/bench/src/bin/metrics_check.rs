@@ -292,7 +292,32 @@ struct ScopeTally {
     hists: u64,
     demand_read_events: u64,
     write_back_events: u64,
+    /// Histogram time totals feeding the absorption ratio: manager
+    /// demand-read span time and the prefetch-wait (stalled-read) share
+    /// nested inside it.
+    demand_read_hist_ns: u64,
+    stalled_read_hist_ns: u64,
+    /// Count of manager `staged-load` histogram entries (zero-copy
+    /// adoptions of pipeline-staged buffers).
+    staged_load_hist: u64,
     stats: Option<(u64, u64)>, // (disk_reads, disk_writes)
+    staged_loads_counter: Option<u64>,
+}
+
+impl ScopeTally {
+    /// Fraction of stall time the pipeline absorbed: prefetch-wait over
+    /// prefetch-wait + attributed demand-read. Stalled-read spans are
+    /// nested inside manager demand-read spans, so the attributed demand
+    /// share is the histogram difference. No stall time at all counts as
+    /// fully absorbed.
+    fn prefetch_absorption(&self) -> f64 {
+        let wait = self.stalled_read_hist_ns;
+        let demand = self.demand_read_hist_ns.saturating_sub(wait);
+        if wait + demand == 0 {
+            return 1.0;
+        }
+        wait as f64 / (wait + demand) as f64
+    }
 }
 
 fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
@@ -335,10 +360,16 @@ fn check_event(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
 }
 
 fn check_hist(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
-    get_str(v, "layer")?;
-    get_str(v, "op")?;
+    let layer = get_str(v, "layer")?;
+    let op = get_str(v, "op")?;
     let count = get_u64(v, "count")?;
-    get_u64(v, "sum_ns")?;
+    let sum_ns = get_u64(v, "sum_ns")?;
+    match (layer, op) {
+        ("manager", "demand-read") => tally.demand_read_hist_ns += sum_ns,
+        ("prefetch", "stalled-read") => tally.stalled_read_hist_ns += sum_ns,
+        ("manager", "staged-load") => tally.staged_load_hist += count,
+        _ => {}
+    }
     let min = get_u64(v, "min_ns")?;
     let max = get_u64(v, "max_ns")?;
     if count > 0 && min > max {
@@ -364,7 +395,7 @@ fn check_hist(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
     Ok(())
 }
 
-const STAT_COUNTERS: [&str; 14] = [
+const STAT_COUNTERS: [&str; 15] = [
     "requests",
     "hits",
     "misses",
@@ -379,6 +410,7 @@ const STAT_COUNTERS: [&str; 14] = [
     "plans",
     "hints_issued",
     "hinted_reads",
+    "staged_loads",
 ];
 
 fn check_stats(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
@@ -395,10 +427,11 @@ fn check_stats(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
         }
     }
     tally.stats = Some((get_u64(v, "disk_reads")?, get_u64(v, "disk_writes")?));
+    tally.staged_loads_counter = Some(get_u64(v, "staged_loads")?);
     Ok(())
 }
 
-fn run(path: &str) -> Result<(), String> {
+fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
     let mut scopes: BTreeMap<String, ScopeTally> = BTreeMap::new();
     let mut lines = 0u64;
@@ -446,6 +479,34 @@ fn run(path: &str) -> Result<(), String> {
                 t.write_back_events
             ));
         }
+        // Staged adoptions are hist-only spans; their count must agree
+        // with the counter, or the pipeline is hiding (or inventing)
+        // zero-copy loads.
+        if let Some(staged) = t.staged_loads_counter {
+            if t.staged_load_hist != staged {
+                return Err(format!(
+                    "scope '{scope}': {} manager staged-load histogram entries \
+                     but ooc-stats reports staged_loads = {staged}",
+                    t.staged_load_hist
+                ));
+            }
+        }
+    }
+
+    // Pipeline effectiveness gate (opt-in, for metered pipeline smokes):
+    // every scope must have absorbed at least the requested fraction of
+    // its stall time into prefetch-wait.
+    if let Some(min) = min_absorption {
+        for (scope, t) in &scopes {
+            let a = t.prefetch_absorption();
+            if a < min {
+                return Err(format!(
+                    "scope '{scope}': prefetch absorption {a:.3} below required {min:.3} \
+                     (prefetch-wait {} ns of {} ns demand-span time)",
+                    t.stalled_read_hist_ns, t.demand_read_hist_ns
+                ));
+            }
+        }
     }
 
     println!(
@@ -457,8 +518,13 @@ fn run(path: &str) -> Result<(), String> {
             Some((r, w)) => format!("reconciled (reads {r}, writes {w})"),
             None => "no ooc-stats record (reconciliation skipped)".to_owned(),
         };
+        let absorption = if t.demand_read_hist_ns + t.stalled_read_hist_ns > 0 {
+            format!(", absorption {:.3}", t.prefetch_absorption())
+        } else {
+            String::new()
+        };
         println!(
-            "  {scope}: {} events, {} histograms — {rec}",
+            "  {scope}: {} events, {} histograms{absorption} — {rec}",
             t.events, t.hists
         );
     }
@@ -466,11 +532,27 @@ fn run(path: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: metrics_check <metrics.jsonl>");
+    let mut path = None;
+    let mut min_absorption = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--min-prefetch-absorption" {
+            match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if (0.0..=1.0).contains(&v) => min_absorption = Some(v),
+                _ => {
+                    eprintln!("metrics_check: --min-prefetch-absorption needs a value in [0,1]");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            path = Some(arg);
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: metrics_check [--min-prefetch-absorption X] <metrics.jsonl>");
         return ExitCode::FAILURE;
     };
-    match run(&path) {
+    match run(&path, min_absorption) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("metrics_check: {e}");
@@ -498,6 +580,45 @@ mod tests {
         let v = Parser::parse(bad_kind).unwrap();
         assert!(check_event(&v, &mut ScopeTally::default()).is_err());
         assert!(Parser::parse(r#"{"miss_rate":NaN}"#).is_err());
+    }
+
+    #[test]
+    fn absorption_derives_from_hist_sums() {
+        let mut t = ScopeTally::default();
+        // No stall time at all counts as fully absorbed.
+        assert_eq!(t.prefetch_absorption(), 1.0);
+        // 950 of 1000 demand-span ns were nested prefetch-wait.
+        t.demand_read_hist_ns = 1000;
+        t.stalled_read_hist_ns = 950;
+        assert!((t.prefetch_absorption() - 0.95).abs() < 1e-9);
+        // Pure demand reads, no pipeline: nothing absorbed.
+        t.stalled_read_hist_ns = 0;
+        assert_eq!(t.prefetch_absorption(), 0.0);
+    }
+
+    #[test]
+    fn pipeline_hists_feed_the_tally() {
+        let mut t = ScopeTally::default();
+        let line = r#"{"type":"hist","scope":"s","layer":"prefetch","op":"stalled-read","count":2,"sum_ns":500,"min_ns":100,"max_ns":400,"buckets":[[7,2]]}"#;
+        check_hist(&Parser::parse(line).unwrap(), &mut t).unwrap();
+        let line = r#"{"type":"hist","scope":"s","layer":"manager","op":"staged-load","count":4,"sum_ns":40,"min_ns":5,"max_ns":20,"buckets":[[3,4]]}"#;
+        check_hist(&Parser::parse(line).unwrap(), &mut t).unwrap();
+        assert_eq!(t.stalled_read_hist_ns, 500);
+        assert_eq!(t.staged_load_hist, 4);
+    }
+
+    #[test]
+    fn stats_record_requires_staged_loads() {
+        let line = r#"{"type":"ooc-stats","scope":"s","requests":1,"hits":0,"misses":1,"disk_reads":1,"disk_writes":0,"skipped_reads":0,"cold_loads":0,"evictions":0,"bytes_read":8,"bytes_written":0,"io_errors":0,"plans":0,"hints_issued":0,"hinted_reads":0,"staged_loads":0,"miss_rate":1.0,"read_rate":1.0}"#;
+        let mut t = ScopeTally::default();
+        check_stats(&Parser::parse(line).unwrap(), &mut t).unwrap();
+        assert_eq!(t.staged_loads_counter, Some(0));
+        let missing = line.replace(r#""staged_loads":0,"#, "");
+        assert!(check_stats(
+            &Parser::parse(&missing).unwrap(),
+            &mut ScopeTally::default()
+        )
+        .is_err());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use obs::{
     NullSink, Recorder, StallAttribution, StallKind,
 };
 pub use plan::{AccessPlan, AccessRecord, PlanCursor};
-pub use prefetch::PrefetchingStore;
+pub use prefetch::{PrefetchStats, PrefetchingStore};
 pub use retry::{RetryPolicy, RetryStats, RetryingStore};
 pub use shard::{par_each_mut, parallelism, ShardSpec, ShardedManager};
 pub use stats::OocStats;

@@ -245,6 +245,11 @@ pub struct VectorManager<S: BackingStore> {
     hinted: Vec<bool>,
     /// Cursor over the active access plan, if one was submitted.
     cursor: Option<PlanCursor>,
+    /// The store accepted the whole plan for pipelined streaming
+    /// ([`BackingStore::install_read_plan`]): the I/O worker walks the
+    /// read-first stream ahead of the cursor on its own, so the manager
+    /// reports cursor progress instead of issuing per-window hints.
+    plan_streamed: bool,
     /// When set, every access is appended here (pass one of the two-pass
     /// Belady oracle used by the benchmarks).
     recording: Option<Vec<AccessRecord>>,
@@ -284,6 +289,7 @@ impl<S: BackingStore> VectorManager<S> {
             skip_read: vec![false; cfg.n_items],
             hinted: vec![false; cfg.n_items],
             cursor: None,
+            plan_streamed: false,
             recording: None,
             oracle: None,
             strategy,
@@ -412,9 +418,26 @@ impl<S: BackingStore> VectorManager<S> {
         if self.oracle.is_none() {
             self.strategy.on_plan(&plan);
         }
+        // Hand the whole read-first stream to the store first: a pipelined
+        // store streams it window-by-window on its I/O worker (superseding
+        // the previous plan's generation atomically), and the manager only
+        // reports cursor progress from then on. Stores without a pipeline
+        // decline, and the legacy windowed hint flow below takes over.
+        self.plan_streamed = window > 0
+            && self
+                .store
+                .install_read_plan(plan.read_first_items(), window);
         let mut cursor = PlanCursor::new(plan);
-        let hints = cursor.collect_hints(window);
-        self.issue_hints(&hints);
+        if self.plan_streamed {
+            let first_reads = cursor.plan().read_first_items();
+            self.stats.hints_issued += first_reads.len() as u64;
+            for &item in first_reads {
+                self.hinted[item as usize] = true;
+            }
+        } else {
+            let hints = cursor.collect_hints(window);
+            self.issue_hints(&hints);
+        }
         self.cursor = Some(cursor);
     }
 
@@ -453,11 +476,22 @@ impl<S: BackingStore> VectorManager<S> {
             return; // off-plan access; cursor holds its position
         }
         let pos = cursor.pos();
-        let hints = cursor.collect_hints(self.cfg.prefetch_window);
         if self.oracle.is_none() {
             self.strategy.on_plan_pos(pos);
         }
-        self.issue_hints(&hints);
+        if self.plan_streamed {
+            // The I/O worker owns the hint stream; it only needs to know
+            // how far the compute cursor got to release the next window
+            // and retire staged copies the cursor has passed over.
+            let passed = self.cursor.as_ref().map_or(0, |c| c.first_reads_passed());
+            self.store.plan_advanced(passed);
+        } else {
+            let hints = self
+                .cursor
+                .as_mut()
+                .map_or_else(Vec::new, |c| c.collect_hints(self.cfg.prefetch_window));
+            self.issue_hints(&hints);
+        }
     }
 
     /// Ensure `item` is resident and return its slot. The paper's
@@ -538,8 +572,37 @@ impl<S: BackingStore> VectorManager<S> {
                     && (self.skip_read[item as usize] || intent == Intent::Write);
                 if skip {
                     self.stats.skipped_reads += 1;
+                } else if let Some(staged) = self.store.take_staged(item) {
+                    // Pipelined path: adopt the worker's staged buffer into
+                    // the slot wholesale — no copy, no store read, and the
+                    // compute thread never touched the disk.
+                    debug_assert_eq!(staged.len(), self.cfg.width);
+                    let t0 = self.obs.as_ref().map(|r| r.now());
+                    self.slots[s] = staged;
+                    self.stats.staged_loads += 1;
+                    if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        rec.span_at("manager", "staged-load", StallKind::Compute, t0)
+                            .item(item)
+                            .hist_only()
+                            .unattributed()
+                            .finish();
+                    }
+                    if self.hinted[item as usize] {
+                        self.hinted[item as usize] = false;
+                        self.stats.hinted_reads += 1;
+                    }
                 } else {
                     let t0 = self.obs.as_ref().map(|r| r.now());
+                    // Any prefetch-wait the store records while we sit in
+                    // this read (a demand read overlapping its own
+                    // in-flight prefetch) must stay attributed to
+                    // prefetch-wait alone: carve it out of the demand-read
+                    // span so the stall kinds stay disjoint by
+                    // construction.
+                    let pw0 = self
+                        .obs
+                        .as_ref()
+                        .map(|r| r.kind_ns(StallKind::PrefetchWait));
                     // The slot is still unoccupied at this point, so a
                     // failed read leaves `item` safely in the store.
                     self.store.read(item, &mut self.slots[s]).map_err(|e| {
@@ -550,9 +613,11 @@ impl<S: BackingStore> VectorManager<S> {
                     self.stats.bytes_read += self.cfg.width as u64 * 8;
                     // Success only, so demand-read events == disk_reads.
                     if let (Some(rec), Some(t0)) = (&self.obs, t0) {
+                        let overlap = rec.kind_ns(StallKind::PrefetchWait) - pw0.unwrap_or(0);
                         rec.span_at("manager", "demand-read", StallKind::DemandRead, t0)
                             .item(item)
                             .bytes(self.cfg.width as u64 * 8)
+                            .exclude(overlap)
                             .finish();
                     }
                     if self.hinted[item as usize] {

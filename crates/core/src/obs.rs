@@ -24,16 +24,20 @@
 //! Spans carry a [`StallKind`] and an *attributed* flag. Only attributed
 //! spans accumulate into the stall totals, and the kinds form two groups:
 //!
-//! * **top-level** — [`StallKind::DemandRead`], [`StallKind::WriteBack`]
-//!   and [`StallKind::BarrierWait`]. These are recorded at the top of the
-//!   residency stack (the manager around its store calls, the sharded
-//!   engine around its joins) and are disjoint by construction, so
-//!   `compute = wall − demand_read − write_back − barrier_wait`.
-//! * **nested** — [`StallKind::PrefetchWait`] and
-//!   [`StallKind::RetryBackoff`]. These are carved *out of* an enclosing
-//!   top-level span by a lower layer (a prefetching store classifying a
-//!   too-late hint, a retrying store sleeping between attempts). They are
-//!   reported as "of which" lines and must not be subtracted again.
+//! * **top-level** — [`StallKind::DemandRead`], [`StallKind::WriteBack`],
+//!   [`StallKind::PrefetchWait`] and [`StallKind::BarrierWait`]. These are
+//!   disjoint by construction, so `compute = wall − demand_read −
+//!   write_back − prefetch_wait − barrier_wait`. Demand-read and
+//!   prefetch-wait can overlap in *time* (a demand read arriving while
+//!   its own prefetch is in flight waits for the worker), but never in
+//!   *attribution*: the prefetching store attributes the wait to
+//!   prefetch-wait, and the manager carves that same duration out of its
+//!   enclosing demand-read span via [`Span::exclude`], so the overlap is
+//!   counted exactly once.
+//! * **nested** — [`StallKind::RetryBackoff`]. Carved *out of* an
+//!   enclosing top-level span by a lower layer (a retrying store sleeping
+//!   between attempts), reported as an "of which" line and never
+//!   subtracted again.
 //!
 //! Lower layers that merely observe time already covered by an enclosing
 //! span (e.g. a [`crate::TieredStore`] read under the manager's demand
@@ -309,7 +313,10 @@ pub enum StallKind {
     DemandRead,
     /// Top-level: an eviction or flush wrote a vector to the store.
     WriteBack,
-    /// Nested: a demand read arrived while its prefetch was in flight.
+    /// Top-level: waiting on the prefetch pipeline (a demand read arrived
+    /// while its prefetch was in flight). Disjoint from
+    /// [`StallKind::DemandRead`]: the manager excludes this time from its
+    /// enclosing span (see [`Span::exclude`]).
     PrefetchWait,
     /// Nested: a retry layer slept between attempts.
     RetryBackoff,
@@ -364,8 +371,9 @@ pub struct StallAttribution {
     pub write_back_ns: u64,
     /// Top-level: shards waiting at the implicit join barrier.
     pub barrier_wait_ns: u64,
-    /// Nested inside demand reads: hint issued too late, the demand read
-    /// overlapped its own prefetch.
+    /// Top-level: waiting on the prefetch pipeline (hint or plan window
+    /// still in flight when the demand read arrived). Disjoint from
+    /// `demand_read_ns` by construction.
     pub prefetch_wait_ns: u64,
     /// Nested inside demand reads / write-backs: retry backoff sleeps.
     pub retry_backoff_ns: u64,
@@ -378,6 +386,7 @@ impl StallAttribution {
         self.wall_ns
             .saturating_sub(self.demand_read_ns)
             .saturating_sub(self.write_back_ns)
+            .saturating_sub(self.prefetch_wait_ns)
             .saturating_sub(self.barrier_wait_ns)
     }
 
@@ -409,8 +418,9 @@ impl std::fmt::Display for StallAttribution {
         )?;
         writeln!(
             f,
-            "    of which prefetch-wait {:>10.3} ms",
-            ms(self.prefetch_wait_ns)
+            "  prefetch-wait{:>10.3} ms ({:5.1}%)",
+            ms(self.prefetch_wait_ns),
+            self.frac(self.prefetch_wait_ns) * 100.0
         )?;
         writeln!(
             f,
@@ -618,7 +628,8 @@ impl<W: io::Write> EventSink for JsonlSink<W> {
              \"disk_writes\":{},\"skipped_reads\":{},\"cold_loads\":{},\
              \"evictions\":{},\"bytes_read\":{},\"bytes_written\":{},\
              \"io_errors\":{},\"plans\":{},\"hints_issued\":{},\
-             \"hinted_reads\":{},\"miss_rate\":{},\"read_rate\":{}}}",
+             \"hinted_reads\":{},\"staged_loads\":{},\"miss_rate\":{},\
+             \"read_rate\":{}}}",
             s.requests,
             s.hits,
             s.misses,
@@ -633,6 +644,7 @@ impl<W: io::Write> EventSink for JsonlSink<W> {
             s.plans,
             s.hints_issued,
             s.hinted_reads,
+            s.staged_loads,
             s.miss_rate(),
             s.read_rate(),
         ));
@@ -770,7 +782,20 @@ impl Recorder {
             n: 1,
             attributed: true,
             emit: true,
+            exclude_ns: 0,
         }
+    }
+
+    /// Record a histogram-only gauge sample for `(layer, op)` — no event,
+    /// no stall attribution. Used for pipeline-depth / window-lag style
+    /// instantaneous values, where the histogram *is* the signal.
+    pub fn sample(&self, layer: &'static str, op: &'static str, value: u64) {
+        self.inner
+            .hists
+            .lock()
+            .entry((layer, op))
+            .or_default()
+            .record(value);
     }
 
     fn record(&self, span: &Span<'_>, end_ns: u64) {
@@ -782,7 +807,8 @@ impl Recorder {
             .or_default()
             .record(dur);
         if span.attributed {
-            self.inner.kind_ns[span.kind.index()].fetch_add(dur, Ordering::Relaxed);
+            let attributed = dur.saturating_sub(span.exclude_ns);
+            self.inner.kind_ns[span.kind.index()].fetch_add(attributed, Ordering::Relaxed);
         }
         if span.emit {
             self.inner.events.fetch_add(1, Ordering::Relaxed);
@@ -871,6 +897,7 @@ pub struct Span<'r> {
     n: u64,
     attributed: bool,
     emit: bool,
+    exclude_ns: u64,
 }
 
 impl Span<'_> {
@@ -910,6 +937,16 @@ impl Span<'_> {
     /// enclosing attributed span (see the module-level taxonomy).
     pub fn unattributed(mut self) -> Self {
         self.attributed = false;
+        self
+    }
+
+    /// Carve `ns` out of this span's *attributed* duration (event and
+    /// histogram keep the raw duration). This is how an enclosing span
+    /// stays disjoint from a lower layer's top-level attribution: the
+    /// manager excludes the prefetch-wait time its store just recorded
+    /// from the enclosing demand-read span.
+    pub fn exclude(mut self, ns: u64) -> Self {
+        self.exclude_ns = ns;
         self
     }
 
@@ -1088,7 +1125,9 @@ mod tests {
             prefetch_wait_ns: 500_000,
             retry_backoff_ns: 250_000,
         };
-        assert_eq!(att.compute_ns(), 4_000_000);
+        // Prefetch-wait is top-level (disjoint from demand-read), so it
+        // is subtracted from compute too.
+        assert_eq!(att.compute_ns(), 3_500_000);
         let text = att.to_string();
         for kind in [
             "compute",
@@ -1099,6 +1138,43 @@ mod tests {
             "barrier-wait",
         ] {
             assert!(text.contains(kind), "missing {kind} in report");
+        }
+    }
+
+    #[test]
+    fn exclude_carves_attribution_but_not_event_duration() {
+        let clock = ManualClock::new();
+        let (sink, events) = MemorySink::new();
+        let rec = Recorder::new(clock.clone(), sink);
+        let span = rec.span("manager", "demand-read", StallKind::DemandRead);
+        clock.advance(1000);
+        span.exclude(800).finish();
+        // Attribution sees only the non-excluded remainder...
+        assert_eq!(rec.kind_ns(StallKind::DemandRead), 200);
+        // ...but the event and histogram keep the raw duration.
+        assert_eq!(events.lock()[0].dur_ns, 1000);
+        assert_eq!(
+            rec.histogram("manager", "demand-read").unwrap().sum_ns(),
+            1000
+        );
+        // Over-exclusion saturates to zero rather than underflowing.
+        let span = rec.span("manager", "demand-read", StallKind::DemandRead);
+        clock.advance(100);
+        span.exclude(500).finish();
+        assert_eq!(rec.kind_ns(StallKind::DemandRead), 200);
+    }
+
+    #[test]
+    fn sample_is_histogram_only() {
+        let rec = Recorder::new(ManualClock::new(), MemorySink::new().0);
+        rec.sample("prefetch", "pipeline-depth", 3);
+        rec.sample("prefetch", "pipeline-depth", 5);
+        let h = rec.histogram("prefetch", "pipeline-depth").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_ns(), 8);
+        assert_eq!(rec.events_recorded(), 0, "samples emit no events");
+        for kind in StallKind::ALL {
+            assert_eq!(rec.kind_ns(kind), 0, "samples attribute nothing");
         }
     }
 

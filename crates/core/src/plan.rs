@@ -167,6 +167,10 @@ pub struct PlanCursor {
     hinted_upto: usize,
     /// Hinted first-read records still ahead of `pos`.
     hints_ahead: usize,
+    /// First-read records the cursor has moved past (cumulative) — the
+    /// consumption signal for a plan-streaming store
+    /// ([`crate::store::BackingStore::plan_advanced`]).
+    first_reads_passed: usize,
 }
 
 impl PlanCursor {
@@ -177,6 +181,7 @@ impl PlanCursor {
             pos: 0,
             hinted_upto: 0,
             hints_ahead: 0,
+            first_reads_passed: 0,
         }
     }
 
@@ -202,12 +207,22 @@ impl PlanCursor {
     pub fn advance(&mut self, item: ItemId) -> Option<usize> {
         let next = self.plan.next_use_after(item, self.pos)?;
         for idx in self.pos..=next {
-            if idx < self.hinted_upto && self.plan.is_first_read(idx) {
-                self.hints_ahead = self.hints_ahead.saturating_sub(1);
+            if self.plan.is_first_read(idx) {
+                self.first_reads_passed += 1;
+                if idx < self.hinted_upto {
+                    self.hints_ahead = self.hints_ahead.saturating_sub(1);
+                }
             }
         }
         self.pos = next + 1;
         Some(next)
+    }
+
+    /// First-read records the cursor has moved past so far (cumulative;
+    /// skipped-over records count — their planned use has passed either
+    /// way).
+    pub fn first_reads_passed(&self) -> usize {
+        self.first_reads_passed
     }
 
     /// Top the lookahead window back up to `window` hinted first-reads
@@ -327,6 +342,24 @@ mod tests {
         // including the hinted-but-never-used record 0.
         assert_eq!(c.advance(3), Some(3));
         assert_eq!(c.collect_hints(1), Vec::<u32>::new(), "plan exhausted");
+        assert!(c.is_exhausted());
+    }
+
+    #[test]
+    fn first_reads_passed_counts_consumed_and_skipped() {
+        // First-reads at records 0, 2, 4 (item 0's second read at 3 is
+        // not a first-read); a write at 1.
+        let p = plan(&[(0, R), (5, W), (1, R), (0, R), (2, R)], 8);
+        let mut c = PlanCursor::new(p);
+        assert_eq!(c.first_reads_passed(), 0);
+        c.advance(0);
+        assert_eq!(c.first_reads_passed(), 1);
+        // Off-plan access: no movement, no counting.
+        c.advance(7);
+        assert_eq!(c.first_reads_passed(), 1);
+        // Jump to the end: first-reads at 2 and 4 pass in one advance.
+        c.advance(2);
+        assert_eq!(c.first_reads_passed(), 3);
         assert!(c.is_exhausted());
     }
 }

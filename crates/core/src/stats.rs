@@ -45,6 +45,12 @@ pub struct OocStats {
     /// hints_issued` close to 1 means the lookahead window is neither
     /// stale nor wasted.
     pub hinted_reads: u64,
+    /// Misses resolved by adopting a staged buffer from the prefetch
+    /// pipeline without a store read or a copy
+    /// ([`crate::store::BackingStore::take_staged`]). Not counted in
+    /// `disk_reads` — the pipeline already paid the disk read when it
+    /// staged the buffer.
+    pub staged_loads: u64,
 }
 
 impl OocStats {
@@ -105,6 +111,7 @@ impl OocStats {
             plans: self.plans - earlier.plans,
             hints_issued: self.hints_issued - earlier.hints_issued,
             hinted_reads: self.hinted_reads - earlier.hinted_reads,
+            staged_loads: self.staged_loads - earlier.staged_loads,
         }
     }
 
@@ -159,6 +166,7 @@ impl std::ops::AddAssign for OocStats {
             plans,
             hints_issued,
             hinted_reads,
+            staged_loads,
         } = rhs;
         self.requests += requests;
         self.hits += hits;
@@ -174,6 +182,7 @@ impl std::ops::AddAssign for OocStats {
         self.plans += plans;
         self.hints_issued += hints_issued;
         self.hinted_reads += hinted_reads;
+        self.staged_loads += staged_loads;
     }
 }
 
@@ -298,7 +307,7 @@ mod tests {
         // sneaking in) and verifies every field doubles under `x + x`.
         assert_eq!(
             std::mem::size_of::<OocStats>(),
-            14 * std::mem::size_of::<u64>(),
+            15 * std::mem::size_of::<u64>(),
             "OocStats gained or lost a counter: update AddAssign, since(), \
              the JSONL emitter and this guard together"
         );
@@ -317,6 +326,7 @@ mod tests {
             plans: 1,
             hints_issued: 1,
             hinted_reads: 1,
+            staged_loads: 1,
         };
         let twos = OocStats {
             requests: 2,
@@ -333,6 +343,7 @@ mod tests {
             plans: 2,
             hints_issued: 2,
             hinted_reads: 2,
+            staged_loads: 2,
         };
         assert_eq!(ones + ones, twos);
         assert_eq!(ones.merged(&ones), twos);

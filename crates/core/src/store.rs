@@ -39,8 +39,60 @@ pub trait BackingStore {
     /// Write the vector of `item` from `buf`.
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()>;
 
+    /// Read `count` consecutive items starting at `first` into `buf`
+    /// (`buf.len() == count · width`). The default chunks into per-item
+    /// [`BackingStore::read`] calls; stores with a contiguous on-disk
+    /// layout override this with one positioned transfer, which is how
+    /// the prefetch pipeline coalesces adjacent plan reads (§3.1's
+    /// amortisation argument applied across vectors).
+    fn read_batch(&mut self, first: ItemId, count: usize, buf: &mut [f64]) -> io::Result<()> {
+        assert!(count > 0 && buf.len().is_multiple_of(count));
+        let width = buf.len() / count;
+        for (k, chunk) in buf.chunks_mut(width).enumerate() {
+            self.read(first + k as ItemId, chunk)?;
+        }
+        Ok(())
+    }
+
+    /// Write `count` consecutive items starting at `first` from `buf`
+    /// (`buf.len() == count · width`). Default and override semantics as
+    /// [`BackingStore::read_batch`].
+    fn write_batch(&mut self, first: ItemId, count: usize, buf: &[f64]) -> io::Result<()> {
+        assert!(count > 0 && buf.len().is_multiple_of(count));
+        let width = buf.len() / count;
+        for (k, chunk) in buf.chunks(width).enumerate() {
+            self.write(first + k as ItemId, chunk)?;
+        }
+        Ok(())
+    }
+
     /// Advisory: the caller expects to read these items soon.
     fn hint(&mut self, _upcoming: &[ItemId]) {}
+
+    /// Hand the store the full ordered first-read stream of a freshly
+    /// installed access plan. A store that can stream it ahead of the
+    /// compute cursor (the prefetch pipeline) returns `true`, telling the
+    /// caller to *skip* incremental [`BackingStore::hint`] batches for
+    /// this plan and report progress via
+    /// [`BackingStore::plan_advanced`] instead. `window` is the caller's
+    /// lookahead window (items per pipeline window). Plain stores keep
+    /// the default: return `false`, caller falls back to windowed hints.
+    fn install_read_plan(&mut self, _first_reads: &[ItemId], _window: usize) -> bool {
+        false
+    }
+
+    /// Progress report for an installed read plan: the caller has consumed
+    /// `first_reads_passed` records of the first-read stream (cumulative,
+    /// monotone). Releases pipeline backpressure and lets the store drop
+    /// staged items whose planned use has passed.
+    fn plan_advanced(&mut self, _first_reads_passed: usize) {}
+
+    /// Take ownership of a staged (prefetched) copy of `item`, if the
+    /// store holds one, avoiding the copy of a demand read. Stores without
+    /// a staging layer return `None` and the caller does a normal read.
+    fn take_staged(&mut self, _item: ItemId) -> Option<AlignedBuf> {
+        None
+    }
 
     /// Advisory: previously hinted items are no longer expected — the
     /// caller's plan changed (e.g. [`crate::VectorManager::begin_plan`]
@@ -53,6 +105,52 @@ pub trait BackingStore {
     /// Flush any buffered state to durable storage.
     fn flush(&mut self) -> io::Result<()> {
         Ok(())
+    }
+}
+
+/// Boxed stores forward every method (including the plan-pipeline entry
+/// points, which the blanket defaults would otherwise swallow), so callers
+/// can pick a store stack at runtime — e.g. the CLI wrapping its vector
+/// file in a prefetch pipeline only when `--io-threads` asks for one.
+impl<S: BackingStore + ?Sized> BackingStore for Box<S> {
+    fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
+        (**self).read(item, buf)
+    }
+
+    fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
+        (**self).write(item, buf)
+    }
+
+    fn read_batch(&mut self, first: ItemId, count: usize, buf: &mut [f64]) -> io::Result<()> {
+        (**self).read_batch(first, count, buf)
+    }
+
+    fn write_batch(&mut self, first: ItemId, count: usize, buf: &[f64]) -> io::Result<()> {
+        (**self).write_batch(first, count, buf)
+    }
+
+    fn hint(&mut self, upcoming: &[ItemId]) {
+        (**self).hint(upcoming)
+    }
+
+    fn install_read_plan(&mut self, first_reads: &[ItemId], window: usize) -> bool {
+        (**self).install_read_plan(first_reads, window)
+    }
+
+    fn plan_advanced(&mut self, first_reads_passed: usize) {
+        (**self).plan_advanced(first_reads_passed)
+    }
+
+    fn take_staged(&mut self, item: ItemId) -> Option<AlignedBuf> {
+        (**self).take_staged(item)
+    }
+
+    fn forget_hints(&mut self) {
+        (**self).forget_hints()
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        (**self).flush()
     }
 }
 
@@ -193,6 +291,19 @@ impl FileStore {
     fn offset(&self, item: ItemId) -> u64 {
         self.base + item as u64 * self.width as u64 * 8
     }
+
+    /// A second handle onto the same store (same inode, width and region
+    /// base). Positioned I/O needs no shared cursor, so the clone can be
+    /// driven from another thread — this is how per-shard prefetch
+    /// pipelines get worker handles onto region stores carved out by
+    /// [`FileStore::create_regions`].
+    pub fn try_clone(&self) -> io::Result<FileStore> {
+        Ok(FileStore {
+            file: self.file.try_clone()?,
+            width: self.width,
+            base: self.base,
+        })
+    }
 }
 
 impl BackingStore for FileStore {
@@ -207,6 +318,21 @@ impl BackingStore for FileStore {
         debug_assert_eq!(buf.len(), self.width);
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(as_bytes(buf), self.offset(item))
+    }
+
+    fn read_batch(&mut self, first: ItemId, count: usize, buf: &mut [f64]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), count * self.width);
+        use std::os::unix::fs::FileExt;
+        // Consecutive items are adjacent on disk: one positioned read
+        // covers the whole run.
+        self.file
+            .read_exact_at(as_bytes_mut(buf), self.offset(first))
+    }
+
+    fn write_batch(&mut self, first: ItemId, count: usize, buf: &[f64]) -> io::Result<()> {
+        debug_assert_eq!(buf.len(), count * self.width);
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(as_bytes(buf), self.offset(first))
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -428,6 +554,60 @@ mod tests {
         }
         assert!(dir.path().join("a.bin.0").exists());
         assert!(dir.path().join("a.dat.1").exists());
+    }
+
+    #[test]
+    fn batch_io_matches_scalar_io() {
+        // FileStore's single-transfer override and the default chunking
+        // impl (exercised via MemStore) must agree with per-item I/O.
+        let dir = tempfile::tempdir().unwrap();
+        let (n, w) = (9usize, 11usize);
+        let mut file = FileStore::create(dir.path().join("batch.bin"), n, w).unwrap();
+        let mut mem = MemStore::new(n, w);
+        let all: Vec<f64> = (0..n as u32).flat_map(|i| pattern(i, w)).collect();
+        file.write_batch(0, n, &all).unwrap();
+        mem.write_batch(0, n, &all).unwrap();
+        let mut buf = vec![0.0; w];
+        for item in 0..n as u32 {
+            file.read(item, &mut buf).unwrap();
+            assert_eq!(buf, pattern(item, w));
+            mem.read(item, &mut buf).unwrap();
+            assert_eq!(buf, pattern(item, w));
+        }
+        // Partial run, offset start.
+        let mut run = vec![0.0; 3 * w];
+        file.read_batch(4, 3, &mut run).unwrap();
+        let expect: Vec<f64> = (4..7u32).flat_map(|i| pattern(i, w)).collect();
+        assert_eq!(run, expect);
+        run.fill(0.0);
+        mem.read_batch(4, 3, &mut run).unwrap();
+        assert_eq!(run, expect);
+    }
+
+    #[test]
+    fn file_store_try_clone_shares_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut a = FileStore::create(dir.path().join("clone.bin"), 4, 8).unwrap();
+        let mut b = a.try_clone().unwrap();
+        a.write(2, &pattern(2, 8)).unwrap();
+        let mut buf = vec![0.0; 8];
+        b.read(2, &mut buf).unwrap();
+        assert_eq!(buf, pattern(2, 8));
+    }
+
+    #[test]
+    fn region_clone_preserves_base() {
+        let dir = tempfile::tempdir().unwrap();
+        let widths = [8usize, 8];
+        let mut regions = FileStore::create_regions(dir.path().join("rc.bin"), 3, &widths).unwrap();
+        regions[1].write(0, &pattern(9, 8)).unwrap();
+        let mut clone = regions[1].try_clone().unwrap();
+        let mut buf = vec![0.0; 8];
+        clone.read(0, &mut buf).unwrap();
+        assert_eq!(buf, pattern(9, 8), "clone must keep the region base");
+        // Region 0 is untouched (still zeros).
+        regions[0].read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -174,8 +174,60 @@ impl<S: BackingStore> BackingStore for TieredStore<S> {
         result
     }
 
+    fn read_batch(&mut self, first: ItemId, count: usize, buf: &mut [f64]) -> io::Result<()> {
+        assert!(count > 0 && buf.len().is_multiple_of(count));
+        let width = buf.len() / count;
+        // Serve tier-resident items from the tier and fold the uncached
+        // remainder into maximal contiguous inner batches, so a pipelined
+        // caller above still gets coalesced inner-store I/O.
+        let mut k = 0;
+        while k < count {
+            let item = first + k as ItemId;
+            if self.entries.contains_key(&item) {
+                self.read(item, &mut buf[k * width..(k + 1) * width])?;
+                k += 1;
+                continue;
+            }
+            let mut run = 1;
+            while k + run < count && !self.entries.contains_key(&(first + (k + run) as ItemId)) {
+                run += 1;
+            }
+            self.inner
+                .read_batch(item, run, &mut buf[k * width..(k + run) * width])?;
+            self.stats.misses += run as u64;
+            for j in 0..run {
+                let chunk = &buf[(k + j) * width..(k + j + 1) * width];
+                self.insert(
+                    first + (k + j) as ItemId,
+                    chunk.to_vec().into_boxed_slice(),
+                    false,
+                )?;
+            }
+            k += run;
+        }
+        Ok(())
+    }
+
     fn hint(&mut self, upcoming: &[ItemId]) {
         self.inner.hint(upcoming);
+    }
+
+    fn install_read_plan(&mut self, first_reads: &[ItemId], window: usize) -> bool {
+        // The inner store may pipeline the plan; tier-resident items will
+        // simply resolve as tier hits before its staging is consulted.
+        self.inner.install_read_plan(first_reads, window)
+    }
+
+    fn plan_advanced(&mut self, first_reads_passed: usize) {
+        self.inner.plan_advanced(first_reads_passed);
+    }
+
+    fn take_staged(&mut self, _item: ItemId) -> Option<crate::aligned::AlignedBuf> {
+        // Never hand inner staged buffers past the tier: reads must flow
+        // through `read` so the tier caches them and its hit/miss
+        // accounting stays truthful. The inner staging still pays off —
+        // tier misses consume it inside `inner.read`.
+        None
     }
 
     fn forget_hints(&mut self) {

@@ -338,6 +338,13 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// actual likelihood computations"). Read skipping, prefetch lookahead
     /// and plan-aware replacement all derive from the one submitted
     /// [`ooc_core::AccessPlan`] — there is no separate written/reads scan.
+    /// When the backing store runs a plan-driven I/O pipeline
+    /// (`ooc_core::PrefetchingStore`), this same submission installs the
+    /// plan on the pipeline's worker threads, which then stream the next
+    /// window of first-reads while the combine loop below is chewing the
+    /// current one. The pipeline affects only *when* vectors are read,
+    /// never their contents, so likelihoods are bit-identical with or
+    /// without it — per shard and in serial.
     pub(crate) fn execute_plan(&mut self, plan: &TraversalPlan) -> OocResult<()> {
         let t0 = self.obs.as_ref().map(|r| r.now());
         // Even a step-free plan (fully oriented tree) is submitted: its

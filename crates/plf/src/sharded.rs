@@ -26,6 +26,17 @@
 //! The shard trees are kept in lockstep: every topology or parameter
 //! operation is forwarded to all shards, so their traversal plans — and
 //! hence each shard's residency access pattern — coincide.
+//!
+//! **Per-shard I/O pipelines.** Because every shard owns its store
+//! outright, each one may independently wrap its region in a plan-driven
+//! `ooc_core::PrefetchingStore`: shard `k`'s I/O workers stream shard
+//! `k`'s plan window from shard `k`'s region while shard `k`'s kernels
+//! compute, with no cross-shard coordination (the regions are disjoint
+//! byte ranges of one file, accessed by positioned I/O). The pipeline
+//! moves bytes earlier but never changes them, so the determinism
+//! argument above is untouched — pipelined shards remain bit-identical
+//! to the serial engine. See `setup::sharded_engine_file_pipelined` in
+//! the facade crate for the canonical wiring.
 
 use crate::brlen::{newton_optimize, smoothing_order};
 use crate::kernels::{Dims, KernelBackend};

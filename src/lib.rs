@@ -55,7 +55,9 @@ pub use phylo_tree as tree;
 pub mod setup {
     //! Canonical experiment setups shared by examples, tests and benches.
 
-    use ooc_core::{FileStore, MemStore, OocConfig, ShardSpec, StrategyKind, VectorManager};
+    use ooc_core::{
+        FileStore, MemStore, OocConfig, PrefetchingStore, ShardSpec, StrategyKind, VectorManager,
+    };
     use phylo_models::{DiscreteGamma, ReversibleModel};
     use phylo_plf::{
         InRamStore, OocStore, PagedStore, PlfEngine, ShardedPlfEngine, SharedTree, TreeOracle,
@@ -312,6 +314,59 @@ pub mod setup {
                 OocStore::new(VectorManager::new(cfg, strategy, store))
             })
             .collect();
+        Ok(ShardedPlfEngine::new(
+            data.tree.clone(),
+            &data.comp,
+            data.model.clone(),
+            data.spec.alpha,
+            data.spec.n_cats,
+            spec,
+            stores,
+        ))
+    }
+
+    /// As [`sharded_engine_file`] but with each shard's region store
+    /// wrapped in a plan-driven [`PrefetchingStore`] pipeline driven by
+    /// `io_threads` dedicated I/O workers per shard. Worker handles are
+    /// [`FileStore::try_clone`]s of the shard's own region, so staged
+    /// reads and folded write-backs act on exactly the bytes the shard
+    /// owns; log-likelihoods remain bit-identical to the serial engines
+    /// because the pipeline only changes *when* bytes move, never their
+    /// values. `io_threads == 0` degenerates to unpipelined shards.
+    pub fn sharded_engine_file_pipelined<P: AsRef<Path>>(
+        data: &Dataset,
+        path: P,
+        f: f64,
+        kind: StrategyKind,
+        n_shards: usize,
+        io_threads: usize,
+        window: usize,
+    ) -> std::io::Result<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>> {
+        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
+        let dims = ShardedPlfEngine::<OocStore<PrefetchingStore<FileStore>>>::shard_dims(
+            &data.comp,
+            data.spec.n_cats,
+            &spec,
+        );
+        let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
+        let regions = FileStore::create_regions(path, data.n_items(), &widths)?;
+        let stores = regions
+            .into_iter()
+            .zip(&widths)
+            .map(|(store, &w)| {
+                let workers = (0..io_threads.max(1))
+                    .map(|_| store.try_clone())
+                    .collect::<std::io::Result<Vec<_>>>()?;
+                let pipelined = PrefetchingStore::with_pool(store, workers, data.n_items(), w);
+                let cfg = OocConfig::builder(data.n_items(), w)
+                    .fraction(f)
+                    .prefetch_window(window)
+                    .build()
+                    .expect("valid out-of-core config");
+                let (strategy, _) = build_strategy(kind, &data.tree);
+                Ok(OocStore::new(VectorManager::new(cfg, strategy, pipelined)))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
         Ok(ShardedPlfEngine::new(
             data.tree.clone(),
             &data.comp,

@@ -12,7 +12,10 @@
 //! Omitting it runs the standard all-in-RAM implementation.
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
-use phylo_ooc::ooc::{FileStore, OocConfig, Recorder, StrategyKind, VectorManager};
+use phylo_ooc::ooc::{
+    BackingStore, FileStore, OocConfig, PrefetchingStore, Recorder, StrategyKind, VectorManager,
+    DEFAULT_PREFETCH_WINDOW,
+};
 use phylo_ooc::plf::{AncestralStore, InRamStore, KernelBackend, OocStore, PlfEngine};
 use phylo_ooc::search::{hill_climb_observed, parsimony_stepwise_tree, SearchConfig};
 use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
@@ -82,6 +85,11 @@ OPTIONS:
   --seed S          RNG seed                          [default: 42]
   --kernel NAME     likelihood kernel backend: scalar | dna4 | avx2
                     [default: auto-detect; env OOC_PLF_KERNEL overrides]
+  --io-threads N    dedicated I/O workers streaming the access plan ahead
+                    of compute (plan-driven double-buffered prefetch);
+                    0 = synchronous I/O on the compute thread [default: 0]
+  --window W        plan lookahead window in vectors, per pipeline buffer
+                    (also drives hint-based prefetch)       [default: 16]
   --stats           print out-of-core statistics
   --metrics FILE    write a JSONL observability stream (per-op latency
                     events, histograms, counters) and print a stall
@@ -360,6 +368,34 @@ fn finish_recorder(
         .map_err(|e| format!("cannot write metrics: {e}"))
 }
 
+/// Build the OOC backing store per the CLI flags: the vector file alone,
+/// or — with `--io-threads N` — wrapped in the plan-driven prefetch
+/// pipeline with `N` dedicated I/O workers, each a separate handle onto
+/// the same vector file.
+fn make_vector_store(
+    opts: &Opts,
+    path: &std::path::Path,
+    n_items: usize,
+    width: usize,
+    recorder: Option<&Recorder>,
+) -> Result<Box<dyn BackingStore>, String> {
+    let main = FileStore::create(path, n_items, width)
+        .map_err(|e| format!("cannot create vector file '{}': {e}", path.display()))?;
+    let io_threads = opts.usize("io-threads", 0)?;
+    if io_threads == 0 {
+        return Ok(Box::new(main));
+    }
+    let workers = (0..io_threads)
+        .map(|_| FileStore::open(path, width))
+        .collect::<std::io::Result<Vec<_>>>()
+        .map_err(|e| format!("cannot open I/O worker handle on '{}': {e}", path.display()))?;
+    let mut prefetching = PrefetchingStore::with_pool(main, workers, n_items, width);
+    if let Some(rec) = recorder {
+        prefetching.set_recorder(rec.clone());
+    }
+    Ok(Box::new(prefetching))
+}
+
 fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
     let (tree, comp) = load_inputs(opts)?;
     let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
@@ -392,6 +428,7 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
                 MemorySpec::Fraction(f) => OocConfig::builder(n_items, dims.width()).fraction(f),
                 MemorySpec::All => unreachable!(),
             }
+            .prefetch_window(opts.usize("window", DEFAULT_PREFETCH_WINDOW)?)
             .build()
             .map_err(|e| e.to_string())?;
             let seed = opts.u64("seed", 42)?;
@@ -401,9 +438,8 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
                 Some(p) => std::path::PathBuf::from(p),
                 None => scratch_vector_path(),
             };
-            let store = FileStore::create(&vector_path, n_items, dims.width()).map_err(|e| {
-                format!("cannot create vector file '{}': {e}", vector_path.display())
-            })?;
+            let store =
+                make_vector_store(opts, &vector_path, n_items, dims.width(), recorder.as_ref())?;
             let mut manager = VectorManager::new(cfg, strategy, store);
             if let Some(rec) = &recorder {
                 manager.set_recorder(rec.clone());
@@ -478,6 +514,7 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 MemorySpec::Fraction(f) => OocConfig::builder(n_items, dims.width()).fraction(f),
                 MemorySpec::All => unreachable!(),
             }
+            .prefetch_window(opts.usize("window", DEFAULT_PREFETCH_WINDOW)?)
             .build()
             .map_err(|e| e.to_string())?;
             let kind = parse_strategy(opts.get("strategy"), seed)?;
@@ -486,9 +523,8 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
                 Some(p) => std::path::PathBuf::from(p),
                 None => scratch_vector_path(),
             };
-            let store = FileStore::create(&vector_path, n_items, dims.width()).map_err(|e| {
-                format!("cannot create vector file '{}': {e}", vector_path.display())
-            })?;
+            let store =
+                make_vector_store(opts, &vector_path, n_items, dims.width(), recorder.as_ref())?;
             let mut manager = VectorManager::new(ooc_cfg, strategy, store);
             if let Some(rec) = &recorder {
                 manager.set_recorder(rec.clone());
