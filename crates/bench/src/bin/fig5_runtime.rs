@@ -22,8 +22,14 @@
 //! asserting bit-identical log-likelihoods against the serial engine and
 //! reporting merged per-shard residency statistics.
 //!
+//! A fourth part activates with `--partitioned`: a mixed DNA + protein +
+//! codon partitioned analysis on one shared tree, the byte budget split
+//! across partitions proportionally to vector footprints, per-partition
+//! log-likelihoods asserted bit-identical to independent serial in-RAM
+//! runs (one JSONL metrics scope per partition).
+//!
 //! ```sh
-//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--metrics FILE]
+//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--partitioned] [--metrics FILE]
 //! ```
 //!
 //! With `--metrics FILE` every real-I/O out-of-core cell (parts 1 and 3)
@@ -101,6 +107,9 @@ fn main() {
     let shards = args.usize("shards", 0);
     if shards >= 2 {
         sharded_sweep(&args, quick, traversals, shards, &metrics);
+    }
+    if args.flag("partitioned") {
+        partitioned_smoke(&args, quick, traversals, &metrics);
     }
 }
 
@@ -396,6 +405,172 @@ fn sharded_sweep(
     );
     write_json(
         args.string("out-shards", "fig5_shards_results.json"),
+        &points,
+    );
+}
+
+#[derive(Serialize)]
+struct PartitionPoint {
+    strategy: &'static str,
+    partition: String,
+    states: usize,
+    budget_bytes: u64,
+    lnl: f64,
+    requests: u64,
+    misses: u64,
+    disk_reads: u64,
+    disk_writes: u64,
+}
+
+/// Part 4 (`--partitioned`): a mixed DNA + protein + codon partitioned
+/// analysis — one shared tree, one out-of-core engine per partition, one
+/// `-L` byte budget split across partitions proportionally to their
+/// vector footprints — asserting every partition's log-likelihood
+/// bit-identical to an independent serial in-RAM run. With `--metrics`
+/// each partition streams to its own JSONL scope, so `metrics_check`
+/// reconciles every partition's residency stack separately.
+fn partitioned_smoke(args: &Args, quick: bool, traversals: usize, metrics: &MetricsFile) {
+    use phylo_ooc::plf::LikelihoodEngine;
+    use phylo_ooc::seq::PartitionKind;
+
+    let n_taxa = args.usize("taxa", if quick { 64 } else { 256 });
+    let n_sites = args.usize("sites", if quick { 400 } else { 1600 });
+    let budget = args.u64("budget-mib", if quick { 4 } else { 32 }) * 1024 * 1024;
+    let dir = tempfile::tempdir().expect("tempdir");
+
+    let spec = DatasetSpec {
+        n_taxa,
+        n_sites,
+        seed: 4242,
+        ..Default::default()
+    };
+    // Codon sites are counted in codons; /8 keeps its (15x-per-site)
+    // footprint comparable to the DNA block.
+    let layout = [
+        (PartitionKind::Dna, n_sites),
+        (PartitionKind::Protein, n_sites / 4),
+        (PartitionKind::Codon, n_sites / 8),
+    ];
+    let data = setup::simulate_partitioned_dataset(&spec, &layout);
+    println!(
+        "Figure 5 (partitioned smoke): {} taxa, partitions {}, RAM budget {:.0} MiB, {} full traversals\n",
+        n_taxa,
+        data.parts
+            .iter()
+            .map(|p| format!("{} ({})", p.name, p.kind))
+            .collect::<Vec<_>>()
+            .join(", "),
+        budget as f64 / (1024.0 * 1024.0),
+        traversals
+    );
+
+    // Reference: each partition as its own standalone serial in-RAM run.
+    let reference: Vec<f64> = {
+        let mut engine = setup::partitioned_engine_inram(&data);
+        engine.log_likelihood().expect("in-RAM traversal failed");
+        engine.partition_lnls().expect("in-RAM traversal failed")
+    };
+
+    let weights: Vec<u64> = (0..data.parts.len())
+        .map(|i| data.partition_vector_bytes(i))
+        .collect();
+    let budgets = ooc_core::split_budget(budget, &weights);
+
+    let mut points = Vec::new();
+    for kind in [StrategyKind::Lru, StrategyKind::NextUse] {
+        let mut engine = setup::partitioned_engine_file_limit(
+            &data,
+            dir.path().join(format!("part_{}.bin", kind.label())),
+            budget,
+            kind,
+        )
+        .expect("failed to create partitioned backing files");
+        let recs: Vec<_> = data
+            .parts
+            .iter()
+            .map(|p| metrics.recorder(format!("fig5-partitioned/{}/{}", kind.label(), p.name)))
+            .collect();
+        for (i, rec) in recs.iter().enumerate() {
+            if let Some(rec) = rec {
+                let e = engine.part_mut(i);
+                e.store_mut().manager_mut().set_recorder(rec.clone());
+                e.set_recorder(rec.clone());
+            }
+        }
+        let mut joint = 0.0;
+        for _ in 0..traversals {
+            engine.invalidate_all();
+            joint = engine.log_likelihood().expect("OOC traversal failed");
+        }
+        let lnls = engine.partition_lnls().expect("OOC traversal failed");
+        assert_eq!(
+            lnls.iter().sum::<f64>(),
+            joint,
+            "joint lnl must be the per-partition sum"
+        );
+        for (i, (&got, &want)) in lnls.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{}/{}: partitioned OOC log-likelihood must be bit-identical to the \
+                 independent serial run ({got} vs {want})",
+                kind.label(),
+                data.parts[i].name
+            );
+        }
+        for (i, p) in data.parts.iter().enumerate() {
+            let stats = *engine.part(i).store().manager().stats();
+            if let Some(rec) = &recs[i] {
+                MetricsFile::finish(rec, Some(&stats));
+            }
+            points.push(PartitionPoint {
+                strategy: kind.label(),
+                partition: p.name.clone(),
+                states: p.kind.alphabet().n_states(),
+                budget_bytes: budgets[i],
+                lnl: lnls[i],
+                requests: stats.requests,
+                misses: stats.misses,
+                disk_reads: stats.disk_reads,
+                disk_writes: stats.disk_writes,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.strategy.to_string(),
+                p.partition.clone(),
+                p.states.to_string(),
+                format!("{:.1} MiB", p.budget_bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.4}", p.lnl),
+                p.misses.to_string(),
+                p.disk_reads.to_string(),
+                p.disk_writes.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "strategy",
+            "partition",
+            "states",
+            "budget",
+            "lnl (bit-identical)",
+            "misses",
+            "reads",
+            "writes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nall partitions bit-identical to independent serial in-RAM runs;\n\
+         the shared byte budget was split proportionally to vector footprints.\n"
+    );
+    write_json(
+        args.string("out-partitioned", "fig5_partitioned_results.json"),
         &points,
     );
 }

@@ -25,7 +25,7 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::time::Instant;
 
-const SCHEMA: &str = "bench-kernels-v1";
+const SCHEMA: &str = "bench-kernels-v2";
 
 #[derive(Serialize)]
 struct Baseline {
@@ -108,20 +108,35 @@ fn random_dna_alignment(n_sites: usize) -> Alignment {
     Alignment::from_chars(Alphabet::Dna, &entries).unwrap()
 }
 
-fn dna_setup(n_patterns: usize) -> (Dims, PMatrices, PMatrices, ReversibleModel, DiscreteGamma) {
+/// Model + transition matrices at a given state count: HKY85 for DNA,
+/// seeded synthetic reversible models at protein (20) and codon (61)
+/// widths — the same families the equivalence proptests use.
+fn setup(
+    n_patterns: usize,
+    n_states: usize,
+) -> (Dims, PMatrices, PMatrices, ReversibleModel, DiscreteGamma) {
     let dims = Dims {
         n_patterns,
-        n_states: 4,
+        n_states,
         n_cats: 4,
     };
-    let model = ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]);
+    let model = match n_states {
+        4 => ReversibleModel::hky85(2.0, &[0.3, 0.2, 0.2, 0.3]),
+        20 => phylo_models::protein::synthetic_protein(11),
+        61 => phylo_models::codon::synthetic_codon(11),
+        other => panic!("no bench model at {other} states"),
+    };
     let gamma = DiscreteGamma::new(0.8, 4);
     let eigen = model.eigen();
-    let mut pm_l = PMatrices::new(4, 4);
-    let mut pm_r = PMatrices::new(4, 4);
+    let mut pm_l = PMatrices::new(n_states, 4);
+    let mut pm_r = PMatrices::new(n_states, 4);
     pm_l.update(&eigen, &gamma, 0.12);
     pm_r.update(&eigen, &gamma, 0.3);
     (dims, pm_l, pm_r, model, gamma)
+}
+
+fn dna_setup(n_patterns: usize) -> (Dims, PMatrices, PMatrices, ReversibleModel, DiscreteGamma) {
+    setup(n_patterns, 4)
 }
 
 /// Backends to measure: those whose own code path actually runs for
@@ -225,6 +240,54 @@ fn run(quick: bool, only: Option<KernelBackend>) -> Vec<BenchResult> {
         push("evaluate_inner_inner", backend, n_patterns, ns);
     }
 
+    // Wide-state (protein / codon) groups: the generic-width kernels are
+    // the only non-scalar option here — Dna4/stride-16 paths must not
+    // claim these dims. Fewer patterns than the DNA groups: per-pattern
+    // work grows as n_states² so the same wall budget covers fewer sites.
+    for n_states in [20usize, 61] {
+        let n_patterns = 1000usize;
+        let (wdims, wpm_l, wpm_r, wmodel, _) = setup(n_patterns, n_states);
+        let left = vec![0.4f64; wdims.width()];
+        let right = vec![0.3f64; wdims.width()];
+        let zeros = vec![0u32; n_patterns];
+        let weights = vec![1u32; n_patterns];
+        let mut parent = vec![0.0f64; wdims.width()];
+        let mut scale_p = vec![0u32; n_patterns];
+        let mut site_out = vec![0.0f64; n_patterns];
+        let nv_group = format!("newview_inner_inner_{n_states}st");
+        let ev_group = format!("evaluate_inner_inner_{n_states}st");
+        for backend in backends_for(&wdims, only) {
+            let ns = time_ns(quick, || {
+                backend.newview_inner_inner(
+                    &wdims,
+                    black_box(&mut parent),
+                    &mut scale_p,
+                    black_box(&left),
+                    &zeros,
+                    &wpm_l,
+                    black_box(&right),
+                    &zeros,
+                    &wpm_r,
+                )
+            });
+            push(&nv_group, backend, n_patterns, ns);
+            let ns = time_ns(quick, || {
+                backend.evaluate_inner_inner_sites(
+                    &wdims,
+                    black_box(&left),
+                    &zeros,
+                    black_box(&right),
+                    &zeros,
+                    &wpm_l,
+                    wmodel.freqs(),
+                    &weights,
+                    &mut site_out,
+                )
+            });
+            push(&ev_group, backend, n_patterns, ns);
+        }
+    }
+
     let mut sumtable = Vec::new();
     build_sumtable(
         &dims,
@@ -316,6 +379,10 @@ fn check(path: &str) -> Result<(), String> {
         "newview_tip_inner",
         "evaluate_inner_inner",
         "nr_derivatives",
+        "newview_inner_inner_20st",
+        "evaluate_inner_inner_20st",
+        "newview_inner_inner_61st",
+        "evaluate_inner_inner_61st",
     ] {
         require(&format!("\"group\":\"{group}\""))?;
     }

@@ -39,16 +39,18 @@ impl MetricsFile {
     }
 
     /// A real-clock recorder scoped to one measured configuration, or
-    /// `None` without `--metrics`. The first call truncates the file,
-    /// later calls append to it.
+    /// `None` without `--metrics`. The first call truncates the file;
+    /// every recorder then appends through its own `O_APPEND` handle, so
+    /// several *live* recorders (e.g. one per partition of the same run)
+    /// can interleave whole lines without clobbering each other.
     pub fn recorder(&self, scope: impl Into<String>) -> Option<Recorder> {
         let path = self.path.as_ref()?;
-        let sink = if self.created.swap(true, Ordering::SeqCst) {
-            JsonlSink::append(path)
-        } else {
-            JsonlSink::create(path)
+        if !self.created.swap(true, Ordering::SeqCst) {
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create metrics file '{path}': {e}"));
         }
-        .unwrap_or_else(|e| panic!("cannot open metrics file '{path}': {e}"));
+        let sink = JsonlSink::append(path)
+            .unwrap_or_else(|e| panic!("cannot open metrics file '{path}': {e}"));
         Some(Recorder::scoped(MonotonicClock::new(), sink, scope))
     }
 

@@ -69,7 +69,7 @@ pub use obs::{
 pub use plan::{AccessPlan, AccessRecord, PlanCursor};
 pub use prefetch::{PrefetchStats, PrefetchingStore};
 pub use retry::{RetryPolicy, RetryStats, RetryingStore};
-pub use shard::{par_each_mut, parallelism, ShardSpec, ShardedManager};
+pub use shard::{par_each_mut, parallelism, split_budget, ShardSpec, ShardedManager};
 pub use stats::OocStats;
 pub use store::{BackingStore, FileStore, MemStore, MultiFileStore, NullStore};
 pub use strategy::{EvictionView, ReplacementStrategy, StrategyKind, TopologyOracle};

@@ -556,6 +556,12 @@ fn escape_json(s: &str, out: &mut String) {
 ///
 /// Hand-rolled (no serde): `ooc-core` stays dependency-free; schema
 /// validation lives in the `ooc-bench` `metrics_check` binary.
+///
+/// Every record (including its trailing newline) is pushed into the
+/// `BufWriter` as ONE `write_all`, so the underlying file writes always
+/// fall on record boundaries — several live recorders appending to the
+/// same file through `O_APPEND` handles (one scope per partition or
+/// shard) interleave whole lines, never fragments.
 #[derive(Debug)]
 pub struct JsonlSink<W: io::Write> {
     out: io::BufWriter<W>,
@@ -618,7 +624,8 @@ impl<W: io::Write> EventSink for JsonlSink<W> {
             e.bytes,
             e.n,
         ));
-        let _ = writeln!(self.out, "{line}");
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
     }
 
     fn stats(&mut self, scope: &str, s: &OocStats) {
@@ -648,7 +655,8 @@ impl<W: io::Write> EventSink for JsonlSink<W> {
             s.miss_rate(),
             s.read_rate(),
         ));
-        let _ = writeln!(self.out, "{line}");
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
     }
 
     fn histogram(&mut self, scope: &str, layer: &str, op: &str, h: &LatencyHistogram) {
@@ -673,7 +681,8 @@ impl<W: io::Write> EventSink for JsonlSink<W> {
             line.push_str(&format!("[{i},{c}]"));
         }
         line.push_str("]}");
-        let _ = writeln!(self.out, "{line}");
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
     }
 
     fn flush(&mut self) -> io::Result<()> {

@@ -144,6 +144,50 @@ where
         .collect()
 }
 
+/// Divide an integer budget (slot bytes, RAM fraction in bytes, …) across
+/// consumers proportionally to `weights`, by largest-remainder
+/// apportionment: the shares sum to *exactly* `total`, and every consumer
+/// with a non-zero weight gets at least 1 when `total` covers them. A
+/// partitioned analysis uses this to split the paper's `-L` byte limit
+/// across per-partition vector managers in proportion to each partition's
+/// vector footprint (a 61-state codon partition needs ~15× the slot bytes
+/// of a DNA partition of equal length).
+pub fn split_budget(total: u64, weights: &[u64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "need at least one consumer");
+    let wsum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if wsum == 0 {
+        // Degenerate: spread evenly, remainder to the front.
+        let n = weights.len() as u64;
+        let per = total / n;
+        let extra = total % n;
+        return (0..weights.len())
+            .map(|i| per + u64::from((i as u64) < extra))
+            .collect();
+    }
+    let mut shares: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = total as u128 * w as u128;
+        let floor = (exact / wsum) as u64;
+        shares.push(floor);
+        assigned += floor;
+        remainders.push((exact % wsum, i));
+    }
+    // Hand the leftover units to the largest remainders (ties: lower
+    // index first, for determinism).
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut left = total - assigned;
+    for &(_, i) in &remainders {
+        if left == 0 {
+            break;
+        }
+        shares[i] += 1;
+        left -= 1;
+    }
+    shares
+}
+
 /// `k` independent [`VectorManager`]s, one per site-range shard, plus the
 /// aggregate view over them. The managers share nothing — each owns its
 /// own slots, strategy state, statistics and backing-store region — so
@@ -249,6 +293,24 @@ mod tests {
         let spec = ShardSpec::even(3, 8);
         assert_eq!(spec.n_shards(), 3);
         assert_eq!(spec.ranges(), &[0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn split_budget_is_exact_and_proportional() {
+        // Sums to exactly the total, proportional to weights.
+        let shares = split_budget(100, &[1, 1, 2]);
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        assert_eq!(shares, vec![25, 25, 50]);
+        // Largest remainders get the leftover units.
+        let shares = split_budget(10, &[1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u64>(), 10);
+        assert_eq!(shares, vec![4, 3, 3]);
+        // Wildly uneven weights (DNA vs codon widths), huge totals.
+        let shares = split_budget(1 << 40, &[16, 244]);
+        assert_eq!(shares.iter().sum::<u64>(), 1 << 40);
+        assert!(shares[1] > shares[0] * 15 - 64 && shares[1] < shares[0] * 16);
+        // Zero weights spread evenly.
+        assert_eq!(split_budget(7, &[0, 0, 0]), vec![3, 2, 2]);
     }
 
     #[test]

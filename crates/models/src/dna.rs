@@ -28,8 +28,11 @@ pub fn n_exchangeabilities(n_states: usize) -> usize {
 impl ReversibleModel {
     /// Build a model from frequencies and upper-triangle exchangeabilities.
     ///
-    /// Frequencies are renormalised to sum to one; all inputs must be
-    /// strictly positive.
+    /// Frequencies are renormalised to sum to one and must be strictly
+    /// positive. Exchangeabilities must be non-negative (codon models set
+    /// `r_ij = 0` for multi-nucleotide changes) with at least one positive
+    /// entry; the caller is responsible for keeping the single-change graph
+    /// connected so the generator stays irreducible.
     pub fn new(freqs: &[f64], exch: &[f64]) -> Self {
         let n = freqs.len();
         assert!(n >= 2);
@@ -40,8 +43,12 @@ impl ReversibleModel {
         );
         assert!(freqs.iter().all(|&f| f > 0.0), "frequencies must be > 0");
         assert!(
-            exch.iter().all(|&r| r > 0.0),
-            "exchangeabilities must be > 0"
+            exch.iter().all(|&r| r >= 0.0 && r.is_finite()),
+            "exchangeabilities must be >= 0"
+        );
+        assert!(
+            exch.iter().any(|&r| r > 0.0),
+            "exchangeabilities must not all be zero"
         );
         let total: f64 = freqs.iter().sum();
         ReversibleModel {

@@ -100,8 +100,7 @@ impl EigenDecomp {
         let n = self.n;
         assert_eq!(out.len(), n * n);
         debug_assert!(t >= 0.0 && rate >= 0.0);
-        let mut exp_lam = [0.0f64; 32];
-        assert!(n <= 32, "state space too large");
+        let mut exp_lam = vec![0.0f64; n];
         #[allow(clippy::needless_range_loop)]
         for k in 0..n {
             let lam = self.values[k];

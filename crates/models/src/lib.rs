@@ -4,8 +4,9 @@
 //! probabilities, built from scratch:
 //!
 //! * small dense linear algebra and a cyclic Jacobi eigensolver ([`linalg`]),
-//! * time-reversible rate matrices — JC69, K80, HKY85, GTR for DNA and
-//!   generic `n`-state models for proteins ([`dna`], [`protein`]),
+//! * time-reversible rate matrices — JC69, K80, HKY85, GTR for DNA,
+//!   generic `n`-state models for proteins and GY94-style 61-state codon
+//!   models ([`dna`], [`protein`], [`codon`]),
 //! * eigendecomposition of reversible generators via π-symmetrisation
 //!   ([`eigen`]),
 //! * Yang's (1994) discrete Γ model of among-site rate heterogeneity,
@@ -15,6 +16,7 @@
 //! * 1-D optimisers (Brent, guarded Newton) for model parameters and branch
 //!   lengths ([`optimize`]).
 
+pub mod codon;
 pub mod dna;
 pub mod eigen;
 pub mod gamma;

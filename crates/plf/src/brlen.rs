@@ -180,7 +180,7 @@ impl<S: AncestralStore> PlfEngine<S> {
     /// `(lnL, d1, d2)` of the prepared branch at length `z`. Uses the
     /// engine's reusable per-pattern term buffers — a Newton iteration
     /// performs no allocation.
-    fn branch_derivatives(&mut self, z: f64) -> (f64, f64, f64) {
+    pub(crate) fn branch_derivatives(&mut self, z: f64) -> (f64, f64, f64) {
         let mut out_l = std::mem::take(&mut self.nr_l);
         let mut out_d1 = std::mem::take(&mut self.nr_d1);
         let mut out_d2 = std::mem::take(&mut self.nr_d2);

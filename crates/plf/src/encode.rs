@@ -332,6 +332,85 @@ mod tests {
         }
     }
 
+    /// Masks survive the mask → code id → mask round trip and the branch
+    /// lut matches the direct indicator sum at every supported width.
+    fn check_roundtrip_and_lut(comp: &CompressedAlignment, model: &ReversibleModel) {
+        let tc = TipCodes::from_alignment(comp);
+        let ns = tc.n_states();
+        assert_eq!(ns, comp.alignment.alphabet().n_states());
+        for t in 0..comp.alignment.n_seqs() {
+            for (p, &code) in tc.tip(t).iter().enumerate() {
+                assert_eq!(tc.mask(code), comp.alignment.seq(t)[p]);
+            }
+        }
+        let gamma = DiscreteGamma::new(0.7, 2);
+        let mut pm = PMatrices::new(ns, 2);
+        pm.update(&model.eigen(), &gamma, 0.23);
+        let mut lut = Vec::new();
+        tc.build_lut(&pm, &mut lut);
+        assert_eq!(lut.len(), tc.n_codes() * 2 * ns);
+        for code in 0..tc.n_codes() {
+            let mask = tc.mask(code as u16);
+            for c in 0..2 {
+                for x in 0..ns {
+                    let direct: f64 = (0..ns)
+                        .filter(|&y| mask >> y & 1 == 1)
+                        .map(|y| pm.get(c, x, y))
+                        .sum();
+                    let got = lut[(code * 2 + c) * ns + x];
+                    assert!((got - direct).abs() < 1e-13, "ns={ns} {got} vs {direct}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codes_round_trip_at_dna_protein_codon_widths() {
+        // DNA (4 states), including ambiguity codes.
+        let dna = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ACGTRN-".into()),
+                ("b".into(), "AYGTAGC".into()),
+            ],
+        )
+        .unwrap();
+        check_roundtrip_and_lut(&compress_patterns(&dna), &ReversibleModel::jc69());
+
+        // Protein (20 states), including 'X' and gaps.
+        let prot = Alignment::from_chars(
+            Alphabet::Protein,
+            &[
+                ("a".into(), "ARNDCQEGHX-".into()),
+                ("b".into(), "ILKMFPSTWYV".into()),
+            ],
+        )
+        .unwrap();
+        check_roundtrip_and_lut(
+            &compress_patterns(&prot),
+            &phylo_models::protein::synthetic_protein(7),
+        );
+
+        // Codon (61 states) via triplet re-encoding, including an
+        // ambiguous third position and an all-gap codon (all-61 mask,
+        // exercising bits up to index 60).
+        let codons = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ATGGCNTAY---".into()),
+                ("b".into(), "ATGTTTGGGCCA".into()),
+            ],
+        )
+        .unwrap()
+        .to_codons()
+        .unwrap();
+        assert_eq!(codons.alphabet().n_states(), 61);
+        check_roundtrip_and_lut(
+            &compress_patterns(&codons),
+            &phylo_models::codon::synthetic_codon(7),
+        );
+    }
+
     #[test]
     fn eigen_lut_replicates_across_categories() {
         let tc = toy_codes();

@@ -12,16 +12,19 @@
 //! whenever the specialization does not apply. Forcing `avx2` on a machine
 //! without the features, or running a 20-state protein model under
 //! `dna4`, is therefore safe — it silently runs the widest applicable
-//! kernel rather than faulting or producing garbage.
+//! kernel rather than faulting or producing garbage. `avx2` covers every
+//! shape (the stride-16 module for DNA/Γ4, the wide module for protein and
+//! codon widths), and the bit-identical degradation floor for specialized
+//! backends is `generic`, never plain `scalar`.
 
-use super::{derivatives, dna4, evaluate, newview, Dims};
+use super::{derivatives, dna4, evaluate, generic, newview, Dims};
 use phylo_models::PMatrices;
 
 #[cfg(target_arch = "x86_64")]
-use super::avx2;
+use super::{avx2, wide};
 
 /// Environment variable overriding backend auto-detection
-/// (`scalar` | `dna4` | `avx2`; empty or unset means auto).
+/// (`scalar` | `generic` | `dna4` | `avx2`; empty or unset means auto).
 pub const KERNEL_ENV_VAR: &str = "OOC_PLF_KERNEL";
 
 /// Which kernel implementation an engine executes.
@@ -30,18 +33,25 @@ pub enum KernelBackend {
     /// Generic triple-loop kernels, any `n_states`/`n_cats`. The reference
     /// implementation every other backend is validated against.
     Scalar,
+    /// Width-generic unrolled kernels (column accumulation over transposed
+    /// matrices); any `n_states`/`n_cats`, bit-identical to `Scalar` (same
+    /// floating-point evaluation order).
+    GenericUnrolled,
     /// Fully unrolled DNA/Γ4 (stride-16) kernels; bit-identical to
     /// `Scalar` (same floating-point evaluation order).
     Dna4Unrolled,
-    /// AVX2+FMA DNA/Γ4 kernels over transposed transition matrices;
-    /// last-ulp differences from FMA contraction, identical scale counts.
+    /// AVX2+FMA kernels over transposed transition matrices — the stride-16
+    /// module for DNA/Γ4 shapes, the width-generic wide module for
+    /// everything else (protein, codon). Last-ulp differences from FMA
+    /// contraction, identical scale counts.
     Avx2Fma,
 }
 
 impl KernelBackend {
     /// All backends, in increasing specialization order.
-    pub const ALL: [KernelBackend; 3] = [
+    pub const ALL: [KernelBackend; 4] = [
         KernelBackend::Scalar,
+        KernelBackend::GenericUnrolled,
         KernelBackend::Dna4Unrolled,
         KernelBackend::Avx2Fma,
     ];
@@ -51,6 +61,7 @@ impl KernelBackend {
     pub fn name(&self) -> &'static str {
         match self {
             KernelBackend::Scalar => "scalar",
+            KernelBackend::GenericUnrolled => "generic",
             KernelBackend::Dna4Unrolled => "dna4",
             KernelBackend::Avx2Fma => "avx2",
         }
@@ -60,6 +71,9 @@ impl KernelBackend {
     pub fn from_name(s: &str) -> Option<KernelBackend> {
         match s.trim().to_ascii_lowercase().as_str() {
             "scalar" => Some(KernelBackend::Scalar),
+            "generic" | "genericunrolled" | "generic-unrolled" => {
+                Some(KernelBackend::GenericUnrolled)
+            }
             "dna4" | "dna4unrolled" | "dna4-unrolled" | "unrolled" => {
                 Some(KernelBackend::Dna4Unrolled)
             }
@@ -75,7 +89,10 @@ impl KernelBackend {
             Err(_) => Ok(None),
             Ok(s) if s.trim().is_empty() => Ok(None),
             Ok(s) => KernelBackend::from_name(&s).map(Some).ok_or_else(|| {
-                format!("invalid {KERNEL_ENV_VAR}={s:?}: expected one of scalar | dna4 | avx2")
+                format!(
+                    "invalid {KERNEL_ENV_VAR}={s:?}: expected one of \
+                     scalar | generic | dna4 | avx2"
+                )
             }),
         }
     }
@@ -103,18 +120,22 @@ impl KernelBackend {
     }
 
     /// Can this backend's specialized kernels run these dimensions (on
-    /// this machine)? `Scalar` always can.
+    /// this machine)? `Scalar` and `GenericUnrolled` always can; `Avx2Fma`
+    /// runs *any* dimensions (stride-16 or wide module) when the CPU has
+    /// the features.
     pub fn supports(&self, dims: &Dims) -> bool {
         match self {
-            KernelBackend::Scalar => true,
+            KernelBackend::Scalar | KernelBackend::GenericUnrolled => true,
             KernelBackend::Dna4Unrolled => dna4::dims_match(dims),
             KernelBackend::Avx2Fma => {
                 #[cfg(target_arch = "x86_64")]
                 {
-                    dna4::dims_match(dims) && avx2::available()
+                    let _ = dims;
+                    avx2::available()
                 }
                 #[cfg(not(target_arch = "x86_64"))]
                 {
+                    let _ = dims;
                     false
                 }
             }
@@ -122,15 +143,18 @@ impl KernelBackend {
     }
 
     /// Resolve the requested backend against dimensions and CPU: the
-    /// backend whose kernels will actually execute.
+    /// backend whose kernels will actually execute. The degradation chain
+    /// is `avx2 → dna4 → generic` — never scalar, because the generic
+    /// unrolled kernels run any dimensions bit-identically to scalar.
     pub fn effective(&self, dims: &Dims) -> KernelBackend {
         match self {
             KernelBackend::Scalar => KernelBackend::Scalar,
+            KernelBackend::GenericUnrolled => KernelBackend::GenericUnrolled,
             KernelBackend::Dna4Unrolled if dna4::dims_match(dims) => KernelBackend::Dna4Unrolled,
-            KernelBackend::Dna4Unrolled => KernelBackend::Scalar,
+            KernelBackend::Dna4Unrolled => KernelBackend::GenericUnrolled,
             KernelBackend::Avx2Fma if self.supports(dims) => KernelBackend::Avx2Fma,
             KernelBackend::Avx2Fma if dna4::dims_match(dims) => KernelBackend::Dna4Unrolled,
-            KernelBackend::Avx2Fma => KernelBackend::Scalar,
+            KernelBackend::Avx2Fma => KernelBackend::GenericUnrolled,
         }
     }
 
@@ -150,14 +174,22 @@ impl KernelBackend {
             KernelBackend::Scalar => {
                 newview::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
             }
+            KernelBackend::GenericUnrolled => {
+                generic::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
+            }
             KernelBackend::Dna4Unrolled => {
                 dna4::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
             }
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `effective` returned Avx2Fma only after
             // `avx2::available()` confirmed the CPU features.
-            KernelBackend::Avx2Fma => unsafe {
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => unsafe {
                 avx2::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; the wide module handles non-DNA/Γ4 dims.
+            KernelBackend::Avx2Fma => unsafe {
+                wide::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r)
             },
             #[cfg(not(target_arch = "x86_64"))]
             KernelBackend::Avx2Fma => unreachable!("effective() gates Avx2Fma on x86_64"),
@@ -188,6 +220,16 @@ impl KernelBackend {
                 scale_inner,
                 pm_inner,
             ),
+            KernelBackend::GenericUnrolled => generic::newview_tip_inner(
+                dims,
+                parent,
+                scale_p,
+                lut_tip,
+                codes_tip,
+                inner,
+                scale_inner,
+                pm_inner,
+            ),
             KernelBackend::Dna4Unrolled => dna4::newview_tip_inner(
                 dims,
                 parent,
@@ -201,8 +243,22 @@ impl KernelBackend {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `effective` returned Avx2Fma only after
             // `avx2::available()` confirmed the CPU features.
-            KernelBackend::Avx2Fma => unsafe {
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => unsafe {
                 avx2::newview_tip_inner(
+                    dims,
+                    parent,
+                    scale_p,
+                    lut_tip,
+                    codes_tip,
+                    inner,
+                    scale_inner,
+                    pm_inner,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; the wide module handles non-DNA/Γ4 dims.
+            KernelBackend::Avx2Fma => unsafe {
+                wide::newview_tip_inner(
                     dims,
                     parent,
                     scale_p,
@@ -236,14 +292,24 @@ impl KernelBackend {
             KernelBackend::Scalar => newview::newview_inner_inner(
                 dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
             ),
+            KernelBackend::GenericUnrolled => generic::newview_inner_inner(
+                dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
+            ),
             KernelBackend::Dna4Unrolled => dna4::newview_inner_inner(
                 dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
             ),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `effective` returned Avx2Fma only after
             // `avx2::available()` confirmed the CPU features.
-            KernelBackend::Avx2Fma => unsafe {
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => unsafe {
                 avx2::newview_inner_inner(
+                    dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; the wide module handles non-DNA/Γ4 dims.
+            KernelBackend::Avx2Fma => unsafe {
+                wide::newview_inner_inner(
                     dims, parent, scale_p, left, scale_l, pm_l, right, scale_r, pm_r,
                 )
             },
@@ -270,14 +336,24 @@ impl KernelBackend {
             KernelBackend::Scalar => evaluate::evaluate_inner_inner_sites(
                 dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
             ),
+            KernelBackend::GenericUnrolled => generic::evaluate_inner_inner_sites(
+                dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
+            ),
             KernelBackend::Dna4Unrolled => dna4::evaluate_inner_inner_sites(
                 dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
             ),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `effective` returned Avx2Fma only after
             // `avx2::available()` confirmed the CPU features.
-            KernelBackend::Avx2Fma => unsafe {
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => unsafe {
                 avx2::evaluate_inner_inner_sites(
+                    dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; the wide module handles non-DNA/Γ4 dims.
+            KernelBackend::Avx2Fma => unsafe {
+                wide::evaluate_inner_inner_sites(
                     dims, pvec, scale_p, qvec, scale_q, pm_root, freqs, weights, site_out,
                 )
             },
@@ -302,14 +378,24 @@ impl KernelBackend {
             KernelBackend::Scalar => evaluate::evaluate_tip_inner_sites(
                 dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
             ),
+            KernelBackend::GenericUnrolled => generic::evaluate_tip_inner_sites(
+                dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
+            ),
             KernelBackend::Dna4Unrolled => dna4::evaluate_tip_inner_sites(
                 dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
             ),
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `effective` returned Avx2Fma only after
             // `avx2::available()` confirmed the CPU features.
-            KernelBackend::Avx2Fma => unsafe {
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => unsafe {
                 avx2::evaluate_tip_inner_sites(
+                    dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; the wide module handles non-DNA/Γ4 dims.
+            KernelBackend::Avx2Fma => unsafe {
+                wide::evaluate_tip_inner_sites(
                     dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
                 )
             },
@@ -346,6 +432,18 @@ impl KernelBackend {
                 out_d1,
                 out_d2,
             ),
+            KernelBackend::GenericUnrolled => generic::nr_derivatives_sites(
+                dims,
+                sumtable,
+                weights,
+                scale_sums,
+                eigenvalues,
+                rates,
+                z,
+                out_l,
+                out_d1,
+                out_d2,
+            ),
             KernelBackend::Dna4Unrolled => dna4::nr_derivatives_sites(
                 dims,
                 sumtable,
@@ -361,8 +459,24 @@ impl KernelBackend {
             #[cfg(target_arch = "x86_64")]
             // SAFETY: `effective` returned Avx2Fma only after
             // `avx2::available()` confirmed the CPU features.
-            KernelBackend::Avx2Fma => unsafe {
+            KernelBackend::Avx2Fma if dna4::dims_match(dims) => unsafe {
                 avx2::nr_derivatives_sites(
+                    dims,
+                    sumtable,
+                    weights,
+                    scale_sums,
+                    eigenvalues,
+                    rates,
+                    z,
+                    out_l,
+                    out_d1,
+                    out_d2,
+                )
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; the wide module handles non-DNA/Γ4 dims.
+            KernelBackend::Avx2Fma => unsafe {
+                wide::nr_derivatives_sites(
                     dims,
                     sumtable,
                     weights,
@@ -438,14 +552,22 @@ mod tests {
 
     #[test]
     fn specialized_backends_degrade_on_protein_dims() {
+        // Protein is no longer scalar-only: dna4 degrades to the generic
+        // unrolled kernels, and avx2 runs its wide module when the CPU has
+        // the features (degrading to generic otherwise).
         let d = protein_dims();
         assert!(!KernelBackend::Dna4Unrolled.supports(&d));
         assert_eq!(
             KernelBackend::Dna4Unrolled.effective(&d),
-            KernelBackend::Scalar
+            KernelBackend::GenericUnrolled
         );
-        assert!(!KernelBackend::Avx2Fma.supports(&d));
-        assert_eq!(KernelBackend::Avx2Fma.effective(&d), KernelBackend::Scalar);
+        assert!(KernelBackend::GenericUnrolled.supports(&d));
+        let eff = KernelBackend::Avx2Fma.effective(&d);
+        if KernelBackend::Avx2Fma.supports(&d) {
+            assert_eq!(eff, KernelBackend::Avx2Fma);
+        } else {
+            assert_eq!(eff, KernelBackend::GenericUnrolled);
+        }
     }
 
     #[test]
@@ -516,5 +638,58 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn dispatch_agrees_across_backends_on_protein_dims() {
+        use crate::kernels::testutil::random_vector;
+        use phylo_models::{DiscreteGamma, PMatrices};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = phylo_models::protein::synthetic_protein(3);
+        let gamma = DiscreteGamma::new(0.9, 4);
+        let mut pm = PMatrices::new(20, 4);
+        pm.update(&model.eigen(), &gamma, 0.2);
+        let d = protein_dims();
+        let mut rng = StdRng::seed_from_u64(17);
+        let left = random_vector(&d, &mut rng);
+        let right = random_vector(&d, &mut rng);
+        let zeros = vec![0u32; d.n_patterns];
+        let mut reference: Option<Vec<f64>> = None;
+        for b in KernelBackend::ALL {
+            let mut parent = vec![0.0; d.width()];
+            let mut scale = vec![0u32; d.n_patterns];
+            b.newview_inner_inner(
+                &d,
+                &mut parent,
+                &mut scale,
+                &left,
+                &zeros,
+                &pm,
+                &right,
+                &zeros,
+                &pm,
+            );
+            assert!(scale.iter().all(|&s| s == 0));
+            match &reference {
+                None => reference = Some(parent),
+                Some(r) => {
+                    for (a, b) in r.iter().zip(&parent) {
+                        assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0));
+                    }
+                }
+            }
+        }
+        // Scalar and generic are exactly equal, not merely close.
+        let mut p_s = vec![0.0; d.width()];
+        let mut p_g = vec![0.0; d.width()];
+        let mut sc = vec![0u32; d.n_patterns];
+        KernelBackend::Scalar.newview_inner_inner(
+            &d, &mut p_s, &mut sc, &left, &zeros, &pm, &right, &zeros, &pm,
+        );
+        KernelBackend::GenericUnrolled.newview_inner_inner(
+            &d, &mut p_g, &mut sc, &left, &zeros, &pm, &right, &zeros, &pm,
+        );
+        assert_eq!(p_s, p_g);
     }
 }

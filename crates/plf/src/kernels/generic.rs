@@ -1,0 +1,378 @@
+//! Width-generic unrolled kernels: any `n_states` (protein, codon) and any
+//! `n_cats`, restructured for auto-vectorization while staying
+//! **bit-identical** to the scalar reference.
+//!
+//! The scalar kernels compute each destination state `x` as a row dot
+//! product `Σ_y P(x,y)·v[y]` with `y` ascending. These kernels instead
+//! sweep `y` in the outer loop and accumulate into a per-site column
+//! accumulator over the **transposed** matrices
+//! ([`phylo_models::PMatrices::cat_t`]): for fixed `y` the destination
+//! states are contiguous, so the inner loop is a contiguous
+//! multiply-accumulate LLVM vectorizes without reassociation. Each
+//! accumulator lane still performs the additions `0 + P(x,0)v₀ + P(x,1)v₁ +
+//! …` in exactly the scalar order, so the results (and therefore the
+//! underflow-scaling counts) are bit-identical to [`super::newview`] /
+//! [`super::evaluate`] — the equivalence tests assert `==`, not a
+//! tolerance.
+//!
+//! The flat per-site loops (tip/tip products, root-LUT dots, NR
+//! derivative sums) are already width-generic in the scalar modules and are
+//! re-used directly.
+
+use super::{ApvLayout, Dims};
+use crate::scaling::scale_site;
+use phylo_models::PMatrices;
+
+/// Upper bound on `n_states` (one bit per state in
+/// [`phylo_seq::SiteMask`]); bounds the stack accumulators.
+pub const MAX_STATES: usize = 64;
+
+/// Column-accumulated mat-vec: `acc[x] = Σ_y P(x,y)·v[y]` with `y`
+/// ascending, over the transposed category matrix `pt` (entry `P(x,y)` at
+/// `y·ns + x`). Bit-identical to the scalar row dot.
+#[inline]
+fn matvec_cols(pt: &[f64], v: &[f64], ns: usize, acc: &mut [f64]) {
+    debug_assert!(ns <= MAX_STATES && v.len() == ns && pt.len() == ns * ns);
+    acc[..ns].fill(0.0);
+    for (y, &vy) in v.iter().enumerate() {
+        let col = &pt[y * ns..(y + 1) * ns];
+        for (a, &p) in acc[..ns].iter_mut().zip(col) {
+            *a += p * vy;
+        }
+    }
+}
+
+/// Generic `newview` for two tip children (delegates to the scalar kernel:
+/// the elementwise LUT product has no matrix structure to exploit).
+pub fn newview_tip_tip(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_l: &[f64],
+    codes_l: &[u16],
+    lut_r: &[f64],
+    codes_r: &[u16],
+) {
+    super::newview::newview_tip_tip(dims, parent, scale_p, lut_l, codes_l, lut_r, codes_r);
+}
+
+/// Generic `newview` for one tip and one inner child.
+#[allow(clippy::too_many_arguments)]
+pub fn newview_tip_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    lut_tip: &[f64],
+    codes_tip: &[u16],
+    inner: &[f64],
+    scale_inner: &[u32],
+    pm_inner: &PMatrices,
+) {
+    let layout = ApvLayout::of(dims);
+    let (ns, nc) = (dims.n_states, dims.n_cats);
+    let stride = layout.site_stride();
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(inner.len(), dims.width());
+    debug_assert_eq!(lut_tip.len() % stride, 0);
+    debug_assert!(codes_tip.len() >= dims.n_patterns);
+    debug_assert!(scale_inner.len() >= dims.n_patterns);
+    let mut acc = [0.0f64; MAX_STATES];
+    for i in 0..dims.n_patterns {
+        let site = &mut parent[layout.site(i)];
+        let tbase = codes_tip[i] as usize * stride;
+        let tip = &lut_tip[tbase..tbase + stride];
+        let child = &inner[i * stride..(i + 1) * stride];
+        for c in 0..nc {
+            matvec_cols(
+                pm_inner.cat_t(c),
+                &child[c * ns..(c + 1) * ns],
+                ns,
+                &mut acc,
+            );
+            let tip_c = &tip[c * ns..(c + 1) * ns];
+            let out_c = &mut site[c * ns..(c + 1) * ns];
+            for x in 0..ns {
+                out_c[x] = tip_c[x] * acc[x];
+            }
+        }
+        scale_p[i] = scale_inner[i] + scale_site(site);
+    }
+}
+
+/// Generic `newview` for two inner children.
+#[allow(clippy::too_many_arguments)]
+pub fn newview_inner_inner(
+    dims: &Dims,
+    parent: &mut [f64],
+    scale_p: &mut [u32],
+    left: &[f64],
+    scale_l: &[u32],
+    pm_l: &PMatrices,
+    right: &[f64],
+    scale_r: &[u32],
+    pm_r: &PMatrices,
+) {
+    let layout = ApvLayout::of(dims);
+    let (ns, nc) = (dims.n_states, dims.n_cats);
+    let stride = layout.site_stride();
+    debug_assert_eq!(parent.len(), dims.width());
+    debug_assert_eq!(left.len(), dims.width());
+    debug_assert_eq!(right.len(), dims.width());
+    debug_assert!(scale_l.len() >= dims.n_patterns);
+    debug_assert!(scale_r.len() >= dims.n_patterns);
+    let mut accl = [0.0f64; MAX_STATES];
+    let mut accr = [0.0f64; MAX_STATES];
+    for i in 0..dims.n_patterns {
+        let site = &mut parent[layout.site(i)];
+        let lsite = &left[i * stride..(i + 1) * stride];
+        let rsite = &right[i * stride..(i + 1) * stride];
+        for c in 0..nc {
+            matvec_cols(pm_l.cat_t(c), &lsite[c * ns..(c + 1) * ns], ns, &mut accl);
+            matvec_cols(pm_r.cat_t(c), &rsite[c * ns..(c + 1) * ns], ns, &mut accr);
+            let out_c = &mut site[c * ns..(c + 1) * ns];
+            for x in 0..ns {
+                out_c[x] = accl[x] * accr[x];
+            }
+        }
+        scale_p[i] = scale_l[i] + scale_r[i] + scale_site(site);
+    }
+}
+
+/// Generic root evaluation for two inner vectors.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_inner_inner_sites(
+    dims: &Dims,
+    pvec: &[f64],
+    scale_p: &[u32],
+    qvec: &[f64],
+    scale_q: &[u32],
+    pm_root: &PMatrices,
+    freqs: &[f64],
+    weights: &[u32],
+    site_out: &mut [f64],
+) {
+    use crate::scaling::LOG_MINLIKELIHOOD;
+    let (ns, nc) = (dims.n_states, dims.n_cats);
+    let stride = dims.site_stride();
+    let cat_w = 1.0 / nc as f64;
+    debug_assert_eq!(freqs.len(), ns);
+    let mut dot = [0.0f64; MAX_STATES];
+    for i in 0..dims.n_patterns {
+        let psite = &pvec[i * stride..(i + 1) * stride];
+        let qsite = &qvec[i * stride..(i + 1) * stride];
+        let mut site_l = 0.0;
+        for c in 0..nc {
+            matvec_cols(pm_root.cat_t(c), &qsite[c * ns..(c + 1) * ns], ns, &mut dot);
+            let pc = &psite[c * ns..(c + 1) * ns];
+            let mut cat_sum = 0.0;
+            for x in 0..ns {
+                cat_sum += freqs[x] * pc[x] * dot[x];
+            }
+            site_l += cat_w * cat_sum;
+        }
+        let scale = (scale_p[i] + scale_q[i]) as f64;
+        site_out[i] = weights[i] as f64 * (site_l.max(1e-300).ln() + scale * LOG_MINLIKELIHOOD);
+    }
+}
+
+/// Generic root evaluation against a tip (flat LUT dot — the scalar kernel
+/// is already the right loop).
+pub fn evaluate_tip_inner_sites(
+    dims: &Dims,
+    root_lut: &[f64],
+    codes_tip: &[u16],
+    qvec: &[f64],
+    scale_q: &[u32],
+    weights: &[u32],
+    site_out: &mut [f64],
+) {
+    super::evaluate::evaluate_tip_inner_sites(
+        dims, root_lut, codes_tip, qvec, scale_q, weights, site_out,
+    );
+}
+
+/// Generic NR derivative site loop (the scalar kernel is already flat and
+/// width-generic).
+#[allow(clippy::too_many_arguments)]
+pub fn nr_derivatives_sites(
+    dims: &Dims,
+    sumtable: &[f64],
+    weights: &[u32],
+    scale_sums: &[u32],
+    eigenvalues: &[f64],
+    rates: &[f64],
+    z: f64,
+    out_l: &mut [f64],
+    out_d1: &mut [f64],
+    out_d2: &mut [f64],
+) {
+    super::derivatives::nr_derivatives_sites(
+        dims,
+        sumtable,
+        weights,
+        scale_sums,
+        eigenvalues,
+        rates,
+        z,
+        out_l,
+        out_d1,
+        out_d2,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::random_vector;
+    use super::super::{evaluate, newview};
+    use super::*;
+    use phylo_models::{DiscreteGamma, PMatrices};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn model_for(ns: usize) -> phylo_models::ReversibleModel {
+        match ns {
+            4 => phylo_models::ReversibleModel::gtr(
+                &[1.3, 2.8, 0.7, 1.1, 3.5, 1.0],
+                &[0.31, 0.19, 0.23, 0.27],
+            ),
+            20 => phylo_models::protein::synthetic_protein(7),
+            61 => phylo_models::codon::synthetic_codon(7),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_scalar_across_widths() {
+        for ns in [4usize, 20, 61] {
+            for nc in [1usize, 4] {
+                let dims = Dims {
+                    n_patterns: 11,
+                    n_states: ns,
+                    n_cats: nc,
+                };
+                let model = model_for(ns);
+                let gamma = if nc == 1 {
+                    DiscreteGamma::none()
+                } else {
+                    DiscreteGamma::new(0.8, nc)
+                };
+                let eigen = model.eigen();
+                let mut pm_l = PMatrices::new(ns, nc);
+                let mut pm_r = PMatrices::new(ns, nc);
+                pm_l.update(&eigen, &gamma, 0.17);
+                pm_r.update(&eigen, &gamma, 0.42);
+                let mut rng = StdRng::seed_from_u64(ns as u64);
+                // Normal and underflowing magnitudes, exercising scaling.
+                for magnitude in [1.0, 1e-40] {
+                    let left: Vec<f64> = random_vector(&dims, &mut rng)
+                        .iter()
+                        .map(|x| x * magnitude)
+                        .collect();
+                    let right: Vec<f64> = random_vector(&dims, &mut rng)
+                        .iter()
+                        .map(|x| x * magnitude)
+                        .collect();
+                    let sl: Vec<u32> = (0..dims.n_patterns).map(|_| rng.gen_range(0..3)).collect();
+                    let sr: Vec<u32> = (0..dims.n_patterns).map(|_| rng.gen_range(0..3)).collect();
+                    let mut p_s = vec![0.0; dims.width()];
+                    let mut sc_s = vec![0u32; dims.n_patterns];
+                    let mut p_g = vec![0.0; dims.width()];
+                    let mut sc_g = vec![0u32; dims.n_patterns];
+                    newview::newview_inner_inner(
+                        &dims, &mut p_s, &mut sc_s, &left, &sl, &pm_l, &right, &sr, &pm_r,
+                    );
+                    newview_inner_inner(
+                        &dims, &mut p_g, &mut sc_g, &left, &sl, &pm_l, &right, &sr, &pm_r,
+                    );
+                    assert_eq!(p_s, p_g, "ns={ns} nc={nc} mag={magnitude}");
+                    assert_eq!(sc_s, sc_g);
+
+                    // Root evaluation on the combined vectors.
+                    let w: Vec<u32> = (0..dims.n_patterns).map(|_| rng.gen_range(1..4)).collect();
+                    let mut e_s = vec![0.0; dims.n_patterns];
+                    let mut e_g = vec![0.0; dims.n_patterns];
+                    evaluate::evaluate_inner_inner_sites(
+                        &dims,
+                        &p_s,
+                        &sc_s,
+                        &left,
+                        &sl,
+                        &pm_l,
+                        model.freqs(),
+                        &w,
+                        &mut e_s,
+                    );
+                    evaluate_inner_inner_sites(
+                        &dims,
+                        &p_g,
+                        &sc_g,
+                        &left,
+                        &sl,
+                        &pm_l,
+                        model.freqs(),
+                        &w,
+                        &mut e_g,
+                    );
+                    assert_eq!(e_s, e_g, "evaluate ns={ns} nc={nc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tip_inner_bit_identical_at_codon_width() {
+        use crate::encode::TipCodes;
+        use phylo_seq::{compress_patterns, Alignment, Alphabet};
+        let dna = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ATGGCATTCAAAGGG".into()),
+                ("b".into(), "ATGGCCTTTAAGGGA".into()),
+            ],
+        )
+        .unwrap();
+        let aln = dna.to_codons().unwrap();
+        let comp = compress_patterns(&aln);
+        let codes = TipCodes::from_alignment(&comp);
+        let model = phylo_models::codon::synthetic_codon(2);
+        let gamma = DiscreteGamma::new(0.9, 2);
+        let mut pm = PMatrices::new(61, 2);
+        pm.update(&model.eigen(), &gamma, 0.2);
+        let dims = Dims {
+            n_patterns: comp.n_patterns(),
+            n_states: 61,
+            n_cats: 2,
+        };
+        let mut lut = Vec::new();
+        codes.build_lut(&pm, &mut lut);
+        let mut rng = StdRng::seed_from_u64(9);
+        let inner = random_vector(&dims, &mut rng);
+        let sc_in = vec![1u32; dims.n_patterns];
+        let mut p_s = vec![0.0; dims.width()];
+        let mut sc_s = vec![0u32; dims.n_patterns];
+        let mut p_g = vec![0.0; dims.width()];
+        let mut sc_g = vec![0u32; dims.n_patterns];
+        newview::newview_tip_inner(
+            &dims,
+            &mut p_s,
+            &mut sc_s,
+            &lut,
+            codes.tip(0),
+            &inner,
+            &sc_in,
+            &pm,
+        );
+        newview_tip_inner(
+            &dims,
+            &mut p_g,
+            &mut sc_g,
+            &lut,
+            codes.tip(0),
+            &inner,
+            &sc_in,
+            &pm,
+        );
+        assert_eq!(p_s, p_g);
+        assert_eq!(sc_s, sc_g);
+    }
+}

@@ -10,7 +10,10 @@ pub mod backend;
 pub mod derivatives;
 pub mod dna4;
 pub mod evaluate;
+pub mod generic;
 pub mod newview;
+#[cfg(target_arch = "x86_64")]
+pub mod wide;
 
 pub use backend::KernelBackend;
 
@@ -36,6 +39,50 @@ impl Dims {
     #[inline]
     pub fn width(&self) -> usize {
         self.n_patterns * self.site_stride()
+    }
+}
+
+/// The ancestral-probability-vector layout derived from [`Dims`]: the
+/// single source of truth for strides and offsets. Kernels and buffer code
+/// derive every index from this instead of assuming the DNA/Γ4 stride of
+/// 16, so wide-state (protein, codon) vectors index identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApvLayout {
+    /// Character states per category block.
+    pub n_states: usize,
+    /// Rate categories per site block.
+    pub n_cats: usize,
+}
+
+impl ApvLayout {
+    /// The layout for these dimensions.
+    #[inline]
+    pub fn of(dims: &Dims) -> ApvLayout {
+        ApvLayout {
+            n_states: dims.n_states,
+            n_cats: dims.n_cats,
+        }
+    }
+
+    /// Entries per site block (`n_cats · n_states`).
+    #[inline]
+    pub fn site_stride(&self) -> usize {
+        self.n_cats * self.n_states
+    }
+
+    /// Flat range of pattern `i`'s site block.
+    #[inline]
+    pub fn site(&self, i: usize) -> core::ops::Range<usize> {
+        let s = self.site_stride();
+        i * s..(i + 1) * s
+    }
+
+    /// Flat range of category `c` within pattern `i`'s site block.
+    #[inline]
+    pub fn cat(&self, i: usize, c: usize) -> core::ops::Range<usize> {
+        debug_assert!(c < self.n_cats);
+        let base = i * self.site_stride() + c * self.n_states;
+        base..base + self.n_states
     }
 }
 
@@ -73,5 +120,19 @@ mod tests {
             n_cats: 4,
         };
         assert_eq!(paper.width() * 8, 1_280_000);
+    }
+
+    #[test]
+    fn apv_layout_derives_all_offsets() {
+        let d = Dims {
+            n_patterns: 3,
+            n_states: 61,
+            n_cats: 2,
+        };
+        let l = ApvLayout::of(&d);
+        assert_eq!(l.site_stride(), 122);
+        assert_eq!(l.site(2), 244..366);
+        assert_eq!(l.cat(1, 1), 122 + 61..122 + 122);
+        assert_eq!(l.site_stride() * d.n_patterns, d.width());
     }
 }

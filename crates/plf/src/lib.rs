@@ -33,6 +33,7 @@ pub mod kernels;
 pub mod likelihood_api;
 pub mod modelopt;
 pub mod oracle;
+pub mod partition;
 pub mod scaling;
 pub mod sharded;
 pub mod store_api;
@@ -42,5 +43,6 @@ pub use engine::{PlfEngine, PlfModel};
 pub use kernels::KernelBackend;
 pub use likelihood_api::LikelihoodEngine;
 pub use oracle::{SharedTree, TreeOracle};
+pub use partition::{NrBranchEngine, PartitionedPlfEngine};
 pub use sharded::ShardedPlfEngine;
 pub use store_api::{AncestralStore, InRamStore, OocStore, PagedStore, VectorSession};

@@ -222,6 +222,39 @@ impl<S: AncestralStore + Send> ShardedPlfEngine<S> {
         bufs.flatten().fold(0.0, |acc, &t| acc + t)
     }
 
+    /// Build the branch sumtable on every shard in parallel (the prepare
+    /// half of a Newton–Raphson branch optimisation).
+    pub(crate) fn par_prepare_branch(&mut self, h: HalfEdgeId) -> OocResult<()> {
+        self.par_shards(|e| e.prepare_branch(h)).map(|_| ())
+    }
+
+    /// Cross-shard `(lnL, d1, d2)` of the prepared branch at length `z`:
+    /// per-pattern terms per shard in parallel, into each shard's reusable
+    /// NR scratch (no per-iteration allocation); each accumulator is then
+    /// folded across shards in shard order, matching the serial
+    /// `nr_derivatives` folds bit-for-bit.
+    pub(crate) fn shard_branch_derivatives(&mut self, z: f64) -> (f64, f64, f64) {
+        let shards = &mut self.shards;
+        let triples = par_each_mut(shards, |_, e| {
+            let mut l = std::mem::take(&mut e.nr_l);
+            let mut d1 = std::mem::take(&mut e.nr_d1);
+            let mut d2 = std::mem::take(&mut e.nr_d2);
+            e.branch_derivatives_sites(z, &mut l, &mut d1, &mut d2);
+            (l, d1, d2)
+        });
+        let folded = (
+            Self::fold_shards(triples.iter().map(|t| t.0.as_slice())),
+            Self::fold_shards(triples.iter().map(|t| t.1.as_slice())),
+            Self::fold_shards(triples.iter().map(|t| t.2.as_slice())),
+        );
+        for (e, (l, d1, d2)) in shards.iter_mut().zip(triples) {
+            e.nr_l = l;
+            e.nr_d1 = d1;
+            e.nr_d2 = d2;
+        }
+        folded
+    }
+
     /// The paper's `-f z` worst case: `count` successive full traversals.
     pub fn full_traversals(&mut self, count: usize) -> OocResult<f64> {
         let root = self.tree().default_root_edge();
@@ -273,34 +306,11 @@ impl<S: AncestralStore + Send> LikelihoodEngine for ShardedPlfEngine<S> {
     }
 
     fn optimize_branch(&mut self, h: HalfEdgeId, max_iter: u32) -> OocResult<(f64, f64)> {
-        // Sumtables for the branch, all shards in parallel.
-        self.par_shards(|e| e.prepare_branch(h))?;
+        // Sumtables for the branch, all shards in parallel; then Newton
+        // over the cross-shard ordered derivative reduction.
+        self.par_prepare_branch(h)?;
         let z0 = self.tree().branch_length(h);
-        let shards = &mut self.shards;
-        let (z, best_lnl) = newton_optimize(z0, max_iter, |z| {
-            // Per-pattern (lnL, d1, d2) terms per shard in parallel, into
-            // each shard's reusable NR scratch (no per-iteration
-            // allocation); each accumulator is then folded across shards
-            // in shard order, matching the serial `nr_derivatives` folds.
-            let triples = par_each_mut(shards, |_, e| {
-                let mut l = std::mem::take(&mut e.nr_l);
-                let mut d1 = std::mem::take(&mut e.nr_d1);
-                let mut d2 = std::mem::take(&mut e.nr_d2);
-                e.branch_derivatives_sites(z, &mut l, &mut d1, &mut d2);
-                (l, d1, d2)
-            });
-            let folded = (
-                Self::fold_shards(triples.iter().map(|t| t.0.as_slice())),
-                Self::fold_shards(triples.iter().map(|t| t.1.as_slice())),
-                Self::fold_shards(triples.iter().map(|t| t.2.as_slice())),
-            );
-            for (e, (l, d1, d2)) in shards.iter_mut().zip(triples) {
-                e.nr_l = l;
-                e.nr_d1 = d1;
-                e.nr_d2 = d2;
-            }
-            folded
-        });
+        let (z, best_lnl) = newton_optimize(z0, max_iter, |z| self.shard_branch_derivatives(z));
         self.set_branch_length(h, z);
         Ok((z, best_lnl))
     }

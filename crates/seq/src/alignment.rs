@@ -1,6 +1,6 @@
 //! Multiple sequence alignment container.
 
-use crate::alphabet::{Alphabet, SiteMask};
+use crate::alphabet::{encode_codon, Alphabet, SiteMask};
 
 /// A multiple sequence alignment: `n` encoded sequences of equal length.
 /// Sequence order defines the tip ids used throughout the workspace.
@@ -22,6 +22,10 @@ pub enum AlignmentError {
     BadCharacter(char, String),
     /// No sequences at all.
     Empty,
+    /// DNA length is not a multiple of three, so it cannot be read as codons.
+    NotCodonDivisible(usize),
+    /// A triplet admits only stop codons and has no codon state.
+    StopCodon { name: String, codon_site: usize },
 }
 
 impl std::fmt::Display for AlignmentError {
@@ -32,6 +36,13 @@ impl std::fmt::Display for AlignmentError {
                 write!(f, "character {c:?} in sequence {n:?} is not encodable")
             }
             AlignmentError::Empty => write!(f, "alignment has no sequences"),
+            AlignmentError::NotCodonDivisible(n) => {
+                write!(f, "{n} sites is not a multiple of 3, cannot read as codons")
+            }
+            AlignmentError::StopCodon { name, codon_site } => write!(
+                f,
+                "sequence {name:?} codon {codon_site} admits only stop codons"
+            ),
         }
     }
 }
@@ -142,6 +153,41 @@ impl Alignment {
         }
     }
 
+    /// Re-read a DNA alignment as codons: every three columns become one
+    /// 61-state codon column, with nucleotide ambiguity (including gaps)
+    /// expanded over the compatible sense codons. Triplets compatible only
+    /// with stop codons are rejected — in-frame protein-coding data has
+    /// none.
+    pub fn to_codons(&self) -> Result<Alignment, AlignmentError> {
+        assert_eq!(self.alphabet, Alphabet::Dna, "codon input must be DNA");
+        if !self.n_sites.is_multiple_of(3) {
+            return Err(AlignmentError::NotCodonDivisible(self.n_sites));
+        }
+        let n_codons = self.n_sites / 3;
+        let mut seqs = Vec::with_capacity(self.seqs.len());
+        for (s, dna) in self.seqs.iter().enumerate() {
+            let mut enc = Vec::with_capacity(n_codons);
+            for c in 0..n_codons {
+                match encode_codon(dna[3 * c], dna[3 * c + 1], dna[3 * c + 2]) {
+                    Some(m) => enc.push(m),
+                    None => {
+                        return Err(AlignmentError::StopCodon {
+                            name: self.names[s].clone(),
+                            codon_site: c,
+                        })
+                    }
+                }
+            }
+            seqs.push(enc);
+        }
+        Ok(Alignment {
+            alphabet: Alphabet::Codon,
+            names: self.names.clone(),
+            seqs,
+            n_sites: n_codons,
+        })
+    }
+
     /// Empirical state frequencies over unambiguous characters, with a
     /// tiny pseudo-count so no frequency is ever zero.
     pub fn empirical_freqs(&self) -> Vec<f64> {
@@ -238,5 +284,38 @@ mod tests {
     #[should_panic]
     fn from_encoded_rejects_zero_mask() {
         let _ = Alignment::from_encoded(Alphabet::Dna, vec!["x".into()], vec![vec![0]]);
+    }
+
+    #[test]
+    fn to_codons_converts_triplets() {
+        let a = Alignment::from_chars(
+            Alphabet::Dna,
+            &[
+                ("a".into(), "ATGGCNTAY".into()),
+                ("b".into(), "ATG---TTT".into()),
+            ],
+        )
+        .unwrap();
+        let c = a.to_codons().unwrap();
+        assert_eq!(c.alphabet(), Alphabet::Codon);
+        assert_eq!(c.n_sites(), 3);
+        assert_eq!(c.seq(0)[0].count_ones(), 1); // ATG
+        assert_eq!(c.seq(0)[1].count_ones(), 4); // GCN alanine box
+        assert_eq!(c.seq(1)[1], Alphabet::Codon.all_states()); // gap codon
+        assert_eq!(c.seq_chars(1), "M-F");
+    }
+
+    #[test]
+    fn to_codons_rejects_bad_length_and_stops() {
+        let a = Alignment::from_chars(Alphabet::Dna, &[("a".into(), "ATGA".into())]).unwrap();
+        assert!(matches!(
+            a.to_codons(),
+            Err(AlignmentError::NotCodonDivisible(4))
+        ));
+        let b = Alignment::from_chars(Alphabet::Dna, &[("b".into(), "ATGTGA".into())]).unwrap();
+        assert!(matches!(
+            b.to_codons(),
+            Err(AlignmentError::StopCodon { codon_site: 1, .. })
+        ));
     }
 }

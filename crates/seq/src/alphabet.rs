@@ -6,8 +6,11 @@
 //! several (or all) bits. The PLF treats a tip mask as an indicator
 //! likelihood vector, which is why the encoding matters.
 
-/// A set of compatible states, one bit per state (up to 32 states).
-pub type SiteMask = u32;
+use phylo_models::codon::{CODON_STATE_OF, N_CODONS};
+
+/// A set of compatible states, one bit per state (up to 64 states — wide
+/// enough for the 61 sense codons of the universal genetic code).
+pub type SiteMask = u64;
 
 /// Supported character-state alphabets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,6 +19,12 @@ pub enum Alphabet {
     Dna,
     /// Amino acids in PAML order `ARNDCQEGHILKMFPSTWYV` (indices 0..20).
     Protein,
+    /// The 61 sense codons of the universal genetic code, in the canonical
+    /// order of [`phylo_models::codon::CODONS`] (triplets lexicographic over
+    /// A<C<G<T, stops excluded). Codon characters cannot be encoded one
+    /// byte at a time — use [`encode_codon`] on nucleotide triplets or
+    /// [`crate::alignment::Alignment::to_codons`].
+    Codon,
 }
 
 /// Amino-acid ordering used throughout (PAML/RAxML convention).
@@ -28,25 +37,28 @@ impl Alphabet {
         match self {
             Alphabet::Dna => 4,
             Alphabet::Protein => 20,
+            Alphabet::Codon => N_CODONS,
         }
     }
 
     /// Mask with every state bit set (gap / fully unknown).
     #[inline]
     pub fn all_states(self) -> SiteMask {
-        (1u32 << self.n_states()) - 1
+        (1u64 << self.n_states()) - 1
     }
 
     /// Encode one character to a state mask. Returns `None` for characters
     /// that are not part of the alphabet (after ASCII upper-casing).
+    /// Codon states span three characters, so `Alphabet::Codon` always
+    /// returns `None` here — encode triplets with [`encode_codon`].
     pub fn encode(self, c: u8) -> Option<SiteMask> {
         let c = c.to_ascii_uppercase();
         match self {
             Alphabet::Dna => {
-                const A: u32 = 1;
-                const C: u32 = 2;
-                const G: u32 = 4;
-                const T: u32 = 8;
+                const A: u64 = 1;
+                const C: u64 = 2;
+                const G: u64 = 4;
+                const T: u64 = 8;
                 Some(match c {
                     b'A' => A,
                     b'C' => C,
@@ -70,7 +82,7 @@ impl Alphabet {
                 if let Some(idx) = AA_ORDER.iter().position(|&a| a == c) {
                     return Some(1 << idx);
                 }
-                let bit = |aa: u8| 1u32 << AA_ORDER.iter().position(|&a| a == aa).unwrap();
+                let bit = |aa: u8| 1u64 << AA_ORDER.iter().position(|&a| a == aa).unwrap();
                 Some(match c {
                     b'B' => bit(b'N') | bit(b'D'),
                     b'Z' => bit(b'Q') | bit(b'E'),
@@ -79,12 +91,15 @@ impl Alphabet {
                     _ => return None,
                 })
             }
+            Alphabet::Codon => None,
         }
     }
 
     /// Decode a mask back to a display character. Unambiguous masks decode
     /// to their state letter; everything else decodes to the most specific
-    /// matching ambiguity code (DNA) or `X`/`-` (protein).
+    /// matching ambiguity code (DNA) or `X`/`-` (protein). Codon masks
+    /// decode to the amino acid their codon encodes (unambiguous), `-`
+    /// (gap) or `X` (other ambiguity) — display-only, not invertible.
     pub fn decode(self, mask: SiteMask) -> u8 {
         assert!(mask != 0 && mask <= self.all_states());
         match self {
@@ -99,13 +114,22 @@ impl Alphabet {
                 if mask.count_ones() == 1 {
                     return AA_ORDER[mask.trailing_zeros() as usize];
                 }
-                let bit = |aa: u8| 1u32 << AA_ORDER.iter().position(|&a| a == aa).unwrap();
+                let bit = |aa: u8| 1u64 << AA_ORDER.iter().position(|&a| a == aa).unwrap();
                 if mask == bit(b'N') | bit(b'D') {
                     b'B'
                 } else if mask == bit(b'Q') | bit(b'E') {
                     b'Z'
                 } else if mask == bit(b'I') | bit(b'L') {
                     b'J'
+                } else {
+                    b'X'
+                }
+            }
+            Alphabet::Codon => {
+                if mask == self.all_states() {
+                    b'-'
+                } else if mask.count_ones() == 1 {
+                    phylo_models::codon::CODON_AA[mask.trailing_zeros() as usize]
                 } else {
                     b'X'
                 }
@@ -121,6 +145,30 @@ impl Alphabet {
     }
 }
 
+/// Encode a nucleotide triplet (three DNA state masks) as a codon state
+/// mask: bit `s` is set iff sense codon `s` is compatible with all three
+/// positions. Ambiguity expands naturally — `NNN` / `---` (all-states DNA
+/// masks) yield the all-states codon mask. Returns `None` when no sense
+/// codon is compatible (i.e. the triplet can only be a stop codon).
+pub fn encode_codon(m0: SiteMask, m1: SiteMask, m2: SiteMask) -> Option<SiteMask> {
+    debug_assert!(m0 != 0 && m0 <= 0xF && m1 != 0 && m1 <= 0xF && m2 != 0 && m2 <= 0xF);
+    let mut mask: SiteMask = 0;
+    for (t, &state) in CODON_STATE_OF.iter().enumerate() {
+        if state == 0xFF {
+            continue;
+        }
+        let (a, b, c) = (t >> 4, (t >> 2) & 3, t & 3);
+        if m0 >> a & 1 == 1 && m1 >> b & 1 == 1 && m2 >> c & 1 == 1 {
+            mask |= 1 << state;
+        }
+    }
+    if mask == 0 {
+        None
+    } else {
+        Some(mask)
+    }
+}
+
 /// Pack 4-bit DNA masks eight-to-a-word, as the paper describes for tip
 /// storage ("one 32-bit integer is sufficient to store 8 nucleotides when
 /// ambiguous DNA character encoding is used"). Site `i` occupies bits
@@ -129,7 +177,7 @@ pub fn pack_dna(masks: &[SiteMask]) -> Vec<u32> {
     let mut out = vec![0u32; masks.len().div_ceil(8)];
     for (i, &m) in masks.iter().enumerate() {
         debug_assert!(m <= 0xF, "DNA masks are 4 bits");
-        out[i / 8] |= m << (4 * (i % 8));
+        out[i / 8] |= (m as u32) << (4 * (i % 8));
     }
     out
 }
@@ -138,7 +186,7 @@ pub fn pack_dna(masks: &[SiteMask]) -> Vec<u32> {
 pub fn unpack_dna(packed: &[u32], len: usize) -> Vec<SiteMask> {
     assert!(len <= packed.len() * 8);
     (0..len)
-        .map(|i| (packed[i / 8] >> (4 * (i % 8))) & 0xF)
+        .map(|i| ((packed[i / 8] >> (4 * (i % 8))) & 0xF) as SiteMask)
         .collect()
 }
 
@@ -199,11 +247,49 @@ mod tests {
     fn all_states_width() {
         assert_eq!(Alphabet::Dna.all_states(), 0xF);
         assert_eq!(Alphabet::Protein.all_states(), 0xF_FFFF);
+        assert_eq!(Alphabet::Codon.n_states(), 61);
+        assert_eq!(Alphabet::Codon.all_states(), (1u64 << 61) - 1);
+    }
+
+    #[test]
+    fn codon_unambiguous_triplets() {
+        let e = |c| Alphabet::Dna.encode(c).unwrap();
+        // ATG is a single sense codon.
+        let m = encode_codon(e(b'A'), e(b'T'), e(b'G')).unwrap();
+        assert_eq!(m.count_ones(), 1);
+        assert_eq!(Alphabet::Codon.decode(m), b'M');
+        // TAA is a stop: no sense codon compatible.
+        assert_eq!(encode_codon(e(b'T'), e(b'A'), e(b'A')), None);
+    }
+
+    #[test]
+    fn codon_ambiguity_expands() {
+        let e = |c| Alphabet::Dna.encode(c).unwrap();
+        // GCN = alanine 4-fold degenerate box: 4 compatible codons.
+        let m = encode_codon(e(b'G'), e(b'C'), e(b'N')).unwrap();
+        assert_eq!(m.count_ones(), 4);
+        assert_eq!(Alphabet::Codon.decode(m), b'X');
+        // TAY = {TAC, TAT} both tyrosine; TAA/TAG stops are excluded.
+        let m = encode_codon(e(b'T'), e(b'A'), e(b'Y')).unwrap();
+        assert_eq!(m.count_ones(), 2);
+        // TAR = {TAA, TAG} are both stops -> unencodable.
+        assert_eq!(encode_codon(e(b'T'), e(b'A'), e(b'R')), None);
+        // Full gap triplet covers all 61 sense codons.
+        let gap = encode_codon(0xF, 0xF, 0xF).unwrap();
+        assert_eq!(gap, Alphabet::Codon.all_states());
+        assert_eq!(Alphabet::Codon.decode(gap), b'-');
+    }
+
+    #[test]
+    fn codon_single_char_encode_refused() {
+        assert_eq!(Alphabet::Codon.encode(b'A'), None);
     }
 
     #[test]
     fn pack_unpack_roundtrip() {
-        let masks: Vec<SiteMask> = (0..37).map(|i| ((i * 7 + 3) % 15 + 1) as u32).collect();
+        let masks: Vec<SiteMask> = (0..37)
+            .map(|i| ((i * 7 + 3) % 15 + 1) as SiteMask)
+            .collect();
         let packed = pack_dna(&masks);
         assert_eq!(packed.len(), 5);
         assert_eq!(unpack_dna(&packed, 37), masks);
@@ -212,7 +298,7 @@ mod tests {
     #[test]
     fn pack_density_matches_paper() {
         // 8 nucleotides per 32-bit integer.
-        let masks = vec![0xFu32; 8000];
+        let masks = vec![0xFu64; 8000];
         assert_eq!(pack_dna(&masks).len(), 1000);
     }
 }

@@ -7,6 +7,7 @@
 //! changing the result.
 
 use crate::alignment::Alignment;
+use crate::alphabet::SiteMask;
 use std::collections::HashMap;
 
 /// An alignment reduced to its distinct columns plus per-pattern weights.
@@ -38,7 +39,7 @@ impl CompressedAlignment {
 pub fn compress_patterns(alignment: &Alignment) -> CompressedAlignment {
     let n_seqs = alignment.n_seqs();
     let n_sites = alignment.n_sites();
-    let mut pattern_of: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut pattern_of: HashMap<Vec<SiteMask>, u32> = HashMap::new();
     let mut order: Vec<usize> = Vec::new();
     let mut weights: Vec<u32> = Vec::new();
     let mut site_to_pattern = Vec::with_capacity(n_sites);

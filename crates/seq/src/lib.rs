@@ -18,10 +18,12 @@ pub mod alignment;
 pub mod alphabet;
 pub mod compress;
 pub mod fasta;
+pub mod partition;
 pub mod phylip;
 pub mod simulate;
 
 pub use alignment::Alignment;
-pub use alphabet::{pack_dna, Alphabet, SiteMask};
+pub use alphabet::{encode_codon, pack_dna, Alphabet, SiteMask};
 pub use compress::{compress_patterns, CompressedAlignment};
+pub use partition::{PartitionDef, PartitionKind, PartitionSpec};
 pub use simulate::simulate_alignment;

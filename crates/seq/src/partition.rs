@@ -1,0 +1,341 @@
+//! Partitioned alignments: one shared tree, several data blocks ("genes"),
+//! each with its own alphabet and substitution model.
+//!
+//! A partition file uses the RAxML-style syntax, one partition per line:
+//!
+//! ```text
+//! # model, name = sites (1-based, inclusive; comma-separated ranges)
+//! DNA,   gene1 = 1-400
+//! PROT,  gene2 = 401-600, 701-720
+//! CODON, gene3 = 601-700
+//! ```
+//!
+//! Model keywords: `DNA`/`NUC` (4-state nucleotide), `PROT`/`AA`/`POISSON`
+//! (20-state amino acid), `CODON`/`GY94` (61-state codon; the site range
+//! counts *nucleotide* columns, whose length must be divisible by 3 —
+//! triplets are re-encoded via [`crate::Alignment::to_codons`]).
+//!
+//! [`PartitionSpec::split_chars`] slices the raw character matrix into one
+//! [`Alignment`] per partition, each encoded under its own alphabet — the
+//! input file itself has no single alphabet when partitions mix data
+//! types, which is why the splitter consumes characters, not masks.
+
+use crate::alignment::{Alignment, AlignmentError};
+use crate::alphabet::Alphabet;
+use std::ops::Range;
+
+/// The data type (and default model family) of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionKind {
+    /// 4-state nucleotide data.
+    Dna,
+    /// 20-state amino-acid data.
+    Protein,
+    /// 61-state codon data (site ranges count nucleotide columns).
+    Codon,
+}
+
+impl PartitionKind {
+    /// The alphabet a partition of this kind encodes to.
+    pub fn alphabet(&self) -> Alphabet {
+        match self {
+            PartitionKind::Dna => Alphabet::Dna,
+            PartitionKind::Protein => Alphabet::Protein,
+            PartitionKind::Codon => Alphabet::Codon,
+        }
+    }
+
+    /// Canonical keyword (what [`std::fmt::Display`] prints).
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            PartitionKind::Dna => "DNA",
+            PartitionKind::Protein => "PROT",
+            PartitionKind::Codon => "CODON",
+        }
+    }
+}
+
+impl std::fmt::Display for PartitionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// One partition: a named, typed set of alignment column ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionDef {
+    /// Partition name (unique within a spec).
+    pub name: String,
+    /// Data type / model family.
+    pub kind: PartitionKind,
+    /// Column ranges, 0-based half-open, in file order.
+    pub ranges: Vec<Range<usize>>,
+}
+
+impl PartitionDef {
+    /// Total number of input (nucleotide/amino-acid) columns.
+    pub fn n_columns(&self) -> usize {
+        self.ranges.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Errors from parsing or applying a partition spec.
+#[derive(Debug)]
+pub enum PartitionError {
+    /// A line could not be parsed (line number, message).
+    Parse(usize, String),
+    /// Two partitions claim the same column.
+    Overlap { column: usize, a: String, b: String },
+    /// A range exceeds the alignment length.
+    OutOfBounds {
+        name: String,
+        end: usize,
+        n_sites: usize,
+    },
+    /// Encoding a partition's slice failed.
+    Encode {
+        name: String,
+        source: AlignmentError,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::Parse(line, msg) => write!(f, "partition line {line}: {msg}"),
+            PartitionError::Overlap { column, a, b } => write!(
+                f,
+                "partitions {a:?} and {b:?} both claim column {}",
+                column + 1
+            ),
+            PartitionError::OutOfBounds { name, end, n_sites } => write!(
+                f,
+                "partition {name:?} ends at column {end} but the alignment has {n_sites} sites"
+            ),
+            PartitionError::Encode { name, source } => {
+                write!(f, "partition {name:?}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// An ordered set of disjoint partitions over one alignment's columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// The partitions, in file order.
+    pub partitions: Vec<PartitionDef>,
+}
+
+impl PartitionSpec {
+    /// Parse the RAxML-style partition syntax (see the module docs).
+    /// `#`-comments and blank lines are skipped.
+    pub fn parse(text: &str) -> Result<PartitionSpec, PartitionError> {
+        let mut partitions: Vec<PartitionDef> = Vec::new();
+        for (li, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lno = li + 1;
+            let err = |msg: String| PartitionError::Parse(lno, msg);
+            let (head, sites) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected `model, name = sites`".into()))?;
+            let (model, name) = head
+                .split_once(',')
+                .ok_or_else(|| err("expected `model, name` before `=`".into()))?;
+            let kind = match model.trim().to_ascii_uppercase().as_str() {
+                "DNA" | "NUC" => PartitionKind::Dna,
+                "PROT" | "AA" | "POISSON" => PartitionKind::Protein,
+                "CODON" | "GY94" => PartitionKind::Codon,
+                other => return Err(err(format!("unknown model keyword {other:?}"))),
+            };
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err("empty partition name".into()));
+            }
+            if partitions.iter().any(|p| p.name == name) {
+                return Err(err(format!("duplicate partition name {name:?}")));
+            }
+            let mut ranges = Vec::new();
+            for part in sites.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    return Err(err("empty site range".into()));
+                }
+                let (a, b) = match part.split_once('-') {
+                    Some((a, b)) => (a.trim(), b.trim()),
+                    None => (part, part),
+                };
+                let start: usize = a
+                    .parse()
+                    .map_err(|_| err(format!("bad site number {a:?}")))?;
+                let end: usize = b
+                    .parse()
+                    .map_err(|_| err(format!("bad site number {b:?}")))?;
+                if start == 0 || end < start {
+                    return Err(err(format!("bad range {part:?} (sites are 1-based)")));
+                }
+                ranges.push(start - 1..end);
+            }
+            partitions.push(PartitionDef {
+                name: name.to_owned(),
+                kind,
+                ranges,
+            });
+        }
+        if partitions.is_empty() {
+            return Err(PartitionError::Parse(0, "no partitions defined".into()));
+        }
+        let spec = PartitionSpec { partitions };
+        spec.check_disjoint()?;
+        Ok(spec)
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Highest column index any partition touches, exclusive.
+    pub fn max_column(&self) -> usize {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.ranges.iter().map(|r| r.end))
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn check_disjoint(&self) -> Result<(), PartitionError> {
+        let mut owner: Vec<(Range<usize>, usize)> = Vec::new();
+        for (pi, p) in self.partitions.iter().enumerate() {
+            for r in &p.ranges {
+                for (other, oi) in &owner {
+                    if r.start < other.end && other.start < r.end {
+                        return Err(PartitionError::Overlap {
+                            column: r.start.max(other.start),
+                            a: self.partitions[*oi].name.clone(),
+                            b: p.name.clone(),
+                        });
+                    }
+                }
+                owner.push((r.clone(), pi));
+            }
+        }
+        Ok(())
+    }
+
+    /// Slice the raw character matrix into one [`Alignment`] per partition
+    /// (in spec order), encoding each slice under its partition's
+    /// alphabet. Codon partitions are encoded as DNA triplets and
+    /// re-encoded to 61-state codons.
+    pub fn split_chars(
+        &self,
+        entries: &[(String, String)],
+    ) -> Result<Vec<Alignment>, PartitionError> {
+        let n_sites = entries.first().map_or(0, |(_, s)| s.len());
+        for p in &self.partitions {
+            if let Some(r) = p.ranges.iter().find(|r| r.end > n_sites) {
+                return Err(PartitionError::OutOfBounds {
+                    name: p.name.clone(),
+                    end: r.end,
+                    n_sites,
+                });
+            }
+        }
+        self.partitions
+            .iter()
+            .map(|p| {
+                let sliced: Vec<(String, String)> = entries
+                    .iter()
+                    .map(|(name, row)| {
+                        let cols: String = p
+                            .ranges
+                            .iter()
+                            .flat_map(|r| row[r.clone()].chars())
+                            .collect();
+                        (name.clone(), cols)
+                    })
+                    .collect();
+                let encode_err = |source| PartitionError::Encode {
+                    name: p.name.clone(),
+                    source,
+                };
+                match p.kind {
+                    PartitionKind::Codon => Alignment::from_chars(Alphabet::Dna, &sliced)
+                        .and_then(|a| a.to_codons())
+                        .map_err(encode_err),
+                    kind => Alignment::from_chars(kind.alphabet(), &sliced).map_err(encode_err),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = "\
+# mixed-type example
+DNA,   gene1 = 1-6
+PROT,  gene2 = 7-9   # trailing comment
+CODON, gene3 = 10-15
+";
+
+    #[test]
+    fn parses_mixed_spec() {
+        let spec = PartitionSpec::parse(SPEC).unwrap();
+        assert_eq!(spec.n_partitions(), 3);
+        assert_eq!(spec.partitions[0].kind, PartitionKind::Dna);
+        assert_eq!(spec.partitions[0].ranges, vec![0..6]);
+        assert_eq!(spec.partitions[1].kind, PartitionKind::Protein);
+        assert_eq!(spec.partitions[2].kind, PartitionKind::Codon);
+        assert_eq!(spec.max_column(), 15);
+    }
+
+    #[test]
+    fn parses_multi_range_and_single_site() {
+        let spec = PartitionSpec::parse("NUC, a = 1-3, 7, 9-10\nAA, b = 4-6").unwrap();
+        assert_eq!(spec.partitions[0].ranges, vec![0..3, 6..7, 8..10]);
+        assert_eq!(spec.partitions[0].n_columns(), 6);
+    }
+
+    #[test]
+    fn rejects_overlap_and_garbage() {
+        assert!(matches!(
+            PartitionSpec::parse("DNA, a = 1-5\nDNA, b = 5-8"),
+            Err(PartitionError::Overlap { column: 4, .. })
+        ));
+        assert!(PartitionSpec::parse("DNA a = 1-5").is_err());
+        assert!(PartitionSpec::parse("RNA, a = 1-5").is_err());
+        assert!(PartitionSpec::parse("DNA, a = 0-5").is_err());
+        assert!(PartitionSpec::parse("DNA, a = 1-5\nDNA, a = 6-8").is_err());
+        assert!(PartitionSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn split_chars_encodes_each_kind() {
+        let spec = PartitionSpec::parse(SPEC).unwrap();
+        let entries = vec![
+            ("s0".to_owned(), "ACGTRN MFW ATGGCN".replace(' ', "")),
+            ("s1".to_owned(), "ACGTAC ARV TTTAAT".replace(' ', "")),
+        ];
+        let parts = spec.split_chars(&entries).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].alphabet(), Alphabet::Dna);
+        assert_eq!(parts[0].n_sites(), 6);
+        assert_eq!(parts[1].alphabet(), Alphabet::Protein);
+        assert_eq!(parts[1].n_sites(), 3);
+        assert_eq!(parts[2].alphabet(), Alphabet::Codon);
+        assert_eq!(parts[2].n_sites(), 2);
+        // Out-of-bounds spec against a shorter matrix is reported.
+        let short = vec![("s0".to_owned(), "ACGT".to_owned())];
+        assert!(matches!(
+            spec.split_chars(&short),
+            Err(PartitionError::OutOfBounds { .. })
+        ));
+    }
+}

@@ -41,6 +41,15 @@ impl std::error::Error for PhylipError {}
 
 /// Read a relaxed sequential PHYLIP alignment.
 pub fn read_phylip<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Alignment, PhylipError> {
+    Ok(Alignment::from_chars(alphabet, &read_phylip_raw(reader)?)?)
+}
+
+/// Read the raw `(name, sequence)` records of a relaxed sequential PHYLIP
+/// file without encoding them to any alphabet. A partitioned analysis
+/// reads mixed DNA/protein/codon data this way and encodes each
+/// partition's column slice under that partition's own alphabet
+/// (`crate::partition::PartitionSpec::split_chars`).
+pub fn read_phylip_raw<R: BufRead>(reader: R) -> Result<Vec<(String, String)>, PhylipError> {
     let mut lines = reader.lines();
     let header = loop {
         match lines.next() {
@@ -90,7 +99,7 @@ pub fn read_phylip<R: BufRead>(reader: R, alphabet: Alphabet) -> Result<Alignmen
     if entries.iter().any(|(_, s)| s.len() != n_sites) {
         return Err(PhylipError::Format("sequence length != header".into()));
     }
-    Ok(Alignment::from_chars(alphabet, &entries)?)
+    Ok(entries)
 }
 
 /// Write relaxed sequential PHYLIP.

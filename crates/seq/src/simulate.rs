@@ -27,6 +27,7 @@ pub fn simulate_alignment<R: Rng>(
     let alphabet = match model.n_states() {
         4 => Alphabet::Dna,
         20 => Alphabet::Protein,
+        61 => Alphabet::Codon,
         n => panic!("no alphabet with {n} states"),
     };
     let n_states = model.n_states();
@@ -90,7 +91,7 @@ pub fn simulate_alignment<R: Rng>(
     }
 
     let names: Vec<String> = (0..tree.n_tips()).map(|i| format!("t{i}")).collect();
-    let seqs: Vec<Vec<u32>> = (0..tree.n_tips())
+    let seqs: Vec<Vec<crate::alphabet::SiteMask>> = (0..tree.n_tips())
         .map(|t| {
             states[t]
                 .iter()

@@ -88,7 +88,7 @@ proptest! {
     }
 
     #[test]
-    fn pack_unpack_any_masks(masks in proptest::collection::vec(1u32..16, 0..100)) {
+    fn pack_unpack_any_masks(masks in proptest::collection::vec(1u64..16, 0..100)) {
         let packed = pack_dna(&masks);
         prop_assert_eq!(packed.len(), masks.len().div_ceil(8));
         prop_assert_eq!(unpack_dna(&packed, masks.len()), masks);

@@ -56,13 +56,15 @@ pub mod setup {
     //! Canonical experiment setups shared by examples, tests and benches.
 
     use ooc_core::{
-        FileStore, MemStore, OocConfig, PrefetchingStore, ShardSpec, StrategyKind, VectorManager,
+        split_budget, FileStore, MemStore, OocConfig, PrefetchingStore, ShardSpec, StrategyKind,
+        VectorManager,
     };
     use phylo_models::{DiscreteGamma, ReversibleModel};
     use phylo_plf::{
-        InRamStore, OocStore, PagedStore, PlfEngine, ShardedPlfEngine, SharedTree, TreeOracle,
+        InRamStore, OocStore, PagedStore, PartitionedPlfEngine, PlfEngine, ShardedPlfEngine,
+        SharedTree, TreeOracle,
     };
-    use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment};
+    use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment, PartitionKind};
     use phylo_tree::build::{random_topology, yule_like_lengths};
     use phylo_tree::Tree;
     use rand::rngs::StdRng;
@@ -342,14 +344,47 @@ pub mod setup {
         io_threads: usize,
         window: usize,
     ) -> std::io::Result<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>> {
-        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
-        let dims = ShardedPlfEngine::<OocStore<PrefetchingStore<FileStore>>>::shard_dims(
+        sharded_pipelined_engine(
+            &data.tree,
             &data.comp,
+            &data.model,
+            data.spec.alpha,
             data.spec.n_cats,
-            &spec,
+            path,
+            f,
+            kind,
+            n_shards,
+            io_threads,
+            window,
+        )
+    }
+
+    /// The pipelined-sharded wiring over explicit parts — what
+    /// [`sharded_engine_file_pipelined`] and the per-partition constructors
+    /// ([`partitioned_engine_sharded_pipelined`]) share: one backing file
+    /// split into per-shard regions, each wrapped in a plan-driven
+    /// [`PrefetchingStore`] with `io_threads` worker handles.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sharded_pipelined_engine<P: AsRef<Path>>(
+        tree: &Tree,
+        comp: &CompressedAlignment,
+        model: &ReversibleModel,
+        alpha: f64,
+        n_cats: usize,
+        path: P,
+        f: f64,
+        kind: StrategyKind,
+        n_shards: usize,
+        io_threads: usize,
+        window: usize,
+    ) -> std::io::Result<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>> {
+        let n_items = tree.n_inner();
+        let spec = ShardSpec::even(comp.n_patterns(), n_shards);
+        let dims = ShardedPlfEngine::<OocStore<PrefetchingStore<FileStore>>>::shard_dims(
+            comp, n_cats, &spec,
         );
         let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
-        let regions = FileStore::create_regions(path, data.n_items(), &widths)?;
+        let regions = FileStore::create_regions(path, n_items, &widths)?;
         let stores = regions
             .into_iter()
             .zip(&widths)
@@ -357,22 +392,22 @@ pub mod setup {
                 let workers = (0..io_threads.max(1))
                     .map(|_| store.try_clone())
                     .collect::<std::io::Result<Vec<_>>>()?;
-                let pipelined = PrefetchingStore::with_pool(store, workers, data.n_items(), w);
-                let cfg = OocConfig::builder(data.n_items(), w)
+                let pipelined = PrefetchingStore::with_pool(store, workers, n_items, w);
+                let cfg = OocConfig::builder(n_items, w)
                     .fraction(f)
                     .prefetch_window(window)
                     .build()
                     .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, &data.tree);
+                let (strategy, _) = build_strategy(kind, tree);
                 Ok(OocStore::new(VectorManager::new(cfg, strategy, pipelined)))
             })
             .collect::<std::io::Result<Vec<_>>>()?;
         Ok(ShardedPlfEngine::new(
-            data.tree.clone(),
-            &data.comp,
-            data.model.clone(),
-            data.spec.alpha,
-            data.spec.n_cats,
+            tree.clone(),
+            comp,
+            model.clone(),
+            alpha,
+            n_cats,
             spec,
             stores,
         ))
@@ -419,6 +454,240 @@ pub mod setup {
             spec,
             stores,
         ))
+    }
+
+    /// One block of a partitioned dataset: a named data partition with its
+    /// own alphabet/model over the shared tree.
+    pub struct PartitionPart {
+        /// Partition name.
+        pub name: String,
+        /// Data type.
+        pub kind: PartitionKind,
+        /// Pattern-compressed alignment of this partition's columns.
+        pub comp: CompressedAlignment,
+        /// The partition's substitution model.
+        pub model: ReversibleModel,
+    }
+
+    /// A partitioned dataset: several data blocks simulated on one tree.
+    pub struct PartitionedDataset {
+        /// The shared tree.
+        pub tree: Tree,
+        /// The partitions, in spec order.
+        pub parts: Vec<PartitionPart>,
+        /// Shared Γ shape.
+        pub alpha: f64,
+        /// Γ categories.
+        pub n_cats: usize,
+    }
+
+    impl PartitionedDataset {
+        /// Vector width in doubles of partition `i`'s engines.
+        pub fn width(&self, i: usize) -> usize {
+            PlfEngine::<InRamStore>::dims_for(&self.parts[i].comp, self.n_cats).width()
+        }
+
+        /// Total ancestral-vector bytes of partition `i` (its weight when
+        /// splitting a joint `-L` byte budget via
+        /// [`ooc_core::split_budget`]).
+        pub fn partition_vector_bytes(&self, i: usize) -> u64 {
+            self.tree.n_inner() as u64 * self.width(i) as u64 * 8
+        }
+    }
+
+    /// The default model family for a partition kind: HKY85 for DNA (the
+    /// paper's model class), a seeded synthetic reversible model for
+    /// protein (20-state) and codon (61-state) partitions.
+    pub fn default_partition_model(kind: PartitionKind, seed: u64) -> ReversibleModel {
+        match kind {
+            PartitionKind::Dna => ReversibleModel::hky85(2.5, &[0.3, 0.2, 0.2, 0.3]),
+            PartitionKind::Protein => phylo_models::protein::synthetic_protein(seed),
+            PartitionKind::Codon => phylo_models::codon::synthetic_codon(seed),
+        }
+    }
+
+    /// Simulate a partitioned dataset: one random tree, then each
+    /// partition's sites evolved independently on it under that
+    /// partition's own model — the partitioned analogue of
+    /// [`simulate_dataset`]. `parts` gives `(kind, n_sites)` per partition
+    /// (codon partitions count codon sites, not nucleotides).
+    pub fn simulate_partitioned_dataset(
+        spec: &DatasetSpec,
+        parts: &[(PartitionKind, usize)],
+    ) -> PartitionedDataset {
+        assert!(!parts.is_empty(), "need at least one partition");
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut tree = random_topology(spec.n_taxa, 0.1, &mut rng);
+        yule_like_lengths(&mut tree, spec.mean_branch, 1e-5, &mut rng);
+        let gamma = DiscreteGamma::new(spec.alpha, spec.n_cats);
+        let parts = parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(kind, n_sites))| {
+                let model = default_partition_model(kind, spec.seed ^ (i as u64 + 1));
+                let aln = simulate_alignment(&tree, &model, &gamma, n_sites, &mut rng);
+                PartitionPart {
+                    name: format!("p{i}_{}", kind.keyword().to_ascii_lowercase()),
+                    kind,
+                    comp: compress_patterns(&aln),
+                    model,
+                }
+            })
+            .collect();
+        PartitionedDataset {
+            tree,
+            parts,
+            alpha: spec.alpha,
+            n_cats: spec.n_cats,
+        }
+    }
+
+    /// Partition names in spec order (for [`PartitionedPlfEngine::new`]).
+    fn partition_names(data: &PartitionedDataset) -> Vec<String> {
+        data.parts.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Partitioned engine with every member fully in RAM.
+    pub fn partitioned_engine_inram(
+        data: &PartitionedDataset,
+    ) -> PartitionedPlfEngine<PlfEngine<InRamStore>> {
+        let parts = data
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let store = InRamStore::new(data.tree.n_inner(), data.width(i));
+                PlfEngine::new(
+                    data.tree.clone(),
+                    &p.comp,
+                    p.model.clone(),
+                    data.alpha,
+                    data.n_cats,
+                    store,
+                )
+            })
+            .collect();
+        PartitionedPlfEngine::new(parts, partition_names(data))
+    }
+
+    /// Partitioned out-of-core engine with per-partition in-memory backing
+    /// stores, each member's manager holding a fraction `f` of that
+    /// partition's vectors in RAM slots.
+    pub fn partitioned_engine_ooc_mem(
+        data: &PartitionedDataset,
+        f: f64,
+        kind: StrategyKind,
+    ) -> PartitionedPlfEngine<PlfEngine<OocStore<MemStore>>> {
+        let n_items = data.tree.n_inner();
+        let parts = data
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let w = data.width(i);
+                let cfg = OocConfig::builder(n_items, w)
+                    .fraction(f)
+                    .build()
+                    .expect("valid out-of-core config");
+                let (strategy, _) = build_strategy(kind, &data.tree);
+                let manager = VectorManager::new(cfg, strategy, MemStore::new(n_items, w));
+                PlfEngine::new(
+                    data.tree.clone(),
+                    &p.comp,
+                    p.model.clone(),
+                    data.alpha,
+                    data.n_cats,
+                    OocStore::new(manager),
+                )
+            })
+            .collect();
+        PartitionedPlfEngine::new(parts, partition_names(data))
+    }
+
+    /// Partitioned out-of-core engine over one backing file per partition
+    /// under the paper's `-L` byte budget: `limit_bytes` of slot RAM is
+    /// split across the partitions *proportionally to their vector
+    /// footprints* ([`ooc_core::split_budget`]) — a codon partition gets
+    /// ~15× the slots of an equal-length DNA partition, so all partitions
+    /// see comparable residency pressure. Partition `i`'s file is
+    /// `<path>.p<i>`.
+    pub fn partitioned_engine_file_limit<P: AsRef<Path>>(
+        data: &PartitionedDataset,
+        path: P,
+        limit_bytes: u64,
+        kind: StrategyKind,
+    ) -> std::io::Result<PartitionedPlfEngine<PlfEngine<OocStore<FileStore>>>> {
+        let n_items = data.tree.n_inner();
+        let weights: Vec<u64> = (0..data.parts.len())
+            .map(|i| data.partition_vector_bytes(i))
+            .collect();
+        let budgets = split_budget(limit_bytes, &weights);
+        let parts = data
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let w = data.width(i);
+                let file = path.as_ref().with_extension(format!("p{i}"));
+                let store = FileStore::create(file, n_items, w)?;
+                let cfg = OocConfig::builder(n_items, w)
+                    .byte_limit(budgets[i].max(1))
+                    .build()
+                    .expect("valid out-of-core config");
+                let (strategy, _) = build_strategy(kind, &data.tree);
+                Ok(PlfEngine::new(
+                    data.tree.clone(),
+                    &p.comp,
+                    p.model.clone(),
+                    data.alpha,
+                    data.n_cats,
+                    OocStore::new(VectorManager::new(cfg, strategy, store)),
+                ))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(PartitionedPlfEngine::new(parts, partition_names(data)))
+    }
+
+    /// Partitioned engine whose members are *pipelined sharded* engines:
+    /// each partition owns one backing file (`<path>.p<i>`) split into
+    /// `n_shards` regions, every region wrapped in the plan-driven
+    /// [`PrefetchingStore`] I/O pipeline — the full PR-6 residency stack,
+    /// per partition. Per-partition log-likelihoods stay bit-identical to
+    /// independent serial in-RAM runs (pipelines move bytes earlier, never
+    /// change them; shard reductions fold in serial pattern order).
+    #[allow(clippy::too_many_arguments)]
+    pub fn partitioned_engine_sharded_pipelined<P: AsRef<Path>>(
+        data: &PartitionedDataset,
+        path: P,
+        f: f64,
+        kind: StrategyKind,
+        n_shards: usize,
+        io_threads: usize,
+        window: usize,
+    ) -> std::io::Result<
+        PartitionedPlfEngine<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>>,
+    > {
+        let parts = data
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                sharded_pipelined_engine(
+                    &data.tree,
+                    &p.comp,
+                    &p.model,
+                    data.alpha,
+                    data.n_cats,
+                    path.as_ref().with_extension(format!("p{i}")),
+                    f,
+                    kind,
+                    n_shards,
+                    io_threads,
+                    window,
+                )
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        Ok(PartitionedPlfEngine::new(parts, partition_names(data)))
     }
 
     /// Standard engine whose vectors live in a demand-paged arena with

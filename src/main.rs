@@ -12,15 +12,19 @@
 //! Omitting it runs the standard all-in-RAM implementation.
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
+use phylo_ooc::ooc::split_budget;
 use phylo_ooc::ooc::{
     BackingStore, FileStore, OocConfig, PrefetchingStore, Recorder, StrategyKind, VectorManager,
     DEFAULT_PREFETCH_WINDOW,
 };
-use phylo_ooc::plf::{AncestralStore, InRamStore, KernelBackend, OocStore, PlfEngine};
+use phylo_ooc::plf::{
+    AncestralStore, InRamStore, KernelBackend, LikelihoodEngine, OocStore, PartitionedPlfEngine,
+    PlfEngine,
+};
 use phylo_ooc::search::{hill_climb_observed, parsimony_stepwise_tree, SearchConfig};
-use phylo_ooc::seq::phylip::{read_phylip, write_phylip};
+use phylo_ooc::seq::phylip::{read_phylip, read_phylip_raw, write_phylip};
 use phylo_ooc::seq::{
-    compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment,
+    compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment, PartitionSpec,
 };
 use phylo_ooc::setup::build_strategy;
 use phylo_ooc::tree::build::{random_topology, yule_like_lengths};
@@ -70,20 +74,29 @@ phylo-ooc — out-of-core phylogenetic likelihood analyses
 
 USAGE:
   phylo-ooc memsize    --taxa N --sites N [--protein] [--cats K]
-  phylo-ooc simulate   --taxa N --sites N [--seed S] --out FILE [--tree-out FILE]
-  phylo-ooc likelihood --alignment FILE --tree FILE [options]
-  phylo-ooc search     --alignment FILE [--tree FILE] [--out FILE] [options]
+  phylo-ooc simulate   --taxa N --sites N [--protein] [--seed S] --out FILE [--tree-out FILE]
+  phylo-ooc likelihood --alignment FILE --tree FILE [--protein] [options]
+  phylo-ooc search     --alignment FILE [--tree FILE] [--protein] [--out FILE] [options]
+
+  --protein reads/evolves 20-state data (Poisson model; simulate uses a
+  seeded synthetic reversible model); the default alphabet is DNA.
 
 OPTIONS:
   --memory SPEC     slot memory: bytes (67108864), suffixed (64M, 1G) or
                     a fraction of all vectors (25%); omit = all in RAM
+  --partitions F    RAxML-style partition file (likelihood only): lines
+                    like \"DNA, gene1 = 1-400\" / \"PROT, gene2 = 401-600\"
+                    / \"CODON, gene3 = 601-720\"; each partition gets its
+                    own model + access plan on one shared tree, and an
+                    absolute --memory budget is split across partitions
+                    proportionally to their vector footprints
   --strategy NAME   rand | lru | lfu | topo | nextuse [default: lru]
   --vector-file F   backing file for evicted vectors [default: temp file]
   --alpha A         Gamma shape                       [default: optimize/0.8]
   --radius R        SPR rearrangement radius          [default: 5]
   --rounds K        max SPR rounds                    [default: 8]
   --seed S          RNG seed                          [default: 42]
-  --kernel NAME     likelihood kernel backend: scalar | dna4 | avx2
+  --kernel NAME     likelihood kernel backend: scalar | generic | dna4 | avx2
                     [default: auto-detect; env OOC_PLF_KERNEL overrides]
   --io-threads N    dedicated I/O workers streaming the access plan ahead
                     of compute (plan-driven double-buffered prefetch);
@@ -243,7 +256,13 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut tree = random_topology(n_taxa, 0.1, &mut rng);
     yule_like_lengths(&mut tree, 0.12, 1e-5, &mut rng);
-    let model = ReversibleModel::hky85(2.5, &[0.3, 0.2, 0.2, 0.3]);
+    // `--protein` evolves 20-state data (the alphabet follows the model's
+    // state count); the default is the paper's DNA setting.
+    let model = if opts.flag("protein") {
+        phylo_ooc::models::protein::synthetic_protein(seed)
+    } else {
+        ReversibleModel::hky85(2.5, &[0.3, 0.2, 0.2, 0.3])
+    };
     let gamma = DiscreteGamma::new(opts.f64_opt("alpha")?.unwrap_or(0.8), 4);
     let aln = simulate_alignment(&tree, &model, &gamma, n_sites, &mut rng);
     let mut w = BufWriter::new(File::create(out).map_err(|e| e.to_string())?);
@@ -258,10 +277,16 @@ fn cmd_simulate(opts: &Opts) -> Result<(), String> {
 }
 
 /// Load alignment + tree, reordering alignment rows to the tree's tip ids.
+/// `--protein` reads 20-state data; the default alphabet is DNA.
 fn load_inputs(opts: &Opts) -> Result<(Tree, CompressedAlignment), String> {
+    let alphabet = if opts.flag("protein") {
+        Alphabet::Protein
+    } else {
+        Alphabet::Dna
+    };
     let aln_path = opts.require("alignment")?;
     let file = File::open(aln_path).map_err(|e| format!("{aln_path}: {e}"))?;
-    let aln = read_phylip(BufReader::new(file), Alphabet::Dna).map_err(|e| e.to_string())?;
+    let aln = read_phylip(BufReader::new(file), alphabet).map_err(|e| e.to_string())?;
 
     let (tree, names) = match opts.get("tree") {
         Some(path) => {
@@ -300,7 +325,7 @@ fn load_inputs(opts: &Opts) -> Result<(Tree, CompressedAlignment), String> {
             .ok_or_else(|| format!("tip {name:?} not found in the alignment"))?;
         entries.push((name.clone(), aln.seq_chars(row)));
     }
-    let reordered = Alignment::from_chars(Alphabet::Dna, &entries).map_err(|e| e.to_string())?;
+    let reordered = Alignment::from_chars(alphabet, &entries).map_err(|e| e.to_string())?;
     Ok((tree, compress_patterns(&reordered)))
 }
 
@@ -335,10 +360,18 @@ fn apply_kernel<S: AncestralStore>(engine: &mut PlfEngine<S>, kernel: Option<Ker
     }
 }
 
-/// HKY85 with empirical base frequencies — the standard default model.
+/// The default model for an alignment's alphabet: HKY85 with empirical
+/// base frequencies for DNA, Poisson for protein, GY94 with uniform codon
+/// frequencies for codon data.
 fn default_model(comp: &CompressedAlignment) -> ReversibleModel {
-    let f = comp.alignment.empirical_freqs();
-    ReversibleModel::hky85(2.5, &[f[0], f[1], f[2], f[3]])
+    match comp.alignment.alphabet().n_states() {
+        4 => {
+            let f = comp.alignment.empirical_freqs();
+            ReversibleModel::hky85(2.5, &[f[0], f[1], f[2], f[3]])
+        }
+        20 => phylo_ooc::models::protein::poisson(),
+        _ => phylo_ooc::models::codon::gy94_uniform(2.0, 0.5),
+    }
 }
 
 /// Build the optional JSONL observability recorder from `--metrics`.
@@ -396,7 +429,211 @@ fn make_vector_store(
     Ok(Box::new(prefetching))
 }
 
+/// Load a partition spec plus the mixed-alphabet alignment it describes:
+/// rows are read as raw characters, reordered to the tree's tip order, and
+/// each partition's column slice is encoded under its own alphabet.
+fn load_partitioned_inputs(
+    opts: &Opts,
+    spec_path: &str,
+) -> Result<(Tree, PartitionSpec, Vec<CompressedAlignment>), String> {
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = PartitionSpec::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+
+    let aln_path = opts.require("alignment")?;
+    let file = File::open(aln_path).map_err(|e| format!("{aln_path}: {e}"))?;
+    let entries = read_phylip_raw(BufReader::new(file)).map_err(|e| e.to_string())?;
+
+    // A partitioned run needs an explicit tree: the parsimony starting
+    // tree is built from a single-alphabet alignment.
+    let tree_path = opts
+        .get("tree")
+        .ok_or("--partitions requires --tree (no parsimony start for mixed data)")?;
+    let text = std::fs::read_to_string(tree_path).map_err(|e| format!("{tree_path}: {e}"))?;
+    let (tree, names) = parse_newick(&text).map_err(|e| e.to_string())?;
+    if tree.n_tips() != entries.len() {
+        return Err(format!(
+            "tree has {} tips but alignment has {} sequences",
+            tree.n_tips(),
+            entries.len()
+        ));
+    }
+    let index: HashMap<&str, usize> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+    let mut reordered = Vec::with_capacity(names.len());
+    for name in &names {
+        let &row = index
+            .get(name.as_str())
+            .ok_or_else(|| format!("tip {name:?} not found in the alignment"))?;
+        reordered.push((name.clone(), entries[row].1.clone()));
+    }
+    let comps = spec
+        .split_chars(&reordered)
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(compress_patterns)
+        .collect();
+    Ok((tree, spec, comps))
+}
+
+/// `likelihood --partitions FILE`: evaluate a partitioned analysis — one
+/// shared tree, one engine per partition — and report the joint and
+/// per-partition log-likelihoods. Under `--memory`, an absolute byte
+/// budget is split across partitions proportionally to their vector
+/// footprints (so a 61-state codon block gets ~15x the slots of an
+/// equal-length DNA block); a `%` budget applies per partition.
+fn cmd_likelihood_partitioned(opts: &Opts, spec_path: &str) -> Result<(), String> {
+    let (tree, spec, comps) = load_partitioned_inputs(opts, spec_path)?;
+    let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
+    let kernel = parse_kernel(opts)?;
+    let n_items = tree.n_inner();
+    let names: Vec<String> = spec.partitions.iter().map(|p| p.name.clone()).collect();
+    let widths: Vec<usize> = comps
+        .iter()
+        .map(|c| PlfEngine::<InRamStore>::dims_for(c, 4).width())
+        .collect();
+
+    let mem = parse_memory(opts.get("memory"))?;
+    let budgets: Option<Vec<u64>> = match &mem {
+        MemorySpec::Bytes(b) => {
+            let weights: Vec<u64> = widths.iter().map(|&w| (n_items * w * 8) as u64).collect();
+            Some(split_budget(*b, &weights))
+        }
+        _ => None,
+    };
+
+    match mem {
+        MemorySpec::All => {
+            let parts = comps
+                .iter()
+                .enumerate()
+                .map(|(i, comp)| {
+                    let store = InRamStore::new(n_items, widths[i]);
+                    let model = default_model(comp);
+                    let mut e = PlfEngine::new(tree.clone(), comp, model, alpha, 4, store);
+                    apply_kernel(&mut e, kernel);
+                    e
+                })
+                .collect();
+            let mut engine = PartitionedPlfEngine::new(parts, names.clone());
+            let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
+            report_partitioned(&mut engine, &names, lnl)
+        }
+        _ => {
+            let seed = opts.u64("seed", 42)?;
+            let kind = parse_strategy(opts.get("strategy"), seed)?;
+            let vector_path = match opts.get("vector-file") {
+                Some(p) => std::path::PathBuf::from(p),
+                None => scratch_vector_path(),
+            };
+            // One recorder per partition, each with that partition's name
+            // as its scope, all appending whole lines to one JSONL file —
+            // `metrics_check` then reconciles every partition's residency
+            // stack independently.
+            let recorders = match opts.get("metrics") {
+                None => None,
+                Some(path) => {
+                    File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+                    let recs = names
+                        .iter()
+                        .map(|name| {
+                            let sink = phylo_ooc::ooc::JsonlSink::append(path)
+                                .map_err(|e| format!("cannot open '{path}': {e}"))?;
+                            Ok(Recorder::scoped(
+                                phylo_ooc::ooc::MonotonicClock::new(),
+                                sink,
+                                name.clone(),
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    Some(recs)
+                }
+            };
+            let parts = comps
+                .iter()
+                .enumerate()
+                .map(|(i, comp)| {
+                    let builder = OocConfig::builder(n_items, widths[i]);
+                    let builder = match (&mem, &budgets) {
+                        (_, Some(b)) => builder.byte_limit(b[i].max(1)),
+                        (MemorySpec::Fraction(f), _) => builder.fraction(*f),
+                        _ => unreachable!(),
+                    };
+                    let cfg = builder
+                        .prefetch_window(opts.usize("window", DEFAULT_PREFETCH_WINDOW)?)
+                        .build()
+                        .map_err(|e| e.to_string())?;
+                    let (strategy, _handle) = build_strategy(kind, &tree);
+                    let path = vector_path.with_extension(format!("p{i}"));
+                    let rec = recorders.as_ref().map(|r| &r[i]);
+                    let store = make_vector_store(opts, &path, n_items, widths[i], rec)?;
+                    let mut manager = VectorManager::new(cfg, strategy, store);
+                    if let Some(rec) = rec {
+                        manager.set_recorder(rec.clone());
+                    }
+                    let model = default_model(comp);
+                    let mut e =
+                        PlfEngine::new(tree.clone(), comp, model, alpha, 4, OocStore::new(manager));
+                    apply_kernel(&mut e, kernel);
+                    if let Some(rec) = rec {
+                        e.set_recorder(rec.clone());
+                    }
+                    Ok(e)
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            let mut engine = PartitionedPlfEngine::new(parts, names.clone());
+            let t0s: Vec<u64> = recorders.iter().flatten().map(|r| r.now()).collect();
+            let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
+            for (i, name) in names.iter().enumerate() {
+                eprintln!(
+                    "partition {}: {} of {} vectors in RAM",
+                    name,
+                    engine.part(i).store().manager().config().n_slots,
+                    n_items,
+                );
+            }
+            report_partitioned(&mut engine, &names, lnl)?;
+            if opts.flag("stats") {
+                if let Some(s) = engine.ooc_stats() {
+                    eprintln!("out-of-core (all partitions): {s}");
+                }
+            }
+            if let Some(recs) = &recorders {
+                for (i, rec) in recs.iter().enumerate() {
+                    eprintln!("[{}]", names[i]);
+                    let stats = *engine.part(i).store().manager().stats();
+                    finish_recorder(rec, t0s[i], Some(&stats))?;
+                }
+            }
+            for i in 0..names.len() {
+                let _ = std::fs::remove_file(scratch_vector_path().with_extension(format!("p{i}")));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Print the joint and per-partition log-likelihoods.
+fn report_partitioned<E: LikelihoodEngine + phylo_ooc::plf::NrBranchEngine>(
+    engine: &mut PartitionedPlfEngine<E>,
+    names: &[String],
+    joint: f64,
+) -> Result<(), String> {
+    println!("log-likelihood: {joint:.6}");
+    let per = engine.partition_lnls().map_err(|e| e.to_string())?;
+    for (name, lnl) in names.iter().zip(&per) {
+        println!("  {name}: {lnl:.6}");
+    }
+    Ok(())
+}
+
 fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
+    if let Some(spec_path) = opts.get("partitions") {
+        let spec_path = spec_path.to_owned();
+        return cmd_likelihood_partitioned(opts, &spec_path);
+    }
     let (tree, comp) = load_inputs(opts)?;
     let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
     let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
