@@ -4,7 +4,7 @@
 //! in `cargo bench` history.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ooc_core::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, Residency};
 use phylo_ooc::setup::{self, DatasetSpec};
 use std::hint::black_box;
 
@@ -36,16 +36,17 @@ fn bench_fig5_point(c: &mut Criterion) {
         })
     });
 
+    let ooc_spec = EngineSpec {
+        residency: Residency::FileLimit {
+            limit_bytes: budget,
+        },
+        ..setup::base_spec(&data)
+    };
     group.bench_function("ooc_lru", |b| {
         let mut i = 0;
         b.iter(|| {
-            let mut engine = setup::ooc_engine_file(
-                &data,
-                dir.path().join(format!("vec{i}.bin")),
-                budget,
-                StrategyKind::Lru,
-            )
-            .unwrap();
+            let ctx = BuildContext::new().vector_path(dir.path().join(format!("vec{i}.bin")));
+            let mut engine = setup::build_engine(&ooc_spec, &data, &ctx).unwrap().engine;
             i += 1;
             black_box(engine.full_traversals(5).unwrap())
         })

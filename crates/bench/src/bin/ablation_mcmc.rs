@@ -13,6 +13,7 @@ use ooc_bench::args::Args;
 use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::{pct, print_table};
 use ooc_core::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::search::{run_mcmc, McmcConfig};
 use phylo_ooc::setup::{self, DatasetSpec};
 use rayon::prelude::*;
@@ -50,14 +51,21 @@ fn main() {
     ];
     let metrics = MetricsFile::from_args(&args);
     let run_one = |&kind: &StrategyKind| {
-        let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
+        let ooc_spec = EngineSpec {
+            residency: Residency::OocMem { fraction: 0.25 },
+            strategy: kind,
+            ..setup::base_spec(&data)
+        };
         let rec = metrics.recorder(format!("mcmc/{}", kind.label()));
+        let mut ctx = BuildContext::new();
         if let Some(rec) = &rec {
-            engine.store_mut().manager_mut().set_recorder(rec.clone());
-            engine.set_recorder(rec.clone());
+            let rec = rec.clone();
+            ctx = ctx.recorders(move |_| rec.clone());
         }
+        let built = setup::build_engine(&ooc_spec, &data, &ctx).expect("spec build failed");
+        let mut engine = built.engine;
         let stats = run_mcmc(&mut engine, &cfg).expect("OOC MCMC failed");
-        if let Some(h) = handle {
+        for h in &built.handles {
             h.update(engine.tree());
         }
         assert_eq!(
@@ -66,9 +74,9 @@ fn main() {
             "chain must be identical ({})",
             kind.label()
         );
-        let m = engine.store().manager().stats();
+        let m = engine.ooc_stats().expect("managed engine keeps stats");
         if let Some(rec) = &rec {
-            MetricsFile::finish(rec, Some(m));
+            MetricsFile::finish(rec, Some(&m));
         }
         vec![
             kind.label().to_owned(),

@@ -12,6 +12,7 @@ use ooc_bench::args::Args;
 use ooc_bench::metrics::MetricsFile;
 use ooc_bench::report::print_table;
 use ooc_core::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::search::{hill_climb, SearchConfig};
 use phylo_ooc::setup::{self, DatasetSpec};
 use phylo_ooc::tree::write_newick;
@@ -53,19 +54,26 @@ fn main() {
     for kind in strategies {
         for f in [0.25, 0.5, 0.75] {
             eprintln!("checking {} f={f}...", kind.label());
-            let (mut ooc, handle) = setup::ooc_engine_mem_with_handle(&data, f, kind);
+            let ooc_spec = EngineSpec {
+                residency: Residency::OocMem { fraction: f },
+                strategy: kind,
+                ..setup::base_spec(&data)
+            };
             let rec = metrics.recorder(format!("correctness/{}/f{f:.2}", kind.label()));
+            let mut ctx = BuildContext::new();
             if let Some(rec) = &rec {
-                ooc.store_mut().manager_mut().set_recorder(rec.clone());
-                ooc.set_recorder(rec.clone());
+                let rec = rec.clone();
+                ctx = ctx.recorders(move |_| rec.clone());
             }
+            let built = setup::build_engine(&ooc_spec, &data, &ctx).expect("spec build failed");
+            let mut ooc = built.engine;
             let eval = ooc.log_likelihood().expect("OOC evaluation failed");
             let search = hill_climb(&mut ooc, &search_cfg).expect("OOC search failed");
-            if let Some(h) = handle {
+            for h in &built.handles {
                 h.update(ooc.tree());
             }
             if let Some(rec) = &rec {
-                MetricsFile::finish(rec, Some(ooc.store().manager().stats()));
+                MetricsFile::finish(rec, ooc.ooc_stats().as_ref());
             }
             let tree = write_newick(ooc.tree(), &names);
             let eval_ok = eval.to_bits() == eval_ref.to_bits();

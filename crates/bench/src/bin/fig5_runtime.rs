@@ -45,6 +45,7 @@ use ooc_bench::replay::{
 };
 use ooc_bench::report::{print_table, secs, write_json};
 use ooc_core::{DiskModel, StrategyKind};
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::setup::{self, DatasetSpec};
 use phylo_tree::build::random_topology;
 use rand::rngs::StdRng;
@@ -182,18 +183,23 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
             .into_iter()
             .enumerate()
         {
-            let mut ooc = setup::ooc_engine_file(
-                &data,
-                dir.path().join(format!("vec_{i}_{k}.bin")),
-                budget,
-                kind,
-            )
-            .expect("failed to create backing file");
+            let ooc_spec = EngineSpec {
+                residency: Residency::FileLimit {
+                    limit_bytes: budget,
+                },
+                strategy: kind,
+                ..setup::base_spec(&data)
+            };
             let rec = metrics.recorder(format!("fig5-real/{ratio}x/{}", kind.label()));
+            let mut ctx =
+                BuildContext::new().vector_path(dir.path().join(format!("vec_{i}_{k}.bin")));
             if let Some(rec) = &rec {
-                ooc.store_mut().manager_mut().set_recorder(rec.clone());
-                ooc.set_recorder(rec.clone());
+                let rec = rec.clone();
+                ctx = ctx.recorders(move |_| rec.clone());
             }
+            let mut ooc = setup::build_engine(&ooc_spec, &data, &ctx)
+                .expect("failed to create backing file")
+                .engine;
             let t0 = Instant::now();
             let l = ooc
                 .full_traversals(traversals)
@@ -201,7 +207,7 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
             ooc_secs[k] = t0.elapsed().as_secs_f64();
             assert_eq!(l.to_bits(), lnl.to_bits(), "results must be identical");
             if let Some(rec) = &rec {
-                MetricsFile::finish(rec, Some(ooc.store().manager().stats()));
+                MetricsFile::finish(rec, ooc.ooc_stats().as_ref());
             }
         }
 
@@ -294,49 +300,48 @@ fn sharded_sweep(
     ];
     let mut points = Vec::new();
     for (i, kind) in strategies.into_iter().enumerate() {
-        let mut serial = setup::ooc_engine_file(
-            &data,
-            dir.path().join(format!("serial_{i}.bin")),
-            budget,
-            kind,
-        )
-        .expect("failed to create backing file");
+        let serial_spec = EngineSpec {
+            residency: Residency::FileLimit {
+                limit_bytes: budget,
+            },
+            strategy: kind,
+            ..setup::base_spec(&data)
+        };
         let rec = metrics.recorder(format!("fig5-shards/{}/serial", kind.label()));
+        let mut ctx = BuildContext::new().vector_path(dir.path().join(format!("serial_{i}.bin")));
         if let Some(rec) = &rec {
-            serial.store_mut().manager_mut().set_recorder(rec.clone());
-            serial.set_recorder(rec.clone());
+            let rec = rec.clone();
+            ctx = ctx.recorders(move |_| rec.clone());
         }
+        let mut serial = setup::build_engine(&serial_spec, &data, &ctx)
+            .expect("failed to create backing file")
+            .engine;
         let t0 = Instant::now();
         let lnl_serial = serial
             .full_traversals(traversals)
             .expect("serial OOC traversal failed");
         let serial_secs = t0.elapsed().as_secs_f64();
         if let Some(rec) = &rec {
-            MetricsFile::finish(rec, Some(serial.store().manager().stats()));
+            MetricsFile::finish(rec, serial.ooc_stats().as_ref());
         }
         drop(serial);
 
-        let mut sharded = setup::sharded_engine_file_limit(
-            &data,
-            dir.path().join(format!("sharded_{i}.bin")),
-            budget,
-            kind,
+        // Sharded variant of the same spec: the shared recorder lands on
+        // every shard manager plus the engine's shard-exec/barrier-wait
+        // attribution around `par_shards`.
+        let sharded_spec = EngineSpec {
             shards,
-        )
-        .expect("failed to create sharded backing file");
+            ..serial_spec.clone()
+        };
         let rec = metrics.recorder(format!("fig5-shards/{}/sharded{shards}", kind.label()));
+        let mut ctx = BuildContext::new().vector_path(dir.path().join(format!("sharded_{i}.bin")));
         if let Some(rec) = &rec {
-            for s in 0..shards {
-                sharded
-                    .shard_mut(s)
-                    .store_mut()
-                    .manager_mut()
-                    .set_recorder(rec.clone());
-            }
-            // Also installs per-shard combine-batch spans and the
-            // shard-exec/barrier-wait attribution around `par_shards`.
-            sharded.set_recorder(rec.clone());
+            let rec = rec.clone();
+            ctx = ctx.recorders(move |_| rec.clone());
         }
+        let mut sharded = setup::build_engine(&sharded_spec, &data, &ctx)
+            .expect("failed to create sharded backing file")
+            .engine;
         let t0 = Instant::now();
         let lnl_sharded = sharded
             .full_traversals(traversals)
@@ -350,7 +355,7 @@ fn sharded_sweep(
             kind.label()
         );
         let stats = sharded
-            .merged_ooc_stats()
+            .ooc_stats()
             .expect("sharded OOC engine reports merged stats");
         if let Some(rec) = &rec {
             MetricsFile::finish(rec, Some(&stats));
@@ -466,7 +471,13 @@ fn partitioned_smoke(args: &Args, quick: bool, traversals: usize, metrics: &Metr
 
     // Reference: each partition as its own standalone serial in-RAM run.
     let reference: Vec<f64> = {
-        let mut engine = setup::partitioned_engine_inram(&data);
+        let mut engine = setup::build_partitioned_engine(
+            &setup::base_partitioned_spec(&data),
+            &data,
+            &BuildContext::new(),
+        )
+        .expect("in-RAM build failed")
+        .engine;
         engine.log_likelihood().expect("in-RAM traversal failed");
         engine.partition_lnls().expect("in-RAM traversal failed")
     };
@@ -478,25 +489,32 @@ fn partitioned_smoke(args: &Args, quick: bool, traversals: usize, metrics: &Metr
 
     let mut points = Vec::new();
     for kind in [StrategyKind::Lru, StrategyKind::NextUse] {
-        let mut engine = setup::partitioned_engine_file_limit(
-            &data,
-            dir.path().join(format!("part_{}.bin", kind.label())),
-            budget,
-            kind,
-        )
-        .expect("failed to create partitioned backing files");
+        let part_spec = EngineSpec {
+            residency: Residency::FileLimit {
+                limit_bytes: budget,
+            },
+            strategy: kind,
+            ..setup::base_partitioned_spec(&data)
+        };
         let recs: Vec<_> = data
             .parts
             .iter()
             .map(|p| metrics.recorder(format!("fig5-partitioned/{}/{}", kind.label(), p.name)))
             .collect();
-        for (i, rec) in recs.iter().enumerate() {
-            if let Some(rec) = rec {
-                let e = engine.part_mut(i);
-                e.store_mut().manager_mut().set_recorder(rec.clone());
-                e.set_recorder(rec.clone());
-            }
+        let mut ctx =
+            BuildContext::new().vector_path(dir.path().join(format!("part_{}.bin", kind.label())));
+        let by_name: std::collections::HashMap<String, ooc_core::Recorder> = data
+            .parts
+            .iter()
+            .zip(&recs)
+            .filter_map(|(p, r)| r.clone().map(|r| (p.name.clone(), r)))
+            .collect();
+        if by_name.len() == data.parts.len() {
+            ctx = ctx.recorders(move |name| by_name[name].clone());
         }
+        let mut engine = setup::build_partitioned_engine(&part_spec, &data, &ctx)
+            .expect("failed to create partitioned backing files")
+            .engine;
         let mut joint = 0.0;
         for _ in 0..traversals {
             engine.invalidate_all();
@@ -518,8 +536,9 @@ fn partitioned_smoke(args: &Args, quick: bool, traversals: usize, metrics: &Metr
                 data.parts[i].name
             );
         }
+        let part_stats = engine.partition_ooc_stats();
         for (i, p) in data.parts.iter().enumerate() {
-            let stats = *engine.part(i).store().manager().stats();
+            let stats = part_stats[i].expect("managed partition keeps stats");
             if let Some(rec) = &recs[i] {
                 MetricsFile::finish(rec, Some(&stats));
             }

@@ -302,6 +302,8 @@ struct ScopeTally {
     staged_load_hist: u64,
     stats: Option<(u64, u64)>, // (disk_reads, disk_writes)
     staged_loads_counter: Option<u64>,
+    /// Profile (engine-spec header) records seen; at most one per scope.
+    profiles: u64,
 }
 
 impl ScopeTally {
@@ -431,6 +433,18 @@ fn check_stats(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
     Ok(())
 }
 
+fn check_profile(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
+    let profile = get_str(v, "profile")?;
+    if profile.trim().is_empty() {
+        return Err("field 'profile' must not be empty".into());
+    }
+    if tally.profiles > 0 {
+        return Err("duplicate profile record for scope".into());
+    }
+    tally.profiles += 1;
+    Ok(())
+}
+
 fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
     let mut scopes: BTreeMap<String, ScopeTally> = BTreeMap::new();
@@ -450,6 +464,7 @@ fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
             "event" => check_event(&v, tally).map_err(at)?,
             "hist" => check_hist(&v, tally).map_err(at)?,
             "ooc-stats" => check_stats(&v, tally).map_err(at)?,
+            "profile" => check_profile(&v, tally).map_err(at)?,
             other => return Err(at(format!("unknown record type '{other}'"))),
         }
     }
@@ -619,6 +634,20 @@ mod tests {
             &mut ScopeTally::default()
         )
         .is_err());
+    }
+
+    #[test]
+    fn profile_record_checks_and_rejects_duplicates() {
+        let line = r#"{"type":"profile","scope":"tenant-a/job-1","profile":"backend = \"sharded\"\nshards = 4\n"}"#;
+        let v = Parser::parse(line).unwrap();
+        let mut t = ScopeTally::default();
+        check_profile(&v, &mut t).unwrap();
+        assert_eq!(t.profiles, 1);
+        // A second profile for the same scope is a schema violation.
+        assert!(check_profile(&v, &mut t).is_err());
+        // An empty profile is too.
+        let empty = r#"{"type":"profile","scope":"s","profile":""}"#;
+        assert!(check_profile(&Parser::parse(empty).unwrap(), &mut ScopeTally::default()).is_err());
     }
 
     #[test]

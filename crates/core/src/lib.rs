@@ -40,6 +40,8 @@
 //!   JSONL event stream, threaded through every layer that touches bytes.
 
 pub mod aligned;
+pub mod arena;
+pub mod cancel;
 pub mod diskmodel;
 pub mod error;
 pub mod fault;
@@ -55,12 +57,14 @@ pub mod strategy;
 pub mod tiered;
 
 pub use aligned::{AlignedBuf, APV_ALIGN};
+pub use arena::{AdmissionError, ArenaCounters, SlotArena, TenantGrant};
+pub use cancel::{CancelToken, CancellingStore};
 pub use diskmodel::{DiskModel, ModeledStore};
 pub use error::{OocError, OocOp, OocResult};
 pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats};
 pub use manager::{
-    Intent, ItemId, OocConfig, OocConfigBuilder, OocConfigError, PinnedSession, SlotId,
-    VectorManager, DEFAULT_PREFETCH_WINDOW,
+    validate_byte_budget, Intent, ItemId, OocConfig, OocConfigBuilder, OocConfigError,
+    PinnedSession, SlotId, VectorManager, DEFAULT_PREFETCH_WINDOW,
 };
 pub use obs::{
     Clock, Event, EventSink, JsonlSink, LatencyHistogram, ManualClock, MemorySink, MonotonicClock,
@@ -69,7 +73,9 @@ pub use obs::{
 pub use plan::{AccessPlan, AccessRecord, PlanCursor};
 pub use prefetch::{PrefetchStats, PrefetchingStore};
 pub use retry::{RetryPolicy, RetryStats, RetryingStore};
-pub use shard::{par_each_mut, parallelism, split_budget, ShardSpec, ShardedManager};
+pub use shard::{
+    par_each_mut, parallelism, split_budget, split_budget_checked, ShardSpec, ShardedManager,
+};
 pub use stats::OocStats;
 pub use store::{BackingStore, FileStore, MemStore, MultiFileStore, NullStore};
 pub use strategy::{EvictionView, ReplacementStrategy, StrategyKind, TopologyOracle};

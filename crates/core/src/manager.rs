@@ -9,6 +9,7 @@
 //! statistics collection.
 
 use crate::aligned::AlignedBuf;
+use crate::arena::TenantGrant;
 use crate::error::{OocError, OocOp, OocResult};
 use crate::obs::{Recorder, StallKind};
 use crate::plan::{AccessPlan, AccessRecord, PlanCursor};
@@ -114,6 +115,34 @@ enum Sizing {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OocConfigError(String);
 
+impl OocConfigError {
+    /// Build from a message (crate-internal: every byte-budget entry point
+    /// reports through this one error type so callers see identical
+    /// failures regardless of path).
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        OocConfigError(msg.into())
+    }
+}
+
+/// The single validation every byte-budget entry point shares:
+/// [`OocConfigBuilder::byte_limit`], [`crate::shard::split_budget_checked`]
+/// and [`crate::arena::SlotArena`] admission all funnel a requested budget
+/// through here, so a zero or overflowing budget produces the *same*
+/// [`OocConfigError`] no matter which path received it.
+pub fn validate_byte_budget(bytes: u64) -> Result<(), OocConfigError> {
+    if bytes == 0 {
+        return Err(OocConfigError::new("byte budget must be positive"));
+    }
+    // Positioned I/O offsets are signed 64-bit; a budget beyond i64::MAX
+    // can overflow offset arithmetic long before any allocation fails.
+    if bytes > i64::MAX as u64 {
+        return Err(OocConfigError::new(format!(
+            "byte budget {bytes} overflows signed I/O offset arithmetic"
+        )));
+    }
+    Ok(())
+}
+
 impl std::fmt::Display for OocConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "invalid out-of-core config: {}", self.0)
@@ -210,6 +239,7 @@ impl OocConfigBuilder {
                 ((self.n_items as f64 * f).round() as usize).clamp(3, max_slots)
             }
             Sizing::ByteLimit(bytes) => {
+                validate_byte_budget(bytes)?;
                 ((bytes / (self.width as u64 * 8)) as usize).clamp(3, max_slots)
             }
         };
@@ -260,6 +290,12 @@ pub struct VectorManager<S: BackingStore> {
     oracle: Option<(AccessPlan, usize)>,
     strategy: Box<dyn ReplacementStrategy>,
     store: S,
+    /// Multi-tenant mode ([`VectorManager::attach_tenant`]): slot buffers
+    /// are allocated lazily and charged against this elastic grant; when
+    /// the grant's allowance shrinks below usage, occupied slots are
+    /// trimmed back (fair cross-tenant eviction). `None` = classic
+    /// single-tenant behaviour, buffers eagerly allocated.
+    tenant: Option<TenantGrant>,
     stats: OocStats,
     /// Observability: when attached, per-access hit/miss/evict latency
     /// lands in histograms and every store transfer becomes an attributed
@@ -294,6 +330,7 @@ impl<S: BackingStore> VectorManager<S> {
             oracle: None,
             strategy,
             store,
+            tenant: None,
             cfg,
             stats: OocStats::default(),
             obs: None,
@@ -304,6 +341,39 @@ impl<S: BackingStore> VectorManager<S> {
     /// plus attributed demand-read/write-back spans from now on.
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.obs = Some(rec);
+    }
+
+    /// Join a shared slot arena under `grant` (multi-tenant mode):
+    ///
+    /// * slot buffers become *lazy* — RAM is allocated (and charged against
+    ///   the grant) only when a slot is first occupied, so `n_slots` is a
+    ///   cap, not a reservation;
+    /// * when the grant's allowance shrinks below what this manager (plus
+    ///   its sibling managers on the same grant) has charged, the next
+    ///   load trims occupied, unpinned slots back via the replacement
+    ///   strategy — evictions attributed to *cross-tenant pressure*, not
+    ///   this manager's own capacity;
+    /// * a combine's pinned floor (3 slots) is never trimmed and charges
+    ///   unconditionally: admission guaranteed those bytes.
+    ///
+    /// Residency never changes computed values, so a tenant-constrained
+    /// run stays bit-identical to a solo run of the same job. Attach
+    /// before first use (typically right after construction); buffers of
+    /// already-occupied slots are charged as-is.
+    pub fn attach_tenant(&mut self, grant: TenantGrant) {
+        for (s, occupant) in self.slot_item.iter().enumerate() {
+            if occupant.is_none() {
+                self.slots[s] = AlignedBuf::zeroed(0);
+            } else {
+                grant.charge_forced(self.cfg.width as u64 * 8);
+            }
+        }
+        self.tenant = Some(grant);
+    }
+
+    /// The attached tenant grant, if any.
+    pub fn tenant(&self) -> Option<&TenantGrant> {
+        self.tenant.as_ref()
     }
 
     /// The attached recorder, if any.
@@ -537,29 +607,110 @@ impl<S: BackingStore> VectorManager<S> {
         Ok(slot)
     }
 
+    /// One slot buffer's RAM cost in bytes (the arena charging unit).
+    fn slot_cost(&self) -> u64 {
+        self.cfg.width as u64 * 8
+    }
+
+    /// Occupied slot count (tenant bookkeeping only; O(m)).
+    fn occupied_slots(&self) -> usize {
+        self.slot_item.iter().filter(|o| o.is_some()).count()
+    }
+
+    /// Is any occupied slot evictable right now?
+    fn has_eviction_candidate(&self) -> bool {
+        self.slot_item
+            .iter()
+            .zip(&self.pinned)
+            .any(|(occupant, &pinned)| occupant.is_some() && !pinned)
+    }
+
+    /// Pick a victim via the replacement strategy and evict it.
+    fn evict_victim(&mut self, requested: ItemId) -> OocResult<SlotId> {
+        let view = EvictionView {
+            slot_item: &self.slot_item,
+            pinned: &self.pinned,
+        };
+        let victim = self.strategy.choose_victim(requested, &view);
+        assert!(
+            !self.pinned[victim as usize] && self.slot_item[victim as usize].is_some(),
+            "strategy chose an illegal victim"
+        );
+        self.evict(victim)?;
+        Ok(victim)
+    }
+
+    /// Multi-tenant trim: while the grant's allowance sits below what the
+    /// tenant has charged (another tenant was admitted since), evict
+    /// occupied, unpinned slots — never below the 3-slot pinned floor —
+    /// *freeing* their buffers so the released bytes flow to the tenant
+    /// that is owed them. These are the arena's fair cross-tenant
+    /// evictions; this manager's own slot capacity played no part.
+    fn trim_to_allowance(&mut self, requested: ItemId) -> OocResult<()> {
+        let Some(grant) = self.tenant.clone() else {
+            return Ok(());
+        };
+        while grant.overage() > 0 && self.occupied_slots() > 3 && self.has_eviction_candidate() {
+            let victim = self.evict_victim(requested)?;
+            self.slots[victim as usize] = AlignedBuf::zeroed(0);
+            grant.release(self.slot_cost());
+            grant.note_fair_eviction();
+        }
+        Ok(())
+    }
+
+    /// Multi-tenant charge for occupying empty slot `s`. `true` when the
+    /// occupation is paid for (or no tenant is attached); `false` tells
+    /// the caller to evict-and-reuse instead of growing residency.
+    fn charge_for_occupy(&mut self, s: usize) -> bool {
+        let Some(grant) = &self.tenant else {
+            return true;
+        };
+        if self.slots[s].len() == self.cfg.width {
+            // Buffer retained from an earlier occupation — already paid.
+            return true;
+        }
+        let cost = self.slot_cost();
+        if grant.try_charge(cost) {
+            return true;
+        }
+        // Refusal is only useful if eviction can recycle a buffer; below
+        // the pinned floor (or with every occupant pinned) the charge is
+        // forced — admission guaranteed a combine's three slots.
+        if !self.has_eviction_candidate() || self.occupied_slots() < 3 {
+            grant.charge_forced(cost);
+            return true;
+        }
+        false
+    }
+
     /// Bring a non-resident item into a slot, evicting if necessary.
     fn load(&mut self, item: ItemId, intent: Intent) -> OocResult<SlotId> {
-        let slot = match self
+        self.trim_to_allowance(item)?;
+        let empty = self
             .slot_item
             .iter()
-            .position(|occupant| occupant.is_none())
-        {
-            Some(empty) => empty as SlotId,
-            None => {
-                let view = EvictionView {
-                    slot_item: &self.slot_item,
-                    pinned: &self.pinned,
-                };
-                let victim = self.strategy.choose_victim(item, &view);
-                assert!(
-                    !self.pinned[victim as usize] && self.slot_item[victim as usize].is_some(),
-                    "strategy chose an illegal victim"
-                );
-                self.evict(victim)?;
+            .position(|occupant| occupant.is_none());
+        let slot = match empty {
+            Some(e) if self.charge_for_occupy(e) => e as SlotId,
+            Some(_) => {
+                // A free slot exists but the tenant allowance refused the
+                // bytes: recycle an occupied buffer instead. Capacity was
+                // not the constraint — cross-tenant pressure was.
+                let victim = self.evict_victim(item)?;
+                if let Some(grant) = &self.tenant {
+                    grant.note_fair_eviction();
+                }
                 victim
             }
+            None => self.evict_victim(item)?,
         };
         let s = slot as usize;
+        if self.slots[s].len() != self.cfg.width {
+            // Lazy multi-tenant buffer, charged above; allocate on first
+            // occupation.
+            self.slots[s] = AlignedBuf::zeroed(self.cfg.width);
+        }
         match self.loc[item as usize] {
             Location::Unmaterialized => {
                 self.stats.cold_loads += 1;
@@ -1661,5 +1812,107 @@ mod tests {
         let before = mgr.stats().disk_writes;
         mgr.flush().unwrap();
         assert_eq!(mgr.stats().disk_writes, before);
+    }
+
+    #[test]
+    fn tenant_slots_allocate_lazily_and_charge_on_occupation() {
+        use crate::arena::SlotArena;
+        let (n, m, w) = (10usize, 6usize, 8usize);
+        let slot_cost = w as u64 * 8;
+        let arena = SlotArena::new(slot_cost * 100).unwrap();
+        let grant = arena.admit("t", slot_cost * 10, slot_cost * 3).unwrap();
+        let mut mgr = manager(n, m, w);
+        mgr.attach_tenant(grant.clone());
+        assert_eq!(grant.used_bytes(), 0, "no occupation, no charge");
+        mgr.write_vector(0, &fill(0, w)).unwrap();
+        assert_eq!(grant.used_bytes(), slot_cost);
+        mgr.write_vector(1, &fill(1, w)).unwrap();
+        mgr.write_vector(2, &fill(2, w)).unwrap();
+        assert_eq!(grant.used_bytes(), 3 * slot_cost);
+        // Re-touching a resident item charges nothing further.
+        let mut buf = vec![0.0; w];
+        mgr.read_into(0, &mut buf).unwrap();
+        assert_eq!(grant.used_bytes(), 3 * slot_cost);
+    }
+
+    #[test]
+    fn tenant_constrained_manager_stays_correct() {
+        use crate::arena::SlotArena;
+        let (n, m, w) = (20usize, 10usize, 8usize);
+        let slot_cost = w as u64 * 8;
+        // Allowance covers only 4 of the 10 slots the manager could use.
+        let arena = SlotArena::new(slot_cost * 4).unwrap();
+        let grant = arena.admit("t", slot_cost * 4, slot_cost * 3).unwrap();
+        let mut mgr = manager(n, m, w);
+        mgr.attach_tenant(grant.clone());
+        for item in 0..n as u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        assert!(
+            grant.used_bytes() <= slot_cost * 4,
+            "usage {} exceeds allowance {}",
+            grant.used_bytes(),
+            slot_cost * 4
+        );
+        // Every value still reads back exactly (residency never changes
+        // computed values).
+        let mut buf = vec![0.0; w];
+        for item in 0..n as u32 {
+            mgr.read_into(item, &mut buf).unwrap();
+            assert_eq!(buf, fill(item, w), "item {item} corrupted under tenancy");
+        }
+        assert!(
+            arena.counters().fair_evictions > 0,
+            "charge refusals must surface as fair evictions"
+        );
+    }
+
+    #[test]
+    fn shrinking_allowance_trims_residency() {
+        use crate::arena::SlotArena;
+        let (n, m, w) = (12usize, 8usize, 8usize);
+        let slot_cost = w as u64 * 8;
+        let arena = SlotArena::new(slot_cost * 11).unwrap();
+        let grant = arena.admit("a", slot_cost * 8, slot_cost * 3).unwrap();
+        let mut mgr = manager(n, m, w);
+        mgr.attach_tenant(grant.clone());
+        for item in 0..8u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        assert_eq!(mgr.resident_items().len(), 8);
+        // A second tenant claims most of the budget: a's allowance drops.
+        let _b = arena.admit("b", slot_cost * 8, slot_cost * 8).unwrap();
+        assert!(grant.overage() > 0);
+        let before = arena.counters().fair_evictions;
+        // The next load trims back to the allowance before proceeding.
+        let mut buf = vec![0.0; w];
+        mgr.read_into(8, &mut buf).unwrap();
+        assert_eq!(grant.overage(), 0, "trim must clear the overage");
+        assert!(mgr.resident_items().len() < 8);
+        assert!(arena.counters().fair_evictions > before);
+        // Data written before the trim is still intact.
+        for item in 0..8u32 {
+            mgr.read_into(item, &mut buf).unwrap();
+            assert_eq!(buf, fill(item, w), "item {item} corrupted by trim");
+        }
+    }
+
+    #[test]
+    fn pinned_floor_charges_forced_even_when_refused() {
+        use crate::arena::SlotArena;
+        let (n, w) = (10usize, 8usize);
+        let slot_cost = w as u64 * 8;
+        // Allowance below the 3-slot pinned floor: the floor still works.
+        let arena = SlotArena::new(slot_cost * 2).unwrap();
+        let grant = arena.admit("t", slot_cost * 2, slot_cost).unwrap();
+        let mut mgr = manager(n, 3, w);
+        mgr.attach_tenant(grant.clone());
+        for item in 0..3u32 {
+            mgr.write_vector(item, &fill(item, w)).unwrap();
+        }
+        // All three pinned-floor slots occupied despite the tight grant;
+        // the overshoot is visible, not a failure.
+        assert_eq!(mgr.resident_items().len(), 3);
+        assert!(grant.used_bytes() >= 3 * slot_cost);
     }
 }

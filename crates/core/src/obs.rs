@@ -480,6 +480,11 @@ pub trait EventSink {
     /// consumers can reconcile event counts against [`OocStats`].
     fn stats(&mut self, _scope: &str, _stats: &OocStats) {}
 
+    /// The engine profile (serialized `EngineSpec` TOML) the scope was
+    /// measured under ([`Recorder::emit_profile`]) — the metrics header
+    /// that makes a JSONL file self-describing.
+    fn profile(&mut self, _scope: &str, _profile: &str) {}
+
     /// A finished `(layer, op)` histogram ([`Recorder::finish`]).
     fn histogram(&mut self, _scope: &str, _layer: &str, _op: &str, _hist: &LatencyHistogram) {}
 
@@ -543,7 +548,7 @@ fn escape_json(s: &str, out: &mut String) {
 }
 
 /// Lossless JSONL emitter: every span becomes one line, nothing is sampled
-/// or dropped. Three record types share the file, discriminated by a
+/// or dropped. Four record types share the file, discriminated by a
 /// `"type"` field:
 ///
 /// ```json
@@ -552,6 +557,7 @@ fn escape_json(s: &str, out: &mut String) {
 /// {"type":"hist","scope":"...","layer":"...","op":"...","count":0,
 ///  "sum_ns":0,"min_ns":0,"max_ns":0,"buckets":[[idx,count],...]}
 /// {"type":"ooc-stats","scope":"...","requests":0,...}
+/// {"type":"profile","scope":"...","profile":"<EngineSpec TOML>"}
 /// ```
 ///
 /// Hand-rolled (no serde): `ooc-core` stays dependency-free; schema
@@ -655,6 +661,15 @@ impl<W: io::Write> EventSink for JsonlSink<W> {
             s.miss_rate(),
             s.read_rate(),
         ));
+        line.push('\n');
+        let _ = self.out.write_all(line.as_bytes());
+    }
+
+    fn profile(&mut self, scope: &str, profile: &str) {
+        let mut line = self.head("profile", scope);
+        line.push_str(",\"profile\":\"");
+        escape_json(profile, &mut line);
+        line.push_str("\"}");
         line.push('\n');
         let _ = self.out.write_all(line.as_bytes());
     }
@@ -877,6 +892,13 @@ impl Recorder {
     /// `metrics_check` verifies event counts against it).
     pub fn emit_stats(&self, stats: &OocStats) {
         self.inner.sink.lock().stats(&self.inner.scope, stats);
+    }
+
+    /// Emit the engine profile (serialized `EngineSpec` TOML) this scope
+    /// runs under — the self-describing header of a metrics file. Emit it
+    /// once, before the measured phase.
+    pub fn emit_profile(&self, profile: &str) {
+        self.inner.sink.lock().profile(&self.inner.scope, profile);
     }
 
     /// Dump every `(layer, op)` histogram to the sink and flush it. Call
@@ -1122,6 +1144,21 @@ mod tests {
         assert!(line.contains("\"item\":null"));
         assert!(line.contains("\"shard\":2"));
         assert!(line.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn jsonl_sink_emits_profile_records() {
+        let mut sink = JsonlSink::from_writer(Vec::new());
+        sink.profile("tenant-a/job-1", "backend = \"sharded\"\nshards = 4\n");
+        sink.flush().unwrap();
+        let line = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
+        assert!(line.starts_with("{\"type\":\"profile\",\"scope\":\"tenant-a/job-1\""));
+        assert!(line.contains("\"profile\":\"backend = \\\"sharded\\\"\\nshards = 4\\n\""));
+        assert!(line.trim_end().ends_with('}'));
+        // Recorder forwards through the same sink hook; NullSink and
+        // MemorySink use the default no-op.
+        let rec = Recorder::new(ManualClock::new(), NullSink);
+        rec.emit_profile("backend = \"inram\"\n");
     }
 
     #[test]

@@ -188,6 +188,32 @@ pub fn split_budget(total: u64, weights: &[u64]) -> Vec<u64> {
     shares
 }
 
+/// [`split_budget`] behind the same byte-budget validation as
+/// [`crate::OocConfig::builder`]: a zero or offset-overflowing `total`
+/// errors *identically* from both paths
+/// ([`crate::manager::validate_byte_budget`]), and a per-consumer share
+/// that underflows to zero bytes (the budget cannot cover a nonzero-weight
+/// consumer at all) is reported instead of silently handing out an
+/// unusable zero budget.
+pub fn split_budget_checked(
+    total: u64,
+    weights: &[u64],
+) -> Result<Vec<u64>, crate::manager::OocConfigError> {
+    use crate::manager::{validate_byte_budget, OocConfigError};
+    validate_byte_budget(total)?;
+    let shares = split_budget(total, weights);
+    for (i, (&share, &w)) in shares.iter().zip(weights).enumerate() {
+        if w > 0 && share == 0 {
+            return Err(OocConfigError::new(format!(
+                "byte budget {total} underflows to zero for consumer {i} \
+                 (weight {w} of {})",
+                weights.iter().map(|&x| x as u128).sum::<u128>()
+            )));
+        }
+    }
+    Ok(shares)
+}
+
 /// `k` independent [`VectorManager`]s, one per site-range shard, plus the
 /// aggregate view over them. The managers share nothing — each owns its
 /// own slots, strategy state, statistics and backing-store region — so

@@ -155,11 +155,30 @@ proptest! {
     fn byte_limit_config_always_legal(
         n_items in 3usize..5000,
         width in 1usize..100_000,
-        bytes in 0u64..10_000_000_000,
+        bytes in 1u64..10_000_000_000,
     ) {
         let cfg = OocConfig::builder(n_items, width).byte_limit(bytes).build().unwrap();
         prop_assert!(cfg.n_slots >= 3);
         prop_assert!(cfg.n_slots <= n_items.max(3));
         prop_assert_eq!(cfg.width, width);
+    }
+
+    // A zero (or offset-overflowing) byte budget must be *rejected*, and
+    // with the same error every other byte-budget entry point reports —
+    // the shared `validate_byte_budget` path.
+    #[test]
+    fn degenerate_byte_limits_error_identically(
+        n_items in 3usize..5000,
+        width in 1usize..100_000,
+    ) {
+        let zero = OocConfig::builder(n_items, width).byte_limit(0).build().unwrap_err();
+        let split = ooc_core::split_budget_checked(0, &[1, 2]).unwrap_err();
+        prop_assert_eq!(zero.to_string(), split.to_string());
+        let huge = OocConfig::builder(n_items, width)
+            .byte_limit(u64::MAX)
+            .build()
+            .unwrap_err();
+        let huge_split = ooc_core::split_budget_checked(u64::MAX, &[1, 2]).unwrap_err();
+        prop_assert_eq!(huge.to_string(), huge_split.to_string());
     }
 }

@@ -36,6 +36,7 @@ pub mod oracle;
 pub mod partition;
 pub mod scaling;
 pub mod sharded;
+pub mod spec;
 pub mod store_api;
 
 pub use encode::TipCodes;
@@ -45,4 +46,5 @@ pub use likelihood_api::LikelihoodEngine;
 pub use oracle::{SharedTree, TreeOracle};
 pub use partition::{NrBranchEngine, PartitionedPlfEngine};
 pub use sharded::ShardedPlfEngine;
+pub use spec::{BuildContext, BuiltEngine, DynEngine, EngineSpec, PartSpec, Residency, SpecError};
 pub use store_api::{AncestralStore, InRamStore, OocStore, PagedStore, VectorSession};

@@ -64,6 +64,10 @@ pub trait LikelihoodEngine {
     /// Residency statistics aggregated over the engine's backend(s), if it
     /// keeps any.
     fn ooc_stats(&self) -> Option<OocStats>;
+
+    /// Zero the residency counters across the engine's backend(s) (e.g.
+    /// after a warm-up traversal); a no-op when none are kept.
+    fn reset_ooc_stats(&mut self) {}
 }
 
 impl<S: crate::AncestralStore> LikelihoodEngine for crate::PlfEngine<S> {
@@ -130,5 +134,9 @@ impl<S: crate::AncestralStore> LikelihoodEngine for crate::PlfEngine<S> {
 
     fn ooc_stats(&self) -> Option<OocStats> {
         self.store().ooc_stats()
+    }
+
+    fn reset_ooc_stats(&mut self) {
+        self.store_mut().reset_ooc_stats()
     }
 }

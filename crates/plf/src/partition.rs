@@ -72,6 +72,26 @@ impl<S: AncestralStore + Send> NrBranchEngine for ShardedPlfEngine<S> {
     }
 }
 
+impl<E: LikelihoodEngine + NrBranchEngine> NrBranchEngine for PartitionedPlfEngine<E> {
+    fn nr_prepare(&mut self, h: HalfEdgeId) -> OocResult<()> {
+        for e in &mut self.parts {
+            e.nr_prepare(h)?;
+        }
+        Ok(())
+    }
+
+    fn nr_derivatives(&mut self, z: f64) -> (f64, f64, f64) {
+        // The joint branch objective folds member derivatives in partition
+        // order — the same reduction `optimize_branch` drives internally.
+        let mut sum = (0.0, 0.0, 0.0);
+        for e in &mut self.parts {
+            let (l, d1, d2) = e.nr_derivatives(z);
+            sum = (sum.0 + l, sum.1 + d1, sum.2 + d2);
+        }
+        sum
+    }
+}
+
 /// One engine per partition, joined on a shared tree (see module docs).
 pub struct PartitionedPlfEngine<E> {
     parts: Vec<E>,
@@ -270,6 +290,12 @@ impl<E: LikelihoodEngine + NrBranchEngine> LikelihoodEngine for PartitionedPlfEn
             .iter()
             .map(|e| e.ooc_stats())
             .sum::<Option<OocStats>>()
+    }
+
+    fn reset_ooc_stats(&mut self) {
+        for e in &mut self.parts {
+            e.reset_ooc_stats();
+        }
     }
 }
 

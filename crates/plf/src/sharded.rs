@@ -401,4 +401,10 @@ impl<S: AncestralStore + Send> LikelihoodEngine for ShardedPlfEngine<S> {
     fn ooc_stats(&self) -> Option<OocStats> {
         self.merged_ooc_stats()
     }
+
+    fn reset_ooc_stats(&mut self) {
+        for i in 0..self.n_shards() {
+            self.shard_mut(i).reset_ooc_stats();
+        }
+    }
 }

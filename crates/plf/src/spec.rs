@@ -1,0 +1,1164 @@
+//! Declarative engine construction: one [`EngineSpec`] describing *what*
+//! to run, resolved into a boxed [`DynEngine`] that runs it.
+//!
+//! The paper's experiment matrix is combinatorial — backend (serial,
+//! sharded, partitioned) × residency (in-RAM, out-of-core over memory or
+//! files, OS-paged) × replacement strategy × I/O pipeline — and the
+//! historical one-constructor-per-cell `setup::` API grew a function for
+//! every cell actually used. [`EngineSpec`] replaces that with orthogonal
+//! axes:
+//!
+//! * **residency** — [`Residency`]: where ancestral vectors live and how
+//!   much RAM they may occupy (fraction `f` or the paper's `-L` byte
+//!   budget);
+//! * **strategy** — [`StrategyKind`], with tree oracles wired automatically
+//!   for the strategies that rank by topology;
+//! * **shards** — pattern-parallel shards per partition;
+//! * **pipeline** — I/O worker threads and the plan lookahead window;
+//! * **kernel** — a forced [`KernelBackend`], or auto-detection;
+//! * **partitions** — not an axis of the spec at all: [`EngineSpec::build`]
+//!   takes the partition list as data, so the same profile drives a
+//!   single-gene and a 100-gene analysis.
+//!
+//! The resolved engine is a [`Box<dyn DynEngine>`]: serial, sharded and
+//! partitioned engines behind one object-safe surface, over type-erased
+//! [`BackingStore`]s — which is what lets a *service* hold many engines of
+//! heterogeneous shape in one table. Construction-time concerns that used
+//! to be ad-hoc (observability recorders, multi-tenant arena grants,
+//! cooperative cancellation) enter through [`BuildContext`].
+//!
+//! A spec round-trips through a flat TOML profile ([`EngineSpec::to_toml`]
+//! / [`EngineSpec::from_toml`]) so runs are reproducible from a file and
+//! every metrics stream can embed the exact configuration that produced it
+//! (the `"profile"` JSONL record).
+
+use crate::likelihood_api::LikelihoodEngine;
+use crate::oracle::{SharedTree, TreeOracle};
+use crate::partition::{NrBranchEngine, PartitionedPlfEngine};
+use crate::sharded::ShardedPlfEngine;
+use crate::store_api::{AncestralStore, InRamStore, OocStore, PagedStore};
+use crate::{KernelBackend, PlfEngine};
+use ooc_core::{
+    split_budget, validate_byte_budget, BackingStore, CancelToken, CancellingStore, FileStore,
+    MemStore, OocConfig, OocResult, PrefetchingStore, Recorder, ShardSpec, StrategyKind,
+    TenantGrant, VectorManager, DEFAULT_PREFETCH_WINDOW,
+};
+use phylo_models::ReversibleModel;
+use phylo_seq::CompressedAlignment;
+use phylo_tree::spr::{NniUndo, SprUndo};
+use phylo_tree::{HalfEdgeId, Tree};
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// DynEngine: the object-safe engine surface
+// ---------------------------------------------------------------------------
+
+/// Everything a job runner needs from an engine, object-safe: the search
+/// surface ([`LikelihoodEngine`]), the branch Newton–Raphson hooks
+/// ([`NrBranchEngine`]) and the two report shapes jobs ask for beyond
+/// them. Implemented by every engine the spec can resolve to, so a
+/// service queues heterogeneous jobs against one `Box<dyn DynEngine>`
+/// table.
+pub trait DynEngine: LikelihoodEngine + NrBranchEngine + Send {
+    /// Per-partition log-likelihoods in partition order (a single
+    /// unpartitioned engine reports one value).
+    fn partition_lnls(&mut self) -> OocResult<Vec<f64>> {
+        Ok(vec![self.log_likelihood()?])
+    }
+
+    /// `count` full traversals (every vector recomputed each time),
+    /// returning the last log-likelihood — the paper's Figure 5 workload.
+    fn full_traversals(&mut self, count: usize) -> OocResult<f64> {
+        let mut lnl = 0.0;
+        for _ in 0..count {
+            self.invalidate_all();
+            lnl = self.log_likelihood()?;
+        }
+        Ok(lnl)
+    }
+
+    /// Out-of-core statistics per partition, in partition order — so stats
+    /// can be reconciled against each partition's own metrics scope
+    /// (`None` entries for non-managed members).
+    fn partition_ooc_stats(&self) -> Vec<Option<ooc_core::OocStats>> {
+        vec![self.ooc_stats()]
+    }
+}
+
+impl<S: AncestralStore + Send> DynEngine for PlfEngine<S> {
+    fn full_traversals(&mut self, count: usize) -> OocResult<f64> {
+        PlfEngine::full_traversals(self, count)
+    }
+}
+
+impl<S: AncestralStore + Send> DynEngine for ShardedPlfEngine<S> {
+    fn full_traversals(&mut self, count: usize) -> OocResult<f64> {
+        ShardedPlfEngine::full_traversals(self, count)
+    }
+}
+
+impl<E: LikelihoodEngine + NrBranchEngine + Send> DynEngine for PartitionedPlfEngine<E> {
+    fn partition_lnls(&mut self) -> OocResult<Vec<f64>> {
+        PartitionedPlfEngine::partition_lnls(self)
+    }
+
+    fn partition_ooc_stats(&self) -> Vec<Option<ooc_core::OocStats>> {
+        (0..self.n_partitions())
+            .map(|i| self.part(i).ooc_stats())
+            .collect()
+    }
+}
+
+// A partitioned engine over *type-erased* members needs the member type
+// itself to implement the two member traits; forward through the box.
+impl LikelihoodEngine for Box<dyn DynEngine> {
+    fn tree(&self) -> &Tree {
+        (**self).tree()
+    }
+    fn alpha(&self) -> f64 {
+        (**self).alpha()
+    }
+    fn set_alpha(&mut self, alpha: f64) {
+        (**self).set_alpha(alpha)
+    }
+    fn invalidate_all(&mut self) {
+        (**self).invalidate_all()
+    }
+    fn log_likelihood(&mut self) -> OocResult<f64> {
+        (**self).log_likelihood()
+    }
+    fn log_likelihood_at(&mut self, root_he: HalfEdgeId, full: bool) -> OocResult<f64> {
+        (**self).log_likelihood_at(root_he, full)
+    }
+    fn set_branch_length(&mut self, h: HalfEdgeId, len: f64) {
+        (**self).set_branch_length(h, len)
+    }
+    fn optimize_branch(&mut self, h: HalfEdgeId, max_iter: u32) -> OocResult<(f64, f64)> {
+        (**self).optimize_branch(h, max_iter)
+    }
+    fn smooth_branches(&mut self, passes: usize, nr_iter: u32) -> OocResult<f64> {
+        (**self).smooth_branches(passes, nr_iter)
+    }
+    fn optimize_alpha(&mut self, tol: f64, max_iter: u32) -> OocResult<(f64, f64)> {
+        (**self).optimize_alpha(tol, max_iter)
+    }
+    fn apply_spr(
+        &mut self,
+        prune_dir: HalfEdgeId,
+        target: HalfEdgeId,
+        graft_lens: Option<(f64, f64)>,
+    ) -> SprUndo {
+        (**self).apply_spr(prune_dir, target, graft_lens)
+    }
+    fn undo_spr(&mut self, prune_dir: HalfEdgeId, undo: &SprUndo) {
+        (**self).undo_spr(prune_dir, undo)
+    }
+    fn apply_nni(&mut self, h: HalfEdgeId, variant: u8) -> NniUndo {
+        (**self).apply_nni(h, variant)
+    }
+    fn undo_nni(&mut self, undo: &NniUndo) {
+        (**self).undo_nni(undo)
+    }
+    fn ooc_stats(&self) -> Option<ooc_core::OocStats> {
+        (**self).ooc_stats()
+    }
+    fn reset_ooc_stats(&mut self) {
+        (**self).reset_ooc_stats()
+    }
+}
+
+impl NrBranchEngine for Box<dyn DynEngine> {
+    fn nr_prepare(&mut self, h: HalfEdgeId) -> OocResult<()> {
+        (**self).nr_prepare(h)
+    }
+    fn nr_derivatives(&mut self, z: f64) -> (f64, f64, f64) {
+        (**self).nr_derivatives(z)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The spec
+// ---------------------------------------------------------------------------
+
+/// Where ancestral vectors live, and under which RAM ceiling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Residency {
+    /// Everything resident (the standard RAxML baseline).
+    InRam,
+    /// Out-of-core manager over an in-memory backing store (pure miss-rate
+    /// measurements), holding fraction `f` of vectors in slots.
+    OocMem {
+        /// RAM fraction `f` of vectors kept in slots.
+        fraction: f64,
+    },
+    /// Out-of-core manager over real backing file(s), fraction-sized.
+    File {
+        /// RAM fraction `f` of vectors kept in slots.
+        fraction: f64,
+    },
+    /// Out-of-core manager over real backing file(s) under the paper's
+    /// `-L` byte budget, split across partitions proportionally to their
+    /// vector footprints and evenly across shards.
+    FileLimit {
+        /// Total slot RAM in bytes.
+        limit_bytes: u64,
+    },
+    /// OS-paging baseline: vectors in a demand-paged arena with this much
+    /// physical memory (Figure 5's "standard implementation").
+    Paged {
+        /// Physical bytes of the paged arena.
+        phys_bytes: u64,
+    },
+}
+
+impl Residency {
+    /// Stable profile keyword.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Residency::InRam => "inram",
+            Residency::OocMem { .. } => "ooc-mem",
+            Residency::File { .. } => "file",
+            Residency::FileLimit { .. } => "file-limit",
+            Residency::Paged { .. } => "paged",
+        }
+    }
+
+    fn needs_path(&self) -> bool {
+        matches!(
+            self,
+            Residency::File { .. } | Residency::FileLimit { .. } | Residency::Paged { .. }
+        )
+    }
+}
+
+/// A declarative engine configuration. See the module docs for the axes;
+/// [`Default`] is a serial in-RAM engine under auto-detected kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSpec {
+    /// Vector residency and RAM ceiling.
+    pub residency: Residency,
+    /// Replacement strategy for out-of-core residencies (ignored by
+    /// `inram`/`paged`). Tree oracles are wired automatically.
+    pub strategy: StrategyKind,
+    /// Pattern-parallel shards per partition (1 = serial members).
+    pub shards: usize,
+    /// Dedicated I/O worker threads per shard (0 = no prefetch pipeline;
+    /// requires a file-backed residency).
+    pub io_threads: usize,
+    /// Plan lookahead window for prefetch hints and the pipeline.
+    pub window: usize,
+    /// Forced kernel backend; `None` auto-detects per
+    /// [`KernelBackend::choose`].
+    pub kernel: Option<KernelBackend>,
+    /// Γ shape parameter at construction.
+    pub alpha: f64,
+    /// Discrete Γ categories.
+    pub n_cats: usize,
+    /// §3.4 read skipping.
+    pub read_skipping: bool,
+    /// Write every evicted vector back even if clean.
+    pub always_write_back: bool,
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        EngineSpec {
+            residency: Residency::InRam,
+            strategy: StrategyKind::Lru,
+            shards: 1,
+            io_threads: 0,
+            window: DEFAULT_PREFETCH_WINDOW,
+            kernel: None,
+            alpha: 0.8,
+            n_cats: 4,
+            read_skipping: true,
+            always_write_back: false,
+        }
+    }
+}
+
+/// Why a spec could not be validated, parsed or built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid engine spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<ooc_core::OocConfigError> for SpecError {
+    fn from(e: ooc_core::OocConfigError) -> Self {
+        SpecError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for SpecError {
+    fn from(e: std::io::Error) -> Self {
+        SpecError(format!("backing-store I/O failed: {e}"))
+    }
+}
+
+/// Creating the backing vector file is the build's most likely I/O
+/// failure — name the path, not just the errno.
+fn vector_file_error(path: &Path, e: std::io::Error) -> SpecError {
+    SpecError(format!(
+        "cannot create vector file '{}': {e}",
+        path.display()
+    ))
+}
+
+/// One partition's data, borrowed for the duration of a build.
+pub struct PartSpec<'a> {
+    /// Partition name (labels reports and backing files).
+    pub name: String,
+    /// Pattern-compressed alignment of this partition's columns.
+    pub comp: &'a CompressedAlignment,
+    /// The partition's substitution model.
+    pub model: &'a ReversibleModel,
+}
+
+/// Construction-time context: everything orthogonal to the spec axes that
+/// an engine may need wired in — backing-file location, observability,
+/// multi-tenant memory grants and cooperative cancellation.
+#[derive(Default)]
+pub struct BuildContext {
+    /// Base path for file-backed residencies (partition `i` appends
+    /// `.p<i>` exactly like the historical constructors). Required for
+    /// `file`, `file-limit` and `paged`.
+    pub vector_path: Option<PathBuf>,
+    /// Arena grant every manager charges its slot buffers against
+    /// (multi-tenant mode; see [`ooc_core::SlotArena`]).
+    pub tenant: Option<TenantGrant>,
+    /// Cancellation token enforced at every backing-store transfer.
+    pub cancel: Option<CancelToken>,
+    /// Recorder per partition name (`""` for an unpartitioned build);
+    /// attached to each member engine.
+    #[allow(clippy::type_complexity)]
+    pub recorders: Option<Box<dyn Fn(&str) -> Recorder + Send + Sync>>,
+}
+
+impl BuildContext {
+    /// An empty context (in-memory residencies, no instrumentation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the backing-file base path.
+    pub fn vector_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.vector_path = Some(path.into());
+        self
+    }
+
+    /// Attach a tenant grant (multi-tenant slot arena).
+    pub fn tenant(mut self, grant: TenantGrant) -> Self {
+        self.tenant = Some(grant);
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a per-partition recorder factory.
+    pub fn recorders(mut self, f: impl Fn(&str) -> Recorder + Send + Sync + 'static) -> Self {
+        self.recorders = Some(Box::new(f));
+        self
+    }
+}
+
+/// A resolved engine plus the shared-tree handles of any topology-aware
+/// replacement strategies (refresh them after SPR/NNI rearrangements).
+pub struct BuiltEngine {
+    /// The engine, type-erased.
+    pub engine: Box<dyn DynEngine>,
+    /// One handle per oracle-wired manager.
+    pub handles: Vec<SharedTree>,
+}
+
+/// The manager store type every out-of-core build resolves to.
+type DynStore = Box<dyn BackingStore + Send>;
+
+impl EngineSpec {
+    /// Validate the axis combination (cheap; [`EngineSpec::build`] and
+    /// [`EngineSpec::from_toml`] both call this).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.shards == 0 {
+            return Err(SpecError("shards must be at least 1".into()));
+        }
+        if self.window == 0 {
+            return Err(SpecError("window must be at least 1".into()));
+        }
+        if self.n_cats == 0 {
+            return Err(SpecError("n_cats must be at least 1".into()));
+        }
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(SpecError(format!(
+                "alpha must be positive, got {}",
+                self.alpha
+            )));
+        }
+        match self.residency {
+            Residency::OocMem { fraction } | Residency::File { fraction } => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(SpecError(format!(
+                        "fraction must be in (0, 1], got {fraction}"
+                    )));
+                }
+            }
+            Residency::FileLimit { limit_bytes } => validate_byte_budget(limit_bytes)?,
+            Residency::Paged { phys_bytes } => {
+                validate_byte_budget(phys_bytes)?;
+                if self.shards > 1 {
+                    return Err(SpecError("paged residency cannot be sharded".into()));
+                }
+            }
+            Residency::InRam => {}
+        }
+        if self.io_threads > 0
+            && !matches!(
+                self.residency,
+                Residency::File { .. } | Residency::FileLimit { .. }
+            )
+        {
+            return Err(SpecError(format!(
+                "io_threads requires a file-backed residency, got '{}'",
+                self.residency.name()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Slot-RAM demand of this spec over the given data: `(want, min)`
+    /// bytes, where `want` is what the engine would occupy unconstrained
+    /// (every manager's full slot allocation; total vector bytes for
+    /// `inram`, the arena size for `paged`) and `min` the guaranteed floor
+    /// admission control must promise (each manager's 3 pinned slots).
+    /// This is what a service hands to [`ooc_core::SlotArena::admit`]
+    /// *before* paying for construction.
+    pub fn memory_demand(
+        &self,
+        tree: &Tree,
+        parts: &[PartSpec<'_>],
+    ) -> Result<(u64, u64), SpecError> {
+        self.validate()?;
+        if parts.is_empty() {
+            return Err(SpecError("need at least one partition".into()));
+        }
+        let n_items = tree.n_inner() as u64;
+        let budgets = self.partition_budgets(tree, parts);
+        let mut want = 0u64;
+        let mut min = 0u64;
+        for (i, part) in parts.iter().enumerate() {
+            for width in self.manager_widths(part.comp) {
+                let w = width as u64;
+                match self.residency {
+                    Residency::InRam => {
+                        want += n_items * w * 8;
+                        min += n_items * w * 8;
+                    }
+                    Residency::Paged { phys_bytes } => {
+                        want += phys_bytes;
+                        min += phys_bytes;
+                    }
+                    _ => {
+                        let cfg =
+                            self.ooc_config(tree.n_inner(), width, budgets.as_ref().map(|b| b[i]))?;
+                        want += cfg.n_slots as u64 * w * 8;
+                        min += 3 * w * 8;
+                    }
+                }
+            }
+        }
+        Ok((want, min))
+    }
+
+    /// Per-partition resident slot counts the spec resolves to — the
+    /// CLI's "N of M vectors in RAM" report without building anything.
+    /// `None` entries for non-managed residencies (in-RAM, paged); for
+    /// sharded partitions the count is per shard manager (the smallest,
+    /// when the pattern split is uneven).
+    pub fn slot_counts(
+        &self,
+        tree: &Tree,
+        parts: &[PartSpec<'_>],
+    ) -> Result<Vec<Option<usize>>, SpecError> {
+        self.validate()?;
+        if matches!(self.residency, Residency::InRam | Residency::Paged { .. }) {
+            return Ok(vec![None; parts.len()]);
+        }
+        let budgets = self.partition_budgets(tree, parts);
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let budget = budgets.as_ref().map(|b| b[i]);
+                self.manager_widths(part.comp)
+                    .into_iter()
+                    .map(|w| Ok(self.ooc_config(tree.n_inner(), w, budget)?.n_slots))
+                    .collect::<Result<Vec<_>, SpecError>>()
+                    .map(|slots| slots.into_iter().min())
+            })
+            .collect()
+    }
+
+    /// Resolve the spec over `tree` and `parts` into a boxed engine. A
+    /// single partition yields the member engine directly; several yield a
+    /// [`PartitionedPlfEngine`] over type-erased members.
+    pub fn build(
+        &self,
+        tree: &Tree,
+        parts: &[PartSpec<'_>],
+        ctx: &BuildContext,
+    ) -> Result<BuiltEngine, SpecError> {
+        self.validate()?;
+        if parts.is_empty() {
+            return Err(SpecError("need at least one partition".into()));
+        }
+        if self.residency.needs_path() && ctx.vector_path.is_none() {
+            return Err(SpecError(format!(
+                "residency '{}' needs BuildContext::vector_path",
+                self.residency.name()
+            )));
+        }
+        let mut handles = Vec::new();
+        let budgets = self.partition_budgets(tree, parts);
+        if parts.len() == 1 {
+            let budget = budgets.as_ref().map(|b| b[0]);
+            let engine = self.build_member(tree, &parts[0], budget, ctx, "", &mut handles)?;
+            return Ok(BuiltEngine { engine, handles });
+        }
+        let members = parts
+            .iter()
+            .enumerate()
+            .map(|(i, part)| {
+                self.build_member(
+                    tree,
+                    part,
+                    budgets.as_ref().map(|b| b[i]),
+                    ctx,
+                    &format!("p{i}"),
+                    &mut handles,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let names = parts.iter().map(|p| p.name.clone()).collect();
+        let engine: Box<dyn DynEngine> = Box::new(PartitionedPlfEngine::new(members, names));
+        Ok(BuiltEngine { engine, handles })
+    }
+
+    /// Per-partition `-L` budgets (largest-remainder split over vector
+    /// footprints), or `None` for non-budgeted residencies.
+    fn partition_budgets(&self, tree: &Tree, parts: &[PartSpec<'_>]) -> Option<Vec<u64>> {
+        let Residency::FileLimit { limit_bytes } = self.residency else {
+            return None;
+        };
+        if parts.len() == 1 {
+            return Some(vec![limit_bytes]);
+        }
+        let n_items = tree.n_inner() as u64;
+        let weights: Vec<u64> = parts
+            .iter()
+            .map(|p| {
+                let dims = PlfEngine::<InRamStore>::dims_for(p.comp, self.n_cats);
+                n_items * dims.width() as u64 * 8
+            })
+            .collect();
+        Some(split_budget(limit_bytes, &weights))
+    }
+
+    /// Widths of the managers one partition resolves to (per shard, or the
+    /// full partition width when serial / non-managed).
+    fn manager_widths(&self, comp: &CompressedAlignment) -> Vec<usize> {
+        if self.shards > 1 && !matches!(self.residency, Residency::InRam | Residency::Paged { .. })
+        {
+            let spec = ShardSpec::even(comp.n_patterns(), self.shards);
+            ShardedPlfEngine::<InRamStore>::shard_dims(comp, self.n_cats, &spec)
+                .iter()
+                .map(|d| d.width())
+                .collect()
+        } else {
+            vec![PlfEngine::<InRamStore>::dims_for(comp, self.n_cats).width()]
+        }
+    }
+
+    /// The out-of-core config of one manager under this spec.
+    fn ooc_config(
+        &self,
+        n_items: usize,
+        width: usize,
+        partition_budget: Option<u64>,
+    ) -> Result<OocConfig, SpecError> {
+        let builder = OocConfig::builder(n_items, width)
+            .prefetch_window(self.window)
+            .read_skipping(self.read_skipping)
+            .always_write_back(self.always_write_back);
+        let builder = match self.residency {
+            Residency::OocMem { fraction } | Residency::File { fraction } => {
+                builder.fraction(fraction)
+            }
+            Residency::FileLimit { .. } => {
+                let budget = partition_budget.expect("file-limit build passes a budget");
+                let per_shard = (budget / self.shards as u64).max(1);
+                builder.byte_limit(per_shard)
+            }
+            _ => unreachable!("ooc_config only called for managed residencies"),
+        };
+        Ok(builder.build()?)
+    }
+
+    /// Build the strategy for one manager, wiring a tree oracle for the
+    /// topology-aware kinds and collecting its refresh handle.
+    fn strategy(
+        &self,
+        tree: &Tree,
+        handles: &mut Vec<SharedTree>,
+    ) -> Box<dyn ooc_core::ReplacementStrategy> {
+        match self.strategy {
+            StrategyKind::Topological | StrategyKind::NextUse => {
+                let shared = SharedTree::new(tree);
+                let oracle = TreeOracle::new(shared.clone());
+                handles.push(shared);
+                self.strategy.build(Some(Box::new(oracle)))
+            }
+            _ => self.strategy.build(None),
+        }
+    }
+
+    /// Type-erase one manager store, wrapping cancellation around it.
+    fn finish_store<S: BackingStore + Send + 'static>(store: S, ctx: &BuildContext) -> DynStore {
+        match &ctx.cancel {
+            Some(token) => Box::new(CancellingStore::new(store, token.clone())),
+            None => Box::new(store),
+        }
+    }
+
+    /// One manager over a type-erased store.
+    fn manager(
+        &self,
+        cfg: OocConfig,
+        tree: &Tree,
+        store: DynStore,
+        ctx: &BuildContext,
+        handles: &mut Vec<SharedTree>,
+        rec: Option<&Recorder>,
+    ) -> VectorManager<DynStore> {
+        let strategy = self.strategy(tree, handles);
+        let mut mgr = VectorManager::new(cfg, strategy, store);
+        if let Some(grant) = &ctx.tenant {
+            mgr.attach_tenant(grant.clone());
+        }
+        // The manager carries its own recorder (demand-read / write-back
+        // spans, per-access histograms); the engine-level recorder set in
+        // `assemble` only covers combine batches.
+        if let Some(r) = rec {
+            mgr.set_recorder(r.clone());
+        }
+        mgr
+    }
+
+    /// Build one partition's member engine.
+    fn build_member(
+        &self,
+        tree: &Tree,
+        part: &PartSpec<'_>,
+        partition_budget: Option<u64>,
+        ctx: &BuildContext,
+        file_tag: &str,
+        handles: &mut Vec<SharedTree>,
+    ) -> Result<Box<dyn DynEngine>, SpecError> {
+        let n_items = tree.n_inner();
+        let part_path = |base: &Path| -> PathBuf {
+            if file_tag.is_empty() {
+                base.to_path_buf()
+            } else {
+                base.with_extension(file_tag)
+            }
+        };
+        let rec = ctx.recorders.as_ref().map(|f| f(&part.name));
+        let engine: Box<dyn DynEngine> = match self.residency {
+            Residency::InRam => {
+                let dims = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats);
+                let store = InRamStore::new(n_items, dims.width());
+                Box::new(self.assemble(tree, part, store, rec))
+            }
+            Residency::Paged { phys_bytes } => {
+                let dims = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats);
+                let total = n_items * dims.width() * 8;
+                let base = ctx.vector_path.as_deref().expect("checked in build");
+                let arena =
+                    pager_sim::PagedArena::new(total, phys_bytes as usize, part_path(base))?;
+                let store = PagedStore::new(arena, n_items, dims.width());
+                Box::new(self.assemble(tree, part, store, rec))
+            }
+            Residency::OocMem { .. } => {
+                if self.shards > 1 {
+                    let (spec, widths) = self.shard_layout(part.comp);
+                    let stores = widths
+                        .iter()
+                        .map(|&w| {
+                            let cfg = self.ooc_config(n_items, w, partition_budget)?;
+                            let store = Self::finish_store(MemStore::new(n_items, w), ctx);
+                            Ok(OocStore::new(self.manager(
+                                cfg,
+                                tree,
+                                store,
+                                ctx,
+                                handles,
+                                rec.as_ref(),
+                            )))
+                        })
+                        .collect::<Result<Vec<_>, SpecError>>()?;
+                    Box::new(self.assemble_sharded(tree, part, spec, stores, rec))
+                } else {
+                    let dims = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats);
+                    let w = dims.width();
+                    let cfg = self.ooc_config(n_items, w, partition_budget)?;
+                    let store = Self::finish_store(MemStore::new(n_items, w), ctx);
+                    let ooc =
+                        OocStore::new(self.manager(cfg, tree, store, ctx, handles, rec.as_ref()));
+                    Box::new(self.assemble(tree, part, ooc, rec))
+                }
+            }
+            Residency::File { .. } | Residency::FileLimit { .. } => {
+                let base = ctx.vector_path.as_deref().expect("checked in build");
+                let path = part_path(base);
+                if self.shards > 1 {
+                    let (spec, widths) = self.shard_layout(part.comp);
+                    let regions = FileStore::create_regions(&path, n_items, &widths)
+                        .map_err(|e| vector_file_error(&path, e))?;
+                    let stores = regions
+                        .into_iter()
+                        .zip(&widths)
+                        .map(|(region, &w)| {
+                            let cfg = self.ooc_config(n_items, w, partition_budget)?;
+                            let store =
+                                self.pipeline_store(region, n_items, w, ctx, rec.as_ref())?;
+                            Ok(OocStore::new(self.manager(
+                                cfg,
+                                tree,
+                                store,
+                                ctx,
+                                handles,
+                                rec.as_ref(),
+                            )))
+                        })
+                        .collect::<Result<Vec<_>, SpecError>>()?;
+                    Box::new(self.assemble_sharded(tree, part, spec, stores, rec))
+                } else {
+                    let dims = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats);
+                    let w = dims.width();
+                    let cfg = self.ooc_config(n_items, w, partition_budget)?;
+                    let file = FileStore::create(&path, n_items, w)
+                        .map_err(|e| vector_file_error(&path, e))?;
+                    let store = self.pipeline_store(file, n_items, w, ctx, rec.as_ref())?;
+                    let ooc =
+                        OocStore::new(self.manager(cfg, tree, store, ctx, handles, rec.as_ref()));
+                    Box::new(self.assemble(tree, part, ooc, rec))
+                }
+            }
+        };
+        Ok(engine)
+    }
+
+    /// Shard layout of one partition: the pattern split and the per-shard
+    /// vector widths.
+    fn shard_layout(&self, comp: &CompressedAlignment) -> (ShardSpec, Vec<usize>) {
+        let spec = ShardSpec::even(comp.n_patterns(), self.shards);
+        let widths = ShardedPlfEngine::<InRamStore>::shard_dims(comp, self.n_cats, &spec)
+            .iter()
+            .map(|d| d.width())
+            .collect();
+        (spec, widths)
+    }
+
+    /// Wrap a shard's file store in the prefetch pipeline (when
+    /// `io_threads > 0`) and type-erase it.
+    fn pipeline_store(
+        &self,
+        store: FileStore,
+        n_items: usize,
+        width: usize,
+        ctx: &BuildContext,
+        rec: Option<&Recorder>,
+    ) -> Result<DynStore, SpecError> {
+        if self.io_threads == 0 {
+            return Ok(Self::finish_store(store, ctx));
+        }
+        let workers = (0..self.io_threads)
+            .map(|_| store.try_clone())
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let mut pipelined = PrefetchingStore::with_pool(store, workers, n_items, width);
+        if let Some(r) = rec {
+            pipelined.set_recorder(r.clone());
+        }
+        Ok(Self::finish_store(pipelined, ctx))
+    }
+
+    /// Assemble a serial member engine over any ancestral store.
+    fn assemble<S: AncestralStore + Send + 'static>(
+        &self,
+        tree: &Tree,
+        part: &PartSpec<'_>,
+        store: S,
+        rec: Option<Recorder>,
+    ) -> PlfEngine<S> {
+        let mut e = PlfEngine::new(
+            tree.clone(),
+            part.comp,
+            part.model.clone(),
+            self.alpha,
+            self.n_cats,
+            store,
+        );
+        if let Some(k) = self.kernel {
+            e.set_kernel(k);
+        }
+        if let Some(rec) = rec {
+            e.set_recorder(rec);
+        }
+        e
+    }
+
+    /// Assemble a sharded member engine over per-shard stores.
+    fn assemble_sharded<S: AncestralStore + Send + 'static>(
+        &self,
+        tree: &Tree,
+        part: &PartSpec<'_>,
+        spec: ShardSpec,
+        stores: Vec<S>,
+        rec: Option<Recorder>,
+    ) -> ShardedPlfEngine<S> {
+        let mut e = ShardedPlfEngine::new(
+            tree.clone(),
+            part.comp,
+            part.model.clone(),
+            self.alpha,
+            self.n_cats,
+            spec,
+            stores,
+        );
+        if let Some(k) = self.kernel {
+            e.set_kernel(k);
+        }
+        if let Some(rec) = rec {
+            e.set_recorder(rec);
+        }
+        e
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TOML profile round-trip
+// ---------------------------------------------------------------------------
+
+impl EngineSpec {
+    /// Serialize to a flat TOML profile (hand-rolled — the workspace adds
+    /// no TOML dependency). Stable key order; [`EngineSpec::from_toml`]
+    /// round-trips it exactly.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("# ooc-plf engine profile\n");
+        out.push_str(&format!("residency = \"{}\"\n", self.residency.name()));
+        match self.residency {
+            Residency::OocMem { fraction } | Residency::File { fraction } => {
+                out.push_str(&format!("fraction = {fraction}\n"));
+            }
+            Residency::FileLimit { limit_bytes } => {
+                out.push_str(&format!("limit_bytes = {limit_bytes}\n"));
+            }
+            Residency::Paged { phys_bytes } => {
+                out.push_str(&format!("phys_bytes = {phys_bytes}\n"));
+            }
+            Residency::InRam => {}
+        }
+        let (strategy, seed) = match self.strategy {
+            StrategyKind::Random { seed } => ("random", Some(seed)),
+            StrategyKind::Lru => ("lru", None),
+            StrategyKind::Lfu => ("lfu", None),
+            StrategyKind::Topological => ("topological", None),
+            StrategyKind::NextUse => ("next-use", None),
+        };
+        out.push_str(&format!("strategy = \"{strategy}\"\n"));
+        if let Some(seed) = seed {
+            out.push_str(&format!("seed = {seed}\n"));
+        }
+        out.push_str(&format!("shards = {}\n", self.shards));
+        out.push_str(&format!("io_threads = {}\n", self.io_threads));
+        out.push_str(&format!("window = {}\n", self.window));
+        out.push_str(&format!(
+            "kernel = \"{}\"\n",
+            self.kernel.map_or("auto", |k| k.name())
+        ));
+        out.push_str(&format!("alpha = {}\n", self.alpha));
+        out.push_str(&format!("n_cats = {}\n", self.n_cats));
+        out.push_str(&format!("read_skipping = {}\n", self.read_skipping));
+        out.push_str(&format!("always_write_back = {}\n", self.always_write_back));
+        out
+    }
+
+    /// Parse a flat TOML profile produced by [`EngineSpec::to_toml`] (or
+    /// written by hand). Unknown keys and malformed values are errors;
+    /// omitted keys keep their [`Default`] values.
+    pub fn from_toml(text: &str) -> Result<EngineSpec, SpecError> {
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(SpecError(format!(
+                    "profile line {}: expected 'key = value', got '{raw}'",
+                    lineno + 1
+                )));
+            };
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .unwrap_or(value);
+            keys.push((key.trim().to_string(), value.to_string()));
+        }
+        let find = |k: &str| {
+            keys.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.as_str())
+        };
+        let parse_u64 = |k: &str| -> Result<Option<u64>, SpecError> {
+            find(k)
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| SpecError(format!("key '{k}': invalid integer '{v}'")))
+                })
+                .transpose()
+        };
+        let parse_f64 = |k: &str| -> Result<Option<f64>, SpecError> {
+            find(k)
+                .map(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| SpecError(format!("key '{k}': invalid number '{v}'")))
+                })
+                .transpose()
+        };
+        let parse_bool = |k: &str| -> Result<Option<bool>, SpecError> {
+            find(k)
+                .map(|v| {
+                    v.parse::<bool>()
+                        .map_err(|_| SpecError(format!("key '{k}': invalid boolean '{v}'")))
+                })
+                .transpose()
+        };
+
+        const KNOWN: [&str; 13] = [
+            "residency",
+            "fraction",
+            "limit_bytes",
+            "phys_bytes",
+            "strategy",
+            "seed",
+            "shards",
+            "io_threads",
+            "window",
+            "kernel",
+            "alpha",
+            "n_cats",
+            "read_skipping",
+        ];
+        for (key, _) in &keys {
+            if !KNOWN.contains(&key.as_str()) && key != "always_write_back" {
+                return Err(SpecError(format!("unknown profile key '{key}'")));
+            }
+        }
+
+        let mut spec = EngineSpec::default();
+        if let Some(name) = find("residency") {
+            spec.residency = match name {
+                "inram" => Residency::InRam,
+                "ooc-mem" => Residency::OocMem {
+                    fraction: parse_f64("fraction")?.ok_or_else(|| {
+                        SpecError("residency 'ooc-mem' needs key 'fraction'".into())
+                    })?,
+                },
+                "file" => Residency::File {
+                    fraction: parse_f64("fraction")?
+                        .ok_or_else(|| SpecError("residency 'file' needs key 'fraction'".into()))?,
+                },
+                "file-limit" => Residency::FileLimit {
+                    limit_bytes: parse_u64("limit_bytes")?.ok_or_else(|| {
+                        SpecError("residency 'file-limit' needs key 'limit_bytes'".into())
+                    })?,
+                },
+                "paged" => Residency::Paged {
+                    phys_bytes: parse_u64("phys_bytes")?.ok_or_else(|| {
+                        SpecError("residency 'paged' needs key 'phys_bytes'".into())
+                    })?,
+                },
+                other => {
+                    return Err(SpecError(format!(
+                        "unknown residency '{other}': expected \
+                         inram | ooc-mem | file | file-limit | paged"
+                    )))
+                }
+            };
+        }
+        if let Some(name) = find("strategy") {
+            spec.strategy = match name.to_ascii_lowercase().as_str() {
+                "random" | "rand" => StrategyKind::Random {
+                    seed: parse_u64("seed")?.unwrap_or(0),
+                },
+                "lru" => StrategyKind::Lru,
+                "lfu" => StrategyKind::Lfu,
+                "topological" | "topo" => StrategyKind::Topological,
+                "next-use" | "nextuse" | "belady" => StrategyKind::NextUse,
+                other => {
+                    return Err(SpecError(format!(
+                        "unknown strategy '{other}': expected \
+                         random | lru | lfu | topological | next-use"
+                    )))
+                }
+            };
+        }
+        if let Some(v) = parse_u64("shards")? {
+            spec.shards = v as usize;
+        }
+        if let Some(v) = parse_u64("io_threads")? {
+            spec.io_threads = v as usize;
+        }
+        if let Some(v) = parse_u64("window")? {
+            spec.window = v as usize;
+        }
+        if let Some(name) = find("kernel") {
+            spec.kernel = match name {
+                "auto" | "" => None,
+                other => Some(KernelBackend::from_name(other).ok_or_else(|| {
+                    SpecError(format!(
+                        "unknown kernel '{other}': expected \
+                         auto | scalar | generic | dna4 | avx2"
+                    ))
+                })?),
+            };
+        }
+        if let Some(v) = parse_f64("alpha")? {
+            spec.alpha = v;
+        }
+        if let Some(v) = parse_u64("n_cats")? {
+            spec.n_cats = v as usize;
+        }
+        if let Some(v) = parse_bool("read_skipping")? {
+            spec.read_skipping = v;
+        }
+        if let Some(v) = parse_bool("always_write_back")? {
+            spec.always_write_back = v;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_specs() -> Vec<EngineSpec> {
+        vec![
+            EngineSpec::default(),
+            EngineSpec {
+                residency: Residency::OocMem { fraction: 0.25 },
+                strategy: StrategyKind::Random { seed: 11 },
+                ..Default::default()
+            },
+            EngineSpec {
+                residency: Residency::File { fraction: 0.5 },
+                strategy: StrategyKind::NextUse,
+                shards: 4,
+                io_threads: 2,
+                window: 8,
+                kernel: Some(KernelBackend::Scalar),
+                ..Default::default()
+            },
+            EngineSpec {
+                residency: Residency::FileLimit {
+                    limit_bytes: 1 << 20,
+                },
+                strategy: StrategyKind::Topological,
+                shards: 2,
+                alpha: 1.2,
+                n_cats: 8,
+                read_skipping: false,
+                always_write_back: true,
+                ..Default::default()
+            },
+            EngineSpec {
+                residency: Residency::Paged {
+                    phys_bytes: 1 << 16,
+                },
+                ..Default::default()
+            },
+        ]
+    }
+
+    #[test]
+    fn toml_round_trips_every_axis_combination() {
+        for spec in all_specs() {
+            let text = spec.to_toml();
+            let back =
+                EngineSpec::from_toml(&text).unwrap_or_else(|e| panic!("{e} in profile:\n{text}"));
+            assert_eq!(back, spec, "round-trip drifted for:\n{text}");
+        }
+    }
+
+    #[test]
+    fn from_toml_applies_defaults_for_omitted_keys() {
+        let spec = EngineSpec::from_toml("strategy = \"lfu\"\n").unwrap();
+        assert_eq!(spec.strategy, StrategyKind::Lfu);
+        assert_eq!(spec.residency, Residency::InRam);
+        assert_eq!(spec.shards, 1);
+        assert_eq!(spec.window, DEFAULT_PREFETCH_WINDOW);
+        assert!(spec.read_skipping);
+    }
+
+    #[test]
+    fn from_toml_rejects_malformed_profiles() {
+        assert!(EngineSpec::from_toml("residency = \"floppy\"").is_err());
+        assert!(EngineSpec::from_toml("residency = \"ooc-mem\"").is_err()); // no fraction
+        assert!(EngineSpec::from_toml("nonsense_key = 3").is_err());
+        assert!(EngineSpec::from_toml("shards = banana").is_err());
+        assert!(EngineSpec::from_toml("just a line").is_err());
+        // Validation runs on parse: zero byte budgets error like the
+        // builder does (shared validate_byte_budget).
+        let err =
+            EngineSpec::from_toml("residency = \"file-limit\"\nlimit_bytes = 0\n").unwrap_err();
+        assert!(err.to_string().contains("byte budget must be positive"));
+    }
+
+    #[test]
+    fn validate_rejects_incoherent_axes() {
+        let bad = EngineSpec {
+            shards: 0,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EngineSpec {
+            io_threads: 2, // pipeline over an in-memory store
+            residency: Residency::OocMem { fraction: 0.5 },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EngineSpec {
+            residency: Residency::Paged { phys_bytes: 4096 },
+            shards: 2,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EngineSpec {
+            residency: Residency::OocMem { fraction: 1.5 },
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

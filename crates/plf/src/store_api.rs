@@ -74,6 +74,10 @@ pub trait AncestralStore {
     fn ooc_stats(&self) -> Option<OocStats> {
         None
     }
+
+    /// Zero the residency counters (e.g. after a warm-up phase); a no-op
+    /// for backends that keep none.
+    fn reset_ooc_stats(&mut self) {}
 }
 
 /// All vectors permanently resident (standard implementation).
@@ -250,6 +254,10 @@ impl<S: BackingStore> AncestralStore for OocStore<S> {
 
     fn ooc_stats(&self) -> Option<OocStats> {
         Some(*self.manager.stats())
+    }
+
+    fn reset_ooc_stats(&mut self) {
+        self.manager.reset_stats();
     }
 }
 

@@ -1,0 +1,224 @@
+//! Satellite of the multi-tenant service: concurrent tenants sharing one
+//! slot arena must be *computationally invisible* to each other. N tenants
+//! produce lnLs bit-identical to solo (arena-free) runs — under LRU and
+//! under the oracle-driven NextUse strategy — an ungrantable job is
+//! rejected (never OOM), and a cancellation mid-traversal leaves the arena
+//! fully reusable.
+
+use ooc_serve::{
+    solo_likelihood, DatasetRequest, JobKind, JobRequest, JobStatus, PartitionRequest, ServeConfig,
+    Service,
+};
+use std::time::{Duration, Instant};
+
+const LRU_PROFILE: &str = "residency = \"ooc-mem\"\nfraction = 0.5\nstrategy = \"lru\"\n";
+const NEXT_USE_PROFILE: &str = "residency = \"ooc-mem\"\nfraction = 0.5\nstrategy = \"next-use\"\n";
+
+/// Four tenants with distinct datasets (one partitioned), submitted
+/// together against a deliberately tight arena so allowances shrink and
+/// managers trim while all four are in flight.
+fn tenant_requests(profile: &str) -> Vec<JobRequest> {
+    let datasets = vec![
+        DatasetRequest {
+            n_taxa: 16,
+            n_sites: 1200,
+            seed: 101,
+            partitions: None,
+        },
+        DatasetRequest {
+            n_taxa: 12,
+            n_sites: 900,
+            seed: 202,
+            partitions: None,
+        },
+        DatasetRequest {
+            n_taxa: 10,
+            n_sites: 0,
+            seed: 303,
+            partitions: Some(vec![
+                PartitionRequest {
+                    kind: "dna".into(),
+                    n_sites: 500,
+                },
+                PartitionRequest {
+                    kind: "protein".into(),
+                    n_sites: 200,
+                },
+            ]),
+        },
+        DatasetRequest {
+            n_taxa: 14,
+            n_sites: 700,
+            seed: 404,
+            partitions: None,
+        },
+    ];
+    datasets
+        .into_iter()
+        .enumerate()
+        .map(|(i, dataset)| JobRequest {
+            tenant: format!("tenant-{i}"),
+            dataset,
+            profile: profile.into(),
+            job: JobKind::Likelihood { traversals: 6 },
+        })
+        .collect()
+}
+
+fn run_concurrent_and_compare(profile: &str) {
+    let reqs = tenant_requests(profile);
+    let scratch = std::env::temp_dir();
+
+    // Ground truth first: each request solo, no arena anywhere.
+    let solo: Vec<(f64, Vec<f64>)> = reqs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            solo_likelihood(
+                &r.dataset,
+                &r.profile,
+                1,
+                &scratch.join(format!("isolation-solo-{i}.vec")),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    let service = Service::start(ServeConfig {
+        arena_bytes: 2 << 20, // tight: forces allowance shrink under overlap
+        workers: 4,
+        scratch_dir: scratch,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let ids: Vec<u64> = reqs
+        .into_iter()
+        .map(|r| service.submit(r).unwrap())
+        .collect();
+
+    for (i, id) in ids.iter().enumerate() {
+        match service.wait(*id).unwrap() {
+            JobStatus::Done {
+                lnl,
+                partition_lnls,
+                ..
+            } => {
+                assert_eq!(
+                    lnl, solo[i].0,
+                    "tenant {i}: concurrent lnL must be bit-identical to solo"
+                );
+                assert_eq!(partition_lnls, solo[i].1, "tenant {i}: partition lnls");
+            }
+            other => panic!("tenant {i}: expected done, got {other:?}"),
+        }
+    }
+    let c = service.counters();
+    assert_eq!(c.admissions, 4);
+    assert_eq!(c.releases, 4);
+    assert_eq!(service.n_tenants(), 0, "arena fully drained");
+}
+
+#[test]
+fn concurrent_tenants_are_bit_identical_to_solo_under_lru() {
+    run_concurrent_and_compare(LRU_PROFILE);
+}
+
+#[test]
+fn concurrent_tenants_are_bit_identical_to_solo_under_next_use() {
+    run_concurrent_and_compare(NEXT_USE_PROFILE);
+}
+
+#[test]
+fn ungrantable_job_is_rejected_not_oomed() {
+    let service = Service::start(ServeConfig {
+        arena_bytes: 1 << 20,
+        workers: 1,
+        scratch_dir: std::env::temp_dir(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    // 3-slot pinned floor of this dataset alone exceeds the 1 MiB arena.
+    let id = service
+        .submit(JobRequest {
+            tenant: "greedy".into(),
+            dataset: DatasetRequest {
+                n_taxa: 32,
+                n_sites: 8000,
+                seed: 1,
+                partitions: None,
+            },
+            profile: LRU_PROFILE.into(),
+            job: JobKind::Likelihood { traversals: 1 },
+        })
+        .unwrap();
+    match service.wait(id).unwrap() {
+        JobStatus::Rejected { reason } => {
+            assert!(reason.contains("minimum cannot be guaranteed"), "{reason}")
+        }
+        other => panic!("expected rejected, got {other:?}"),
+    }
+    assert_eq!(service.counters().rejections, 1);
+    assert_eq!(service.counters().admissions, 0);
+    assert_eq!(service.n_tenants(), 0);
+}
+
+#[test]
+fn cancellation_mid_traversal_leaves_the_arena_reusable() {
+    let scratch = std::env::temp_dir();
+    let service = Service::start(ServeConfig {
+        arena_bytes: 8 << 20,
+        workers: 1,
+        scratch_dir: scratch.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let dataset = DatasetRequest {
+        n_taxa: 16,
+        n_sites: 1500,
+        seed: 77,
+        partitions: None,
+    };
+    // File-backed and effectively unbounded, so the cancel is guaranteed
+    // to land mid-traversal rather than racing a fast completion.
+    let victim = service
+        .submit(JobRequest {
+            tenant: "victim".into(),
+            dataset: dataset.clone(),
+            profile: "residency = \"file\"\nfraction = 0.25\nstrategy = \"lru\"\n".into(),
+            job: JobKind::Likelihood {
+                traversals: 1_000_000,
+            },
+        })
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while service.status(victim) == Some(JobStatus::Queued) {
+        assert!(Instant::now() < deadline, "victim never started");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(service.cancel(victim));
+    assert_eq!(service.wait(victim).unwrap(), JobStatus::Cancelled);
+    assert_eq!(service.n_tenants(), 0, "cancelled grant released");
+
+    // The arena keeps serving: a fresh tenant still computes the right
+    // answer after the aborted one.
+    let (solo, _) = solo_likelihood(
+        &dataset,
+        LRU_PROFILE,
+        1,
+        &scratch.join("isolation-after-cancel.vec"),
+    )
+    .unwrap();
+    let next = service
+        .submit(JobRequest {
+            tenant: "after".into(),
+            dataset,
+            profile: LRU_PROFILE.into(),
+            job: JobKind::Likelihood { traversals: 1 },
+        })
+        .unwrap();
+    match service.wait(next).unwrap() {
+        JobStatus::Done { lnl, .. } => assert_eq!(lnl, solo),
+        other => panic!("expected done, got {other:?}"),
+    }
+}

@@ -11,7 +11,7 @@
 //! cargo run --release --example bayesian_mcmc
 //! ```
 
-use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::search::{run_mcmc, McmcConfig};
 use phylo_ooc::setup::{self, DatasetSpec};
 
@@ -45,9 +45,15 @@ fn main() {
         stats_std.final_log_posterior
     );
 
-    let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
+    let ooc_spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.25 },
+        ..setup::base_spec(&data)
+    };
+    let mut ooc = setup::build_engine(&ooc_spec, &data, &BuildContext::new())
+        .expect("spec build failed")
+        .engine;
     let stats_ooc = run_mcmc(&mut ooc, &cfg).expect("MCMC over the OOC store failed");
-    let mgr = ooc.store().manager().stats();
+    let mgr = ooc.ooc_stats().expect("managed engine keeps stats");
     println!(
         "out-of-core: accepted {}/{} ({} topology moves), final log-posterior {:.4}",
         stats_ooc.accepted,

@@ -14,6 +14,7 @@
 //! ```
 
 use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::setup::{self, DatasetSpec};
 use std::time::Instant;
 
@@ -57,15 +58,24 @@ fn main() {
 
     // 2./3. Out-of-core with the same budget.
     for kind in [StrategyKind::Lru, StrategyKind::Random { seed: 5 }] {
-        let path = dir.path().join(format!("vectors_{}.bin", kind.label()));
-        let mut ooc = setup::ooc_engine_file(&data, path, budget as u64, kind)
-            .expect("failed to create backing file");
+        let ooc_spec = EngineSpec {
+            residency: Residency::FileLimit {
+                limit_bytes: budget as u64,
+            },
+            strategy: kind,
+            ..setup::base_spec(&data)
+        };
+        let ctx = BuildContext::new()
+            .vector_path(dir.path().join(format!("vectors_{}.bin", kind.label())));
+        let mut ooc = setup::build_engine(&ooc_spec, &data, &ctx)
+            .expect("failed to create backing file")
+            .engine;
         let t0 = Instant::now();
         let lnl = ooc
             .full_traversals(traversals)
             .expect("out-of-core traversal failed");
         let dt = t0.elapsed();
-        let stats = ooc.store().manager().stats();
+        let stats = ooc.ooc_stats().expect("managed engine keeps stats");
         println!(
             "out-of-core ({:<4}):  {:>8.2?}  lnl {:.4}\n                     misses: {} ({:.1}%), reads: {}, writes: {}, skipped reads: {}",
             kind.label(),

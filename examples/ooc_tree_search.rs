@@ -11,7 +11,7 @@
 //! cargo run --release --example ooc_tree_search
 //! ```
 
-use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::search::{hill_climb, SearchConfig};
 use phylo_ooc::setup::{self, DatasetSpec};
 use phylo_ooc::tree::write_newick;
@@ -48,9 +48,15 @@ fn main() {
     );
 
     // Out-of-core search with 25% of vectors in RAM.
-    let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
+    let ooc_spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.25 },
+        ..setup::base_spec(&data)
+    };
+    let mut ooc = setup::build_engine(&ooc_spec, &data, &BuildContext::new())
+        .expect("spec build failed")
+        .engine;
     let stats_ooc = hill_climb(&mut ooc, &cfg).expect("search over the OOC store failed");
-    let mgr = ooc.store().manager().stats();
+    let mgr = ooc.ooc_stats().expect("managed engine keeps stats");
     println!(
         "out-of-core: lnl {:.4} -> {:.4} ({} SPRs applied, {} evaluated)",
         stats_ooc.initial_lnl, stats_ooc.final_lnl, stats_ooc.spr_applied, stats_ooc.spr_evaluated
@@ -72,7 +78,10 @@ fn main() {
         "\nOK: identical final trees and likelihoods; the search ran with \
          {:.0}% of the vector memory ({} of {} vectors resident), miss rate {:.2}%.",
         25.0,
-        ooc.store().manager().config().n_slots,
+        ooc_spec
+            .slot_counts(&data.tree, &setup::part_specs(&data))
+            .expect("spec already validated")[0]
+            .expect("ooc-mem residency is slot-managed"),
         data.n_items(),
         mgr.miss_rate() * 100.0
     );

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::setup::{self, DatasetSpec};
 
 fn main() {
@@ -37,13 +37,14 @@ fn main() {
     // a real binary file, swapped on demand with LRU replacement.
     let dir = tempfile::tempdir().expect("tempdir");
     let limit = data.total_vector_bytes() / 4;
-    let mut ooc = setup::ooc_engine_file(
-        &data,
-        dir.path().join("ancestral_vectors.bin"),
-        limit,
-        StrategyKind::Lru,
-    )
-    .expect("failed to create backing file");
+    let ooc_spec = EngineSpec {
+        residency: Residency::FileLimit { limit_bytes: limit },
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("ancestral_vectors.bin"));
+    let mut ooc = setup::build_engine(&ooc_spec, &data, &ctx)
+        .expect("failed to create backing file")
+        .engine;
     let lnl_ooc = ooc.log_likelihood().expect("out-of-core likelihood failed");
 
     println!("log-likelihood (standard):    {lnl_standard:.6}");
@@ -54,10 +55,13 @@ fn main() {
         "the paper's correctness criterion: results must be identical"
     );
 
-    let stats = ooc.store().manager().stats();
+    let stats = ooc.ooc_stats().expect("managed engine keeps stats");
+    let n_slots = ooc_spec
+        .slot_counts(&data.tree, &setup::part_specs(&data))
+        .expect("spec already validated")[0]
+        .expect("file residency is slot-managed");
     println!(
-        "\nout-of-core statistics with f = 0.25 ({} of {} slots):",
-        ooc.store().manager().config().n_slots,
+        "\nout-of-core statistics with f = 0.25 ({n_slots} of {} slots):",
         data.n_items()
     );
     println!("  {stats}");

@@ -7,6 +7,7 @@
 //! ```
 
 use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::setup::{self, DatasetSpec};
 
 fn main() {
@@ -34,10 +35,17 @@ fn main() {
         StrategyKind::Topological,
         StrategyKind::NextUse,
     ] {
-        let (mut engine, _handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
+        let ooc_spec = EngineSpec {
+            residency: Residency::OocMem { fraction: 0.25 },
+            strategy: kind,
+            ..setup::base_spec(&data)
+        };
+        let mut engine = setup::build_engine(&ooc_spec, &data, &BuildContext::new())
+            .expect("spec build failed")
+            .engine;
         // Warm up: one full likelihood computation (all vectors cold).
         let _ = engine.log_likelihood().expect("warm-up traversal failed");
-        engine.store_mut().manager_mut().reset_stats();
+        engine.reset_ooc_stats();
 
         // Workload: two smoothing passes and a tour of re-rootings.
         engine.smooth_branches(2, 8).expect("smoothing pass failed");
@@ -48,7 +56,7 @@ fn main() {
                 .expect("re-rooted evaluation failed");
         }
 
-        let stats = engine.store().manager().stats();
+        let stats = engine.ooc_stats().expect("managed engine keeps stats");
         println!(
             "{:<14} {:>10} {:>10} {:>11.2}% {:>12} {:>9.2}%",
             kind.label(),

@@ -26,13 +26,20 @@
 //!
 //! ```
 //! use phylo_ooc::setup::{self, DatasetSpec};
-//! use phylo_ooc::ooc::StrategyKind;
+//! use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 //!
-//! // Simulate a small dataset and build both engines.
+//! // Simulate a small dataset; declare the engine instead of picking a
+//! // constructor: residency, strategy, shards etc. are orthogonal axes.
 //! let spec = DatasetSpec { n_taxa: 16, n_sites: 200, seed: 7, ..Default::default() };
 //! let data = setup::simulate_dataset(&spec);
 //! let mut standard = setup::inram_engine(&data);
-//! let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
+//! let ooc_spec = EngineSpec {
+//!     residency: Residency::OocMem { fraction: 0.25 },
+//!     ..setup::base_spec(&data)
+//! };
+//! let mut ooc = setup::build_engine(&ooc_spec, &data, &BuildContext::new())
+//!     .unwrap()
+//!     .engine;
 //!
 //! // The paper's correctness criterion: identical likelihoods.
 //! // (Likelihood methods return Result: store I/O can fail.)
@@ -40,7 +47,7 @@
 //!     standard.log_likelihood().unwrap(),
 //!     ooc.log_likelihood().unwrap(),
 //! );
-//! let stats = *ooc.store().manager().stats();
+//! let stats = ooc.ooc_stats().expect("out-of-core engines expose stats");
 //! assert!(stats.misses > 0, "with f = 0.25 there must be misses");
 //! ```
 
@@ -61,8 +68,8 @@ pub mod setup {
     };
     use phylo_models::{DiscreteGamma, ReversibleModel};
     use phylo_plf::{
-        InRamStore, OocStore, PagedStore, PartitionedPlfEngine, PlfEngine, ShardedPlfEngine,
-        SharedTree, TreeOracle,
+        BuildContext, BuiltEngine, EngineSpec, InRamStore, OocStore, PagedStore, PartSpec,
+        PartitionedPlfEngine, PlfEngine, ShardedPlfEngine, SharedTree, SpecError, TreeOracle,
     };
     use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment, PartitionKind};
     use phylo_tree::build::{random_topology, yule_like_lengths};
@@ -183,9 +190,43 @@ pub mod setup {
         }
     }
 
+    /// The dataset as a single [`PartSpec`] slice for [`EngineSpec::build`]
+    /// (empty name — the unpartitioned metrics scope).
+    pub fn part_specs(data: &Dataset) -> Vec<PartSpec<'_>> {
+        vec![PartSpec {
+            name: String::new(),
+            comp: &data.comp,
+            model: &data.model,
+        }]
+    }
+
+    /// An [`EngineSpec`] seeded with the dataset's α and Γ categories;
+    /// override residency/strategy/shards via struct update syntax.
+    pub fn base_spec(data: &Dataset) -> EngineSpec {
+        EngineSpec {
+            alpha: data.spec.alpha,
+            n_cats: data.spec.n_cats,
+            ..EngineSpec::default()
+        }
+    }
+
+    /// Resolve a spec over a simulated dataset — the declarative
+    /// replacement for the constructor matrix below.
+    pub fn build_engine(
+        spec: &EngineSpec,
+        data: &Dataset,
+        ctx: &BuildContext,
+    ) -> Result<BuiltEngine, SpecError> {
+        spec.build(&data.tree, &part_specs(data), ctx)
+    }
+
     /// Out-of-core engine with an in-memory backing store (for measuring
     /// miss rates, which are independent of the I/O medium) holding a
     /// fraction `f` of vectors in RAM slots.
+    #[deprecated(
+        note = "construct via `EngineSpec` (`Residency::OocMem`) and `setup::build_engine`"
+    )]
+    #[allow(deprecated)]
     pub fn ooc_engine_mem(
         data: &Dataset,
         f: f64,
@@ -196,6 +237,9 @@ pub mod setup {
 
     /// As [`ooc_engine_mem`] but also returning the Topological strategy's
     /// shared-tree handle for refreshes during searches.
+    #[deprecated(
+        note = "construct via `EngineSpec`; `BuiltEngine::handles` carries the oracle handles"
+    )]
     pub fn ooc_engine_mem_with_handle(
         data: &Dataset,
         f: f64,
@@ -222,6 +266,9 @@ pub mod setup {
     /// Out-of-core engine over a real single binary file (the paper's
     /// primary configuration), limited to `limit_bytes` of slot RAM (the
     /// paper's `-L` flag). Fails if the backing file cannot be created.
+    #[deprecated(
+        note = "construct via `EngineSpec` (`Residency::FileLimit`) and `setup::build_engine`"
+    )]
     pub fn ooc_engine_file<P: AsRef<Path>>(
         data: &Dataset,
         path: P,
@@ -250,6 +297,7 @@ pub mod setup {
     /// each managed by its own `VectorManager` holding a fraction `f` of
     /// its vectors in RAM slots, executed in parallel. Log-likelihoods are
     /// bit-identical to the serial engines.
+    #[deprecated(note = "construct via `EngineSpec` (`Residency::OocMem`, `shards > 1`)")]
     pub fn sharded_engine_mem(
         data: &Dataset,
         f: f64,
@@ -289,6 +337,7 @@ pub mod setup {
     /// disjoint per-shard regions (`FileStore::create_regions`), each
     /// shard's manager holding a fraction `f` of its vectors in RAM.
     /// Fails if the backing file cannot be created.
+    #[deprecated(note = "construct via `EngineSpec` (`Residency::File`, `shards > 1`)")]
     pub fn sharded_engine_file<P: AsRef<Path>>(
         data: &Dataset,
         path: P,
@@ -335,6 +384,8 @@ pub mod setup {
     /// owns; log-likelihoods remain bit-identical to the serial engines
     /// because the pipeline only changes *when* bytes move, never their
     /// values. `io_threads == 0` degenerates to unpipelined shards.
+    #[deprecated(note = "construct via `EngineSpec` (`Residency::File`, `shards`, `io_threads`)")]
+    #[allow(deprecated)]
     pub fn sharded_engine_file_pipelined<P: AsRef<Path>>(
         data: &Dataset,
         path: P,
@@ -364,6 +415,7 @@ pub mod setup {
     /// ([`partitioned_engine_sharded_pipelined`]) share: one backing file
     /// split into per-shard regions, each wrapped in a plan-driven
     /// [`PrefetchingStore`] with `io_threads` worker handles.
+    #[deprecated(note = "construct via `EngineSpec` (`Residency::File`, `shards`, `io_threads`)")]
     #[allow(clippy::too_many_arguments)]
     pub fn sharded_pipelined_engine<P: AsRef<Path>>(
         tree: &Tree,
@@ -417,6 +469,7 @@ pub mod setup {
     /// instead of a fraction: `limit_bytes` of slot RAM is divided evenly
     /// across the shards, so the sharded run respects the same total
     /// memory ceiling as the serial run it is compared against.
+    #[deprecated(note = "construct via `EngineSpec` (`Residency::FileLimit`, `shards > 1`)")]
     pub fn sharded_engine_file_limit<P: AsRef<Path>>(
         data: &Dataset,
         path: P,
@@ -547,7 +600,40 @@ pub mod setup {
         data.parts.iter().map(|p| p.name.clone()).collect()
     }
 
+    /// The partitioned dataset as [`PartSpec`]s for [`EngineSpec::build`].
+    pub fn partitioned_part_specs(data: &PartitionedDataset) -> Vec<PartSpec<'_>> {
+        data.parts
+            .iter()
+            .map(|p| PartSpec {
+                name: p.name.clone(),
+                comp: &p.comp,
+                model: &p.model,
+            })
+            .collect()
+    }
+
+    /// An [`EngineSpec`] seeded with the partitioned dataset's α and Γ
+    /// categories.
+    pub fn base_partitioned_spec(data: &PartitionedDataset) -> EngineSpec {
+        EngineSpec {
+            alpha: data.alpha,
+            n_cats: data.n_cats,
+            ..EngineSpec::default()
+        }
+    }
+
+    /// Resolve a spec over a partitioned dataset — the declarative
+    /// replacement for the `partitioned_engine_*` constructors.
+    pub fn build_partitioned_engine(
+        spec: &EngineSpec,
+        data: &PartitionedDataset,
+        ctx: &BuildContext,
+    ) -> Result<BuiltEngine, SpecError> {
+        spec.build(&data.tree, &partitioned_part_specs(data), ctx)
+    }
+
     /// Partitioned engine with every member fully in RAM.
+    #[deprecated(note = "construct via `EngineSpec` and `setup::build_partitioned_engine`")]
     pub fn partitioned_engine_inram(
         data: &PartitionedDataset,
     ) -> PartitionedPlfEngine<PlfEngine<InRamStore>> {
@@ -573,6 +659,9 @@ pub mod setup {
     /// Partitioned out-of-core engine with per-partition in-memory backing
     /// stores, each member's manager holding a fraction `f` of that
     /// partition's vectors in RAM slots.
+    #[deprecated(
+        note = "construct via `EngineSpec` (`Residency::OocMem`) and `setup::build_partitioned_engine`"
+    )]
     pub fn partitioned_engine_ooc_mem(
         data: &PartitionedDataset,
         f: f64,
@@ -611,6 +700,9 @@ pub mod setup {
     /// ~15× the slots of an equal-length DNA partition, so all partitions
     /// see comparable residency pressure. Partition `i`'s file is
     /// `<path>.p<i>`.
+    #[deprecated(
+        note = "construct via `EngineSpec` (`Residency::FileLimit`) and `setup::build_partitioned_engine`"
+    )]
     pub fn partitioned_engine_file_limit<P: AsRef<Path>>(
         data: &PartitionedDataset,
         path: P,
@@ -655,6 +747,10 @@ pub mod setup {
     /// per partition. Per-partition log-likelihoods stay bit-identical to
     /// independent serial in-RAM runs (pipelines move bytes earlier, never
     /// change them; shard reductions fold in serial pattern order).
+    #[deprecated(
+        note = "construct via `EngineSpec` (`Residency::File`, `shards`, `io_threads`) and `setup::build_partitioned_engine`"
+    )]
+    #[allow(deprecated)]
     #[allow(clippy::too_many_arguments)]
     pub fn partitioned_engine_sharded_pipelined<P: AsRef<Path>>(
         data: &PartitionedDataset,
@@ -716,6 +812,7 @@ pub mod setup {
 mod tests {
     use super::setup::{self, DatasetSpec};
     use ooc_core::StrategyKind;
+    use phylo_plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 
     #[test]
     fn facade_quickstart_works() {
@@ -727,7 +824,14 @@ mod tests {
         };
         let data = setup::simulate_dataset(&spec);
         let mut standard = setup::inram_engine(&data);
-        let mut ooc = setup::ooc_engine_mem(&data, 0.5, StrategyKind::Random { seed: 1 });
+        let ooc_spec = EngineSpec {
+            residency: Residency::OocMem { fraction: 0.5 },
+            strategy: StrategyKind::Random { seed: 1 },
+            ..setup::base_spec(&data)
+        };
+        let mut ooc = setup::build_engine(&ooc_spec, &data, &BuildContext::new())
+            .unwrap()
+            .engine;
         assert_eq!(
             standard.log_likelihood().unwrap(),
             ooc.log_likelihood().unwrap()

@@ -12,21 +12,15 @@
 //! Omitting it runs the standard all-in-RAM implementation.
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
-use phylo_ooc::ooc::split_budget;
-use phylo_ooc::ooc::{
-    BackingStore, FileStore, OocConfig, PrefetchingStore, Recorder, StrategyKind, VectorManager,
-    DEFAULT_PREFETCH_WINDOW,
-};
+use phylo_ooc::ooc::{Recorder, StrategyKind, DEFAULT_PREFETCH_WINDOW};
 use phylo_ooc::plf::{
-    AncestralStore, InRamStore, KernelBackend, LikelihoodEngine, OocStore, PartitionedPlfEngine,
-    PlfEngine,
+    BuildContext, EngineSpec, KernelBackend, LikelihoodEngine, PartSpec, Residency,
 };
 use phylo_ooc::search::{hill_climb_observed, parsimony_stepwise_tree, SearchConfig};
 use phylo_ooc::seq::phylip::{read_phylip, read_phylip_raw, write_phylip};
 use phylo_ooc::seq::{
     compress_patterns, simulate_alignment, Alignment, Alphabet, CompressedAlignment, PartitionSpec,
 };
-use phylo_ooc::setup::build_strategy;
 use phylo_ooc::tree::build::{random_topology, yule_like_lengths};
 use phylo_ooc::tree::{parse_newick, write_newick, Tree};
 use rand::rngs::StdRng;
@@ -91,6 +85,11 @@ OPTIONS:
                     absolute --memory budget is split across partitions
                     proportionally to their vector footprints
   --strategy NAME   rand | lru | lfu | topo | nextuse [default: lru]
+  --shards N        pattern-parallel shards per partition   [default: 1]
+  --profile FILE    load the engine configuration from a TOML profile
+                    (see `EngineSpec::to_toml`; overrides --memory,
+                    --strategy, --shards, --io-threads, --window,
+                    --kernel and --alpha)
   --vector-file F   backing file for evicted vectors [default: temp file]
   --alpha A         Gamma shape                       [default: optimize/0.8]
   --radius R        SPR rearrangement radius          [default: 5]
@@ -329,10 +328,6 @@ fn load_inputs(opts: &Opts) -> Result<(Tree, CompressedAlignment), String> {
     Ok((tree, compress_patterns(&reordered)))
 }
 
-fn engine_report<S: AncestralStore>(engine: &PlfEngine<S>) -> String {
-    format!("alpha = {:.4}", engine.alpha())
-}
-
 /// Default scratch location for the evicted-vector file (one per process;
 /// best-effort cleaned up by [`cleanup_scratch`]).
 fn scratch_vector_path() -> std::path::PathBuf {
@@ -353,10 +348,46 @@ fn parse_kernel(opts: &Opts) -> Result<Option<KernelBackend>, String> {
     }
 }
 
-/// Apply an explicit `--kernel` choice to a freshly built engine.
-fn apply_kernel<S: AncestralStore>(engine: &mut PlfEngine<S>, kernel: Option<KernelBackend>) {
-    if let Some(k) = kernel {
-        engine.set_kernel(k);
+/// Resolve the engine configuration for this invocation: a TOML
+/// `--profile` verbatim, or an [`EngineSpec`] assembled from the
+/// individual axis flags (`--memory` → residency, `--strategy`,
+/// `--shards`, `--io-threads`, `--window`, `--kernel`, `--alpha`).
+fn cli_spec(opts: &Opts, seed: u64) -> Result<EngineSpec, String> {
+    if let Some(path) = opts.get("profile") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return EngineSpec::from_toml(&text).map_err(|e| e.to_string());
+    }
+    let residency = match parse_memory(opts.get("memory"))? {
+        MemorySpec::All => Residency::InRam,
+        MemorySpec::Bytes(b) => Residency::FileLimit { limit_bytes: b },
+        MemorySpec::Fraction(f) => Residency::File { fraction: f },
+    };
+    // I/O pipelining only applies to file-backed residency; tolerate the
+    // flag on an in-RAM run the way the pre-spec CLI did.
+    let io_threads = if matches!(residency, Residency::InRam) {
+        0
+    } else {
+        opts.usize("io-threads", 0)?
+    };
+    Ok(EngineSpec {
+        residency,
+        strategy: parse_strategy(opts.get("strategy"), seed)?,
+        shards: opts.usize("shards", 1)?,
+        io_threads,
+        window: opts.usize("window", DEFAULT_PREFETCH_WINDOW)?,
+        kernel: parse_kernel(opts)?,
+        alpha: opts.f64_opt("alpha")?.unwrap_or(0.8),
+        n_cats: 4,
+        ..EngineSpec::default()
+    })
+}
+
+/// The vector file for evicted slots: `--vector-file`, or the process
+/// scratch path.
+fn vector_file(opts: &Opts) -> std::path::PathBuf {
+    match opts.get("vector-file") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => scratch_vector_path(),
     }
 }
 
@@ -399,34 +430,6 @@ fn finish_recorder(
     eprintln!("{}", rec.attribution(wall));
     rec.finish()
         .map_err(|e| format!("cannot write metrics: {e}"))
-}
-
-/// Build the OOC backing store per the CLI flags: the vector file alone,
-/// or — with `--io-threads N` — wrapped in the plan-driven prefetch
-/// pipeline with `N` dedicated I/O workers, each a separate handle onto
-/// the same vector file.
-fn make_vector_store(
-    opts: &Opts,
-    path: &std::path::Path,
-    n_items: usize,
-    width: usize,
-    recorder: Option<&Recorder>,
-) -> Result<Box<dyn BackingStore>, String> {
-    let main = FileStore::create(path, n_items, width)
-        .map_err(|e| format!("cannot create vector file '{}': {e}", path.display()))?;
-    let io_threads = opts.usize("io-threads", 0)?;
-    if io_threads == 0 {
-        return Ok(Box::new(main));
-    }
-    let workers = (0..io_threads)
-        .map(|_| FileStore::open(path, width))
-        .collect::<std::io::Result<Vec<_>>>()
-        .map_err(|e| format!("cannot open I/O worker handle on '{}': {e}", path.display()))?;
-    let mut prefetching = PrefetchingStore::with_pool(main, workers, n_items, width);
-    if let Some(rec) = recorder {
-        prefetching.set_recorder(rec.clone());
-    }
-    Ok(Box::new(prefetching))
 }
 
 /// Load a partition spec plus the mixed-alphabet alignment it describes:
@@ -483,148 +486,93 @@ fn load_partitioned_inputs(
 /// per-partition log-likelihoods. Under `--memory`, an absolute byte
 /// budget is split across partitions proportionally to their vector
 /// footprints (so a 61-state codon block gets ~15x the slots of an
-/// equal-length DNA block); a `%` budget applies per partition.
+/// equal-length DNA block); a `%` budget applies per partition. The
+/// whole stack is resolved through one [`EngineSpec`].
 fn cmd_likelihood_partitioned(opts: &Opts, spec_path: &str) -> Result<(), String> {
-    let (tree, spec, comps) = load_partitioned_inputs(opts, spec_path)?;
-    let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
-    let kernel = parse_kernel(opts)?;
-    let n_items = tree.n_inner();
-    let names: Vec<String> = spec.partitions.iter().map(|p| p.name.clone()).collect();
-    let widths: Vec<usize> = comps
+    let (tree, pspec, comps) = load_partitioned_inputs(opts, spec_path)?;
+    let seed = opts.u64("seed", 42)?;
+    let spec = cli_spec(opts, seed)?;
+    let names: Vec<String> = pspec.partitions.iter().map(|p| p.name.clone()).collect();
+    let models: Vec<ReversibleModel> = comps.iter().map(default_model).collect();
+    let parts: Vec<PartSpec<'_>> = names
         .iter()
-        .map(|c| PlfEngine::<InRamStore>::dims_for(c, 4).width())
+        .zip(comps.iter().zip(&models))
+        .map(|(name, (comp, model))| PartSpec {
+            name: name.clone(),
+            comp,
+            model,
+        })
         .collect();
 
-    let mem = parse_memory(opts.get("memory"))?;
-    let budgets: Option<Vec<u64>> = match &mem {
-        MemorySpec::Bytes(b) => {
-            let weights: Vec<u64> = widths.iter().map(|&w| (n_items * w * 8) as u64).collect();
-            Some(split_budget(*b, &weights))
+    // One recorder per partition, each with that partition's name as its
+    // scope, all appending whole lines to one JSONL file, each headed by
+    // the engine profile — `metrics_check` then reconciles every
+    // partition's residency stack independently.
+    let recorders: Option<HashMap<String, Recorder>> = match opts.get("metrics") {
+        None => None,
+        Some(path) => {
+            File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
+            let mut map = HashMap::new();
+            for name in &names {
+                let sink = phylo_ooc::ooc::JsonlSink::append(path)
+                    .map_err(|e| format!("cannot open '{path}': {e}"))?;
+                let rec =
+                    Recorder::scoped(phylo_ooc::ooc::MonotonicClock::new(), sink, name.clone());
+                rec.emit_profile(&spec.to_toml());
+                map.insert(name.clone(), rec);
+            }
+            Some(map)
         }
-        _ => None,
     };
 
-    match mem {
-        MemorySpec::All => {
-            let parts = comps
-                .iter()
-                .enumerate()
-                .map(|(i, comp)| {
-                    let store = InRamStore::new(n_items, widths[i]);
-                    let model = default_model(comp);
-                    let mut e = PlfEngine::new(tree.clone(), comp, model, alpha, 4, store);
-                    apply_kernel(&mut e, kernel);
-                    e
-                })
-                .collect();
-            let mut engine = PartitionedPlfEngine::new(parts, names.clone());
-            let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
-            report_partitioned(&mut engine, &names, lnl)
-        }
-        _ => {
-            let seed = opts.u64("seed", 42)?;
-            let kind = parse_strategy(opts.get("strategy"), seed)?;
-            let vector_path = match opts.get("vector-file") {
-                Some(p) => std::path::PathBuf::from(p),
-                None => scratch_vector_path(),
-            };
-            // One recorder per partition, each with that partition's name
-            // as its scope, all appending whole lines to one JSONL file —
-            // `metrics_check` then reconciles every partition's residency
-            // stack independently.
-            let recorders = match opts.get("metrics") {
-                None => None,
-                Some(path) => {
-                    File::create(path).map_err(|e| format!("cannot create '{path}': {e}"))?;
-                    let recs = names
-                        .iter()
-                        .map(|name| {
-                            let sink = phylo_ooc::ooc::JsonlSink::append(path)
-                                .map_err(|e| format!("cannot open '{path}': {e}"))?;
-                            Ok(Recorder::scoped(
-                                phylo_ooc::ooc::MonotonicClock::new(),
-                                sink,
-                                name.clone(),
-                            ))
-                        })
-                        .collect::<Result<Vec<_>, String>>()?;
-                    Some(recs)
-                }
-            };
-            let parts = comps
-                .iter()
-                .enumerate()
-                .map(|(i, comp)| {
-                    let builder = OocConfig::builder(n_items, widths[i]);
-                    let builder = match (&mem, &budgets) {
-                        (_, Some(b)) => builder.byte_limit(b[i].max(1)),
-                        (MemorySpec::Fraction(f), _) => builder.fraction(*f),
-                        _ => unreachable!(),
-                    };
-                    let cfg = builder
-                        .prefetch_window(opts.usize("window", DEFAULT_PREFETCH_WINDOW)?)
-                        .build()
-                        .map_err(|e| e.to_string())?;
-                    let (strategy, _handle) = build_strategy(kind, &tree);
-                    let path = vector_path.with_extension(format!("p{i}"));
-                    let rec = recorders.as_ref().map(|r| &r[i]);
-                    let store = make_vector_store(opts, &path, n_items, widths[i], rec)?;
-                    let mut manager = VectorManager::new(cfg, strategy, store);
-                    if let Some(rec) = rec {
-                        manager.set_recorder(rec.clone());
-                    }
-                    let model = default_model(comp);
-                    let mut e =
-                        PlfEngine::new(tree.clone(), comp, model, alpha, 4, OocStore::new(manager));
-                    apply_kernel(&mut e, kernel);
-                    if let Some(rec) = rec {
-                        e.set_recorder(rec.clone());
-                    }
-                    Ok(e)
-                })
-                .collect::<Result<Vec<_>, String>>()?;
-            let mut engine = PartitionedPlfEngine::new(parts, names.clone());
-            let t0s: Vec<u64> = recorders.iter().flatten().map(|r| r.now()).collect();
-            let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
-            for (i, name) in names.iter().enumerate() {
-                eprintln!(
-                    "partition {}: {} of {} vectors in RAM",
-                    name,
-                    engine.part(i).store().manager().config().n_slots,
-                    n_items,
-                );
-            }
-            report_partitioned(&mut engine, &names, lnl)?;
-            if opts.flag("stats") {
-                if let Some(s) = engine.ooc_stats() {
-                    eprintln!("out-of-core (all partitions): {s}");
-                }
-            }
-            if let Some(recs) = &recorders {
-                for (i, rec) in recs.iter().enumerate() {
-                    eprintln!("[{}]", names[i]);
-                    let stats = *engine.part(i).store().manager().stats();
-                    finish_recorder(rec, t0s[i], Some(&stats))?;
-                }
-            }
-            for i in 0..names.len() {
-                let _ = std::fs::remove_file(scratch_vector_path().with_extension(format!("p{i}")));
-            }
-            Ok(())
+    let vector_path = vector_file(opts);
+    let mut ctx = BuildContext::new().vector_path(&vector_path);
+    if let Some(recs) = &recorders {
+        let map = recs.clone();
+        ctx = ctx.recorders(move |name| map[name].clone());
+    }
+    let built = spec.build(&tree, &parts, &ctx).map_err(|e| e.to_string())?;
+    let mut engine = built.engine;
+
+    for (name, slots) in names
+        .iter()
+        .zip(spec.slot_counts(&tree, &parts).map_err(|e| e.to_string())?)
+    {
+        if let Some(slots) = slots {
+            eprintln!(
+                "partition {}: {} of {} vectors in RAM",
+                name,
+                slots,
+                tree.n_inner()
+            );
         }
     }
-}
-
-/// Print the joint and per-partition log-likelihoods.
-fn report_partitioned<E: LikelihoodEngine + phylo_ooc::plf::NrBranchEngine>(
-    engine: &mut PartitionedPlfEngine<E>,
-    names: &[String],
-    joint: f64,
-) -> Result<(), String> {
-    println!("log-likelihood: {joint:.6}");
+    let t0s: HashMap<String, u64> = recorders
+        .iter()
+        .flatten()
+        .map(|(name, r)| (name.clone(), r.now()))
+        .collect();
+    let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
+    println!("log-likelihood: {lnl:.6}");
     let per = engine.partition_lnls().map_err(|e| e.to_string())?;
-    for (name, lnl) in names.iter().zip(&per) {
-        println!("  {name}: {lnl:.6}");
+    for (name, part_lnl) in names.iter().zip(&per) {
+        println!("  {name}: {part_lnl:.6}");
+    }
+    if opts.flag("stats") {
+        if let Some(s) = engine.ooc_stats() {
+            eprintln!("out-of-core (all partitions): {s}");
+        }
+    }
+    if let Some(recs) = &recorders {
+        let stats = engine.partition_ooc_stats();
+        for (i, name) in names.iter().enumerate() {
+            eprintln!("[{name}]");
+            finish_recorder(&recs[name], t0s[name], stats[i].as_ref())?;
+        }
+    }
+    drop(engine);
+    for i in 0..names.len() {
+        let _ = std::fs::remove_file(scratch_vector_path().with_extension(format!("p{i}")));
     }
     Ok(())
 }
@@ -635,90 +583,70 @@ fn cmd_likelihood(opts: &Opts) -> Result<(), String> {
         return cmd_likelihood_partitioned(opts, &spec_path);
     }
     let (tree, comp) = load_inputs(opts)?;
-    let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
-    let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
+    let seed = opts.u64("seed", 42)?;
+    let spec = cli_spec(opts, seed)?;
     let model = default_model(&comp);
-    let n_items = tree.n_inner();
-    let total_bytes = (n_items * dims.width() * 8) as u64;
-    let recorder = make_recorder(opts)?;
-    let kernel = parse_kernel(opts)?;
+    let parts = vec![PartSpec {
+        name: String::new(),
+        comp: &comp,
+        model: &model,
+    }];
 
-    match parse_memory(opts.get("memory"))? {
-        MemorySpec::All => {
-            let store = InRamStore::new(n_items, dims.width());
-            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
-            apply_kernel(&mut engine, kernel);
-            if let Some(rec) = &recorder {
-                engine.set_recorder(rec.clone());
-            }
-            let t0 = recorder.as_ref().map(|r| r.now());
-            let lnl = engine.log_likelihood().map_err(|e| e.to_string())?;
-            println!("log-likelihood: {lnl:.6}");
-            println!("{}", engine_report(&engine));
-            if let (Some(rec), Some(t0)) = (&recorder, t0) {
-                finish_recorder(rec, t0, None)?;
-            }
-        }
-        spec => {
-            let cfg = match spec {
-                MemorySpec::Bytes(b) => OocConfig::builder(n_items, dims.width()).byte_limit(b),
-                MemorySpec::Fraction(f) => OocConfig::builder(n_items, dims.width()).fraction(f),
-                MemorySpec::All => unreachable!(),
-            }
-            .prefetch_window(opts.usize("window", DEFAULT_PREFETCH_WINDOW)?)
-            .build()
-            .map_err(|e| e.to_string())?;
-            let seed = opts.u64("seed", 42)?;
-            let kind = parse_strategy(opts.get("strategy"), seed)?;
-            let (strategy, _handle) = build_strategy(kind, &tree);
-            let vector_path = match opts.get("vector-file") {
-                Some(p) => std::path::PathBuf::from(p),
-                None => scratch_vector_path(),
-            };
-            let store =
-                make_vector_store(opts, &vector_path, n_items, dims.width(), recorder.as_ref())?;
-            let mut manager = VectorManager::new(cfg, strategy, store);
-            if let Some(rec) = &recorder {
-                manager.set_recorder(rec.clone());
-            }
-            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
-            apply_kernel(&mut engine, kernel);
-            if let Some(rec) = &recorder {
-                engine.set_recorder(rec.clone());
-            }
-            let t0 = recorder.as_ref().map(|r| r.now());
-            let lnl = engine.log_likelihood().map_err(|e| {
-                cleanup_scratch();
-                e.to_string()
-            })?;
-            println!("log-likelihood: {lnl:.6}");
-            println!("{}", engine_report(&engine));
-            eprintln!(
-                "out-of-core: {} of {} vectors in RAM ({:.1} of {:.1} MiB)",
-                engine.store().manager().config().n_slots,
-                n_items,
-                engine.store().manager().config().slot_bytes() as f64 / (1 << 20) as f64,
-                total_bytes as f64 / (1 << 20) as f64,
-            );
-            if opts.flag("stats") {
-                eprintln!("{}", engine.store().manager().stats());
-            }
-            if let (Some(rec), Some(t0)) = (&recorder, t0) {
-                finish_recorder(rec, t0, Some(engine.store().manager().stats()))?;
-            }
-            cleanup_scratch();
+    let recorder = make_recorder(opts)?;
+    if let Some(rec) = &recorder {
+        // Head the metrics stream with the exact engine configuration
+        // that produced it.
+        rec.emit_profile(&spec.to_toml());
+    }
+    let vector_path = vector_file(opts);
+    let mut ctx = BuildContext::new().vector_path(&vector_path);
+    if let Some(rec) = &recorder {
+        let rec = rec.clone();
+        ctx = ctx.recorders(move |_| rec.clone());
+    }
+    let built = spec.build(&tree, &parts, &ctx).map_err(|e| e.to_string())?;
+    let mut engine = built.engine;
+    let t0 = recorder.as_ref().map(|r| r.now());
+    let lnl = engine.log_likelihood().map_err(|e| {
+        cleanup_scratch();
+        e.to_string()
+    })?;
+    println!("log-likelihood: {lnl:.6}");
+    println!("alpha = {:.4}", engine.alpha());
+    if let Some(Some(slots)) = spec
+        .slot_counts(&tree, &parts)
+        .map_err(|e| e.to_string())?
+        .first()
+    {
+        eprintln!(
+            "out-of-core: {} of {} vectors in RAM",
+            slots,
+            tree.n_inner()
+        );
+    }
+    if opts.flag("stats") {
+        if let Some(s) = engine.ooc_stats() {
+            eprintln!("{s}");
         }
     }
+    if let (Some(rec), Some(t0)) = (&recorder, t0) {
+        finish_recorder(rec, t0, engine.ooc_stats().as_ref())?;
+    }
+    drop(engine);
+    cleanup_scratch();
     Ok(())
 }
 
 fn cmd_search(opts: &Opts) -> Result<(), String> {
     let (tree, comp) = load_inputs(opts)?;
-    let alpha = opts.f64_opt("alpha")?.unwrap_or(0.8);
-    let dims = PlfEngine::<InRamStore>::dims_for(&comp, 4);
-    let model = default_model(&comp);
-    let n_items = tree.n_inner();
     let seed = opts.u64("seed", 42)?;
+    let spec = cli_spec(opts, seed)?;
+    let model = default_model(&comp);
+    let parts = vec![PartSpec {
+        name: String::new(),
+        comp: &comp,
+        model: &model,
+    }];
     let cfg = SearchConfig {
         spr_radius: opts.usize("radius", 5)? as u32,
         max_rounds: opts.usize("rounds", 8)?,
@@ -728,65 +656,33 @@ fn cmd_search(opts: &Opts) -> Result<(), String> {
     };
 
     let recorder = make_recorder(opts)?;
-    let kernel = parse_kernel(opts)?;
-    let (stats, final_tree, mgr_stats) = match parse_memory(opts.get("memory"))? {
-        MemorySpec::All => {
-            let store = InRamStore::new(n_items, dims.width());
-            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, store);
-            apply_kernel(&mut engine, kernel);
-            if let Some(rec) = &recorder {
-                engine.set_recorder(rec.clone());
-            }
-            let t0 = recorder.as_ref().map(|r| r.now());
-            let stats = hill_climb_observed(&mut engine, &cfg, recorder.as_ref())
-                .map_err(|e| e.to_string())?;
-            if let (Some(rec), Some(t0)) = (&recorder, t0) {
-                finish_recorder(rec, t0, None)?;
-            }
-            (stats, engine.tree().clone(), None)
-        }
-        spec => {
-            let ooc_cfg = match spec {
-                MemorySpec::Bytes(b) => OocConfig::builder(n_items, dims.width()).byte_limit(b),
-                MemorySpec::Fraction(f) => OocConfig::builder(n_items, dims.width()).fraction(f),
-                MemorySpec::All => unreachable!(),
-            }
-            .prefetch_window(opts.usize("window", DEFAULT_PREFETCH_WINDOW)?)
-            .build()
-            .map_err(|e| e.to_string())?;
-            let kind = parse_strategy(opts.get("strategy"), seed)?;
-            let (strategy, handle) = build_strategy(kind, &tree);
-            let vector_path = match opts.get("vector-file") {
-                Some(p) => std::path::PathBuf::from(p),
-                None => scratch_vector_path(),
-            };
-            let store =
-                make_vector_store(opts, &vector_path, n_items, dims.width(), recorder.as_ref())?;
-            let mut manager = VectorManager::new(ooc_cfg, strategy, store);
-            if let Some(rec) = &recorder {
-                manager.set_recorder(rec.clone());
-            }
-            let mut engine = PlfEngine::new(tree, &comp, model, alpha, 4, OocStore::new(manager));
-            apply_kernel(&mut engine, kernel);
-            if let Some(rec) = &recorder {
-                engine.set_recorder(rec.clone());
-            }
-            let t0 = recorder.as_ref().map(|r| r.now());
-            let stats = hill_climb_observed(&mut engine, &cfg, recorder.as_ref()).map_err(|e| {
-                cleanup_scratch();
-                e.to_string()
-            })?;
-            if let Some(h) = handle {
-                h.update(engine.tree());
-            }
-            let mgr = *engine.store().manager().stats();
-            if let (Some(rec), Some(t0)) = (&recorder, t0) {
-                finish_recorder(rec, t0, Some(&mgr))?;
-            }
-            cleanup_scratch();
-            (stats, engine.tree().clone(), Some(mgr))
-        }
-    };
+    if let Some(rec) = &recorder {
+        rec.emit_profile(&spec.to_toml());
+    }
+    let vector_path = vector_file(opts);
+    let mut ctx = BuildContext::new().vector_path(&vector_path);
+    if let Some(rec) = &recorder {
+        let rec = rec.clone();
+        ctx = ctx.recorders(move |_| rec.clone());
+    }
+    let built = spec.build(&tree, &parts, &ctx).map_err(|e| e.to_string())?;
+    let mut engine = built.engine;
+    let t0 = recorder.as_ref().map(|r| r.now());
+    let stats = hill_climb_observed(&mut engine, &cfg, recorder.as_ref()).map_err(|e| {
+        cleanup_scratch();
+        e.to_string()
+    })?;
+    // Keep any topology-aware strategy oracle in sync with the final tree.
+    for h in &built.handles {
+        h.update(engine.tree());
+    }
+    let mgr_stats = engine.ooc_stats();
+    if let (Some(rec), Some(t0)) = (&recorder, t0) {
+        finish_recorder(rec, t0, mgr_stats.as_ref())?;
+    }
+    let final_tree = engine.tree().clone();
+    drop(engine);
+    cleanup_scratch();
 
     println!(
         "search: lnl {:.4} -> {:.4} in {} round(s), {} SPRs applied ({} evaluated), alpha {:.4}",

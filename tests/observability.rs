@@ -4,6 +4,9 @@
 //! write-back vs prefetch-wait vs compute) can be asserted to the
 //! nanosecond for a scripted access plan — no timers, no tolerance.
 
+// The legacy constructors stay under test until they are removed.
+#![allow(deprecated)]
+
 use phylo_ooc::ooc::{
     AccessPlan, AccessRecord, BackingStore, Event, ItemId, ManualClock, MemStore, MemorySink,
     OocConfig, PrefetchingStore, Recorder, StallKind, StrategyKind, VectorManager,

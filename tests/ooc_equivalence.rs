@@ -8,6 +8,9 @@
 //! replacement strategy and memory fraction, for plain evaluation, full
 //! traversals, smoothing and whole searches.
 
+// The legacy constructors stay under test until they are removed.
+#![allow(deprecated)]
+
 use phylo_ooc::ooc::StrategyKind;
 use phylo_ooc::search::{hill_climb, SearchConfig};
 use phylo_ooc::setup::{self, DatasetSpec};

@@ -4,6 +4,9 @@
 //! (c) the paging baseline's fault count must grow with memory pressure as
 //! reported in the paper's §4.3.
 
+// The legacy constructors stay under test until they are removed.
+#![allow(deprecated)]
+
 use phylo_ooc::ooc::StrategyKind;
 use phylo_ooc::setup::{self, DatasetSpec};
 

@@ -6,6 +6,9 @@
 //! engines never exchange data; only scalar (lnL, d1, d2) reductions are
 //! shared, so this is exact equality, not a tolerance.
 
+// The legacy constructors stay under test until they are removed.
+#![allow(deprecated)]
+
 use phylo_ooc::ooc::StrategyKind;
 use phylo_ooc::plf::{InRamStore, LikelihoodEngine, PlfEngine};
 use phylo_ooc::seq::PartitionKind;

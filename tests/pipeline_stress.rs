@@ -5,6 +5,9 @@
 //! likelihoods bit-identical to the in-RAM reference, and the residency
 //! statistics must stay internally consistent.
 
+// The legacy constructors stay under test until they are removed.
+#![allow(deprecated)]
+
 use phylo_ooc::ooc::{
     FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FileStore, OocConfig, OocStats,
     PrefetchingStore, StrategyKind, VectorManager,

@@ -3,6 +3,9 @@
 //! per-shard residency statistics exactly, and keep both properties
 //! under injected store faults with a retry layer.
 
+// The legacy constructors stay under test until they are removed.
+#![allow(deprecated)]
+
 use phylo_ooc::ooc::{
     BackingStore, FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, MemStore,
     OocConfig, OocStats, RetryPolicy, RetryingStore, ShardSpec, StrategyKind, VectorManager,

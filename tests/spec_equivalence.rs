@@ -1,0 +1,346 @@
+//! Satellite of the `EngineSpec` redesign: every deprecated `setup::`
+//! constructor and its spec-built twin must produce bit-identical
+//! log-likelihoods on a fig2-sized dataset. Residency, sharding and
+//! pipelining never change computed values — so a declarative spec that
+//! resolves to the same wiring must reproduce the legacy constructor's
+//! lnL exactly (`assert_eq!` on `f64`, no tolerance).
+#![allow(deprecated)]
+
+use ooc_core::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
+use phylo_ooc::seq::PartitionKind;
+use phylo_ooc::setup::{self, DatasetSpec};
+
+fn fig2_dataset() -> setup::Dataset {
+    setup::simulate_dataset(&DatasetSpec {
+        n_taxa: 16,
+        n_sites: 160,
+        seed: 20260809,
+        ..Default::default()
+    })
+}
+
+fn fig2_partitioned() -> setup::PartitionedDataset {
+    setup::simulate_partitioned_dataset(
+        &DatasetSpec {
+            n_taxa: 12,
+            n_sites: 0, // per-partition lengths below
+            seed: 7,
+            ..Default::default()
+        },
+        &[
+            (PartitionKind::Dna, 90),
+            (PartitionKind::Protein, 40),
+            (PartitionKind::Dna, 60),
+        ],
+    )
+}
+
+#[test]
+fn ooc_engine_mem_matches_spec_twin() {
+    let data = fig2_dataset();
+    let legacy = setup::ooc_engine_mem(&data, 0.3, StrategyKind::Lru)
+        .log_likelihood()
+        .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.3 },
+        ..setup::base_spec(&data)
+    };
+    let twin = setup::build_engine(&spec, &data, &BuildContext::new())
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn ooc_engine_mem_with_handle_matches_spec_twin() {
+    let data = fig2_dataset();
+    let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.3, StrategyKind::NextUse);
+    assert!(handle.is_some(), "NextUse wires an oracle");
+    let legacy = engine.log_likelihood().unwrap();
+    let spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.3 },
+        strategy: StrategyKind::NextUse,
+        ..setup::base_spec(&data)
+    };
+    let built = setup::build_engine(&spec, &data, &BuildContext::new()).unwrap();
+    assert_eq!(built.handles.len(), 1, "spec collects the oracle handle");
+    let mut engine = built.engine;
+    assert_eq!(legacy, engine.log_likelihood().unwrap());
+}
+
+#[test]
+fn ooc_engine_file_matches_spec_twin() {
+    let data = fig2_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    let limit = data.total_vector_bytes() / 4;
+    let legacy = setup::ooc_engine_file(
+        &data,
+        dir.path().join("legacy.bin"),
+        limit,
+        StrategyKind::Lru,
+    )
+    .unwrap()
+    .log_likelihood()
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::FileLimit { limit_bytes: limit },
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let twin = setup::build_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn sharded_engine_mem_matches_spec_twin() {
+    let data = fig2_dataset();
+    let legacy = setup::sharded_engine_mem(&data, 0.3, StrategyKind::Lru, 3)
+        .log_likelihood()
+        .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.3 },
+        shards: 3,
+        ..setup::base_spec(&data)
+    };
+    let twin = setup::build_engine(&spec, &data, &BuildContext::new())
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn sharded_engine_file_matches_spec_twin() {
+    let data = fig2_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    let legacy = setup::sharded_engine_file(
+        &data,
+        dir.path().join("legacy.bin"),
+        0.25,
+        StrategyKind::Lfu,
+        3,
+    )
+    .unwrap()
+    .log_likelihood()
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::File { fraction: 0.25 },
+        strategy: StrategyKind::Lfu,
+        shards: 3,
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let twin = setup::build_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn sharded_engine_file_pipelined_matches_spec_twin() {
+    let data = fig2_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    let legacy = setup::sharded_engine_file_pipelined(
+        &data,
+        dir.path().join("legacy.bin"),
+        0.25,
+        StrategyKind::Lru,
+        2,
+        2,
+        8,
+    )
+    .unwrap()
+    .log_likelihood()
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::File { fraction: 0.25 },
+        shards: 2,
+        io_threads: 2,
+        window: 8,
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let twin = setup::build_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn sharded_pipelined_engine_matches_spec_twin() {
+    let data = fig2_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    let legacy = setup::sharded_pipelined_engine(
+        &data.tree,
+        &data.comp,
+        &data.model,
+        data.spec.alpha,
+        data.spec.n_cats,
+        dir.path().join("legacy.bin"),
+        0.3,
+        StrategyKind::Lru,
+        2,
+        1,
+        8,
+    )
+    .unwrap()
+    .log_likelihood()
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::File { fraction: 0.3 },
+        shards: 2,
+        io_threads: 1,
+        window: 8,
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let twin = setup::build_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn sharded_engine_file_limit_matches_spec_twin() {
+    let data = fig2_dataset();
+    let dir = tempfile::tempdir().unwrap();
+    let limit = data.total_vector_bytes() / 3;
+    let legacy = setup::sharded_engine_file_limit(
+        &data,
+        dir.path().join("legacy.bin"),
+        limit,
+        StrategyKind::Lru,
+        2,
+    )
+    .unwrap()
+    .log_likelihood()
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::FileLimit { limit_bytes: limit },
+        shards: 2,
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let twin = setup::build_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn partitioned_engine_inram_matches_spec_twin() {
+    let data = fig2_partitioned();
+    let mut legacy = setup::partitioned_engine_inram(&data);
+    let spec = setup::base_partitioned_spec(&data); // InRam default
+    let mut twin = setup::build_partitioned_engine(&spec, &data, &BuildContext::new())
+        .unwrap()
+        .engine;
+    assert_eq!(
+        legacy.log_likelihood().unwrap(),
+        twin.log_likelihood().unwrap()
+    );
+    assert_eq!(
+        legacy.partition_lnls().unwrap(),
+        twin.partition_lnls().unwrap(),
+        "per-partition lnLs must match member for member"
+    );
+}
+
+#[test]
+fn partitioned_engine_ooc_mem_matches_spec_twin() {
+    let data = fig2_partitioned();
+    let legacy = setup::partitioned_engine_ooc_mem(&data, 0.3, StrategyKind::Lru)
+        .log_likelihood()
+        .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.3 },
+        ..setup::base_partitioned_spec(&data)
+    };
+    let twin = setup::build_partitioned_engine(&spec, &data, &BuildContext::new())
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn partitioned_engine_file_limit_matches_spec_twin() {
+    let data = fig2_partitioned();
+    let dir = tempfile::tempdir().unwrap();
+    let total: u64 = (0..data.parts.len())
+        .map(|i| data.partition_vector_bytes(i))
+        .sum();
+    let limit = total / 4;
+    let legacy = setup::partitioned_engine_file_limit(
+        &data,
+        dir.path().join("legacy.bin"),
+        limit,
+        StrategyKind::Lru,
+    )
+    .unwrap()
+    .log_likelihood()
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::FileLimit { limit_bytes: limit },
+        ..setup::base_partitioned_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let twin = setup::build_partitioned_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine
+        .log_likelihood()
+        .unwrap();
+    assert_eq!(legacy, twin);
+}
+
+#[test]
+fn partitioned_engine_sharded_pipelined_matches_spec_twin() {
+    let data = fig2_partitioned();
+    let dir = tempfile::tempdir().unwrap();
+    let mut legacy = setup::partitioned_engine_sharded_pipelined(
+        &data,
+        dir.path().join("legacy.bin"),
+        0.3,
+        StrategyKind::Lru,
+        2,
+        1,
+        8,
+    )
+    .unwrap();
+    let spec = EngineSpec {
+        residency: Residency::File { fraction: 0.3 },
+        shards: 2,
+        io_threads: 1,
+        window: 8,
+        ..setup::base_partitioned_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
+    let mut twin = setup::build_partitioned_engine(&spec, &data, &ctx)
+        .unwrap()
+        .engine;
+    assert_eq!(
+        legacy.log_likelihood().unwrap(),
+        twin.log_likelihood().unwrap()
+    );
+    assert_eq!(
+        legacy.partition_lnls().unwrap(),
+        twin.partition_lnls().unwrap()
+    );
+}
