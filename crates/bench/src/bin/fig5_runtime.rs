@@ -28,8 +28,16 @@
 //! log-likelihoods asserted bit-identical to independent serial in-RAM
 //! runs (one JSONL metrics scope per partition).
 //!
+//! A fifth part activates with `--compression`: the same out-of-core
+//! workload swept raw vs `exp` vs `exp-f32` APV compression (serial,
+//! plus one sharded + pipelined `exp` cell). `exp` log-likelihoods are
+//! asserted bit-identical to the raw run; `exp-f32` must stay within
+//! [`ooc_core::exp_f32_lnl_error_bound`]; every compressed cell must
+//! move strictly fewer bytes to disk than it holds logically (the
+//! achieved ratio is tabulated from the codec's byte histograms).
+//!
 //! ```sh
-//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--partitioned] [--metrics FILE]
+//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--partitioned] [--compression] [--metrics FILE]
 //! ```
 //!
 //! With `--metrics FILE` every real-I/O out-of-core cell (parts 1 and 3)
@@ -111,6 +119,9 @@ fn main() {
     }
     if args.flag("partitioned") {
         partitioned_smoke(&args, quick, traversals, &metrics);
+    }
+    if args.flag("compression") {
+        compression_sweep(&args, quick, traversals, &metrics);
     }
 }
 
@@ -590,6 +601,199 @@ fn partitioned_smoke(args: &Args, quick: bool, traversals: usize, metrics: &Metr
     );
     write_json(
         args.string("out-partitioned", "fig5_partitioned_results.json"),
+        &points,
+    );
+}
+
+#[derive(Serialize)]
+struct CompressionPoint {
+    mode: &'static str,
+    strategy: &'static str,
+    config: &'static str,
+    secs: f64,
+    lnl: f64,
+    lnl_delta: f64,
+    bytes_logical: u64,
+    bytes_disk: u64,
+    ratio: f64,
+}
+
+/// Part 5 (`--compression`): compressed-vs-raw sweep. One raw serial
+/// reference run, then `exp` (bit-exact) and `exp-f32` (error-bounded)
+/// cells including one sharded + pipelined `exp` configuration. The
+/// achieved compression ratio is read back from the codec's
+/// `compress/bytes-*` histograms — the same ones `metrics_check
+/// --reconcile-compression` validates when `--metrics` is on.
+fn compression_sweep(args: &Args, quick: bool, traversals: usize, metrics: &MetricsFile) {
+    use ooc_core::{exp_f32_lnl_error_bound, CompressionMode, MonotonicClock, NullSink, Recorder};
+
+    let n_taxa = args.usize("taxa", if quick { 96 } else { 256 });
+    let n_sites = args.usize("sites", if quick { 400 } else { 1500 });
+    let budget = args.u64("budget-mib", if quick { 4 } else { 32 }) * 1024 * 1024;
+    let dir = tempfile::tempdir().expect("tempdir");
+    println!(
+        "Figure 5 (compression sweep): {} taxa x {} sites, RAM budget {:.0} MiB, {} full traversals\n",
+        n_taxa,
+        n_sites,
+        budget as f64 / (1024.0 * 1024.0),
+        traversals
+    );
+
+    let spec = DatasetSpec {
+        n_taxa,
+        n_sites,
+        seed: 8192,
+        ..Default::default()
+    };
+    let data = setup::simulate_dataset(&spec);
+
+    // Raw serial reference: every compressed cell is judged against this
+    // log-likelihood.
+    let raw_spec = EngineSpec {
+        residency: Residency::FileLimit {
+            limit_bytes: budget,
+        },
+        strategy: StrategyKind::Lru,
+        ..setup::base_spec(&data)
+    };
+    let ctx = BuildContext::new().vector_path(dir.path().join("raw.bin"));
+    let mut raw = setup::build_engine(&raw_spec, &data, &ctx)
+        .expect("failed to create backing file")
+        .engine;
+    let t0 = Instant::now();
+    let lnl_raw = raw
+        .full_traversals(traversals)
+        .expect("raw OOC traversal failed");
+    let raw_secs = t0.elapsed().as_secs_f64();
+    drop(raw);
+
+    let mut points = vec![CompressionPoint {
+        mode: "none",
+        strategy: StrategyKind::Lru.label(),
+        config: "serial",
+        secs: raw_secs,
+        lnl: lnl_raw,
+        lnl_delta: 0.0,
+        bytes_logical: 0,
+        bytes_disk: 0,
+        ratio: 1.0,
+    }];
+
+    // (mode, strategy, shards, io_threads)
+    let cells = [
+        (CompressionMode::Exp, StrategyKind::Lru, 1, 0),
+        (CompressionMode::Exp, StrategyKind::NextUse, 1, 0),
+        (CompressionMode::Exp, StrategyKind::Lru, 2, 2),
+        (CompressionMode::ExpF32, StrategyKind::Lru, 1, 0),
+    ];
+    for (i, (mode, kind, shards, io_threads)) in cells.into_iter().enumerate() {
+        let config = if shards > 1 {
+            "sharded+pipelined"
+        } else {
+            "serial"
+        };
+        let cell_spec = EngineSpec {
+            compression: Some(mode),
+            strategy: kind,
+            shards,
+            io_threads,
+            ..raw_spec.clone()
+        };
+        // Always harvest the codec's byte histograms through a recorder —
+        // a JSONL-backed one under `--metrics`, a null-sink one otherwise.
+        let file_rec = metrics.recorder(format!(
+            "fig5-compression/{}/{}/{config}",
+            mode.name(),
+            kind.label()
+        ));
+        let rec = file_rec
+            .clone()
+            .unwrap_or_else(|| Recorder::new(MonotonicClock::new(), NullSink));
+        let harness = rec.clone();
+        let ctx = BuildContext::new()
+            .vector_path(dir.path().join(format!("comp_{i}.bin")))
+            .recorders(move |_| harness.clone());
+        let mut engine = setup::build_engine(&cell_spec, &data, &ctx)
+            .expect("failed to create compressed backing file")
+            .engine;
+        let t0 = Instant::now();
+        let lnl = engine
+            .full_traversals(traversals)
+            .expect("compressed OOC traversal failed");
+        let secs = t0.elapsed().as_secs_f64();
+        match mode {
+            CompressionMode::Exp => assert_eq!(
+                lnl.to_bits(),
+                lnl_raw.to_bits(),
+                "{config}/{}: exp compression must be bit-exact ({lnl} vs {lnl_raw})",
+                kind.label()
+            ),
+            CompressionMode::ExpF32 => {
+                let bound = exp_f32_lnl_error_bound(n_sites as u64, data.tree.n_inner() as u64);
+                assert!(
+                    (lnl - lnl_raw).abs() <= bound,
+                    "{config}/{}: exp-f32 |dlnl| {} exceeds the documented bound {bound}",
+                    kind.label(),
+                    (lnl - lnl_raw).abs()
+                );
+            }
+        }
+        let bytes_logical = rec
+            .histogram("compress", "bytes-logical")
+            .map_or(0, |h| h.sum_ns());
+        let bytes_disk = rec
+            .histogram("compress", "bytes-disk")
+            .map_or(0, |h| h.sum_ns());
+        assert!(
+            bytes_disk > 0 && bytes_disk < bytes_logical,
+            "{config}/{}/{}: compression must move fewer bytes than it holds \
+             ({bytes_disk} of {bytes_logical})",
+            mode.name(),
+            kind.label()
+        );
+        if let Some(rec) = &file_rec {
+            MetricsFile::finish(rec, engine.ooc_stats().as_ref());
+        }
+        points.push(CompressionPoint {
+            mode: mode.name(),
+            strategy: kind.label(),
+            config,
+            secs,
+            lnl,
+            lnl_delta: (lnl - lnl_raw).abs(),
+            bytes_logical,
+            bytes_disk,
+            ratio: bytes_logical as f64 / bytes_disk as f64,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.mode.to_string(),
+                p.strategy.to_string(),
+                p.config.to_string(),
+                secs(p.secs),
+                format!("{:.4}", p.lnl),
+                format!("{:.2e}", p.lnl_delta),
+                format!("{:.3}x", p.ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "mode", "strategy", "config", "time", "lnl", "|dlnl|", "ratio",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexp cells bit-identical to the raw run (including sharded + pipelined);\n\
+         exp-f32 within its documented lnl bound; every compressed cell moved\n\
+         strictly fewer bytes to disk than the decoded vectors hold.\n"
+    );
+    write_json(
+        args.string("out-compression", "fig5_compression_results.json"),
         &points,
     );
 }

@@ -17,6 +17,12 @@
 //!   after retries is still ONE event and ONE counted read);
 //! - manager `write-back` events == `disk_writes`.
 //!
+//! With `--reconcile-compression`, every scope carrying the codec's
+//! `compress/bytes-logical` / `compress/bytes-disk` histograms must show
+//! matching write counts and strictly fewer bytes on disk than logical
+//! (the stream must contain at least one such scope), and the summary
+//! prints the achieved ratio.
+//!
 //! ```sh
 //! cargo run --release -p ooc-bench --bin metrics_check -- metrics.jsonl
 //! ```
@@ -300,6 +306,12 @@ struct ScopeTally {
     /// Count of manager `staged-load` histogram entries (zero-copy
     /// adoptions of pipeline-staged buffers).
     staged_load_hist: u64,
+    /// Compression byte totals as `(writes, bytes)`: the codec samples
+    /// one `compress/bytes-logical` and one `compress/bytes-disk` entry
+    /// per item write, with the byte count travelling in the histogram
+    /// sum.
+    compress_logical: Option<(u64, u64)>,
+    compress_disk: Option<(u64, u64)>,
     stats: Option<(u64, u64)>, // (disk_reads, disk_writes)
     staged_loads_counter: Option<u64>,
     /// Profile (engine-spec header) records seen; at most one per scope.
@@ -370,6 +382,14 @@ fn check_hist(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
         ("manager", "demand-read") => tally.demand_read_hist_ns += sum_ns,
         ("prefetch", "stalled-read") => tally.stalled_read_hist_ns += sum_ns,
         ("manager", "staged-load") => tally.staged_load_hist += count,
+        ("compress", "bytes-logical") => {
+            let (c, s) = tally.compress_logical.unwrap_or((0, 0));
+            tally.compress_logical = Some((c + count, s + sum_ns));
+        }
+        ("compress", "bytes-disk") => {
+            let (c, s) = tally.compress_disk.unwrap_or((0, 0));
+            tally.compress_disk = Some((c + count, s + sum_ns));
+        }
         _ => {}
     }
     let min = get_u64(v, "min_ns")?;
@@ -445,7 +465,7 @@ fn check_profile(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
     Ok(())
 }
 
-fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
+fn run(path: &str, min_absorption: Option<f64>, reconcile_compression: bool) -> Result<(), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
     let mut scopes: BTreeMap<String, ScopeTally> = BTreeMap::new();
     let mut lines = 0u64;
@@ -508,6 +528,47 @@ fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
         }
     }
 
+    // Compression reconciliation (opt-in, for metered compressed smokes):
+    // the codec samples both byte histograms from the same write path, so
+    // their write counts must agree per scope, and the whole point of the
+    // codec is that fewer bytes hit the store than the decoded vectors
+    // hold — `bytes-disk` strictly below `bytes-logical`.
+    if reconcile_compression {
+        let mut compressed_scopes = 0usize;
+        for (scope, t) in &scopes {
+            let (logical, disk) = match (t.compress_logical, t.compress_disk) {
+                (None, None) => continue,
+                (Some(l), Some(d)) => (l, d),
+                _ => {
+                    return Err(format!(
+                        "scope '{scope}': compression histograms are one-sided \
+                         (bytes-logical {:?}, bytes-disk {:?})",
+                        t.compress_logical, t.compress_disk
+                    ))
+                }
+            };
+            compressed_scopes += 1;
+            if logical.0 != disk.0 {
+                return Err(format!(
+                    "scope '{scope}': {} bytes-logical writes but {} bytes-disk writes",
+                    logical.0, disk.0
+                ));
+            }
+            if logical.0 > 0 && disk.1 >= logical.1 {
+                return Err(format!(
+                    "scope '{scope}': compression moved {} bytes to disk for \
+                     {} logical bytes (no shrink)",
+                    disk.1, logical.1
+                ));
+            }
+        }
+        if compressed_scopes == 0 {
+            return Err(format!(
+                "--reconcile-compression: '{path}' carries no compress/bytes-* histograms"
+            ));
+        }
+    }
+
     // Pipeline effectiveness gate (opt-in, for metered pipeline smokes):
     // every scope must have absorbed at least the requested fraction of
     // its stall time into prefetch-wait.
@@ -538,8 +599,17 @@ fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
         } else {
             String::new()
         };
+        let compression = match (t.compress_logical, t.compress_disk) {
+            (Some((_, logical)), Some((_, disk))) if disk > 0 => {
+                format!(
+                    ", compression {:.3}x ({disk} of {logical} bytes)",
+                    logical as f64 / disk as f64
+                )
+            }
+            _ => String::new(),
+        };
         println!(
-            "  {scope}: {} events, {} histograms{absorption} — {rec}",
+            "  {scope}: {} events, {} histograms{absorption}{compression} — {rec}",
             t.events, t.hists
         );
     }
@@ -549,6 +619,7 @@ fn run(path: &str, min_absorption: Option<f64>) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut path = None;
     let mut min_absorption = None;
+    let mut reconcile_compression = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--min-prefetch-absorption" {
@@ -559,15 +630,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+        } else if arg == "--reconcile-compression" {
+            reconcile_compression = true;
         } else {
             path = Some(arg);
         }
     }
     let Some(path) = path else {
-        eprintln!("usage: metrics_check [--min-prefetch-absorption X] <metrics.jsonl>");
+        eprintln!(
+            "usage: metrics_check [--min-prefetch-absorption X] \
+             [--reconcile-compression] <metrics.jsonl>"
+        );
         return ExitCode::FAILURE;
     };
-    match run(&path, min_absorption) {
+    match run(&path, min_absorption, reconcile_compression) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("metrics_check: {e}");
@@ -648,6 +724,21 @@ mod tests {
         // An empty profile is too.
         let empty = r#"{"type":"profile","scope":"s","profile":""}"#;
         assert!(check_profile(&Parser::parse(empty).unwrap(), &mut ScopeTally::default()).is_err());
+    }
+
+    #[test]
+    fn compression_hists_feed_the_tally() {
+        let mut t = ScopeTally::default();
+        let line = r#"{"type":"hist","scope":"s","layer":"compress","op":"bytes-logical","count":3,"sum_ns":3000,"min_ns":1000,"max_ns":1000,"buckets":[[10,3]]}"#;
+        check_hist(&Parser::parse(line).unwrap(), &mut t).unwrap();
+        let line = r#"{"type":"hist","scope":"s","layer":"compress","op":"bytes-disk","count":3,"sum_ns":900,"min_ns":300,"max_ns":300,"buckets":[[9,3]]}"#;
+        check_hist(&Parser::parse(line).unwrap(), &mut t).unwrap();
+        assert_eq!(t.compress_logical, Some((3, 3000)));
+        assert_eq!(t.compress_disk, Some((3, 900)));
+        // A second dump accumulates rather than overwrites.
+        let line = r#"{"type":"hist","scope":"s","layer":"compress","op":"bytes-disk","count":1,"sum_ns":100,"min_ns":100,"max_ns":100,"buckets":[[7,1]]}"#;
+        check_hist(&Parser::parse(line).unwrap(), &mut t).unwrap();
+        assert_eq!(t.compress_disk, Some((4, 1000)));
     }
 
     #[test]

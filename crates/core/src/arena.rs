@@ -290,7 +290,21 @@ impl TenantGrant {
 
     /// How far usage exceeds the (possibly shrunk) allowance. Managers trim
     /// occupied slots until this returns to zero.
+    ///
+    /// The pair is snapshotted under the arena's rebalance lock: every
+    /// store to `allowed` happens inside `redistribute`, whose callers
+    /// hold that lock, so `allowed` cannot move between the two loads.
+    /// Two independent `Acquire` loads could interleave with a concurrent
+    /// `release` + rebalance and pair a *pre-release* `used` with a
+    /// *post-shrink* `allowed`, reporting phantom overage and triggering a
+    /// spurious fair-eviction trim.
     pub fn overage(&self) -> u64 {
+        let _allowed_frozen = self
+            .shared
+            .arena
+            .tenants
+            .lock()
+            .expect("arena lock poisoned");
         self.used_bytes().saturating_sub(self.allowed_bytes())
     }
 
@@ -488,5 +502,45 @@ mod tests {
         let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
         assert_eq!(g.used_bytes(), total);
         assert!(total <= 10_000);
+    }
+
+    /// Interleaving regression for the `overage` snapshot: the mutator
+    /// keeps the invariant `used ≤ allowed` at every instant (it charges
+    /// only while solo and releases before admitting a rival that shrinks
+    /// the allowance), so *any consistent* snapshot shows zero overage.
+    /// The old two-load implementation could pair a pre-release `used`
+    /// (800) with a post-shrink `allowed` (300) and report 500 bytes of
+    /// phantom overage — which a manager would answer with a spurious
+    /// fair-eviction trim.
+    #[test]
+    fn overage_snapshot_is_consistent_under_rebalance() {
+        use std::sync::atomic::AtomicBool;
+        let arena = SlotArena::new(1000).unwrap();
+        let a = arena.admit("a", 900, 300).unwrap();
+        a.charge_forced(300); // the tenant's permanent floor (≤ its min)
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let a = a.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checks = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    assert_eq!(a.overage(), 0, "phantom overage from a torn snapshot");
+                    checks += 1;
+                }
+                checks
+            })
+        };
+        for _ in 0..2000 {
+            a.charge_forced(500); // solo: allowed is 900, used peaks at 800
+            a.release(500);
+            // Admitting `b` shrinks a's allowance to its 300-byte min —
+            // legal only because `a` released first.
+            let b = arena.admit("b", 700, 700).unwrap();
+            drop(b);
+        }
+        stop.store(true, Ordering::Release);
+        let checks = reader.join().unwrap();
+        assert!(checks > 0, "reader must actually race the rebalances");
     }
 }

@@ -24,6 +24,10 @@
 //!   ([`store::FileStore`]), several files ([`store::MultiFileStore`],
 //!   §3.2's alternative), in-memory ([`store::MemStore`]) for measuring pure
 //!   miss rates, and a no-op store for access-pattern replay.
+//! * [`compress`] — scale-exponent-aware APV compression behind the store
+//!   trait ([`CompressingStore`]): shared-exponent headers, a site-block
+//!   alias table for repeated columns, and an opt-in error-bounded
+//!   `f32`-mantissa mode, shrinking the bytes every backend moves.
 //! * read skipping (§3.4): vectors known a priori to be overwritten on
 //!   first access are swapped in without reading the file.
 //! * [`diskmodel`] — a virtual-clock disk cost model so paper-scale (32 GB)
@@ -42,6 +46,7 @@
 pub mod aligned;
 pub mod arena;
 pub mod cancel;
+pub mod compress;
 pub mod diskmodel;
 pub mod error;
 pub mod fault;
@@ -59,6 +64,10 @@ pub mod tiered;
 pub use aligned::{AlignedBuf, APV_ALIGN};
 pub use arena::{AdmissionError, ArenaCounters, SlotArena, TenantGrant};
 pub use cancel::{CancelToken, CancellingStore};
+pub use compress::{
+    compressed_capacity_f64s, exp_f32_lnl_error_bound, exp_f32_rel_error_bound,
+    round_to_f32_mantissa, CompressingStore, CompressionCounters, CompressionMode,
+};
 pub use diskmodel::{DiskModel, ModeledStore};
 pub use error::{OocError, OocOp, OocResult};
 pub use fault::{FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FaultStats};

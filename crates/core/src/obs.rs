@@ -381,13 +381,29 @@ pub struct StallAttribution {
 
 impl StallAttribution {
     /// Everything not attributed to a top-level stall: kernel compute plus
-    /// unmeasured bookkeeping.
+    /// unmeasured bookkeeping. Clamped at zero; [`StallAttribution::overflow_ns`]
+    /// reports how much the clamp swallowed.
     pub fn compute_ns(&self) -> u64 {
         self.wall_ns
             .saturating_sub(self.demand_read_ns)
             .saturating_sub(self.write_back_ns)
             .saturating_sub(self.prefetch_wait_ns)
             .saturating_sub(self.barrier_wait_ns)
+    }
+
+    /// How far the top-level stall totals exceed the wall time — the
+    /// negative residual that `compute_ns` silently clamps away. Nonzero
+    /// means the attribution double-counted (overlapping spans) or the
+    /// wall interval missed part of the measured work; either way the
+    /// report is inconsistent and [`Recorder::attribution`] flags it with
+    /// an `obs/attribution-overflow` sample.
+    pub fn overflow_ns(&self) -> u64 {
+        let attributed = self
+            .demand_read_ns
+            .saturating_add(self.write_back_ns)
+            .saturating_add(self.prefetch_wait_ns)
+            .saturating_add(self.barrier_wait_ns);
+        attributed.saturating_sub(self.wall_ns)
     }
 
     /// Fraction of wall time in `[0, 1]` (0 when wall time is zero).
@@ -877,15 +893,27 @@ impl Recorder {
     }
 
     /// The stall-attribution report for a phase that took `wall_ns`.
+    ///
+    /// If the top-level stall totals exceed the wall time, the negative
+    /// compute residual would previously be clamped to zero with no
+    /// trace; such over-attribution is now recorded as an
+    /// `obs/attribution-overflow` sample carrying the excess nanoseconds,
+    /// so `metrics_check` and tests can assert it never happens on healthy
+    /// runs.
     pub fn attribution(&self, wall_ns: u64) -> StallAttribution {
-        StallAttribution {
+        let att = StallAttribution {
             wall_ns,
             demand_read_ns: self.kind_ns(StallKind::DemandRead),
             write_back_ns: self.kind_ns(StallKind::WriteBack),
             barrier_wait_ns: self.kind_ns(StallKind::BarrierWait),
             prefetch_wait_ns: self.kind_ns(StallKind::PrefetchWait),
             retry_backoff_ns: self.kind_ns(StallKind::RetryBackoff),
+        };
+        let overflow = att.overflow_ns();
+        if overflow > 0 {
+            self.sample("obs", "attribution-overflow", overflow);
         }
+        att
     }
 
     /// Forward a counter snapshot to the sink (the reconciliation record:

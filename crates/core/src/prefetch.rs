@@ -500,6 +500,14 @@ impl<S: BackingStore> BackingStore for PrefetchingStore<S> {
 
     fn install_read_plan(&mut self, first_reads: &[ItemId], window: usize) -> bool {
         if window == 0 || self.sender.is_none() || !self.worker_alive() {
+            // Declining is still a re-plan: the previous plan's stream
+            // bookkeeping must not survive into the hint-mode fallback,
+            // where stale `plan_pos` ordinals (compared against a reset
+            // compute cursor) would inflate the window-lag gauge on every
+            // subsequent take_staged().
+            let mut st = self.shared.staging.lock();
+            st.plan_pos.clear();
+            st.consumed_upto = 0;
             return false;
         }
         let generation = {
@@ -1113,6 +1121,42 @@ mod tests {
         // drain() also waits for the folded write-backs.
         assert_eq!(s.writes_folded.load(Ordering::Relaxed), 16);
         assert_eq!(s.writes_completed.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn window_lag_resets_after_declined_replan() {
+        use crate::obs::{ManualClock, NullSink, Recorder};
+        let dir = tempfile::tempdir().unwrap();
+        let (main, worker) = file_pair(dir.path(), 8, 4);
+        let mut store = PrefetchingStore::new(main, worker, 8, 4);
+        for i in 0..8u32 {
+            store.write(i, &[i as f64; 4]).unwrap();
+        }
+        store.flush().unwrap();
+        // Stream a 6-item plan to completion: staging now holds items
+        // 0..6 with plan ordinals 0..6 and the compute cursor at 0.
+        assert!(store.install_read_plan(&[0, 1, 2, 3, 4, 5], 2));
+        store.drain();
+        let rec1 = Recorder::new(ManualClock::new(), NullSink);
+        store.set_recorder(rec1.clone());
+        assert!(store.take_staged(0).is_some());
+        let lag1 = rec1.histogram("prefetch", "window-lag").unwrap();
+        assert!(lag1.max_ns() > 0, "mid-plan the stream leads the cursor");
+        // Re-plan through the declining path (window 0): the pipeline
+        // refuses, the caller falls back to hints — and the old plan's
+        // ordinals must not leak into the gauge.
+        assert!(!store.install_read_plan(&[6, 7], 0));
+        store.hint(&[6]);
+        store.drain();
+        let rec2 = Recorder::new(ManualClock::new(), NullSink);
+        store.set_recorder(rec2.clone());
+        assert!(store.take_staged(6).is_some());
+        let lag2 = rec2.histogram("prefetch", "window-lag").unwrap();
+        assert_eq!(
+            lag2.max_ns(),
+            0,
+            "stale plan_pos from before the re-plan inflated window-lag"
+        );
     }
 
     /// A store whose reads block on a gate until the test opens it, and

@@ -32,6 +32,14 @@ pub(crate) fn as_bytes_mut(data: &mut [f64]) -> &mut [u8] {
 /// `item` indices are dense in `0..n_items`; every vector has the same
 /// width, fixed at store construction. Reading an item that was never
 /// written is a logic error the store may detect.
+///
+/// **Prefix transfers**: per-item `read`/`write` accept buffers *shorter*
+/// than the store width and transfer only `buf.len()` leading entries of
+/// the item's slot (a write leaves the slot's tail unspecified; a
+/// subsequent read must not ask for more than was written). This is what
+/// lets a compression wrapper ([`crate::CompressingStore`]) move only the
+/// encoded payload bytes through an inner store sized for the
+/// worst-case capacity. Batch transfers remain full-width per item.
 pub trait BackingStore {
     /// Read the vector of `item` into `buf`.
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()>;
@@ -181,10 +189,10 @@ impl MemStore {
 
 impl BackingStore for MemStore {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
-        debug_assert_eq!(buf.len(), self.width);
+        debug_assert!(buf.len() <= self.width);
         match &self.items[item as usize] {
             Some(data) => {
-                buf.copy_from_slice(data);
+                buf.copy_from_slice(&data[..buf.len()]);
                 Ok(())
             }
             None => Err(io::Error::new(
@@ -195,10 +203,16 @@ impl BackingStore for MemStore {
     }
 
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
-        debug_assert_eq!(buf.len(), self.width);
+        debug_assert!(buf.len() <= self.width);
         match &mut self.items[item as usize] {
-            Some(data) => data.copy_from_slice(buf),
-            slot @ None => *slot = Some(AlignedBuf::from_slice(buf)),
+            Some(data) => data[..buf.len()].copy_from_slice(buf),
+            slot @ None => {
+                // Prefix writes still allocate the full slot so a later
+                // full-width read (or wider prefix) stays in bounds.
+                let mut data = AlignedBuf::zeroed(self.width);
+                data[..buf.len()].copy_from_slice(buf);
+                *slot = Some(data);
+            }
         }
         Ok(())
     }
@@ -308,14 +322,14 @@ impl FileStore {
 
 impl BackingStore for FileStore {
     fn read(&mut self, item: ItemId, buf: &mut [f64]) -> io::Result<()> {
-        debug_assert_eq!(buf.len(), self.width);
+        debug_assert!(buf.len() <= self.width);
         use std::os::unix::fs::FileExt;
         self.file
             .read_exact_at(as_bytes_mut(buf), self.offset(item))
     }
 
     fn write(&mut self, item: ItemId, buf: &[f64]) -> io::Result<()> {
-        debug_assert_eq!(buf.len(), self.width);
+        debug_assert!(buf.len() <= self.width);
         use std::os::unix::fs::FileExt;
         self.file.write_all_at(as_bytes(buf), self.offset(item))
     }

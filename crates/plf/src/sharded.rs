@@ -35,8 +35,8 @@
 //! byte ranges of one file, accessed by positioned I/O). The pipeline
 //! moves bytes earlier but never changes them, so the determinism
 //! argument above is untouched — pipelined shards remain bit-identical
-//! to the serial engine. See `setup::sharded_engine_file_pipelined` in
-//! the facade crate for the canonical wiring.
+//! to the serial engine. The canonical wiring is an `EngineSpec` with
+//! `Residency::File`, `shards > 1` and `io_threads > 0`.
 
 use crate::brlen::{newton_optimize, smoothing_order};
 use crate::kernels::{Dims, KernelBackend};

@@ -39,9 +39,10 @@ use crate::sharded::ShardedPlfEngine;
 use crate::store_api::{AncestralStore, InRamStore, OocStore, PagedStore};
 use crate::{KernelBackend, PlfEngine};
 use ooc_core::{
-    split_budget, validate_byte_budget, BackingStore, CancelToken, CancellingStore, FileStore,
-    MemStore, OocConfig, OocResult, PrefetchingStore, Recorder, ShardSpec, StrategyKind,
-    TenantGrant, VectorManager, DEFAULT_PREFETCH_WINDOW,
+    compressed_capacity_f64s, split_budget, validate_byte_budget, BackingStore, CancelToken,
+    CancellingStore, CompressingStore, CompressionMode, FileStore, MemStore, OocConfig, OocResult,
+    PrefetchingStore, Recorder, ShardSpec, StrategyKind, TenantGrant, VectorManager,
+    DEFAULT_PREFETCH_WINDOW,
 };
 use phylo_models::ReversibleModel;
 use phylo_seq::CompressedAlignment;
@@ -258,6 +259,13 @@ pub struct EngineSpec {
     pub read_skipping: bool,
     /// Write every evicted vector back even if clean.
     pub always_write_back: bool,
+    /// Scale-exponent-aware APV compression behind the backing store
+    /// (`None` = raw `f64`s). Requires a managed residency — slots hold
+    /// decoded vectors, so in-RAM and OS-paged runs have nothing to
+    /// compress. [`CompressionMode::Exp`] is bit-exact;
+    /// [`CompressionMode::ExpF32`] is error-bounded
+    /// (see [`ooc_core::exp_f32_lnl_error_bound`]).
+    pub compression: Option<CompressionMode>,
 }
 
 impl Default for EngineSpec {
@@ -273,6 +281,7 @@ impl Default for EngineSpec {
             n_cats: 4,
             read_skipping: true,
             always_write_back: false,
+            compression: None,
         }
     }
 }
@@ -430,6 +439,15 @@ impl EngineSpec {
                 self.residency.name()
             )));
         }
+        if self.compression.is_some()
+            && matches!(self.residency, Residency::InRam | Residency::Paged { .. })
+        {
+            return Err(SpecError(format!(
+                "compression requires a managed residency \
+                 (ooc-mem | file | file-limit), got '{}'",
+                self.residency.name()
+            )));
+        }
         Ok(())
     }
 
@@ -475,6 +493,41 @@ impl EngineSpec {
             }
         }
         Ok((want, min))
+    }
+
+    /// Backing-store demand of this spec over the given data:
+    /// `(logical, reserved)` bytes. `logical` is the raw `f64` footprint
+    /// of every managed vector; `reserved` is what the backing store
+    /// provisions — equal when uncompressed, the worst-case encoded
+    /// capacity under [`EngineSpec::compression`] otherwise (actual
+    /// on-disk traffic is reported at run time through the
+    /// `compress/bytes-disk` metric and normally sits far below
+    /// `logical`). Non-managed residencies (in-RAM, paged) keep no
+    /// backing store and report `(0, 0)`.
+    pub fn disk_demand(
+        &self,
+        tree: &Tree,
+        parts: &[PartSpec<'_>],
+    ) -> Result<(u64, u64), SpecError> {
+        self.validate()?;
+        if matches!(self.residency, Residency::InRam | Residency::Paged { .. }) {
+            return Ok((0, 0));
+        }
+        let n_items = tree.n_inner() as u64;
+        let mut logical = 0u64;
+        let mut reserved = 0u64;
+        for part in parts {
+            let stride = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats).site_stride();
+            for width in self.manager_widths(part.comp) {
+                logical += n_items * width as u64 * 8;
+                let cap = match self.compression {
+                    Some(mode) => compressed_capacity_f64s(width, stride, mode),
+                    None => width,
+                };
+                reserved += n_items * cap as u64 * 8;
+            }
+        }
+        Ok((logical, reserved))
     }
 
     /// Per-partition resident slot counts the spec resolves to — the
@@ -637,6 +690,39 @@ impl EngineSpec {
         }
     }
 
+    /// The width one manager's *inner* backing store is created with: the
+    /// logical width raw, or the worst-case encoded capacity under
+    /// [`EngineSpec::compression`].
+    fn backing_width(&self, width: usize, stride: usize) -> usize {
+        match self.compression {
+            Some(mode) => compressed_capacity_f64s(width, stride, mode),
+            None => width,
+        }
+    }
+
+    /// An in-memory backing store for one manager, compressed per the
+    /// spec and type-erased.
+    fn mem_store(
+        &self,
+        n_items: usize,
+        width: usize,
+        stride: usize,
+        ctx: &BuildContext,
+        rec: Option<&Recorder>,
+    ) -> DynStore {
+        match self.compression {
+            Some(mode) => {
+                let inner = MemStore::new(n_items, self.backing_width(width, stride));
+                let mut cs = CompressingStore::new(inner, n_items, width, stride, mode);
+                if let Some(r) = rec {
+                    cs.set_recorder(r.clone());
+                }
+                Self::finish_store(cs, ctx)
+            }
+            None => Self::finish_store(MemStore::new(n_items, width), ctx),
+        }
+    }
+
     /// One manager over a type-erased store.
     fn manager(
         &self,
@@ -696,13 +782,15 @@ impl EngineSpec {
                 Box::new(self.assemble(tree, part, store, rec))
             }
             Residency::OocMem { .. } => {
+                let stride =
+                    PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats).site_stride();
                 if self.shards > 1 {
                     let (spec, widths) = self.shard_layout(part.comp);
                     let stores = widths
                         .iter()
                         .map(|&w| {
                             let cfg = self.ooc_config(n_items, w, partition_budget)?;
-                            let store = Self::finish_store(MemStore::new(n_items, w), ctx);
+                            let store = self.mem_store(n_items, w, stride, ctx, rec.as_ref());
                             Ok(OocStore::new(self.manager(
                                 cfg,
                                 tree,
@@ -718,7 +806,7 @@ impl EngineSpec {
                     let dims = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats);
                     let w = dims.width();
                     let cfg = self.ooc_config(n_items, w, partition_budget)?;
-                    let store = Self::finish_store(MemStore::new(n_items, w), ctx);
+                    let store = self.mem_store(n_items, w, stride, ctx, rec.as_ref());
                     let ooc =
                         OocStore::new(self.manager(cfg, tree, store, ctx, handles, rec.as_ref()));
                     Box::new(self.assemble(tree, part, ooc, rec))
@@ -727,9 +815,17 @@ impl EngineSpec {
             Residency::File { .. } | Residency::FileLimit { .. } => {
                 let base = ctx.vector_path.as_deref().expect("checked in build");
                 let path = part_path(base);
+                let stride =
+                    PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats).site_stride();
                 if self.shards > 1 {
                     let (spec, widths) = self.shard_layout(part.comp);
-                    let regions = FileStore::create_regions(&path, n_items, &widths)
+                    // Regions are provisioned at the (worst-case) encoded
+                    // capacity; the manager still sees logical widths.
+                    let file_widths: Vec<usize> = widths
+                        .iter()
+                        .map(|&w| self.backing_width(w, stride))
+                        .collect();
+                    let regions = FileStore::create_regions(&path, n_items, &file_widths)
                         .map_err(|e| vector_file_error(&path, e))?;
                     let stores = regions
                         .into_iter()
@@ -737,7 +833,7 @@ impl EngineSpec {
                         .map(|(region, &w)| {
                             let cfg = self.ooc_config(n_items, w, partition_budget)?;
                             let store =
-                                self.pipeline_store(region, n_items, w, ctx, rec.as_ref())?;
+                                self.pipeline_store(region, n_items, w, stride, ctx, rec.as_ref())?;
                             Ok(OocStore::new(self.manager(
                                 cfg,
                                 tree,
@@ -753,9 +849,9 @@ impl EngineSpec {
                     let dims = PlfEngine::<InRamStore>::dims_for(part.comp, self.n_cats);
                     let w = dims.width();
                     let cfg = self.ooc_config(n_items, w, partition_budget)?;
-                    let file = FileStore::create(&path, n_items, w)
+                    let file = FileStore::create(&path, n_items, self.backing_width(w, stride))
                         .map_err(|e| vector_file_error(&path, e))?;
-                    let store = self.pipeline_store(file, n_items, w, ctx, rec.as_ref())?;
+                    let store = self.pipeline_store(file, n_items, w, stride, ctx, rec.as_ref())?;
                     let ooc =
                         OocStore::new(self.manager(cfg, tree, store, ctx, handles, rec.as_ref()));
                     Box::new(self.assemble(tree, part, ooc, rec))
@@ -776,21 +872,51 @@ impl EngineSpec {
         (spec, widths)
     }
 
-    /// Wrap a shard's file store in the prefetch pipeline (when
-    /// `io_threads > 0`) and type-erase it.
+    /// Wrap a shard's file store in the spec's compression codec and the
+    /// prefetch pipeline (when `io_threads > 0`) and type-erase it. The
+    /// codec sits *below* the pipeline: prefetch staging holds decoded
+    /// vectors and worker threads decode off the demand path, each through
+    /// its own scratch-buffered [`CompressingStore`] clone.
     fn pipeline_store(
         &self,
         store: FileStore,
         n_items: usize,
         width: usize,
+        stride: usize,
         ctx: &BuildContext,
         rec: Option<&Recorder>,
     ) -> Result<DynStore, SpecError> {
+        match self.compression {
+            Some(mode) => {
+                let mut cs = CompressingStore::new(store, n_items, width, stride, mode);
+                if let Some(r) = rec {
+                    cs.set_recorder(r.clone());
+                }
+                self.pipeline_any(cs, CompressingStore::try_clone, n_items, width, ctx, rec)
+            }
+            None => self.pipeline_any(store, FileStore::try_clone, n_items, width, ctx, rec),
+        }
+    }
+
+    /// Pipeline any cloneable store: `io_threads` worker handles from
+    /// `clone_fn`, or a bare type-erased store when the pipeline is off.
+    fn pipeline_any<S>(
+        &self,
+        store: S,
+        clone_fn: impl Fn(&S) -> std::io::Result<S>,
+        n_items: usize,
+        width: usize,
+        ctx: &BuildContext,
+        rec: Option<&Recorder>,
+    ) -> Result<DynStore, SpecError>
+    where
+        S: BackingStore + Send + 'static,
+    {
         if self.io_threads == 0 {
             return Ok(Self::finish_store(store, ctx));
         }
         let workers = (0..self.io_threads)
-            .map(|_| store.try_clone())
+            .map(|_| clone_fn(&store))
             .collect::<std::io::Result<Vec<_>>>()?;
         let mut pipelined = PrefetchingStore::with_pool(store, workers, n_items, width);
         if let Some(r) = rec {
@@ -898,6 +1024,10 @@ impl EngineSpec {
         out.push_str(&format!("n_cats = {}\n", self.n_cats));
         out.push_str(&format!("read_skipping = {}\n", self.read_skipping));
         out.push_str(&format!("always_write_back = {}\n", self.always_write_back));
+        out.push_str(&format!(
+            "compression = \"{}\"\n",
+            self.compression.map_or("none", |m| m.name())
+        ));
         out
     }
 
@@ -954,7 +1084,7 @@ impl EngineSpec {
                 .transpose()
         };
 
-        const KNOWN: [&str; 13] = [
+        const KNOWN: [&str; 14] = [
             "residency",
             "fraction",
             "limit_bytes",
@@ -968,6 +1098,7 @@ impl EngineSpec {
             "alpha",
             "n_cats",
             "read_skipping",
+            "compression",
         ];
         for (key, _) in &keys {
             if !KNOWN.contains(&key.as_str()) && key != "always_write_back" {
@@ -1055,6 +1186,16 @@ impl EngineSpec {
         if let Some(v) = parse_bool("always_write_back")? {
             spec.always_write_back = v;
         }
+        if let Some(name) = find("compression") {
+            spec.compression = match name {
+                "none" | "" => None,
+                other => Some(CompressionMode::from_name(other).ok_or_else(|| {
+                    SpecError(format!(
+                        "unknown compression '{other}': expected none | exp | exp-f32"
+                    ))
+                })?),
+            };
+        }
         spec.validate()?;
         Ok(spec)
     }
@@ -1097,6 +1238,17 @@ mod tests {
                 residency: Residency::Paged {
                     phys_bytes: 1 << 16,
                 },
+                ..Default::default()
+            },
+            EngineSpec {
+                residency: Residency::File { fraction: 0.3 },
+                compression: Some(CompressionMode::Exp),
+                io_threads: 1,
+                ..Default::default()
+            },
+            EngineSpec {
+                residency: Residency::OocMem { fraction: 0.5 },
+                compression: Some(CompressionMode::ExpF32),
                 ..Default::default()
             },
         ]
@@ -1160,5 +1312,26 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.validate().is_err());
+        // Compression has no managed store to live behind for in-RAM or
+        // OS-paged residencies.
+        let bad = EngineSpec {
+            compression: Some(CompressionMode::Exp),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EngineSpec {
+            residency: Residency::Paged { phys_bytes: 4096 },
+            compression: Some(CompressionMode::ExpF32),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn from_toml_rejects_unknown_compression() {
+        let err =
+            EngineSpec::from_toml("residency = \"file\"\nfraction = 0.5\ncompression = \"zip\"\n")
+                .unwrap_err();
+        assert!(err.to_string().contains("unknown compression"));
     }
 }

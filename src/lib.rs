@@ -62,14 +62,11 @@ pub use phylo_tree as tree;
 pub mod setup {
     //! Canonical experiment setups shared by examples, tests and benches.
 
-    use ooc_core::{
-        split_budget, FileStore, MemStore, OocConfig, PrefetchingStore, ShardSpec, StrategyKind,
-        VectorManager,
-    };
+    use ooc_core::StrategyKind;
     use phylo_models::{DiscreteGamma, ReversibleModel};
     use phylo_plf::{
-        BuildContext, BuiltEngine, EngineSpec, InRamStore, OocStore, PagedStore, PartSpec,
-        PartitionedPlfEngine, PlfEngine, ShardedPlfEngine, SharedTree, SpecError, TreeOracle,
+        BuildContext, BuiltEngine, EngineSpec, InRamStore, PagedStore, PartSpec, PlfEngine,
+        SharedTree, SpecError, TreeOracle,
     };
     use phylo_seq::{compress_patterns, simulate_alignment, CompressedAlignment, PartitionKind};
     use phylo_tree::build::{random_topology, yule_like_lengths};
@@ -220,295 +217,6 @@ pub mod setup {
         spec.build(&data.tree, &part_specs(data), ctx)
     }
 
-    /// Out-of-core engine with an in-memory backing store (for measuring
-    /// miss rates, which are independent of the I/O medium) holding a
-    /// fraction `f` of vectors in RAM slots.
-    #[deprecated(
-        note = "construct via `EngineSpec` (`Residency::OocMem`) and `setup::build_engine`"
-    )]
-    #[allow(deprecated)]
-    pub fn ooc_engine_mem(
-        data: &Dataset,
-        f: f64,
-        kind: StrategyKind,
-    ) -> PlfEngine<OocStore<MemStore>> {
-        ooc_engine_mem_with_handle(data, f, kind).0
-    }
-
-    /// As [`ooc_engine_mem`] but also returning the Topological strategy's
-    /// shared-tree handle for refreshes during searches.
-    #[deprecated(
-        note = "construct via `EngineSpec`; `BuiltEngine::handles` carries the oracle handles"
-    )]
-    pub fn ooc_engine_mem_with_handle(
-        data: &Dataset,
-        f: f64,
-        kind: StrategyKind,
-    ) -> (PlfEngine<OocStore<MemStore>>, Option<SharedTree>) {
-        let cfg = OocConfig::builder(data.n_items(), data.width())
-            .fraction(f)
-            .build()
-            .expect("valid out-of-core config");
-        let (strategy, handle) = build_strategy(kind, &data.tree);
-        let manager =
-            VectorManager::new(cfg, strategy, MemStore::new(data.n_items(), data.width()));
-        let engine = PlfEngine::new(
-            data.tree.clone(),
-            &data.comp,
-            data.model.clone(),
-            data.spec.alpha,
-            data.spec.n_cats,
-            OocStore::new(manager),
-        );
-        (engine, handle)
-    }
-
-    /// Out-of-core engine over a real single binary file (the paper's
-    /// primary configuration), limited to `limit_bytes` of slot RAM (the
-    /// paper's `-L` flag). Fails if the backing file cannot be created.
-    #[deprecated(
-        note = "construct via `EngineSpec` (`Residency::FileLimit`) and `setup::build_engine`"
-    )]
-    pub fn ooc_engine_file<P: AsRef<Path>>(
-        data: &Dataset,
-        path: P,
-        limit_bytes: u64,
-        kind: StrategyKind,
-    ) -> std::io::Result<PlfEngine<OocStore<FileStore>>> {
-        let cfg = OocConfig::builder(data.n_items(), data.width())
-            .byte_limit(limit_bytes)
-            .build()
-            .expect("valid out-of-core config");
-        let (strategy, _) = build_strategy(kind, &data.tree);
-        let store = FileStore::create(path, data.n_items(), data.width())?;
-        let manager = VectorManager::new(cfg, strategy, store);
-        Ok(PlfEngine::new(
-            data.tree.clone(),
-            &data.comp,
-            data.model.clone(),
-            data.spec.alpha,
-            data.spec.n_cats,
-            OocStore::new(manager),
-        ))
-    }
-
-    /// Sharded out-of-core engine with per-shard in-memory backing stores:
-    /// the pattern columns are split into `n_shards` contiguous ranges,
-    /// each managed by its own `VectorManager` holding a fraction `f` of
-    /// its vectors in RAM slots, executed in parallel. Log-likelihoods are
-    /// bit-identical to the serial engines.
-    #[deprecated(note = "construct via `EngineSpec` (`Residency::OocMem`, `shards > 1`)")]
-    pub fn sharded_engine_mem(
-        data: &Dataset,
-        f: f64,
-        kind: StrategyKind,
-        n_shards: usize,
-    ) -> ShardedPlfEngine<OocStore<MemStore>> {
-        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
-        let dims =
-            ShardedPlfEngine::<OocStore<MemStore>>::shard_dims(&data.comp, data.spec.n_cats, &spec);
-        let stores = dims
-            .iter()
-            .map(|d| {
-                let cfg = OocConfig::builder(data.n_items(), d.width())
-                    .fraction(f)
-                    .build()
-                    .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, &data.tree);
-                OocStore::new(VectorManager::new(
-                    cfg,
-                    strategy,
-                    MemStore::new(data.n_items(), d.width()),
-                ))
-            })
-            .collect();
-        ShardedPlfEngine::new(
-            data.tree.clone(),
-            &data.comp,
-            data.model.clone(),
-            data.spec.alpha,
-            data.spec.n_cats,
-            spec,
-            stores,
-        )
-    }
-
-    /// Sharded out-of-core engine over one backing file split into
-    /// disjoint per-shard regions (`FileStore::create_regions`), each
-    /// shard's manager holding a fraction `f` of its vectors in RAM.
-    /// Fails if the backing file cannot be created.
-    #[deprecated(note = "construct via `EngineSpec` (`Residency::File`, `shards > 1`)")]
-    pub fn sharded_engine_file<P: AsRef<Path>>(
-        data: &Dataset,
-        path: P,
-        f: f64,
-        kind: StrategyKind,
-        n_shards: usize,
-    ) -> std::io::Result<ShardedPlfEngine<OocStore<FileStore>>> {
-        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
-        let dims = ShardedPlfEngine::<OocStore<FileStore>>::shard_dims(
-            &data.comp,
-            data.spec.n_cats,
-            &spec,
-        );
-        let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
-        let regions = FileStore::create_regions(path, data.n_items(), &widths)?;
-        let stores = regions
-            .into_iter()
-            .zip(&widths)
-            .map(|(store, &w)| {
-                let cfg = OocConfig::builder(data.n_items(), w)
-                    .fraction(f)
-                    .build()
-                    .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, &data.tree);
-                OocStore::new(VectorManager::new(cfg, strategy, store))
-            })
-            .collect();
-        Ok(ShardedPlfEngine::new(
-            data.tree.clone(),
-            &data.comp,
-            data.model.clone(),
-            data.spec.alpha,
-            data.spec.n_cats,
-            spec,
-            stores,
-        ))
-    }
-
-    /// As [`sharded_engine_file`] but with each shard's region store
-    /// wrapped in a plan-driven [`PrefetchingStore`] pipeline driven by
-    /// `io_threads` dedicated I/O workers per shard. Worker handles are
-    /// [`FileStore::try_clone`]s of the shard's own region, so staged
-    /// reads and folded write-backs act on exactly the bytes the shard
-    /// owns; log-likelihoods remain bit-identical to the serial engines
-    /// because the pipeline only changes *when* bytes move, never their
-    /// values. `io_threads == 0` degenerates to unpipelined shards.
-    #[deprecated(note = "construct via `EngineSpec` (`Residency::File`, `shards`, `io_threads`)")]
-    #[allow(deprecated)]
-    pub fn sharded_engine_file_pipelined<P: AsRef<Path>>(
-        data: &Dataset,
-        path: P,
-        f: f64,
-        kind: StrategyKind,
-        n_shards: usize,
-        io_threads: usize,
-        window: usize,
-    ) -> std::io::Result<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>> {
-        sharded_pipelined_engine(
-            &data.tree,
-            &data.comp,
-            &data.model,
-            data.spec.alpha,
-            data.spec.n_cats,
-            path,
-            f,
-            kind,
-            n_shards,
-            io_threads,
-            window,
-        )
-    }
-
-    /// The pipelined-sharded wiring over explicit parts — what
-    /// [`sharded_engine_file_pipelined`] and the per-partition constructors
-    /// ([`partitioned_engine_sharded_pipelined`]) share: one backing file
-    /// split into per-shard regions, each wrapped in a plan-driven
-    /// [`PrefetchingStore`] with `io_threads` worker handles.
-    #[deprecated(note = "construct via `EngineSpec` (`Residency::File`, `shards`, `io_threads`)")]
-    #[allow(clippy::too_many_arguments)]
-    pub fn sharded_pipelined_engine<P: AsRef<Path>>(
-        tree: &Tree,
-        comp: &CompressedAlignment,
-        model: &ReversibleModel,
-        alpha: f64,
-        n_cats: usize,
-        path: P,
-        f: f64,
-        kind: StrategyKind,
-        n_shards: usize,
-        io_threads: usize,
-        window: usize,
-    ) -> std::io::Result<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>> {
-        let n_items = tree.n_inner();
-        let spec = ShardSpec::even(comp.n_patterns(), n_shards);
-        let dims = ShardedPlfEngine::<OocStore<PrefetchingStore<FileStore>>>::shard_dims(
-            comp, n_cats, &spec,
-        );
-        let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
-        let regions = FileStore::create_regions(path, n_items, &widths)?;
-        let stores = regions
-            .into_iter()
-            .zip(&widths)
-            .map(|(store, &w)| {
-                let workers = (0..io_threads.max(1))
-                    .map(|_| store.try_clone())
-                    .collect::<std::io::Result<Vec<_>>>()?;
-                let pipelined = PrefetchingStore::with_pool(store, workers, n_items, w);
-                let cfg = OocConfig::builder(n_items, w)
-                    .fraction(f)
-                    .prefetch_window(window)
-                    .build()
-                    .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, tree);
-                Ok(OocStore::new(VectorManager::new(cfg, strategy, pipelined)))
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
-        Ok(ShardedPlfEngine::new(
-            tree.clone(),
-            comp,
-            model.clone(),
-            alpha,
-            n_cats,
-            spec,
-            stores,
-        ))
-    }
-
-    /// As [`sharded_engine_file`] but with the paper's `-L` byte budget
-    /// instead of a fraction: `limit_bytes` of slot RAM is divided evenly
-    /// across the shards, so the sharded run respects the same total
-    /// memory ceiling as the serial run it is compared against.
-    #[deprecated(note = "construct via `EngineSpec` (`Residency::FileLimit`, `shards > 1`)")]
-    pub fn sharded_engine_file_limit<P: AsRef<Path>>(
-        data: &Dataset,
-        path: P,
-        limit_bytes: u64,
-        kind: StrategyKind,
-        n_shards: usize,
-    ) -> std::io::Result<ShardedPlfEngine<OocStore<FileStore>>> {
-        let spec = ShardSpec::even(data.comp.n_patterns(), n_shards);
-        let dims = ShardedPlfEngine::<OocStore<FileStore>>::shard_dims(
-            &data.comp,
-            data.spec.n_cats,
-            &spec,
-        );
-        let widths: Vec<usize> = dims.iter().map(|d| d.width()).collect();
-        let regions = FileStore::create_regions(path, data.n_items(), &widths)?;
-        let per_shard = (limit_bytes / n_shards as u64).max(1);
-        let stores = regions
-            .into_iter()
-            .zip(&widths)
-            .map(|(store, &w)| {
-                let cfg = OocConfig::builder(data.n_items(), w)
-                    .byte_limit(per_shard)
-                    .build()
-                    .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, &data.tree);
-                OocStore::new(VectorManager::new(cfg, strategy, store))
-            })
-            .collect();
-        Ok(ShardedPlfEngine::new(
-            data.tree.clone(),
-            &data.comp,
-            data.model.clone(),
-            data.spec.alpha,
-            data.spec.n_cats,
-            spec,
-            stores,
-        ))
-    }
-
     /// One block of a partitioned dataset: a named data partition with its
     /// own alphabet/model over the shared tree.
     pub struct PartitionPart {
@@ -595,11 +303,6 @@ pub mod setup {
         }
     }
 
-    /// Partition names in spec order (for [`PartitionedPlfEngine::new`]).
-    fn partition_names(data: &PartitionedDataset) -> Vec<String> {
-        data.parts.iter().map(|p| p.name.clone()).collect()
-    }
-
     /// The partitioned dataset as [`PartSpec`]s for [`EngineSpec::build`].
     pub fn partitioned_part_specs(data: &PartitionedDataset) -> Vec<PartSpec<'_>> {
         data.parts
@@ -630,160 +333,6 @@ pub mod setup {
         ctx: &BuildContext,
     ) -> Result<BuiltEngine, SpecError> {
         spec.build(&data.tree, &partitioned_part_specs(data), ctx)
-    }
-
-    /// Partitioned engine with every member fully in RAM.
-    #[deprecated(note = "construct via `EngineSpec` and `setup::build_partitioned_engine`")]
-    pub fn partitioned_engine_inram(
-        data: &PartitionedDataset,
-    ) -> PartitionedPlfEngine<PlfEngine<InRamStore>> {
-        let parts = data
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let store = InRamStore::new(data.tree.n_inner(), data.width(i));
-                PlfEngine::new(
-                    data.tree.clone(),
-                    &p.comp,
-                    p.model.clone(),
-                    data.alpha,
-                    data.n_cats,
-                    store,
-                )
-            })
-            .collect();
-        PartitionedPlfEngine::new(parts, partition_names(data))
-    }
-
-    /// Partitioned out-of-core engine with per-partition in-memory backing
-    /// stores, each member's manager holding a fraction `f` of that
-    /// partition's vectors in RAM slots.
-    #[deprecated(
-        note = "construct via `EngineSpec` (`Residency::OocMem`) and `setup::build_partitioned_engine`"
-    )]
-    pub fn partitioned_engine_ooc_mem(
-        data: &PartitionedDataset,
-        f: f64,
-        kind: StrategyKind,
-    ) -> PartitionedPlfEngine<PlfEngine<OocStore<MemStore>>> {
-        let n_items = data.tree.n_inner();
-        let parts = data
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let w = data.width(i);
-                let cfg = OocConfig::builder(n_items, w)
-                    .fraction(f)
-                    .build()
-                    .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, &data.tree);
-                let manager = VectorManager::new(cfg, strategy, MemStore::new(n_items, w));
-                PlfEngine::new(
-                    data.tree.clone(),
-                    &p.comp,
-                    p.model.clone(),
-                    data.alpha,
-                    data.n_cats,
-                    OocStore::new(manager),
-                )
-            })
-            .collect();
-        PartitionedPlfEngine::new(parts, partition_names(data))
-    }
-
-    /// Partitioned out-of-core engine over one backing file per partition
-    /// under the paper's `-L` byte budget: `limit_bytes` of slot RAM is
-    /// split across the partitions *proportionally to their vector
-    /// footprints* ([`ooc_core::split_budget`]) — a codon partition gets
-    /// ~15× the slots of an equal-length DNA partition, so all partitions
-    /// see comparable residency pressure. Partition `i`'s file is
-    /// `<path>.p<i>`.
-    #[deprecated(
-        note = "construct via `EngineSpec` (`Residency::FileLimit`) and `setup::build_partitioned_engine`"
-    )]
-    pub fn partitioned_engine_file_limit<P: AsRef<Path>>(
-        data: &PartitionedDataset,
-        path: P,
-        limit_bytes: u64,
-        kind: StrategyKind,
-    ) -> std::io::Result<PartitionedPlfEngine<PlfEngine<OocStore<FileStore>>>> {
-        let n_items = data.tree.n_inner();
-        let weights: Vec<u64> = (0..data.parts.len())
-            .map(|i| data.partition_vector_bytes(i))
-            .collect();
-        let budgets = split_budget(limit_bytes, &weights);
-        let parts = data
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let w = data.width(i);
-                let file = path.as_ref().with_extension(format!("p{i}"));
-                let store = FileStore::create(file, n_items, w)?;
-                let cfg = OocConfig::builder(n_items, w)
-                    .byte_limit(budgets[i].max(1))
-                    .build()
-                    .expect("valid out-of-core config");
-                let (strategy, _) = build_strategy(kind, &data.tree);
-                Ok(PlfEngine::new(
-                    data.tree.clone(),
-                    &p.comp,
-                    p.model.clone(),
-                    data.alpha,
-                    data.n_cats,
-                    OocStore::new(VectorManager::new(cfg, strategy, store)),
-                ))
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
-        Ok(PartitionedPlfEngine::new(parts, partition_names(data)))
-    }
-
-    /// Partitioned engine whose members are *pipelined sharded* engines:
-    /// each partition owns one backing file (`<path>.p<i>`) split into
-    /// `n_shards` regions, every region wrapped in the plan-driven
-    /// [`PrefetchingStore`] I/O pipeline — the full PR-6 residency stack,
-    /// per partition. Per-partition log-likelihoods stay bit-identical to
-    /// independent serial in-RAM runs (pipelines move bytes earlier, never
-    /// change them; shard reductions fold in serial pattern order).
-    #[deprecated(
-        note = "construct via `EngineSpec` (`Residency::File`, `shards`, `io_threads`) and `setup::build_partitioned_engine`"
-    )]
-    #[allow(deprecated)]
-    #[allow(clippy::too_many_arguments)]
-    pub fn partitioned_engine_sharded_pipelined<P: AsRef<Path>>(
-        data: &PartitionedDataset,
-        path: P,
-        f: f64,
-        kind: StrategyKind,
-        n_shards: usize,
-        io_threads: usize,
-        window: usize,
-    ) -> std::io::Result<
-        PartitionedPlfEngine<ShardedPlfEngine<OocStore<PrefetchingStore<FileStore>>>>,
-    > {
-        let parts = data
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                sharded_pipelined_engine(
-                    &data.tree,
-                    &p.comp,
-                    &p.model,
-                    data.alpha,
-                    data.n_cats,
-                    path.as_ref().with_extension(format!("p{i}")),
-                    f,
-                    kind,
-                    n_shards,
-                    io_threads,
-                    window,
-                )
-            })
-            .collect::<std::io::Result<Vec<_>>>()?;
-        Ok(PartitionedPlfEngine::new(parts, partition_names(data)))
     }
 
     /// Standard engine whose vectors live in a demand-paged arena with

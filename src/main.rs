@@ -12,7 +12,7 @@
 //! Omitting it runs the standard all-in-RAM implementation.
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
-use phylo_ooc::ooc::{Recorder, StrategyKind, DEFAULT_PREFETCH_WINDOW};
+use phylo_ooc::ooc::{CompressionMode, Recorder, StrategyKind, DEFAULT_PREFETCH_WINDOW};
 use phylo_ooc::plf::{
     BuildContext, EngineSpec, KernelBackend, LikelihoodEngine, PartSpec, Residency,
 };
@@ -102,6 +102,10 @@ OPTIONS:
                     0 = synchronous I/O on the compute thread [default: 0]
   --window W        plan lookahead window in vectors, per pipeline buffer
                     (also drives hint-based prefetch)       [default: 16]
+  --compression M   APV compression behind the backing store:
+                    none | exp (shared-exponent, bit-exact) | exp-f32
+                    (f32 mantissas, error-bounded); needs an out-of-core
+                    residency (--memory)                [default: none]
   --stats           print out-of-core statistics
   --metrics FILE    write a JSONL observability stream (per-op latency
                     events, histograms, counters) and print a stall
@@ -369,6 +373,13 @@ fn cli_spec(opts: &Opts, seed: u64) -> Result<EngineSpec, String> {
     } else {
         opts.usize("io-threads", 0)?
     };
+    let compression = match opts.get("compression") {
+        None | Some("none") => None,
+        Some(name) => Some(
+            CompressionMode::from_name(name)
+                .ok_or_else(|| format!("bad --compression {name:?}: none | exp | exp-f32"))?,
+        ),
+    };
     Ok(EngineSpec {
         residency,
         strategy: parse_strategy(opts.get("strategy"), seed)?,
@@ -378,6 +389,7 @@ fn cli_spec(opts: &Opts, seed: u64) -> Result<EngineSpec, String> {
         kernel: parse_kernel(opts)?,
         alpha: opts.f64_opt("alpha")?.unwrap_or(0.8),
         n_cats: 4,
+        compression,
         ..EngineSpec::default()
     })
 }

@@ -1,0 +1,210 @@
+//! Compression-equivalence suite for the scale-aware APV codec behind
+//! the store layer. `compression = "exp"` is a lossless re-encoding
+//! (shared-exponent blocks + full 52-bit mantissas), so every managed
+//! residency — serial or sharded, in-memory, file or file-limit backing,
+//! pipelined or not — must stay bit-identical to the uncompressed run
+//! for every replacement strategy. `compression = "exp-f32"` rounds
+//! mantissas to 23 bits; its log-likelihood error must stay within the
+//! documented `exp_f32_lnl_error_bound`.
+
+mod common;
+
+use phylo_ooc::ooc::{exp_f32_lnl_error_bound, CompressionMode, StrategyKind};
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
+use phylo_ooc::setup::{self, DatasetSpec};
+
+const STRATEGIES: [StrategyKind; 5] = [
+    StrategyKind::Random { seed: 3 },
+    StrategyKind::Lru,
+    StrategyKind::Lfu,
+    StrategyKind::Topological,
+    StrategyKind::NextUse,
+];
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        n_taxa: 20,
+        n_sites: 170, // odd: uneven shard widths when sharded
+        seed: 20260809,
+        ..Default::default()
+    }
+}
+
+fn lnl(spec: &EngineSpec, data: &setup::Dataset, ctx: &BuildContext) -> f64 {
+    setup::build_engine(spec, data, ctx)
+        .unwrap()
+        .engine
+        .full_traversals(2)
+        .unwrap()
+}
+
+#[test]
+fn exp_compression_bit_identical_across_strategies() {
+    let data = setup::simulate_dataset(&spec());
+    let dir = tempfile::tempdir().unwrap();
+    let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
+
+    for kind in STRATEGIES {
+        let raw = EngineSpec {
+            residency: Residency::File { fraction: 0.3 },
+            strategy: kind,
+            ..setup::base_spec(&data)
+        };
+        let exp = EngineSpec {
+            compression: Some(CompressionMode::Exp),
+            ..raw.clone()
+        };
+        let ctx_raw =
+            BuildContext::new().vector_path(dir.path().join(format!("{}-raw.bin", kind.label())));
+        let ctx_exp =
+            BuildContext::new().vector_path(dir.path().join(format!("{}-exp.bin", kind.label())));
+        let a = lnl(&raw, &data, &ctx_raw);
+        let b = lnl(&exp, &data, &ctx_exp);
+        assert_eq!(a.to_bits(), reference.to_bits(), "raw {}", kind.label());
+        assert_eq!(
+            b.to_bits(),
+            reference.to_bits(),
+            "exp must be bit-identical to raw (strategy {})",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn exp_compression_bit_identical_across_residencies() {
+    let data = setup::simulate_dataset(&spec());
+    let dir = tempfile::tempdir().unwrap();
+    let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
+    let base = setup::base_spec(&data);
+
+    let cells: Vec<(&str, EngineSpec, Option<&str>)> = vec![
+        (
+            "ooc-mem",
+            EngineSpec {
+                residency: Residency::OocMem { fraction: 0.4 },
+                compression: Some(CompressionMode::Exp),
+                ..base.clone()
+            },
+            None,
+        ),
+        (
+            "file-limit",
+            EngineSpec {
+                residency: Residency::FileLimit {
+                    limit_bytes: data.total_vector_bytes() / 3,
+                },
+                compression: Some(CompressionMode::Exp),
+                ..base.clone()
+            },
+            Some("limit.bin"),
+        ),
+        (
+            "sharded",
+            EngineSpec {
+                residency: Residency::File { fraction: 0.3 },
+                shards: 3,
+                compression: Some(CompressionMode::Exp),
+                ..base.clone()
+            },
+            Some("sharded.bin"),
+        ),
+        (
+            "sharded-pipelined",
+            EngineSpec {
+                residency: Residency::File { fraction: 0.3 },
+                shards: 2,
+                io_threads: 2,
+                window: 8,
+                compression: Some(CompressionMode::Exp),
+                ..base.clone()
+            },
+            Some("piped.bin"),
+        ),
+        (
+            "serial-pipelined",
+            EngineSpec {
+                residency: Residency::File { fraction: 0.3 },
+                io_threads: 1,
+                window: 8,
+                compression: Some(CompressionMode::Exp),
+                ..base.clone()
+            },
+            Some("serial-piped.bin"),
+        ),
+    ];
+
+    for (label, cell, path) in cells {
+        let ctx = match path {
+            Some(p) => BuildContext::new().vector_path(dir.path().join(p)),
+            None => BuildContext::new(),
+        };
+        let got = lnl(&cell, &data, &ctx);
+        assert_eq!(
+            got.to_bits(),
+            reference.to_bits(),
+            "{label}: exp-compressed lnl diverged"
+        );
+    }
+}
+
+#[test]
+fn exp_f32_stays_within_documented_lnl_bound() {
+    let data = setup::simulate_dataset(&spec());
+    let reference = setup::inram_engine(&data).full_traversals(2).unwrap();
+    let lossy = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.3 },
+        compression: Some(CompressionMode::ExpF32),
+        ..setup::base_spec(&data)
+    };
+    let got = lnl(&lossy, &data, &BuildContext::new());
+    let bound = exp_f32_lnl_error_bound(data.spec.n_sites as u64, data.tree.n_inner() as u64);
+    let delta = (got - reference).abs();
+    assert!(
+        delta <= bound,
+        "exp-f32 |Δlnl| = {delta:e} exceeds the documented bound {bound:e}"
+    );
+    assert!(got.is_finite() && got < 0.0);
+}
+
+#[test]
+fn compressed_search_matches_uncompressed_topology() {
+    use phylo_ooc::search::{hill_climb, SearchConfig};
+    use phylo_ooc::tree::write_newick;
+    let data = setup::simulate_dataset(&DatasetSpec {
+        n_taxa: 14,
+        n_sites: 120,
+        seed: 99,
+        ..Default::default()
+    });
+    let cfg = SearchConfig {
+        spr_radius: 3,
+        max_rounds: 1,
+        optimize_model: false,
+        seed: 11,
+        ..Default::default()
+    };
+    let mut plain = common::ooc_mem(&data, 0.3, StrategyKind::Lru);
+    let plain_stats = hill_climb(&mut plain, &cfg).unwrap();
+
+    let spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.3 },
+        compression: Some(CompressionMode::Exp),
+        ..setup::base_spec(&data)
+    };
+    let mut packed = setup::build_engine(&spec, &data, &BuildContext::new())
+        .unwrap()
+        .engine;
+    let packed_stats = hill_climb(&mut packed, &cfg).unwrap();
+
+    assert_eq!(
+        plain_stats.final_lnl.to_bits(),
+        packed_stats.final_lnl.to_bits()
+    );
+    assert_eq!(plain_stats.spr_applied, packed_stats.spr_applied);
+    let names = data.comp.alignment.names().to_vec();
+    assert_eq!(
+        write_newick(plain.tree(), &names),
+        write_newick(packed.tree(), &names),
+        "compression must not alter the search trajectory"
+    );
+}

@@ -1,8 +1,7 @@
 //! End-to-end workflows across the whole stack: simulate → write/read
 //! standard formats → build engines → search → export the tree.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
+mod common;
 
 use phylo_ooc::models::{DiscreteGamma, ReversibleModel};
 use phylo_ooc::ooc::StrategyKind;
@@ -163,7 +162,7 @@ fn nni_polish_after_spr_search() {
         seed: 8,
         ..Default::default()
     });
-    let mut engine = setup::ooc_engine_mem(&data, 0.5, StrategyKind::Lru);
+    let mut engine = common::ooc_mem(&data, 0.5, StrategyKind::Lru);
     let cfg = SearchConfig {
         spr_radius: 3,
         max_rounds: 1,

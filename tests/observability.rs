@@ -4,13 +4,11 @@
 //! write-back vs prefetch-wait vs compute) can be asserted to the
 //! nanosecond for a scripted access plan — no timers, no tolerance.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
-
 use phylo_ooc::ooc::{
     AccessPlan, AccessRecord, BackingStore, Event, ItemId, ManualClock, MemStore, MemorySink,
     OocConfig, PrefetchingStore, Recorder, StallKind, StrategyKind, VectorManager,
 };
+use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
 use phylo_ooc::setup::{self, DatasetSpec};
 use std::io;
 use std::sync::atomic::Ordering;
@@ -111,6 +109,9 @@ fn scripted_plan_attributes_stalls_exactly() {
     assert_eq!(attr.demand_read_ns, READ_NS);
     assert_eq!(attr.write_back_ns, 4 * WRITE_NS);
     assert_eq!(attr.compute_ns(), 0);
+    // A consistent report never over-attributes: no overflow sample.
+    assert_eq!(attr.overflow_ns(), 0);
+    assert!(rec.histogram("obs", "attribution-overflow").is_none());
 
     // Events reconcile with the counters: one per successful transfer,
     // none for hits/misses/evictions (histogram-only).
@@ -379,20 +380,68 @@ fn engine_traversal_events_reconcile_with_stats() {
         seed: 17,
         ..Default::default()
     });
-    let (mut engine, _handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, StrategyKind::Lru);
-
     let (sink, events) = MemorySink::new();
     let rec = Recorder::new(ManualClock::new(), sink);
-    engine.store_mut().manager_mut().set_recorder(rec.clone());
-    engine.set_recorder(rec.clone());
+
+    let spec = EngineSpec {
+        residency: Residency::OocMem { fraction: 0.25 },
+        strategy: StrategyKind::Lru,
+        ..setup::base_spec(&data)
+    };
+    let handout = rec.clone();
+    let ctx = BuildContext::new().recorders(move |_| handout.clone());
+    let mut engine = setup::build_engine(&spec, &data, &ctx).unwrap().engine;
 
     engine.full_traversals(2).unwrap();
 
-    let stats = *engine.store().manager().stats();
+    let stats = engine.ooc_stats().expect("managed engine reports stats");
     let events = events.lock().clone();
     assert!(count(&events, "plf", "combine-batch") >= 1);
     assert_eq!(count(&events, "manager", "demand-read"), stats.disk_reads);
     assert_eq!(count(&events, "manager", "write-back"), stats.disk_writes);
     assert!(stats.miss_rate().is_finite());
     assert!(stats.read_rate().is_finite());
+}
+
+/// Satellite of the attribution fix: when the attributed stall totals
+/// exceed the wall interval (overlapping spans, or a wall clock that
+/// missed part of the measured work), the negative compute residual used
+/// to be clamped to zero silently. It must now surface as an
+/// `obs/attribution-overflow` sample carrying the excess nanoseconds.
+#[test]
+fn over_attribution_emits_overflow_sample() {
+    let clock = ManualClock::new();
+    let (sink, _events) = MemorySink::new();
+    let rec = Recorder::new(clock.clone(), sink);
+
+    let cfg = OocConfig::builder(4, WIDTH).slots(3).build().unwrap();
+    let mut mgr = VectorManager::new(cfg, StrategyKind::Lru.build(None), sim_store(&clock, 4));
+    mgr.set_recorder(rec.clone());
+
+    // Four writes into three slots: one eviction write-back, WRITE_NS of
+    // attributed stall on the manual clock.
+    let v = [1.0; WIDTH];
+    for item in 0..4 {
+        mgr.write_vector(item, &v).unwrap();
+    }
+    assert_eq!(rec.kind_ns(StallKind::WriteBack), WRITE_NS);
+
+    // Attribute against a wall interval shorter than the stall total —
+    // the classic "timer started late" inconsistency.
+    let wall = WRITE_NS / 2;
+    let attr = rec.attribution(wall);
+    assert_eq!(attr.compute_ns(), 0, "residual is clamped");
+    assert_eq!(attr.overflow_ns(), WRITE_NS - wall);
+
+    let overflow = rec
+        .histogram("obs", "attribution-overflow")
+        .expect("over-attribution must leave a trace");
+    assert_eq!(overflow.count(), 1);
+    assert_eq!(overflow.sum_ns(), WRITE_NS - wall);
+
+    // A consistent re-report does not add to the counter.
+    let ok = rec.attribution(2 * WRITE_NS);
+    assert_eq!(ok.overflow_ns(), 0);
+    let overflow = rec.histogram("obs", "attribution-overflow").unwrap();
+    assert_eq!(overflow.count(), 1);
 }

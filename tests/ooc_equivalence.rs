@@ -8,10 +8,10 @@
 //! replacement strategy and memory fraction, for plain evaluation, full
 //! traversals, smoothing and whole searches.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
+mod common;
 
 use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::{BuildContext, EngineSpec, Residency};
 use phylo_ooc::search::{hill_climb, SearchConfig};
 use phylo_ooc::setup::{self, DatasetSpec};
 use phylo_ooc::tree::write_newick;
@@ -42,7 +42,7 @@ fn likelihood_identical_across_strategies_and_fractions() {
 
     for kind in STRATEGIES {
         for f in [0.25, 0.5, 0.75] {
-            let mut ooc = setup::ooc_engine_mem(&data, f, kind);
+            let mut ooc = common::ooc_mem(&data, f, kind);
             let lnl = ooc.log_likelihood().unwrap();
             assert_eq!(
                 reference.to_bits(),
@@ -62,12 +62,22 @@ fn minimum_slots_still_exact() {
     let reference = standard.full_traversals(2).unwrap();
     for n_slots in [3usize, 5] {
         let f = n_slots as f64 / data.n_items() as f64;
-        let mut ooc = setup::ooc_engine_mem(&data, f, StrategyKind::Random { seed: 1 });
-        assert_eq!(ooc.store().manager().config().n_slots, n_slots);
+        let engine_spec = EngineSpec {
+            residency: Residency::OocMem { fraction: f },
+            strategy: StrategyKind::Random { seed: 1 },
+            ..setup::base_spec(&data)
+        };
+        let resolved = engine_spec
+            .slot_counts(&data.tree, &setup::part_specs(&data))
+            .unwrap();
+        assert_eq!(resolved, vec![Some(n_slots)]);
+        let mut ooc = setup::build_engine(&engine_spec, &data, &BuildContext::new())
+            .unwrap()
+            .engine;
         let lnl = ooc.full_traversals(2).unwrap();
         assert_eq!(reference.to_bits(), lnl.to_bits(), "{n_slots} slots");
         assert!(
-            ooc.store().manager().stats().miss_rate() > 0.3,
+            ooc.ooc_stats().unwrap().miss_rate() > 0.3,
             "tiny slot counts should miss a lot"
         );
     }
@@ -77,14 +87,13 @@ fn minimum_slots_still_exact() {
 fn file_store_matches_mem_store() {
     let data = setup::simulate_dataset(&spec());
     let dir = tempfile::tempdir().unwrap();
-    let mut mem = setup::ooc_engine_mem(&data, 0.3, StrategyKind::Lru);
-    let mut file = setup::ooc_engine_file(
+    let mut mem = common::ooc_mem(&data, 0.3, StrategyKind::Lru);
+    let mut file = common::ooc_file(
         &data,
-        dir.path().join("v.bin"),
+        &dir.path().join("v.bin"),
         data.total_vector_bytes() * 3 / 10,
         StrategyKind::Lru,
-    )
-    .unwrap();
+    );
     let a = mem.full_traversals(3).unwrap();
     let b = file.full_traversals(3).unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
@@ -115,7 +124,7 @@ fn paged_arena_matches_standard() {
 fn smoothing_identical_out_of_core() {
     let data = setup::simulate_dataset(&spec());
     let mut standard = setup::inram_engine(&data);
-    let mut ooc = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru);
+    let mut ooc = common::ooc_mem(&data, 0.25, StrategyKind::Lru);
     let a = standard.smooth_branches(2, 12).unwrap();
     let b = ooc.smooth_branches(2, 12).unwrap();
     assert_eq!(a.to_bits(), b.to_bits());
@@ -140,7 +149,7 @@ fn whole_search_identical_out_of_core() {
     let std_stats = hill_climb(&mut standard, &cfg).unwrap();
 
     for kind in STRATEGIES {
-        let (mut ooc, handle) = setup::ooc_engine_mem_with_handle(&data, 0.25, kind);
+        let (mut ooc, handle) = common::ooc_mem_with_handle(&data, 0.25, kind);
         let ooc_stats = hill_climb(&mut ooc, &cfg).unwrap();
         if let Some(h) = handle {
             h.update(ooc.tree());

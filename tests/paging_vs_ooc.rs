@@ -4,10 +4,10 @@
 //! (c) the paging baseline's fault count must grow with memory pressure as
 //! reported in the paper's §4.3.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
+mod common;
 
 use phylo_ooc::ooc::StrategyKind;
+use phylo_ooc::plf::LikelihoodEngine;
 use phylo_ooc::setup::{self, DatasetSpec};
 
 fn spec() -> DatasetSpec {
@@ -29,15 +29,14 @@ fn same_budget_same_result_fewer_ops() {
     let lnl_paged = paged.full_traversals(3).unwrap();
     let pstats = *paged.store().arena().stats();
 
-    let mut ooc = setup::ooc_engine_file(
+    let mut ooc = common::ooc_file(
         &data,
-        dir.path().join("vectors.bin"),
+        &dir.path().join("vectors.bin"),
         budget as u64,
         StrategyKind::Lru,
-    )
-    .unwrap();
+    );
     let lnl_ooc = ooc.full_traversals(3).unwrap();
-    let ostats = *ooc.store().manager().stats();
+    let ostats = ooc.ooc_stats().expect("managed engine reports stats");
 
     assert_eq!(lnl_paged.to_bits(), lnl_ooc.to_bits());
     assert!(pstats.major_faults > 0, "baseline must be paging");
@@ -87,9 +86,9 @@ fn ooc_io_scales_with_misses_not_touches() {
         seed: 3,
         ..Default::default()
     });
-    let mut fits = setup::ooc_engine_mem(&data, 1.0, StrategyKind::Lru);
+    let mut fits = common::ooc_mem(&data, 1.0, StrategyKind::Lru);
     let _ = fits.full_traversals(4).unwrap();
-    let stats = fits.store().manager().stats();
+    let stats = fits.ooc_stats().expect("managed engine reports stats");
     assert_eq!(
         stats.miss_rate() * stats.requests as f64,
         stats.misses as f64

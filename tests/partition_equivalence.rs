@@ -6,11 +6,10 @@
 //! engines never exchange data; only scalar (lnL, d1, d2) reductions are
 //! shared, so this is exact equality, not a tolerance.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
+mod common;
 
 use phylo_ooc::ooc::StrategyKind;
-use phylo_ooc::plf::{InRamStore, LikelihoodEngine, PlfEngine};
+use phylo_ooc::plf::{InRamStore, LikelihoodEngine, PartitionedPlfEngine, PlfEngine};
 use phylo_ooc::seq::PartitionKind;
 use phylo_ooc::setup::{self, DatasetSpec, PartitionedDataset};
 
@@ -34,6 +33,29 @@ fn mixed_data() -> PartitionedDataset {
             (PartitionKind::Codon, 20),
         ],
     )
+}
+
+/// Typed all-in-RAM partitioned engine, built directly so the tests can
+/// reach member trees (`part(i)`) — access the spec layer erases.
+fn inram_partitioned(data: &PartitionedDataset) -> PartitionedPlfEngine<PlfEngine<InRamStore>> {
+    let parts = data
+        .parts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let store = InRamStore::new(data.tree.n_inner(), data.width(i));
+            PlfEngine::new(
+                data.tree.clone(),
+                &p.comp,
+                p.model.clone(),
+                data.alpha,
+                data.n_cats,
+                store,
+            )
+        })
+        .collect();
+    let names = data.parts.iter().map(|p| p.name.clone()).collect();
+    PartitionedPlfEngine::new(parts, names)
 }
 
 /// Each partition as its own standalone serial in-RAM analysis — the
@@ -75,11 +97,11 @@ fn partitioned_lnls_bit_identical_across_residency_backends() {
     let reference = independent_serial_lnls(&data);
     let dir = tempfile::tempdir().expect("tempdir");
 
-    let mut inram = setup::partitioned_engine_inram(&data);
+    let mut inram = inram_partitioned(&data);
     inram.log_likelihood().expect("in-RAM traversal");
     assert_bitwise(&inram.partition_lnls().unwrap(), &reference, "inram");
 
-    let mut ooc_mem = setup::partitioned_engine_ooc_mem(&data, 0.3, StrategyKind::Lru);
+    let mut ooc_mem = common::partitioned_ooc_mem(&data, 0.3, StrategyKind::Lru);
     ooc_mem.log_likelihood().expect("OOC-mem traversal");
     assert_bitwise(&ooc_mem.partition_lnls().unwrap(), &reference, "ooc-mem");
 
@@ -88,28 +110,26 @@ fn partitioned_lnls_bit_identical_across_residency_backends() {
     let total: u64 = (0..data.parts.len())
         .map(|i| data.partition_vector_bytes(i))
         .sum();
-    let mut file = setup::partitioned_engine_file_limit(
+    let mut file = common::partitioned_file_limit(
         &data,
-        dir.path().join("vectors.bin"),
+        &dir.path().join("vectors.bin"),
         total / 3,
         StrategyKind::NextUse,
-    )
-    .expect("backing files");
+    );
     file.log_likelihood().expect("OOC-file traversal");
     assert_bitwise(&file.partition_lnls().unwrap(), &reference, "ooc-file");
 
     // The full PR-6 residency stack per partition: sharded members over
     // plan-driven double-buffered prefetching file stores.
-    let mut piped = setup::partitioned_engine_sharded_pipelined(
+    let mut piped = common::partitioned_sharded_pipelined(
         &data,
-        dir.path().join("piped.bin"),
+        &dir.path().join("piped.bin"),
         0.3,
         StrategyKind::Lru,
         3,
         2,
         8,
-    )
-    .expect("pipelined backing files");
+    );
     piped.log_likelihood().expect("pipelined traversal");
     assert_bitwise(
         &piped.partition_lnls().unwrap(),
@@ -129,14 +149,13 @@ fn joint_optimisation_stays_in_lockstep_across_backends() {
     let data = mixed_data();
     let dir = tempfile::tempdir().expect("tempdir");
 
-    let mut inram = setup::partitioned_engine_inram(&data);
-    let mut file = setup::partitioned_engine_file_limit(
+    let mut inram = inram_partitioned(&data);
+    let mut file = common::partitioned_file_limit(
         &data,
-        dir.path().join("opt.bin"),
+        &dir.path().join("opt.bin"),
         u64::MAX / 2, // generous budget; residency must not matter anyway
         StrategyKind::Lru,
-    )
-    .expect("backing files");
+    );
 
     let lnl0 = inram.log_likelihood().unwrap();
     let s_inram = inram.smooth_branches(2, 8).expect("smoothing");

@@ -5,8 +5,7 @@
 //! likelihoods bit-identical to the in-RAM reference, and the residency
 //! statistics must stay internally consistent.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
+mod common;
 
 use phylo_ooc::ooc::{
     FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, FileStore, OocConfig, OocStats,
@@ -192,16 +191,8 @@ fn sharded_pipelines_bit_identical_and_stats_merge() {
     for k in [2, 4] {
         for window in [1, 8] {
             let path = dir.path().join(format!("sharded-{k}-{window}.bin"));
-            let mut engine = setup::sharded_engine_file_pipelined(
-                &data,
-                &path,
-                0.25,
-                StrategyKind::Lru,
-                k,
-                1,
-                window,
-            )
-            .unwrap();
+            let mut engine =
+                common::sharded_file_windowed(&data, &path, 0.25, StrategyKind::Lru, k, 1, window);
             let lnl = engine.log_likelihood().unwrap();
             assert_eq!(
                 lnl.to_bits(),
@@ -209,7 +200,7 @@ fn sharded_pipelines_bit_identical_and_stats_merge() {
                 "{k} shards, window {window}: sharded pipeline changed the likelihood"
             );
             let merged = engine
-                .merged_ooc_stats()
+                .ooc_stats()
                 .expect("sharded OOC engine reports merged stats");
             assert_stats_consistent(&merged, &format!("{k} shards, window {window}"));
             assert!(

@@ -3,8 +3,7 @@
 //! per-shard residency statistics exactly, and keep both properties
 //! under injected store faults with a retry layer.
 
-// The legacy constructors stay under test until they are removed.
-#![allow(deprecated)]
+mod common;
 
 use phylo_ooc::ooc::{
     BackingStore, FaultInjectingStore, FaultKind, FaultOp, FaultPlan, FaultRule, MemStore,
@@ -25,7 +24,7 @@ fn spec() -> DatasetSpec {
 }
 
 /// Sharded engine over arbitrary per-shard backing stores built by `mk`
-/// (the setup helpers only cover Mem/File stores).
+/// (the spec layer only covers Mem/File stores).
 fn sharded_over<S, F>(data: &setup::Dataset, k: usize, mut mk: F) -> ShardedPlfEngine<OocStore<S>>
 where
     S: BackingStore + Send,
@@ -61,14 +60,13 @@ fn sharded_likelihood_bit_identical_for_all_shard_counts() {
     let reference = setup::inram_engine(&data)
         .log_likelihood()
         .expect("in-RAM reference cannot fail");
-    let serial = setup::ooc_engine_mem(&data, 0.25, StrategyKind::Lru)
+    let serial = common::ooc_mem(&data, 0.25, StrategyKind::Lru)
         .log_likelihood()
         .expect("serial OOC traversal failed");
     assert_eq!(serial.to_bits(), reference.to_bits());
 
     for k in SHARD_COUNTS {
-        let mut sharded = setup::sharded_engine_mem(&data, 0.25, StrategyKind::Lru, k);
-        assert_eq!(sharded.n_shards(), k);
+        let mut sharded = common::sharded_mem(&data, 0.25, StrategyKind::Lru, k);
         let lnl = sharded.log_likelihood().expect("sharded traversal failed");
         assert_eq!(
             lnl.to_bits(),
@@ -87,14 +85,14 @@ fn sharded_file_regions_bit_identical_to_serial() {
         .expect("in-RAM reference cannot fail");
 
     for k in SHARD_COUNTS {
-        let mut sharded = setup::sharded_engine_file(
+        let mut sharded = common::sharded_file(
             &data,
-            dir.path().join(format!("shards_{k}.bin")),
+            &dir.path().join(format!("shards_{k}.bin")),
             0.25,
             StrategyKind::Lru,
             k,
-        )
-        .expect("failed to create sharded backing file");
+            0,
+        );
         let lnl = sharded
             .log_likelihood()
             .expect("sharded file traversal failed");
@@ -109,7 +107,7 @@ fn sharded_search_operations_bit_identical_to_serial() {
     // follow exactly the serial engine's floating-point trajectory.
     let data = setup::simulate_dataset(&spec());
     let mut serial = setup::inram_engine(&data);
-    let mut sharded = setup::sharded_engine_mem(&data, 0.25, StrategyKind::Lru, 4);
+    let mut sharded = common::sharded_mem(&data, 0.25, StrategyKind::Lru, 4);
 
     let h = serial.tree().branches().next().expect("tree has branches");
     let (z_s, l_s) = serial.optimize_branch(h, 16).expect("serial NR failed");
@@ -130,7 +128,8 @@ fn sharded_search_operations_bit_identical_to_serial() {
 #[test]
 fn merged_stats_equal_sum_of_per_shard_stats() {
     let data = setup::simulate_dataset(&spec());
-    let mut sharded = setup::sharded_engine_mem(&data, 0.25, StrategyKind::Lru, 4);
+    let n_items = data.n_items();
+    let mut sharded = sharded_over(&data, 4, |width| MemStore::new(n_items, width));
     sharded.full_traversals(3).expect("traversals failed");
 
     let merged = sharded.merged_ooc_stats().expect("merged stats");

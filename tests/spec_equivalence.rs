@@ -1,10 +1,9 @@
-//! Satellite of the `EngineSpec` redesign: every deprecated `setup::`
-//! constructor and its spec-built twin must produce bit-identical
-//! log-likelihoods on a fig2-sized dataset. Residency, sharding and
-//! pipelining never change computed values — so a declarative spec that
-//! resolves to the same wiring must reproduce the legacy constructor's
-//! lnL exactly (`assert_eq!` on `f64`, no tolerance).
-#![allow(deprecated)]
+//! Spec-resolution equivalence: every wiring `EngineSpec` can resolve to
+//! — serial/sharded, in-memory/file/file-limit backing, pipelined or not,
+//! partitioned or not — must produce log-likelihoods bit-identical to the
+//! plain in-RAM engine on a fig2-sized dataset. Residency, sharding and
+//! pipelining never change computed values, so this is `assert_eq!` on
+//! `f64`, no tolerance.
 
 use ooc_core::StrategyKind;
 use phylo_ooc::plf::{BuildContext, EngineSpec, LikelihoodEngine, Residency};
@@ -36,30 +35,30 @@ fn fig2_partitioned() -> setup::PartitionedDataset {
     )
 }
 
-#[test]
-fn ooc_engine_mem_matches_spec_twin() {
-    let data = fig2_dataset();
-    let legacy = setup::ooc_engine_mem(&data, 0.3, StrategyKind::Lru)
+/// Resolve `spec` over the dataset and return its log-likelihood.
+fn spec_lnl(spec: &EngineSpec, data: &setup::Dataset, ctx: &BuildContext) -> f64 {
+    setup::build_engine(spec, data, ctx)
+        .unwrap()
+        .engine
         .log_likelihood()
-        .unwrap();
+        .unwrap()
+}
+
+#[test]
+fn ooc_mem_spec_matches_inram() {
+    let data = fig2_dataset();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
         residency: Residency::OocMem { fraction: 0.3 },
         ..setup::base_spec(&data)
     };
-    let twin = setup::build_engine(&spec, &data, &BuildContext::new())
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    assert_eq!(reference, spec_lnl(&spec, &data, &BuildContext::new()));
 }
 
 #[test]
-fn ooc_engine_mem_with_handle_matches_spec_twin() {
+fn next_use_spec_collects_oracle_handle() {
     let data = fig2_dataset();
-    let (mut engine, handle) = setup::ooc_engine_mem_with_handle(&data, 0.3, StrategyKind::NextUse);
-    assert!(handle.is_some(), "NextUse wires an oracle");
-    let legacy = engine.log_likelihood().unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
         residency: Residency::OocMem { fraction: 0.3 },
         strategy: StrategyKind::NextUse,
@@ -68,100 +67,56 @@ fn ooc_engine_mem_with_handle_matches_spec_twin() {
     let built = setup::build_engine(&spec, &data, &BuildContext::new()).unwrap();
     assert_eq!(built.handles.len(), 1, "spec collects the oracle handle");
     let mut engine = built.engine;
-    assert_eq!(legacy, engine.log_likelihood().unwrap());
+    assert_eq!(reference, engine.log_likelihood().unwrap());
 }
 
 #[test]
-fn ooc_engine_file_matches_spec_twin() {
+fn file_limit_spec_matches_inram() {
     let data = fig2_dataset();
     let dir = tempfile::tempdir().unwrap();
-    let limit = data.total_vector_bytes() / 4;
-    let legacy = setup::ooc_engine_file(
-        &data,
-        dir.path().join("legacy.bin"),
-        limit,
-        StrategyKind::Lru,
-    )
-    .unwrap()
-    .log_likelihood()
-    .unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
-        residency: Residency::FileLimit { limit_bytes: limit },
+        residency: Residency::FileLimit {
+            limit_bytes: data.total_vector_bytes() / 4,
+        },
         ..setup::base_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let twin = setup::build_engine(&spec, &data, &ctx)
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    assert_eq!(reference, spec_lnl(&spec, &data, &ctx));
 }
 
 #[test]
-fn sharded_engine_mem_matches_spec_twin() {
+fn sharded_mem_spec_matches_inram() {
     let data = fig2_dataset();
-    let legacy = setup::sharded_engine_mem(&data, 0.3, StrategyKind::Lru, 3)
-        .log_likelihood()
-        .unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
         residency: Residency::OocMem { fraction: 0.3 },
         shards: 3,
         ..setup::base_spec(&data)
     };
-    let twin = setup::build_engine(&spec, &data, &BuildContext::new())
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    assert_eq!(reference, spec_lnl(&spec, &data, &BuildContext::new()));
 }
 
 #[test]
-fn sharded_engine_file_matches_spec_twin() {
+fn sharded_file_spec_matches_inram() {
     let data = fig2_dataset();
     let dir = tempfile::tempdir().unwrap();
-    let legacy = setup::sharded_engine_file(
-        &data,
-        dir.path().join("legacy.bin"),
-        0.25,
-        StrategyKind::Lfu,
-        3,
-    )
-    .unwrap()
-    .log_likelihood()
-    .unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
         residency: Residency::File { fraction: 0.25 },
         strategy: StrategyKind::Lfu,
         shards: 3,
         ..setup::base_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let twin = setup::build_engine(&spec, &data, &ctx)
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    assert_eq!(reference, spec_lnl(&spec, &data, &ctx));
 }
 
 #[test]
-fn sharded_engine_file_pipelined_matches_spec_twin() {
+fn sharded_file_pipelined_spec_matches_inram() {
     let data = fig2_dataset();
     let dir = tempfile::tempdir().unwrap();
-    let legacy = setup::sharded_engine_file_pipelined(
-        &data,
-        dir.path().join("legacy.bin"),
-        0.25,
-        StrategyKind::Lru,
-        2,
-        2,
-        8,
-    )
-    .unwrap()
-    .log_likelihood()
-    .unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
         residency: Residency::File { fraction: 0.25 },
         shards: 2,
@@ -169,35 +124,15 @@ fn sharded_engine_file_pipelined_matches_spec_twin() {
         window: 8,
         ..setup::base_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let twin = setup::build_engine(&spec, &data, &ctx)
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    assert_eq!(reference, spec_lnl(&spec, &data, &ctx));
 }
 
 #[test]
-fn sharded_pipelined_engine_matches_spec_twin() {
+fn single_io_thread_pipeline_spec_matches_inram() {
     let data = fig2_dataset();
     let dir = tempfile::tempdir().unwrap();
-    let legacy = setup::sharded_pipelined_engine(
-        &data.tree,
-        &data.comp,
-        &data.model,
-        data.spec.alpha,
-        data.spec.n_cats,
-        dir.path().join("legacy.bin"),
-        0.3,
-        StrategyKind::Lru,
-        2,
-        1,
-        8,
-    )
-    .unwrap()
-    .log_likelihood()
-    .unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
         residency: Residency::File { fraction: 0.3 },
         shards: 2,
@@ -205,125 +140,101 @@ fn sharded_pipelined_engine_matches_spec_twin() {
         window: 8,
         ..setup::base_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let twin = setup::build_engine(&spec, &data, &ctx)
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    assert_eq!(reference, spec_lnl(&spec, &data, &ctx));
 }
 
 #[test]
-fn sharded_engine_file_limit_matches_spec_twin() {
+fn sharded_file_limit_spec_matches_inram() {
     let data = fig2_dataset();
     let dir = tempfile::tempdir().unwrap();
-    let limit = data.total_vector_bytes() / 3;
-    let legacy = setup::sharded_engine_file_limit(
-        &data,
-        dir.path().join("legacy.bin"),
-        limit,
-        StrategyKind::Lru,
-        2,
-    )
-    .unwrap()
-    .log_likelihood()
-    .unwrap();
+    let reference = setup::inram_engine(&data).log_likelihood().unwrap();
     let spec = EngineSpec {
-        residency: Residency::FileLimit { limit_bytes: limit },
+        residency: Residency::FileLimit {
+            limit_bytes: data.total_vector_bytes() / 3,
+        },
         shards: 2,
         ..setup::base_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let twin = setup::build_engine(&spec, &data, &ctx)
-        .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    assert_eq!(reference, spec_lnl(&spec, &data, &ctx));
 }
 
-#[test]
-fn partitioned_engine_inram_matches_spec_twin() {
-    let data = fig2_partitioned();
-    let mut legacy = setup::partitioned_engine_inram(&data);
-    let spec = setup::base_partitioned_spec(&data); // InRam default
-    let mut twin = setup::build_partitioned_engine(&spec, &data, &BuildContext::new())
+/// The in-RAM partitioned build is itself the reference for the managed
+/// partitioned residencies below.
+fn partitioned_reference(data: &setup::PartitionedDataset) -> (f64, Vec<f64>) {
+    let spec = setup::base_partitioned_spec(data); // InRam default
+    let mut engine = setup::build_partitioned_engine(&spec, data, &BuildContext::new())
         .unwrap()
         .engine;
-    assert_eq!(
-        legacy.log_likelihood().unwrap(),
-        twin.log_likelihood().unwrap()
-    );
-    assert_eq!(
-        legacy.partition_lnls().unwrap(),
-        twin.partition_lnls().unwrap(),
-        "per-partition lnLs must match member for member"
-    );
+    let joint = engine.log_likelihood().unwrap();
+    (joint, engine.partition_lnls().unwrap())
 }
 
 #[test]
-fn partitioned_engine_ooc_mem_matches_spec_twin() {
+fn partitioned_inram_spec_matches_independent_members() {
+    use phylo_ooc::plf::{InRamStore, PlfEngine};
     let data = fig2_partitioned();
-    let legacy = setup::partitioned_engine_ooc_mem(&data, 0.3, StrategyKind::Lru)
-        .log_likelihood()
-        .unwrap();
+    let (joint, lnls) = partitioned_reference(&data);
+    // Per-partition lnLs equal each partition run as its own standalone
+    // serial analysis; the joint likelihood is their sum in order.
+    for (i, p) in data.parts.iter().enumerate() {
+        let store = InRamStore::new(data.tree.n_inner(), data.width(i));
+        let mut solo = PlfEngine::new(
+            data.tree.clone(),
+            &p.comp,
+            p.model.clone(),
+            data.alpha,
+            data.n_cats,
+            store,
+        );
+        assert_eq!(solo.log_likelihood().unwrap(), lnls[i], "partition {i}");
+    }
+    assert_eq!(joint, lnls.iter().sum::<f64>());
+}
+
+#[test]
+fn partitioned_ooc_mem_spec_matches_inram() {
+    let data = fig2_partitioned();
+    let (joint, lnls) = partitioned_reference(&data);
     let spec = EngineSpec {
         residency: Residency::OocMem { fraction: 0.3 },
         ..setup::base_partitioned_spec(&data)
     };
-    let twin = setup::build_partitioned_engine(&spec, &data, &BuildContext::new())
+    let mut engine = setup::build_partitioned_engine(&spec, &data, &BuildContext::new())
         .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+        .engine;
+    assert_eq!(joint, engine.log_likelihood().unwrap());
+    assert_eq!(lnls, engine.partition_lnls().unwrap());
 }
 
 #[test]
-fn partitioned_engine_file_limit_matches_spec_twin() {
+fn partitioned_file_limit_spec_matches_inram() {
     let data = fig2_partitioned();
     let dir = tempfile::tempdir().unwrap();
+    let (joint, lnls) = partitioned_reference(&data);
     let total: u64 = (0..data.parts.len())
         .map(|i| data.partition_vector_bytes(i))
         .sum();
-    let limit = total / 4;
-    let legacy = setup::partitioned_engine_file_limit(
-        &data,
-        dir.path().join("legacy.bin"),
-        limit,
-        StrategyKind::Lru,
-    )
-    .unwrap()
-    .log_likelihood()
-    .unwrap();
     let spec = EngineSpec {
-        residency: Residency::FileLimit { limit_bytes: limit },
+        residency: Residency::FileLimit {
+            limit_bytes: total / 4,
+        },
         ..setup::base_partitioned_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let twin = setup::build_partitioned_engine(&spec, &data, &ctx)
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    let mut engine = setup::build_partitioned_engine(&spec, &data, &ctx)
         .unwrap()
-        .engine
-        .log_likelihood()
-        .unwrap();
-    assert_eq!(legacy, twin);
+        .engine;
+    assert_eq!(joint, engine.log_likelihood().unwrap());
+    assert_eq!(lnls, engine.partition_lnls().unwrap());
 }
 
 #[test]
-fn partitioned_engine_sharded_pipelined_matches_spec_twin() {
+fn partitioned_sharded_pipelined_spec_matches_inram() {
     let data = fig2_partitioned();
     let dir = tempfile::tempdir().unwrap();
-    let mut legacy = setup::partitioned_engine_sharded_pipelined(
-        &data,
-        dir.path().join("legacy.bin"),
-        0.3,
-        StrategyKind::Lru,
-        2,
-        1,
-        8,
-    )
-    .unwrap();
+    let (joint, lnls) = partitioned_reference(&data);
     let spec = EngineSpec {
         residency: Residency::File { fraction: 0.3 },
         shards: 2,
@@ -331,16 +242,10 @@ fn partitioned_engine_sharded_pipelined_matches_spec_twin() {
         window: 8,
         ..setup::base_partitioned_spec(&data)
     };
-    let ctx = BuildContext::new().vector_path(dir.path().join("twin.bin"));
-    let mut twin = setup::build_partitioned_engine(&spec, &data, &ctx)
+    let ctx = BuildContext::new().vector_path(dir.path().join("v.bin"));
+    let mut engine = setup::build_partitioned_engine(&spec, &data, &ctx)
         .unwrap()
         .engine;
-    assert_eq!(
-        legacy.log_likelihood().unwrap(),
-        twin.log_likelihood().unwrap()
-    );
-    assert_eq!(
-        legacy.partition_lnls().unwrap(),
-        twin.partition_lnls().unwrap()
-    );
+    assert_eq!(joint, engine.log_likelihood().unwrap());
+    assert_eq!(lnls, engine.partition_lnls().unwrap());
 }
