@@ -1,0 +1,274 @@
+//! End-to-end performance baseline: a fixed fig5-style configuration
+//! matrix timed on real I/O, with the wall clock of every cell split into
+//! compute vs stall classes by the observability layer, written as
+//! `BENCH_e2e.json` (schema `bench-e2e-v1`).
+//!
+//! The committed copy at the repo root is the reference point for
+//! regression hunting: rerun this binary on the same machine class and
+//! diff the JSON — structural drift (counter totals, stall shares) shows
+//! up even when absolute times move with the hardware.
+//!
+//! ```sh
+//! cargo run --release -p ooc-bench --bin e2e_baseline -- \
+//!     [--quick] [--taxa N] [--sites N] [--budget-mib M] [--traversals K] \
+//!     [--out BENCH_e2e.json] [--metrics FILE]
+//! ```
+
+use ooc_bench::args::Args;
+use ooc_bench::metrics::MetricsFile;
+use ooc_bench::report::{pct, print_table, secs, write_json};
+use ooc_core::{CompressionMode, MonotonicClock, NullSink, Recorder, StrategyKind};
+use phylo_ooc::plf::{BuildContext, EngineSpec, Residency};
+use phylo_ooc::setup::{self, DatasetSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Schema tag of the emitted baseline file.
+const E2E_SCHEMA: &str = "bench-e2e-v1";
+
+#[derive(Serialize)]
+struct CellResult {
+    name: String,
+    spec_toml: String,
+    wall_secs: f64,
+    /// Wall minus attributed stalls (clamped at zero).
+    compute_secs: f64,
+    demand_read_secs: f64,
+    write_back_secs: f64,
+    prefetch_wait_secs: f64,
+    barrier_wait_secs: f64,
+    /// Stall share of the wall clock, 0..1.
+    stall_fraction: f64,
+    lnl: f64,
+    stats: Option<StatsSummary>,
+}
+
+/// The residency counters worth diffing across baseline snapshots
+/// (`ooc_core::OocStats` itself is serde-free).
+#[derive(Serialize, Clone, Copy)]
+struct StatsSummary {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    disk_reads: u64,
+    disk_writes: u64,
+    skipped_reads: u64,
+    cold_loads: u64,
+    staged_loads: u64,
+    evictions: u64,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl From<ooc_core::OocStats> for StatsSummary {
+    fn from(s: ooc_core::OocStats) -> Self {
+        StatsSummary {
+            requests: s.requests,
+            hits: s.hits,
+            misses: s.misses,
+            disk_reads: s.disk_reads,
+            disk_writes: s.disk_writes,
+            skipped_reads: s.skipped_reads,
+            cold_loads: s.cold_loads,
+            staged_loads: s.staged_loads,
+            evictions: s.evictions,
+            bytes_read: s.bytes_read,
+            bytes_written: s.bytes_written,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    schema: &'static str,
+    n_taxa: usize,
+    n_sites: usize,
+    seed: u64,
+    budget_bytes: u64,
+    traversals: usize,
+    total_vector_bytes: u64,
+    cells: Vec<CellResult>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.flag("quick");
+    let spec = DatasetSpec {
+        n_taxa: args.usize("taxa", if quick { 48 } else { 128 }),
+        n_sites: args.usize("sites", if quick { 300 } else { 1200 }),
+        seed: args.u64("seed", 8192),
+        ..Default::default()
+    };
+    let traversals = args.usize("traversals", 5);
+    let data = setup::simulate_dataset(&spec);
+    let budget_mib = args.u64("budget-mib", 0);
+    let budget = if budget_mib > 0 {
+        budget_mib * 1024 * 1024
+    } else {
+        (data.total_vector_bytes() / 4).max(1)
+    };
+    println!(
+        "e2e baseline: {} taxa x {} sites (seed {}), budget {} B of {} B, {} traversals\n",
+        spec.n_taxa,
+        spec.n_sites,
+        spec.seed,
+        budget,
+        data.total_vector_bytes(),
+        traversals
+    );
+
+    // The fixed matrix: the in-RAM reference, the two hand-picked fig5
+    // out-of-core configs, the plan-following strategy, the pipelined
+    // variant, and the compressed variant — one cell per subsystem the
+    // stack exercises end to end.
+    let file_limit = Residency::FileLimit {
+        limit_bytes: budget,
+    };
+    let base = setup::base_spec(&data);
+    let cells: Vec<(&str, EngineSpec)> = vec![
+        ("inram", base.clone()),
+        (
+            "ooc-lru",
+            EngineSpec {
+                residency: file_limit.clone(),
+                strategy: StrategyKind::Lru,
+                ..base.clone()
+            },
+        ),
+        (
+            "ooc-rand",
+            EngineSpec {
+                residency: file_limit.clone(),
+                strategy: StrategyKind::Random { seed: 5 },
+                ..base.clone()
+            },
+        ),
+        (
+            "ooc-nextuse",
+            EngineSpec {
+                residency: file_limit.clone(),
+                strategy: StrategyKind::NextUse,
+                ..base.clone()
+            },
+        ),
+        (
+            "ooc-nextuse-pipelined",
+            EngineSpec {
+                residency: file_limit.clone(),
+                strategy: StrategyKind::NextUse,
+                io_threads: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "ooc-nextuse-exp",
+            EngineSpec {
+                residency: file_limit.clone(),
+                strategy: StrategyKind::NextUse,
+                compression: Some(CompressionMode::Exp),
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let metrics = MetricsFile::from_args(&args);
+    let dir = tempfile::tempdir().expect("tempdir for backing files");
+    let mut lnl_ref: Option<f64> = None;
+    let mut results = Vec::new();
+    for (k, (name, cell_spec)) in cells.iter().enumerate() {
+        let file_rec = metrics.recorder(format!("e2e/{name}"));
+        let rec = file_rec
+            .clone()
+            .unwrap_or_else(|| Recorder::new(MonotonicClock::new(), NullSink));
+        let harness = rec.clone();
+        let ctx = BuildContext::new()
+            .vector_path(dir.path().join(format!("vec_{k}.bin")))
+            .recorders(move |_| harness.clone());
+        let mut engine = setup::build_engine(cell_spec, &data, &ctx)
+            .unwrap_or_else(|e| panic!("cell '{name}' failed to build: {e}"))
+            .engine;
+        let t0 = rec.now();
+        let wall = Instant::now();
+        let lnl = engine
+            .full_traversals(traversals)
+            .unwrap_or_else(|e| panic!("cell '{name}' traversal failed: {e}"));
+        let wall_secs = wall.elapsed().as_secs_f64();
+        match lnl_ref {
+            None => lnl_ref = Some(lnl),
+            Some(r) => assert_eq!(
+                lnl.to_bits(),
+                r.to_bits(),
+                "cell '{name}' log-likelihood diverged from the in-RAM reference"
+            ),
+        }
+        let att = rec.attribution(rec.now().saturating_sub(t0));
+        let raw_stats = engine.ooc_stats();
+        if let Some(rec) = &file_rec {
+            MetricsFile::finish(rec, raw_stats.as_ref());
+        }
+        let stats = raw_stats.map(StatsSummary::from);
+        let to_secs = |ns: u64| ns as f64 / 1e9;
+        let stall_secs = to_secs(att.wall_ns.saturating_sub(att.compute_ns()));
+        results.push(CellResult {
+            name: (*name).to_owned(),
+            spec_toml: cell_spec.to_toml(),
+            wall_secs,
+            compute_secs: to_secs(att.compute_ns()),
+            demand_read_secs: to_secs(att.demand_read_ns),
+            write_back_secs: to_secs(att.write_back_ns),
+            prefetch_wait_secs: to_secs(att.prefetch_wait_ns),
+            barrier_wait_secs: to_secs(att.barrier_wait_ns),
+            stall_fraction: if att.wall_ns == 0 {
+                0.0
+            } else {
+                stall_secs / to_secs(att.wall_ns)
+            },
+            lnl,
+            stats,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                secs(c.wall_secs),
+                secs(c.compute_secs),
+                secs(c.demand_read_secs),
+                secs(c.write_back_secs),
+                secs(c.prefetch_wait_secs),
+                pct(c.stall_fraction),
+                c.stats.map_or("-".to_owned(), |s| s.disk_reads.to_string()),
+                c.stats
+                    .map_or("-".to_owned(), |s| s.disk_writes.to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "cell",
+            "wall",
+            "compute",
+            "demand-read",
+            "write-back",
+            "prefetch-wait",
+            "stall%",
+            "reads",
+            "writes",
+        ],
+        &rows,
+    );
+
+    let baseline = Baseline {
+        schema: E2E_SCHEMA,
+        n_taxa: spec.n_taxa,
+        n_sites: spec.n_sites,
+        seed: spec.seed,
+        budget_bytes: budget,
+        traversals,
+        total_vector_bytes: data.total_vector_bytes(),
+        cells: results,
+    };
+    write_json(args.string("out", "BENCH_e2e.json"), &baseline);
+}

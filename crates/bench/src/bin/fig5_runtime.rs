@@ -37,8 +37,13 @@
 //! achieved ratio is tabulated from the codec's byte histograms).
 //!
 //! ```sh
-//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--partitioned] [--compression] [--metrics FILE]
+//! cargo run --release -p ooc-bench --bin fig5_runtime -- [--quick] [--skip-real] [--skip-model] [--shards 4] [--partitioned] [--compression] [--profile tuned.toml] [--metrics FILE]
 //! ```
+//!
+//! `--profile tuned.toml` (a profile emitted by `ooc-tune`, or any
+//! `EngineSpec` TOML) adds an `ooc-tuned` column to part 1: the profile's
+//! tuned axes run at each cell's RAM budget alongside the hand-picked
+//! LRU/RAND grid, with the same bit-identity assertion.
 //!
 //! With `--metrics FILE` every real-I/O out-of-core cell (parts 1 and 3)
 //! streams stall-attribution events, latency histograms, and its final
@@ -72,6 +77,9 @@ struct RealPoint {
     paged_faults: u64,
     ooc_lru_secs: f64,
     ooc_rand_secs: f64,
+    /// `--profile FILE` cell: the tuned spec's axes (strategy, window,
+    /// pipelining, flags, compression) at this cell's RAM budget.
+    ooc_tuned_secs: Option<f64>,
     lnl: f64,
 }
 
@@ -141,6 +149,18 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
         budget as f64 / (1024.0 * 1024.0),
         traversals
     );
+
+    // `--profile tuned.toml` (e.g. from `ooc-tune`) adds one more
+    // out-of-core cell per geometry: the profile's tuned axes — strategy,
+    // window, pipelining, behaviour flags, compression — competing against
+    // the hand-picked grid at the same RAM budget and dataset.
+    let profile_path = args.string("profile", "");
+    let profile: Option<EngineSpec> = (!profile_path.is_empty()).then(|| {
+        let text = std::fs::read_to_string(&profile_path)
+            .unwrap_or_else(|e| panic!("cannot read profile '{profile_path}': {e}"));
+        EngineSpec::from_toml(&text)
+            .unwrap_or_else(|e| panic!("invalid profile '{profile_path}': {e}"))
+    });
 
     let bytes_per_site = 4 * 4 * 8; // DNA, Γ4, f64
     let mut points = Vec::new();
@@ -222,6 +242,44 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
             }
         }
 
+        // The tuned-profile cell, when one was given: keep the tuned axes,
+        // re-budget residency to this cell and pin the model parameters to
+        // the dataset's (the reference likelihood depends on them).
+        let ooc_tuned_secs = profile.as_ref().map(|tuned| {
+            let tuned_spec = EngineSpec {
+                residency: Residency::FileLimit {
+                    limit_bytes: budget,
+                },
+                alpha: data.spec.alpha,
+                n_cats: data.spec.n_cats,
+                ..tuned.clone()
+            };
+            let rec = metrics.recorder(format!("fig5-real/{ratio}x/tuned"));
+            let mut ctx =
+                BuildContext::new().vector_path(dir.path().join(format!("vec_{i}_tuned.bin")));
+            if let Some(rec) = &rec {
+                let rec = rec.clone();
+                ctx = ctx.recorders(move |_| rec.clone());
+            }
+            let mut ooc = setup::build_engine(&tuned_spec, &data, &ctx)
+                .expect("failed to build tuned engine")
+                .engine;
+            let t0 = Instant::now();
+            let l = ooc
+                .full_traversals(traversals)
+                .expect("tuned OOC traversal failed");
+            let elapsed = t0.elapsed().as_secs_f64();
+            assert_eq!(
+                l.to_bits(),
+                lnl.to_bits(),
+                "tuned results must be identical"
+            );
+            if let Some(rec) = &rec {
+                MetricsFile::finish(rec, ooc.ooc_stats().as_ref());
+            }
+            elapsed
+        });
+
         points.push(RealPoint {
             ratio,
             total_bytes: total,
@@ -230,6 +288,7 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
             paged_faults,
             ooc_lru_secs: ooc_secs[0],
             ooc_rand_secs: ooc_secs[1],
+            ooc_tuned_secs,
             lnl,
         });
     }
@@ -237,7 +296,7 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
-            vec![
+            let mut row = vec![
                 format!("{:.1}x", p.ratio),
                 format!("{:.0} MiB", p.total_bytes as f64 / (1024.0 * 1024.0)),
                 secs(p.inram_secs),
@@ -245,23 +304,30 @@ fn real_scaled_runs(args: &Args, quick: bool, traversals: usize, metrics: &Metri
                 p.paged_faults.to_string(),
                 secs(p.ooc_lru_secs),
                 secs(p.ooc_rand_secs),
-                format!("{:.2}x", p.paged_secs / p.ooc_lru_secs.min(p.ooc_rand_secs)),
-            ]
+            ];
+            let mut best_ooc = p.ooc_lru_secs.min(p.ooc_rand_secs);
+            if let Some(tuned) = p.ooc_tuned_secs {
+                row.push(secs(tuned));
+                best_ooc = best_ooc.min(tuned);
+            }
+            row.push(format!("{:.2}x", p.paged_secs / best_ooc));
+            row
         })
         .collect();
-    print_table(
-        &[
-            "data/RAM",
-            "vectors",
-            "in-RAM ref",
-            "std(paging)",
-            "pg faults",
-            "ooc-LRU",
-            "ooc-RAND",
-            "speedup",
-        ],
-        &rows,
-    );
+    let mut headers = vec![
+        "data/RAM",
+        "vectors",
+        "in-RAM ref",
+        "std(paging)",
+        "pg faults",
+        "ooc-LRU",
+        "ooc-RAND",
+    ];
+    if profile.is_some() {
+        headers.push("ooc-tuned");
+    }
+    headers.push("speedup");
+    print_table(&headers, &rows);
     println!(
         "\npaper comparison: standard wins (or ties) while the data fits; once it\n\
          exceeds RAM the paging baseline degrades sharply (fault counts grow, E8)\n\

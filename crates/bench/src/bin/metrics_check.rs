@@ -23,8 +23,18 @@
 //! (the stream must contain at least one such scope), and the summary
 //! prints the achieved ratio.
 //!
+//! With `--summary-from FILE`, the same validation runs and then every
+//! scope's compute-vs-stall split — the objective `ooc-tune` ranks probe
+//! candidates by — is re-derived *from the stream alone*: wall from the
+//! `plf/combine-batch` event spans, top-level stall classes from their
+//! event durations (the prefetch-wait share nested inside demand reads is
+//! subtracted out, mirroring the recorder's attribution), compute as the
+//! clamped residual. This is the offline cross-check that a tuned
+//! profile's claimed split can be reproduced from its probe trace.
+//!
 //! ```sh
 //! cargo run --release -p ooc-bench --bin metrics_check -- metrics.jsonl
+//! cargo run --release -p ooc-bench --bin metrics_check -- --summary-from probe.jsonl
 //! ```
 //!
 //! Exits non-zero with a message on the first hard failure class; prints
@@ -298,6 +308,12 @@ struct ScopeTally {
     hists: u64,
     demand_read_events: u64,
     write_back_events: u64,
+    /// Event duration totals per stall kind, indexed as [`KINDS`].
+    kind_dur_ns: [u64; 6],
+    /// Duration total of `plf/combine-batch` events — each one wraps a
+    /// full traversal batch (compute *and* the residency stalls inside
+    /// it), so their sum reconstructs the probe's wall time.
+    combine_batch_ns: u64,
     /// Histogram time totals feeding the absorption ratio: manager
     /// demand-read span time and the prefetch-wait (stalled-read) share
     /// nested inside it.
@@ -318,7 +334,48 @@ struct ScopeTally {
     profiles: u64,
 }
 
+/// A scope's compute-vs-stall split re-derived from its event stream —
+/// the tuner's probe objective, reconstructed offline.
+struct ObjectiveSummary {
+    wall_ns: u64,
+    compute_ns: u64,
+    demand_read_ns: u64,
+    write_back_ns: u64,
+    barrier_wait_ns: u64,
+    retry_backoff_ns: u64,
+    prefetch_wait_ns: u64,
+}
+
+impl ObjectiveSummary {
+    fn stall_ns(&self) -> u64 {
+        self.demand_read_ns + self.write_back_ns + self.barrier_wait_ns + self.retry_backoff_ns
+    }
+}
+
 impl ScopeTally {
+    /// Re-derive the stall attribution from the stream: wall from the
+    /// combine-batch spans, top-level stall classes from their event
+    /// durations — with the nested prefetch-wait share subtracted from
+    /// the demand-read spans, as the recorder's own attribution does —
+    /// and compute as the clamped residual.
+    fn objective_summary(&self) -> ObjectiveSummary {
+        let kind = |name: &str| self.kind_dur_ns[KINDS.iter().position(|k| *k == name).unwrap()];
+        let demand_read_ns = kind("demand-read").saturating_sub(self.stalled_read_hist_ns);
+        let s = ObjectiveSummary {
+            wall_ns: self.combine_batch_ns,
+            compute_ns: 0,
+            demand_read_ns,
+            write_back_ns: kind("write-back"),
+            barrier_wait_ns: kind("barrier-wait"),
+            retry_backoff_ns: kind("retry-backoff"),
+            prefetch_wait_ns: self.stalled_read_hist_ns,
+        };
+        ObjectiveSummary {
+            compute_ns: s.wall_ns.saturating_sub(s.stall_ns()),
+            ..s
+        }
+    }
+
     /// Fraction of stall time the pipeline absorbed: prefetch-wait over
     /// prefetch-wait + attributed demand-read. Stalled-read spans are
     /// nested inside manager demand-read spans, so the attributed demand
@@ -350,11 +407,11 @@ fn check_event(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
     let layer = get_str(v, "layer")?;
     let op = get_str(v, "op")?;
     let kind = get_str(v, "kind")?;
-    if !KINDS.contains(&kind) {
+    let Some(kind_idx) = KINDS.iter().position(|k| *k == kind) else {
         return Err(format!("unknown stall kind '{kind}'"));
-    }
+    };
     get_u64(v, "ts_ns")?;
-    get_u64(v, "dur_ns")?;
+    let dur_ns = get_u64(v, "dur_ns")?;
     get_u64(v, "bytes")?;
     get_u64(v, "n")?;
     for key in ["item", "shard"] {
@@ -364,6 +421,10 @@ fn check_event(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
         }
     }
     tally.events += 1;
+    tally.kind_dur_ns[kind_idx] += dur_ns;
+    if layer == "plf" && op == "combine-batch" {
+        tally.combine_batch_ns += dur_ns;
+    }
     if layer == "manager" && op == "demand-read" {
         tally.demand_read_events += 1;
     }
@@ -465,7 +526,12 @@ fn check_profile(v: &Value, tally: &mut ScopeTally) -> Result<(), String> {
     Ok(())
 }
 
-fn run(path: &str, min_absorption: Option<f64>, reconcile_compression: bool) -> Result<(), String> {
+fn run(
+    path: &str,
+    min_absorption: Option<f64>,
+    reconcile_compression: bool,
+    summary: bool,
+) -> Result<(), String> {
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open '{path}': {e}"))?;
     let mut scopes: BTreeMap<String, ScopeTally> = BTreeMap::new();
     let mut lines = 0u64;
@@ -613,6 +679,35 @@ fn run(path: &str, min_absorption: Option<f64>, reconcile_compression: bool) -> 
             t.events, t.hists
         );
     }
+
+    // `--summary-from`: the tuner's compute-vs-stall objective split,
+    // re-derived per scope from the stream alone.
+    if summary {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        println!("\nobjective split (re-derived from events):");
+        for (scope, t) in &scopes {
+            let s = t.objective_summary();
+            if s.wall_ns == 0 {
+                println!("  {scope}: no combine-batch spans (not an engine probe scope)");
+                continue;
+            }
+            let stall_fraction = s.stall_ns() as f64 / s.wall_ns as f64;
+            println!(
+                "  {scope}: wall {:.3} ms = compute {:.3} ms + stalls {:.3} ms \
+                 ({:.1}% — demand-read {:.3}, write-back {:.3}, barrier {:.3}, \
+                 retry {:.3}; prefetch-wait absorbed {:.3})",
+                ms(s.wall_ns),
+                ms(s.compute_ns),
+                ms(s.stall_ns()),
+                stall_fraction * 100.0,
+                ms(s.demand_read_ns),
+                ms(s.write_back_ns),
+                ms(s.barrier_wait_ns),
+                ms(s.retry_backoff_ns),
+                ms(s.prefetch_wait_ns),
+            );
+        }
+    }
     Ok(())
 }
 
@@ -620,6 +715,7 @@ fn main() -> ExitCode {
     let mut path = None;
     let mut min_absorption = None;
     let mut reconcile_compression = false;
+    let mut summary = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--min-prefetch-absorption" {
@@ -632,6 +728,15 @@ fn main() -> ExitCode {
             }
         } else if arg == "--reconcile-compression" {
             reconcile_compression = true;
+        } else if arg == "--summary-from" {
+            summary = true;
+            match args.next() {
+                Some(p) => path = Some(p),
+                None => {
+                    eprintln!("metrics_check: --summary-from needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            }
         } else {
             path = Some(arg);
         }
@@ -639,11 +744,11 @@ fn main() -> ExitCode {
     let Some(path) = path else {
         eprintln!(
             "usage: metrics_check [--min-prefetch-absorption X] \
-             [--reconcile-compression] <metrics.jsonl>"
+             [--reconcile-compression] [--summary-from] <metrics.jsonl>"
         );
         return ExitCode::FAILURE;
     };
-    match run(&path, min_absorption, reconcile_compression) {
+    match run(&path, min_absorption, reconcile_compression, summary) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("metrics_check: {e}");
@@ -739,6 +844,30 @@ mod tests {
         let line = r#"{"type":"hist","scope":"s","layer":"compress","op":"bytes-disk","count":1,"sum_ns":100,"min_ns":100,"max_ns":100,"buckets":[[7,1]]}"#;
         check_hist(&Parser::parse(line).unwrap(), &mut t).unwrap();
         assert_eq!(t.compress_disk, Some((4, 1000)));
+    }
+
+    #[test]
+    fn objective_summary_rederives_the_split() {
+        let mut t = ScopeTally::default();
+        // One combine batch of 10 ms wall.
+        let batch = r#"{"type":"event","scope":"s","ts_ns":0,"dur_ns":10000000,"layer":"plf","op":"combine-batch","kind":"compute","item":null,"shard":null,"bytes":0,"n":21}"#;
+        check_event(&Parser::parse(batch).unwrap(), &mut t).unwrap();
+        // 3 ms of demand reads, 1 ms of which was nested prefetch wait.
+        let read = r#"{"type":"event","scope":"s","ts_ns":1,"dur_ns":3000000,"layer":"manager","op":"demand-read","kind":"demand-read","item":4,"shard":null,"bytes":64,"n":1}"#;
+        check_event(&Parser::parse(read).unwrap(), &mut t).unwrap();
+        let wait = r#"{"type":"hist","scope":"s","layer":"prefetch","op":"stalled-read","count":1,"sum_ns":1000000,"min_ns":1000000,"max_ns":1000000,"buckets":[[20,1]]}"#;
+        check_hist(&Parser::parse(wait).unwrap(), &mut t).unwrap();
+        // 2 ms of write-backs.
+        let wb = r#"{"type":"event","scope":"s","ts_ns":2,"dur_ns":2000000,"layer":"manager","op":"write-back","kind":"write-back","item":5,"shard":null,"bytes":64,"n":1}"#;
+        check_event(&Parser::parse(wb).unwrap(), &mut t).unwrap();
+
+        let s = t.objective_summary();
+        assert_eq!(s.wall_ns, 10_000_000);
+        assert_eq!(s.demand_read_ns, 2_000_000); // 3 ms minus nested wait
+        assert_eq!(s.write_back_ns, 2_000_000);
+        assert_eq!(s.prefetch_wait_ns, 1_000_000);
+        assert_eq!(s.stall_ns(), 4_000_000);
+        assert_eq!(s.compute_ns, 6_000_000); // wall minus top-level stalls
     }
 
     #[test]

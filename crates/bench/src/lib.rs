@@ -11,10 +11,13 @@
 //!   run Figure 5 at the paper's 1–32 GB geometry without physical I/O,
 //! * [`report`] — aligned tables on stdout and JSON series on disk,
 //! * [`metrics`] — the `--metrics FILE` JSONL observability stream shared
-//!   by every binary (one scope per measured configuration).
+//!   by every binary (one scope per measured configuration),
+//! * [`tuner`] — the `ooc-tune` model-pruned `EngineSpec` autotuner
+//!   (enumerate → prune by simulated traffic → probe survivors).
 
 pub mod args;
 pub mod metrics;
 pub mod replay;
 pub mod report;
+pub mod tuner;
 pub mod workload;

@@ -65,6 +65,16 @@ impl TraversalPattern {
         }
         AccessPlan::from_records(records, self.n_items)
     }
+
+    /// The traversal as pin groups — one [`combine_pins`] group per
+    /// combine, the exact shape [`pager_sim::SlotCacheSim::access_group`]
+    /// and the real engine's sessions consume.
+    pub fn pin_groups(&self) -> Vec<Vec<AccessRecord>> {
+        self.steps
+            .iter()
+            .map(|&(parent, left, right)| combine_pins(parent, left, right))
+            .collect()
+    }
 }
 
 /// A serialisable mirror of an [`AccessPlan`] (`ooc-core` deliberately has
@@ -233,7 +243,7 @@ pub fn calibrate_newview_secs_per_f64() -> f64 {
 /// Pins for one Felsenstein combine, in the same access order the PLF
 /// engine uses: read children first (left, then right), then write the
 /// parent.
-fn combine_pins(parent: u32, left: Option<u32>, right: Option<u32>) -> Vec<AccessRecord> {
+pub fn combine_pins(parent: u32, left: Option<u32>, right: Option<u32>) -> Vec<AccessRecord> {
     let mut pins = Vec::with_capacity(3);
     if let Some(l) = left {
         pins.push(AccessRecord::read(l));

@@ -43,6 +43,68 @@ impl DiskModel {
     pub fn op_cost_ns(&self, bytes: u64) -> u64 {
         self.seek_ns + bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec
     }
+
+    /// Cost of an aggregate traffic summary — `ops` operations moving
+    /// `bytes` in total — in nanoseconds. This is what a simulator that
+    /// only counted operations (no virtual clock) converts to time: the
+    /// same arithmetic [`ModeledStore`] would have accumulated had every
+    /// operation been charged individually.
+    pub fn traffic_cost_ns(&self, ops: u64, bytes: u64) -> u64 {
+        ops.saturating_mul(self.seek_ns)
+            + bytes.saturating_mul(1_000_000_000) / self.bandwidth_bytes_per_sec
+    }
+
+    /// Stable keyword of the named presets, `"custom"` otherwise.
+    pub fn name(&self) -> &'static str {
+        if *self == DiskModel::hdd_2010() {
+            "hdd"
+        } else if *self == DiskModel::ssd() {
+            "ssd"
+        } else {
+            "custom"
+        }
+    }
+
+    /// Parse a preset keyword (the `--disk` flag of the bench binaries).
+    pub fn from_name(name: &str) -> Option<DiskModel> {
+        match name {
+            "hdd" | "hdd-2010" => Some(DiskModel::hdd_2010()),
+            "ssd" => Some(DiskModel::ssd()),
+            _ => None,
+        }
+    }
+
+    /// Fit a model from two timed transfer probes on the target device: a
+    /// small one (seek-dominated) and a large one (bandwidth-dominated),
+    /// each given as mean nanoseconds per operation. Solving
+    /// `t = seek + bytes/bw` through both points separates the fixed
+    /// per-operation cost from the streaming rate; degenerate inputs
+    /// (equal sizes, non-monotone timings — e.g. everything served from
+    /// page cache) collapse to a pure-bandwidth model with zero seek so
+    /// the fit never divides by zero or goes negative.
+    pub fn fit_from_probes(
+        small_bytes: u64,
+        small_ns_per_op: f64,
+        large_bytes: u64,
+        large_ns_per_op: f64,
+    ) -> DiskModel {
+        let db = large_bytes.saturating_sub(small_bytes) as f64;
+        let dt = large_ns_per_op - small_ns_per_op;
+        if db <= 0.0 || dt <= 0.0 {
+            // No usable slope: charge everything to bandwidth.
+            let ns = large_ns_per_op.max(1.0);
+            return DiskModel {
+                seek_ns: 0,
+                bandwidth_bytes_per_sec: ((large_bytes.max(1) as f64 * 1e9 / ns) as u64).max(1),
+            };
+        }
+        let bw = (db * 1e9 / dt).max(1.0);
+        let seek = (small_ns_per_op - small_bytes as f64 * 1e9 / bw).max(0.0);
+        DiskModel {
+            seek_ns: seek as u64,
+            bandwidth_bytes_per_sec: bw as u64,
+        }
+    }
 }
 
 /// Wraps any store, forwarding operations while accumulating modelled time.
@@ -160,6 +222,64 @@ mod tests {
         // ~8 ms seek + ~12.8 ms transfer on the 2010 HDD model.
         let cost = DiskModel::hdd_2010().op_cost_ns(1_280_000);
         assert!(cost > 20_000_000 && cost < 22_000_000, "cost {cost}");
+    }
+
+    #[test]
+    fn traffic_cost_matches_per_op_charging() {
+        let m = DiskModel::hdd_2010();
+        let per_op: u64 = (0..7).map(|_| m.op_cost_ns(1024)).sum();
+        assert_eq!(m.traffic_cost_ns(7, 7 * 1024), per_op);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(DiskModel::from_name("hdd"), Some(DiskModel::hdd_2010()));
+        assert_eq!(DiskModel::from_name("ssd"), Some(DiskModel::ssd()));
+        assert_eq!(DiskModel::from_name("floppy"), None);
+        assert_eq!(DiskModel::hdd_2010().name(), "hdd");
+        assert_eq!(DiskModel::ssd().name(), "ssd");
+        let custom = DiskModel {
+            seek_ns: 1,
+            bandwidth_bytes_per_sec: 2,
+        };
+        assert_eq!(custom.name(), "custom");
+    }
+
+    #[test]
+    fn fit_recovers_a_known_model() {
+        let truth = DiskModel {
+            seek_ns: 100_000,
+            bandwidth_bytes_per_sec: 250_000_000,
+        };
+        let small = 4096u64;
+        let large = 4 << 20;
+        let fitted = DiskModel::fit_from_probes(
+            small,
+            truth.op_cost_ns(small) as f64,
+            large,
+            truth.op_cost_ns(large) as f64,
+        );
+        let bw_err = (fitted.bandwidth_bytes_per_sec as f64 - truth.bandwidth_bytes_per_sec as f64)
+            .abs()
+            / truth.bandwidth_bytes_per_sec as f64;
+        assert!(bw_err < 0.01, "bandwidth off by {bw_err}");
+        assert!(
+            (fitted.seek_ns as i64 - truth.seek_ns as i64).unsigned_abs() < 2_000,
+            "seek {} vs {}",
+            fitted.seek_ns,
+            truth.seek_ns
+        );
+    }
+
+    #[test]
+    fn fit_degenerate_probes_fall_back_to_bandwidth() {
+        // Page-cached "disk": the large probe is as fast as the small one.
+        let m = DiskModel::fit_from_probes(4096, 500.0, 4 << 20, 400.0);
+        assert_eq!(m.seek_ns, 0);
+        assert!(m.bandwidth_bytes_per_sec > 0);
+        // Equal sizes cannot produce a slope either.
+        let m = DiskModel::fit_from_probes(4096, 1.0, 4096, 2.0);
+        assert_eq!(m.seek_ns, 0);
     }
 
     #[test]

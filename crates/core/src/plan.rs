@@ -142,6 +142,23 @@ impl AccessPlan {
         positions.get(at).map(|&p| p as usize)
     }
 
+    /// The plan's record stream repeated `k` times, re-analysed as one
+    /// plan. A workload that runs the same traversal `k` times submits the
+    /// per-traversal plan each round; its *complete* access string is this
+    /// repetition — the future a full-run Belady oracle
+    /// ([`crate::VectorManager::install_oracle_plan`]) needs to lower-bound
+    /// every online strategy on the whole run, not just within one
+    /// traversal. Note the analysis differs from the single plan's: only
+    /// the first round's first accesses stay first, so write-first
+    /// read-skip sets shrink accordingly.
+    pub fn repeated(&self, k: usize) -> AccessPlan {
+        let mut records = Vec::with_capacity(self.records.len() * k);
+        for _ in 0..k {
+            records.extend_from_slice(&self.records);
+        }
+        AccessPlan::from_records(records, self.n_items)
+    }
+
     /// Is record `idx` the first access of its item, with Read intent?
     /// These are exactly the accesses that pay a store read; the cursor
     /// hints them ahead of time.
@@ -331,6 +348,24 @@ mod tests {
         let p = plan(&[(0, R), (1, W), (0, R), (2, R)], 4);
         let mut c = PlanCursor::new(p);
         assert_eq!(c.collect_hints(10), vec![0, 2]);
+    }
+
+    #[test]
+    fn repeated_concatenates_and_reanalyses() {
+        let p = plan(&[(0, W), (1, R), (0, R)], 2);
+        let r = p.repeated(3);
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.n_items(), 2);
+        assert_eq!(&r.records()[..3], p.records());
+        assert_eq!(&r.records()[3..6], p.records());
+        // First accesses belong to round one only: item 0 stays
+        // write-first, item 1 read-first, nothing is counted twice.
+        assert_eq!(r.write_first_items(), &[0]);
+        assert_eq!(r.read_first_items(), &[1]);
+        // Positions span all rounds.
+        assert_eq!(r.positions_of(1), &[1, 4, 7]);
+        // Identity repetition changes nothing.
+        assert_eq!(p.repeated(1).records(), p.records());
     }
 
     #[test]

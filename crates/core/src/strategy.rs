@@ -382,6 +382,21 @@ impl StrategyKind {
         }
     }
 
+    /// Parse a strategy keyword (union of the CLI and profile spellings);
+    /// `seed` seeds [`StrategyKind::Random`] and is ignored otherwise.
+    /// This is the single keyword table — the CLI `--strategy` flag and
+    /// the profile-TOML `strategy` key both resolve through it.
+    pub fn from_name(name: &str, seed: u64) -> Option<StrategyKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "random" | "rand" => Some(StrategyKind::Random { seed }),
+            "lru" => Some(StrategyKind::Lru),
+            "lfu" => Some(StrategyKind::Lfu),
+            "topological" | "topo" => Some(StrategyKind::Topological),
+            "next-use" | "nextuse" | "opt" | "belady" => Some(StrategyKind::NextUse),
+            _ => None,
+        }
+    }
+
     /// Display name matching the paper's figure legends.
     pub fn label(self) -> &'static str {
         match self {

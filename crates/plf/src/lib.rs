@@ -46,5 +46,7 @@ pub use likelihood_api::LikelihoodEngine;
 pub use oracle::{SharedTree, TreeOracle};
 pub use partition::{NrBranchEngine, PartitionedPlfEngine};
 pub use sharded::ShardedPlfEngine;
-pub use spec::{BuildContext, BuiltEngine, DynEngine, EngineSpec, PartSpec, Residency, SpecError};
+pub use spec::{
+    BuildContext, BuiltEngine, DynEngine, EngineSpec, PartSpec, Residency, SpecError, SpecSpace,
+};
 pub use store_api::{AncestralStore, InRamStore, OocStore, PagedStore, VectorSession};

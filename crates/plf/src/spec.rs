@@ -1041,6 +1041,12 @@ impl EngineSpec {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            // The spec is the flat key block at the top of the profile;
+            // the first `[section]` header ends it. Tuned profiles append
+            // a `[tune]` section of provenance the engine ignores.
+            if line.starts_with('[') {
+                break;
+            }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(SpecError(format!(
                     "profile line {}: expected 'key = value', got '{raw}'",
@@ -1138,21 +1144,13 @@ impl EngineSpec {
             };
         }
         if let Some(name) = find("strategy") {
-            spec.strategy = match name.to_ascii_lowercase().as_str() {
-                "random" | "rand" => StrategyKind::Random {
-                    seed: parse_u64("seed")?.unwrap_or(0),
-                },
-                "lru" => StrategyKind::Lru,
-                "lfu" => StrategyKind::Lfu,
-                "topological" | "topo" => StrategyKind::Topological,
-                "next-use" | "nextuse" | "belady" => StrategyKind::NextUse,
-                other => {
-                    return Err(SpecError(format!(
-                        "unknown strategy '{other}': expected \
-                         random | lru | lfu | topological | next-use"
-                    )))
-                }
-            };
+            let seed = parse_u64("seed")?.unwrap_or(0);
+            spec.strategy = StrategyKind::from_name(name, seed).ok_or_else(|| {
+                SpecError(format!(
+                    "unknown strategy '{name}': expected \
+                     random | lru | lfu | topological | next-use"
+                ))
+            })?;
         }
         if let Some(v) = parse_u64("shards")? {
             spec.shards = v as usize;
@@ -1198,6 +1196,126 @@ impl EngineSpec {
         }
         spec.validate()?;
         Ok(spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpecSpace: the autotuner's candidate grid
+// ---------------------------------------------------------------------------
+
+/// A declarative grid over the [`EngineSpec`] axes — the autotuner's
+/// search space. Every axis is a list of values to try; the cartesian
+/// product over all axes, stamped onto `base` (which supplies the axes a
+/// space does not sweep, like `alpha`/`n_cats`/`kernel`), is the
+/// candidate set. Axes the caller leaves as singletons contribute no
+/// combinations, so a space is exactly as wide as its interesting axes.
+#[derive(Debug, Clone)]
+pub struct SpecSpace {
+    /// Values for the non-swept axes.
+    pub base: EngineSpec,
+    /// Residency candidates.
+    pub residencies: Vec<Residency>,
+    /// Replacement-strategy candidates.
+    pub strategies: Vec<StrategyKind>,
+    /// Shard-count candidates.
+    pub shards: Vec<usize>,
+    /// I/O-thread candidates.
+    pub io_threads: Vec<usize>,
+    /// Lookahead-window candidates.
+    pub windows: Vec<usize>,
+    /// Read-skipping candidates.
+    pub read_skipping: Vec<bool>,
+    /// Always-write-back candidates.
+    pub always_write_back: Vec<bool>,
+    /// Compression candidates.
+    pub compressions: Vec<Option<CompressionMode>>,
+}
+
+impl SpecSpace {
+    /// The degenerate space containing exactly `base`: every axis a
+    /// singleton of the base's value. Widen the axes of interest from
+    /// here.
+    pub fn around(base: EngineSpec) -> Self {
+        SpecSpace {
+            residencies: vec![base.residency],
+            strategies: vec![base.strategy],
+            shards: vec![base.shards],
+            io_threads: vec![base.io_threads],
+            windows: vec![base.window],
+            read_skipping: vec![base.read_skipping],
+            always_write_back: vec![base.always_write_back],
+            compressions: vec![base.compression],
+            base,
+        }
+    }
+
+    /// Size of the full cartesian product (before validity filtering).
+    pub fn len(&self) -> usize {
+        self.residencies.len()
+            * self.strategies.len()
+            * self.shards.len()
+            * self.io_threads.len()
+            * self.windows.len()
+            * self.read_skipping.len()
+            * self.always_write_back.len()
+            * self.compressions.len()
+    }
+
+    /// Whether any axis is empty (the product is then empty too).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every spec in the product, valid or not, in a deterministic order
+    /// (residency-major, matching the field order of this struct).
+    pub fn enumerate(&self) -> Vec<EngineSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        for &residency in &self.residencies {
+            for &strategy in &self.strategies {
+                for &shards in &self.shards {
+                    for &io_threads in &self.io_threads {
+                        for &window in &self.windows {
+                            for &read_skipping in &self.read_skipping {
+                                for &always_write_back in &self.always_write_back {
+                                    for &compression in &self.compressions {
+                                        out.push(EngineSpec {
+                                            residency,
+                                            strategy,
+                                            shards,
+                                            io_threads,
+                                            window,
+                                            read_skipping,
+                                            always_write_back,
+                                            compression,
+                                            ..self.base.clone()
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The product filtered through [`EngineSpec::validate`]: the
+    /// buildable candidates plus the count of combinations the validator
+    /// rejected (incoherent axis products — paged+sharded, pipelined
+    /// in-memory stores, compressed unmanaged residencies — are expected
+    /// in a wide grid and reported, not errored).
+    pub fn enumerate_valid(&self) -> (Vec<EngineSpec>, usize) {
+        let mut valid = Vec::new();
+        let mut invalid = 0usize;
+        for spec in self.enumerate() {
+            if spec.validate().is_ok() {
+                valid.push(spec);
+            } else {
+                invalid += 1;
+            }
+        }
+        (valid, invalid)
     }
 }
 
@@ -1325,6 +1443,69 @@ mod tests {
             ..Default::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn from_toml_stops_at_first_section_header() {
+        // A tuned profile: the flat spec block plus a `[tune]` provenance
+        // section whose keys are NOT spec keys and must be ignored.
+        let text = "residency = \"file-limit\"\nlimit_bytes = 1048576\n\
+                    strategy = \"next-use\"\n\n\
+                    [tune]\nschema = \"bench-tune-v1\"\npruned = 12\n\
+                    measured_secs = 0.25\n";
+        let spec = EngineSpec::from_toml(text).unwrap();
+        assert_eq!(
+            spec.residency,
+            Residency::FileLimit {
+                limit_bytes: 1 << 20
+            }
+        );
+        assert_eq!(spec.strategy, StrategyKind::NextUse);
+        // Everything after the header is invisible — including keys that
+        // would otherwise be rejected as unknown.
+        assert!(EngineSpec::from_toml("[tune]\nnonsense_key = 3\n").is_ok());
+    }
+
+    #[test]
+    fn spec_space_product_and_validity_filter() {
+        let base = EngineSpec::default();
+        let singleton = SpecSpace::around(base.clone());
+        assert_eq!(singleton.len(), 1);
+        assert!(!singleton.is_empty());
+        assert_eq!(singleton.enumerate(), vec![base.clone()]);
+
+        let mut space = SpecSpace::around(base);
+        space.residencies = vec![
+            Residency::FileLimit {
+                limit_bytes: 1 << 20,
+            },
+            Residency::Paged {
+                phys_bytes: 1 << 16,
+            },
+        ];
+        space.strategies = vec![StrategyKind::Lru, StrategyKind::NextUse];
+        space.shards = vec![1, 2];
+        space.io_threads = vec![0, 1];
+        assert_eq!(space.len(), 16);
+        assert_eq!(space.enumerate().len(), 16);
+        let (valid, invalid) = space.enumerate_valid();
+        assert_eq!(valid.len() + invalid, 16);
+        // Paged residency is incompatible with shards > 1 and with
+        // io_threads > 0: of its 8 combinations only (1 shard, 0 threads)
+        // per strategy survives.
+        assert_eq!(
+            valid
+                .iter()
+                .filter(|s| matches!(s.residency, Residency::Paged { .. }))
+                .count(),
+            2
+        );
+        assert_eq!(invalid, 6);
+        for spec in &valid {
+            spec.validate().unwrap();
+        }
+        // Deterministic order: residency-major.
+        assert!(matches!(valid[0].residency, Residency::FileLimit { .. }));
     }
 
     #[test]

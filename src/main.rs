@@ -202,14 +202,8 @@ fn parse_memory(spec: Option<&str>) -> Result<MemorySpec, String> {
 }
 
 fn parse_strategy(name: Option<&str>, seed: u64) -> Result<StrategyKind, String> {
-    Ok(match name.unwrap_or("lru") {
-        "rand" | "random" => StrategyKind::Random { seed },
-        "lru" => StrategyKind::Lru,
-        "lfu" => StrategyKind::Lfu,
-        "topo" | "topological" => StrategyKind::Topological,
-        "nextuse" | "opt" | "belady" => StrategyKind::NextUse,
-        other => return Err(format!("unknown strategy {other:?}")),
-    })
+    let name = name.unwrap_or("lru");
+    StrategyKind::from_name(name, seed).ok_or_else(|| format!("unknown strategy {name:?}"))
 }
 
 /// §3.1 memory arithmetic: ancestral-vector requirements for an analysis.
